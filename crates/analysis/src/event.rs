@@ -1,0 +1,89 @@
+//! The event alphabet (paper Table 1).
+
+use std::fmt;
+
+use rock_binary::Addr;
+
+/// One event applied to an abstract object. Events are the alphabet Σ of
+/// the statistical language models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// Call to the virtual function in vtable slot `i` of the object.
+    C(usize),
+    /// Read from the field at byte offset `i` of the object.
+    R(i32),
+    /// Write to the field at byte offset `i` of the object.
+    W(i32),
+    /// Object passed as the `this` pointer to a (direct) call.
+    This,
+    /// Object passed as the `i`-th argument of a call.
+    Arg(usize),
+    /// Object returned from the analyzed function.
+    Ret,
+    /// Direct call to the concrete function at `f` with the object as
+    /// receiver.
+    Call(Addr),
+}
+
+impl Event {
+    /// Short tag for the event kind (useful for histograms and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::C(_) => "C",
+            Event::R(_) => "R",
+            Event::W(_) => "W",
+            Event::This => "this",
+            Event::Arg(_) => "Arg",
+            Event::Ret => "ret",
+            Event::Call(_) => "call",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::C(i) => write!(f, "C({i})"),
+            Event::R(i) => write!(f, "R({i})"),
+            Event::W(i) => write!(f, "W({i})"),
+            Event::This => write!(f, "this"),
+            Event::Arg(i) => write!(f, "Arg({i})"),
+            Event::Ret => write!(f, "ret"),
+            Event::Call(a) => write!(f, "call({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_event_kinds_roundtrip_display() {
+        // Table 1 lists exactly these seven events.
+        let events = [
+            Event::C(2),
+            Event::R(8),
+            Event::W(16),
+            Event::This,
+            Event::Arg(1),
+            Event::Ret,
+            Event::Call(Addr::new(0x1000)),
+        ];
+        let shown: Vec<String> = events.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            shown,
+            vec!["C(2)", "R(8)", "W(16)", "this", "Arg(1)", "ret", "call(0x1000)"]
+        );
+        let kinds: Vec<&str> = events.iter().map(Event::kind).collect();
+        assert_eq!(kinds, vec!["C", "R", "W", "this", "Arg", "ret", "call"]);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Event::Ret, Event::C(1), Event::C(0), Event::This];
+        v.sort();
+        assert_eq!(v[0], Event::C(0));
+        assert_eq!(v[1], Event::C(1));
+    }
+}

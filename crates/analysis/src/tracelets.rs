@@ -1,0 +1,335 @@
+//! Tracelet pooling and attribution: `TT(t) = ⋃_{type(o)=t} OT(o)`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rock_binary::Addr;
+use rock_loader::LoadedBinary;
+
+use crate::{execute_function, recognize_ctors, AnalysisConfig, CtorMap, Event, ObjId};
+
+/// Tracelets pooled per binary type (vtable address).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TypeTracelets {
+    map: BTreeMap<Addr, Vec<Vec<Event>>>,
+}
+
+impl TypeTracelets {
+    /// Adds one tracelet for a type.
+    pub fn add(&mut self, vtable: Addr, tracelet: Vec<Event>) {
+        if !tracelet.is_empty() {
+            self.map.entry(vtable).or_default().push(tracelet);
+        }
+    }
+
+    /// All tracelets of a type (empty slice if none).
+    pub fn of_type(&self, vtable: Addr) -> &[Vec<Event>] {
+        self.map.get(&vtable).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Types that have at least one tracelet.
+    pub fn types(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Total number of tracelets across all types.
+    pub fn total(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no tracelets were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Aggregate statistics of a type's tracelet pool, for diagnostics and
+/// the CLI's `stats` command.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceletStats {
+    /// Number of tracelets.
+    pub tracelets: usize,
+    /// Total events across all tracelets.
+    pub events: usize,
+    /// Distinct event symbols (the type's alphabet size).
+    pub alphabet: usize,
+    /// Event counts by kind tag (`"C"`, `"R"`, `"W"`, `"this"`, `"Arg"`,
+    /// `"ret"`, `"call"`).
+    pub by_kind: BTreeMap<&'static str, usize>,
+}
+
+impl TypeTracelets {
+    /// Computes aggregate statistics for one type's pool.
+    pub fn stats_of(&self, vtable: Addr) -> TraceletStats {
+        let pool = self.of_type(vtable);
+        let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut distinct = std::collections::BTreeSet::new();
+        let mut events = 0usize;
+        for t in pool {
+            for e in t {
+                *by_kind.entry(e.kind()).or_insert(0) += 1;
+                distinct.insert(*e);
+                events += 1;
+            }
+        }
+        TraceletStats { tracelets: pool.len(), events, alphabet: distinct.len(), by_kind }
+    }
+}
+
+impl fmt::Display for TraceletStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tracelets, {} events, |Σ|={}",
+            self.tracelets, self.events, self.alphabet
+        )?;
+        for (k, n) in &self.by_kind {
+            write!(f, ", {k}:{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TypeTracelets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (vt, ts) in &self.map {
+            writeln!(f, "type @{vt}: {} tracelets", ts.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete output of the behavioral analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Analysis {
+    tracelets: TypeTracelets,
+    ctors: CtorMap,
+}
+
+impl Analysis {
+    /// Tracelets per type.
+    pub fn tracelets(&self) -> &TypeTracelets {
+        &self.tracelets
+    }
+
+    /// The recognized ctor-like functions.
+    pub fn ctors(&self) -> &CtorMap {
+        &self.ctors
+    }
+}
+
+/// Splits an event sequence into non-overlapping windows of at most
+/// `len` events (the paper splits sequences "into subsequences of limited
+/// length (up to length 7)").
+pub(crate) fn windows(events: &[Event], len: usize) -> Vec<Vec<Event>> {
+    assert!(len > 0, "window length must be positive");
+    events.chunks(len).map(<[Event]>::to_vec).collect()
+}
+
+/// Runs the full behavioral analysis over a loaded binary:
+/// ctor recognition, per-function symbolic execution, and tracelet
+/// attribution.
+///
+/// Attribution rules (§3.2):
+///
+/// * views typed in-function (vtable store or ctor call) contribute to
+///   that vtable's pool;
+/// * the `this` view of a **virtual function** (a function appearing in
+///   vtable slots) contributes to every vtable containing the function.
+pub fn extract_tracelets(loaded: &LoadedBinary, config: &AnalysisConfig) -> Analysis {
+    let ctors = recognize_ctors(loaded, config);
+    let mut tracelets = TypeTracelets::default();
+
+    for f in loaded.functions() {
+        let host_vtables: Vec<Addr> = loaded
+            .vtables_containing(f.entry())
+            .iter()
+            .map(|vt| vt.addr())
+            .collect();
+        for path in execute_function(f, loaded, &ctors, config) {
+            for sub in &path.subobjects {
+                if sub.events.is_empty() {
+                    continue;
+                }
+                let pieces = windows(&sub.events, config.tracelet_len);
+                if let Some(vt) = sub.vtable {
+                    for p in &pieces {
+                        tracelets.add(vt, p.clone());
+                    }
+                } else if sub.view.obj == ObjId::ENTRY && sub.view.base == 0 {
+                    for vt in &host_vtables {
+                        for p in &pieces {
+                            tracelets.add(*vt, p.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Analysis { tracelets, ctors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_minicpp::{compile, CompileOptions, Expr, ProgramBuilder};
+
+    fn load(p: ProgramBuilder, opts: &CompileOptions) -> (LoadedBinary, rock_minicpp::Compiled) {
+        let compiled = compile(&p.finish(), opts).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        (loaded, compiled)
+    }
+
+    #[test]
+    fn windows_split() {
+        let e: Vec<Event> = (0..10).map(|i| Event::C(i)).collect();
+        let w = windows(&e, 7);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].len(), 7);
+        assert_eq!(w[1].len(), 3);
+        assert!(windows(&[], 7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        windows(&[Event::Ret], 0);
+    }
+
+    #[test]
+    fn driver_usage_is_attributed_to_constructed_type() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m0", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("a", "A");
+            f.vcall("a", "m0", vec![]);
+            f.vcall("a", "m0", vec![]);
+            f.ret();
+        });
+        let (loaded, compiled) = load(p, &CompileOptions::default());
+        let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+        let vt = compiled.vtable_of("A").unwrap();
+        let ts = analysis.tracelets().of_type(vt);
+        assert!(!ts.is_empty());
+        // Some tracelet contains two C(0) events (the two dispatches).
+        let has_double_dispatch = ts
+            .iter()
+            .any(|t| t.iter().filter(|e| **e == Event::C(0)).count() >= 2);
+        assert!(has_double_dispatch, "tracelets: {ts:?}");
+    }
+
+    #[test]
+    fn inlined_ctor_build_still_types_objects() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m0", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("m1", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("b", "B");
+            f.vcall("b", "m1", vec![]);
+            f.ret();
+        });
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = true;
+        let (loaded, compiled) = load(p, &opts);
+        let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+        let vt_b = compiled.vtable_of("B").unwrap();
+        assert!(!analysis.tracelets().of_type(vt_b).is_empty());
+    }
+
+    #[test]
+    fn method_bodies_attribute_to_all_hosting_vtables() {
+        // B inherits A::m unchanged, so A::m sits in both vtables and its
+        // body tracelets (field write) count for both types.
+        let mut p = ProgramBuilder::new();
+        p.class("A").field("x").method("m", |b| {
+            b.write("this", "x", Expr::Const(1));
+            b.ret();
+        });
+        p.class("B").base("A").method("extra", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("a", "A");
+            f.new_obj("b", "B");
+            f.vcall("a", "m", vec![]);
+            f.vcall("b", "m", vec![]);
+            f.ret();
+        });
+        let (loaded, compiled) = load(p, &CompileOptions::default());
+        let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+        let vt_a = compiled.vtable_of("A").unwrap();
+        let vt_b = compiled.vtable_of("B").unwrap();
+        let has_w8 = |vt| {
+            analysis
+                .tracelets()
+                .of_type(vt)
+                .iter()
+                .any(|t| t.contains(&Event::W(8)))
+        };
+        assert!(has_w8(vt_a), "A should see W(8) from its method body");
+        assert!(has_w8(vt_b), "B inherits the method, so it sees W(8) too");
+    }
+
+    #[test]
+    fn ctor_recognition_feeds_call_site_typing() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("a", "A"); // heap: call __alloc, call A::A
+            f.vcall("a", "m", vec![]);
+            f.ret();
+        });
+        let (loaded, compiled) = load(p, &CompileOptions::default());
+        let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+        // The ctor was recognized...
+        assert!(!analysis.ctors().is_empty());
+        // ...and the driver's object got typed + usage recorded.
+        let vt = compiled.vtable_of("A").unwrap();
+        let ts = analysis.tracelets().of_type(vt);
+        let mentions_dispatch = ts.iter().any(|t| t.contains(&Event::C(0)));
+        assert!(mentions_dispatch, "tracelets: {ts:?}");
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let mut tt = TypeTracelets::default();
+        let vt = Addr::new(0x2000);
+        tt.add(vt, vec![Event::C(0), Event::C(0), Event::R(8)]);
+        tt.add(vt, vec![Event::This, Event::Ret]);
+        let s = tt.stats_of(vt);
+        assert_eq!(s.tracelets, 2);
+        assert_eq!(s.events, 5);
+        assert_eq!(s.alphabet, 4, "C(0) counted once");
+        assert_eq!(s.by_kind["C"], 2);
+        assert_eq!(s.by_kind["R"], 1);
+        assert_eq!(s.by_kind["this"], 1);
+        assert_eq!(s.by_kind["ret"], 1);
+        assert!(s.to_string().contains("2 tracelets"));
+        // Unknown type: all-zero stats.
+        let z = tt.stats_of(Addr::new(0x9999));
+        assert_eq!(z.tracelets, 0);
+        assert_eq!(z.alphabet, 0);
+    }
+
+    #[test]
+    fn type_tracelets_accessors() {
+        let mut tt = TypeTracelets::default();
+        assert!(tt.is_empty());
+        tt.add(Addr::new(0x2000), vec![Event::C(0)]);
+        tt.add(Addr::new(0x2000), vec![]); // ignored
+        tt.add(Addr::new(0x3000), vec![Event::Ret]);
+        assert_eq!(tt.total(), 2);
+        assert_eq!(tt.of_type(Addr::new(0x2000)).len(), 1);
+        assert_eq!(tt.of_type(Addr::new(0x9999)).len(), 0);
+        assert_eq!(tt.types().count(), 2);
+        assert!(tt.to_string().contains("type @0x2000"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Symbolic values tracked by the intra-procedural execution.
+
+use std::fmt;
+
+/// Identity of an abstract object within one function's execution.
+///
+/// `ObjId(0)` is always the value of `r0` at function entry (the potential
+/// `this` pointer); higher ids are allocated for stack regions and call
+/// returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The entry `r0` object.
+    pub const ENTRY: ObjId = ObjId(0);
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A *view* of an object at a subobject base offset.
+///
+/// Single inheritance only ever uses base 0; multiple inheritance
+/// produces adjusted pointers (base = subobject offset), and events are
+/// attributed per view — each view can carry its own vtable (paper §5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubObj {
+    /// The underlying abstract object.
+    pub obj: ObjId,
+    /// Byte offset of this view's subobject base.
+    pub base: i32,
+}
+
+impl SubObj {
+    /// Creates a view.
+    pub fn new(obj: ObjId, base: i32) -> Self {
+        SubObj { obj, base }
+    }
+
+    /// The primary view of an object.
+    pub fn primary(obj: ObjId) -> Self {
+        SubObj { obj, base: 0 }
+    }
+}
+
+impl fmt::Display for SubObj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.base == 0 {
+            write!(f, "{}", self.obj)
+        } else {
+            write!(f, "{}+{}", self.obj, self.base)
+        }
+    }
+}
+
+/// A symbolic machine value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SymValue {
+    /// Nothing known.
+    #[default]
+    Unknown,
+    /// A concrete constant (possibly an address).
+    Const(u64),
+    /// A pointer to offset `ptr_off` past a subobject view.
+    ObjPtr(SubObj),
+    /// The vtable pointer loaded from offset 0 of a view (dispatch step 1).
+    VptrOf(SubObj),
+    /// A function pointer loaded from byte offset `1` of the vtable of
+    /// view `0` (dispatch step 2).
+    SlotOf(SubObj, i32),
+}
+
+impl SymValue {
+    /// The view a pointer designates, if this value is an object pointer.
+    pub fn as_obj(self) -> Option<SubObj> {
+        match self {
+            SymValue::ObjPtr(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Unknown => write!(f, "?"),
+            SymValue::Const(c) => write!(f, "{c:#x}"),
+            SymValue::ObjPtr(s) => write!(f, "&{s}"),
+            SymValue::VptrOf(s) => write!(f, "vptr({s})"),
+            SymValue::SlotOf(s, o) => write!(f, "slot({s}, {o})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_object() {
+        assert_eq!(ObjId::ENTRY, ObjId(0));
+        assert_eq!(ObjId::ENTRY.to_string(), "o0");
+    }
+
+    #[test]
+    fn subobj_views() {
+        let p = SubObj::primary(ObjId(3));
+        assert_eq!(p.base, 0);
+        assert_eq!(p.to_string(), "o3");
+        let s = SubObj::new(ObjId(3), 16);
+        assert_eq!(s.to_string(), "o3+16");
+        assert_ne!(p, s);
+    }
+
+    #[test]
+    fn value_display_and_as_obj() {
+        let v = SymValue::ObjPtr(SubObj::primary(ObjId(1)));
+        assert_eq!(v.as_obj(), Some(SubObj::primary(ObjId(1))));
+        assert_eq!(SymValue::Unknown.as_obj(), None);
+        assert_eq!(v.to_string(), "&o1");
+        assert_eq!(SymValue::Const(16).to_string(), "0x10");
+        assert_eq!(SymValue::default(), SymValue::Unknown);
+    }
+}

@@ -1,0 +1,212 @@
+//! Event extraction validated against *compiled* MiniCpp programs —
+//! every Table 1 event kind must be observable end to end.
+
+use rock_analysis::{extract_tracelets, AnalysisConfig, Event};
+use rock_loader::LoadedBinary;
+use rock_minicpp::{compile, CallArg, CompileOptions, Expr, ProgramBuilder};
+
+fn tracelets_for(
+    p: ProgramBuilder,
+    class: &str,
+) -> (Vec<Vec<Event>>, rock_minicpp::Compiled) {
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+    let vt = compiled.vtable_of(class).unwrap();
+    (analysis.tracelets().of_type(vt).to_vec(), compiled)
+}
+
+#[test]
+fn c_events_carry_slot_indices() {
+    let mut p = ProgramBuilder::new();
+    p.class("A")
+        .method("m0", |b| {
+            b.ret();
+        })
+        .method("m1", |b| {
+            b.ret();
+        });
+    p.func("drive", |f| {
+        f.new_obj("a", "A");
+        f.vcall("a", "m1", vec![]);
+        f.vcall("a", "m0", vec![]);
+        f.vcall("a", "m1", vec![]);
+        f.ret();
+    });
+    let (ts, _) = tracelets_for(p, "A");
+    let has = |needle: &[Event]| {
+        ts.iter().any(|t| t.windows(needle.len()).any(|w| w == needle))
+    };
+    assert!(has(&[Event::C(1), Event::C(0), Event::C(1)]), "tracelets: {ts:?}");
+}
+
+#[test]
+fn arg_events_for_objects_passed_to_functions() {
+    let mut p = ProgramBuilder::new();
+    p.class("A").method("m", |b| {
+        b.ret();
+    });
+    p.func("sink", |f| {
+        f.param_val("x");
+        f.param_obj("o", "A");
+        f.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("a", "A");
+        f.call("sink", vec![CallArg::Value(Expr::Const(7)), CallArg::Obj("a".into())]);
+        f.ret();
+    });
+    let (ts, _) = tracelets_for(p, "A");
+    // The object travels in r1 => Arg(1).
+    let has_arg = ts.iter().any(|t| t.contains(&Event::Arg(1)));
+    assert!(has_arg, "tracelets: {ts:?}");
+}
+
+#[test]
+fn ret_event_for_returned_objects() {
+    let mut p = ProgramBuilder::new();
+    p.class("A").method("m", |b| {
+        b.ret();
+    });
+    p.func("make", |f| {
+        f.new_obj("a", "A");
+        f.vcall("a", "m", vec![]);
+        f.ret_val(Expr::Var("a".into()));
+    });
+    let (ts, _) = tracelets_for(p, "A");
+    let has_ret = ts.iter().any(|t| t.contains(&Event::Ret));
+    assert!(has_ret, "tracelets: {ts:?}");
+}
+
+#[test]
+fn this_and_call_events_for_ctor_and_dtor() {
+    let mut p = ProgramBuilder::new();
+    p.class("A").method("m", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("a", "A");
+        f.delete("a");
+        f.ret();
+    });
+    let (ts, compiled) = tracelets_for(p, "A");
+    let ctor = compiled.image().symbols().by_name("A::A").unwrap().addr;
+    let dtor = compiled.image().symbols().by_name("A::~A").unwrap().addr;
+    let flat: Vec<Event> = ts.iter().flatten().copied().collect();
+    assert!(flat.contains(&Event::This));
+    assert!(flat.contains(&Event::Call(ctor)), "ctor call event");
+    assert!(flat.contains(&Event::Call(dtor)), "dtor call event");
+}
+
+#[test]
+fn field_events_in_method_bodies() {
+    let mut p = ProgramBuilder::new();
+    p.class("A").field("x").field("y").method("swap_ish", |b| {
+        b.read("t", "this", "x");
+        b.write("this", "y", Expr::Var("t".into()));
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("a", "A");
+        f.vcall("a", "swap_ish", vec![]);
+        f.ret();
+    });
+    let (ts, _) = tracelets_for(p, "A");
+    // x at offset 8, y at offset 16.
+    let has = ts
+        .iter()
+        .any(|t| t.windows(2).any(|w| w == [Event::R(8), Event::W(16)]));
+    assert!(has, "tracelets: {ts:?}");
+}
+
+#[test]
+fn both_if_branches_contribute_tracelets() {
+    let mut p = ProgramBuilder::new();
+    p.class("A")
+        .method("yes", |b| {
+            b.ret();
+        })
+        .method("no", |b| {
+            b.ret();
+        });
+    p.func("drive", |f| {
+        f.param_val("c");
+        f.new_obj("a", "A");
+        f.if_else(
+            Expr::Param(0),
+            |t| {
+                t.vcall("a", "yes", vec![]);
+            },
+            |e| {
+                e.vcall("a", "no", vec![]);
+            },
+        );
+        f.ret();
+    });
+    let (ts, _) = tracelets_for(p, "A");
+    let flat: Vec<Event> = ts.iter().flatten().copied().collect();
+    assert!(flat.contains(&Event::C(0)), "then-branch dispatch seen");
+    assert!(flat.contains(&Event::C(1)), "else-branch dispatch seen");
+}
+
+#[test]
+fn tracelet_windows_respect_the_limit() {
+    let mut p = ProgramBuilder::new();
+    p.class("A").method("m", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("a", "A");
+        for _ in 0..30 {
+            f.vcall("a", "m", vec![]);
+        }
+        f.ret();
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    for limit in [3usize, 7, 11] {
+        let mut config = AnalysisConfig::default();
+        config.tracelet_len = limit;
+        let analysis = extract_tracelets(&loaded, &config);
+        let vt = compiled.vtable_of("A").unwrap();
+        for t in analysis.tracelets().of_type(vt) {
+            assert!(t.len() <= limit, "window {t:?} exceeds {limit}");
+        }
+    }
+}
+
+#[test]
+fn optimized_and_debug_builds_yield_comparable_dispatch_signals() {
+    let build = |inline: bool| {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("n", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("b", "B");
+            f.vcall("b", "m", vec![]);
+            f.vcall("b", "n", vec![]);
+            f.ret();
+        });
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = inline;
+        let compiled = compile(&p.finish(), &opts).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+        let vt = compiled.vtable_of("B").unwrap();
+        analysis
+            .tracelets()
+            .of_type(vt)
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, Event::C(_)))
+            .count()
+    };
+    let debug_c = build(false);
+    let optimized_c = build(true);
+    assert!(debug_c > 0);
+    assert_eq!(debug_c, optimized_c, "dispatch evidence survives optimization");
+}

@@ -1,0 +1,42 @@
+//! §3.2 scalability claim: "since our analysis and symbolic execution are
+//! entirely intra-procedural … they are inherently scalable. The number
+//! of procedures in a binary … [has] no effect" — i.e. total analysis
+//! time grows linearly with procedure count. Benchmarked by extracting
+//! tracelets from generated programs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rock_analysis::{extract_tracelets, AnalysisConfig};
+use rock_core::suite::stress_program;
+use rock_loader::LoadedBinary;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracelet_extraction");
+    group.sample_size(10);
+    // families × (1 + fanout + fanout²) classes, each with drivers,
+    // ctors, dtors and method bodies: procedure count grows ~linearly
+    // with `families`.
+    for families in [1usize, 2, 4, 8] {
+        let bench = stress_program(families, 3, 2);
+        let compiled = bench.compile().expect("compiles");
+        let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+        let procs = loaded.functions().len();
+        group.bench_with_input(
+            BenchmarkId::new("procedures", procs),
+            &loaded,
+            |b, loaded| {
+                b.iter(|| {
+                    let a = extract_tracelets(
+                        std::hint::black_box(loaded),
+                        &AnalysisConfig::default(),
+                    );
+                    assert!(!a.tracelets().is_empty());
+                    a
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §4.2.2 runtime claim: "it takes only a few minutes to construct the
+//! weighted graph and find an arborescence" — here, the Chu-Liu/Edmonds
+//! solver is benchmarked against growing complete candidate graphs
+//! (the worst case: every pair of types in one family).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rock_graph::{min_spanning_forest, DiGraph};
+
+/// Complete digraph over `n` nodes with deterministic pseudo-random
+/// weights (mimicking a one-family KL matrix).
+fn complete_graph(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    let mut state = 0x12345678u64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let w = (state >> 33) as f64 / (1u64 << 31) as f64;
+                g.add_edge(i, j, w);
+            }
+        }
+    }
+    g
+}
+
+fn bench_arborescence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edmonds_min_spanning_forest");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64, 128] {
+        let g = complete_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let r = min_spanning_forest(std::hint::black_box(g));
+                assert_eq!(r.parent.len(), g.node_count());
+                r
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arborescence);
+criterion_main!(benches);

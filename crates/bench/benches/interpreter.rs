@@ -1,0 +1,51 @@
+//! Interpreter throughput: how fast compiled benchmarks execute in the
+//! reference VM (validates that the dynamic baseline's cost is dominated
+//! by coverage, not by emulation overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rock_binary::Addr;
+use rock_core::suite::{benchmark, streams_example};
+use rock_vm::Machine;
+
+fn drivers_of(compiled: &rock_minicpp::Compiled) -> Vec<Addr> {
+    compiled
+        .image()
+        .symbols()
+        .iter()
+        .filter(|s| s.name.starts_with("drive") || s.name.starts_with("use"))
+        .map(|s| s.addr)
+        .collect()
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_run_all_drivers");
+    for name in ["streams", "echoparams", "Smoothing"] {
+        let bench = if name == "streams" {
+            streams_example()
+        } else {
+            benchmark(name).expect("suite benchmark")
+        };
+        let compiled = bench.compile().expect("compiles");
+        let drivers = drivers_of(&compiled);
+        let vm = Machine::new(compiled.image().clone()).expect("vm");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(vm, drivers),
+            |b, (vm, drivers)| {
+                b.iter(|| {
+                    let mut vm = vm.clone();
+                    let mut steps = 0;
+                    for d in drivers {
+                        vm.reset();
+                        steps += vm.run(*d, &[]).expect("runs").steps;
+                    }
+                    steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

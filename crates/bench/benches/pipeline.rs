@@ -1,0 +1,26 @@
+//! End-to-end pipeline cost on representative Table 2 benchmarks: one
+//! small structurally-resolved binary, the echoparams showcase, and the
+//! two largest families (Smoothing, Analyzer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rock_core::suite::benchmark;
+use rock_core::{Rock, RockConfig};
+use rock_loader::LoadedBinary;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rock_reconstruct");
+    group.sample_size(10);
+    for name in ["pop3", "echoparams", "Smoothing", "Analyzer", "libctemplate"] {
+        let bench = benchmark(name).expect("suite benchmark");
+        let compiled = bench.compile().expect("compiles");
+        let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+        let rock = Rock::new(RockConfig::paper());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &loaded, |b, loaded| {
+            b.iter(|| rock.reconstruct(std::hint::black_box(loaded)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmarks of the statistical substrate (§3.1): PPM-C training,
+//! sequence scoring and pairwise divergence, as a function of training
+//! volume and model depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rock_slm::{kl_divergence, Slm};
+
+/// Deterministic pseudo-random tracelet corpus over a small alphabet.
+fn corpus(sequences: usize, len: usize, salt: u64) -> Vec<Vec<u8>> {
+    let mut state = 0xabcdef12u64 ^ salt;
+    (0..sequences)
+        .map(|_| {
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 33) % 12) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slm_train");
+    for n in [16usize, 64, 256] {
+        let data = corpus(n, 7, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut m = Slm::new(2);
+                for seq in data {
+                    m.train(std::hint::black_box(seq));
+                }
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slm_train_depth");
+    let data = corpus(64, 7, 2);
+    for depth in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut m = Slm::new(depth);
+                for seq in &data {
+                    m.train(seq);
+                }
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_divergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kl_divergence");
+    for n in [16usize, 64, 256] {
+        let mut a = Slm::new(2);
+        let mut b_model = Slm::new(2);
+        for seq in corpus(n, 7, 3) {
+            a.train(&seq);
+        }
+        for seq in corpus(n, 7, 4) {
+            b_model.train(&seq);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(a, b_model),
+            |bencher, (a, b_model)| {
+                bencher.iter(|| {
+                    kl_divergence(std::hint::black_box(a), std::hint::black_box(b_model))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_depth, bench_divergence);
+criterion_main!(benches);

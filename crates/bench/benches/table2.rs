@@ -1,0 +1,34 @@
+//! Table 2 as a criterion bench: times the full
+//! compile-strip-load-reconstruct-evaluate loop per benchmark, and (once
+//! per run) asserts the qualitative result still holds, so regressions in
+//! either speed or accuracy surface here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rock_bench::run_benchmark;
+use rock_core::suite::all_benchmarks;
+use rock_core::{RockConfig, Table2Row};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_row");
+    group.sample_size(10);
+    for bench in all_benchmarks() {
+        // Accuracy gate.
+        let eval = run_benchmark(&bench, RockConfig::paper());
+        let row = Table2Row::new(&bench, &eval);
+        assert!(
+            row.shape_holds(),
+            "{}: qualitative shape regressed ({:?} vs {:?})",
+            bench.name,
+            row.with,
+            row.without
+        );
+        // Speed measurement.
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name), &bench, |b, bench| {
+            b.iter(|| run_benchmark(std::hint::black_box(bench), RockConfig::paper()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

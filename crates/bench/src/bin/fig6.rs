@@ -1,0 +1,45 @@
+//! Regenerates the **Fig. 6 / §2.2** measurement: the D_KL ranking that
+//! picks `Class1` (Stream) over `Class2` (ConfirmableStream) as the
+//! parent of `Class3` (FlushableStream).
+//!
+//! The paper reports 0.07 vs 0.21 on its (unspecified) word weighting;
+//! absolute values differ here, but the *ranking* — the only thing the
+//! algorithm consumes (Remark 4.1) — must match.
+//!
+//! ```text
+//! cargo run -p rock-bench --bin fig6
+//! ```
+
+use rock_core::suite::streams_example;
+use rock_core::{Rock, RockConfig};
+use rock_loader::LoadedBinary;
+
+fn main() {
+    let bench = streams_example();
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+
+    let stream = compiled.vtable_of("Stream").expect("exists");
+    let confirmable = compiled.vtable_of("ConfirmableStream").expect("exists");
+    let flushable = compiled.vtable_of("FlushableStream").expect("exists");
+
+    let d31 = recon.distances[&(stream, flushable)];
+    let d32 = recon.distances[&(confirmable, flushable)];
+    println!("Fig. 6 candidate parents of Class3 (FlushableStream):");
+    println!("  (a) Class1 = Stream:            D = {d31:.4}   (paper: 0.07)");
+    println!("  (b) Class2 = ConfirmableStream: D = {d32:.4}   (paper: 0.21)");
+    println!(
+        "  ranking {} (paper: (a) wins)",
+        if d31 < d32 { "(a) wins — hierarchy 6a chosen" } else { "(b) wins — WRONG" }
+    );
+    assert!(d31 < d32);
+    println!("\nchosen hierarchy:");
+    for (class, vt) in compiled.vtables() {
+        let parent = recon
+            .parent_of(*vt)
+            .and_then(|p| compiled.class_of(p))
+            .unwrap_or("(root)");
+        println!("  {class} : {parent}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates the **§6.4 "Applying Control Flow Integrity"** trade-off:
+//! assigning several parents to each type trades false negatives
+//! (missing successor types — lost CFI targets, unsound) for false
+//! positives (added types — larger CFI payload).
+//!
+//! ```text
+//! cargo run -p rock-bench --bin k_parents
+//! ```
+
+use rock_core::suite::all_benchmarks;
+use rock_core::{evaluate_k_parents, Rock, RockConfig};
+use rock_loader::LoadedBinary;
+
+fn main() {
+    let benches: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| !b.structurally_resolvable)
+        .collect();
+
+    println!("k-parents CFI trade-off (mean missing/added over the 9 behavioral benchmarks)");
+    println!("{:<4} | {:>8} | {:>8}", "k", "missing", "added");
+    println!("{}", "-".repeat(28));
+    let mut prev_missing = f64::INFINITY;
+    for k in 1..=4usize {
+        let mut missing = 0.0;
+        let mut added = 0.0;
+        for bench in &benches {
+            let compiled = bench.compile().expect("compiles");
+            let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+            let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+            let dist = evaluate_k_parents(&compiled, &recon, k);
+            missing += dist.avg_missing;
+            added += dist.avg_added;
+        }
+        missing /= benches.len() as f64;
+        added /= benches.len() as f64;
+        println!("{k:<4} | {missing:>8.3} | {added:>8.3}");
+        assert!(
+            missing <= prev_missing + 1e-9,
+            "missing must be non-increasing in k"
+        );
+        prev_missing = missing;
+    }
+    println!("\nMore parents per type -> fewer missing (false negatives), more added");
+    println!("(false positives) — the §6.4 trade-off, 'still polynomial'.");
+}

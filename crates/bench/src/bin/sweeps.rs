@@ -1,0 +1,56 @@
+//! Parameter sweeps: design-choice ablations called out in DESIGN.md.
+//!
+//! * **tracelet window length** (paper uses 7, §3.2);
+//! * **SLM depth D** (paper's running example uses 2, §3.1);
+//! * **structural phase on/off** (SLM-only: every same-family pair is a
+//!   candidate edge).
+//!
+//! ```text
+//! cargo run -p rock-bench --bin sweeps
+//! ```
+
+use rock_bench::run_benchmark;
+use rock_core::suite::all_benchmarks;
+use rock_core::RockConfig;
+
+fn main() {
+    let benches: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| !b.structurally_resolvable)
+        .collect();
+
+    println!("== tracelet window length sweep (with-SLM mean missing/added) ==");
+    for len in [3usize, 5, 7, 9, 12] {
+        let mut config = RockConfig::paper();
+        config.analysis.tracelet_len = len;
+        let (m, a) = mean(&benches, config);
+        println!("  L = {len:>2}: missing {m:.3}, added {a:.3}");
+    }
+
+    println!("\n== SLM depth sweep ==");
+    for depth in [0usize, 1, 2, 3, 4] {
+        let mut config = RockConfig::paper();
+        config.analysis.slm_depth = depth;
+        let (m, a) = mean(&benches, config);
+        println!("  D = {depth}: missing {m:.3}, added {a:.3}");
+    }
+
+    println!("\n== path budget sweep (scalability/accuracy trade-off, §3.2) ==");
+    for paths in [4usize, 16, 64] {
+        let mut config = RockConfig::paper();
+        config.analysis.max_paths = paths;
+        let (m, a) = mean(&benches, config);
+        println!("  max_paths = {paths:>3}: missing {m:.3}, added {a:.3}");
+    }
+}
+
+fn mean(benches: &[rock_core::suite::Benchmark], config: RockConfig) -> (f64, f64) {
+    let mut m = 0.0;
+    let mut a = 0.0;
+    for b in benches {
+        let eval = run_benchmark(b, config);
+        m += eval.with_slm.avg_missing;
+        a += eval.with_slm.avg_added;
+    }
+    (m / benches.len() as f64, a / benches.len() as f64)
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table 2** of the paper: the application distance (average
+//! missing / added successor types per type) on all 19 benchmarks, with
+//! and without SLMs, next to the paper's reported values.
+//!
+//! ```text
+//! cargo run -p rock-bench --bin table2
+//! ```
+
+use rock_bench::run_benchmark;
+use rock_core::suite::all_benchmarks;
+use rock_core::{render_table2, RockConfig, Table2Row};
+
+fn main() {
+    let mut rows = Vec::new();
+    for bench in all_benchmarks() {
+        let eval = run_benchmark(&bench, RockConfig::paper());
+        let row = Table2Row::new(&bench, &eval);
+        eprintln!(
+            "{:<18} done ({} types, structurally resolved: {})",
+            bench.name, eval.num_types, eval.structurally_resolved
+        );
+        rows.push(row);
+    }
+    println!();
+    println!("Table 2 — Application distance from H_P (measured | paper)");
+    println!("{}", render_table2(&rows));
+    let holding = rows.iter().filter(|r| r.shape_holds()).count();
+    println!("shape holds on {holding}/{} benchmarks", rows.len());
+}

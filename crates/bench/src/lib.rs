@@ -1,0 +1,49 @@
+//! Benchmark and table/figure regeneration harness for the Rock
+//! reproduction.
+//!
+//! Binaries (run with `cargo run -p rock-bench --bin <name>`):
+//!
+//! * `table2` — regenerates Table 2 (application distance per benchmark,
+//!   with vs. without SLMs, measured vs. paper);
+//! * `fig6` — the running example's D_KL ranking (Fig. 6 / §2.2);
+//! * `metric_ablation` — KL vs. JS-divergence vs. JS-distance (§6.4
+//!   "Other Metrics");
+//! * `sweeps` — tracelet-length and SLM-depth sensitivity (design
+//!   ablations called out in DESIGN.md).
+//!
+//! Criterion benches live in `benches/` (arborescence scaling, analysis
+//! scalability, pipeline end-to-end).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rock_core::suite::Benchmark;
+use rock_core::{evaluate, Evaluation, Rock, RockConfig};
+use rock_loader::LoadedBinary;
+
+/// Compiles, strips, loads, reconstructs and evaluates one benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to compile or load (suite programs never
+/// should).
+pub fn run_benchmark(bench: &Benchmark, config: RockConfig) -> Evaluation {
+    let compiled = bench.compile().expect("suite benchmarks compile");
+    let loaded =
+        LoadedBinary::load(compiled.stripped_image()).expect("compiled images load");
+    let recon = Rock::new(config).reconstruct(&loaded);
+    evaluate(&compiled, &recon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_core::suite;
+
+    #[test]
+    fn streams_example_runs_clean() {
+        let eval = run_benchmark(&suite::streams_example(), RockConfig::paper());
+        assert_eq!(eval.with_slm.avg_missing, 0.0);
+        assert_eq!(eval.with_slm.avg_added, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A byte address inside a [`BinaryImage`](crate::BinaryImage).
+///
+/// `Addr` is a transparent newtype over `u64` used to keep code addresses,
+/// data addresses and plain integers statically distinct in downstream
+/// analyses.
+///
+/// # Example
+///
+/// ```
+/// use rock_binary::Addr;
+/// let a = Addr::new(0x1000);
+/// assert_eq!((a + 8).value(), 0x1008);
+/// assert_eq!(format!("{a}"), "0x1000");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw value.
+    pub const fn new(value: u64) -> Self {
+        Addr(value)
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte distance from `other` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn offset_from(self, other: Addr) -> u64 {
+        self.0
+            .checked_sub(other.0)
+            .expect("offset_from: base address is above self")
+    }
+
+    /// Checked addition of a byte delta.
+    pub fn checked_add(self, delta: u64) -> Option<Addr> {
+        self.0.checked_add(delta).map(Addr)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(value: u64) -> Self {
+        Addr(value)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.value(), 0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(Addr::from(0xdead_beefu64), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(0x100);
+        assert_eq!(a + 0x10, Addr::new(0x110));
+        assert_eq!(a - 0x10, Addr::new(0xf0));
+        assert_eq!((a + 8).offset_from(a), 8);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b, Addr::new(0x104));
+    }
+
+    #[test]
+    fn null_checks() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(1).is_null());
+        assert!(Addr::default().is_null());
+    }
+
+    #[test]
+    fn display_and_hex() {
+        let a = Addr::new(0x1a2b);
+        assert_eq!(format!("{a}"), "0x1a2b");
+        assert_eq!(format!("{a:x}"), "1a2b");
+        assert_eq!(format!("{a:X}"), "1A2B");
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(Addr::new(u64::MAX).checked_add(1), None);
+        assert_eq!(Addr::new(1).checked_add(1), Some(Addr::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset_from")]
+    fn offset_from_panics_when_negative() {
+        let _ = Addr::new(0).offset_from(Addr::new(1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Addr::new(1) < Addr::new(2));
+    }
+}

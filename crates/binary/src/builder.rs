@@ -1,0 +1,660 @@
+//! Assembly and layout of [`BinaryImage`]s.
+//!
+//! [`ImageBuilder`] plays the role of assembler + linker: callers emit
+//! instructions with *symbolic* targets (function handles, vtable handles,
+//! local labels); [`ImageBuilder::finish`] lays everything out, resolves the
+//! symbolic references and encodes the final byte image.
+
+use std::collections::HashMap;
+
+use crate::{
+    encode_instr, encoded_len, Addr, BinaryImage, Instr, Reg, RttiRecord, Section,
+    SectionKind, Symbol, SymbolTable, WORD_SIZE,
+};
+
+/// Load address of the text section.
+pub const TEXT_BASE: Addr = Addr::new(0x1000);
+
+/// Handle to a function being built; resolves to its entry address at
+/// [`ImageBuilder::finish`] time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionHandle(pub(crate) usize);
+
+/// Handle to a vtable being built; resolves to its rodata address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VtableHandle(pub(crate) usize);
+
+/// A local branch label inside the function currently being built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Clone, Debug)]
+enum Pending {
+    Concrete(Instr),
+    /// `call <fn>` with the callee address patched in later.
+    CallFn(FunctionHandle),
+    /// `mov dst, <addr of fn>` — function-pointer materialization.
+    MovFnAddr(Reg, FunctionHandle),
+    /// `mov dst, <addr of vtable>` — the vtable-pointer store idiom.
+    MovVtAddr(Reg, VtableHandle),
+    /// `jmp <label>`.
+    JmpLabel(Label),
+    /// `bnz cond, <label>`.
+    BranchLabel(Reg, Label),
+}
+
+impl Pending {
+    fn len(&self) -> usize {
+        match self {
+            Pending::Concrete(i) => encoded_len(i),
+            Pending::CallFn(_) => encoded_len(&Instr::Call { target: Addr::NULL }),
+            Pending::MovFnAddr(r, _) | Pending::MovVtAddr(r, _) => {
+                encoded_len(&Instr::MovImm { dst: *r, imm: 0 })
+            }
+            Pending::JmpLabel(_) => encoded_len(&Instr::Jmp { target: Addr::NULL }),
+            Pending::BranchLabel(c, _) => {
+                encoded_len(&Instr::Branch { cond: *c, target: Addr::NULL })
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PendingFunction {
+    name: String,
+    instrs: Vec<Pending>,
+    finished: bool,
+}
+
+#[derive(Clone, Debug)]
+struct PendingVtable {
+    name: String,
+    slots: Vec<FunctionHandle>,
+}
+
+#[derive(Clone, Debug)]
+struct PendingRtti {
+    vtable: VtableHandle,
+    class_name: String,
+    ancestors: Vec<VtableHandle>,
+}
+
+/// Final addresses assigned by [`ImageBuilder::finish_with_layout`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Layout {
+    /// Entry address of each function, indexed by handle order.
+    pub function_addrs: Vec<Addr>,
+    /// Address of slot 0 of each vtable, indexed by handle order.
+    pub vtable_addrs: Vec<Addr>,
+}
+
+impl Layout {
+    /// Address of a function.
+    pub fn function(&self, h: FunctionHandle) -> Addr {
+        self.function_addrs[h.0]
+    }
+
+    /// Address of a vtable.
+    pub fn vtable(&self, h: VtableHandle) -> Addr {
+        self.vtable_addrs[h.0]
+    }
+}
+
+/// Incrementally builds a [`BinaryImage`].
+///
+/// # Example
+///
+/// ```
+/// use rock_binary::{ImageBuilder, Instr, Reg};
+/// let mut b = ImageBuilder::new();
+/// let callee = b.begin_function("callee");
+/// b.push(Instr::Enter { frame: 0 });
+/// b.push(Instr::Ret);
+/// b.end_function();
+///
+/// let caller = b.begin_function("caller");
+/// b.push(Instr::Enter { frame: 0 });
+/// b.push_call(callee);
+/// b.push(Instr::Ret);
+/// b.end_function();
+///
+/// let vt = b.add_vtable("vtable for A", vec![callee]);
+/// let (image, layout) = b.finish_with_layout();
+/// assert_eq!(image.read_word(layout.vtable(vt)), Some(layout.function(callee).value()));
+/// let _ = caller;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ImageBuilder {
+    functions: Vec<PendingFunction>,
+    vtables: Vec<PendingVtable>,
+    rtti: Vec<PendingRtti>,
+    rodata_blobs: Vec<(usize, Vec<u8>)>, // (insertion order among vtables, bytes)
+    current: Option<usize>,
+    labels: Vec<Option<(usize, usize)>>, // (function index, instruction index)
+    emit_symbols: bool,
+}
+
+impl ImageBuilder {
+    /// Creates an empty builder that emits a symbol table.
+    pub fn new() -> Self {
+        ImageBuilder { emit_symbols: true, ..ImageBuilder::default() }
+    }
+
+    /// Disables symbol emission (produces an unsymbolized image directly).
+    pub fn without_symbols(mut self) -> Self {
+        self.emit_symbols = false;
+        self
+    }
+
+    /// Declares a function without opening it for body emission. Use
+    /// [`ImageBuilder::begin_declared`] later to provide the body. This
+    /// enables forward references (mutually-recursive calls).
+    pub fn declare_function(&mut self, name: impl Into<String>) -> FunctionHandle {
+        let h = FunctionHandle(self.functions.len());
+        self.functions.push(PendingFunction {
+            name: name.into(),
+            instrs: Vec::new(),
+            finished: false,
+        });
+        h
+    }
+
+    /// Opens a previously declared function for body emission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another function is open or the function already has a
+    /// body.
+    pub fn begin_declared(&mut self, h: FunctionHandle) {
+        assert!(self.current.is_none(), "begin_declared: previous function still open");
+        let f = &self.functions[h.0];
+        assert!(
+            !f.finished && f.instrs.is_empty(),
+            "begin_declared: function {:?} already defined",
+            f.name
+        );
+        self.current = Some(h.0);
+    }
+
+    /// Starts a new function (declare + open in one step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another function is still open.
+    pub fn begin_function(&mut self, name: impl Into<String>) -> FunctionHandle {
+        assert!(self.current.is_none(), "begin_function: previous function still open");
+        let h = self.declare_function(name);
+        self.current = Some(h.0);
+        h
+    }
+
+    /// Ends the currently open function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is open, the function is empty, or its last
+    /// instruction can fall through (functions must end with a terminator).
+    pub fn end_function(&mut self) {
+        let idx = self.current.take().expect("end_function: no open function");
+        let f = &mut self.functions[idx];
+        assert!(!f.instrs.is_empty(), "end_function: empty function {:?}", f.name);
+        let last_ok = match f.instrs.last().expect("non-empty") {
+            Pending::Concrete(i) => !i.falls_through(),
+            Pending::JmpLabel(_) => true,
+            _ => false,
+        };
+        assert!(last_ok, "end_function: function {:?} does not end with ret/jmp/halt", f.name);
+        f.finished = true;
+    }
+
+    fn current_mut(&mut self) -> &mut PendingFunction {
+        let idx = self.current.expect("no open function");
+        &mut self.functions[idx]
+    }
+
+    /// Appends a concrete instruction to the open function.
+    pub fn push(&mut self, instr: Instr) {
+        self.current_mut().instrs.push(Pending::Concrete(instr));
+    }
+
+    /// Appends a direct call to another function.
+    pub fn push_call(&mut self, callee: FunctionHandle) {
+        self.current_mut().instrs.push(Pending::CallFn(callee));
+    }
+
+    /// Appends `mov dst, <address of callee>`.
+    pub fn push_mov_fn_addr(&mut self, dst: Reg, callee: FunctionHandle) {
+        self.current_mut().instrs.push(Pending::MovFnAddr(dst, callee));
+    }
+
+    /// Appends `mov dst, <address of vtable>` — the first half of the
+    /// vtable-pointer store idiom.
+    pub fn push_mov_vtable_addr(&mut self, dst: Reg, vtable: VtableHandle) {
+        self.current_mut().instrs.push(Pending::MovVtAddr(dst, vtable));
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.labels.len());
+        self.labels.push(None);
+        l
+    }
+
+    /// Binds `label` to the next instruction of the open function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind_label(&mut self, label: Label) {
+        let idx = self.current.expect("bind_label: no open function");
+        let at = self.functions[idx].instrs.len();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "bind_label: label bound twice");
+        *slot = Some((idx, at));
+    }
+
+    /// Appends `jmp label`.
+    pub fn push_jmp(&mut self, label: Label) {
+        self.current_mut().instrs.push(Pending::JmpLabel(label));
+    }
+
+    /// Appends `bnz cond, label`.
+    pub fn push_branch(&mut self, cond: Reg, label: Label) {
+        self.current_mut().instrs.push(Pending::BranchLabel(cond, label));
+    }
+
+    /// Adds a vtable whose slots point at the given functions.
+    pub fn add_vtable(
+        &mut self,
+        name: impl Into<String>,
+        slots: Vec<FunctionHandle>,
+    ) -> VtableHandle {
+        let h = VtableHandle(self.vtables.len());
+        self.vtables.push(PendingVtable { name: name.into(), slots });
+        h
+    }
+
+    /// Adds an RTTI record for `vtable` (ancestors immediate-parent first).
+    pub fn add_rtti(
+        &mut self,
+        vtable: VtableHandle,
+        class_name: impl Into<String>,
+        ancestors: Vec<VtableHandle>,
+    ) {
+        self.rtti.push(PendingRtti { vtable, class_name: class_name.into(), ancestors });
+    }
+
+    /// Appends raw bytes into rodata *before* vtable `before_vtable_index`
+    /// (use `usize::MAX` to place after all vtables). Used to model string
+    /// literals and other non-vtable rodata noise.
+    pub fn add_rodata_blob(&mut self, before_vtable_index: usize, bytes: Vec<u8>) {
+        self.rodata_blobs.push((before_vtable_index, bytes));
+    }
+
+    /// Number of functions added so far.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of vtables added so far.
+    pub fn vtable_count(&self) -> usize {
+        self.vtables.len()
+    }
+
+    /// Lays out and encodes the final image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function is still open, a referenced label is unbound, or
+    /// a function body was never finished.
+    pub fn finish(self) -> BinaryImage {
+        self.finish_with_layout().0
+    }
+
+    /// Like [`ImageBuilder::finish`], but also returns the assigned
+    /// addresses.
+    pub fn finish_with_layout(self) -> (BinaryImage, Layout) {
+        assert!(self.current.is_none(), "finish: a function is still open");
+        for f in &self.functions {
+            assert!(f.finished, "finish: function {:?} was never ended", f.name);
+        }
+
+        // Pass 1: function layout.
+        let mut function_addrs = Vec::with_capacity(self.functions.len());
+        let mut cursor = TEXT_BASE;
+        for f in &self.functions {
+            function_addrs.push(cursor);
+            let size: usize = f.instrs.iter().map(Pending::len).sum();
+            cursor += size as u64;
+        }
+        let text_end = cursor;
+
+        // Label addresses.
+        let mut label_addrs: HashMap<usize, Addr> = HashMap::new();
+        for (li, pos) in self.labels.iter().enumerate() {
+            if let Some((fi, ii)) = pos {
+                let f = &self.functions[*fi];
+                let prefix: usize = f.instrs[..*ii].iter().map(Pending::len).sum();
+                label_addrs.insert(li, function_addrs[*fi] + prefix as u64);
+            }
+        }
+
+        // Rodata layout: blobs scheduled before a vtable index, then that
+        // vtable, 8-byte aligned.
+        let rodata_base = Addr::new((text_end.value() + 0xfff) & !0xfff);
+        let mut ro_bytes: Vec<u8> = Vec::new();
+        let mut vtable_addrs = vec![Addr::NULL; self.vtables.len()];
+        let emit_blobs = |ro_bytes: &mut Vec<u8>, idx: usize| {
+            for (before, bytes) in &self.rodata_blobs {
+                if *before == idx {
+                    ro_bytes.extend_from_slice(bytes);
+                }
+            }
+        };
+        for (vi, vt) in self.vtables.iter().enumerate() {
+            emit_blobs(&mut ro_bytes, vi);
+            while ro_bytes.len() % WORD_SIZE as usize != 0 {
+                ro_bytes.push(0);
+            }
+            vtable_addrs[vi] = rodata_base + ro_bytes.len() as u64;
+            for slot in &vt.slots {
+                let target = function_addrs[slot.0];
+                ro_bytes.extend_from_slice(&target.value().to_le_bytes());
+            }
+        }
+        emit_blobs(&mut ro_bytes, usize::MAX);
+
+        // Pass 2: encode text with resolved targets.
+        let mut text_bytes = Vec::new();
+        for f in &self.functions {
+            for p in &f.instrs {
+                let concrete = match p {
+                    Pending::Concrete(i) => *i,
+                    Pending::CallFn(h) => Instr::Call { target: function_addrs[h.0] },
+                    Pending::MovFnAddr(r, h) => {
+                        Instr::MovImm { dst: *r, imm: function_addrs[h.0].value() }
+                    }
+                    Pending::MovVtAddr(r, h) => {
+                        Instr::MovImm { dst: *r, imm: vtable_addrs[h.0].value() }
+                    }
+                    Pending::JmpLabel(l) => Instr::Jmp {
+                        target: *label_addrs
+                            .get(&l.0)
+                            .unwrap_or_else(|| panic!("unbound label in {:?}", f.name)),
+                    },
+                    Pending::BranchLabel(c, l) => Instr::Branch {
+                        cond: *c,
+                        target: *label_addrs
+                            .get(&l.0)
+                            .unwrap_or_else(|| panic!("unbound label in {:?}", f.name)),
+                    },
+                };
+                encode_instr(&concrete, &mut text_bytes);
+            }
+        }
+        debug_assert_eq!(
+            text_bytes.len() as u64,
+            text_end.offset_from(TEXT_BASE),
+            "layout size mismatch"
+        );
+
+        let sections = vec![
+            Section::new(SectionKind::Text, TEXT_BASE, text_bytes),
+            Section::new(SectionKind::RoData, rodata_base, ro_bytes),
+        ];
+
+        let mut symbols = SymbolTable::new();
+        if self.emit_symbols {
+            for (f, addr) in self.functions.iter().zip(&function_addrs) {
+                symbols.insert(Symbol::new(*addr, f.name.clone()));
+            }
+            for (vt, addr) in self.vtables.iter().zip(&vtable_addrs) {
+                symbols.insert(Symbol::new(*addr, vt.name.clone()));
+            }
+        }
+
+        let rtti = self
+            .rtti
+            .iter()
+            .map(|r| RttiRecord {
+                vtable: vtable_addrs[r.vtable.0],
+                class_name: r.class_name.clone(),
+                ancestors: r.ancestors.iter().map(|a| vtable_addrs[a.0]).collect(),
+            })
+            .collect();
+
+        let layout = Layout { function_addrs, vtable_addrs };
+        (BinaryImage::with_debug_info(sections, symbols, rtti), layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode_instr;
+
+    fn leaf(b: &mut ImageBuilder, name: &str) -> FunctionHandle {
+        let h = b.begin_function(name);
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        h
+    }
+
+    #[test]
+    fn empty_builder_finishes() {
+        let (image, layout) = ImageBuilder::new().finish_with_layout();
+        assert!(layout.function_addrs.is_empty());
+        assert_eq!(image.section(SectionKind::Text).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_function_layout() {
+        let mut b = ImageBuilder::new();
+        let f = leaf(&mut b, "f");
+        let (image, layout) = b.finish_with_layout();
+        assert_eq!(layout.function(f), TEXT_BASE);
+        let text = image.section(SectionKind::Text).unwrap();
+        let (i0, n0) = decode_instr(text.bytes(), TEXT_BASE).unwrap();
+        assert_eq!(i0, Instr::Enter { frame: 0 });
+        let (i1, _) = decode_instr(&text.bytes()[n0..], TEXT_BASE + n0 as u64).unwrap();
+        assert_eq!(i1, Instr::Ret);
+    }
+
+    #[test]
+    fn call_resolution() {
+        let mut b = ImageBuilder::new();
+        let callee = leaf(&mut b, "callee");
+        b.begin_function("caller");
+        b.push(Instr::Enter { frame: 0 });
+        b.push_call(callee);
+        b.push(Instr::Ret);
+        b.end_function();
+        let (image, layout) = b.finish_with_layout();
+        let text = image.section(SectionKind::Text).unwrap();
+        // Decode the whole stream and find the call.
+        let mut pos = 0usize;
+        let mut found = false;
+        while pos < text.len() {
+            let (i, n) = decode_instr(&text.bytes()[pos..], text.base() + pos as u64).unwrap();
+            if let Instr::Call { target } = i {
+                assert_eq!(target, layout.function(callee));
+                found = true;
+            }
+            pos += n;
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn vtable_slots_point_to_functions() {
+        let mut b = ImageBuilder::new();
+        let f0 = leaf(&mut b, "A::m0");
+        let f1 = leaf(&mut b, "A::m1");
+        let vt = b.add_vtable("vtable for A", vec![f0, f1]);
+        let (image, layout) = b.finish_with_layout();
+        let base = layout.vtable(vt);
+        assert_eq!(image.read_word(base), Some(layout.function(f0).value()));
+        assert_eq!(image.read_word(base + 8), Some(layout.function(f1).value()));
+        assert!(image.in_section(base, SectionKind::RoData));
+    }
+
+    #[test]
+    fn mov_vtable_addr_materializes_rodata_address() {
+        let mut b = ImageBuilder::new();
+        let f0 = leaf(&mut b, "m");
+        let vt = b.add_vtable("vt", vec![f0]);
+        b.begin_function("ctor");
+        b.push(Instr::Enter { frame: 0 });
+        b.push_mov_vtable_addr(Reg::R1, vt);
+        b.push(Instr::Store { base: Reg::R0, offset: 0, src: Reg::R1 });
+        b.push(Instr::Ret);
+        b.end_function();
+        let (image, layout) = b.finish_with_layout();
+        let text = image.section(SectionKind::Text).unwrap();
+        let mut pos = 0usize;
+        let mut seen = false;
+        while pos < text.len() {
+            let (i, n) = decode_instr(&text.bytes()[pos..], text.base() + pos as u64).unwrap();
+            if let Instr::MovImm { imm, .. } = i {
+                if imm == layout.vtable(vt).value() {
+                    seen = true;
+                }
+            }
+            pos += n;
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ImageBuilder::new();
+        b.begin_function("loopy");
+        let top = b.new_label();
+        let out = b.new_label();
+        b.push(Instr::Enter { frame: 0 });
+        b.bind_label(top);
+        b.push_branch(Reg::R1, out);
+        b.push_jmp(top);
+        b.bind_label(out);
+        b.push(Instr::Ret);
+        b.end_function();
+        let (image, _) = b.finish_with_layout();
+        let text = image.section(SectionKind::Text).unwrap();
+        let mut pos = 0usize;
+        let mut targets = Vec::new();
+        let mut addrs = Vec::new();
+        while pos < text.len() {
+            let at = text.base() + pos as u64;
+            let (i, n) = decode_instr(&text.bytes()[pos..], at).unwrap();
+            addrs.push(at);
+            match i {
+                Instr::Branch { target, .. } | Instr::Jmp { target } => targets.push(target),
+                _ => {}
+            }
+            pos += n;
+        }
+        // Branch targets the ret; jmp targets the branch itself.
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[1], addrs[1]); // backward jmp to `top`
+        assert_eq!(targets[0], addrs[3]); // forward branch to `out`
+    }
+
+    #[test]
+    fn symbols_and_rtti() {
+        let mut b = ImageBuilder::new();
+        let f = leaf(&mut b, "B::m");
+        let vt_a = b.add_vtable("vtable for A", vec![f]);
+        let vt_b = b.add_vtable("vtable for B", vec![f]);
+        b.add_rtti(vt_a, "A", vec![]);
+        b.add_rtti(vt_b, "B", vec![vt_a]);
+        let (image, layout) = b.finish_with_layout();
+        assert_eq!(image.symbols().by_name("B::m").unwrap().addr, layout.function(f));
+        let rec = image.rtti_for(layout.vtable(vt_b)).unwrap();
+        assert_eq!(rec.class_name, "B");
+        assert_eq!(rec.parent(), Some(layout.vtable(vt_a)));
+    }
+
+    #[test]
+    fn without_symbols() {
+        let mut b = ImageBuilder::new().without_symbols();
+        leaf(&mut b, "f");
+        let image = b.finish();
+        assert!(image.symbols().is_empty());
+    }
+
+    #[test]
+    fn rodata_blob_padding_keeps_vtables_aligned() {
+        let mut b = ImageBuilder::new();
+        let f = leaf(&mut b, "f");
+        b.add_rodata_blob(0, vec![1, 2, 3]); // 3 bytes, forces padding
+        let vt = b.add_vtable("vt", vec![f]);
+        let (image, layout) = b.finish_with_layout();
+        assert_eq!(layout.vtable(vt).value() % 8, 0);
+        assert_eq!(image.read_word(layout.vtable(vt)), Some(layout.function(f).value()));
+    }
+
+    #[test]
+    fn forward_declared_mutual_calls() {
+        let mut b = ImageBuilder::new();
+        let f = b.declare_function("f");
+        let g = b.declare_function("g");
+        b.begin_declared(f);
+        b.push(Instr::Enter { frame: 0 });
+        b.push_call(g);
+        b.push(Instr::Ret);
+        b.end_function();
+        b.begin_declared(g);
+        b.push(Instr::Enter { frame: 0 });
+        b.push_call(f);
+        b.push(Instr::Ret);
+        b.end_function();
+        let (image, layout) = b.finish_with_layout();
+        let text = image.section(SectionKind::Text).unwrap();
+        let mut pos = 0;
+        let mut calls = Vec::new();
+        while pos < text.len() {
+            let (i, n) = decode_instr(&text.bytes()[pos..], text.base() + pos as u64).unwrap();
+            if let Instr::Call { target } = i {
+                calls.push(target);
+            }
+            pos += n;
+        }
+        assert_eq!(calls, vec![layout.function(g), layout.function(f)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never ended")]
+    fn declared_but_undefined_function_panics() {
+        let mut b = ImageBuilder::new();
+        b.declare_function("ghost");
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_definition_panics() {
+        let mut b = ImageBuilder::new();
+        let f = b.begin_function("f");
+        b.push(Instr::Ret);
+        b.end_function();
+        b.begin_declared(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not end with")]
+    fn unterminated_function_panics() {
+        let mut b = ImageBuilder::new();
+        b.begin_function("bad");
+        b.push(Instr::Nop);
+        b.end_function();
+    }
+
+    #[test]
+    #[should_panic(expected = "previous function still open")]
+    fn nested_begin_panics() {
+        let mut b = ImageBuilder::new();
+        b.begin_function("a");
+        b.begin_function("b");
+    }
+}

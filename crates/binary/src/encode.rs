@@ -1,0 +1,347 @@
+//! Byte encoding and decoding (the "assembler" and "disassembler") for the
+//! substrate ISA.
+//!
+//! Every instruction is encoded as one opcode byte followed by fixed-width
+//! little-endian operands. [`decode_instr`] is the inverse of
+//! [`encode_instr`]; the loader crate uses it to disassemble text sections.
+
+use crate::{Addr, BinOp, DecodeError, Instr, Reg};
+
+// Opcode space. Keep stable: encoded images embed these.
+const OP_ENTER: u8 = 0x01;
+const OP_RET: u8 = 0x02;
+const OP_MOV_IMM: u8 = 0x03;
+const OP_MOV_REG: u8 = 0x04;
+const OP_LOAD: u8 = 0x05;
+const OP_STORE: u8 = 0x06;
+const OP_LEA: u8 = 0x07;
+const OP_CALL: u8 = 0x08;
+const OP_CALL_REG: u8 = 0x09;
+const OP_JMP: u8 = 0x0a;
+const OP_BRANCH: u8 = 0x0b;
+const OP_BINOP: u8 = 0x0c;
+const OP_NOP: u8 = 0x0d;
+const OP_HALT: u8 = 0x0e;
+
+/// Appends the encoding of `instr` to `out` and returns the number of bytes
+/// written.
+///
+/// # Example
+///
+/// ```
+/// use rock_binary::{encode_instr, decode_instr, Instr, Reg, Addr};
+/// let mut buf = Vec::new();
+/// let n = encode_instr(&Instr::MovImm { dst: Reg::R1, imm: 7 }, &mut buf);
+/// let (decoded, len) = decode_instr(&buf, Addr::new(0)).unwrap();
+/// assert_eq!(len, n);
+/// assert_eq!(decoded, Instr::MovImm { dst: Reg::R1, imm: 7 });
+/// ```
+pub fn encode_instr(instr: &Instr, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    match instr {
+        Instr::Enter { frame } => {
+            out.push(OP_ENTER);
+            out.extend_from_slice(&frame.to_le_bytes());
+        }
+        Instr::Ret => out.push(OP_RET),
+        Instr::MovImm { dst, imm } => {
+            out.push(OP_MOV_IMM);
+            out.push(dst.index());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Instr::MovReg { dst, src } => {
+            out.push(OP_MOV_REG);
+            out.push(dst.index());
+            out.push(src.index());
+        }
+        Instr::Load { dst, base, offset } => {
+            out.push(OP_LOAD);
+            out.push(dst.index());
+            out.push(base.index());
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Instr::Store { base, offset, src } => {
+            out.push(OP_STORE);
+            out.push(base.index());
+            out.push(src.index());
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Instr::Lea { dst, base, offset } => {
+            out.push(OP_LEA);
+            out.push(dst.index());
+            out.push(base.index());
+            out.extend_from_slice(&offset.to_le_bytes());
+        }
+        Instr::Call { target } => {
+            out.push(OP_CALL);
+            out.extend_from_slice(&target.value().to_le_bytes());
+        }
+        Instr::CallReg { target } => {
+            out.push(OP_CALL_REG);
+            out.push(target.index());
+        }
+        Instr::Jmp { target } => {
+            out.push(OP_JMP);
+            out.extend_from_slice(&target.value().to_le_bytes());
+        }
+        Instr::Branch { cond, target } => {
+            out.push(OP_BRANCH);
+            out.push(cond.index());
+            out.extend_from_slice(&target.value().to_le_bytes());
+        }
+        Instr::BinOp { op, dst, lhs, rhs } => {
+            out.push(OP_BINOP);
+            out.push(op.code());
+            out.push(dst.index());
+            out.push(lhs.index());
+            out.push(rhs.index());
+        }
+        Instr::Nop => out.push(OP_NOP),
+        Instr::Halt => out.push(OP_HALT),
+    }
+    out.len() - start
+}
+
+/// Returns the encoded length of `instr` in bytes without encoding it.
+pub fn encoded_len(instr: &Instr) -> usize {
+    match instr {
+        Instr::Enter { .. } => 3,
+        Instr::Ret | Instr::Nop | Instr::Halt => 1,
+        Instr::MovImm { .. } => 10,
+        Instr::MovReg { .. } => 3,
+        Instr::Load { .. } | Instr::Lea { .. } | Instr::Store { .. } => 7,
+        Instr::Call { .. } | Instr::Jmp { .. } => 9,
+        Instr::CallReg { .. } => 2,
+        Instr::Branch { .. } => 10,
+        Instr::BinOp { .. } => 5,
+    }
+}
+
+fn need(bytes: &[u8], n: usize, at: Addr) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError::Truncated { at })
+    } else {
+        Ok(())
+    }
+}
+
+fn reg(byte: u8, at: Addr) -> Result<Reg, DecodeError> {
+    Reg::from_index(byte).ok_or(DecodeError::BadRegister { at, index: byte })
+}
+
+fn read_u16(bytes: &[u8]) -> u16 {
+    u16::from_le_bytes([bytes[0], bytes[1]])
+}
+
+fn read_i32(bytes: &[u8]) -> i32 {
+    i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+fn read_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes([
+        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+    ])
+}
+
+/// Decodes one instruction from the front of `bytes`.
+///
+/// `at` is the address of `bytes[0]`, used only for error reporting.
+/// On success returns the instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated, the opcode is
+/// unknown, or an operand is out of range.
+pub fn decode_instr(bytes: &[u8], at: Addr) -> Result<(Instr, usize), DecodeError> {
+    need(bytes, 1, at)?;
+    let opcode = bytes[0];
+    let rest = &bytes[1..];
+    match opcode {
+        OP_ENTER => {
+            need(rest, 2, at)?;
+            Ok((Instr::Enter { frame: read_u16(rest) }, 3))
+        }
+        OP_RET => Ok((Instr::Ret, 1)),
+        OP_MOV_IMM => {
+            need(rest, 9, at)?;
+            Ok((
+                Instr::MovImm { dst: reg(rest[0], at)?, imm: read_u64(&rest[1..9]) },
+                10,
+            ))
+        }
+        OP_MOV_REG => {
+            need(rest, 2, at)?;
+            Ok((
+                Instr::MovReg { dst: reg(rest[0], at)?, src: reg(rest[1], at)? },
+                3,
+            ))
+        }
+        OP_LOAD => {
+            need(rest, 6, at)?;
+            Ok((
+                Instr::Load {
+                    dst: reg(rest[0], at)?,
+                    base: reg(rest[1], at)?,
+                    offset: read_i32(&rest[2..6]),
+                },
+                7,
+            ))
+        }
+        OP_STORE => {
+            need(rest, 6, at)?;
+            Ok((
+                Instr::Store {
+                    base: reg(rest[0], at)?,
+                    src: reg(rest[1], at)?,
+                    offset: read_i32(&rest[2..6]),
+                },
+                7,
+            ))
+        }
+        OP_LEA => {
+            need(rest, 6, at)?;
+            Ok((
+                Instr::Lea {
+                    dst: reg(rest[0], at)?,
+                    base: reg(rest[1], at)?,
+                    offset: read_i32(&rest[2..6]),
+                },
+                7,
+            ))
+        }
+        OP_CALL => {
+            need(rest, 8, at)?;
+            Ok((Instr::Call { target: Addr::new(read_u64(rest)) }, 9))
+        }
+        OP_CALL_REG => {
+            need(rest, 1, at)?;
+            Ok((Instr::CallReg { target: reg(rest[0], at)? }, 2))
+        }
+        OP_JMP => {
+            need(rest, 8, at)?;
+            Ok((Instr::Jmp { target: Addr::new(read_u64(rest)) }, 9))
+        }
+        OP_BRANCH => {
+            need(rest, 9, at)?;
+            Ok((
+                Instr::Branch {
+                    cond: reg(rest[0], at)?,
+                    target: Addr::new(read_u64(&rest[1..9])),
+                },
+                10,
+            ))
+        }
+        OP_BINOP => {
+            need(rest, 4, at)?;
+            let op = BinOp::from_code(rest[0])
+                .ok_or(DecodeError::BadBinOp { at, code: rest[0] })?;
+            Ok((
+                Instr::BinOp {
+                    op,
+                    dst: reg(rest[1], at)?,
+                    lhs: reg(rest[2], at)?,
+                    rhs: reg(rest[3], at)?,
+                },
+                5,
+            ))
+        }
+        OP_NOP => Ok((Instr::Nop, 1)),
+        OP_HALT => Ok((Instr::Halt, 1)),
+        other => Err(DecodeError::BadOpcode { at, opcode: other }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        vec![
+            Instr::Enter { frame: 64 },
+            Instr::Ret,
+            Instr::MovImm { dst: Reg::R3, imm: 0xdead_beef_cafe },
+            Instr::MovReg { dst: Reg::R1, src: Reg::R2 },
+            Instr::Load { dst: Reg::R4, base: Reg::R0, offset: 16 },
+            Instr::Store { base: Reg::R0, offset: -8, src: Reg::R5 },
+            Instr::Lea { dst: Reg::R6, base: Reg::SP, offset: 24 },
+            Instr::Call { target: Addr::new(0x4000) },
+            Instr::CallReg { target: Reg::R7 },
+            Instr::Jmp { target: Addr::new(0x4100) },
+            Instr::Branch { cond: Reg::R8, target: Addr::new(0x4200) },
+            Instr::BinOp { op: BinOp::Xor, dst: Reg::R9, lhs: Reg::R10, rhs: Reg::R11 },
+            Instr::Nop,
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_instrs() {
+        for instr in sample_instrs() {
+            let mut buf = Vec::new();
+            let n = encode_instr(&instr, &mut buf);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, encoded_len(&instr), "encoded_len mismatch for {instr}");
+            let (decoded, len) = decode_instr(&buf, Addr::new(0)).unwrap();
+            assert_eq!(len, n);
+            assert_eq!(decoded, instr);
+        }
+    }
+
+    #[test]
+    fn roundtrip_stream() {
+        let instrs = sample_instrs();
+        let mut buf = Vec::new();
+        for i in &instrs {
+            encode_instr(i, &mut buf);
+        }
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < buf.len() {
+            let (i, n) = decode_instr(&buf[pos..], Addr::new(pos as u64)).unwrap();
+            out.push(i);
+            pos += n;
+        }
+        assert_eq!(out, instrs);
+    }
+
+    #[test]
+    fn truncated_stream() {
+        let mut buf = Vec::new();
+        encode_instr(&Instr::MovImm { dst: Reg::R0, imm: 1 }, &mut buf);
+        let err = decode_instr(&buf[..4], Addr::new(0x99)).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { at: Addr::new(0x99) });
+        assert!(decode_instr(&[], Addr::new(0)).is_err());
+    }
+
+    #[test]
+    fn bad_opcode() {
+        let err = decode_instr(&[0xf7], Addr::new(1)).unwrap_err();
+        assert_eq!(err, DecodeError::BadOpcode { at: Addr::new(1), opcode: 0xf7 });
+        // 0x00 is deliberately not a valid opcode so zero-filled data
+        // does not decode as code.
+        assert!(decode_instr(&[0x00], Addr::new(0)).is_err());
+    }
+
+    #[test]
+    fn bad_register() {
+        // MovReg with register index 16.
+        let err = decode_instr(&[super::OP_MOV_REG, 16, 0], Addr::new(0)).unwrap_err();
+        assert_eq!(err, DecodeError::BadRegister { at: Addr::new(0), index: 16 });
+    }
+
+    #[test]
+    fn bad_binop_code() {
+        let err =
+            decode_instr(&[super::OP_BINOP, 99, 0, 1, 2], Addr::new(0)).unwrap_err();
+        assert_eq!(err, DecodeError::BadBinOp { at: Addr::new(0), code: 99 });
+    }
+
+    #[test]
+    fn negative_offsets_roundtrip() {
+        let instr = Instr::Load { dst: Reg::R0, base: Reg::SP, offset: -128 };
+        let mut buf = Vec::new();
+        encode_instr(&instr, &mut buf);
+        let (decoded, _) = decode_instr(&buf, Addr::new(0)).unwrap();
+        assert_eq!(decoded, instr);
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Addr;
+
+/// An error produced while decoding bytes into an instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended in the middle of an instruction.
+    Truncated {
+        /// Address the decode started at.
+        at: Addr,
+    },
+    /// The opcode byte is not a valid instruction.
+    BadOpcode {
+        /// Address of the offending byte.
+        at: Addr,
+        /// The opcode byte found.
+        opcode: u8,
+    },
+    /// A register operand is out of range.
+    BadRegister {
+        /// Address of the instruction.
+        at: Addr,
+        /// The register index found.
+        index: u8,
+    },
+    /// A [`BinOp`](crate::BinOp) discriminant is out of range.
+    BadBinOp {
+        /// Address of the instruction.
+        at: Addr,
+        /// The discriminant found.
+        code: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => {
+                write!(f, "truncated instruction at {at}")
+            }
+            DecodeError::BadOpcode { at, opcode } => {
+                write!(f, "invalid opcode {opcode:#04x} at {at}")
+            }
+            DecodeError::BadRegister { at, index } => {
+                write!(f, "invalid register index {index} at {at}")
+            }
+            DecodeError::BadBinOp { at, code } => {
+                write!(f, "invalid binary-op code {code} at {at}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let at = Addr::new(0x10);
+        assert_eq!(
+            DecodeError::Truncated { at }.to_string(),
+            "truncated instruction at 0x10"
+        );
+        assert_eq!(
+            DecodeError::BadOpcode { at, opcode: 0xff }.to_string(),
+            "invalid opcode 0xff at 0x10"
+        );
+        assert_eq!(
+            DecodeError::BadRegister { at, index: 99 }.to_string(),
+            "invalid register index 99 at 0x10"
+        );
+        assert_eq!(
+            DecodeError::BadBinOp { at, code: 42 }.to_string(),
+            "invalid binary-op code 42 at 0x10"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<DecodeError>();
+    }
+}

@@ -1,0 +1,188 @@
+use std::fmt;
+
+use crate::{Addr, RttiRecord, Section, SectionKind, SymbolTable};
+
+/// A loaded binary image: sections, optional symbols, optional RTTI.
+///
+/// This is the sole input of the Rock pipeline. A **stripped** image has an
+/// empty [`SymbolTable`] and no RTTI records; the pipeline must work from
+/// bytes alone.
+///
+/// # Example
+///
+/// ```
+/// use rock_binary::{BinaryImage, Section, SectionKind, Addr};
+/// let image = BinaryImage::new(vec![
+///     Section::new(SectionKind::Text, Addr::new(0x1000), vec![0x02]),
+/// ]);
+/// assert!(image.is_stripped());
+/// assert!(image.in_section(Addr::new(0x1000), SectionKind::Text));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinaryImage {
+    sections: Vec<Section>,
+    symbols: SymbolTable,
+    rtti: Vec<RttiRecord>,
+}
+
+impl BinaryImage {
+    /// Creates an image from sections, with no symbols or RTTI.
+    pub fn new(sections: Vec<Section>) -> Self {
+        BinaryImage { sections, symbols: SymbolTable::new(), rtti: Vec::new() }
+    }
+
+    /// Creates an image with full debug information.
+    pub fn with_debug_info(
+        sections: Vec<Section>,
+        symbols: SymbolTable,
+        rtti: Vec<RttiRecord>,
+    ) -> Self {
+        BinaryImage { sections, symbols, rtti }
+    }
+
+    /// All sections.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// The first section of the given kind, if present.
+    pub fn section(&self, kind: SectionKind) -> Option<&Section> {
+        self.sections.iter().find(|s| s.kind() == kind)
+    }
+
+    /// The section containing `addr`, if any.
+    pub fn section_at(&self, addr: Addr) -> Option<&Section> {
+        self.sections.iter().find(|s| s.contains(addr))
+    }
+
+    /// Returns `true` if `addr` lies inside a section of kind `kind`.
+    pub fn in_section(&self, addr: Addr, kind: SectionKind) -> bool {
+        self.section_at(addr).is_some_and(|s| s.kind() == kind)
+    }
+
+    /// Reads a machine word at an arbitrary address, if mapped.
+    pub fn read_word(&self, addr: Addr) -> Option<u64> {
+        self.section_at(addr)?.read_word(addr)
+    }
+
+    /// Raw bytes from `addr` to the end of its section, if mapped.
+    pub fn bytes_at(&self, addr: Addr) -> Option<&[u8]> {
+        self.section_at(addr)?.bytes_at(addr)
+    }
+
+    /// The symbol table (empty for stripped binaries).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// RTTI records (empty for stripped binaries).
+    pub fn rtti(&self) -> &[RttiRecord] {
+        &self.rtti
+    }
+
+    /// The RTTI record describing the vtable at `vtable`, if present.
+    pub fn rtti_for(&self, vtable: Addr) -> Option<&RttiRecord> {
+        self.rtti.iter().find(|r| r.vtable == vtable)
+    }
+
+    /// Returns `true` if the image carries neither symbols nor RTTI.
+    pub fn is_stripped(&self) -> bool {
+        self.symbols.is_empty() && self.rtti.is_empty()
+    }
+
+    /// Removes all symbols and RTTI records, returning them.
+    ///
+    /// This models the `strip` step applied to release binaries. The
+    /// returned debug information is what the evaluation harness uses as
+    /// ground truth while the pipeline sees only the stripped image.
+    pub fn strip(&mut self) -> (SymbolTable, Vec<RttiRecord>) {
+        let symbols = std::mem::take(&mut self.symbols);
+        let rtti = std::mem::take(&mut self.rtti);
+        (symbols, rtti)
+    }
+
+    /// Total mapped size in bytes across all sections.
+    pub fn size(&self) -> usize {
+        self.sections.iter().map(Section::len).sum()
+    }
+}
+
+impl fmt::Display for BinaryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "binary image, {} bytes", self.size())?;
+        for s in &self.sections {
+            writeln!(f, "  {} {}..{} ({} bytes)", s.kind(), s.base(), s.end(), s.len())?;
+        }
+        if !self.symbols.is_empty() {
+            writeln!(f, "  {} symbols", self.symbols.len())?;
+        }
+        if !self.rtti.is_empty() {
+            writeln!(f, "  {} rtti records", self.rtti.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Symbol;
+
+    fn image() -> BinaryImage {
+        let text = Section::new(SectionKind::Text, Addr::new(0x1000), vec![0x02; 4]);
+        let mut ro = vec![0u8; 16];
+        ro[..8].copy_from_slice(&0x1000u64.to_le_bytes());
+        let rodata = Section::new(SectionKind::RoData, Addr::new(0x2000), ro);
+        let mut symbols = SymbolTable::new();
+        symbols.insert(Symbol::new(Addr::new(0x1000), "f"));
+        let rtti = vec![RttiRecord::root(Addr::new(0x2000), "A")];
+        BinaryImage::with_debug_info(vec![text, rodata], symbols, rtti)
+    }
+
+    #[test]
+    fn section_lookup() {
+        let img = image();
+        assert_eq!(img.section(SectionKind::Text).unwrap().base(), Addr::new(0x1000));
+        assert_eq!(img.section(SectionKind::RoData).unwrap().base(), Addr::new(0x2000));
+        assert!(img.section(SectionKind::Data).is_none());
+        assert!(img.in_section(Addr::new(0x1002), SectionKind::Text));
+        assert!(!img.in_section(Addr::new(0x1002), SectionKind::RoData));
+        assert!(img.section_at(Addr::new(0x5000)).is_none());
+    }
+
+    #[test]
+    fn word_reads_cross_section() {
+        let img = image();
+        assert_eq!(img.read_word(Addr::new(0x2000)), Some(0x1000));
+        assert_eq!(img.read_word(Addr::new(0x2008)), Some(0));
+        assert_eq!(img.read_word(Addr::new(0x9999)), None);
+    }
+
+    #[test]
+    fn strip_removes_debug_info() {
+        let mut img = image();
+        assert!(!img.is_stripped());
+        let (symbols, rtti) = img.strip();
+        assert!(img.is_stripped());
+        assert_eq!(symbols.len(), 1);
+        assert_eq!(rtti.len(), 1);
+        assert!(img.rtti_for(Addr::new(0x2000)).is_none());
+    }
+
+    #[test]
+    fn rtti_lookup() {
+        let img = image();
+        assert_eq!(img.rtti_for(Addr::new(0x2000)).unwrap().class_name, "A");
+        assert!(img.rtti_for(Addr::new(0x2008)).is_none());
+    }
+
+    #[test]
+    fn size_and_display() {
+        let img = image();
+        assert_eq!(img.size(), 20);
+        let text = img.to_string();
+        assert!(text.contains(".text"));
+        assert!(text.contains(".rodata"));
+        assert!(text.contains("1 symbols"));
+    }
+}

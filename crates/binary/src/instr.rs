@@ -1,0 +1,308 @@
+use std::fmt;
+
+use crate::{Addr, Reg};
+
+/// A binary arithmetic / comparison operation used by [`Instr::BinOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Lt,
+}
+
+impl BinOp {
+    /// All operations, in encoding order.
+    pub const ALL: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Eq,
+        BinOp::Lt,
+    ];
+
+    /// Encoding discriminant.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`BinOp::code`].
+    pub fn from_code(code: u8) -> Option<BinOp> {
+        BinOp::ALL.get(code as usize).copied()
+    }
+
+    /// Evaluates the operation over two machine words.
+    pub fn eval(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl(rhs as u32),
+            BinOp::Shr => lhs.wrapping_shr(rhs as u32),
+            BinOp::Eq => u64::from(lhs == rhs),
+            BinOp::Lt => u64::from(lhs < rhs),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Lt => "lt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A machine instruction of the substrate ISA.
+///
+/// The ISA is deliberately small but expresses every artifact the Rock
+/// analysis consumes:
+///
+/// * `MovImm` of a data-section address + `Store { offset: 0 }` — a
+///   **vtable-pointer assignment**, the signal used to identify typed
+///   objects (paper §3.2);
+/// * `Load` of a code pointer from a vtable slot + `CallReg` — a **virtual
+///   call** `C(i)`;
+/// * `Load`/`Store` at non-zero offsets — **field reads/writes** `R(i)`,
+///   `W(i)`;
+/// * `Call` — direct calls `call(f)` and argument events `Arg(i)`/`this`;
+/// * `Ret` — the `ret` event;
+/// * `Enter` — a prologue marker that doubles as the function-boundary
+///   signature recovered by the loader (the stripped-binary equivalent of
+///   recognizing `push ebp; mov ebp, esp`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Function prologue; `frame` is the stack-frame size in bytes.
+    Enter {
+        /// Stack frame size in bytes.
+        frame: u16,
+    },
+    /// Return from the current function (return value in `R0`).
+    Ret,
+    /// `dst <- imm`. Also used to materialize code/data addresses.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value (possibly an address).
+        imm: u64,
+    },
+    /// `dst <- src`.
+    MovReg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst <- mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `mem[base + offset] <- src`.
+    Store {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst <- base + offset` (address computation; e.g. stack objects,
+    /// multiple-inheritance `this` adjustment).
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Direct call to a code address.
+    Call {
+        /// Callee entry point.
+        target: Addr,
+    },
+    /// Indirect call through a register (virtual dispatch).
+    CallReg {
+        /// Register holding the callee address.
+        target: Reg,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Jump target.
+        target: Addr,
+    },
+    /// Conditional branch: taken if `cond != 0`, otherwise falls through.
+    Branch {
+        /// Condition register.
+        cond: Reg,
+        /// Branch target when the condition is non-zero.
+        target: Addr,
+    },
+    /// `dst <- op(lhs, rhs)`.
+    BinOp {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// No operation (alignment / padding).
+    Nop,
+    /// Stop execution (process exit).
+    Halt,
+}
+
+impl Instr {
+    /// Returns `true` for instructions that terminate a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ret | Instr::Jmp { .. } | Instr::Branch { .. } | Instr::Halt
+        )
+    }
+
+    /// Returns `true` if this instruction can fall through to the next one.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Instr::Ret | Instr::Jmp { .. } | Instr::Halt)
+    }
+
+    /// Returns `true` for call instructions (direct or indirect).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Instr::Call { .. } | Instr::CallReg { .. })
+    }
+
+    /// The immediate value carried by the instruction, if any.
+    pub fn immediate(&self) -> Option<u64> {
+        match self {
+            Instr::MovImm { imm, .. } => Some(*imm),
+            Instr::Call { target } | Instr::Jmp { target } | Instr::Branch { target, .. } => {
+                Some(target.value())
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Enter { frame } => write!(f, "enter {frame}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::MovImm { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Instr::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Load { dst, base, offset } => write!(f, "ld {dst}, [{base}{offset:+}]"),
+            Instr::Store { base, offset, src } => write!(f, "st [{base}{offset:+}], {src}"),
+            Instr::Lea { dst, base, offset } => write!(f, "lea {dst}, [{base}{offset:+}]"),
+            Instr::Call { target } => write!(f, "call {target}"),
+            Instr::CallReg { target } => write!(f, "call [{target}]"),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Branch { cond, target } => write!(f, "bnz {cond}, {target}"),
+            Instr::BinOp { op, dst, lhs, rhs } => write!(f, "{op} {dst}, {lhs}, {rhs}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_code_roundtrip() {
+        for op in BinOp::ALL {
+            assert_eq!(BinOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(BinOp::from_code(200), None);
+    }
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), u64::MAX);
+        assert_eq!(BinOp::Mul.eval(4, 4), 16);
+        assert_eq!(BinOp::Eq.eval(7, 7), 1);
+        assert_eq!(BinOp::Eq.eval(7, 8), 0);
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Shl.eval(1, 4), 16);
+        assert_eq!(BinOp::Shr.eval(16, 4), 1);
+        assert_eq!(BinOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.eval(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Instr::Ret.is_terminator());
+        assert!(Instr::Halt.is_terminator());
+        assert!(Instr::Jmp { target: Addr::new(0) }.is_terminator());
+        assert!(Instr::Branch { cond: Reg::R0, target: Addr::new(0) }.is_terminator());
+        assert!(!Instr::Nop.is_terminator());
+        assert!(!Instr::Call { target: Addr::new(0) }.is_terminator());
+    }
+
+    #[test]
+    fn fallthrough() {
+        assert!(!Instr::Ret.falls_through());
+        assert!(!Instr::Jmp { target: Addr::new(4) }.falls_through());
+        assert!(Instr::Branch { cond: Reg::R1, target: Addr::new(4) }.falls_through());
+        assert!(Instr::Nop.falls_through());
+    }
+
+    #[test]
+    fn calls_and_immediates() {
+        assert!(Instr::Call { target: Addr::new(8) }.is_call());
+        assert!(Instr::CallReg { target: Reg::R3 }.is_call());
+        assert!(!Instr::Ret.is_call());
+        assert_eq!(Instr::MovImm { dst: Reg::R0, imm: 9 }.immediate(), Some(9));
+        assert_eq!(Instr::Call { target: Addr::new(8) }.immediate(), Some(8));
+        assert_eq!(Instr::Ret.immediate(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Instr::Enter { frame: 32 }), "enter 32");
+        assert_eq!(
+            format!("{}", Instr::Load { dst: Reg::R1, base: Reg::R0, offset: 8 }),
+            "ld r1, [r0+8]"
+        );
+        assert_eq!(
+            format!("{}", Instr::Store { base: Reg::R0, offset: 0, src: Reg::R2 }),
+            "st [r0+0], r2"
+        );
+        assert_eq!(format!("{}", Instr::CallReg { target: Reg::R4 }), "call [r4]");
+    }
+}

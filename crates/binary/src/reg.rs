@@ -1,0 +1,136 @@
+use std::fmt;
+
+/// A general-purpose machine register.
+///
+/// The ISA has 16 registers. By convention (mirroring a simplified
+/// `thiscall`-style calling convention):
+///
+/// * `R0` carries the first argument — the `this` pointer for methods — and
+///   the return value;
+/// * `R1..=R5` carry further arguments;
+/// * `R15` is the stack pointer ([`Reg::SP`]).
+///
+/// # Example
+///
+/// ```
+/// use rock_binary::Reg;
+/// assert_eq!(Reg::arg(0), Some(Reg::R0));
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(format!("{}", Reg::SP), "sp");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// Number of registers in the ISA.
+    pub const COUNT: usize = 16;
+
+    /// The stack pointer register (alias of `R15`).
+    pub const SP: Reg = Reg::R15;
+
+    /// Number of argument-passing registers.
+    pub const ARG_COUNT: usize = 6;
+
+    /// All registers, in index order.
+    pub const ALL: [Reg; Reg::COUNT] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The register carrying the `i`-th call argument, or `None` if the
+    /// argument is beyond the register-passing window.
+    pub fn arg(i: usize) -> Option<Reg> {
+        if i < Reg::ARG_COUNT {
+            Some(Reg::ALL[i])
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from its index.
+    pub fn from_index(index: u8) -> Option<Reg> {
+        Reg::ALL.get(index as usize).copied()
+    }
+
+    /// The register's index (0..16).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns `true` if this register carries an argument in calls.
+    pub fn is_arg(self) -> bool {
+        (self.index() as usize) < Reg::ARG_COUNT
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Reg::SP {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+            assert_eq!(Reg::from_index(i as u8), Some(*r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn arg_registers() {
+        assert_eq!(Reg::arg(0), Some(Reg::R0));
+        assert_eq!(Reg::arg(5), Some(Reg::R5));
+        assert_eq!(Reg::arg(6), None);
+        assert!(Reg::R5.is_arg());
+        assert!(!Reg::R6.is_arg());
+    }
+
+    #[test]
+    fn sp_alias() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(format!("{}", Reg::SP), "sp");
+        assert_eq!(format!("{}", Reg::R2), "r2");
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+use crate::Addr;
+
+/// A runtime type information record, as emitted by the compiler when RTTI
+/// generation is enabled.
+///
+/// The paper (§6.2) derives its **ground truth** mainly from RTTI records:
+/// each record names the class a vtable belongs to and lists the vtables of
+/// its ancestors, in order from immediate parent to root. Stripped release
+/// binaries usually have these removed — the Rock pipeline never reads them;
+/// only the evaluation harness does.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RttiRecord {
+    /// Address of the vtable this record describes.
+    pub vtable: Addr,
+    /// Demangled class name.
+    pub class_name: String,
+    /// Vtable addresses of the ancestors, immediate parent first.
+    pub ancestors: Vec<Addr>,
+}
+
+impl RttiRecord {
+    /// Creates a record for a root class (no ancestors).
+    pub fn root(vtable: Addr, class_name: impl Into<String>) -> Self {
+        RttiRecord { vtable, class_name: class_name.into(), ancestors: Vec::new() }
+    }
+
+    /// Creates a record with an ancestor chain (immediate parent first).
+    pub fn with_ancestors(
+        vtable: Addr,
+        class_name: impl Into<String>,
+        ancestors: Vec<Addr>,
+    ) -> Self {
+        RttiRecord { vtable, class_name: class_name.into(), ancestors }
+    }
+
+    /// The immediate parent's vtable, if any.
+    pub fn parent(&self) -> Option<Addr> {
+        self.ancestors.first().copied()
+    }
+
+    /// Returns `true` if this class is a hierarchy root.
+    pub fn is_root(&self) -> bool {
+        self.ancestors.is_empty()
+    }
+}
+
+impl fmt::Display for RttiRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rtti {} @{}", self.class_name, self.vtable)?;
+        if let Some(p) = self.parent() {
+            write!(f, " : parent @{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_record() {
+        let r = RttiRecord::root(Addr::new(0x100), "Base");
+        assert!(r.is_root());
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.to_string(), "rtti Base @0x100");
+    }
+
+    #[test]
+    fn ancestor_chain() {
+        let r = RttiRecord::with_ancestors(
+            Addr::new(0x300),
+            "Leaf",
+            vec![Addr::new(0x200), Addr::new(0x100)],
+        );
+        assert!(!r.is_root());
+        assert_eq!(r.parent(), Some(Addr::new(0x200)));
+        assert_eq!(r.ancestors.len(), 2);
+        assert_eq!(r.to_string(), "rtti Leaf @0x300 : parent @0x200");
+    }
+}

@@ -1,0 +1,149 @@
+use std::fmt;
+
+use crate::Addr;
+
+/// The kind of a section inside a [`BinaryImage`](crate::BinaryImage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SectionKind {
+    /// Executable code (`.text`).
+    Text,
+    /// Read-only data (`.rodata`): vtables, RTTI, string literals.
+    RoData,
+    /// Mutable data (`.data`).
+    Data,
+}
+
+impl SectionKind {
+    /// Conventional section name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::RoData => ".rodata",
+            SectionKind::Data => ".data",
+        }
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A contiguous region of the binary image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    kind: SectionKind,
+    base: Addr,
+    bytes: Vec<u8>,
+}
+
+impl Section {
+    /// Creates a section with the given kind, load address and contents.
+    pub fn new(kind: SectionKind, base: Addr, bytes: Vec<u8>) -> Self {
+        Section { kind, base, bytes }
+    }
+
+    /// The section kind.
+    pub fn kind(&self) -> SectionKind {
+        self.kind
+    }
+
+    /// The load address of the first byte.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The section size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the section is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> Addr {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// The raw bytes of the section.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Returns `true` if `addr` lies within this section.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Slice of bytes starting at `addr` until the end of the section, or
+    /// `None` if `addr` is outside the section.
+    pub fn bytes_at(&self, addr: Addr) -> Option<&[u8]> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let off = addr.offset_from(self.base) as usize;
+        Some(&self.bytes[off..])
+    }
+
+    /// Reads a little-endian machine word at `addr`, or `None` if out of
+    /// bounds.
+    pub fn read_word(&self, addr: Addr) -> Option<u64> {
+        let bytes = self.bytes_at(addr)?;
+        if bytes.len() < 8 {
+            return None;
+        }
+        Some(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section() -> Section {
+        let mut bytes = vec![0u8; 16];
+        bytes[..8].copy_from_slice(&0x1122_3344_5566_7788u64.to_le_bytes());
+        Section::new(SectionKind::RoData, Addr::new(0x100), bytes)
+    }
+
+    #[test]
+    fn bounds() {
+        let s = section();
+        assert!(s.contains(Addr::new(0x100)));
+        assert!(s.contains(Addr::new(0x10f)));
+        assert!(!s.contains(Addr::new(0x110)));
+        assert!(!s.contains(Addr::new(0xff)));
+        assert_eq!(s.end(), Addr::new(0x110));
+        assert_eq!(s.len(), 16);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn read_word_le() {
+        let s = section();
+        assert_eq!(s.read_word(Addr::new(0x100)), Some(0x1122_3344_5566_7788));
+        assert_eq!(s.read_word(Addr::new(0x108)), Some(0));
+        // Partial word at the tail.
+        assert_eq!(s.read_word(Addr::new(0x109)), None);
+        assert_eq!(s.read_word(Addr::new(0x200)), None);
+    }
+
+    #[test]
+    fn bytes_at() {
+        let s = section();
+        assert_eq!(s.bytes_at(Addr::new(0x100)).unwrap().len(), 16);
+        assert_eq!(s.bytes_at(Addr::new(0x10f)).unwrap().len(), 1);
+        assert!(s.bytes_at(Addr::new(0x110)).is_none());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SectionKind::Text.name(), ".text");
+        assert_eq!(SectionKind::RoData.to_string(), ".rodata");
+        assert_eq!(SectionKind::Data.name(), ".data");
+    }
+}

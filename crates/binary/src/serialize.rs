@@ -1,0 +1,256 @@
+//! On-disk container format for binary images (`.rkb`).
+//!
+//! A small, versioned, little-endian container so images can be written
+//! by one process (e.g. the benchmark generator) and analyzed by another
+//! (the `rock` CLI):
+//!
+//! ```text
+//! "RKB1"                                  magic + version
+//! u32 section_count
+//!   { u8 kind, u64 base, u64 len, bytes } per section
+//! u32 symbol_count
+//!   { u64 addr, u32 len, utf8 }           per symbol
+//! u32 rtti_count
+//!   { u64 vtable, u32 len, utf8, u32 n, u64×n } per record
+//! ```
+//!
+//! A stripped image simply has zero symbols and zero RTTI records.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Addr, BinaryImage, RttiRecord, Section, SectionKind, Symbol, SymbolTable};
+
+/// Magic + version tag at the start of every serialized image.
+pub const MAGIC: &[u8; 4] = b"RKB1";
+
+/// An error produced while parsing a serialized image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageFormatError {
+    /// The magic/version tag is wrong.
+    BadMagic,
+    /// The data ended prematurely.
+    Truncated,
+    /// A section kind byte is invalid.
+    BadSectionKind(u8),
+    /// A string is not valid UTF-8.
+    BadString,
+    /// Trailing bytes after the image.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ImageFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageFormatError::BadMagic => write!(f, "not an RKB1 image"),
+            ImageFormatError::Truncated => write!(f, "truncated image file"),
+            ImageFormatError::BadSectionKind(k) => write!(f, "invalid section kind {k}"),
+            ImageFormatError::BadString => write!(f, "invalid utf-8 string"),
+            ImageFormatError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl Error for ImageFormatError {}
+
+fn kind_code(kind: SectionKind) -> u8 {
+    match kind {
+        SectionKind::Text => 0,
+        SectionKind::RoData => 1,
+        SectionKind::Data => 2,
+    }
+}
+
+fn kind_from(code: u8) -> Option<SectionKind> {
+    match code {
+        0 => Some(SectionKind::Text),
+        1 => Some(SectionKind::RoData),
+        2 => Some(SectionKind::Data),
+        _ => None,
+    }
+}
+
+/// Serializes an image to the `.rkb` container format.
+pub fn image_to_bytes(image: &BinaryImage) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(image.sections().len() as u32).to_le_bytes());
+    for s in image.sections() {
+        out.push(kind_code(s.kind()));
+        out.extend_from_slice(&s.base().value().to_le_bytes());
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        out.extend_from_slice(s.bytes());
+    }
+    let symbols: Vec<&Symbol> = image.symbols().iter().collect();
+    out.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+    for sym in symbols {
+        out.extend_from_slice(&sym.addr.value().to_le_bytes());
+        write_str(&mut out, &sym.name);
+    }
+    out.extend_from_slice(&(image.rtti().len() as u32).to_le_bytes());
+    for r in image.rtti() {
+        out.extend_from_slice(&r.vtable.value().to_le_bytes());
+        write_str(&mut out, &r.class_name);
+        out.extend_from_slice(&(r.ancestors.len() as u32).to_le_bytes());
+        for a in &r.ancestors {
+            out.extend_from_slice(&a.value().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageFormatError> {
+        if self.pos + n > self.data.len() {
+            return Err(ImageFormatError::Truncated);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageFormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageFormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageFormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, ImageFormatError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ImageFormatError::BadString)
+    }
+}
+
+/// Parses an image from the `.rkb` container format.
+///
+/// # Errors
+///
+/// Returns [`ImageFormatError`] for malformed input; never panics.
+pub fn image_from_bytes(data: &[u8]) -> Result<BinaryImage, ImageFormatError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ImageFormatError::BadMagic);
+    }
+    let section_count = r.u32()? as usize;
+    let mut sections = Vec::with_capacity(section_count.min(16));
+    for _ in 0..section_count {
+        let kind = r.u8()?;
+        let kind = kind_from(kind).ok_or(ImageFormatError::BadSectionKind(kind))?;
+        let base = Addr::new(r.u64()?);
+        let len = r.u64()? as usize;
+        let bytes = r.take(len)?.to_vec();
+        sections.push(Section::new(kind, base, bytes));
+    }
+    let symbol_count = r.u32()? as usize;
+    let mut symbols = SymbolTable::new();
+    for _ in 0..symbol_count {
+        let addr = Addr::new(r.u64()?);
+        let name = r.string()?;
+        symbols.insert(Symbol::new(addr, name));
+    }
+    let rtti_count = r.u32()? as usize;
+    let mut rtti = Vec::with_capacity(rtti_count.min(64));
+    for _ in 0..rtti_count {
+        let vtable = Addr::new(r.u64()?);
+        let class_name = r.string()?;
+        let n = r.u32()? as usize;
+        let mut ancestors = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            ancestors.push(Addr::new(r.u64()?));
+        }
+        rtti.push(RttiRecord { vtable, class_name, ancestors });
+    }
+    if r.pos != data.len() {
+        return Err(ImageFormatError::TrailingBytes(data.len() - r.pos));
+    }
+    Ok(BinaryImage::with_debug_info(sections, symbols, rtti))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ImageBuilder, Instr, Reg};
+
+    fn sample_image() -> BinaryImage {
+        let mut b = ImageBuilder::new();
+        let f = b.begin_function("f");
+        b.push(Instr::Enter { frame: 8 });
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 7 });
+        b.push(Instr::Ret);
+        b.end_function();
+        let vt = b.add_vtable("vtable for A", vec![f]);
+        b.add_rtti(vt, "A", vec![]);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_full_image() {
+        let image = sample_image();
+        let bytes = image_to_bytes(&image);
+        let back = image_from_bytes(&bytes).unwrap();
+        assert_eq!(back, image);
+    }
+
+    #[test]
+    fn roundtrip_stripped_image() {
+        let mut image = sample_image();
+        image.strip();
+        let back = image_from_bytes(&image_to_bytes(&image)).unwrap();
+        assert_eq!(back, image);
+        assert!(back.is_stripped());
+    }
+
+    #[test]
+    fn bad_magic() {
+        assert_eq!(image_from_bytes(b"NOPE"), Err(ImageFormatError::BadMagic));
+        assert_eq!(image_from_bytes(b""), Err(ImageFormatError::Truncated));
+    }
+
+    #[test]
+    fn truncation_everywhere() {
+        let bytes = image_to_bytes(&sample_image());
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let err = image_from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = image_to_bytes(&sample_image());
+        bytes.push(0);
+        assert_eq!(image_from_bytes(&bytes), Err(ImageFormatError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_section_kind() {
+        let mut bytes = image_to_bytes(&sample_image());
+        // First section kind byte sits right after magic + count.
+        bytes[8] = 9;
+        assert_eq!(image_from_bytes(&bytes), Err(ImageFormatError::BadSectionKind(9)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ImageFormatError::BadMagic.to_string(), "not an RKB1 image");
+        assert_eq!(ImageFormatError::TrailingBytes(3).to_string(), "3 trailing bytes");
+    }
+}

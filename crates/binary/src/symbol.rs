@@ -1,0 +1,124 @@
+use std::fmt;
+
+use crate::Addr;
+
+/// A named address — debug information that **stripping removes**.
+///
+/// Symbols exist so that tests and ground-truth extraction can correlate
+/// binary artifacts with source names; the Rock pipeline itself never looks
+/// at them (and on a stripped image there are none to look at).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// Address the symbol labels.
+    pub addr: Addr,
+    /// Symbol name (e.g. a mangled method name or `vtable for X`).
+    pub name: String,
+}
+
+impl Symbol {
+    /// Creates a symbol.
+    pub fn new(addr: Addr, name: impl Into<String>) -> Self {
+        Symbol { addr, name: name.into() }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.addr, self.name)
+    }
+}
+
+/// An ordered collection of [`Symbol`]s with name/address lookup.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Adds a symbol.
+    pub fn insert(&mut self, symbol: Symbol) {
+        self.symbols.push(symbol);
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the table holds no symbols (e.g. after stripping).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over all symbols.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
+    }
+
+    /// Finds the first symbol with the given name.
+    pub fn by_name(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Finds the first symbol at the given address.
+    pub fn at(&self, addr: Addr) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.addr == addr)
+    }
+
+    /// Removes every symbol. This is what "stripping" does to the table.
+    pub fn clear(&mut self) {
+        self.symbols.clear();
+    }
+}
+
+impl FromIterator<Symbol> for SymbolTable {
+    fn from_iter<T: IntoIterator<Item = Symbol>>(iter: T) -> Self {
+        SymbolTable { symbols: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Symbol> for SymbolTable {
+    fn extend<T: IntoIterator<Item = Symbol>>(&mut self, iter: T) {
+        self.symbols.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.insert(Symbol::new(Addr::new(0x10), "ctor_A"));
+        t.insert(Symbol::new(Addr::new(0x20), "vtable_A"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_name("ctor_A").unwrap().addr, Addr::new(0x10));
+        assert_eq!(t.at(Addr::new(0x20)).unwrap().name, "vtable_A");
+        assert!(t.by_name("missing").is_none());
+        assert!(t.at(Addr::new(0x99)).is_none());
+    }
+
+    #[test]
+    fn strip_clears() {
+        let mut t: SymbolTable =
+            vec![Symbol::new(Addr::new(1), "a"), Symbol::new(Addr::new(2), "b")]
+                .into_iter()
+                .collect();
+        assert_eq!(t.len(), 2);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let s = Symbol::new(Addr::new(0x40), "f");
+        assert_eq!(s.to_string(), "0x40 f");
+    }
+}

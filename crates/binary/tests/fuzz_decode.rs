@@ -1,0 +1,95 @@
+//! Fuzz-style property tests: the decoder and the image parser must never
+//! panic, whatever bytes they are fed, and must roundtrip everything the
+//! encoder produces.
+
+use proptest::prelude::*;
+use rock_binary::{
+    decode_instr, encode_instr, image_from_bytes, image_to_bytes, Addr, BinOp, Instr, Reg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).expect("valid index"))
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any::<u16>()).prop_map(|frame| Instr::Enter { frame }),
+        Just(Instr::Ret),
+        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::MovImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Instr::MovReg { dst, src }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, base, offset)| Instr::Load { dst, base, offset }),
+        (arb_reg(), any::<i32>(), arb_reg())
+            .prop_map(|(base, offset, src)| Instr::Store { base, offset, src }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, base, offset)| Instr::Lea { dst, base, offset }),
+        any::<u64>().prop_map(|a| Instr::Call { target: Addr::new(a) }),
+        arb_reg().prop_map(|target| Instr::CallReg { target }),
+        any::<u64>().prop_map(|a| Instr::Jmp { target: Addr::new(a) }),
+        (arb_reg(), any::<u64>())
+            .prop_map(|(cond, a)| Instr::Branch { cond, target: Addr::new(a) }),
+        (0u8..10, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, dst, lhs, rhs)| {
+            Instr::BinOp { op: BinOp::from_code(op).expect("valid"), dst, lhs, rhs }
+        }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Arbitrary instruction streams roundtrip exactly.
+    #[test]
+    fn instruction_streams_roundtrip(instrs in prop::collection::vec(arb_instr(), 0..40)) {
+        let mut bytes = Vec::new();
+        for i in &instrs {
+            encode_instr(i, &mut bytes);
+        }
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let (i, n) = decode_instr(&bytes[pos..], Addr::new(pos as u64)).unwrap();
+            decoded.push(i);
+            pos += n;
+        }
+        prop_assert_eq!(decoded, instrs);
+    }
+
+    /// Arbitrary bytes never panic the decoder — they decode or error.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut pos = 0usize;
+        // Walk as far as the stream decodes; stop at the first error.
+        while pos < bytes.len() {
+            match decode_instr(&bytes[pos..], Addr::new(pos as u64)) {
+                Ok((_, n)) => {
+                    prop_assert!(n > 0);
+                    pos += n;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the image parser.
+    #[test]
+    fn image_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = image_from_bytes(&bytes);
+    }
+
+    /// Mutating one byte of a valid image never panics the parser.
+    #[test]
+    fn image_mutation_never_panics(pos_seed in any::<usize>(), val in any::<u8>()) {
+        use rock_binary::ImageBuilder;
+        let mut b = ImageBuilder::new();
+        let f = b.begin_function("f");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        b.add_vtable("vt", vec![f]);
+        let image = b.finish();
+        let mut bytes = image_to_bytes(&image);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = val;
+        let _ = image_from_bytes(&bytes);
+    }
+}

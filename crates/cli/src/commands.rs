@@ -1,0 +1,439 @@
+//! Command implementations for the `rock` CLI.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs;
+
+use rock_binary::{image_from_bytes, image_to_bytes, Addr, BinaryImage};
+use rock_core::suite::{all_benchmarks, benchmark};
+use rock_core::{evaluate, render_table2, Rock, RockConfig, Table2Row};
+use rock_loader::LoadedBinary;
+use rock_slm::Metric;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2> ...
+run `rock help` for details";
+
+/// Dispatches one CLI invocation.
+pub fn dispatch(args: &[String]) -> CliResult {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("list") => cmd_list(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("vtables") => cmd_vtables(&args[1..]),
+        Some("families") => cmd_families(&args[1..]),
+        Some("reconstruct") => cmd_reconstruct(&args[1..]),
+        Some("pseudo") => cmd_pseudo(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("table2") => cmd_table2(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    }
+}
+
+fn load_file(path: &str) -> Result<LoadedBinary, Box<dyn Error>> {
+    let data = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let image = image_from_bytes(&data)?;
+    Ok(LoadedBinary::load(image)?)
+}
+
+fn cmd_list() -> CliResult {
+    println!("{:<18} {:>5}  {}", "benchmark", "types", "structurally resolvable");
+    for b in all_benchmarks() {
+        println!(
+            "{:<18} {:>5}  {}",
+            b.name,
+            b.paper.types,
+            if b.structurally_resolvable { "yes" } else { "no" }
+        );
+    }
+    println!("(plus examples: streams, datasource)");
+    Ok(())
+}
+
+fn find_benchmark(name: &str) -> Result<rock_core::suite::Benchmark, Box<dyn Error>> {
+    match name {
+        "streams" => Ok(rock_core::suite::streams_example()),
+        "datasource" => Ok(rock_core::suite::datasource_example()),
+        _ => benchmark(name).ok_or_else(|| {
+            format!("unknown benchmark {name:?}; run `rock list`").into()
+        }),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let mut keep_debug = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--keep-debug" => keep_debug = true,
+            other if other.starts_with("--") => {
+                return Err(format!("gen: unknown flag {other}").into())
+            }
+            other => positional.push(other),
+        }
+    }
+    let [name, out] = positional[..] else {
+        return Err("usage: rock gen <benchmark> <out.rkb> [--keep-debug]".into());
+    };
+    let bench = find_benchmark(name)?;
+    let compiled = bench.compile()?;
+    let image: BinaryImage =
+        if keep_debug { compiled.image().clone() } else { compiled.stripped_image() };
+    fs::write(out, image_to_bytes(&image))?;
+    println!(
+        "wrote {out}: {} bytes, {} ({})",
+        image.size(),
+        bench.name,
+        if keep_debug { "with debug info" } else { "stripped" }
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let [path] = args else { return Err("usage: rock info <file.rkb>".into()) };
+    let loaded = load_file(path)?;
+    print!("{}", loaded.image());
+    println!("functions: {}", loaded.functions().len());
+    println!("vtables (binary types): {}", loaded.vtables().len());
+    if !loaded.image().is_stripped() {
+        println!("NOTE: image carries debug info ({} RTTI records)", loaded.image().rtti().len());
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let [path] = args else { return Err("usage: rock disasm <file.rkb>".into()) };
+    let loaded = load_file(path)?;
+    for f in loaded.functions() {
+        let name = loaded
+            .image()
+            .symbols()
+            .at(f.entry())
+            .map(|s| format!(" <{}>", s.name))
+            .unwrap_or_default();
+        println!("fn @{}{name}:", f.entry());
+        for d in f.instrs() {
+            println!("  {d}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_vtables(args: &[String]) -> CliResult {
+    let [path] = args else { return Err("usage: rock vtables <file.rkb>".into()) };
+    let loaded = load_file(path)?;
+    for vt in loaded.vtables() {
+        let name = loaded
+            .image()
+            .symbols()
+            .at(vt.addr())
+            .map(|s| format!(" <{}>", s.name))
+            .unwrap_or_default();
+        println!("vtable @{}{name} ({} slots)", vt.addr(), vt.len());
+        for (i, slot) in vt.slots().iter().enumerate() {
+            println!("  [{i}] -> {slot}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_families(args: &[String]) -> CliResult {
+    let [path] = args else { return Err("usage: rock families <file.rkb>".into()) };
+    let loaded = load_file(path)?;
+    let config = RockConfig::paper();
+    let ctors = rock_analysis::recognize_ctors(&loaded, &config.analysis);
+    let s = rock_structural::analyze(&loaded, &ctors, &config.analysis);
+    print!("{s}");
+    println!("phase II eliminations: {}", s.stats());
+    println!("ctor-like functions: {}", ctors.len());
+    println!("pinned parents: {}", s.pinned().len());
+    println!(
+        "structurally resolved: {} ({} candidate hierarchies)",
+        s.is_structurally_resolved(),
+        s.candidate_hierarchies()
+    );
+    for fam in s.families() {
+        for &vt in fam {
+            let candidates = s.possible_parents().of(vt);
+            if candidates.len() > 1 {
+                let list: Vec<String> = candidates.iter().map(ToString::to_string).collect();
+                println!("  ambiguous: {vt} <- {{{}}}", list.join(", "));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `rock stats <file.rkb>` — behavioral-analysis statistics per type.
+fn cmd_stats(args: &[String]) -> CliResult {
+    let [path] = args else { return Err("usage: rock stats <file.rkb>".into()) };
+    let loaded = load_file(path)?;
+    let config = RockConfig::paper();
+    let analysis = rock_analysis::extract_tracelets(&loaded, &config.analysis);
+    for vt in loaded.vtables() {
+        let name = loaded
+            .image()
+            .symbols()
+            .at(vt.addr())
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| vt.addr().to_string());
+        println!("{name}: {}", analysis.tracelets().stats_of(vt.addr()));
+    }
+    println!(
+        "total: {} tracelets over {} types; {} ctor-like functions",
+        analysis.tracelets().total(),
+        analysis.tracelets().types().count(),
+        analysis.ctors().len()
+    );
+    Ok(())
+}
+
+/// `rock run <file.rkb> <function> [word args...]` — execute a function
+/// in the reference interpreter. Needs an unstripped image (the VM
+/// locates the allocator via symbols).
+fn cmd_run(args: &[String]) -> CliResult {
+    let [path, func, rest @ ..] = args else {
+        return Err("usage: rock run <file.rkb> <function> [args...]".into());
+    };
+    let loaded = load_file(path)?;
+    let entry = loaded
+        .image()
+        .symbols()
+        .by_name(func)
+        .map(|s| s.addr)
+        .ok_or_else(|| format!("no symbol {func:?} (stripped image? use gen --keep-debug)"))?;
+    let vm_args: Vec<u64> = rest
+        .iter()
+        .map(|a| a.parse::<u64>().map_err(|e| format!("bad argument {a:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let mut vm = rock_vm::Machine::new(loaded.image().clone())?;
+    let outcome = vm.run(entry, &vm_args)?;
+    println!(
+        "{func} returned {} after {} steps{}",
+        outcome.return_value,
+        outcome.steps,
+        if outcome.halted { " (halted)" } else { "" }
+    );
+    println!("trace ({} events):", vm.trace().len());
+    for e in vm.trace().events() {
+        println!("  {e}");
+    }
+    Ok(())
+}
+
+fn cmd_pseudo(args: &[String]) -> CliResult {
+    let [path] = args else { return Err("usage: rock pseudo <file.rkb>".into()) };
+    let loaded = load_file(path)?;
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    print!("{}", rock_core::pseudo_source(&loaded, &recon));
+    Ok(())
+}
+
+fn parse_metric(s: &str) -> Result<Metric, Box<dyn Error>> {
+    match s {
+        "kl" => Ok(Metric::KlDivergence),
+        "js" => Ok(Metric::JsDivergence),
+        "jsd" => Ok(Metric::JsDistance),
+        other => Err(format!("unknown metric {other:?} (kl|js|jsd)").into()),
+    }
+}
+
+fn cmd_reconstruct(args: &[String]) -> CliResult {
+    let mut dot = false;
+    let mut metric = Metric::KlDivergence;
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dot" => dot = true,
+            "--metric" => {
+                let v = it.next().ok_or("--metric needs a value")?;
+                metric = parse_metric(v)?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("reconstruct: unknown flag {other}").into())
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let path = path.ok_or("usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--dot]")?;
+    let loaded = load_file(&path)?;
+    let recon = Rock::new(RockConfig::with_metric(metric)).reconstruct(&loaded);
+    // Label with symbols when available (unstripped input), else addresses.
+    let label = |a: Addr| -> String {
+        loaded
+            .image()
+            .symbols()
+            .at(a)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| a.to_string())
+    };
+    if dot {
+        println!("{}", hierarchy_dot(&recon, &label));
+    } else {
+        let named = recon.hierarchy.map(|a| label(*a));
+        print!("{named}");
+        println!("({} types, metric {metric})", recon.hierarchy.len());
+    }
+    Ok(())
+}
+
+/// Graphviz rendering of a reconstructed hierarchy.
+fn hierarchy_dot(recon: &rock_core::Reconstruction, label: &dyn Fn(Addr) -> String) -> String {
+    let mut out = String::from("digraph hierarchy {\n  rankdir=BT;\n");
+    for node in recon.hierarchy.nodes() {
+        let _ = writeln!(out, "  \"{}\";", label(*node));
+        if let Some(p) = recon.hierarchy.parent_of(node) {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", label(*node), label(*p));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn cmd_eval(args: &[String]) -> CliResult {
+    let [name] = args else { return Err("usage: rock eval <benchmark>".into()) };
+    let bench = find_benchmark(name)?;
+    let compiled = bench.compile()?;
+    let loaded = LoadedBinary::load(compiled.stripped_image())?;
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let eval = evaluate(&compiled, &recon);
+    println!("{}", bench.name);
+    print!("{eval}");
+    println!(
+        "paper: without {:.2}/{:.2}, with {:.2}/{:.2}",
+        bench.paper.without.0, bench.paper.without.1, bench.paper.with.0, bench.paper.with.1
+    );
+    Ok(())
+}
+
+fn cmd_table2(args: &[String]) -> CliResult {
+    let markdown = match args {
+        [] => false,
+        [flag] if flag == "--markdown" => true,
+        _ => return Err("usage: rock table2 [--markdown]".into()),
+    };
+    let mut rows = Vec::new();
+    for bench in all_benchmarks() {
+        let compiled = bench.compile()?;
+        let loaded = LoadedBinary::load(compiled.stripped_image())?;
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        let eval = evaluate(&compiled, &recon);
+        rows.push(Table2Row::new(&bench, &eval));
+    }
+    if markdown {
+        println!("{}", rock_core::render_table2_markdown(&rows));
+    } else {
+        println!("{}", render_table2(&rows));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&["help".into()]).is_ok());
+        assert!(dispatch(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn list_runs() {
+        assert!(cmd_list().is_ok());
+    }
+
+    #[test]
+    fn metric_parsing() {
+        assert_eq!(parse_metric("kl").unwrap(), Metric::KlDivergence);
+        assert_eq!(parse_metric("js").unwrap(), Metric::JsDivergence);
+        assert_eq!(parse_metric("jsd").unwrap(), Metric::JsDistance);
+        assert!(parse_metric("euclid").is_err());
+    }
+
+    #[test]
+    fn gen_info_reconstruct_roundtrip() {
+        let dir = std::env::temp_dir().join("rock-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streams.rkb");
+        let path_str = path.to_str().unwrap().to_string();
+        dispatch(&["gen".into(), "streams".into(), path_str.clone()]).unwrap();
+        dispatch(&["info".into(), path_str.clone()]).unwrap();
+        dispatch(&["vtables".into(), path_str.clone()]).unwrap();
+        dispatch(&["families".into(), path_str.clone()]).unwrap();
+        dispatch(&["reconstruct".into(), path_str.clone()]).unwrap();
+        dispatch(&["pseudo".into(), path_str.clone()]).unwrap();
+        dispatch(&["stats".into(), path_str.clone()]).unwrap();
+        dispatch(&["disasm".into(), path_str.clone()]).unwrap();
+        dispatch(&["reconstruct".into(), path_str.clone(), "--dot".into()]).unwrap();
+        dispatch(&[
+            "reconstruct".into(),
+            path_str.clone(),
+            "--metric".into(),
+            "js".into(),
+        ])
+        .unwrap();
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn run_command_executes_drivers() {
+        let dir = std::env::temp_dir().join("rock-cli-test3");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streams-run.rkb");
+        let path_str = path.to_str().unwrap().to_string();
+        dispatch(&[
+            "gen".into(),
+            "streams".into(),
+            path_str.clone(),
+            "--keep-debug".into(),
+        ])
+        .unwrap();
+        dispatch(&["run".into(), path_str.clone(), "useStream".into()]).unwrap();
+        // Unknown symbol errors cleanly.
+        assert!(dispatch(&["run".into(), path_str.clone(), "nope".into()]).is_err());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn gen_keep_debug_labels_reconstruction() {
+        let dir = std::env::temp_dir().join("rock-cli-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streams-debug.rkb");
+        let path_str = path.to_str().unwrap().to_string();
+        dispatch(&[
+            "gen".into(),
+            "streams".into(),
+            path_str.clone(),
+            "--keep-debug".into(),
+        ])
+        .unwrap();
+        let loaded = load_file(&path_str).unwrap();
+        assert!(!loaded.image().is_stripped());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn eval_runs_on_a_small_benchmark() {
+        dispatch(&["eval".into(), "pop3".into()]).unwrap();
+        assert!(dispatch(&["eval".into(), "nope".into()]).is_err());
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        assert!(dispatch(&["info".into(), "/nonexistent/x.rkb".into()]).is_err());
+        assert!(dispatch(&["gen".into()]).is_err());
+        assert!(dispatch(&["reconstruct".into(), "--metric".into()]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! `rock` — command-line class-hierarchy reconstructor.
+//!
+//! ```text
+//! rock list                          list suite benchmarks
+//! rock gen <bench> <out.rkb>         compile a benchmark to an image file
+//!          [--keep-debug]            keep symbols + RTTI (default: strip)
+//! rock info <file.rkb>               sections / functions / vtables summary
+//! rock disasm <file.rkb>             full disassembly listing
+//! rock vtables <file.rkb>            discovered vtables and their slots
+//! rock families <file.rkb>           structural analysis (families + candidates)
+//! rock reconstruct <file.rkb>        reconstruct the class hierarchy
+//!          [--metric kl|js|jsd]      distance criterion (default kl)
+//!          [--dot]                   emit graphviz instead of a tree
+//! rock eval <bench>                  Table 2 row for one benchmark
+//! rock table2                        the whole Table 2
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rock: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Pipeline configuration.
+
+use rock_analysis::AnalysisConfig;
+use rock_slm::Metric;
+
+/// Configuration of the full Rock pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RockConfig {
+    /// Behavioral-analysis knobs (tracelet length, path bounds, SLM depth).
+    pub analysis: AnalysisConfig,
+    /// Pairwise distance criterion (the paper uses KL; the symmetric
+    /// alternatives exist for the §6.4 ablation).
+    pub metric: Metric,
+    /// Resolve co-optimal arborescences with the paper's majority-vote
+    /// heuristic (§4.2.2 "Handling Multiple Arborescences").
+    pub resolve_ties: bool,
+    /// Two weights within this tolerance count as tied.
+    pub tie_epsilon: f64,
+    /// Cap on enumerated co-optimal arborescences per family.
+    pub max_tie_variants: usize,
+    /// Behavioral family repartitioning (OFF by default — the paper's
+    /// §6.4 future-work extension): attach hierarchy roots to the most
+    /// similar type of *another* family when the distance is within the
+    /// range of already-accepted edges, healing false family splits.
+    pub repartition_families: bool,
+}
+
+impl Default for RockConfig {
+    fn default() -> Self {
+        RockConfig {
+            analysis: AnalysisConfig::default(),
+            metric: Metric::default(),
+            resolve_ties: true,
+            tie_epsilon: 1e-9,
+            max_tie_variants: 8,
+            repartition_families: false,
+        }
+    }
+}
+
+impl RockConfig {
+    /// The paper's configuration: KL divergence, depth-2 models,
+    /// tracelets up to length 7.
+    pub fn paper() -> Self {
+        RockConfig::default()
+    }
+
+    /// Same pipeline with a different distance metric.
+    pub fn with_metric(metric: Metric) -> Self {
+        RockConfig { metric, ..RockConfig::default() }
+    }
+
+    /// Disables the majority-vote tie resolution (deterministic
+    /// first-minimum tie-breaking only).
+    pub fn without_tie_resolution(mut self) -> Self {
+        self.resolve_ties = false;
+        self
+    }
+
+    /// Enables behavioral family repartitioning (§6.4 future work).
+    pub fn with_repartitioning(mut self) -> Self {
+        self.repartition_families = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = RockConfig::default();
+        assert_eq!(c.metric, Metric::KlDivergence);
+        assert_eq!(c.analysis.tracelet_len, 7);
+        assert_eq!(RockConfig::paper(), c);
+        assert_eq!(RockConfig::with_metric(Metric::JsDistance).metric, Metric::JsDistance);
+        assert!(c.resolve_ties);
+        assert!(!RockConfig::default().without_tie_resolution().resolve_ties);
+        assert!(!c.repartition_families, "repartitioning is opt-in");
+        assert!(RockConfig::default().with_repartitioning().repartition_families);
+    }
+}

@@ -1,0 +1,362 @@
+//! The end-to-end reconstruction pipeline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rock_analysis::{extract_tracelets, Analysis, Event};
+use rock_binary::Addr;
+use rock_graph::{min_spanning_forest, DiGraph, Forest};
+use rock_loader::LoadedBinary;
+use rock_slm::Slm;
+use rock_structural::{analyze, Structural};
+
+use crate::RockConfig;
+
+/// The Rock reconstructor.
+///
+/// Construct one with a [`RockConfig`] and call [`Rock::reconstruct`] on a
+/// loaded (stripped) binary.
+#[derive(Clone, Debug, Default)]
+pub struct Rock {
+    config: RockConfig,
+}
+
+/// Everything the pipeline produced for one binary.
+#[derive(Clone, Debug)]
+pub struct Reconstruction {
+    /// The reconstructed hierarchy over binary types (vtable addresses) —
+    /// the "With SLMs" result.
+    pub hierarchy: Forest<Addr>,
+    /// The structural analysis (families + possible parents) — the
+    /// "Without SLMs" baseline works directly on this relation.
+    pub structural: Structural,
+    /// The behavioral analysis output (tracelets + recognized ctors).
+    pub analysis: Analysis,
+    /// Behavioral distances computed for surviving candidate edges:
+    /// `(parent, child) -> distance`.
+    pub distances: BTreeMap<(Addr, Addr), f64>,
+}
+
+impl Reconstruction {
+    /// Convenience: candidate parents of `child` after the structural
+    /// phase (the "Without SLMs" relation).
+    pub fn possible_parents_of(&self, child: Addr) -> Vec<Addr> {
+        self.structural.possible_parents().of(child)
+    }
+
+    /// The parent chosen by the full pipeline, if any.
+    pub fn parent_of(&self, child: Addr) -> Option<Addr> {
+        self.hierarchy.parent_of(&child).copied()
+    }
+
+    /// §5.3 multiple inheritance: "if a type inherits from X different
+    /// parents, we will observe assignments of X different vtable
+    /// pointers … given that we observe X assignments, we will choose the
+    /// X most likely parents as the type's parents." Returns, per type,
+    /// as many parents as its constructor's vptr-store count indicates
+    /// (single-inheritance types keep their one arborescence parent).
+    pub fn mi_parents(&self) -> BTreeMap<Addr, Vec<Addr>> {
+        let counts = self.structural.vptr_store_counts();
+        let mut out = BTreeMap::new();
+        for family in self.structural.families() {
+            for &child in family {
+                let k = counts.get(&child).copied().unwrap_or(1).max(1);
+                let parents = self
+                    .k_most_likely_parents(k)
+                    .remove(&child)
+                    .unwrap_or_default();
+                out.insert(child, parents);
+            }
+        }
+        out
+    }
+
+    /// §6.4 "Applying Control Flow Integrity": assigns up to `k` most
+    /// likely parents per type, trading false negatives for false
+    /// positives ("our algorithm supports this at the cost of increased
+    /// computational complexity, while still polynomial").
+    ///
+    /// The arborescence-chosen parent always ranks first; further slots
+    /// are filled by ascending behavioral distance among the surviving
+    /// structural candidates.
+    pub fn k_most_likely_parents(&self, k: usize) -> BTreeMap<Addr, Vec<Addr>> {
+        let mut out = BTreeMap::new();
+        for family in self.structural.families() {
+            for &child in family {
+                let chosen = self.parent_of(child);
+                let mut ranked: Vec<(f64, Addr)> = self
+                    .structural
+                    .possible_parents()
+                    .of(child)
+                    .into_iter()
+                    .filter(|p| Some(*p) != chosen)
+                    .map(|p| {
+                        (self.distances.get(&(p, child)).copied().unwrap_or(f64::MAX), p)
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut parents: Vec<Addr> = chosen.into_iter().collect();
+                parents.extend(ranked.into_iter().map(|(_, p)| p));
+                parents.truncate(k);
+                out.insert(child, parents);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Reconstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "reconstructed hierarchy over {} types:", self.hierarchy.len())?;
+        write!(f, "{}", self.hierarchy)
+    }
+}
+
+impl Rock {
+    /// Creates a reconstructor.
+    pub fn new(config: RockConfig) -> Self {
+        Rock { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RockConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a loaded binary.
+    pub fn reconstruct(&self, loaded: &LoadedBinary) -> Reconstruction {
+        // Behavioral analysis (also recognizes ctor-like functions).
+        let analysis = extract_tracelets(loaded, &self.config.analysis);
+        // Structural analysis.
+        let structural = analyze(loaded, analysis.ctors(), &self.config.analysis);
+
+        // One SLM per binary type.
+        let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
+        for vt in loaded.vtables() {
+            let mut m = Slm::new(self.config.analysis.slm_depth);
+            for t in analysis.tracelets().of_type(vt.addr()) {
+                m.train(t);
+            }
+            models.insert(vt.addr(), m);
+        }
+
+        // Per family: weighted digraph over surviving candidate edges,
+        // then a minimum-weight maximal forest.
+        let mut hierarchy: Forest<Addr> = Forest::new();
+        let mut distances = BTreeMap::new();
+        for family in structural.families() {
+            let index: BTreeMap<Addr, usize> =
+                family.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+            let mut graph = DiGraph::new(family.len());
+            for &child in family {
+                for parent in structural.possible_parents().of(child) {
+                    let d = self
+                        .config
+                        .metric
+                        .distance(&models[&parent], &models[&child]);
+                    distances.insert((parent, child), d);
+                    graph.add_edge(index[&parent], index[&child], d);
+                }
+            }
+            let parent = if self.config.resolve_ties {
+                // §4.2.2: several arborescences may share the minimal
+                // weight; resolve with the majority-vote heuristic.
+                let variants = rock_graph::co_optimal_forests(
+                    &graph,
+                    self.config.tie_epsilon,
+                    self.config.max_tie_variants,
+                );
+                rock_graph::vote_select(&variants).parent.clone()
+            } else {
+                min_spanning_forest(&graph).parent
+            };
+            for (i, p) in parent.iter().enumerate() {
+                hierarchy.insert(family[i], p.map(|pi| family[pi]));
+            }
+        }
+
+        if self.config.repartition_families {
+            repartition(
+                &mut hierarchy,
+                &mut distances,
+                &structural,
+                &models,
+                loaded,
+                self.config.metric,
+            );
+        }
+
+        Reconstruction { hierarchy, structural, analysis, distances }
+    }
+}
+
+/// Behavioral family repartitioning — the future-work extension the paper
+/// sketches in §6.4 ("our current implementation does not attempt to
+/// repartition based on usage"): false family *splits* (error source 2 —
+/// compiler-omitted structural cues) leave hierarchy roots whose true
+/// parent sits in another family. For each root, consider cross-family
+/// parents that pass the rule-1 slot check; adopt the best one if its
+/// behavioral distance is no worse than the distances of the edges already
+/// accepted within families.
+fn repartition(
+    hierarchy: &mut Forest<Addr>,
+    distances: &mut BTreeMap<(Addr, Addr), f64>,
+    structural: &rock_structural::Structural,
+    models: &BTreeMap<Addr, Slm<Event>>,
+    loaded: &LoadedBinary,
+    metric: rock_slm::Metric,
+) {
+    // Acceptance threshold: the worst distance among already-chosen edges
+    // (no edges chosen => nothing to calibrate against; bail out).
+    let chosen: Vec<f64> = hierarchy
+        .nodes()
+        .filter_map(|n| {
+            let p = hierarchy.parent_of(n)?;
+            distances.get(&(*p, *n)).copied()
+        })
+        .collect();
+    let Some(threshold) = chosen.iter().copied().reduce(f64::max) else {
+        return;
+    };
+
+    let family_of: BTreeMap<Addr, usize> = structural
+        .families()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, f)| f.iter().map(move |a| (*a, i)))
+        .collect();
+
+    let roots: Vec<Addr> = hierarchy.roots().into_iter().copied().collect();
+    for root in roots {
+        let Some(root_vt) = loaded.vtable_at(root) else { continue };
+        let root_family = family_of.get(&root);
+        let mut best: Option<(f64, Addr)> = None;
+        for cand in loaded.vtables() {
+            if family_of.get(&cand.addr()) == root_family {
+                continue; // same family: structural phase already decided
+            }
+            // Rule 1 across families: a parent cannot have more slots.
+            if cand.len() > root_vt.len() {
+                continue;
+            }
+            // No cycles: the candidate must not descend from this root.
+            if hierarchy.successors(&root).contains(&cand.addr()) {
+                continue;
+            }
+            let d = metric.distance(&models[&cand.addr()], &models[&root]);
+            // Parenthood is asymmetric (§4.2.1): the candidate's behavior
+            // should be *contained* in the root's, so encoding parent
+            // with child must be cheaper than the reverse.
+            let d_rev = metric.distance(&models[&root], &models[&cand.addr()]);
+            if d >= d_rev {
+                continue;
+            }
+            if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                best = Some((d, cand.addr()));
+            }
+        }
+        if let Some((d, parent)) = best {
+            // Cross-family edges had no structural support, so require
+            // only that they stay within 2x the worst accepted edge.
+            if d <= 2.0 * threshold {
+                hierarchy.insert(root, Some(parent));
+                distances.insert((parent, root), d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_minicpp::{compile, CompileOptions, ProgramBuilder};
+
+    /// The paper's running example (Fig. 3/5): Stream + two children, each
+    /// with a distinctive usage pattern, optimized so structure alone
+    /// cannot decide FlushableStream's parent (Fig. 6 ambiguity).
+    fn streams_optimized() -> (LoadedBinary, rock_minicpp::Compiled) {
+        let mut p = ProgramBuilder::new();
+        p.class("Stream").method("send", |b| {
+            b.ret();
+        });
+        p.class("ConfirmableStream").base("Stream").method("confirm", |b| {
+            b.ret();
+        });
+        p.class("FlushableStream")
+            .base("Stream")
+            .method("flush", |b| {
+                b.ret();
+            })
+            .method("close", |b| {
+                b.ret();
+            });
+        // Fig. 5 drivers.
+        p.func("useStream", |f| {
+            f.new_obj("s", "Stream");
+            for _ in 0..3 {
+                f.vcall("s", "send", vec![]);
+            }
+            f.ret();
+        });
+        p.func("useConfirmableStream", |f| {
+            f.new_obj("s", "ConfirmableStream");
+            for _ in 0..3 {
+                f.vcall("s", "send", vec![]);
+                f.vcall("s", "confirm", vec![]);
+            }
+            f.ret();
+        });
+        p.func("useFlushableStream", |f| {
+            f.new_obj("s", "FlushableStream");
+            for _ in 0..3 {
+                f.vcall("s", "send", vec![]);
+            }
+            f.vcall("s", "flush", vec![]);
+            f.vcall("s", "close", vec![]);
+            f.ret();
+        });
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = true; // remove the ctor cue
+        let compiled = compile(&p.finish(), &opts).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        (loaded, compiled)
+    }
+
+    #[test]
+    fn reconstructs_fig4_hierarchy() {
+        let (loaded, compiled) = streams_optimized();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        let stream = compiled.vtable_of("Stream").unwrap();
+        let confirmable = compiled.vtable_of("ConfirmableStream").unwrap();
+        let flushable = compiled.vtable_of("FlushableStream").unwrap();
+        // Structure alone leaves FlushableStream ambiguous...
+        assert!(recon.possible_parents_of(flushable).len() >= 2);
+        // ...but the SLM + arborescence resolves it to Stream (Fig. 6a).
+        assert_eq!(recon.parent_of(flushable), Some(stream));
+        assert_eq!(recon.parent_of(confirmable), Some(stream));
+        assert_eq!(recon.parent_of(stream), None);
+    }
+
+    #[test]
+    fn fig6_distances_rank_correct_parent_first() {
+        let (loaded, compiled) = streams_optimized();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        let stream = compiled.vtable_of("Stream").unwrap();
+        let confirmable = compiled.vtable_of("ConfirmableStream").unwrap();
+        let flushable = compiled.vtable_of("FlushableStream").unwrap();
+        let d_good = recon.distances[&(stream, flushable)];
+        let d_bad = recon.distances[&(confirmable, flushable)];
+        assert!(
+            d_good < d_bad,
+            "D(Stream->Flushable) = {d_good} should beat D(Confirmable->Flushable) = {d_bad}"
+        );
+    }
+
+    #[test]
+    fn display_shows_tree() {
+        let (loaded, _) = streams_optimized();
+        let recon = Rock::new(RockConfig::default()).reconstruct(&loaded);
+        let text = recon.to_string();
+        assert!(text.contains("reconstructed hierarchy over 3 types"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Rendering of Table 2 (application distance, measured vs. paper).
+
+use std::fmt::Write as _;
+
+use crate::suite::Benchmark;
+use crate::Evaluation;
+
+/// One measured row of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of ground-truth types.
+    pub types: usize,
+    /// Measured (missing, added) without SLMs.
+    pub without: (f64, f64),
+    /// Measured (missing, added) with SLMs.
+    pub with: (f64, f64),
+    /// Paper's (missing, added) without SLMs.
+    pub paper_without: (f64, f64),
+    /// Paper's (missing, added) with SLMs.
+    pub paper_with: (f64, f64),
+    /// Above or below Table 2's horizontal line.
+    pub structurally_resolvable: bool,
+}
+
+impl Table2Row {
+    /// Builds a row from a benchmark definition and its measurement.
+    pub fn new(bench: &Benchmark, eval: &Evaluation) -> Self {
+        Table2Row {
+            name: bench.name.to_string(),
+            types: eval.num_types,
+            without: (eval.without_slm.avg_missing, eval.without_slm.avg_added),
+            with: (eval.with_slm.avg_missing, eval.with_slm.avg_added),
+            paper_without: bench.paper.without,
+            paper_with: bench.paper.with,
+            structurally_resolvable: bench.structurally_resolvable,
+        }
+    }
+
+    /// Does the row reproduce the paper's qualitative shape? With SLMs
+    /// must not *increase* added types, and where the paper reports a big
+    /// improvement (added reduced by ≥ 50%) the measurement must improve
+    /// too.
+    pub fn shape_holds(&self) -> bool {
+        let improves = self.with.1 <= self.without.1 + 1e-9;
+        let paper_big_gain = self.paper_without.1 >= 2.0 * self.paper_with.1.max(0.05);
+        let measured_gain = self.without.1 >= 2.0 * self.with.1.max(0.05);
+        improves && (!paper_big_gain || measured_gain || self.without.1 < 0.05)
+    }
+}
+
+/// Renders the full Table 2 as fixed-width text, resolvable benchmarks
+/// above the line (paper layout), with paper values alongside.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>5} | {:>8} {:>8} | {:>8} {:>8} | {:>15} {:>15}",
+        "benchmark", "types", "w/o miss", "w/o add", "w miss", "w add", "paper w/o", "paper w"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    let mut line_drawn = false;
+    for row in rows {
+        if !row.structurally_resolvable && !line_drawn {
+            let _ = writeln!(out, "{}", "-".repeat(110));
+            line_drawn = true;
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2} | {:>7.2}/{:<7.2} {:>7.2}/{:<7.2}",
+            row.name,
+            row.types,
+            row.without.0,
+            row.without.1,
+            row.with.0,
+            row.with.1,
+            row.paper_without.0,
+            row.paper_without.1,
+            row.paper_with.0,
+            row.paper_with.1,
+        );
+    }
+    out
+}
+
+/// Renders Table 2 as a GitHub-flavoured markdown table (the format used
+/// in EXPERIMENTS.md), measured values beside the paper's.
+pub fn render_table2_markdown(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| benchmark | types | w/o SLM measured | w/ SLM measured | w/o SLM paper | w/ SLM paper |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} / {:.2} | {:.2} / {:.2} | {:.2} / {:.2} | {:.2} / {:.2} |",
+            row.name,
+            row.types,
+            row.without.0,
+            row.without.1,
+            row.with.0,
+            row.with.1,
+            row.paper_without.0,
+            row.paper_without.1,
+            row.paper_with.0,
+            row.paper_with.1,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, resolvable: bool, without: (f64, f64), with: (f64, f64)) -> Table2Row {
+        Table2Row {
+            name: name.into(),
+            types: 4,
+            without,
+            with,
+            paper_without: (0.0, 2.25),
+            paper_with: (0.0, 0.0),
+            structurally_resolvable: resolvable,
+        }
+    }
+
+    #[test]
+    fn shape_detection() {
+        // Big improvement, matches the paper's big gain.
+        assert!(row("a", false, (0.0, 2.25), (0.0, 0.0)).shape_holds());
+        // No improvement where the paper improved a lot.
+        assert!(!row("b", false, (0.0, 2.25), (0.0, 2.25)).shape_holds());
+        // Regression (with > without) never passes.
+        assert!(!row("c", false, (0.0, 0.5), (0.0, 2.0)).shape_holds());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let rows = vec![row("tinyxml", true, (0.89, 0.0), (0.89, 0.0))];
+        let md = render_table2_markdown(&rows);
+        assert!(md.starts_with("| benchmark |"));
+        assert!(md.contains("| tinyxml | 4 | 0.89 / 0.00 | 0.89 / 0.00 |"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    fn renders_with_separator() {
+        let rows = vec![
+            row("top", true, (0.0, 0.0), (0.0, 0.0)),
+            row("bottom", false, (0.0, 2.0), (0.0, 0.2)),
+        ];
+        let text = render_table2(&rows);
+        assert!(text.contains("benchmark"));
+        assert!(text.contains("top"));
+        assert!(text.contains("bottom"));
+        // Header rule + mid-table separator.
+        assert_eq!(text.matches(&"-".repeat(110)).count(), 2);
+    }
+}

@@ -1,0 +1,502 @@
+//! Chu-Liu/Edmonds minimum-weight spanning arborescence, and the
+//! minimum-weight **maximal forest** variant the paper actually solves.
+//!
+//! The paper's Heuristic 4.1 ("it is more plausible for a binary type to
+//! be a derived type than a root type") is implemented by
+//! [`min_spanning_forest`]: a virtual super-root is connected to every
+//! node with a weight larger than the sum of all real edge weights, so the
+//! optimal arborescence uses as few virtual edges as possible — every node
+//! with *any* feasible parent receives one, and only genuinely
+//! unreachable nodes become roots (Remark 4.2).
+
+use crate::DiGraph;
+
+#[derive(Clone, Copy, Debug)]
+struct WorkEdge {
+    from: usize,
+    to: usize,
+    weight: f64,
+    /// Index into the original edge list (usize::MAX for virtual edges).
+    orig: usize,
+}
+
+/// The outcome of an arborescence computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArborescenceResult {
+    /// `parent[v]` is `v`'s parent node, or `None` for the root(s).
+    pub parent: Vec<Option<usize>>,
+    /// Total weight of the selected real edges.
+    pub total_weight: f64,
+}
+
+impl ArborescenceResult {
+    /// Nodes with no parent.
+    pub fn roots(&self) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Finds a minimum-weight spanning arborescence of `graph` rooted at
+/// `root`, or `None` if some node is unreachable from `root`.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use rock_graph::{DiGraph, min_arborescence};
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(0, 2, 5.0);
+/// g.add_edge(1, 2, 1.0);
+/// let r = min_arborescence(&g, 0).unwrap();
+/// assert_eq!(r.parent, vec![None, Some(0), Some(1)]);
+/// assert_eq!(r.total_weight, 2.0);
+/// ```
+pub fn min_arborescence(graph: &DiGraph, root: usize) -> Option<ArborescenceResult> {
+    assert!(root < graph.node_count(), "root out of range");
+    let edges: Vec<WorkEdge> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| WorkEdge { from: e.from, to: e.to, weight: e.weight, orig: i })
+        .collect();
+    let chosen = solve(graph.node_count(), edges, root)?;
+    let mut parent = vec![None; graph.node_count()];
+    let mut total = 0.0;
+    for orig in chosen {
+        let e = graph.edges()[orig];
+        parent[e.to] = Some(e.from);
+        total += e.weight;
+    }
+    Some(ArborescenceResult { parent, total_weight: total })
+}
+
+/// Finds a minimum-weight **maximal forest**: every node that has at least
+/// one feasible parent gets the best one consistent with global
+/// tree-ness; nodes with no feasible parent become roots.
+///
+/// This is the paper's per-family lifting step (§4.2.2).
+///
+/// # Example
+///
+/// ```
+/// use rock_graph::{DiGraph, min_spanning_forest};
+/// let mut g = DiGraph::new(4);
+/// g.add_edge(0, 1, 0.3);
+/// g.add_edge(1, 0, 0.9);
+/// g.add_edge(0, 2, 0.2);
+/// // node 3 has no incoming edges: it stays a root.
+/// let r = min_spanning_forest(&g);
+/// assert_eq!(r.parent, vec![None, Some(0), Some(0), None]);
+/// ```
+pub fn min_spanning_forest(graph: &DiGraph) -> ArborescenceResult {
+    let n = graph.node_count();
+    if n == 0 {
+        return ArborescenceResult { parent: vec![], total_weight: 0.0 };
+    }
+    // Virtual super-root n, connected to every node with a weight so large
+    // that minimizing weight first minimizes the number of virtual edges.
+    let big: f64 = graph.edges().iter().map(|e| e.weight.abs()).sum::<f64>() + 1.0;
+    let mut edges: Vec<WorkEdge> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| WorkEdge { from: e.from, to: e.to, weight: e.weight, orig: i })
+        .collect();
+    for v in 0..n {
+        edges.push(WorkEdge { from: n, to: v, weight: big, orig: usize::MAX });
+    }
+    let chosen = solve(n + 1, edges, n).expect("virtual root reaches every node");
+    let mut parent = vec![None; n];
+    let mut total = 0.0;
+    for orig in chosen {
+        if orig == usize::MAX {
+            continue; // virtual edge: the child stays a root
+        }
+        let e = graph.edges()[orig];
+        parent[e.to] = Some(e.from);
+        total += e.weight;
+    }
+    ArborescenceResult { parent, total_weight: total }
+}
+
+/// Core recursive Chu-Liu/Edmonds. Returns the original indices of the
+/// selected edges (virtual edges keep `usize::MAX`), or `None` if some
+/// node has no incoming edge.
+fn solve(n: usize, edges: Vec<WorkEdge>, root: usize) -> Option<Vec<usize>> {
+    // 1. Cheapest incoming edge per node (deterministic tie-break: first
+    //    minimal edge in insertion order — the paper's multiple-minima
+    //    case resolves to a stable choice; see DESIGN.md).
+    let mut best: Vec<Option<usize>> = vec![None; n]; // index into `edges`
+    for (i, e) in edges.iter().enumerate() {
+        if e.to == root || e.from == e.to {
+            continue;
+        }
+        match best[e.to] {
+            None => best[e.to] = Some(i),
+            Some(j) => {
+                if e.weight < edges[j].weight {
+                    best[e.to] = Some(i);
+                }
+            }
+        }
+    }
+    for (v, b) in best.iter().enumerate() {
+        if v != root && b.is_none() {
+            return None; // unreachable node
+        }
+    }
+
+    // 2. Detect a cycle among the chosen edges.
+    let cycle = find_cycle(n, root, &best, &edges);
+    let Some(cycle_nodes) = cycle else {
+        // No cycle: the chosen edges form the arborescence.
+        return Some(
+            best.iter()
+                .enumerate()
+                .filter(|(v, _)| *v != root)
+                .map(|(_, b)| edges[b.expect("checked")].orig)
+                .collect(),
+        );
+    };
+
+    // 3. Contract the cycle into a fresh node: relabel every non-cycle
+    // node densely, map all cycle members to one id `c`.
+    let in_cycle = |v: usize| cycle_nodes.contains(&v);
+    let mut relabel = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if !in_cycle(v) {
+            relabel[v] = next;
+            next += 1;
+        }
+    }
+    let c = next;
+    for &v in &cycle_nodes {
+        relabel[v] = c;
+    }
+    let new_root = relabel[root];
+
+    // Contracted edge list; `orig` now indexes into *this* level's `edges`
+    // so the expansion below can recover original identities.
+    let mut contracted: Vec<WorkEdge> = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let (fu, fv) = (in_cycle(e.from), in_cycle(e.to));
+        if fu && fv {
+            continue;
+        }
+        let weight = if !fu && fv {
+            // Entering the cycle: reduce by the cycle edge it displaces.
+            e.weight - edges[best[e.to].expect("cycle node has best")].weight
+        } else {
+            e.weight
+        };
+        contracted.push(WorkEdge {
+            from: relabel[e.from],
+            to: relabel[e.to],
+            weight,
+            orig: i,
+        });
+    }
+
+    let sub = solve(c + 1, contracted, new_root)?;
+
+    // 4. Expand: `sub` holds indices into this level's `edges`. Exactly
+    // one selected edge enters the contracted node.
+    let mut selected: Vec<usize> = Vec::new(); // indices into `edges`
+    let mut entering_cycle: Option<usize> = None;
+    for idx in sub {
+        if in_cycle(edges[idx].to) {
+            entering_cycle = Some(idx);
+        }
+        selected.push(idx);
+    }
+    let entering = entering_cycle.expect("an arborescence must enter the contracted node");
+    // Add all cycle edges except the one displaced by `entering`.
+    let displaced_target = edges[entering].to;
+    for &v in &cycle_nodes {
+        if v == displaced_target {
+            continue;
+        }
+        selected.push(best[v].expect("cycle node has best"));
+    }
+    Some(selected.into_iter().map(|i| edges[i].orig).collect())
+}
+
+/// Finds one cycle formed by the chosen best-incoming edges, if any.
+fn find_cycle(
+    n: usize,
+    root: usize,
+    best: &[Option<usize>],
+    edges: &[WorkEdge],
+) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unseen,
+        InProgress(u32),
+        Done,
+    }
+    let mut marks = vec![Mark::Unseen; n];
+    for start in 0..n {
+        if start == root || marks[start] != Mark::Unseen {
+            continue;
+        }
+        let stamp = start as u32;
+        let mut v = start;
+        loop {
+            if v == root {
+                break;
+            }
+            match marks[v] {
+                Mark::Done => break,
+                Mark::InProgress(s) if s == stamp => {
+                    // Found a cycle: walk it again to collect members.
+                    let mut cycle = vec![v];
+                    let mut u = edges[best[v].expect("has best")].from;
+                    while u != v {
+                        cycle.push(u);
+                        u = edges[best[u].expect("has best")].from;
+                    }
+                    return Some(cycle);
+                }
+                Mark::InProgress(_) => break,
+                Mark::Unseen => {
+                    marks[v] = Mark::InProgress(stamp);
+                    v = edges[best[v].expect("has best")].from;
+                }
+            }
+        }
+        // Mark the walked path done.
+        let mut v = start;
+        while v != root && marks[v] == Mark::InProgress(stamp) {
+            marks[v] = Mark::Done;
+            v = edges[best[v].expect("has best")].from;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node() {
+        let g = DiGraph::new(1);
+        let r = min_arborescence(&g, 0).unwrap();
+        assert_eq!(r.parent, vec![None]);
+        assert_eq!(r.total_weight, 0.0);
+        let f = min_spanning_forest(&g);
+        assert_eq!(f.parent, vec![None]);
+    }
+
+    #[test]
+    fn unreachable_node_fails_rooted() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(min_arborescence(&g, 0).is_none());
+    }
+
+    #[test]
+    fn simple_chain() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(0, 2, 10.0);
+        let r = min_arborescence(&g, 0).unwrap();
+        assert_eq!(r.parent, vec![None, Some(0), Some(1)]);
+        assert_eq!(r.total_weight, 3.0);
+    }
+
+    #[test]
+    fn cycle_contraction() {
+        // Classic example requiring contraction: 0 is root; 1 and 2 prefer
+        // each other, but the arborescence must break the 1<->2 cycle.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(0, 2, 10.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        let r = min_arborescence(&g, 0).unwrap();
+        assert_eq!(r.total_weight, 11.0);
+        // Either 0->1->2 or 0->2->1.
+        let ok = r.parent == vec![None, Some(0), Some(1)]
+            || r.parent == vec![None, Some(2), Some(0)];
+        assert!(ok, "got {:?}", r.parent);
+    }
+
+    #[test]
+    fn nested_cycles() {
+        // 4 nodes, cycle 1->2->3->1 cheap, root edges expensive.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 100.0);
+        g.add_edge(0, 2, 101.0);
+        g.add_edge(0, 3, 102.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 1, 1.0);
+        let r = min_arborescence(&g, 0).unwrap();
+        // Must pick the cheapest entry (0->1) and two cycle edges.
+        assert_eq!(r.total_weight, 102.0);
+        assert_eq!(r.parent[1], Some(0));
+        assert_eq!(r.parent[2], Some(1));
+        assert_eq!(r.parent[3], Some(2));
+    }
+
+    #[test]
+    fn forest_leaves_unparented_nodes_as_roots() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 0.3);
+        g.add_edge(0, 2, 0.2);
+        // 3 is isolated.
+        let r = min_spanning_forest(&g);
+        assert_eq!(r.parent, vec![None, Some(0), Some(0), None]);
+        assert_eq!(r.roots(), vec![0, 3]);
+        assert!((r.total_weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_prefers_derived_over_root() {
+        // Heuristic 4.1: even an expensive real parent beats becoming a
+        // root.
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 1e6);
+        let r = min_spanning_forest(&g);
+        assert_eq!(r.parent, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn forest_breaks_two_cycles_into_two_trees() {
+        // Two independent 2-cycles: each must become a 2-node tree.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 2.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 2, 2.0);
+        let r = min_spanning_forest(&g);
+        assert_eq!(r.parent, vec![None, Some(0), None, Some(2)]);
+        assert_eq!(r.roots(), vec![0, 2]);
+        assert_eq!(r.total_weight, 2.0);
+    }
+
+    #[test]
+    fn asymmetric_weights_pick_the_cheap_direction() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 0.07);
+        g.add_edge(1, 0, 0.21);
+        let r = min_spanning_forest(&g);
+        assert_eq!(r.parent, vec![None, Some(0)]);
+        assert!((r.total_weight - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        let r = min_spanning_forest(&g);
+        assert!(r.parent.is_empty());
+        assert_eq!(r.total_weight, 0.0);
+    }
+
+    /// Brute force: enumerate all parent assignments for tiny graphs and
+    /// verify optimality of the rooted arborescence.
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        use std::collections::HashMap;
+        let cases: Vec<Vec<(usize, usize, f64)>> = vec![
+            vec![(0, 1, 3.0), (0, 2, 1.0), (1, 2, 0.5), (2, 1, 0.5)],
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 2.0), (3, 1, 0.1)],
+            vec![(0, 1, 5.0), (0, 2, 5.0), (1, 2, 0.1), (2, 1, 0.1), (0, 3, 1.0), (3, 2, 0.2)],
+        ];
+        for edges in cases {
+            let n = edges.iter().map(|e| e.0.max(e.1)).max().unwrap() + 1;
+            let mut g = DiGraph::new(n);
+            for (f, t, w) in &edges {
+                g.add_edge(*f, *t, *w);
+            }
+            let got = min_arborescence(&g, 0).map(|r| r.total_weight);
+            let want = brute_force(n, &edges);
+            match (got, want) {
+                (Some(gw), Some(ww)) => {
+                    assert!((gw - ww).abs() < 1e-9, "edmonds {gw} vs brute {ww} for {edges:?}")
+                }
+                (None, None) => {}
+                other => panic!("feasibility mismatch {other:?} for {edges:?}"),
+            }
+        }
+
+        fn brute_force(n: usize, edges: &[(usize, usize, f64)]) -> Option<f64> {
+            // Enumerate, for each non-root node, which incoming edge it
+            // uses; check acyclicity/reachability.
+            let mut best: Option<f64> = None;
+            let mut incoming: Vec<Vec<(usize, f64)>> = vec![vec![]; n];
+            for (f, t, w) in edges {
+                incoming[*t].push((*f, *w));
+            }
+            let mut choice = vec![0usize; n];
+            loop {
+                // Evaluate current choice if every node has an option.
+                if (1..n).all(|v| !incoming[v].is_empty()) {
+                    let mut parent: HashMap<usize, usize> = HashMap::new();
+                    let mut weight = 0.0;
+                    for v in 1..n {
+                        let (p, w) = incoming[v][choice[v]];
+                        parent.insert(v, p);
+                        weight += w;
+                    }
+                    // Reachability from 0 following parents upward.
+                    let mut ok = true;
+                    for v in 1..n {
+                        let mut cur = v;
+                        let mut steps = 0;
+                        while cur != 0 {
+                            match parent.get(&cur) {
+                                Some(p) => cur = *p,
+                                None => break,
+                            }
+                            steps += 1;
+                            if steps > n {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if cur != 0 {
+                            ok = false;
+                        }
+                        if !ok {
+                            break;
+                        }
+                    }
+                    if ok {
+                        best = Some(match best {
+                            None => weight,
+                            Some(b) => b.min(weight),
+                        });
+                    }
+                } else {
+                    return None;
+                }
+                // Next combination.
+                let mut v = 1;
+                loop {
+                    if v >= n {
+                        return best;
+                    }
+                    choice[v] += 1;
+                    if choice[v] < incoming[v].len() {
+                        break;
+                    }
+                    choice[v] = 0;
+                    v += 1;
+                }
+            }
+        }
+    }
+}

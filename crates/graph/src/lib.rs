@@ -1,0 +1,35 @@
+//! Graph algorithms for hierarchy lifting (Rock, ASPLOS'18 §4.2.2).
+//!
+//! The paper reduces "find the most likely class hierarchy" to finding a
+//! **minimum-weight spanning arborescence** in a directed weighted graph
+//! whose edge `a → b` (weight `D_KL(SLM(a) ‖ SLM(b))`… historically
+//! written child-ward; here weights come from the caller) means *a is a
+//! possible parent of b*.
+//!
+//! This crate provides:
+//!
+//! * [`DiGraph`] — a small directed weighted multigraph over dense node
+//!   indices;
+//! * [`min_arborescence`] — Chu-Liu/Edmonds rooted at an explicit root;
+//! * [`min_spanning_forest`] — the paper's actual problem: a
+//!   minimum-weight **maximal forest** (every node that *can* have a
+//!   parent gets one — Heuristic 4.1), implemented with a virtual
+//!   super-root;
+//! * [`UnionFind`] — used by the structural family clustering (§5.1);
+//! * [`Forest`] — a node-labelled directed forest (NLD-forest, §4.1) with
+//!   the successor queries the evaluation needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digraph;
+mod edmonds;
+mod forest;
+mod ties;
+mod unionfind;
+
+pub use digraph::{DiGraph, Edge};
+pub use edmonds::{min_arborescence, min_spanning_forest, ArborescenceResult};
+pub use forest::Forest;
+pub use ties::{co_optimal_forests, majority_vote, vote_select};
+pub use unionfind::UnionFind;

@@ -1,0 +1,218 @@
+//! Intra-procedural control-flow graphs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rock_binary::{Addr, Instr};
+
+use crate::Function;
+
+/// A basic block: a maximal straight-line instruction run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// Indices into the owning function's instruction list.
+    pub instr_range: (usize, usize),
+    /// Start addresses of successor blocks.
+    pub succs: Vec<Addr>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.instr_range.1 - self.instr_range.0
+    }
+
+    /// Returns `true` if the block holds no instructions (never produced
+    /// by [`Cfg::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The control-flow graph of one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfg {
+    entry: Addr,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a recovered function.
+    ///
+    /// Branch targets outside the function (tail jumps) are treated as
+    /// block terminators with no intra-procedural successor.
+    pub fn build(function: &Function) -> Cfg {
+        let instrs = function.instrs();
+        // Leaders: entry, branch targets inside the function, fall-through
+        // successors of terminators.
+        let mut leaders: BTreeSet<Addr> = BTreeSet::new();
+        leaders.insert(function.entry());
+        for (i, d) in instrs.iter().enumerate() {
+            match d.instr {
+                Instr::Jmp { target } | Instr::Branch { target, .. } => {
+                    if function.contains(target) {
+                        leaders.insert(target);
+                    }
+                    if i + 1 < instrs.len() {
+                        leaders.insert(instrs[i + 1].addr);
+                    }
+                }
+                Instr::Ret | Instr::Halt => {
+                    if i + 1 < instrs.len() {
+                        leaders.insert(instrs[i + 1].addr);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let leader_list: Vec<Addr> = leaders.iter().copied().collect();
+        for (bi, &start) in leader_list.iter().enumerate() {
+            let lo = function.index_of(start).expect("leader is an instruction start");
+            let hi = leader_list
+                .get(bi + 1)
+                .and_then(|next| function.index_of(*next))
+                .unwrap_or(instrs.len());
+            let last = &instrs[hi - 1];
+            let mut succs = Vec::new();
+            match last.instr {
+                Instr::Jmp { target } => {
+                    if function.contains(target) {
+                        succs.push(target);
+                    }
+                }
+                Instr::Branch { target, .. } => {
+                    if function.contains(target) {
+                        succs.push(target);
+                    }
+                    if hi < instrs.len() {
+                        succs.push(instrs[hi].addr);
+                    }
+                }
+                Instr::Ret | Instr::Halt => {}
+                _ => {
+                    if hi < instrs.len() {
+                        succs.push(instrs[hi].addr);
+                    }
+                }
+            }
+            blocks.push(BasicBlock { start, instr_range: (lo, hi), succs });
+        }
+        Cfg { entry: function.entry(), blocks }
+    }
+
+    /// The entry block's address.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// All blocks, ordered by start address.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block starting at `addr`.
+    pub fn block_at(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.blocks.binary_search_by_key(&addr, |b| b.start).ok().map(|i| &self.blocks[i])
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if the CFG has no blocks (never produced by
+    /// [`Cfg::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.blocks {
+            write!(f, "block @{} ({} instrs) ->", b.start, b.len())?;
+            for s in &b.succs {
+                write!(f, " {s}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecodedInstr;
+    use rock_binary::{encoded_len, Reg};
+
+    /// Builds a Function from instructions, assigning addresses by length.
+    fn function(entry: u64, instrs: &[Instr]) -> Function {
+        let mut out = Vec::new();
+        let mut addr = Addr::new(entry);
+        for i in instrs {
+            let len = encoded_len(i);
+            out.push(DecodedInstr { addr, instr: *i, len });
+            addr += len as u64;
+        }
+        Function::new(Addr::new(entry), out)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let f = function(0x100, &[Instr::Enter { frame: 0 }, Instr::Nop, Instr::Ret]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert_eq!(cfg.blocks()[0].len(), 3);
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        // enter; bnz r1, L; nop; L: ret
+        let enter = Instr::Enter { frame: 0 };
+        let nop = Instr::Nop;
+        let ret = Instr::Ret;
+        let e0 = encoded_len(&enter) as u64;
+        let b0 = encoded_len(&Instr::Branch { cond: Reg::R1, target: Addr::NULL }) as u64;
+        let n0 = encoded_len(&nop) as u64;
+        let l = 0x100 + e0 + b0 + n0; // address of ret
+        let f = function(
+            0x100,
+            &[enter, Instr::Branch { cond: Reg::R1, target: Addr::new(l) }, nop, ret],
+        );
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 3);
+        let entry_block = cfg.block_at(Addr::new(0x100)).unwrap();
+        assert_eq!(entry_block.succs.len(), 2, "branch: target + fallthrough");
+        assert!(entry_block.succs.contains(&Addr::new(l)));
+        let ret_block = cfg.block_at(Addr::new(l)).unwrap();
+        assert!(ret_block.succs.is_empty());
+    }
+
+    #[test]
+    fn backward_jmp_forms_loop() {
+        let enter = Instr::Enter { frame: 0 };
+        let e0 = encoded_len(&enter) as u64;
+        let top = 0x100 + e0;
+        // enter; top: nop; jmp top
+        let f = function(0x100, &[enter, Instr::Nop, Instr::Jmp { target: Addr::new(top) }]);
+        let cfg = Cfg::build(&f);
+        let loop_block = cfg.block_at(Addr::new(top)).unwrap();
+        assert_eq!(loop_block.succs, vec![Addr::new(top)]);
+    }
+
+    #[test]
+    fn entry_accessor() {
+        let f = function(0x400, &[Instr::Enter { frame: 0 }, Instr::Ret]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.entry(), Addr::new(0x400));
+        assert!(cfg.block_at(Addr::new(0x999)).is_none());
+        assert!(cfg.to_string().contains("block @0x400"));
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+use rock_binary::{Addr, DecodeError};
+
+/// An error produced while loading a binary image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The image has no text section.
+    NoTextSection,
+    /// Disassembly of the text section failed.
+    Decode(DecodeError),
+    /// The text section does not begin with a function prologue.
+    NoPrologueAtStart {
+        /// Address of the first text byte.
+        at: Addr,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::NoTextSection => write!(f, "image has no text section"),
+            LoadError::Decode(e) => write!(f, "disassembly failed: {e}"),
+            LoadError::NoPrologueAtStart { at } => {
+                write!(f, "text section does not start with a function prologue at {at}")
+            }
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for LoadError {
+    fn from(e: DecodeError) -> Self {
+        LoadError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert_eq!(LoadError::NoTextSection.to_string(), "image has no text section");
+        let e = LoadError::from(DecodeError::Truncated { at: Addr::new(4) });
+        assert!(e.to_string().contains("disassembly failed"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&LoadError::NoTextSection).is_none());
+    }
+}

@@ -1,0 +1,150 @@
+use std::fmt;
+
+use rock_binary::{Addr, Instr};
+
+/// One decoded instruction with its address and encoded length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// Address of the first byte.
+    pub addr: Addr,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Encoded length in bytes.
+    pub len: usize,
+}
+
+impl DecodedInstr {
+    /// Address of the next instruction (fall-through successor).
+    pub fn next_addr(&self) -> Addr {
+        self.addr + self.len as u64
+    }
+}
+
+impl fmt::Display for DecodedInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.addr, self.instr)
+    }
+}
+
+/// A recovered function: entry address plus its disassembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    entry: Addr,
+    instrs: Vec<DecodedInstr>,
+}
+
+impl Function {
+    /// Creates a function from its disassembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty or the first instruction's address is
+    /// not `entry`.
+    pub fn new(entry: Addr, instrs: Vec<DecodedInstr>) -> Self {
+        assert!(!instrs.is_empty(), "function without instructions");
+        assert_eq!(instrs[0].addr, entry, "first instruction must sit at entry");
+        Function { entry, instrs }
+    }
+
+    /// The entry address (what call targets and vtable slots point at).
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> Addr {
+        let last = self.instrs.last().expect("non-empty");
+        last.next_addr()
+    }
+
+    /// The disassembled instructions, in address order.
+    pub fn instrs(&self) -> &[DecodedInstr] {
+        &self.instrs
+    }
+
+    /// Index of the instruction at `addr`, if it is an instruction start.
+    pub fn index_of(&self, addr: Addr) -> Option<usize> {
+        self.instrs.binary_search_by_key(&addr, |d| d.addr).ok()
+    }
+
+    /// Returns `true` if `addr` lies within the function's extent.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.entry && addr < self.end()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the function has no instructions (never happens
+    /// for functions built through [`Function::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn @{}", self.entry)?;
+        for i in &self.instrs {
+            writeln!(f, "  {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_binary::Reg;
+
+    fn sample() -> Function {
+        Function::new(
+            Addr::new(0x100),
+            vec![
+                DecodedInstr { addr: Addr::new(0x100), instr: Instr::Enter { frame: 0 }, len: 3 },
+                DecodedInstr {
+                    addr: Addr::new(0x103),
+                    instr: Instr::MovImm { dst: Reg::R0, imm: 1 },
+                    len: 10,
+                },
+                DecodedInstr { addr: Addr::new(0x10d), instr: Instr::Ret, len: 1 },
+            ],
+        )
+    }
+
+    #[test]
+    fn extents() {
+        let f = sample();
+        assert_eq!(f.entry(), Addr::new(0x100));
+        assert_eq!(f.end(), Addr::new(0x10e));
+        assert!(f.contains(Addr::new(0x10d)));
+        assert!(!f.contains(Addr::new(0x10e)));
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let f = sample();
+        assert_eq!(f.index_of(Addr::new(0x103)), Some(1));
+        assert_eq!(f.index_of(Addr::new(0x104)), None, "mid-instruction address");
+    }
+
+    #[test]
+    #[should_panic(expected = "first instruction")]
+    fn mismatched_entry_panics() {
+        Function::new(
+            Addr::new(0x200),
+            vec![DecodedInstr { addr: Addr::new(0x100), instr: Instr::Ret, len: 1 }],
+        );
+    }
+
+    #[test]
+    fn display() {
+        let s = sample().to_string();
+        assert!(s.contains("fn @0x100"));
+        assert!(s.contains("ret"));
+    }
+}

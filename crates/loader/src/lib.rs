@@ -1,0 +1,55 @@
+//! Loader: from raw [`rock_binary::BinaryImage`] bytes to analyzable form.
+//!
+//! Everything here works on a **stripped** image — no symbols, no RTTI:
+//!
+//! * **Function boundary recovery** — linear-sweep disassembly of the text
+//!   section; `enter` prologues mark function entry points (the analogue of
+//!   recognizing `push ebp; mov ebp, esp` signatures in x86 binaries).
+//! * **Vtable discovery** — candidate rodata addresses referenced from code
+//!   are scanned for runs of function-entry pointers; each run is a virtual
+//!   function table, i.e. a *binary type* in the paper's sense (§3.2:
+//!   "We use the set of virtual tables to represent the explicit types").
+//! * **CFG construction** — per-function basic blocks and edges, consumed
+//!   by the symbolic execution of `rock-analysis`.
+//!
+//! # Example
+//!
+//! ```
+//! use rock_binary::{ImageBuilder, Instr, Reg};
+//! use rock_loader::LoadedBinary;
+//!
+//! let mut b = ImageBuilder::new();
+//! let f = b.begin_function("f");
+//! b.push(Instr::Enter { frame: 0 });
+//! b.push(Instr::Ret);
+//! b.end_function();
+//! let vt = b.add_vtable("vt", vec![f]);
+//! // Reference the vtable from code so the scanner can find it.
+//! let g = b.begin_function("g");
+//! b.push(Instr::Enter { frame: 0 });
+//! b.push_mov_vtable_addr(Reg::R1, vt);
+//! b.push(Instr::Ret);
+//! b.end_function();
+//! let mut image = b.finish();
+//! image.strip();
+//! let loaded = LoadedBinary::load(image)?;
+//! assert_eq!(loaded.functions().len(), 2);
+//! assert_eq!(loaded.vtables().len(), 1);
+//! # let _ = g;
+//! # Ok::<(), rock_loader::LoadError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod error;
+mod function;
+mod load;
+mod vtable;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use error::LoadError;
+pub use function::{DecodedInstr, Function};
+pub use load::LoadedBinary;
+pub use vtable::Vtable;

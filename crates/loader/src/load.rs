@@ -1,0 +1,287 @@
+//! Whole-image loading: function recovery + vtable discovery.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rock_binary::{decode_instr, Addr, BinaryImage, Instr, SectionKind, WORD_SIZE};
+
+use crate::{Cfg, DecodedInstr, Function, LoadError, Vtable};
+
+/// A fully loaded binary: the image plus recovered functions and vtables.
+///
+/// Built by [`LoadedBinary::load`]; this is the input type of the Rock
+/// structural and behavioral analyses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadedBinary {
+    image: BinaryImage,
+    functions: Vec<Function>,
+    vtables: Vec<Vtable>,
+}
+
+impl LoadedBinary {
+    /// Loads an image: disassembles the text section, recovers function
+    /// boundaries from `enter` prologues, and discovers vtables in rodata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] if the image has no text section or the text
+    /// bytes fail to disassemble.
+    pub fn load(image: BinaryImage) -> Result<LoadedBinary, LoadError> {
+        let text = image.section(SectionKind::Text).ok_or(LoadError::NoTextSection)?;
+
+        // Linear sweep.
+        let mut decoded: Vec<DecodedInstr> = Vec::new();
+        let mut pos = 0usize;
+        let bytes = text.bytes();
+        while pos < bytes.len() {
+            let addr = text.base() + pos as u64;
+            let (instr, len) = decode_instr(&bytes[pos..], addr)?;
+            decoded.push(DecodedInstr { addr, instr, len });
+            pos += len;
+        }
+
+        // Function boundaries: every `enter` begins a function.
+        let mut functions = Vec::new();
+        if !decoded.is_empty() {
+            if !matches!(decoded[0].instr, Instr::Enter { .. }) {
+                return Err(LoadError::NoPrologueAtStart { at: decoded[0].addr });
+            }
+            let mut start = 0usize;
+            for i in 1..=decoded.len() {
+                let is_boundary =
+                    i == decoded.len() || matches!(decoded[i].instr, Instr::Enter { .. });
+                if is_boundary {
+                    let body = decoded[start..i].to_vec();
+                    functions.push(Function::new(body[0].addr, body));
+                    start = i;
+                }
+            }
+        }
+
+        let vtables = discover_vtables(&image, &functions, &decoded);
+        Ok(LoadedBinary { image, functions, vtables })
+    }
+
+    /// The underlying image.
+    pub fn image(&self) -> &BinaryImage {
+        &self.image
+    }
+
+    /// Recovered functions, sorted by entry address.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The function whose entry is exactly `addr`.
+    pub fn function_at(&self, addr: Addr) -> Option<&Function> {
+        self.functions.binary_search_by_key(&addr, Function::entry).ok().map(|i| &self.functions[i])
+    }
+
+    /// The function containing `addr`.
+    pub fn function_containing(&self, addr: Addr) -> Option<&Function> {
+        self.functions.iter().find(|f| f.contains(addr))
+    }
+
+    /// Discovered vtables (binary types), sorted by address.
+    pub fn vtables(&self) -> &[Vtable] {
+        &self.vtables
+    }
+
+    /// The vtable at `addr`.
+    pub fn vtable_at(&self, addr: Addr) -> Option<&Vtable> {
+        self.vtables.binary_search_by_key(&addr, Vtable::addr).ok().map(|i| &self.vtables[i])
+    }
+
+    /// All vtables containing `function` in some slot.
+    pub fn vtables_containing(&self, function: Addr) -> Vec<&Vtable> {
+        self.vtables.iter().filter(|vt| vt.slots().contains(&function)).collect()
+    }
+
+    /// Builds the CFG of `function`.
+    pub fn cfg_of(&self, function: &Function) -> Cfg {
+        Cfg::build(function)
+    }
+}
+
+impl fmt::Display for LoadedBinary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loaded binary: {} functions, {} vtables",
+            self.functions.len(),
+            self.vtables.len()
+        )
+    }
+}
+
+/// Vtable discovery (§3.2): candidate rodata addresses referenced from
+/// code, scanned for runs of function-entry pointers.
+fn discover_vtables(
+    image: &BinaryImage,
+    functions: &[Function],
+    decoded: &[DecodedInstr],
+) -> Vec<Vtable> {
+    let Some(rodata) = image.section(SectionKind::RoData) else {
+        return Vec::new();
+    };
+    let entries: BTreeSet<Addr> = functions.iter().map(Function::entry).collect();
+
+    // Candidate table starts: immediates in code that point into rodata.
+    let mut candidates: BTreeSet<Addr> = BTreeSet::new();
+    for d in decoded {
+        if let Instr::MovImm { imm, .. } = d.instr {
+            let a = Addr::new(imm);
+            if rodata.contains(a) && a.value() % WORD_SIZE == 0 {
+                candidates.insert(a);
+            }
+        }
+    }
+
+    let cand_list: Vec<Addr> = candidates.iter().copied().collect();
+    let mut vtables = Vec::new();
+    for (i, &start) in cand_list.iter().enumerate() {
+        let limit = cand_list.get(i + 1).copied().unwrap_or(rodata.end());
+        let mut slots = Vec::new();
+        let mut cur = start;
+        while cur < limit {
+            match rodata.read_word(cur) {
+                Some(w) if entries.contains(&Addr::new(w)) => {
+                    slots.push(Addr::new(w));
+                    cur += WORD_SIZE;
+                }
+                _ => break,
+            }
+        }
+        if !slots.is_empty() {
+            vtables.push(Vtable::new(start, slots));
+        }
+    }
+    vtables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_binary::{ImageBuilder, Reg};
+
+    /// Two classes; B extends A (2 slots), ctors reference the vtables.
+    fn two_class_image() -> (BinaryImage, Vec<Addr>) {
+        let mut b = ImageBuilder::new();
+        let m0 = b.begin_function("A::m0");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        let m1 = b.begin_function("B::m1");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Nop);
+        b.push(Instr::Ret);
+        b.end_function();
+        let vt_a = b.add_vtable("vtable for A", vec![m0]);
+        let vt_b = b.add_vtable("vtable for B", vec![m0, m1]);
+        b.begin_function("A::ctor");
+        b.push(Instr::Enter { frame: 0 });
+        b.push_mov_vtable_addr(Reg::R7, vt_a);
+        b.push(Instr::Store { base: Reg::R0, offset: 0, src: Reg::R7 });
+        b.push(Instr::Ret);
+        b.end_function();
+        b.begin_function("B::ctor");
+        b.push(Instr::Enter { frame: 0 });
+        b.push_mov_vtable_addr(Reg::R7, vt_b);
+        b.push(Instr::Store { base: Reg::R0, offset: 0, src: Reg::R7 });
+        b.push(Instr::Ret);
+        b.end_function();
+        let (mut image, layout) = b.finish_with_layout();
+        image.strip();
+        let addrs = vec![layout.vtable(vt_a), layout.vtable(vt_b)];
+        (image, addrs)
+    }
+
+    #[test]
+    fn recovers_functions_and_vtables() {
+        let (image, vt_addrs) = two_class_image();
+        let loaded = LoadedBinary::load(image).unwrap();
+        assert_eq!(loaded.functions().len(), 4);
+        assert_eq!(loaded.vtables().len(), 2);
+        assert_eq!(loaded.vtables()[0].addr(), vt_addrs[0]);
+        assert_eq!(loaded.vtables()[1].addr(), vt_addrs[1]);
+        assert_eq!(loaded.vtables()[0].len(), 1);
+        assert_eq!(loaded.vtables()[1].len(), 2);
+        // Shared slot 0 (inherited implementation).
+        assert_eq!(loaded.vtables()[0].slots()[0], loaded.vtables()[1].slots()[0]);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let (image, _) = two_class_image();
+        let loaded = LoadedBinary::load(image).unwrap();
+        let f0 = &loaded.functions()[0];
+        assert_eq!(loaded.function_at(f0.entry()).unwrap().entry(), f0.entry());
+        assert!(loaded.function_at(f0.entry() + 1).is_none());
+        assert!(loaded.function_containing(f0.entry() + 1).is_some());
+        let last = loaded.functions().last().unwrap();
+        assert!(loaded.function_containing(last.end()).is_none());
+    }
+
+    #[test]
+    fn vtable_membership() {
+        let (image, _) = two_class_image();
+        let loaded = LoadedBinary::load(image).unwrap();
+        let shared = loaded.vtables()[0].slots()[0];
+        assert_eq!(loaded.vtables_containing(shared).len(), 2);
+        let own = loaded.vtables()[1].slots()[1];
+        assert_eq!(loaded.vtables_containing(own).len(), 1);
+        assert!(loaded.vtable_at(loaded.vtables()[0].addr()).is_some());
+        assert!(loaded.vtable_at(Addr::new(1)).is_none());
+    }
+
+    #[test]
+    fn unreferenced_tables_are_invisible() {
+        // A vtable never mentioned in code is not discovered (mirrors real
+        // scanners needing an anchor).
+        let mut b = ImageBuilder::new();
+        let f = b.begin_function("f");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        b.add_vtable("orphan", vec![f]);
+        let mut image = b.finish();
+        image.strip();
+        let loaded = LoadedBinary::load(image).unwrap();
+        assert!(loaded.vtables().is_empty());
+    }
+
+    #[test]
+    fn rodata_noise_rejected() {
+        let mut b = ImageBuilder::new();
+        let f = b.begin_function("f");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        // Noise blob made of huge values, referenced from code as if data.
+        b.add_rodata_blob(0, 0xfff0_0000_0000_0001u64.to_le_bytes().to_vec());
+        let vt = b.add_vtable("vt", vec![f]);
+        b.begin_function("g");
+        b.push(Instr::Enter { frame: 0 });
+        b.push_mov_vtable_addr(Reg::R1, vt);
+        b.push(Instr::Ret);
+        b.end_function();
+        let mut image = b.finish();
+        image.strip();
+        let loaded = LoadedBinary::load(image).unwrap();
+        assert_eq!(loaded.vtables().len(), 1);
+        assert_eq!(loaded.vtables()[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_image_fails() {
+        let image = BinaryImage::new(vec![]);
+        assert_eq!(LoadedBinary::load(image), Err(LoadError::NoTextSection));
+    }
+
+    #[test]
+    fn display() {
+        let (image, _) = two_class_image();
+        let loaded = LoadedBinary::load(image).unwrap();
+        assert!(loaded.to_string().contains("4 functions"));
+    }
+}

@@ -1,0 +1,112 @@
+use std::fmt;
+
+use rock_binary::Addr;
+
+/// A discovered virtual function table — a *binary type* in the paper's
+/// terminology (§3.2).
+///
+/// `slots[i]` is the entry address of the implementation of the class's
+/// i-th virtual function.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vtable {
+    addr: Addr,
+    slots: Vec<Addr>,
+}
+
+impl Vtable {
+    /// Creates a vtable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty — a vtable always has at least one
+    /// virtual function.
+    pub fn new(addr: Addr, slots: Vec<Addr>) -> Self {
+        assert!(!slots.is_empty(), "vtable without slots");
+        Vtable { addr, slots }
+    }
+
+    /// Address of slot 0 — the identity of the binary type.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The function addresses in slot order.
+    pub fn slots(&self) -> &[Addr] {
+        &self.slots
+    }
+
+    /// Number of virtual functions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always `false`; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns `true` if any slot of `self` points at the same function as
+    /// a slot of `other` — the "DNA fingerprint" of §5.1.
+    pub fn shares_function_with(&self, other: &Vtable) -> bool {
+        self.slots.iter().any(|s| other.slots.contains(s))
+    }
+
+    /// Returns `true` if `self` could be an ancestor's vtable of `other`
+    /// positionally: it is no longer, and shared prefix positions are not
+    /// contradicted. (Only a cheap helper; real rules live in
+    /// `rock-structural`.)
+    pub fn slot_count_compatible_as_parent_of(&self, other: &Vtable) -> bool {
+        self.len() <= other.len()
+    }
+}
+
+impl fmt::Display for Vtable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vtable @{} [", self.addr)?;
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let vt = Vtable::new(Addr::new(0x2000), vec![Addr::new(0x1000), Addr::new(0x1010)]);
+        assert_eq!(vt.addr(), Addr::new(0x2000));
+        assert_eq!(vt.len(), 2);
+        assert!(!vt.is_empty());
+        assert_eq!(vt.slots()[1], Addr::new(0x1010));
+    }
+
+    #[test]
+    fn sharing() {
+        let a = Vtable::new(Addr::new(0x2000), vec![Addr::new(0x1000)]);
+        let b = Vtable::new(Addr::new(0x2010), vec![Addr::new(0x1000), Addr::new(0x1020)]);
+        let c = Vtable::new(Addr::new(0x2030), vec![Addr::new(0x1030)]);
+        assert!(a.shares_function_with(&b));
+        assert!(b.shares_function_with(&a));
+        assert!(!a.shares_function_with(&c));
+        assert!(a.slot_count_compatible_as_parent_of(&b));
+        assert!(!b.slot_count_compatible_as_parent_of(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "vtable without slots")]
+    fn empty_vtable_panics() {
+        Vtable::new(Addr::new(0), vec![]);
+    }
+
+    #[test]
+    fn display() {
+        let vt = Vtable::new(Addr::new(0x2000), vec![Addr::new(0x1000)]);
+        assert_eq!(vt.to_string(), "vtable @0x2000 [0x1000]");
+    }
+}

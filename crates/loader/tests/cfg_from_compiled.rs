@@ -1,0 +1,176 @@
+//! CFG construction validated against compiled MiniCpp control flow.
+
+use rock_binary::Instr;
+use rock_loader::{Cfg, LoadedBinary};
+use rock_minicpp::{compile, CompileOptions, Expr, ProgramBuilder};
+
+fn load(p: ProgramBuilder) -> (LoadedBinary, rock_minicpp::Compiled) {
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    (loaded, compiled)
+}
+
+fn cfg_of(loaded: &LoadedBinary, compiled: &rock_minicpp::Compiled, name: &str) -> Cfg {
+    let entry = compiled.image().symbols().by_name(name).unwrap().addr;
+    Cfg::build(loaded.function_at(entry).unwrap())
+}
+
+#[test]
+fn straight_line_function_is_one_block() {
+    let mut p = ProgramBuilder::new();
+    p.func("f", |f| {
+        f.let_("x", Expr::Const(1));
+        f.let_("y", Expr::Const(2));
+        f.ret_val(Expr::Var("x".into()));
+    });
+    let (loaded, compiled) = load(p);
+    let cfg = cfg_of(&loaded, &compiled, "f");
+    assert_eq!(cfg.len(), 1);
+    assert!(cfg.blocks()[0].succs.is_empty());
+}
+
+#[test]
+fn if_else_is_a_diamondish_shape() {
+    let mut p = ProgramBuilder::new();
+    p.func("f", |f| {
+        f.param_val("c");
+        f.if_else(
+            Expr::Param(0),
+            |t| {
+                t.let_("a", Expr::Const(1));
+            },
+            |e| {
+                e.let_("b", Expr::Const(2));
+            },
+        );
+        f.ret();
+    });
+    let (loaded, compiled) = load(p);
+    let cfg = cfg_of(&loaded, &compiled, "f");
+    // entry(branch) + else + then + join.
+    assert!(cfg.len() >= 4, "{cfg}");
+    // The entry block ends in a two-way branch.
+    let entry = cfg.block_at(cfg.entry()).unwrap();
+    assert_eq!(entry.succs.len(), 2);
+    // Every block is reachable from the entry.
+    let mut reached = std::collections::BTreeSet::new();
+    let mut stack = vec![cfg.entry()];
+    while let Some(b) = stack.pop() {
+        if reached.insert(b) {
+            stack.extend(&cfg.block_at(b).unwrap().succs);
+        }
+    }
+    assert_eq!(reached.len(), cfg.len(), "unreachable blocks");
+}
+
+#[test]
+fn while_loop_has_a_back_edge() {
+    let mut p = ProgramBuilder::new();
+    p.func("f", |f| {
+        f.param_val("n");
+        f.let_("i", Expr::Const(0));
+        f.while_loop(
+            Expr::bin(rock_binary::BinOp::Lt, Expr::Var("i".into()), Expr::Param(0)),
+            |b| {
+                b.let_("i", Expr::bin(rock_binary::BinOp::Add, Expr::Var("i".into()), Expr::Const(1)));
+            },
+        );
+        f.ret();
+    });
+    let (loaded, compiled) = load(p);
+    let cfg = cfg_of(&loaded, &compiled, "f");
+    // A back edge exists: some block's successor has a smaller start
+    // address than the block itself.
+    let back_edges = cfg
+        .blocks()
+        .iter()
+        .flat_map(|b| b.succs.iter().map(move |s| (b.start, *s)))
+        .filter(|(from, to)| to <= from)
+        .count();
+    assert!(back_edges >= 1, "{cfg}");
+}
+
+#[test]
+fn calls_do_not_split_blocks() {
+    let mut p = ProgramBuilder::new();
+    p.func("callee", |f| {
+        f.ret();
+    });
+    p.func("caller", |f| {
+        f.call("callee", vec![]);
+        f.call("callee", vec![]);
+        f.ret();
+    });
+    let (loaded, compiled) = load(p);
+    let cfg = cfg_of(&loaded, &compiled, "caller");
+    assert_eq!(cfg.len(), 1, "intra-procedural CFG ignores calls: {cfg}");
+    let f = loaded
+        .function_at(compiled.image().symbols().by_name("caller").unwrap().addr)
+        .unwrap();
+    let calls = f
+        .instrs()
+        .iter()
+        .filter(|d| matches!(d.instr, Instr::Call { .. }))
+        .count();
+    assert_eq!(calls, 2);
+}
+
+#[test]
+fn every_suite_function_has_a_wellformed_cfg() {
+    // Global invariant over a real benchmark: every block non-empty, all
+    // successors are block starts, entry exists.
+    let bench = rock_core_suite_analyzer();
+    let compiled = bench.compile().unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    for f in loaded.functions() {
+        let cfg = Cfg::build(f);
+        assert!(!cfg.is_empty());
+        assert!(cfg.block_at(cfg.entry()).is_some());
+        for b in cfg.blocks() {
+            assert!(!b.is_empty());
+            for s in &b.succs {
+                assert!(cfg.block_at(*s).is_some(), "dangling successor {s}");
+            }
+        }
+    }
+}
+
+/// Indirection to avoid a dev-dependency cycle: build a small benchmark
+/// program locally instead of importing rock-core.
+fn rock_core_suite_analyzer() -> BenchLike {
+    let mut p = ProgramBuilder::new();
+    p.class("A").field("x").method("m", |b| {
+        b.write("this", "x", Expr::Const(1));
+        b.ret();
+    });
+    p.class("B").base("A").method("n", |b| {
+        b.if_else(
+            Expr::Const(1),
+            |t| {
+                t.read("v", "this", "x");
+            },
+            |e| {
+                e.write("this", "x", Expr::Const(2));
+            },
+        );
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("b", "B");
+        f.vcall("b", "m", vec![]);
+        f.vcall("b", "n", vec![]);
+        f.delete("b");
+        f.ret();
+    });
+    BenchLike { program: p.finish() }
+}
+
+struct BenchLike {
+    program: rock_minicpp::Program,
+}
+
+impl BenchLike {
+    fn compile(&self) -> Result<rock_minicpp::Compiled, rock_minicpp::CompileError> {
+        compile(&self.program, &CompileOptions::default())
+    }
+}

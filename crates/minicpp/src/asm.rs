@@ -1,0 +1,310 @@
+//! Name-based assembly representation used between code generation and
+//! final image assembly.
+//!
+//! Code generation emits [`AFunction`]s whose cross-references are by
+//! *name* (function names, vtable names, local label indices). This level
+//! is where COMDAT folding operates — two functions with identical
+//! [`AInstr`] streams merge — before everything is resolved into a
+//! [`rock_binary::BinaryImage`].
+
+use std::collections::BTreeMap;
+
+use rock_binary::{Addr, BinaryImage, FunctionHandle, ImageBuilder, Instr, Reg, VtableHandle};
+
+/// An instruction with possibly-symbolic operands.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AInstr {
+    /// A concrete instruction with no relocation.
+    I(Instr),
+    /// Direct call to a named function.
+    CallNamed(String),
+    /// Materialize the address of a named function into a register.
+    MovFnAddr(Reg, String),
+    /// Materialize the address of a named vtable into a register.
+    MovVtAddr(Reg, String),
+    /// Jump to a local label.
+    Jmp(usize),
+    /// Branch to a local label when `Reg` is non-zero.
+    Branch(Reg, usize),
+    /// Pseudo-instruction binding a local label here (emits nothing).
+    Bind(usize),
+}
+
+/// A function in name-based assembly form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AFunction {
+    /// Function name (unique per program).
+    pub name: String,
+    /// Body instructions.
+    pub instrs: Vec<AInstr>,
+}
+
+impl AFunction {
+    /// Creates a function.
+    pub fn new(name: impl Into<String>, instrs: Vec<AInstr>) -> Self {
+        AFunction { name: name.into(), instrs }
+    }
+
+    /// The body with the name erased — equal bodies fold under COMDAT.
+    pub fn body_key(&self) -> &[AInstr] {
+        &self.instrs
+    }
+}
+
+/// A vtable in name-based form: slot i names the implementing function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AVtable {
+    /// Symbol-style vtable name (`vtable for C`).
+    pub name: String,
+    /// Slot contents: function names.
+    pub slots: Vec<String>,
+}
+
+/// An RTTI record in name-based form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ARtti {
+    /// Vtable name the record describes.
+    pub vtable: String,
+    /// Class name.
+    pub class_name: String,
+    /// Ancestor vtable names, immediate parent first.
+    pub ancestors: Vec<String>,
+}
+
+/// A whole program in name-based assembly form, ready to assemble.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AProgram {
+    /// All functions.
+    pub functions: Vec<AFunction>,
+    /// All vtables.
+    pub vtables: Vec<AVtable>,
+    /// RTTI records (dropped if the image is later stripped).
+    pub rtti: Vec<ARtti>,
+    /// Raw rodata noise blobs interleaved before the i-th vtable.
+    pub rodata_blobs: Vec<(usize, Vec<u8>)>,
+}
+
+/// Result of assembling an [`AProgram`].
+#[derive(Clone, Debug)]
+pub struct Assembled {
+    /// The final image (with symbols and RTTI still present).
+    pub image: BinaryImage,
+    /// Address of each function by name.
+    pub function_addrs: BTreeMap<String, Addr>,
+    /// Address of each vtable by name.
+    pub vtable_addrs: BTreeMap<String, Addr>,
+}
+
+/// Assembles an [`AProgram`] into a binary image.
+///
+/// # Panics
+///
+/// Panics if a named reference does not resolve (indicates a codegen bug).
+pub fn assemble(program: &AProgram) -> Assembled {
+    let mut builder = ImageBuilder::new();
+
+    let fn_handles: BTreeMap<&str, FunctionHandle> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), builder.declare_function(f.name.clone())))
+        .collect();
+    let vt_handles: BTreeMap<&str, VtableHandle> = program
+        .vtables
+        .iter()
+        .map(|vt| {
+            let slots = vt
+                .slots
+                .iter()
+                .map(|s| {
+                    *fn_handles
+                        .get(s.as_str())
+                        .unwrap_or_else(|| panic!("vtable {} references unknown fn {s}", vt.name))
+                })
+                .collect();
+            (vt.name.as_str(), builder.add_vtable(vt.name.clone(), slots))
+        })
+        .collect();
+
+    for (before, bytes) in &program.rodata_blobs {
+        builder.add_rodata_blob(*before, bytes.clone());
+    }
+
+    for r in &program.rtti {
+        let vt = vt_handles[r.vtable.as_str()];
+        let ancestors = r.ancestors.iter().map(|a| vt_handles[a.as_str()]).collect();
+        builder.add_rtti(vt, r.class_name.clone(), ancestors);
+    }
+
+    for f in &program.functions {
+        builder.begin_declared(fn_handles[f.name.as_str()]);
+        // Local labels: map label index -> builder label lazily.
+        let mut labels = BTreeMap::new();
+        let mut label_of = |builder: &mut ImageBuilder, idx: usize| {
+            *labels.entry(idx).or_insert_with(|| builder.new_label())
+        };
+        for instr in &f.instrs {
+            match instr {
+                AInstr::I(i) => builder.push(*i),
+                AInstr::CallNamed(name) => {
+                    let h = *fn_handles
+                        .get(name.as_str())
+                        .unwrap_or_else(|| panic!("{}: call to unknown fn {name}", f.name));
+                    builder.push_call(h);
+                }
+                AInstr::MovFnAddr(r, name) => {
+                    let h = *fn_handles
+                        .get(name.as_str())
+                        .unwrap_or_else(|| panic!("{}: address of unknown fn {name}", f.name));
+                    builder.push_mov_fn_addr(*r, h);
+                }
+                AInstr::MovVtAddr(r, name) => {
+                    let h = *vt_handles
+                        .get(name.as_str())
+                        .unwrap_or_else(|| panic!("{}: unknown vtable {name}", f.name));
+                    builder.push_mov_vtable_addr(*r, h);
+                }
+                AInstr::Jmp(idx) => {
+                    let l = label_of(&mut builder, *idx);
+                    builder.push_jmp(l);
+                }
+                AInstr::Branch(r, idx) => {
+                    let l = label_of(&mut builder, *idx);
+                    builder.push_branch(*r, l);
+                }
+                AInstr::Bind(idx) => {
+                    let l = label_of(&mut builder, *idx);
+                    builder.bind_label(l);
+                }
+            }
+        }
+        builder.end_function();
+    }
+
+    let (image, layout) = builder.finish_with_layout();
+    let function_addrs = program
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), layout.function(fn_handles[f.name.as_str()])))
+        .collect();
+    let vtable_addrs = program
+        .vtables
+        .iter()
+        .map(|vt| (vt.name.clone(), layout.vtable(vt_handles[vt.name.as_str()])))
+        .collect();
+    Assembled { image, function_addrs, vtable_addrs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_binary::SectionKind;
+
+    fn ret_fn(name: &str) -> AFunction {
+        AFunction::new(
+            name,
+            vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Ret)],
+        )
+    }
+
+    #[test]
+    fn assembles_forward_references() {
+        let program = AProgram {
+            functions: vec![
+                AFunction::new(
+                    "caller",
+                    vec![
+                        AInstr::I(Instr::Enter { frame: 0 }),
+                        AInstr::CallNamed("callee".into()),
+                        AInstr::I(Instr::Ret),
+                    ],
+                ),
+                ret_fn("callee"),
+            ],
+            vtables: vec![],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        let out = assemble(&program);
+        assert!(out.function_addrs["caller"] < out.function_addrs["callee"]);
+    }
+
+    #[test]
+    fn vtable_and_rtti_resolution() {
+        let program = AProgram {
+            functions: vec![ret_fn("A::m"), ret_fn("B::n")],
+            vtables: vec![
+                AVtable { name: "vtable for A".into(), slots: vec!["A::m".into()] },
+                AVtable {
+                    name: "vtable for B".into(),
+                    slots: vec!["A::m".into(), "B::n".into()],
+                },
+            ],
+            rtti: vec![ARtti {
+                vtable: "vtable for B".into(),
+                class_name: "B".into(),
+                ancestors: vec!["vtable for A".into()],
+            }],
+            rodata_blobs: vec![],
+        };
+        let out = assemble(&program);
+        let vt_b = out.vtable_addrs["vtable for B"];
+        assert_eq!(out.image.read_word(vt_b), Some(out.function_addrs["A::m"].value()));
+        assert_eq!(
+            out.image.read_word(vt_b + 8),
+            Some(out.function_addrs["B::n"].value())
+        );
+        let rec = out.image.rtti_for(vt_b).unwrap();
+        assert_eq!(rec.class_name, "B");
+        assert_eq!(rec.parent(), Some(out.vtable_addrs["vtable for A"]));
+    }
+
+    #[test]
+    fn labels_lower_to_branches() {
+        let program = AProgram {
+            functions: vec![AFunction::new(
+                "f",
+                vec![
+                    AInstr::I(Instr::Enter { frame: 0 }),
+                    AInstr::Branch(Reg::R1, 0),
+                    AInstr::I(Instr::Nop),
+                    AInstr::Bind(0),
+                    AInstr::I(Instr::Ret),
+                ],
+            )],
+            vtables: vec![],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        let out = assemble(&program);
+        let text = out.image.section(SectionKind::Text).unwrap();
+        let mut pos = 0;
+        let mut branch_target = None;
+        let mut addrs = Vec::new();
+        while pos < text.len() {
+            let at = text.base() + pos as u64;
+            let (i, n) = rock_binary::decode_instr(&text.bytes()[pos..], at).unwrap();
+            addrs.push(at);
+            if let Instr::Branch { target, .. } = i {
+                branch_target = Some(target);
+            }
+            pos += n;
+        }
+        // Branch skips the nop and lands on the ret (4th instruction).
+        assert_eq!(branch_target, Some(addrs[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fn")]
+    fn unknown_callee_panics() {
+        let program = AProgram {
+            functions: vec![AFunction::new(
+                "f",
+                vec![AInstr::CallNamed("ghost".into()), AInstr::I(Instr::Ret)],
+            )],
+            vtables: vec![],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        assemble(&program);
+    }
+}

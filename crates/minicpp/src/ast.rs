@@ -1,0 +1,360 @@
+//! Abstract syntax of MiniCpp programs.
+//!
+//! Names are plain strings; [`crate::validate`] checks that every reference
+//! resolves before compilation.
+
+use std::fmt;
+
+use rock_binary::BinOp;
+
+/// An expression evaluating to a machine word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(u64),
+    /// The value of a local variable.
+    Var(String),
+    /// The value of the `i`-th function/method parameter (0-based, not
+    /// counting `this`).
+    Param(usize),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Variables mentioned anywhere in the expression.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Var(v) => out.push(v),
+            Expr::Bin(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "arg{i}"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+/// An argument of a call to a free function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallArg {
+    /// A plain value.
+    Value(Expr),
+    /// An object passed by pointer (produces `Arg(i)` events in the paper's
+    /// event alphabet).
+    Obj(String),
+}
+
+/// A statement in a method or function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let var = value;`
+    Let {
+        /// Variable being defined.
+        var: String,
+        /// Initial value.
+        value: Expr,
+    },
+    /// `var = new Class();` — allocates and runs the constructor. With
+    /// `on_stack` the object lives in the current frame instead.
+    New {
+        /// Variable receiving the object pointer.
+        var: String,
+        /// Class to instantiate.
+        class: String,
+        /// Stack allocation instead of heap.
+        on_stack: bool,
+    },
+    /// `delete var;` — runs the destructor.
+    Delete {
+        /// The object variable.
+        var: String,
+    },
+    /// `[dst =] obj->method(args);` — virtual dispatch through the vtable.
+    VCall {
+        /// Variable receiving the return value, if used.
+        dst: Option<String>,
+        /// Receiver object variable (`"this"` inside methods).
+        obj: String,
+        /// Method name, resolved against the receiver's static type.
+        method: String,
+        /// Value arguments.
+        args: Vec<Expr>,
+    },
+    /// `dst = obj.field;`
+    ReadField {
+        /// Variable receiving the value.
+        dst: String,
+        /// Object variable.
+        obj: String,
+        /// Field name, resolved against the receiver's static type.
+        field: String,
+    },
+    /// `obj.field = value;`
+    WriteField {
+        /// Object variable.
+        obj: String,
+        /// Field name.
+        field: String,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `[dst =] func(args);` — direct call to a free function.
+    Call {
+        /// Variable receiving the return value, if used.
+        dst: Option<String>,
+        /// Callee name.
+        func: String,
+        /// Arguments (values or object pointers).
+        args: Vec<CallArg>,
+    },
+    /// `if (cond) { then } else { else }`.
+    If {
+        /// Condition (non-zero = taken).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Loop condition (non-zero = continue).
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return [value];`
+    Return(Option<Expr>),
+}
+
+/// A method of a class. All MiniCpp methods are virtual (they occupy vtable
+/// slots), mirroring the paper's focus on binary types *as* vtables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodDef {
+    /// Method name. A method with the same name as one in an ancestor
+    /// overrides it (same slot).
+    pub name: String,
+    /// Pure virtual: no implementation; the vtable slot points at the
+    /// shared `__purecall` trap.
+    pub is_pure: bool,
+    /// Body statements (ignored when `is_pure`). Inside the body the
+    /// variable `this` denotes the receiver.
+    pub body: Vec<Stmt>,
+}
+
+/// A class definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name (unique in the program).
+    pub name: String,
+    /// Base classes, in declaration order. One base = single inheritance;
+    /// more = multiple inheritance with concatenated subobjects.
+    pub bases: Vec<String>,
+    /// Field names, appended after inherited fields in the object layout.
+    pub fields: Vec<String>,
+    /// Methods (all virtual).
+    pub methods: Vec<MethodDef>,
+    /// Explicitly abstract: never instantiated, candidate for elimination
+    /// by the optimizer. Classes with pure methods are implicitly abstract.
+    pub is_abstract: bool,
+    /// Force children to inline THIS class's constructor/destructor even
+    /// in non-optimized builds (models selective inlining of cheap base
+    /// constructors, which removes the ctor-call structural cue for this
+    /// link only).
+    pub always_inline_ctor: bool,
+    /// Extra statements run by the constructor after field zeroing.
+    pub ctor_body: Vec<Stmt>,
+    /// Extra statements run by the destructor before the parent destructor.
+    pub dtor_body: Vec<Stmt>,
+}
+
+impl ClassDef {
+    /// Returns `true` if the class cannot be instantiated.
+    pub fn is_abstract(&self) -> bool {
+        self.is_abstract || self.methods.iter().any(|m| m.is_pure)
+    }
+
+    /// Finds a method defined (not inherited) by this class.
+    pub fn method(&self, name: &str) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// A parameter of a free function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name; typed parameters are usable as object variables.
+    pub name: String,
+    /// Static class type if the parameter is an object pointer.
+    pub class: Option<String>,
+}
+
+impl Param {
+    /// A plain value parameter.
+    pub fn value(name: impl Into<String>) -> Self {
+        Param { name: name.into(), class: None }
+    }
+
+    /// An object-pointer parameter with a static class type.
+    pub fn object(name: impl Into<String>, class: impl Into<String>) -> Self {
+        Param { name: name.into(), class: Some(class.into()) }
+    }
+}
+
+/// A free function (e.g. the `useX` drivers of the paper's Fig. 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionDef {
+    /// Function name (unique in the program).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Hint for the optimizer: inline this function into its callers
+    /// (models small functions disappearing in optimized builds).
+    pub inline_hint: bool,
+}
+
+/// A whole MiniCpp program: classes plus free functions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Class definitions.
+    pub classes: Vec<ClassDef>,
+    /// Free functions.
+    pub functions: Vec<FunctionDef>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Finds a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Finds a free function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The first (primary) base of a class, if any — the parent in the
+    /// single-inheritance source hierarchy.
+    pub fn parent_of(&self, name: &str) -> Option<&str> {
+        self.class(name)?.bases.first().map(String::as_str)
+    }
+
+    /// All ancestors of `name` along primary bases, nearest first.
+    pub fn ancestors_of<'a>(&'a self, name: &str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut cur = self.parent_of(name);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent_of(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_program() -> Program {
+        Program {
+            classes: vec![
+                ClassDef {
+                    name: "A".into(),
+                    bases: vec![],
+                    fields: vec!["x".into()],
+                    methods: vec![MethodDef { name: "m".into(), is_pure: false, body: vec![] }],
+                    is_abstract: false,
+                    always_inline_ctor: false,
+                    ctor_body: vec![],
+                    dtor_body: vec![],
+                },
+                ClassDef {
+                    name: "B".into(),
+                    bases: vec!["A".into()],
+                    fields: vec![],
+                    methods: vec![MethodDef { name: "p".into(), is_pure: true, body: vec![] }],
+                    is_abstract: false,
+                    always_inline_ctor: false,
+                    ctor_body: vec![],
+                    dtor_body: vec![],
+                },
+                ClassDef {
+                    name: "C".into(),
+                    bases: vec!["B".into()],
+                    fields: vec![],
+                    methods: vec![],
+                    is_abstract: false,
+                    always_inline_ctor: false,
+                    ctor_body: vec![],
+                    dtor_body: vec![],
+                },
+            ],
+            functions: vec![],
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        let p = simple_program();
+        assert!(p.class("A").is_some());
+        assert!(p.class("Z").is_none());
+        assert_eq!(p.parent_of("B"), Some("A"));
+        assert_eq!(p.parent_of("A"), None);
+        assert_eq!(p.ancestors_of("C"), vec!["B", "A"]);
+        assert_eq!(p.ancestors_of("A"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn abstractness() {
+        let p = simple_program();
+        assert!(!p.class("A").unwrap().is_abstract());
+        assert!(p.class("B").unwrap().is_abstract(), "pure method implies abstract");
+    }
+
+    #[test]
+    fn expr_vars() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var("a".into()),
+            Expr::bin(BinOp::Mul, Expr::Var("b".into()), Expr::Const(2)),
+        );
+        assert_eq!(e.vars(), vec!["a", "b"]);
+        assert_eq!(e.to_string(), "(a add (b mul 2))");
+    }
+
+    #[test]
+    fn param_constructors() {
+        assert_eq!(Param::value("n").class, None);
+        assert_eq!(Param::object("s", "Stream").class.as_deref(), Some("Stream"));
+    }
+}

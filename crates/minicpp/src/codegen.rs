@@ -1,0 +1,1246 @@
+//! Lowering MiniCpp programs to binary images.
+//!
+//! The lowering follows a simplified MSVC-style recipe:
+//!
+//! * every local variable lives in a stack slot `[sp + 8k]`;
+//! * a virtual call loads the vptr, loads the slot, moves the receiver into
+//!   `r0` and performs an indirect call;
+//! * constructors run base constructors first (or inline them), then store
+//!   the vtable pointer(s), then zero own fields, then run the user body;
+//! * destructors re-store the vtable pointer(s), run the user body, then
+//!   run base destructors;
+//! * `new` calls the `__alloc` runtime, `delete` runs the destructor and
+//!   `__free`.
+//!
+//! Optimizations (driven by [`CompileOptions`]): parent ctor/dtor inlining
+//! with dead-store elimination of overwritten vtable pointers, elimination
+//! of never-instantiated abstract classes, inlining of hinted free
+//! functions, and COMDAT folding (see [`crate::fold`]).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use rock_binary::{Addr, BinaryImage, Instr, Reg, WORD_SIZE};
+
+use crate::asm::{assemble, AFunction, AInstr, AProgram, ARtti, AVtable};
+use crate::fold::comdat_fold;
+use crate::{
+    CallArg, ClassLayout, CompileOptions, Expr, GroundTruth, Program, ProgramLayout, Stmt,
+    ValidateError,
+};
+
+/// Name of the allocator runtime function.
+pub const ALLOC_FN: &str = "__alloc";
+/// Name of the deallocator runtime function.
+pub const FREE_FN: &str = "__free";
+/// Name of the pure-virtual-call trap.
+pub const PURECALL_FN: &str = "__purecall";
+
+/// An error produced by [`compile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program failed validation.
+    Invalid(ValidateError),
+    /// Inlining recursion exceeded the depth limit.
+    InlineRecursion {
+        /// The function being inlined when the limit was hit.
+        function: String,
+    },
+    /// Too many call arguments for the register-passing convention.
+    TooManyArgs {
+        /// The offending call context.
+        context: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid program: {e}"),
+            CompileError::InlineRecursion { function } => {
+                write!(f, "inline recursion while expanding {function}")
+            }
+            CompileError::TooManyArgs { context } => {
+                write!(f, "{context}: too many call arguments")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for CompileError {
+    fn from(e: ValidateError) -> Self {
+        CompileError::Invalid(e)
+    }
+}
+
+/// The output of [`compile`]: an (unstripped) image plus everything the
+/// evaluation harness needs.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    image: BinaryImage,
+    vtables: BTreeMap<String, Addr>,
+    ground_truth: GroundTruth,
+    folded: BTreeMap<String, String>,
+}
+
+impl Compiled {
+    /// The compiled image, with symbols and RTTI still present.
+    pub fn image(&self) -> &BinaryImage {
+        &self.image
+    }
+
+    /// A stripped copy of the image — the Rock pipeline's input.
+    pub fn stripped_image(&self) -> BinaryImage {
+        let mut img = self.image.clone();
+        img.strip();
+        img
+    }
+
+    /// Primary vtable address of every emitted class.
+    pub fn vtables(&self) -> &BTreeMap<String, Addr> {
+        &self.vtables
+    }
+
+    /// Primary vtable address of one class.
+    pub fn vtable_of(&self, class: &str) -> Option<Addr> {
+        self.vtables.get(class).copied()
+    }
+
+    /// Reverse lookup: class name for a primary vtable address.
+    pub fn class_of(&self, vtable: Addr) -> Option<&str> {
+        self.vtables
+            .iter()
+            .find(|(_, a)| **a == vtable)
+            .map(|(c, _)| c.as_str())
+    }
+
+    /// The induced binary type hierarchy (ground truth, paper §6.2).
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// COMDAT replacements performed (`folded name -> survivor`).
+    pub fn folded_functions(&self) -> &BTreeMap<String, String> {
+        &self.folded
+    }
+}
+
+/// Compiles a program into a binary image.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Invalid`] for ill-formed programs, or an
+/// inlining/lowering error.
+pub fn compile(program: &Program, options: &CompileOptions) -> Result<Compiled, CompileError> {
+    let layout = ProgramLayout::compute(program)?;
+    let mut cg = Codegen { program, layout: &layout, options, out: AProgram::default() };
+    cg.run()?;
+
+    if options.comdat_fold {
+        let folded = comdat_fold(&mut cg.out);
+        finish(program, &layout, options, cg.out, folded)
+    } else {
+        finish(program, &layout, options, cg.out, BTreeMap::new())
+    }
+}
+
+fn finish(
+    program: &Program,
+    layout: &ProgramLayout,
+    options: &CompileOptions,
+    mut aprog: AProgram,
+    folded: BTreeMap<String, String>,
+) -> Result<Compiled, CompileError> {
+    if options.rodata_noise > 0 {
+        // Deterministic high-byte noise: 8-byte words far above the text
+        // section so scanners never mistake them for code pointers.
+        let mut state = 0x9e37_79b9_u64;
+        let mut blob = Vec::with_capacity(options.rodata_noise);
+        while blob.len() < options.rodata_noise {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            blob.extend_from_slice(&(state | 0xff00_0000_0000_0000).to_le_bytes());
+        }
+        blob.truncate(options.rodata_noise);
+        aprog.rodata_blobs.push((0, blob.clone()));
+        aprog.rodata_blobs.push((usize::MAX, blob));
+    }
+    if !options.emit_rtti {
+        aprog.rtti.clear();
+    }
+
+    let assembled = assemble(&aprog);
+
+    let emitted = |c: &str| -> bool {
+        !(options.eliminate_abstract
+            && program.class(c).map(crate::ClassDef::is_abstract).unwrap_or(false))
+    };
+    let mut gt = GroundTruth::from_parents(
+        program
+            .classes
+            .iter()
+            .filter(|c| emitted(&c.name))
+            .map(|c| {
+                let parent = nearest_emitted(program, c.bases.first().map(String::as_str), &emitted);
+                (c.name.clone(), parent)
+            })
+            .collect::<Vec<_>>(),
+    );
+    for c in &program.classes {
+        if emitted(&c.name) {
+            for b in c.bases.iter().skip(1) {
+                if let Some(p) = nearest_emitted(program, Some(b), &emitted) {
+                    gt.add_extra_parent(&c.name, &p);
+                }
+            }
+        }
+    }
+
+    let vtables = layout
+        .iter()
+        .filter(|cl| emitted(&cl.name))
+        .map(|cl| {
+            let sym = cl.primary().symbol_name();
+            (cl.name.clone(), assembled.vtable_addrs[&sym])
+        })
+        .collect();
+
+    Ok(Compiled { image: assembled.image, vtables, ground_truth: gt, folded })
+}
+
+fn nearest_emitted<'p>(
+    program: &'p Program,
+    mut cur: Option<&'p str>,
+    emitted: &dyn Fn(&str) -> bool,
+) -> Option<String> {
+    while let Some(c) = cur {
+        if emitted(c) {
+            return Some(c.to_string());
+        }
+        cur = program.parent_of(c);
+    }
+    None
+}
+
+const MAX_INLINE_DEPTH: usize = 8;
+/// Provisional sp-relative watermark for stack objects; rebased onto the
+/// end of the slot area once the slot count is known.
+const OBJ_AREA_BASE: i32 = 1 << 20;
+const SCRATCH: [Reg; 6] = [Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13];
+const OBJ_REG: Reg = Reg::R6;
+const VPTR_REG: Reg = Reg::R7;
+
+struct Codegen<'a> {
+    program: &'a Program,
+    layout: &'a ProgramLayout,
+    options: &'a CompileOptions,
+    out: AProgram,
+}
+
+/// Per-function lowering context.
+struct FnCtx {
+    name: String,
+    instrs: Vec<AInstr>,
+    slots: BTreeMap<String, usize>,
+    types: BTreeMap<String, Option<String>>,
+    /// Allocation kind per object variable (true = heap).
+    heap: BTreeMap<String, bool>,
+    next_slot: usize,
+    next_obj_off: i32,
+    next_label: usize,
+    uniq: usize,
+}
+
+impl FnCtx {
+    fn new(name: &str) -> Self {
+        FnCtx {
+            name: name.to_string(),
+            instrs: Vec::new(),
+            slots: BTreeMap::new(),
+            types: BTreeMap::new(),
+            heap: BTreeMap::new(),
+            next_slot: 0,
+            next_obj_off: 0,
+            next_label: 0,
+            uniq: 0,
+        }
+    }
+
+    fn slot(&mut self, var: &str) -> usize {
+        if let Some(s) = self.slots.get(var) {
+            return *s;
+        }
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.slots.insert(var.to_string(), s);
+        s
+    }
+
+    fn slot_off(&mut self, var: &str) -> i32 {
+        (self.slot(var) * WORD_SIZE as usize) as i32
+    }
+
+    fn define(&mut self, var: &str, class: Option<String>) {
+        self.slot(var);
+        self.types.insert(var.to_string(), class);
+    }
+
+    fn class_of(&self, var: &str) -> &str {
+        self.types
+            .get(var)
+            .and_then(|c| c.as_deref())
+            .unwrap_or_else(|| panic!("{}: {} has no class (validated?)", self.name, var))
+    }
+
+    fn label(&mut self) -> usize {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.uniq += 1;
+        format!("__{prefix}{}", self.uniq)
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(AInstr::I(i));
+    }
+}
+
+impl<'a> Codegen<'a> {
+    fn run(&mut self) -> Result<(), CompileError> {
+        let mut need_alloc = false;
+        let mut need_free = false;
+        let mut need_purecall = false;
+
+        // Vtables for emitted classes.
+        for cl in self.layout.iter() {
+            if self.eliminated(&cl.name) {
+                continue;
+            }
+            for vt in &cl.vtables {
+                let slots = vt
+                    .slots
+                    .iter()
+                    .map(|s| match &s.impl_class {
+                        None => {
+                            need_purecall = true;
+                            PURECALL_FN.to_string()
+                        }
+                        Some(c) => method_fn_name(c, &s.method),
+                    })
+                    .collect();
+                self.out.vtables.push(AVtable { name: vt.symbol_name(), slots });
+            }
+            // RTTI: ancestors restricted to emitted classes.
+            let mut ancestors = Vec::new();
+            let mut cur = self.program.parent_of(&cl.name);
+            while let Some(p) = cur {
+                if !self.eliminated(p) {
+                    ancestors.push(format!("vtable for {p}"));
+                }
+                cur = self.program.parent_of(p);
+            }
+            self.out.rtti.push(ARtti {
+                vtable: cl.primary().symbol_name(),
+                class_name: cl.name.clone(),
+                ancestors,
+            });
+        }
+
+        // Method implementations. A method impl is emitted when some
+        // emitted vtable references it (covers impls owned by eliminated
+        // abstract classes that children still inherit).
+        let mut needed_impls: Vec<(String, String)> = Vec::new();
+        for cl in self.layout.iter() {
+            if self.eliminated(&cl.name) {
+                continue;
+            }
+            for vt in &cl.vtables {
+                for s in &vt.slots {
+                    if let Some(c) = &s.impl_class {
+                        let key = (c.clone(), s.method.clone());
+                        if !needed_impls.contains(&key) {
+                            needed_impls.push(key);
+                        }
+                    }
+                }
+            }
+        }
+        for (class, method) in &needed_impls {
+            self.lower_method(class, method)?;
+        }
+
+        // Constructors and destructors for emitted classes.
+        for cl in self.layout.iter() {
+            if self.eliminated(&cl.name) {
+                continue;
+            }
+            self.lower_ctor(&cl.name)?;
+            self.lower_dtor(&cl.name)?;
+        }
+
+        // Free functions (hinted ones vanish when inlining is on).
+        for f in &self.program.functions {
+            if self.options.inline_hinted_functions && f.inline_hint {
+                continue;
+            }
+            self.lower_free_function(&f.name)?;
+        }
+
+        // Does anything allocate / free?
+        for f in &self.out.functions {
+            for i in &f.instrs {
+                if let AInstr::CallNamed(n) = i {
+                    need_alloc |= n == ALLOC_FN;
+                    need_free |= n == FREE_FN;
+                }
+            }
+        }
+        if need_alloc {
+            self.out.functions.push(AFunction::new(
+                ALLOC_FN,
+                vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Ret)],
+            ));
+        }
+        if need_free {
+            self.out.functions.push(AFunction::new(
+                FREE_FN,
+                vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Ret)],
+            ));
+        }
+        if need_purecall {
+            self.out.functions.push(AFunction::new(
+                PURECALL_FN,
+                vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Halt)],
+            ));
+        }
+        Ok(())
+    }
+
+    fn eliminated(&self, class: &str) -> bool {
+        self.options.eliminate_abstract
+            && self.program.class(class).map(crate::ClassDef::is_abstract).unwrap_or(false)
+    }
+
+    fn class_layout(&self, class: &str) -> &ClassLayout {
+        self.layout.class(class).expect("validated class")
+    }
+
+    // --- function shells -------------------------------------------------
+
+    fn lower_method(&mut self, class: &str, method: &str) -> Result<(), CompileError> {
+        let def = self
+            .program
+            .class(class)
+            .and_then(|c| c.method(method))
+            .unwrap_or_else(|| panic!("impl {class}::{method} missing"))
+            .clone();
+        assert!(!def.is_pure, "pure methods have no impl");
+        let mut ctx = FnCtx::new(&method_fn_name(class, method));
+        // Spill `this`.
+        ctx.define("this", Some(class.to_string()));
+        let this_off = ctx.slot_off("this");
+        ctx.emit(Instr::Store { base: Reg::SP, offset: this_off, src: Reg::R0 });
+        self.lower_body(&mut ctx, &def.body, &BTreeMap::new(), 0)?;
+        self.finish_function(ctx);
+        Ok(())
+    }
+
+    fn lower_ctor(&mut self, class: &str) -> Result<(), CompileError> {
+        let mut ctx = FnCtx::new(&ctor_fn_name(class));
+        ctx.define("this", Some(class.to_string()));
+        let this_off = ctx.slot_off("this");
+        ctx.emit(Instr::Store { base: Reg::SP, offset: this_off, src: Reg::R0 });
+        ctx.emit(Instr::MovReg { dst: OBJ_REG, src: Reg::R0 });
+        self.ctor_content(&mut ctx, class, 0, true, 0)?;
+        self.finish_function(ctx);
+        Ok(())
+    }
+
+    fn lower_dtor(&mut self, class: &str) -> Result<(), CompileError> {
+        let mut ctx = FnCtx::new(&dtor_fn_name(class));
+        ctx.define("this", Some(class.to_string()));
+        let this_off = ctx.slot_off("this");
+        ctx.emit(Instr::Store { base: Reg::SP, offset: this_off, src: Reg::R0 });
+        ctx.emit(Instr::MovReg { dst: OBJ_REG, src: Reg::R0 });
+        self.dtor_content(&mut ctx, class, 0, true, 0)?;
+        self.finish_function(ctx);
+        Ok(())
+    }
+
+    fn lower_free_function(&mut self, name: &str) -> Result<(), CompileError> {
+        let def = self.program.function(name).expect("validated").clone();
+        let mut ctx = FnCtx::new(name);
+        let mut renames = BTreeMap::new();
+        for (i, p) in def.params.iter().enumerate() {
+            let reg = Reg::arg(i).ok_or_else(|| CompileError::TooManyArgs {
+                context: name.to_string(),
+            })?;
+            ctx.define(&p.name, p.class.clone());
+            let off = ctx.slot_off(&p.name);
+            ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: reg });
+            // `Expr::Param(i)` resolves through this alias.
+            renames.insert(format!("__param{i}"), p.name.clone());
+        }
+        self.lower_body(&mut ctx, &def.body, &renames, 0)?;
+        self.finish_function(ctx);
+        Ok(())
+    }
+
+    /// Prepends `Enter` with the final frame size, rebases provisional
+    /// stack-object offsets onto the end of the slot area, and appends a
+    /// trailing `Ret` if the body can fall through.
+    fn finish_function(&mut self, ctx: FnCtx) {
+        let slot_area = (ctx.next_slot * WORD_SIZE as usize) as i32;
+        let frame = slot_area + ctx.next_obj_off;
+        let mut instrs = Vec::with_capacity(ctx.instrs.len() + 2);
+        instrs.push(AInstr::I(Instr::Enter { frame: frame.clamp(0, u16::MAX as i32) as u16 }));
+        instrs.extend(ctx.instrs.into_iter().map(|i| match i {
+            AInstr::I(Instr::Lea { dst, base, offset })
+                if base == Reg::SP && offset >= OBJ_AREA_BASE =>
+            {
+                AInstr::I(Instr::Lea { dst, base, offset: slot_area + (offset - OBJ_AREA_BASE) })
+            }
+            other => other,
+        }));
+        let needs_ret = !matches!(instrs.last(), Some(AInstr::I(i)) if !i.falls_through());
+        if needs_ret {
+            instrs.push(AInstr::I(Instr::Ret));
+        }
+        self.out.functions.push(AFunction::new(ctx.name, instrs));
+    }
+
+    // --- ctor / dtor content ---------------------------------------------
+
+    /// Emits constructor content for `class`, relative to the object base
+    /// in `OBJ_REG` plus `this_off`. `store_vtables` is false when the
+    /// content is inlined into a derived ctor (dead-store elimination).
+    fn ctor_content(
+        &mut self,
+        ctx: &mut FnCtx,
+        class: &str,
+        this_off: i32,
+        store_vtables: bool,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        if depth > MAX_INLINE_DEPTH {
+            return Err(CompileError::InlineRecursion { function: ctor_fn_name(class) });
+        }
+        let def = self.program.class(class).expect("validated").clone();
+        let cl = self.class_layout(class).clone();
+
+        // Base constructors, primary first.
+        for (bi, base) in def.bases.iter().enumerate() {
+            let base_off = if bi == 0 {
+                0
+            } else {
+                cl.vtables
+                    .iter()
+                    .find(|vt| vt.for_base.as_deref() == Some(base.as_str()))
+                    .map(|vt| vt.subobject_offset)
+                    .expect("secondary base has a vtable")
+            };
+            let base_always_inline =
+                self.program.class(base).map(|c| c.always_inline_ctor).unwrap_or(false);
+            if self.options.inline_parent_ctors || self.eliminated(base) || base_always_inline {
+                self.ctor_content(ctx, base, this_off + base_off, false, depth + 1)?;
+            } else {
+                ctx.emit(Instr::Lea {
+                    dst: Reg::R0,
+                    base: OBJ_REG,
+                    offset: this_off + base_off,
+                });
+                ctx.instrs.push(AInstr::CallNamed(ctor_fn_name(base)));
+            }
+        }
+
+        // Own vtable pointer stores.
+        if store_vtables {
+            for (off, idx) in cl.vptr_stores() {
+                ctx.instrs
+                    .push(AInstr::MovVtAddr(VPTR_REG, cl.vtables[idx].symbol_name()));
+                ctx.emit(Instr::Store {
+                    base: OBJ_REG,
+                    offset: this_off + off,
+                    src: VPTR_REG,
+                });
+            }
+        }
+
+        // Zero own fields.
+        for f in &def.fields {
+            let off = cl.field_offsets[f];
+            ctx.emit(Instr::MovImm { dst: SCRATCH[0], imm: 0 });
+            ctx.emit(Instr::Store {
+                base: OBJ_REG,
+                offset: this_off + off,
+                src: SCRATCH[0],
+            });
+        }
+
+        // User body with `this` bound to the (adjusted) object pointer.
+        if !def.ctor_body.is_empty() {
+            self.lower_inlined_this_body(ctx, class, this_off, &def.ctor_body, depth)?;
+        }
+        Ok(())
+    }
+
+    /// Emits destructor content: re-store vtables, user body, base dtors.
+    fn dtor_content(
+        &mut self,
+        ctx: &mut FnCtx,
+        class: &str,
+        this_off: i32,
+        store_vtables: bool,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        if depth > MAX_INLINE_DEPTH {
+            return Err(CompileError::InlineRecursion { function: dtor_fn_name(class) });
+        }
+        let def = self.program.class(class).expect("validated").clone();
+        let cl = self.class_layout(class).clone();
+
+        if store_vtables {
+            for (off, idx) in cl.vptr_stores() {
+                ctx.instrs
+                    .push(AInstr::MovVtAddr(VPTR_REG, cl.vtables[idx].symbol_name()));
+                ctx.emit(Instr::Store {
+                    base: OBJ_REG,
+                    offset: this_off + off,
+                    src: VPTR_REG,
+                });
+            }
+        }
+
+        if !def.dtor_body.is_empty() {
+            self.lower_inlined_this_body(ctx, class, this_off, &def.dtor_body, depth)?;
+        }
+
+        for (bi, base) in def.bases.iter().enumerate().rev() {
+            let base_off = if bi == 0 {
+                0
+            } else {
+                cl.vtables
+                    .iter()
+                    .find(|vt| vt.for_base.as_deref() == Some(base.as_str()))
+                    .map(|vt| vt.subobject_offset)
+                    .expect("secondary base has a vtable")
+            };
+            let base_always_inline =
+                self.program.class(base).map(|c| c.always_inline_ctor).unwrap_or(false);
+            if self.options.inline_parent_ctors || self.eliminated(base) || base_always_inline {
+                self.dtor_content(ctx, base, this_off + base_off, false, depth + 1)?;
+            } else {
+                ctx.emit(Instr::Lea {
+                    dst: Reg::R0,
+                    base: OBJ_REG,
+                    offset: this_off + base_off,
+                });
+                ctx.instrs.push(AInstr::CallNamed(dtor_fn_name(base)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers a ctor/dtor user body whose `this` is `OBJ_REG + this_off`.
+    fn lower_inlined_this_body(
+        &mut self,
+        ctx: &mut FnCtx,
+        class: &str,
+        this_off: i32,
+        body: &[Stmt],
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        let this_var = ctx.fresh("this");
+        ctx.define(&this_var, Some(class.to_string()));
+        let slot = ctx.slot_off(&this_var);
+        ctx.emit(Instr::Lea { dst: SCRATCH[0], base: OBJ_REG, offset: this_off });
+        ctx.emit(Instr::Store { base: Reg::SP, offset: slot, src: SCRATCH[0] });
+        let renames: BTreeMap<String, String> =
+            [("this".to_string(), this_var)].into_iter().collect();
+        self.lower_body(ctx, body, &renames, depth)
+    }
+
+    // --- statements -------------------------------------------------------
+
+    fn lower_body(
+        &mut self,
+        ctx: &mut FnCtx,
+        body: &[Stmt],
+        renames: &BTreeMap<String, String>,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        for s in body {
+            self.lower_stmt(ctx, s, renames, depth)?;
+        }
+        Ok(())
+    }
+
+    fn resolve<'v>(&self, renames: &'v BTreeMap<String, String>, var: &'v str) -> &'v str {
+        renames.get(var).map(String::as_str).unwrap_or(var)
+    }
+
+    fn lower_stmt(
+        &mut self,
+        ctx: &mut FnCtx,
+        stmt: &Stmt,
+        renames: &BTreeMap<String, String>,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let { var, value } => {
+                let var = self.resolve(renames, var).to_string();
+                self.eval_expr(ctx, value, SCRATCH[0], 1, renames);
+                ctx.define(&var, None);
+                let off = ctx.slot_off(&var);
+                ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: SCRATCH[0] });
+            }
+            Stmt::New { var, class, on_stack } => {
+                let var = self.resolve(renames, var).to_string();
+                ctx.define(&var, Some(class.clone()));
+                ctx.heap.insert(var.clone(), !on_stack);
+                let off = ctx.slot_off(&var);
+                let size = self.class_layout(class).size;
+                if *on_stack {
+                    // Object lives in the frame, after all local slots.
+                    // The slot-area size is unknown until the function is
+                    // finished, so emit a provisional offset from the
+                    // OBJ_AREA_BASE watermark; `finish_function` rebases
+                    // it onto the real end of the slot area so the whole
+                    // frame is self-contained (the VM depends on this).
+                    let obj_off = OBJ_AREA_BASE + ctx.next_obj_off;
+                    ctx.next_obj_off += size as i32;
+                    ctx.emit(Instr::Lea { dst: Reg::R0, base: Reg::SP, offset: obj_off });
+                } else {
+                    ctx.emit(Instr::MovImm { dst: Reg::R0, imm: size as u64 });
+                    ctx.instrs.push(AInstr::CallNamed(ALLOC_FN.to_string()));
+                }
+                ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: Reg::R0 });
+                // r0 already holds the object; run the constructor.
+                ctx.instrs.push(AInstr::CallNamed(ctor_fn_name(class)));
+            }
+            Stmt::Delete { var } => {
+                let var = self.resolve(renames, var).to_string();
+                let class = ctx.class_of(&var).to_string();
+                let off = ctx.slot_off(&var);
+                ctx.emit(Instr::Load { dst: Reg::R0, base: Reg::SP, offset: off });
+                ctx.instrs.push(AInstr::CallNamed(dtor_fn_name(&class)));
+                if ctx.heap.get(&var).copied().unwrap_or(true) {
+                    ctx.emit(Instr::Load { dst: Reg::R0, base: Reg::SP, offset: off });
+                    ctx.instrs.push(AInstr::CallNamed(FREE_FN.to_string()));
+                }
+            }
+            Stmt::VCall { dst, obj, method, args } => {
+                let obj = self.resolve(renames, obj).to_string();
+                let class = ctx.class_of(&obj).to_string();
+                let (sub_off, slot) = self
+                    .class_layout(&class)
+                    .slot_of(method)
+                    .unwrap_or_else(|| panic!("validated method {class}::{method}"));
+                if args.len() + 1 > Reg::ARG_COUNT {
+                    return Err(CompileError::TooManyArgs { context: ctx.name.clone() });
+                }
+                // Arguments first (they may use scratch registers).
+                for (i, a) in args.iter().enumerate() {
+                    let reg = Reg::arg(i + 1).expect("checked above");
+                    self.eval_expr(ctx, a, reg, 0, renames);
+                }
+                let ooff = ctx.slot_off(&obj);
+                ctx.emit(Instr::Load { dst: OBJ_REG, base: Reg::SP, offset: ooff });
+                if sub_off != 0 {
+                    ctx.emit(Instr::Lea { dst: OBJ_REG, base: OBJ_REG, offset: sub_off });
+                }
+                ctx.emit(Instr::Load { dst: VPTR_REG, base: OBJ_REG, offset: 0 });
+                ctx.emit(Instr::Load {
+                    dst: VPTR_REG,
+                    base: VPTR_REG,
+                    offset: (slot as i32) * WORD_SIZE as i32,
+                });
+                ctx.emit(Instr::MovReg { dst: Reg::R0, src: OBJ_REG });
+                ctx.instrs.push(AInstr::I(Instr::CallReg { target: VPTR_REG }));
+                if let Some(d) = dst {
+                    let d = self.resolve(renames, d).to_string();
+                    ctx.define(&d, None);
+                    let doff = ctx.slot_off(&d);
+                    ctx.emit(Instr::Store { base: Reg::SP, offset: doff, src: Reg::R0 });
+                }
+            }
+            Stmt::ReadField { dst, obj, field } => {
+                let obj = self.resolve(renames, obj).to_string();
+                let dst = self.resolve(renames, dst).to_string();
+                let class = ctx.class_of(&obj).to_string();
+                let foff = self.class_layout(&class).field_offsets[field];
+                let ooff = ctx.slot_off(&obj);
+                ctx.emit(Instr::Load { dst: OBJ_REG, base: Reg::SP, offset: ooff });
+                ctx.emit(Instr::Load { dst: SCRATCH[0], base: OBJ_REG, offset: foff });
+                ctx.define(&dst, None);
+                let doff = ctx.slot_off(&dst);
+                ctx.emit(Instr::Store { base: Reg::SP, offset: doff, src: SCRATCH[0] });
+            }
+            Stmt::WriteField { obj, field, value } => {
+                let obj = self.resolve(renames, obj).to_string();
+                let class = ctx.class_of(&obj).to_string();
+                let foff = self.class_layout(&class).field_offsets[field];
+                self.eval_expr(ctx, value, SCRATCH[0], 1, renames);
+                let ooff = ctx.slot_off(&obj);
+                ctx.emit(Instr::Load { dst: OBJ_REG, base: Reg::SP, offset: ooff });
+                ctx.emit(Instr::Store { base: OBJ_REG, offset: foff, src: SCRATCH[0] });
+            }
+            Stmt::Call { dst, func, args } => {
+                self.lower_call(ctx, dst.as_deref(), func, args, renames, depth)?;
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                self.eval_expr(ctx, cond, SCRATCH[0], 1, renames);
+                let l_then = ctx.label();
+                let l_end = ctx.label();
+                ctx.instrs.push(AInstr::Branch(SCRATCH[0], l_then));
+                self.lower_body(ctx, else_body, renames, depth)?;
+                ctx.instrs.push(AInstr::Jmp(l_end));
+                ctx.instrs.push(AInstr::Bind(l_then));
+                self.lower_body(ctx, then_body, renames, depth)?;
+                ctx.instrs.push(AInstr::Bind(l_end));
+            }
+            Stmt::While { cond, body } => {
+                let l_top = ctx.label();
+                let l_body = ctx.label();
+                let l_end = ctx.label();
+                ctx.instrs.push(AInstr::Bind(l_top));
+                self.eval_expr(ctx, cond, SCRATCH[0], 1, renames);
+                ctx.instrs.push(AInstr::Branch(SCRATCH[0], l_body));
+                ctx.instrs.push(AInstr::Jmp(l_end));
+                ctx.instrs.push(AInstr::Bind(l_body));
+                self.lower_body(ctx, body, renames, depth)?;
+                ctx.instrs.push(AInstr::Jmp(l_top));
+                ctx.instrs.push(AInstr::Bind(l_end));
+            }
+            Stmt::Return(value) => {
+                if let Some(v) = value {
+                    self.eval_expr(ctx, v, Reg::R0, 0, renames);
+                }
+                ctx.emit(Instr::Ret);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_call(
+        &mut self,
+        ctx: &mut FnCtx,
+        dst: Option<&str>,
+        func: &str,
+        args: &[CallArg],
+        renames: &BTreeMap<String, String>,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        let def = self.program.function(func).expect("validated").clone();
+        if args.len() > Reg::ARG_COUNT {
+            return Err(CompileError::TooManyArgs { context: ctx.name.clone() });
+        }
+        let inline = self.options.inline_hinted_functions && def.inline_hint;
+        if inline {
+            if depth >= MAX_INLINE_DEPTH {
+                return Err(CompileError::InlineRecursion { function: func.to_string() });
+            }
+            // Bind parameters: object params alias the caller's variable;
+            // value params are evaluated into fresh slots.
+            let mut inner_renames: BTreeMap<String, String> = BTreeMap::new();
+            for (i, (p, a)) in def.params.iter().zip(args).enumerate() {
+                let bound = match a {
+                    CallArg::Obj(v) => self.resolve(renames, v).to_string(),
+                    CallArg::Value(e) => {
+                        let tmp = ctx.fresh("arg");
+                        self.eval_expr(ctx, e, SCRATCH[0], 1, renames);
+                        ctx.define(&tmp, p.class.clone());
+                        let off = ctx.slot_off(&tmp);
+                        ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: SCRATCH[0] });
+                        tmp
+                    }
+                };
+                inner_renames.insert(p.name.clone(), bound.clone());
+                inner_renames.insert(format!("__param{i}"), bound);
+            }
+            // Rename callee locals so they do not collide with the caller.
+            let prefix = ctx.fresh("inl");
+            let body = rename_return_free_body(&def.body, &prefix, &mut inner_renames);
+            self.lower_body(ctx, &body, &inner_renames, depth + 1)?;
+            if let Some(d) = dst {
+                let d = self.resolve(renames, d).to_string();
+                ctx.define(&d, None);
+                let off = ctx.slot_off(&d);
+                ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: Reg::R0 });
+            }
+        } else {
+            for (i, a) in args.iter().enumerate() {
+                let reg = Reg::arg(i).expect("checked above");
+                match a {
+                    CallArg::Value(e) => self.eval_expr(ctx, e, reg, 0, renames),
+                    CallArg::Obj(v) => {
+                        let v = self.resolve(renames, v).to_string();
+                        let off = ctx.slot_off(&v);
+                        ctx.emit(Instr::Load { dst: reg, base: Reg::SP, offset: off });
+                    }
+                }
+            }
+            ctx.instrs.push(AInstr::CallNamed(func.to_string()));
+            if let Some(d) = dst {
+                let d = self.resolve(renames, d).to_string();
+                ctx.define(&d, None);
+                let off = ctx.slot_off(&d);
+                ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: Reg::R0 });
+            }
+        }
+        Ok(())
+    }
+
+    // --- expressions -------------------------------------------------------
+
+    /// Evaluates `e` into `target`, using scratch registers from
+    /// `SCRATCH[scratch_from..]` for sub-expressions.
+    fn eval_expr(
+        &self,
+        ctx: &mut FnCtx,
+        e: &Expr,
+        target: Reg,
+        scratch_from: usize,
+        renames: &BTreeMap<String, String>,
+    ) {
+        match e {
+            Expr::Const(c) => ctx.emit(Instr::MovImm { dst: target, imm: *c }),
+            Expr::Var(v) => {
+                let v = self.resolve(renames, v).to_string();
+                let off = ctx.slot_off(&v);
+                ctx.emit(Instr::Load { dst: target, base: Reg::SP, offset: off });
+            }
+            Expr::Param(i) => {
+                // Parameters are spilled to slots named after themselves.
+                // Within an inlined body, renames point at caller temps.
+                let name = format!("__param{i}");
+                let v = self.resolve(renames, &name).to_string();
+                let off = ctx.slot_off(&v);
+                ctx.emit(Instr::Load { dst: target, base: Reg::SP, offset: off });
+            }
+            Expr::Bin(op, l, r) => {
+                assert!(scratch_from < SCRATCH.len(), "expression too deep");
+                let tmp = SCRATCH[scratch_from];
+                self.eval_expr(ctx, l, target, scratch_from + 1, renames);
+                self.eval_expr(ctx, r, tmp, scratch_from + 1, renames);
+                ctx.emit(Instr::BinOp { op: *op, dst: target, lhs: target, rhs: tmp });
+            }
+        }
+    }
+}
+
+/// Renames every variable defined in a body with `prefix` so inlined
+/// bodies cannot capture caller locals; `Return`s become value moves (the
+/// caller stores `r0` right after).
+fn rename_return_free_body(
+    body: &[Stmt],
+    prefix: &str,
+    renames: &mut BTreeMap<String, String>,
+) -> Vec<Stmt> {
+    // Collect defined variables.
+    fn collect(body: &[Stmt], out: &mut Vec<String>) {
+        for s in body {
+            match s {
+                Stmt::Let { var, .. } | Stmt::New { var, .. } => out.push(var.clone()),
+                Stmt::VCall { dst, .. } | Stmt::Call { dst, .. } => {
+                    if let Some(d) = dst {
+                        out.push(d.clone());
+                    }
+                }
+                Stmt::ReadField { dst, .. } => out.push(dst.clone()),
+                Stmt::If { then_body, else_body, .. } => {
+                    collect(then_body, out);
+                    collect(else_body, out);
+                }
+                Stmt::While { body, .. } => collect(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut defined = Vec::new();
+    collect(body, &mut defined);
+    for d in defined {
+        renames.entry(d.clone()).or_insert_with(|| format!("{prefix}::{d}"));
+    }
+    body.to_vec()
+}
+
+/// Emitted function name for a method implementation.
+pub fn method_fn_name(class: &str, method: &str) -> String {
+    format!("{class}::{method}")
+}
+
+/// Emitted function name for a constructor.
+pub fn ctor_fn_name(class: &str) -> String {
+    format!("{class}::{class}")
+}
+
+/// Emitted function name for a destructor.
+pub fn dtor_fn_name(class: &str) -> String {
+    format!("{class}::~{class}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use rock_binary::SectionKind;
+
+    fn streams() -> Program {
+        let mut p = ProgramBuilder::new();
+        p.class("Stream").method("send", |b| {
+            b.ret();
+        });
+        p.class("ConfirmableStream").base("Stream").method("confirm", |b| {
+            b.ret();
+        });
+        p.class("FlushableStream")
+            .base("Stream")
+            .method("flush", |b| {
+                b.ret();
+            })
+            .method("close", |b| {
+                b.ret();
+            });
+        p.func("useStream", |f| {
+            f.new_obj("s", "Stream");
+            f.vcall("s", "send", vec![Expr::Const(0)]);
+            f.vcall("s", "send", vec![Expr::Const(1)]);
+            f.ret();
+        });
+        p.finish()
+    }
+
+    #[test]
+    fn compiles_streams_debug() {
+        let c = compile(&streams(), &CompileOptions::default()).unwrap();
+        assert_eq!(c.vtables().len(), 3);
+        assert!(c.vtable_of("Stream").is_some());
+        assert_eq!(c.ground_truth().parent_of("FlushableStream"), Some("Stream"));
+        assert_eq!(c.ground_truth().parent_of("Stream"), None);
+        // Shared implementation: slot 0 of all three vtables is the same
+        // address (none overrides send).
+        let img = c.image();
+        let s0 = img.read_word(c.vtable_of("Stream").unwrap()).unwrap();
+        let c0 = img.read_word(c.vtable_of("ConfirmableStream").unwrap()).unwrap();
+        let f0 = img.read_word(c.vtable_of("FlushableStream").unwrap()).unwrap();
+        assert_eq!(s0, c0);
+        assert_eq!(s0, f0);
+    }
+
+    #[test]
+    fn stripped_image_has_no_debug_info() {
+        let c = compile(&streams(), &CompileOptions::default()).unwrap();
+        assert!(!c.image().is_stripped());
+        assert!(c.stripped_image().is_stripped());
+    }
+
+    #[test]
+    fn ctor_calls_parent_ctor_by_default() {
+        let c = compile(&streams(), &CompileOptions::default()).unwrap();
+        // Find ConfirmableStream's ctor and check it calls Stream's ctor.
+        let sym = c.image().symbols().by_name("ConfirmableStream::ConfirmableStream").unwrap();
+        let parent = c.image().symbols().by_name("Stream::Stream").unwrap();
+        let text = c.image().section(SectionKind::Text).unwrap();
+        let mut pos = sym.addr.offset_from(text.base()) as usize;
+        let mut found = false;
+        loop {
+            let at = text.base() + pos as u64;
+            let (i, n) = rock_binary::decode_instr(&text.bytes()[pos..], at).unwrap();
+            if let Instr::Call { target } = i {
+                if target == parent.addr {
+                    found = true;
+                }
+            }
+            pos += n;
+            if i == Instr::Ret {
+                break;
+            }
+        }
+        assert!(found, "child ctor should call parent ctor in debug builds");
+    }
+
+    #[test]
+    fn inlined_ctor_has_no_parent_call() {
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = true;
+        let c = compile(&streams(), &opts).unwrap();
+        let sym = c.image().symbols().by_name("ConfirmableStream::ConfirmableStream").unwrap();
+        let parent_ctor = c.image().symbols().by_name("Stream::Stream").unwrap();
+        let parent_vt = c.vtable_of("Stream").unwrap();
+        let own_vt = c.vtable_of("ConfirmableStream").unwrap();
+        let text = c.image().section(SectionKind::Text).unwrap();
+        let mut pos = sym.addr.offset_from(text.base()) as usize;
+        let mut calls_parent = false;
+        let mut stores_parent_vt = false;
+        let mut stores_own_vt = false;
+        loop {
+            let at = text.base() + pos as u64;
+            let (i, n) = rock_binary::decode_instr(&text.bytes()[pos..], at).unwrap();
+            match i {
+                Instr::Call { target } if target == parent_ctor.addr => calls_parent = true,
+                Instr::MovImm { imm, .. } if imm == parent_vt.value() => {
+                    stores_parent_vt = true
+                }
+                Instr::MovImm { imm, .. } if imm == own_vt.value() => stores_own_vt = true,
+                _ => {}
+            }
+            pos += n;
+            if i == Instr::Ret {
+                break;
+            }
+        }
+        assert!(!calls_parent, "inlining removes the parent ctor call");
+        assert!(!stores_parent_vt, "DSE removes the overwritten parent vtable store");
+        assert!(stores_own_vt);
+    }
+
+    #[test]
+    fn abstract_elimination_drops_vtable_and_reparents() {
+        let mut p = ProgramBuilder::new();
+        p.class("Root").abstract_class().method("m", |b| {
+            b.ret();
+        });
+        p.class("Mid").base("Root").method("n", |b| {
+            b.ret();
+        });
+        p.class("Leaf").base("Mid").method("o", |b| {
+            b.ret();
+        });
+        let program = p.finish();
+
+        let mut opts = CompileOptions::default();
+        opts.eliminate_abstract = true;
+        let c = compile(&program, &opts).unwrap();
+        assert!(c.vtable_of("Root").is_none());
+        assert_eq!(c.ground_truth().parent_of("Mid"), None, "Mid becomes a root");
+        assert_eq!(c.ground_truth().parent_of("Leaf"), Some("Mid"));
+        // Root's method impl is still emitted: Mid's vtable needs it.
+        assert!(c.image().symbols().by_name("Root::m").is_some());
+        assert!(c.image().symbols().by_name("vtable for Root").is_none());
+    }
+
+    #[test]
+    fn pure_slots_point_to_purecall() {
+        let mut p = ProgramBuilder::new();
+        p.class("Shape").pure_method("area").method("name", |b| {
+            b.ret();
+        });
+        p.class("Circle").base("Shape").method("area", |b| {
+            b.ret();
+        });
+        let program = p.finish();
+        let c = compile(&program, &CompileOptions::default()).unwrap();
+        let purecall = c.image().symbols().by_name(PURECALL_FN).unwrap().addr;
+        let shape_slot0 = c.image().read_word(c.vtable_of("Shape").unwrap()).unwrap();
+        assert_eq!(shape_slot0, purecall.value());
+        let circle_slot0 = c.image().read_word(c.vtable_of("Circle").unwrap()).unwrap();
+        assert_ne!(circle_slot0, purecall.value());
+    }
+
+    #[test]
+    fn comdat_folding_shares_identical_getters() {
+        let mut p = ProgramBuilder::new();
+        // Two unrelated classes with byte-identical methods.
+        p.class("X").field("v").method("get", |b| {
+            b.read("r", "this", "v");
+            b.ret();
+        });
+        p.class("Y").field("v").method("get", |b| {
+            b.read("r", "this", "v");
+            b.ret();
+        });
+        let program = p.finish();
+        let mut opts = CompileOptions::default();
+        opts.comdat_fold = true;
+        let c = compile(&program, &opts).unwrap();
+        assert!(!c.folded_functions().is_empty());
+        let x0 = c.image().read_word(c.vtable_of("X").unwrap()).unwrap();
+        let y0 = c.image().read_word(c.vtable_of("Y").unwrap()).unwrap();
+        assert_eq!(x0, y0, "folded implementations share one address");
+    }
+
+    #[test]
+    fn multiple_inheritance_two_vptr_stores() {
+        let mut p = ProgramBuilder::new();
+        p.class("L").method("lm", |b| {
+            b.ret();
+        });
+        p.class("R").method("rm", |b| {
+            b.ret();
+        });
+        p.class("C").base("L").base("R").method("cm", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("c", "C");
+            f.vcall("c", "lm", vec![]);
+            f.vcall("c", "rm", vec![]);
+            f.ret();
+        });
+        let program = p.finish();
+        let c = compile(&program, &CompileOptions::default()).unwrap();
+        // Secondary vtable emitted.
+        assert!(c.image().symbols().by_name("vtable for C in R").is_some());
+        assert_eq!(c.ground_truth().parents_of("C"), vec!["L", "R"]);
+    }
+
+    #[test]
+    fn inline_hinted_function_disappears() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m", |b| {
+            b.ret();
+        });
+        p.func_inline("helper", |f| {
+            f.param_obj("a", "A");
+            f.vcall("a", "m", vec![]);
+            f.ret();
+        });
+        p.func("driver", |f| {
+            f.new_obj("a", "A");
+            f.call_obj("helper", "a");
+            f.ret();
+        });
+        let program = p.finish();
+        let mut opts = CompileOptions::default();
+        opts.inline_hinted_functions = true;
+        let c = compile(&program, &opts).unwrap();
+        assert!(c.image().symbols().by_name("helper").is_none());
+        // Debug build keeps it.
+        let c2 = compile(&program, &CompileOptions::default()).unwrap();
+        assert!(c2.image().symbols().by_name("helper").is_some());
+    }
+
+    #[test]
+    fn rodata_noise_does_not_break_vtables() {
+        let mut opts = CompileOptions::default();
+        opts.rodata_noise = 128;
+        let c = compile(&streams(), &opts).unwrap();
+        for class in ["Stream", "ConfirmableStream", "FlushableStream"] {
+            let vt = c.vtable_of(class).unwrap();
+            let slot0 = Addr::new(c.image().read_word(vt).unwrap());
+            assert!(c.image().in_section(slot0, SectionKind::Text));
+        }
+    }
+
+    #[test]
+    fn error_types_render() {
+        let e = CompileError::TooManyArgs { context: "f".into() };
+        assert_eq!(e.to_string(), "f: too many call arguments");
+        let v: CompileError =
+            ValidateError::DuplicateClass("A".into()).into();
+        assert!(v.to_string().contains("duplicate class"));
+    }
+}

@@ -1,0 +1,161 @@
+//! COMDAT folding: merging functions with identical bodies.
+//!
+//! Linkers fold identical COMDAT sections to save space; the paper (§6.4,
+//! error source 1) identifies this as the main cause of *unrelated* vtables
+//! sharing a function pointer and hence being clustered into one type
+//! family. This pass reproduces that behaviour faithfully: after folding,
+//! every reference (vtable slot, direct call, address materialization) to a
+//! folded function points at the surviving representative.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::asm::{AInstr, AProgram};
+
+/// Folds identical function bodies in place and returns the replacement
+/// map `folded name -> surviving name`.
+///
+/// The first function (in emission order) with a given body survives;
+/// later duplicates are removed and all references rewritten.
+pub fn comdat_fold(program: &mut AProgram) -> BTreeMap<String, String> {
+    let mut canonical: HashMap<Vec<AInstr>, String> = HashMap::new();
+    let mut replacement: BTreeMap<String, String> = BTreeMap::new();
+
+    program.functions.retain(|f| {
+        match canonical.get(f.body_key()) {
+            Some(survivor) => {
+                replacement.insert(f.name.clone(), survivor.clone());
+                false
+            }
+            None => {
+                canonical.insert(f.instrs.clone(), f.name.clone());
+                true
+            }
+        }
+    });
+
+    if replacement.is_empty() {
+        return replacement;
+    }
+
+    let fix = |name: &mut String| {
+        if let Some(r) = replacement.get(name.as_str()) {
+            *name = r.clone();
+        }
+    };
+    for f in &mut program.functions {
+        for instr in &mut f.instrs {
+            match instr {
+                AInstr::CallNamed(n) | AInstr::MovFnAddr(_, n) => fix(n),
+                _ => {}
+            }
+        }
+    }
+    for vt in &mut program.vtables {
+        for slot in &mut vt.slots {
+            fix(slot);
+        }
+    }
+    replacement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{AFunction, AVtable};
+    use rock_binary::{Instr, Reg};
+
+    fn body_a() -> Vec<AInstr> {
+        vec![
+            AInstr::I(Instr::Enter { frame: 0 }),
+            AInstr::I(Instr::Load { dst: Reg::R0, base: Reg::R0, offset: 8 }),
+            AInstr::I(Instr::Ret),
+        ]
+    }
+
+    fn body_b() -> Vec<AInstr> {
+        vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Ret)]
+    }
+
+    #[test]
+    fn folds_identical_bodies() {
+        let mut p = AProgram {
+            functions: vec![
+                AFunction::new("X::get", body_a()),
+                AFunction::new("Y::get", body_a()),
+                AFunction::new("Z::other", body_b()),
+            ],
+            vtables: vec![
+                AVtable { name: "vtable for X".into(), slots: vec!["X::get".into()] },
+                AVtable { name: "vtable for Y".into(), slots: vec!["Y::get".into()] },
+            ],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        let map = comdat_fold(&mut p);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map["Y::get"], "X::get");
+        assert_eq!(p.functions.len(), 2);
+        // Both vtables now share the same implementation pointer — the
+        // false "DNA match" the paper's error source 1 describes.
+        assert_eq!(p.vtables[0].slots[0], "X::get");
+        assert_eq!(p.vtables[1].slots[0], "X::get");
+    }
+
+    #[test]
+    fn rewrites_calls_and_addresses() {
+        let mut p = AProgram {
+            functions: vec![
+                AFunction::new("a", body_a()),
+                AFunction::new("b", body_a()),
+                AFunction::new(
+                    "caller",
+                    vec![
+                        AInstr::I(Instr::Enter { frame: 0 }),
+                        AInstr::CallNamed("b".into()),
+                        AInstr::MovFnAddr(Reg::R1, "b".into()),
+                        AInstr::I(Instr::Ret),
+                    ],
+                ),
+            ],
+            vtables: vec![],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        comdat_fold(&mut p);
+        let caller = p.functions.iter().find(|f| f.name == "caller").unwrap();
+        assert!(caller.instrs.contains(&AInstr::CallNamed("a".into())));
+        assert!(caller.instrs.contains(&AInstr::MovFnAddr(Reg::R1, "a".into())));
+    }
+
+    #[test]
+    fn no_fold_when_bodies_differ() {
+        let mut p = AProgram {
+            functions: vec![AFunction::new("a", body_a()), AFunction::new("b", body_b())],
+            vtables: vec![],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        let map = comdat_fold(&mut p);
+        assert!(map.is_empty());
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn first_function_survives() {
+        let mut p = AProgram {
+            functions: vec![
+                AFunction::new("first", body_b()),
+                AFunction::new("second", body_b()),
+                AFunction::new("third", body_b()),
+            ],
+            vtables: vec![],
+            rtti: vec![],
+            rodata_blobs: vec![],
+        };
+        let map = comdat_fold(&mut p);
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "first");
+        assert_eq!(map["second"], "first");
+        assert_eq!(map["third"], "first");
+    }
+}

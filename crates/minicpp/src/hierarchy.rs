@@ -1,0 +1,207 @@
+//! Ground-truth hierarchies extracted at compile time.
+//!
+//! The paper (§6.2) builds its ground truth from RTTI records and debug
+//! symbols: the **induced binary type hierarchy** — the source hierarchy
+//! restricted to classes that still exist in the (optimized) binary, with
+//! parents redirected past optimized-out ancestors. [`GroundTruth`] is that
+//! structure.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The induced binary type hierarchy of a compiled program.
+///
+/// Maps every *emitted* class to its parent among emitted classes (the
+/// nearest non-eliminated ancestor), mirroring what the paper reads out of
+/// RTTI records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    parent: BTreeMap<String, Option<String>>,
+    extra_parents: BTreeMap<String, Vec<String>>,
+}
+
+impl GroundTruth {
+    /// Builds a ground truth from `(class, parent)` pairs.
+    pub fn from_parents<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Option<S>)>,
+        S: Into<String>,
+    {
+        let parent = pairs
+            .into_iter()
+            .map(|(c, p)| (c.into(), p.map(Into::into)))
+            .collect();
+        GroundTruth { parent, extra_parents: BTreeMap::new() }
+    }
+
+    /// Registers an additional (multiple-inheritance) parent.
+    pub fn add_extra_parent(&mut self, class: &str, parent: &str) {
+        self.extra_parents
+            .entry(class.to_string())
+            .or_default()
+            .push(parent.to_string());
+    }
+
+    /// All classes present in the binary, sorted.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.parent.keys().map(String::as_str)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the hierarchy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The (primary) parent of `class`, or `None` for roots or unknown
+    /// classes.
+    pub fn parent_of(&self, class: &str) -> Option<&str> {
+        self.parent.get(class)?.as_deref()
+    }
+
+    /// All parents including multiple-inheritance extras.
+    pub fn parents_of(&self, class: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        if let Some(p) = self.parent_of(class) {
+            out.push(p);
+        }
+        if let Some(extra) = self.extra_parents.get(class) {
+            out.extend(extra.iter().map(String::as_str));
+        }
+        out
+    }
+
+    /// Returns `true` if `class` is known to the ground truth.
+    pub fn contains(&self, class: &str) -> bool {
+        self.parent.contains_key(class)
+    }
+
+    /// Root classes (no parent), sorted.
+    pub fn roots(&self) -> Vec<&str> {
+        self.parent
+            .iter()
+            .filter(|(_, p)| p.is_none())
+            .map(|(c, _)| c.as_str())
+            .collect()
+    }
+
+    /// Direct children of `class` (primary parent relation only), sorted.
+    pub fn children_of(&self, class: &str) -> Vec<&str> {
+        self.parent
+            .iter()
+            .filter(|(_, p)| p.as_deref() == Some(class))
+            .map(|(c, _)| c.as_str())
+            .collect()
+    }
+
+    /// All transitive descendants of `class` — the paper's
+    /// `successors_GT(t)` (§6.3).
+    pub fn successors(&self, class: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![class.to_string()];
+        while let Some(c) = stack.pop() {
+            for child in self.children_of(&c) {
+                if out.insert(child.to_string()) {
+                    stack.push(child.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Ancestor chain of `class` (primary parents), nearest first.
+    pub fn ancestors(&self, class: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut cur = self.parent_of(class);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent_of(p);
+        }
+        out
+    }
+}
+
+impl fmt::Display for GroundTruth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, p) in &self.parent {
+            match p {
+                Some(p) => writeln!(f, "{c} : {p}")?,
+                None => writeln!(f, "{c} (root)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt() -> GroundTruth {
+        GroundTruth::from_parents(vec![
+            ("Stream", None),
+            ("ConfirmableStream", Some("Stream")),
+            ("FlushableStream", Some("Stream")),
+            ("BufferedFlushable", Some("FlushableStream")),
+        ])
+    }
+
+    #[test]
+    fn parent_queries() {
+        let g = gt();
+        assert_eq!(g.parent_of("Stream"), None);
+        assert_eq!(g.parent_of("FlushableStream"), Some("Stream"));
+        assert_eq!(g.parent_of("Nope"), None);
+        assert!(g.contains("Stream"));
+        assert!(!g.contains("Nope"));
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn roots_and_children() {
+        let g = gt();
+        assert_eq!(g.roots(), vec!["Stream"]);
+        assert_eq!(g.children_of("Stream"), vec!["ConfirmableStream", "FlushableStream"]);
+        assert_eq!(g.children_of("BufferedFlushable"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn successors_are_transitive() {
+        let g = gt();
+        let s = g.successors("Stream");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains("BufferedFlushable"));
+        assert!(g.successors("BufferedFlushable").is_empty());
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let g = gt();
+        assert_eq!(g.ancestors("BufferedFlushable"), vec!["FlushableStream", "Stream"]);
+        assert_eq!(g.ancestors("Stream"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn extra_parents() {
+        let mut g = gt();
+        g.add_extra_parent("BufferedFlushable", "ConfirmableStream");
+        assert_eq!(
+            g.parents_of("BufferedFlushable"),
+            vec!["FlushableStream", "ConfirmableStream"]
+        );
+        // Primary relation untouched.
+        assert_eq!(g.parent_of("BufferedFlushable"), Some("FlushableStream"));
+    }
+
+    #[test]
+    fn display_lists_all() {
+        let text = gt().to_string();
+        assert!(text.contains("Stream (root)"));
+        assert!(text.contains("FlushableStream : Stream"));
+    }
+}

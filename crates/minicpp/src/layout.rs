@@ -1,0 +1,391 @@
+//! Object and vtable layout computation.
+//!
+//! Mirrors a simplified MSVC-style ABI (the compiler the paper targets):
+//!
+//! * the vtable pointer lives at object offset 0;
+//! * inherited fields keep their offsets; own fields are appended;
+//! * with multiple inheritance, base subobjects are concatenated in
+//!   declaration order, each with its own vtable pointer (paper §5.3);
+//! * a derived class reuses its primary base's vtable slots, substituting
+//!   overridden entries in place and appending new methods at the end —
+//!   the slot-sharing that Phase I of the structural analysis exploits.
+
+use std::collections::BTreeMap;
+
+use crate::{Program, ValidateError};
+use rock_binary::WORD_SIZE;
+
+/// Where a vtable slot's implementation comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Method name occupying the slot.
+    pub method: String,
+    /// Class providing the implementation, or `None` for a pure slot
+    /// (points at the shared `__purecall` trap in the binary).
+    pub impl_class: Option<String>,
+}
+
+/// One vtable emitted for a class (primary, plus one secondary per extra
+/// base under multiple inheritance).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VtableLayout {
+    /// The class this vtable belongs to.
+    pub owner: String,
+    /// `None` for the primary vtable; `Some(base)` for the secondary vtable
+    /// covering the `base` subobject.
+    pub for_base: Option<String>,
+    /// Byte offset of the covered subobject inside the full object.
+    pub subobject_offset: i32,
+    /// Slot contents, in slot order.
+    pub slots: Vec<SlotInfo>,
+}
+
+impl VtableLayout {
+    /// Symbol-style name: `vtable for C` / `vtable for C in B`.
+    pub fn symbol_name(&self) -> String {
+        match &self.for_base {
+            None => format!("vtable for {}", self.owner),
+            Some(b) => format!("vtable for {} in {}", self.owner, b),
+        }
+    }
+}
+
+/// Complete layout of one class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassLayout {
+    /// Class name.
+    pub name: String,
+    /// Object size in bytes (vptr(s) + all fields).
+    pub size: u32,
+    /// Byte offset of every accessible field (inherited included).
+    pub field_offsets: BTreeMap<String, i32>,
+    /// Emitted vtables; index 0 is the primary vtable.
+    pub vtables: Vec<VtableLayout>,
+}
+
+impl ClassLayout {
+    /// The primary vtable.
+    pub fn primary(&self) -> &VtableLayout {
+        &self.vtables[0]
+    }
+
+    /// Resolves a virtual call on this static type: returns
+    /// `(subobject_offset, slot_index)`.
+    pub fn slot_of(&self, method: &str) -> Option<(i32, usize)> {
+        for vt in &self.vtables {
+            if let Some(i) = vt.slots.iter().position(|s| s.method == method) {
+                return Some((vt.subobject_offset, i));
+            }
+        }
+        None
+    }
+
+    /// The vtable-pointer stores a constructor of this class performs:
+    /// `(object offset, vtable index in self.vtables)`.
+    pub fn vptr_stores(&self) -> Vec<(i32, usize)> {
+        self.vtables
+            .iter()
+            .enumerate()
+            .map(|(i, vt)| (vt.subobject_offset, i))
+            .collect()
+    }
+}
+
+/// Layouts for every class of a program, in base-before-derived order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramLayout {
+    classes: BTreeMap<String, ClassLayout>,
+    order: Vec<String>,
+}
+
+impl ProgramLayout {
+    /// Computes layouts for all classes of a validated program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ValidateError`] if the program is
+    /// ill-formed (unknown base, inheritance cycle, field shadowing, …).
+    pub fn compute(program: &Program) -> Result<ProgramLayout, ValidateError> {
+        crate::validate::validate(program)?;
+        let mut out = ProgramLayout::default();
+        // Topological order: bases before derived (validation guarantees
+        // acyclicity and that bases are defined).
+        let mut remaining: Vec<&str> =
+            program.classes.iter().map(|c| c.name.as_str()).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|name| {
+                let class = program.class(name).expect("validated");
+                let ready =
+                    class.bases.iter().all(|b| out.classes.contains_key(b.as_str()));
+                if ready {
+                    let layout = compute_class(program, name, &out.classes);
+                    out.order.push((*name).to_string());
+                    out.classes.insert((*name).to_string(), layout);
+                }
+                !ready
+            });
+            assert!(remaining.len() < before, "validated programs are acyclic");
+        }
+        Ok(out)
+    }
+
+    /// The layout of a class.
+    pub fn class(&self, name: &str) -> Option<&ClassLayout> {
+        self.classes.get(name)
+    }
+
+    /// Class names in base-before-derived order.
+    pub fn order(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Iterates over all layouts in base-before-derived order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassLayout> {
+        self.order.iter().map(|n| &self.classes[n])
+    }
+}
+
+fn compute_class(
+    program: &Program,
+    name: &str,
+    done: &BTreeMap<String, ClassLayout>,
+) -> ClassLayout {
+    let class = program.class(name).expect("validated");
+    let mut field_offsets = BTreeMap::new();
+    let mut vtables = Vec::new();
+    let mut size: u32;
+
+    if class.bases.is_empty() {
+        size = WORD_SIZE as u32; // vptr
+        vtables.push(VtableLayout {
+            owner: name.to_string(),
+            for_base: None,
+            subobject_offset: 0,
+            slots: class
+                .methods
+                .iter()
+                .map(|m| SlotInfo {
+                    method: m.name.clone(),
+                    impl_class: if m.is_pure { None } else { Some(name.to_string()) },
+                })
+                .collect(),
+        });
+    } else {
+        // Primary base at offset 0.
+        let primary = &done[&class.bases[0]];
+        size = primary.size;
+        field_offsets.extend(primary.field_offsets.clone());
+
+        let mut primary_slots = primary.primary().slots.clone();
+        override_slots(&mut primary_slots, class, name);
+        vtables.push(VtableLayout {
+            owner: name.to_string(),
+            for_base: None,
+            subobject_offset: 0,
+            slots: primary_slots,
+        });
+
+        // Extra bases: concatenated subobjects with secondary vtables.
+        for base in &class.bases[1..] {
+            let bl = &done[base];
+            let sub_off = size as i32;
+            for (f, off) in &bl.field_offsets {
+                field_offsets.insert(f.clone(), off + sub_off);
+            }
+            let mut slots = bl.primary().slots.clone();
+            override_slots(&mut slots, class, name);
+            vtables.push(VtableLayout {
+                owner: name.to_string(),
+                for_base: Some(base.clone()),
+                subobject_offset: sub_off,
+                slots,
+            });
+            size += bl.size;
+        }
+
+        // New methods (not overriding anything in any base) extend the
+        // primary vtable.
+        let inherited: Vec<String> = vtables
+            .iter()
+            .flat_map(|vt| vt.slots.iter().map(|s| s.method.clone()))
+            .collect();
+        for m in &class.methods {
+            if !inherited.iter().any(|n| n == &m.name) {
+                vtables[0].slots.push(SlotInfo {
+                    method: m.name.clone(),
+                    impl_class: if m.is_pure { None } else { Some(name.to_string()) },
+                });
+            }
+        }
+    }
+
+    // Own fields appended after all base subobjects.
+    for f in &class.fields {
+        field_offsets.insert(f.clone(), size as i32);
+        size += WORD_SIZE as u32;
+    }
+
+    ClassLayout { name: name.to_string(), size, field_offsets, vtables }
+}
+
+/// Substitutes `class`'s overriding methods into inherited slots.
+fn override_slots(slots: &mut [SlotInfo], class: &crate::ClassDef, name: &str) {
+    for slot in slots.iter_mut() {
+        if let Some(m) = class.method(&slot.method) {
+            slot.impl_class = if m.is_pure { None } else { Some(name.to_string()) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassDef, MethodDef};
+
+    fn class(name: &str, bases: &[&str], fields: &[&str], methods: &[(&str, bool)]) -> ClassDef {
+        ClassDef {
+            name: name.into(),
+            bases: bases.iter().map(|s| s.to_string()).collect(),
+            fields: fields.iter().map(|s| s.to_string()).collect(),
+            methods: methods
+                .iter()
+                .map(|(n, pure)| MethodDef { name: n.to_string(), is_pure: *pure, body: vec![] })
+                .collect(),
+            is_abstract: false,
+            always_inline_ctor: false,
+            ctor_body: vec![],
+            dtor_body: vec![],
+        }
+    }
+
+    fn streams_program() -> Program {
+        // The paper's Fig. 3 classes.
+        Program {
+            classes: vec![
+                class("Stream", &[], &[], &[("send", false)]),
+                class("ConfirmableStream", &["Stream"], &[], &[("confirm", false)]),
+                class("FlushableStream", &["Stream"], &[], &[("flush", false), ("close", false)]),
+            ],
+            functions: vec![],
+        }
+    }
+
+    #[test]
+    fn root_layout() {
+        let l = ProgramLayout::compute(&streams_program()).unwrap();
+        let s = l.class("Stream").unwrap();
+        assert_eq!(s.size, 8);
+        assert_eq!(s.primary().slots.len(), 1);
+        assert_eq!(s.primary().slots[0].method, "send");
+        assert_eq!(s.primary().slots[0].impl_class.as_deref(), Some("Stream"));
+        assert_eq!(s.slot_of("send"), Some((0, 0)));
+    }
+
+    #[test]
+    fn derived_extends_parent_slots() {
+        let l = ProgramLayout::compute(&streams_program()).unwrap();
+        let c = l.class("ConfirmableStream").unwrap();
+        assert_eq!(c.primary().slots.len(), 2);
+        // send inherited, still implemented by Stream (shared pointer!)
+        assert_eq!(c.primary().slots[0].impl_class.as_deref(), Some("Stream"));
+        assert_eq!(c.primary().slots[1].method, "confirm");
+        let f = l.class("FlushableStream").unwrap();
+        assert_eq!(f.primary().slots.len(), 3);
+        assert_eq!(f.slot_of("close"), Some((0, 2)));
+    }
+
+    #[test]
+    fn override_replaces_impl_in_place() {
+        let p = Program {
+            classes: vec![
+                class("A", &[], &[], &[("m", false), ("n", false)]),
+                class("B", &["A"], &[], &[("m", false)]),
+            ],
+            functions: vec![],
+        };
+        let l = ProgramLayout::compute(&p).unwrap();
+        let b = l.class("B").unwrap();
+        assert_eq!(b.primary().slots[0].impl_class.as_deref(), Some("B"));
+        assert_eq!(b.primary().slots[1].impl_class.as_deref(), Some("A"));
+        assert_eq!(b.primary().slots.len(), 2, "override adds no slot");
+    }
+
+    #[test]
+    fn pure_slot_has_no_impl() {
+        let p = Program {
+            classes: vec![
+                class("Shape", &[], &[], &[("area", true)]),
+                class("Circle", &["Shape"], &["r"], &[("area", false)]),
+            ],
+            functions: vec![],
+        };
+        let l = ProgramLayout::compute(&p).unwrap();
+        assert_eq!(l.class("Shape").unwrap().primary().slots[0].impl_class, None);
+        assert_eq!(
+            l.class("Circle").unwrap().primary().slots[0].impl_class.as_deref(),
+            Some("Circle")
+        );
+    }
+
+    #[test]
+    fn field_offsets_chain() {
+        let p = Program {
+            classes: vec![
+                class("A", &[], &["x", "y"], &[("m", false)]),
+                class("B", &["A"], &["z"], &[]),
+            ],
+            functions: vec![],
+        };
+        let l = ProgramLayout::compute(&p).unwrap();
+        let a = l.class("A").unwrap();
+        assert_eq!(a.field_offsets["x"], 8);
+        assert_eq!(a.field_offsets["y"], 16);
+        assert_eq!(a.size, 24);
+        let b = l.class("B").unwrap();
+        assert_eq!(b.field_offsets["x"], 8);
+        assert_eq!(b.field_offsets["z"], 24);
+        assert_eq!(b.size, 32);
+    }
+
+    #[test]
+    fn multiple_inheritance_layout() {
+        let p = Program {
+            classes: vec![
+                class("L", &[], &["a"], &[("lm", false)]),
+                class("R", &[], &["b"], &[("rm", false)]),
+                class("C", &["L", "R"], &["c"], &[("cm", false), ("rm", false)]),
+            ],
+            functions: vec![],
+        };
+        let l = ProgramLayout::compute(&p).unwrap();
+        let c = l.class("C").unwrap();
+        // [L: vptr@0, a@8][R: vptr@16, b@24][c@32]
+        assert_eq!(c.size, 40);
+        assert_eq!(c.field_offsets["a"], 8);
+        assert_eq!(c.field_offsets["b"], 24);
+        assert_eq!(c.field_offsets["c"], 32);
+        assert_eq!(c.vtables.len(), 2);
+        assert_eq!(c.vtables[1].subobject_offset, 16);
+        assert_eq!(c.vtables[1].for_base.as_deref(), Some("R"));
+        // rm overridden by C in the secondary vtable.
+        assert_eq!(c.vtables[1].slots[0].impl_class.as_deref(), Some("C"));
+        // cm appended to the primary vtable.
+        assert_eq!(c.primary().slots.last().unwrap().method, "cm");
+        // Two vptr stores in the ctor (paper §5.3: X stores => X parents).
+        assert_eq!(c.vptr_stores(), vec![(0, 0), (16, 1)]);
+        assert_eq!(c.slot_of("rm"), Some((16, 0)));
+        assert_eq!(c.vtables[1].symbol_name(), "vtable for C in R");
+    }
+
+    #[test]
+    fn order_is_base_first() {
+        let p = streams_program();
+        let l = ProgramLayout::compute(&p).unwrap();
+        let order = l.order();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("Stream") < pos("ConfirmableStream"));
+        assert!(pos("Stream") < pos("FlushableStream"));
+        assert_eq!(l.iter().count(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! MiniCpp: a miniature object-oriented source language and compiler.
+//!
+//! The Rock paper (ASPLOS'18) evaluates on real C++ programs compiled by
+//! MSVC, optimized and stripped. Those binaries (and their ground truth) are
+//! not available here, so this crate provides the closest synthetic
+//! equivalent: a small class-based language with virtual dispatch, single
+//! and multiple inheritance, constructors/destructors and fields, plus a
+//! compiler that lowers programs to [`rock_binary::BinaryImage`]s with all
+//! the artifacts Rock's analyses consume —
+//!
+//! * vtables in rodata whose slots point at method implementations
+//!   (shared with ancestors unless overridden),
+//! * constructors that store vtable pointers into objects and call parent
+//!   constructors,
+//! * virtual calls lowered to vptr loads + indirect calls,
+//! * field accesses at fixed object offsets.
+//!
+//! The compiler also reproduces the *noise* the paper attributes its errors
+//! to (§6.4): parent-ctor **inlining** (with dead-store elimination of the
+//! overwritten parent vtable pointer), **abstract-root elimination** (whole
+//! classes optimized out of the binary) and **COMDAT folding** (identical
+//! function bodies merged, linking unrelated vtables).
+//!
+//! # Example
+//!
+//! ```
+//! use rock_minicpp::{ProgramBuilder, CompileOptions, compile};
+//!
+//! let mut p = ProgramBuilder::new();
+//! p.class("Base").method("m0", |b| { b.ret(); });
+//! p.class("Derived").base("Base").method("m1", |b| { b.ret(); });
+//! p.func("driver", |f| {
+//!     f.new_obj("d", "Derived");
+//!     f.vcall("d", "m0", vec![]);
+//!     f.vcall("d", "m1", vec![]);
+//!     f.ret();
+//! });
+//! let program = p.finish();
+//! let compiled = compile(&program, &CompileOptions::default())?;
+//! assert_eq!(compiled.vtables().len(), 2);
+//! assert_eq!(compiled.ground_truth().parent_of("Derived"), Some("Base"));
+//! # Ok::<(), rock_minicpp::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod ast;
+mod codegen;
+mod fold;
+mod hierarchy;
+mod layout;
+mod options;
+mod printer;
+mod program_builder;
+mod validate;
+
+pub use asm::{assemble, AFunction, AInstr, AProgram, ARtti, Assembled, AVtable};
+pub use ast::{CallArg, ClassDef, Expr, FunctionDef, MethodDef, Param, Program, Stmt};
+pub use codegen::{compile, Compiled, CompileError};
+pub use hierarchy::GroundTruth;
+pub use layout::{ClassLayout, ProgramLayout};
+pub use options::CompileOptions;
+pub use printer::to_source;
+pub use program_builder::{BodyBuilder, ClassBuilder, FuncBuilder, ProgramBuilder};
+pub use validate::ValidateError;

@@ -1,0 +1,97 @@
+//! Compilation options controlling the optimizer passes.
+
+/// Options for [`compile`](crate::compile).
+///
+/// Each flag models a real compiler behaviour the paper identifies as a
+/// source of lost structural information (§1, §4.1, §6.4):
+///
+/// * [`inline_parent_ctors`](Self::inline_parent_ctors) — removes the
+///   ctor-call structural cue (Phase II rule 3);
+/// * [`eliminate_abstract`](Self::eliminate_abstract) — whole classes
+///   vanish from the binary, splitting inheritance trees;
+/// * [`comdat_fold`](Self::comdat_fold) — identical function bodies merge,
+///   spuriously linking unrelated vtables (error source 1);
+/// * [`emit_rtti`](Self::emit_rtti) — RTTI records, used by the ground
+///   truth only (stripping removes them).
+///
+/// # Example
+///
+/// ```
+/// use rock_minicpp::CompileOptions;
+/// let release = CompileOptions::optimized();
+/// assert!(release.inline_parent_ctors);
+/// let debug = CompileOptions::default();
+/// assert!(!debug.inline_parent_ctors);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Inline parent constructor/destructor bodies into children
+    /// (with dead-store elimination of the overwritten parent vtable
+    /// pointer).
+    pub inline_parent_ctors: bool,
+    /// Do not emit vtables, constructors, or RTTI for abstract classes
+    /// that are never instantiated; children lose the structural link.
+    pub eliminate_abstract: bool,
+    /// Merge functions with identical bodies (COMDAT folding).
+    pub comdat_fold: bool,
+    /// Emit RTTI records (consumed only by ground-truth extraction).
+    pub emit_rtti: bool,
+    /// Inline free functions marked with `inline_hint` into their callers.
+    pub inline_hinted_functions: bool,
+    /// Bytes of string-literal-style noise interleaved into rodata, to keep
+    /// vtable discovery honest. `0` disables.
+    pub rodata_noise: usize,
+}
+
+impl Default for CompileOptions {
+    /// Debug-style build: no optimizations, RTTI on.
+    fn default() -> Self {
+        CompileOptions {
+            inline_parent_ctors: false,
+            eliminate_abstract: false,
+            comdat_fold: false,
+            emit_rtti: true,
+            inline_hinted_functions: false,
+            rodata_noise: 0,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Release-style build: every optimization on, RTTI still emitted so
+    /// ground truth can be harvested before stripping.
+    pub fn optimized() -> Self {
+        CompileOptions {
+            inline_parent_ctors: true,
+            eliminate_abstract: true,
+            comdat_fold: true,
+            emit_rtti: true,
+            inline_hinted_functions: true,
+            rodata_noise: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_debug_like() {
+        let o = CompileOptions::default();
+        assert!(!o.inline_parent_ctors);
+        assert!(!o.eliminate_abstract);
+        assert!(!o.comdat_fold);
+        assert!(o.emit_rtti);
+    }
+
+    #[test]
+    fn optimized_enables_all() {
+        let o = CompileOptions::optimized();
+        assert!(o.inline_parent_ctors);
+        assert!(o.eliminate_abstract);
+        assert!(o.comdat_fold);
+        assert!(o.inline_hinted_functions);
+        assert!(o.rodata_noise > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! C++-flavoured pretty-printing of MiniCpp programs (the paper's Fig. 3
+//! view — the *source* the reverse engineer never gets to see).
+
+use std::fmt::Write as _;
+
+use crate::{CallArg, ClassDef, Expr, FunctionDef, Program, Stmt};
+
+/// Renders a whole program as C++-flavoured source text.
+///
+/// # Example
+///
+/// ```
+/// use rock_minicpp::{ProgramBuilder, to_source};
+/// let mut p = ProgramBuilder::new();
+/// p.class("Base").method("m", |b| { b.ret(); });
+/// p.class("Derived").base("Base").field("x");
+/// let src = to_source(&p.finish());
+/// assert!(src.contains("class Derived : public Base {"));
+/// ```
+pub fn to_source(program: &Program) -> String {
+    let mut out = String::new();
+    for c in &program.classes {
+        class_source(c, &mut out);
+        out.push('\n');
+    }
+    for f in &program.functions {
+        function_source(f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn class_source(c: &ClassDef, out: &mut String) {
+    let bases = if c.bases.is_empty() {
+        String::new()
+    } else {
+        let list: Vec<String> = c.bases.iter().map(|b| format!("public {b}")).collect();
+        format!(" : {}", list.join(", "))
+    };
+    let _ = writeln!(out, "class {}{bases} {{", c.name);
+    for f in &c.fields {
+        let _ = writeln!(out, "    long {f};");
+    }
+    if !c.ctor_body.is_empty() {
+        let _ = writeln!(out, "    {}() {{", c.name);
+        body_source(&c.ctor_body, 2, out);
+        let _ = writeln!(out, "    }}");
+    }
+    if !c.dtor_body.is_empty() {
+        let _ = writeln!(out, "    ~{}() {{", c.name);
+        body_source(&c.dtor_body, 2, out);
+        let _ = writeln!(out, "    }}");
+    }
+    for m in &c.methods {
+        if m.is_pure {
+            let _ = writeln!(out, "    virtual void {}() = 0;", m.name);
+        } else {
+            let _ = writeln!(out, "    virtual void {}() {{", m.name);
+            body_source(&m.body, 2, out);
+            let _ = writeln!(out, "    }}");
+        }
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn function_source(f: &FunctionDef, out: &mut String) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| match &p.class {
+            Some(c) => format!("{c}* {}", p.name),
+            None => format!("long {}", p.name),
+        })
+        .collect();
+    let inline = if f.inline_hint { "inline " } else { "" };
+    let _ = writeln!(out, "{inline}long {}({}) {{", f.name, params.join(", "));
+    body_source(&f.body, 1, out);
+    let _ = writeln!(out, "}}");
+}
+
+fn body_source(body: &[Stmt], depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth);
+    for s in body {
+        match s {
+            Stmt::Let { var, value } => {
+                let _ = writeln!(out, "{pad}long {var} = {};", expr(value));
+            }
+            Stmt::New { var, class, on_stack } => {
+                if *on_stack {
+                    let _ = writeln!(out, "{pad}{class} {var}_storage; {class}* {var} = &{var}_storage;");
+                } else {
+                    let _ = writeln!(out, "{pad}{class}* {var} = new {class}();");
+                }
+            }
+            Stmt::Delete { var } => {
+                let _ = writeln!(out, "{pad}delete {var};");
+            }
+            Stmt::VCall { dst, obj, method, args } => {
+                let a: Vec<String> = args.iter().map(expr).collect();
+                let lhs = dst.as_ref().map(|d| format!("long {d} = ")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}{lhs}{obj}->{method}({});", a.join(", "));
+            }
+            Stmt::ReadField { dst, obj, field } => {
+                let _ = writeln!(out, "{pad}long {dst} = {obj}->{field};");
+            }
+            Stmt::WriteField { obj, field, value } => {
+                let _ = writeln!(out, "{pad}{obj}->{field} = {};", expr(value));
+            }
+            Stmt::Call { dst, func, args } => {
+                let a: Vec<String> = args
+                    .iter()
+                    .map(|arg| match arg {
+                        CallArg::Value(e) => expr(e),
+                        CallArg::Obj(v) => v.clone(),
+                    })
+                    .collect();
+                let lhs = dst.as_ref().map(|d| format!("long {d} = ")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}{lhs}{func}({});", a.join(", "));
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", expr(cond));
+                body_source(then_body, depth + 1, out);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    body_source(else_body, depth + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while ({}) {{", expr(cond));
+                body_source(body, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Return(value) => match value {
+                Some(v) => {
+                    let _ = writeln!(out, "{pad}return {};", expr(v));
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}return;");
+                }
+            },
+        }
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Param(i) => format!("arg{i}"),
+        Expr::Bin(op, l, r) => format!("({} {op} {})", expr(l), expr(r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn renders_fig3_style_source() {
+        let mut p = ProgramBuilder::new();
+        p.class("Stream").method("send", |b| {
+            b.ret();
+        });
+        p.class("ConfirmableStream")
+            .base("Stream")
+            .method("confirm", |b| {
+                b.ret();
+            });
+        p.func("useStream", |f| {
+            f.param_obj("stream", "Stream");
+            f.vcall("stream", "send", vec![Expr::Const(0)]);
+            f.ret();
+        });
+        let src = to_source(&p.finish());
+        assert!(src.contains("class Stream {"));
+        assert!(src.contains("class ConfirmableStream : public Stream {"));
+        assert!(src.contains("virtual void send() {"));
+        assert!(src.contains("long useStream(Stream* stream) {"));
+        assert!(src.contains("stream->send(0);"));
+    }
+
+    #[test]
+    fn renders_all_statement_forms() {
+        let mut p = ProgramBuilder::new();
+        p.class("A")
+            .field("x")
+            .pure_method("abstract_m")
+            .ctor(|b| {
+                b.write("this", "x", Expr::Const(1));
+            })
+            .dtor(|b| {
+                b.read("v", "this", "x");
+            });
+        p.class("B").base("A").method("abstract_m", |b| {
+            b.ret();
+        });
+        p.func_inline("helper", |f| {
+            f.param_val("n");
+            f.ret_val(Expr::Param(0));
+        });
+        p.func("main_like", |f| {
+            f.new_obj("b", "B");
+            f.new_stack("s", "B");
+            f.let_("t", Expr::bin(rock_binary::BinOp::Add, Expr::Const(1), Expr::Const(2)));
+            f.call_dst("r", "helper", vec![crate::CallArg::Value(Expr::Var("t".into()))]);
+            f.if_else(
+                Expr::Var("r".into()),
+                |tb| {
+                    tb.vcall_dst("q", "b", "abstract_m", vec![]);
+                },
+                |eb| {
+                    eb.delete("b");
+                },
+            );
+            f.write("s", "x", Expr::Const(5));
+            f.ret();
+        });
+        let src = to_source(&p.finish());
+        for needle in [
+            "virtual void abstract_m() = 0;",
+            "A() {",
+            "~A() {",
+            "inline long helper(long n) {",
+            "B* b = new B();",
+            "B s_storage; B* s = &s_storage;",
+            "long t = (1 add 2);",
+            "long r = helper(t);",
+            "if (r) {",
+            "} else {",
+            "delete b;",
+            "s->x = 5;",
+            "return arg0;",
+        ] {
+            assert!(src.contains(needle), "missing {needle:?} in:\n{src}");
+        }
+    }
+}

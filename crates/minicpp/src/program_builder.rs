@@ -1,0 +1,567 @@
+//! Fluent builders for constructing MiniCpp [`Program`]s in code.
+//!
+//! # Example
+//!
+//! ```
+//! use rock_minicpp::{ProgramBuilder, Expr};
+//!
+//! let mut p = ProgramBuilder::new();
+//! p.class("Shape").pure_method("area").field("tag");
+//! p.class("Circle").base("Shape").field("r").method("area", |b| {
+//!     b.read("rr", "this", "r");
+//!     b.ret_val(Expr::Var("rr".into()));
+//! });
+//! p.func("driver", |f| {
+//!     f.new_obj("c", "Circle");
+//!     f.vcall_dst("a", "c", "area", vec![]);
+//!     f.ret();
+//! });
+//! let program = p.finish();
+//! assert_eq!(program.classes.len(), 2);
+//! ```
+
+use crate::{CallArg, ClassDef, Expr, FunctionDef, MethodDef, Param, Program, Stmt};
+
+/// Builds a [`Program`] incrementally.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a class and returns a builder to populate it.
+    pub fn class(&mut self, name: impl Into<String>) -> ClassBuilder<'_> {
+        self.program.classes.push(ClassDef {
+            name: name.into(),
+            bases: Vec::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+            is_abstract: false,
+            always_inline_ctor: false,
+            ctor_body: Vec::new(),
+            dtor_body: Vec::new(),
+        });
+        let idx = self.program.classes.len() - 1;
+        ClassBuilder { program: &mut self.program, idx }
+    }
+
+    /// Adds a free function whose parameters and body are populated by `f`.
+    pub fn func(&mut self, name: impl Into<String>, f: impl FnOnce(&mut FuncBuilder)) {
+        self.add_function(name, false, f);
+    }
+
+    /// Like [`ProgramBuilder::func`], with the inline hint set (optimized
+    /// builds fold the function into its callers).
+    pub fn func_inline(&mut self, name: impl Into<String>, f: impl FnOnce(&mut FuncBuilder)) {
+        self.add_function(name, true, f);
+    }
+
+    fn add_function(
+        &mut self,
+        name: impl Into<String>,
+        inline_hint: bool,
+        f: impl FnOnce(&mut FuncBuilder),
+    ) {
+        let mut fb = FuncBuilder {
+            params: Vec::new(),
+            body: BodyBuilder::new(),
+        };
+        f(&mut fb);
+        self.program.functions.push(FunctionDef {
+            name: name.into(),
+            params: fb.params,
+            body: fb.body.stmts,
+            inline_hint,
+        });
+    }
+
+    /// Finalizes the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+/// Populates one class of a [`ProgramBuilder`].
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    program: &'a mut Program,
+    idx: usize,
+}
+
+impl ClassBuilder<'_> {
+    fn class(&mut self) -> &mut ClassDef {
+        &mut self.program.classes[self.idx]
+    }
+
+    /// Adds a base class (call repeatedly for multiple inheritance).
+    pub fn base(&mut self, name: impl Into<String>) -> &mut Self {
+        self.class().bases.push(name.into());
+        self
+    }
+
+    /// Adds a field.
+    pub fn field(&mut self, name: impl Into<String>) -> &mut Self {
+        self.class().fields.push(name.into());
+        self
+    }
+
+    /// Marks the class abstract (never instantiated; candidate for
+    /// elimination in optimized builds).
+    pub fn abstract_class(&mut self) -> &mut Self {
+        self.class().is_abstract = true;
+        self
+    }
+
+    /// Forces children to inline this class's constructor/destructor even
+    /// in non-optimized builds (removes the ctor-call cue for this link).
+    pub fn inline_ctor(&mut self) -> &mut Self {
+        self.class().always_inline_ctor = true;
+        self
+    }
+
+    /// Adds a virtual method with a body.
+    pub fn method(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        let mut b = BodyBuilder::new();
+        f(&mut b);
+        self.class().methods.push(MethodDef {
+            name: name.into(),
+            is_pure: false,
+            body: b.stmts,
+        });
+        self
+    }
+
+    /// Adds a pure virtual method (implies the class is abstract).
+    pub fn pure_method(&mut self, name: impl Into<String>) -> &mut Self {
+        self.class().methods.push(MethodDef {
+            name: name.into(),
+            is_pure: true,
+            body: Vec::new(),
+        });
+        self
+    }
+
+    /// Sets extra constructor-body statements.
+    pub fn ctor(&mut self, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut b = BodyBuilder::new();
+        f(&mut b);
+        self.class().ctor_body = b.stmts;
+        self
+    }
+
+    /// Sets extra destructor-body statements.
+    pub fn dtor(&mut self, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut b = BodyBuilder::new();
+        f(&mut b);
+        self.class().dtor_body = b.stmts;
+        self
+    }
+}
+
+/// Builds a statement list.
+#[derive(Clone, Debug, Default)]
+pub struct BodyBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl BodyBuilder {
+    /// Creates an empty body.
+    pub fn new() -> Self {
+        BodyBuilder::default()
+    }
+
+    /// `let var = value;`
+    pub fn let_(&mut self, var: impl Into<String>, value: Expr) -> &mut Self {
+        self.stmts.push(Stmt::Let { var: var.into(), value });
+        self
+    }
+
+    /// `var = new Class();` (heap).
+    pub fn new_obj(&mut self, var: impl Into<String>, class: impl Into<String>) -> &mut Self {
+        self.stmts.push(Stmt::New { var: var.into(), class: class.into(), on_stack: false });
+        self
+    }
+
+    /// `Class var;` (stack object).
+    pub fn new_stack(&mut self, var: impl Into<String>, class: impl Into<String>) -> &mut Self {
+        self.stmts.push(Stmt::New { var: var.into(), class: class.into(), on_stack: true });
+        self
+    }
+
+    /// `delete var;`
+    pub fn delete(&mut self, var: impl Into<String>) -> &mut Self {
+        self.stmts.push(Stmt::Delete { var: var.into() });
+        self
+    }
+
+    /// `obj->method(args);`
+    pub fn vcall(
+        &mut self,
+        obj: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Expr>,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::VCall {
+            dst: None,
+            obj: obj.into(),
+            method: method.into(),
+            args,
+        });
+        self
+    }
+
+    /// `dst = obj->method(args);`
+    pub fn vcall_dst(
+        &mut self,
+        dst: impl Into<String>,
+        obj: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Expr>,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::VCall {
+            dst: Some(dst.into()),
+            obj: obj.into(),
+            method: method.into(),
+            args,
+        });
+        self
+    }
+
+    /// `dst = obj.field;`
+    pub fn read(
+        &mut self,
+        dst: impl Into<String>,
+        obj: impl Into<String>,
+        field: impl Into<String>,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::ReadField {
+            dst: dst.into(),
+            obj: obj.into(),
+            field: field.into(),
+        });
+        self
+    }
+
+    /// `obj.field = value;`
+    pub fn write(
+        &mut self,
+        obj: impl Into<String>,
+        field: impl Into<String>,
+        value: Expr,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::WriteField { obj: obj.into(), field: field.into(), value });
+        self
+    }
+
+    /// `func(args);`
+    pub fn call(&mut self, func: impl Into<String>, args: Vec<CallArg>) -> &mut Self {
+        self.stmts.push(Stmt::Call { dst: None, func: func.into(), args });
+        self
+    }
+
+    /// `func(obj);` — single object argument convenience.
+    pub fn call_obj(&mut self, func: impl Into<String>, obj: impl Into<String>) -> &mut Self {
+        self.stmts.push(Stmt::Call {
+            dst: None,
+            func: func.into(),
+            args: vec![CallArg::Obj(obj.into())],
+        });
+        self
+    }
+
+    /// `dst = func(args);`
+    pub fn call_dst(
+        &mut self,
+        dst: impl Into<String>,
+        func: impl Into<String>,
+        args: Vec<CallArg>,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::Call { dst: Some(dst.into()), func: func.into(), args });
+        self
+    }
+
+    /// `if (cond) { then } else { else }`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut BodyBuilder),
+        else_f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        let mut t = BodyBuilder::new();
+        then_f(&mut t);
+        let mut e = BodyBuilder::new();
+        else_f(&mut e);
+        self.stmts.push(Stmt::If { cond, then_body: t.stmts, else_body: e.stmts });
+        self
+    }
+
+    /// `while (cond) { body }`.
+    pub fn while_loop(
+        &mut self,
+        cond: Expr,
+        body_f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        let mut b = BodyBuilder::new();
+        body_f(&mut b);
+        self.stmts.push(Stmt::While { cond, body: b.stmts });
+        self
+    }
+
+    /// `return;`
+    pub fn ret(&mut self) -> &mut Self {
+        self.stmts.push(Stmt::Return(None));
+        self
+    }
+
+    /// `return value;`
+    pub fn ret_val(&mut self, value: Expr) -> &mut Self {
+        self.stmts.push(Stmt::Return(Some(value)));
+        self
+    }
+
+    /// The statements built so far.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+}
+
+/// Builds a free function: parameters plus body.
+#[derive(Clone, Debug, Default)]
+pub struct FuncBuilder {
+    params: Vec<Param>,
+    body: BodyBuilder,
+}
+
+impl FuncBuilder {
+    /// Adds a value parameter.
+    pub fn param_val(&mut self, name: impl Into<String>) -> &mut Self {
+        self.params.push(Param::value(name));
+        self
+    }
+
+    /// Adds an object-pointer parameter with a static class type.
+    pub fn param_obj(&mut self, name: impl Into<String>, class: impl Into<String>) -> &mut Self {
+        self.params.push(Param::object(name, class));
+        self
+    }
+
+    /// Access to the body builder.
+    pub fn body(&mut self) -> &mut BodyBuilder {
+        &mut self.body
+    }
+
+    // Delegated statement constructors so call sites read naturally.
+
+    /// See [`BodyBuilder::let_`].
+    pub fn let_(&mut self, var: impl Into<String>, value: Expr) -> &mut Self {
+        self.body.let_(var, value);
+        self
+    }
+
+    /// See [`BodyBuilder::new_obj`].
+    pub fn new_obj(&mut self, var: impl Into<String>, class: impl Into<String>) -> &mut Self {
+        self.body.new_obj(var, class);
+        self
+    }
+
+    /// See [`BodyBuilder::new_stack`].
+    pub fn new_stack(&mut self, var: impl Into<String>, class: impl Into<String>) -> &mut Self {
+        self.body.new_stack(var, class);
+        self
+    }
+
+    /// See [`BodyBuilder::delete`].
+    pub fn delete(&mut self, var: impl Into<String>) -> &mut Self {
+        self.body.delete(var);
+        self
+    }
+
+    /// See [`BodyBuilder::vcall`].
+    pub fn vcall(
+        &mut self,
+        obj: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Expr>,
+    ) -> &mut Self {
+        self.body.vcall(obj, method, args);
+        self
+    }
+
+    /// See [`BodyBuilder::vcall_dst`].
+    pub fn vcall_dst(
+        &mut self,
+        dst: impl Into<String>,
+        obj: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<Expr>,
+    ) -> &mut Self {
+        self.body.vcall_dst(dst, obj, method, args);
+        self
+    }
+
+    /// See [`BodyBuilder::read`].
+    pub fn read(
+        &mut self,
+        dst: impl Into<String>,
+        obj: impl Into<String>,
+        field: impl Into<String>,
+    ) -> &mut Self {
+        self.body.read(dst, obj, field);
+        self
+    }
+
+    /// See [`BodyBuilder::write`].
+    pub fn write(
+        &mut self,
+        obj: impl Into<String>,
+        field: impl Into<String>,
+        value: Expr,
+    ) -> &mut Self {
+        self.body.write(obj, field, value);
+        self
+    }
+
+    /// See [`BodyBuilder::call`].
+    pub fn call(&mut self, func: impl Into<String>, args: Vec<CallArg>) -> &mut Self {
+        self.body.call(func, args);
+        self
+    }
+
+    /// See [`BodyBuilder::call_obj`].
+    pub fn call_obj(&mut self, func: impl Into<String>, obj: impl Into<String>) -> &mut Self {
+        self.body.call_obj(func, obj);
+        self
+    }
+
+    /// See [`BodyBuilder::call_dst`].
+    pub fn call_dst(
+        &mut self,
+        dst: impl Into<String>,
+        func: impl Into<String>,
+        args: Vec<CallArg>,
+    ) -> &mut Self {
+        self.body.call_dst(dst, func, args);
+        self
+    }
+
+    /// See [`BodyBuilder::if_else`].
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut BodyBuilder),
+        else_f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        self.body.if_else(cond, then_f, else_f);
+        self
+    }
+
+    /// See [`BodyBuilder::while_loop`].
+    pub fn while_loop(
+        &mut self,
+        cond: Expr,
+        body_f: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        self.body.while_loop(cond, body_f);
+        self
+    }
+
+    /// See [`BodyBuilder::ret`].
+    pub fn ret(&mut self) -> &mut Self {
+        self.body.ret();
+        self
+    }
+
+    /// See [`BodyBuilder::ret_val`].
+    pub fn ret_val(&mut self, value: Expr) -> &mut Self {
+        self.body.ret_val(value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn builds_valid_program() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").field("x").method("m", |b| {
+            b.write("this", "x", Expr::Const(1));
+            b.ret();
+        });
+        p.class("B").base("A").method("n", |b| {
+            b.vcall("this", "m", vec![]);
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.param_val("count");
+            f.new_obj("b", "B");
+            f.vcall("b", "n", vec![]);
+            f.if_else(
+                Expr::Param(0),
+                |t| {
+                    t.vcall("b", "m", vec![]);
+                },
+                |e| {
+                    e.delete("b");
+                },
+            );
+            f.ret();
+        });
+        let program = p.finish();
+        assert_eq!(validate(&program), Ok(()));
+        assert_eq!(program.classes.len(), 2);
+        assert_eq!(program.functions.len(), 1);
+    }
+
+    #[test]
+    fn abstract_and_pure() {
+        let mut p = ProgramBuilder::new();
+        p.class("I").pure_method("run");
+        p.class("J").abstract_class().method("helper", |b| {
+            b.ret();
+        });
+        let program = p.finish();
+        assert!(program.class("I").unwrap().is_abstract());
+        assert!(program.class("J").unwrap().is_abstract());
+    }
+
+    #[test]
+    fn ctor_dtor_bodies() {
+        let mut p = ProgramBuilder::new();
+        p.class("R").field("f").ctor(|b| {
+            b.write("this", "f", Expr::Const(7));
+        }).dtor(|b| {
+            b.read("v", "this", "f");
+        });
+        let program = p.finish();
+        let r = program.class("R").unwrap();
+        assert_eq!(r.ctor_body.len(), 1);
+        assert_eq!(r.dtor_body.len(), 1);
+        assert_eq!(validate(&program), Ok(()));
+    }
+
+    #[test]
+    fn inline_hint_flag() {
+        let mut p = ProgramBuilder::new();
+        p.func_inline("h", |f| {
+            f.ret();
+        });
+        p.func("g", |f| {
+            f.ret();
+        });
+        let program = p.finish();
+        assert!(program.function("h").unwrap().inline_hint);
+        assert!(!program.function("g").unwrap().inline_hint);
+    }
+}

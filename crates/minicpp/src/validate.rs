@@ -1,0 +1,600 @@
+//! Static validation of MiniCpp programs.
+//!
+//! Compilation only accepts well-formed programs; every name reference must
+//! resolve and the inheritance graph must be a DAG free of field shadowing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use crate::{CallArg, Expr, Program, Stmt};
+
+/// An error found while validating a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Two classes share a name.
+    DuplicateClass(String),
+    /// Two free functions share a name.
+    DuplicateFunction(String),
+    /// A base class reference does not resolve.
+    UnknownBase {
+        /// The class declaring the base.
+        class: String,
+        /// The unresolved base name.
+        base: String,
+    },
+    /// The inheritance graph has a cycle through this class.
+    InheritanceCycle(String),
+    /// A field is redeclared along an inheritance chain.
+    FieldShadowed {
+        /// The class redeclaring the field.
+        class: String,
+        /// The shadowed field name.
+        field: String,
+    },
+    /// A class declares the same method twice.
+    DuplicateMethod {
+        /// The class.
+        class: String,
+        /// The method name.
+        method: String,
+    },
+    /// A statement uses a variable that is not defined.
+    UndefinedVar {
+        /// Enclosing function or method.
+        context: String,
+        /// The unresolved variable.
+        var: String,
+    },
+    /// A virtual call's receiver has no static class type.
+    UntypedReceiver {
+        /// Enclosing function or method.
+        context: String,
+        /// The receiver variable.
+        var: String,
+    },
+    /// A method call does not resolve in the receiver's static type.
+    UnknownMethod {
+        /// Enclosing function or method.
+        context: String,
+        /// Receiver's static class.
+        class: String,
+        /// The method name.
+        method: String,
+    },
+    /// A field access does not resolve in the receiver's static type.
+    UnknownField {
+        /// Enclosing function or method.
+        context: String,
+        /// Receiver's static class.
+        class: String,
+        /// The field name.
+        field: String,
+    },
+    /// A call to an unknown free function.
+    UnknownFunction {
+        /// Enclosing function or method.
+        context: String,
+        /// The callee name.
+        func: String,
+    },
+    /// `new` of a class that cannot be instantiated.
+    AbstractInstantiation {
+        /// Enclosing function or method.
+        context: String,
+        /// The abstract class.
+        class: String,
+    },
+    /// `new` of an unknown class.
+    UnknownClass {
+        /// Enclosing function or method.
+        context: String,
+        /// The class name.
+        class: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DuplicateClass(c) => write!(f, "duplicate class {c}"),
+            ValidateError::DuplicateFunction(func) => write!(f, "duplicate function {func}"),
+            ValidateError::UnknownBase { class, base } => {
+                write!(f, "class {class}: unknown base {base}")
+            }
+            ValidateError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through {c}")
+            }
+            ValidateError::FieldShadowed { class, field } => {
+                write!(f, "class {class}: field {field} shadows an inherited field")
+            }
+            ValidateError::DuplicateMethod { class, method } => {
+                write!(f, "class {class}: duplicate method {method}")
+            }
+            ValidateError::UndefinedVar { context, var } => {
+                write!(f, "{context}: undefined variable {var}")
+            }
+            ValidateError::UntypedReceiver { context, var } => {
+                write!(f, "{context}: receiver {var} has no class type")
+            }
+            ValidateError::UnknownMethod { context, class, method } => {
+                write!(f, "{context}: no method {method} in class {class}")
+            }
+            ValidateError::UnknownField { context, class, field } => {
+                write!(f, "{context}: no field {field} in class {class}")
+            }
+            ValidateError::UnknownFunction { context, func } => {
+                write!(f, "{context}: unknown function {func}")
+            }
+            ValidateError::AbstractInstantiation { context, class } => {
+                write!(f, "{context}: cannot instantiate abstract class {class}")
+            }
+            ValidateError::UnknownClass { context, class } => {
+                write!(f, "{context}: unknown class {class}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Methods visible on `class`, own and inherited (primary and secondary
+/// bases alike).
+fn visible_methods<'a>(program: &'a Program, class: &str, out: &mut BTreeSet<&'a str>) {
+    if let Some(c) = program.class(class) {
+        for m in &c.methods {
+            out.insert(&m.name);
+        }
+        for b in &c.bases {
+            visible_methods(program, b, out);
+        }
+    }
+}
+
+fn visible_fields<'a>(program: &'a Program, class: &str, out: &mut BTreeSet<&'a str>) {
+    if let Some(c) = program.class(class) {
+        for fl in &c.fields {
+            out.insert(fl);
+        }
+        for b in &c.bases {
+            visible_fields(program, b, out);
+        }
+    }
+}
+
+/// Validates a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut class_names = BTreeSet::new();
+    for c in &program.classes {
+        if !class_names.insert(c.name.as_str()) {
+            return Err(ValidateError::DuplicateClass(c.name.clone()));
+        }
+    }
+    let mut fn_names = BTreeSet::new();
+    for func in &program.functions {
+        if !fn_names.insert(func.name.as_str()) {
+            return Err(ValidateError::DuplicateFunction(func.name.clone()));
+        }
+    }
+
+    for c in &program.classes {
+        for b in &c.bases {
+            if !class_names.contains(b.as_str()) {
+                return Err(ValidateError::UnknownBase {
+                    class: c.name.clone(),
+                    base: b.clone(),
+                });
+            }
+        }
+        let mut methods = BTreeSet::new();
+        for m in &c.methods {
+            if !methods.insert(m.name.as_str()) {
+                return Err(ValidateError::DuplicateMethod {
+                    class: c.name.clone(),
+                    method: m.name.clone(),
+                });
+            }
+        }
+    }
+
+    check_acyclic(program)?;
+
+    // Field shadowing: own field that already exists in an ancestor.
+    for c in &program.classes {
+        let mut inherited = BTreeSet::new();
+        for b in &c.bases {
+            visible_fields(program, b, &mut inherited);
+        }
+        for fld in &c.fields {
+            if inherited.contains(fld.as_str()) {
+                return Err(ValidateError::FieldShadowed {
+                    class: c.name.clone(),
+                    field: fld.clone(),
+                });
+            }
+        }
+    }
+
+    // Bodies.
+    for c in &program.classes {
+        for m in &c.methods {
+            let ctx = format!("{}::{}", c.name, m.name);
+            let mut scope = Scope::new(program, &ctx);
+            scope.define("this", Some(c.name.clone()));
+            scope.check_body(&m.body)?;
+        }
+        let ctx = format!("{}::ctor", c.name);
+        let mut scope = Scope::new(program, &ctx);
+        scope.define("this", Some(c.name.clone()));
+        scope.check_body(&c.ctor_body)?;
+        let ctx = format!("{}::dtor", c.name);
+        let mut scope = Scope::new(program, &ctx);
+        scope.define("this", Some(c.name.clone()));
+        scope.check_body(&c.dtor_body)?;
+    }
+    for func in &program.functions {
+        let mut scope = Scope::new(program, &func.name);
+        for p in &func.params {
+            if let Some(cl) = &p.class {
+                if !class_names.contains(cl.as_str()) {
+                    return Err(ValidateError::UnknownClass {
+                        context: func.name.clone(),
+                        class: cl.clone(),
+                    });
+                }
+            }
+            scope.define(&p.name, p.class.clone());
+        }
+        scope.check_body(&func.body)?;
+    }
+    Ok(())
+}
+
+fn check_acyclic(program: &Program) -> Result<(), ValidateError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> =
+        program.classes.iter().map(|c| (c.name.as_str(), Mark::White)).collect();
+
+    fn visit<'a>(
+        program: &'a Program,
+        name: &'a str,
+        marks: &mut BTreeMap<&'a str, Mark>,
+    ) -> Result<(), ValidateError> {
+        match marks[name] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => return Err(ValidateError::InheritanceCycle(name.to_string())),
+            Mark::White => {}
+        }
+        marks.insert(name, Mark::Grey);
+        if let Some(c) = program.class(name) {
+            for b in &c.bases {
+                visit(program, b, marks)?;
+            }
+        }
+        marks.insert(name, Mark::Black);
+        Ok(())
+    }
+
+    for c in &program.classes {
+        visit(program, &c.name, &mut marks)?;
+    }
+    Ok(())
+}
+
+/// Tracks variables and their static class types in one body.
+struct Scope<'a> {
+    program: &'a Program,
+    context: String,
+    vars: BTreeMap<String, Option<String>>,
+}
+
+impl<'a> Scope<'a> {
+    fn new(program: &'a Program, context: &str) -> Self {
+        Scope { program, context: context.to_string(), vars: BTreeMap::new() }
+    }
+
+    fn define(&mut self, var: &str, class: Option<String>) {
+        self.vars.insert(var.to_string(), class);
+    }
+
+    fn class_of(&self, var: &str) -> Result<&str, ValidateError> {
+        match self.vars.get(var) {
+            None => Err(ValidateError::UndefinedVar {
+                context: self.context.clone(),
+                var: var.to_string(),
+            }),
+            Some(None) => Err(ValidateError::UntypedReceiver {
+                context: self.context.clone(),
+                var: var.to_string(),
+            }),
+            Some(Some(c)) => Ok(c),
+        }
+    }
+
+    fn check_expr(&self, e: &Expr) -> Result<(), ValidateError> {
+        for v in e.vars() {
+            if !self.vars.contains_key(v) {
+                return Err(ValidateError::UndefinedVar {
+                    context: self.context.clone(),
+                    var: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_body(&mut self, body: &[Stmt]) -> Result<(), ValidateError> {
+        for s in body {
+            self.check_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), ValidateError> {
+        match s {
+            Stmt::Let { var, value } => {
+                self.check_expr(value)?;
+                self.define(var, None);
+            }
+            Stmt::New { var, class, .. } => {
+                let Some(c) = self.program.class(class) else {
+                    return Err(ValidateError::UnknownClass {
+                        context: self.context.clone(),
+                        class: class.clone(),
+                    });
+                };
+                if c.is_abstract() {
+                    return Err(ValidateError::AbstractInstantiation {
+                        context: self.context.clone(),
+                        class: class.clone(),
+                    });
+                }
+                self.define(var, Some(class.clone()));
+            }
+            Stmt::Delete { var } => {
+                self.class_of(var)?;
+            }
+            Stmt::VCall { dst, obj, method, args } => {
+                let class = self.class_of(obj)?.to_string();
+                let mut visible = BTreeSet::new();
+                visible_methods(self.program, &class, &mut visible);
+                if !visible.contains(method.as_str()) {
+                    return Err(ValidateError::UnknownMethod {
+                        context: self.context.clone(),
+                        class,
+                        method: method.clone(),
+                    });
+                }
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                if let Some(d) = dst {
+                    self.define(d, None);
+                }
+            }
+            Stmt::ReadField { dst, obj, field } => {
+                let class = self.class_of(obj)?.to_string();
+                self.check_field(&class, field)?;
+                self.define(dst, None);
+            }
+            Stmt::WriteField { obj, field, value } => {
+                let class = self.class_of(obj)?.to_string();
+                self.check_field(&class, field)?;
+                self.check_expr(value)?;
+            }
+            Stmt::Call { dst, func, args } => {
+                if self.program.function(func).is_none() {
+                    return Err(ValidateError::UnknownFunction {
+                        context: self.context.clone(),
+                        func: func.clone(),
+                    });
+                }
+                for a in args {
+                    match a {
+                        CallArg::Value(e) => self.check_expr(e)?,
+                        CallArg::Obj(v) => {
+                            self.class_of(v)?;
+                        }
+                    }
+                }
+                if let Some(d) = dst {
+                    self.define(d, None);
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                self.check_expr(cond)?;
+                // Conservative: both branches share the outer scope;
+                // definitions inside branches stay visible (MiniCpp has
+                // function-level scoping, like pre-C99 C).
+                self.check_body(then_body)?;
+                self.check_body(else_body)?;
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond)?;
+                self.check_body(body)?;
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.check_expr(e)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_field(&self, class: &str, field: &str) -> Result<(), ValidateError> {
+        let mut visible = BTreeSet::new();
+        visible_fields(self.program, class, &mut visible);
+        if !visible.contains(field) {
+            return Err(ValidateError::UnknownField {
+                context: self.context.clone(),
+                class: class.to_string(),
+                field: field.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassDef, FunctionDef, MethodDef, Param};
+
+    fn class(name: &str, bases: &[&str]) -> ClassDef {
+        ClassDef {
+            name: name.into(),
+            bases: bases.iter().map(|s| s.to_string()).collect(),
+            fields: vec![],
+            methods: vec![MethodDef { name: "m".into(), is_pure: false, body: vec![] }],
+            is_abstract: false,
+            always_inline_ctor: false,
+            ctor_body: vec![],
+            dtor_body: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        let p = Program {
+            classes: vec![class("A", &[]), class("B", &["A"])],
+            functions: vec![FunctionDef {
+                name: "f".into(),
+                params: vec![],
+                body: vec![
+                    Stmt::New { var: "b".into(), class: "B".into(), on_stack: false },
+                    Stmt::VCall { dst: None, obj: "b".into(), method: "m".into(), args: vec![] },
+                    Stmt::Return(None),
+                ],
+                inline_hint: false,
+            }],
+        };
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let p = Program { classes: vec![class("A", &[]), class("A", &[])], functions: vec![] };
+        assert_eq!(validate(&p), Err(ValidateError::DuplicateClass("A".into())));
+    }
+
+    #[test]
+    fn rejects_unknown_base() {
+        let p = Program { classes: vec![class("B", &["Nope"])], functions: vec![] };
+        assert!(matches!(validate(&p), Err(ValidateError::UnknownBase { .. })));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut a = class("A", &["B"]);
+        let b = class("B", &["A"]);
+        a.methods.clear();
+        let p = Program { classes: vec![a, b], functions: vec![] };
+        assert!(matches!(validate(&p), Err(ValidateError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn rejects_self_inheritance() {
+        let p = Program { classes: vec![class("A", &["A"])], functions: vec![] };
+        assert!(matches!(validate(&p), Err(ValidateError::InheritanceCycle(_))));
+    }
+
+    #[test]
+    fn rejects_field_shadowing() {
+        let mut a = class("A", &[]);
+        a.fields.push("x".into());
+        let mut b = class("B", &["A"]);
+        b.methods.clear();
+        b.fields.push("x".into());
+        let p = Program { classes: vec![a, b], functions: vec![] };
+        assert!(matches!(validate(&p), Err(ValidateError::FieldShadowed { .. })));
+    }
+
+    #[test]
+    fn rejects_undefined_var_and_unknown_method() {
+        let p = Program {
+            classes: vec![class("A", &[])],
+            functions: vec![FunctionDef {
+                name: "f".into(),
+                params: vec![],
+                body: vec![Stmt::VCall {
+                    dst: None,
+                    obj: "ghost".into(),
+                    method: "m".into(),
+                    args: vec![],
+                }],
+                inline_hint: false,
+            }],
+        };
+        assert!(matches!(validate(&p), Err(ValidateError::UndefinedVar { .. })));
+
+        let p2 = Program {
+            classes: vec![class("A", &[])],
+            functions: vec![FunctionDef {
+                name: "f".into(),
+                params: vec![Param::object("a", "A")],
+                body: vec![Stmt::VCall {
+                    dst: None,
+                    obj: "a".into(),
+                    method: "nope".into(),
+                    args: vec![],
+                }],
+                inline_hint: false,
+            }],
+        };
+        assert!(matches!(validate(&p2), Err(ValidateError::UnknownMethod { .. })));
+    }
+
+    #[test]
+    fn rejects_abstract_instantiation() {
+        let mut a = class("A", &[]);
+        a.methods[0].is_pure = true;
+        let p = Program {
+            classes: vec![a],
+            functions: vec![FunctionDef {
+                name: "f".into(),
+                params: vec![],
+                body: vec![Stmt::New { var: "a".into(), class: "A".into(), on_stack: false }],
+                inline_hint: false,
+            }],
+        };
+        assert!(matches!(validate(&p), Err(ValidateError::AbstractInstantiation { .. })));
+    }
+
+    #[test]
+    fn methods_see_inherited_members_via_this() {
+        let mut a = class("A", &[]);
+        a.fields.push("x".into());
+        let mut b = class("B", &["A"]);
+        b.methods = vec![MethodDef {
+            name: "use_x".into(),
+            is_pure: false,
+            body: vec![Stmt::ReadField {
+                dst: "v".into(),
+                obj: "this".into(),
+                field: "x".into(),
+            }],
+        }];
+        let p = Program { classes: vec![a, b], functions: vec![] };
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ValidateError::UnknownMethod {
+            context: "f".into(),
+            class: "A".into(),
+            method: "m".into(),
+        };
+        assert_eq!(e.to_string(), "f: no method m in class A");
+    }
+}

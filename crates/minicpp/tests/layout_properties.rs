@@ -1,0 +1,168 @@
+//! Property-based tests of the class-layout and compilation invariants
+//! over randomly generated single-inheritance hierarchies.
+
+use proptest::prelude::*;
+use rock_minicpp::{compile, CompileOptions, Expr, Program, ProgramBuilder, ProgramLayout};
+
+#[derive(Clone, Debug)]
+struct Spec {
+    parents: Vec<Option<usize>>,
+    fields: Vec<usize>,
+    methods: Vec<usize>,
+    overrides: Vec<usize>,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (2usize..8).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(None).boxed()
+                } else {
+                    prop_oneof![2 => (0..i).prop_map(Some), 1 => Just(None)].boxed()
+                }
+            })
+            .collect();
+        (
+            parents,
+            prop::collection::vec(0usize..3, n),
+            prop::collection::vec(1usize..3, n),
+            prop::collection::vec(0usize..2, n),
+        )
+            .prop_map(|(parents, fields, methods, overrides)| Spec {
+                parents,
+                fields,
+                methods,
+                overrides,
+            })
+    })
+}
+
+fn build(spec: &Spec) -> Program {
+    let mut p = ProgramBuilder::new();
+    // Track slot names per class to drive overrides.
+    let mut slot_names: Vec<Vec<String>> = Vec::new();
+    for i in 0..spec.parents.len() {
+        let mut names = match spec.parents[i] {
+            Some(pi) => slot_names[pi].clone(),
+            None => Vec::new(),
+        };
+        let mut cb = p.class(format!("C{i}"));
+        if let Some(pi) = spec.parents[i] {
+            cb.base(format!("C{pi}"));
+        }
+        for fj in 0..spec.fields[i] {
+            cb.field(format!("f{i}_{fj}"));
+        }
+        let k = spec.overrides[i].min(names.len());
+        for name in names.iter().take(k) {
+            cb.method(name.clone(), |b| {
+                b.ret();
+            });
+        }
+        for m in 0..spec.methods[i] {
+            let name = format!("m{i}_{m}");
+            cb.method(name.clone(), |b| {
+                b.ret();
+            });
+            names.push(name);
+        }
+        slot_names.push(names);
+    }
+    // One driver instantiating every class.
+    p.func("drive", |f| {
+        for i in 0..spec.parents.len() {
+            f.new_obj(format!("o{i}"), format!("C{i}"));
+        }
+        f.let_("x", Expr::Const(0));
+        f.ret();
+    });
+    p.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Field offsets are word-aligned, unique, and above the vptr.
+    #[test]
+    fn field_offsets_are_sound(spec in arb_spec()) {
+        let program = build(&spec);
+        let layout = ProgramLayout::compute(&program).unwrap();
+        for cl in layout.iter() {
+            let mut seen = std::collections::BTreeSet::new();
+            for (_, off) in &cl.field_offsets {
+                prop_assert!(*off >= 8, "field below the vptr in {}", cl.name);
+                prop_assert_eq!(*off % 8, 0);
+                prop_assert!(seen.insert(*off), "duplicate offset in {}", cl.name);
+                prop_assert!((*off as u32) < cl.size);
+            }
+        }
+    }
+
+    /// A child's primary vtable starts with the parent's slot *names* in
+    /// order (overrides replace implementations, never positions).
+    #[test]
+    fn child_vtable_extends_parent(spec in arb_spec()) {
+        let program = build(&spec);
+        let layout = ProgramLayout::compute(&program).unwrap();
+        for (i, parent) in spec.parents.iter().enumerate() {
+            let Some(pi) = parent else { continue };
+            let child = layout.class(&format!("C{i}")).unwrap();
+            let par = layout.class(&format!("C{pi}")).unwrap();
+            prop_assert!(child.primary().slots.len() >= par.primary().slots.len());
+            for (cs, ps) in child.primary().slots.iter().zip(&par.primary().slots) {
+                prop_assert_eq!(&cs.method, &ps.method, "slot order must be preserved");
+            }
+        }
+    }
+
+    /// Single-inheritance object size = vptr + one word per field along
+    /// the chain.
+    #[test]
+    fn object_sizes_add_up(spec in arb_spec()) {
+        let program = build(&spec);
+        let layout = ProgramLayout::compute(&program).unwrap();
+        for (i, _) in spec.parents.iter().enumerate() {
+            let mut total_fields = 0usize;
+            let mut cur = Some(i);
+            while let Some(c) = cur {
+                total_fields += spec.fields[c];
+                cur = spec.parents[c];
+            }
+            let cl = layout.class(&format!("C{i}")).unwrap();
+            prop_assert_eq!(cl.size as usize, 8 + 8 * total_fields);
+        }
+    }
+
+    /// Compilation succeeds at every optimization level and emits one
+    /// primary vtable per class.
+    #[test]
+    fn compiles_at_all_levels(spec in arb_spec(), optimized in any::<bool>()) {
+        let program = build(&spec);
+        let options = if optimized { CompileOptions::optimized() } else { CompileOptions::default() };
+        let compiled = compile(&program, &options).unwrap();
+        prop_assert_eq!(compiled.vtables().len(), spec.parents.len());
+        // Every image roundtrips through the container format.
+        let bytes = rock_binary::image_to_bytes(compiled.image());
+        let back = rock_binary::image_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, compiled.image());
+    }
+
+    /// The slot an overridden method occupies never changes between
+    /// parent and child (C++ vtable ABI invariant).
+    #[test]
+    fn override_slots_are_stable(spec in arb_spec()) {
+        let program = build(&spec);
+        let layout = ProgramLayout::compute(&program).unwrap();
+        for (i, parent) in spec.parents.iter().enumerate() {
+            let Some(pi) = parent else { continue };
+            let child = layout.class(&format!("C{i}")).unwrap();
+            let par = layout.class(&format!("C{pi}")).unwrap();
+            for (s, ps) in par.primary().slots.iter().enumerate() {
+                let (off, slot) = child.slot_of(&ps.method).unwrap();
+                prop_assert_eq!(off, 0);
+                prop_assert_eq!(slot, s);
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Divergence metrics between trained models (paper §4.2.1 and the
+//! "Other Metrics" ablation of §6.4).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Slm, Symbol};
+
+/// The pairwise distance criterion used to weigh hierarchy edges.
+///
+/// The paper's algorithm is parametric in this choice (Remark 4.1); only a
+/// *ranking* over candidate parents is required.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Kullback–Leibler divergence `D_KL(child ‖ parent)` — the paper's
+    /// choice, asymmetric like the problem itself.
+    #[default]
+    KlDivergence,
+    /// Jensen–Shannon divergence (symmetrized KL) — reported to perform
+    /// poorly (§6.4).
+    JsDivergence,
+    /// Jensen–Shannon distance (√JS) — likewise symmetric.
+    JsDistance,
+}
+
+impl Metric {
+    /// All metrics, for ablation sweeps.
+    pub const ALL: [Metric; 3] = [Metric::KlDivergence, Metric::JsDivergence, Metric::JsDistance];
+
+    /// Computes the distance from `a` to `b` under this metric.
+    pub fn distance<S: Symbol>(self, a: &Slm<S>, b: &Slm<S>) -> f64 {
+        match self {
+            Metric::KlDivergence => kl_divergence(a, b),
+            Metric::JsDivergence => js_divergence(a, b),
+            Metric::JsDistance => js_distance(a, b),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Metric::KlDivergence => "KL-divergence",
+            Metric::JsDivergence => "JS-divergence",
+            Metric::JsDistance => "JS-distance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The word set two models are compared over: the union of their training
+/// sequences (deduplicated).
+///
+/// KL is "measured over a set of words W" (§4.2.1); using the observed
+/// tracelets weights frequent behaviours highly and is finite by
+/// construction.
+pub fn word_set<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> Vec<Vec<S>> {
+    let mut set: BTreeSet<Vec<S>> = BTreeSet::new();
+    for seq in a.training().iter().chain(b.training()) {
+        if !seq.is_empty() {
+            set.insert(seq.clone());
+        }
+    }
+    set.into_iter().collect()
+}
+
+fn union_alphabet_len<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> usize {
+    let mut set: BTreeSet<&S> = a.alphabet().collect();
+    set.extend(b.alphabet());
+    set.len().max(1)
+}
+
+/// `D_KL(A ‖ B)`: the Kullback–Leibler divergence *rate* between the two
+/// models — the expected extra nats **per symbol** when encoding `A`'s
+/// behaviours with `B`'s code instead of `A`'s own:
+///
+/// ```text
+/// D(A‖B) = Σ_ctx P_A(ctx) · Σ_σ P_A(σ|ctx) · ln(P_A(σ|ctx) / P_B(σ|ctx))
+/// ```
+///
+/// with the context distribution `P_A(ctx)` taken empirically from `A`'s
+/// training tracelets (so "popular behaviors weigh more than rare ones",
+/// §4.2.1). Computed as the average pointwise log-likelihood difference
+/// over every symbol occurrence in `A`'s training data. Zero iff `B`
+/// assigns the same conditionals on `A`'s support; asymmetric, as the
+/// parent/child relation demands.
+pub fn kl_divergence<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
+    let n = union_alphabet_len(a, b);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for seq in a.training() {
+        for i in 0..seq.len() {
+            let lo = i.saturating_sub(a.depth());
+            let ctx = &seq[lo..i];
+            let pa = a.prob_with_alphabet(&seq[i], ctx, n);
+            let pb = b.prob_with_alphabet(&seq[i], ctx, n);
+            total += (pa / pb).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// `D_KL(A ‖ B) = Σ_w Pr_A(w) · ln(Pr_A(w) / Pr_B(w))` over an explicit
+/// word set.
+pub fn kl_divergence_over<S: Symbol>(a: &Slm<S>, b: &Slm<S>, words: &[Vec<S>]) -> f64 {
+    let n = union_alphabet_len(a, b);
+    let mut d = 0.0;
+    for w in words {
+        let pa = a.sequence_prob_with_alphabet(w, n);
+        let pb = b.sequence_prob_with_alphabet(w, n);
+        if pa > 0.0 && pb > 0.0 {
+            d += pa * (pa / pb).ln();
+        }
+    }
+    d
+}
+
+/// Jensen–Shannon divergence rate: `½·D(A‖M) + ½·D(B‖M)` where the
+/// mixture model `M` has conditionals `½(P_A + P_B)`; each half is
+/// evaluated over the corresponding model's training data, mirroring
+/// [`kl_divergence`]. Symmetric by construction — provided for the §6.4
+/// "Other Metrics" ablation, where symmetry is a *disadvantage*.
+pub fn js_divergence<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
+    0.5 * (kl_to_mixture(a, b) + kl_to_mixture(b, a))
+}
+
+/// `D(A ‖ ½(A+B))` over `A`'s training data.
+fn kl_to_mixture<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
+    let n = union_alphabet_len(a, b);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for seq in a.training() {
+        for i in 0..seq.len() {
+            let lo = i.saturating_sub(a.depth());
+            let ctx = &seq[lo..i];
+            let pa = a.prob_with_alphabet(&seq[i], ctx, n);
+            let pb = b.prob_with_alphabet(&seq[i], ctx, n);
+            let pm = 0.5 * (pa + pb);
+            total += (pa / pm).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Jensen–Shannon distance: `√JS`.
+pub fn js_distance<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
+    js_divergence(a, b).max(0.0).sqrt()
+}
+
+/// Cross-entropy rate (nats per symbol) of `sequences` under `model`:
+/// the average negative log-likelihood. [`kl_divergence`] is exactly
+/// `cross_entropy(B's data, A) − cross_entropy(A's data, A)` evaluated on
+/// `A`'s data — exposed separately for diagnostics.
+pub fn cross_entropy<S: Symbol>(model: &Slm<S>, sequences: &[Vec<S>]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for seq in sequences {
+        total -= model.sequence_log_prob(seq);
+        count += seq.len();
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Perplexity of `sequences` under `model`: `exp(cross_entropy)`. A model
+/// that predicts its own training data well has low perplexity; an
+/// unrelated type's model scores high.
+pub fn perplexity<S: Symbol>(model: &Slm<S>, sequences: &[Vec<S>]) -> f64 {
+    cross_entropy(model, sequences).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(depth: usize, seqs: &[&[&'static str]]) -> Slm<&'static str> {
+        let mut m = Slm::new(depth);
+        for s in seqs {
+            m.train(s);
+        }
+        m
+    }
+
+    #[test]
+    fn kl_self_is_zero() {
+        let m = model(2, &[&["f0", "f1", "f0"]]);
+        assert!(kl_divergence(&m, &m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        // Parent behaviours ⊂ child behaviours: encoding the child with
+        // the parent's model differs from the reverse.
+        let parent = model(2, &[&["f0", "f0", "f0"]]);
+        let child = model(2, &[&["f0", "f0", "f0"], &["f0", "f1", "f2"]]);
+        let d_cp = kl_divergence(&child, &parent);
+        let d_pc = kl_divergence(&parent, &child);
+        assert!((d_cp - d_pc).abs() > 1e-9, "KL should be asymmetric");
+    }
+
+    #[test]
+    fn paper_fig6_ranking() {
+        // Fig. 7 usage sequences; Class3's tracelet contains Class1's.
+        let c1 = model(2, &[&["f0", "f0", "f0"]]);
+        let c2 = model(2, &[&["f0", "f1", "f0", "f1", "f0", "f1"]]);
+        let c3 = model(2, &[&["f0", "f0", "f0", "f1", "f2"]]);
+        let d31 = kl_divergence(&c3, &c1);
+        let d32 = kl_divergence(&c3, &c2);
+        assert!(
+            d31 < d32,
+            "Class1 should rank as more likely parent of Class3: {d31} vs {d32}"
+        );
+    }
+
+    #[test]
+    fn js_is_symmetric() {
+        let a = model(2, &[&["x", "y"]]);
+        let b = model(2, &[&["y", "z", "z"]]);
+        let ab = js_divergence(&a, &b);
+        let ba = js_divergence(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((js_distance(&a, &b) - ab.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_self_is_zero() {
+        let a = model(2, &[&["x", "y", "x"]]);
+        assert!(js_divergence(&a, &a).abs() < 1e-12);
+        assert!(js_distance(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_set_unions_training() {
+        let a = model(2, &[&["x"], &["y"]]);
+        let b = model(2, &[&["y"], &["z"]]);
+        let w = word_set(&a, &b);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn metric_enum_dispatch() {
+        let a = model(2, &[&["x", "y"]]);
+        let b = model(2, &[&["y", "z"]]);
+        assert_eq!(Metric::KlDivergence.distance(&a, &b), kl_divergence(&a, &b));
+        assert_eq!(Metric::JsDivergence.distance(&a, &b), js_divergence(&a, &b));
+        assert_eq!(Metric::JsDistance.distance(&a, &b), js_distance(&a, &b));
+        assert_eq!(Metric::default(), Metric::KlDivergence);
+        assert_eq!(Metric::ALL.len(), 3);
+        assert_eq!(Metric::KlDivergence.to_string(), "KL-divergence");
+    }
+
+    #[test]
+    fn kl_over_explicit_words() {
+        let a = model(2, &[&["x", "y"]]);
+        let b = model(2, &[&["y", "z"]]);
+        let words = vec![vec!["x", "y"]];
+        let d = kl_divergence_over(&a, &b, &words);
+        assert!(d > 0.0);
+        // Over an empty word set the divergence collapses to zero.
+        assert_eq!(kl_divergence_over(&a, &b, &[]), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_and_perplexity() {
+        let m = model(2, &[&["a", "b", "a", "b"], &["a", "b"]]);
+        let own = cross_entropy(&m, &[vec!["a", "b"]]);
+        let foreign = cross_entropy(&m, &[vec!["b", "b", "b"]]);
+        assert!(own < foreign, "own data must be cheaper: {own} vs {foreign}");
+        assert!((perplexity(&m, &[vec!["a", "b"]]) - own.exp()).abs() < 1e-12);
+        assert_eq!(cross_entropy(&m, &[]), 0.0);
+        assert_eq!(perplexity(&m, &[]), 1.0);
+    }
+
+    #[test]
+    fn untrained_models_are_indistinguishable() {
+        let a: Slm<&str> = Slm::new(2);
+        let b: Slm<&str> = Slm::new(2);
+        assert_eq!(kl_divergence(&a, &b), 0.0);
+        assert_eq!(js_divergence(&a, &b), 0.0);
+    }
+}

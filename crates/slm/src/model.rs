@@ -1,0 +1,355 @@
+//! The PPM-C variable-order Markov model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Marker trait for symbols an [`Slm`] can model.
+///
+/// Blanket-implemented for any ordered, clonable, debuggable type; event
+/// alphabets, `&'static str`, integers and interned ids all qualify.
+pub trait Symbol: Clone + Ord + fmt::Debug {}
+
+impl<T: Clone + Ord + fmt::Debug> Symbol for T {}
+
+/// One context node of the trie: counts of symbols seen *after* this
+/// context, plus child contexts (one level deeper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Node<S: Symbol> {
+    counts: BTreeMap<S, u64>,
+    children: BTreeMap<S, Node<S>>,
+}
+
+impl<S: Symbol> Default for Node<S> {
+    fn default() -> Self {
+        Node { counts: BTreeMap::new(), children: BTreeMap::new() }
+    }
+}
+
+impl<S: Symbol> Node<S> {
+    fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+}
+
+/// A trained statistical language model over symbols of type `S`.
+///
+/// See the [crate docs](crate) for the probability definition. Models
+/// remember their training sequences so that divergence word sets can be
+/// derived from them (see [`word_set`](crate::word_set)).
+///
+/// # Example
+///
+/// ```
+/// use rock_slm::Slm;
+/// let mut m = Slm::new(2);
+/// m.train(&['a', 'a', 'b']);
+/// // 'a' follows 'a' once and 'b' follows 'a' once: total 2, distinct 2,
+/// // so PPM-C gives each 1/(2+2) = 1/4, with 2/(2+2) = 1/2 escape mass.
+/// let p = m.prob(&'b', &['a']);
+/// assert!((p - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Slm<S: Symbol> {
+    depth: usize,
+    root: Node<S>,
+    training: Vec<Vec<S>>,
+    alphabet: std::collections::BTreeSet<S>,
+}
+
+impl<S: Symbol> Slm<S> {
+    /// Creates an untrained model with maximum context depth `depth`
+    /// (the paper uses depth 2 in its running example).
+    pub fn new(depth: usize) -> Self {
+        Slm {
+            depth,
+            root: Node::default(),
+            training: Vec::new(),
+            alphabet: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The maximum context depth `D`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Trains the model on one sequence. Call repeatedly for a training
+    /// *set* (one call per tracelet).
+    pub fn train(&mut self, seq: &[S]) {
+        for (i, sym) in seq.iter().enumerate() {
+            self.alphabet.insert(sym.clone());
+            // Update the counts of every context suffix of length 0..=D.
+            let lo = i.saturating_sub(self.depth);
+            for start in lo..=i {
+                let ctx = &seq[start..i];
+                let node = self.node_mut(ctx);
+                *node.counts.entry(sym.clone()).or_insert(0) += 1;
+            }
+        }
+        self.training.push(seq.to_vec());
+    }
+
+    fn node_mut(&mut self, ctx: &[S]) -> &mut Node<S> {
+        let mut node = &mut self.root;
+        // Context trie is keyed oldest-symbol-first.
+        for sym in ctx {
+            node = node.children.entry(sym.clone()).or_default();
+        }
+        node
+    }
+
+    fn node(&self, ctx: &[S]) -> Option<&Node<S>> {
+        let mut node = &self.root;
+        for sym in ctx {
+            node = node.children.get(sym)?;
+        }
+        Some(node)
+    }
+
+    /// Number of distinct symbols observed in training.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// Iterates over the observed alphabet.
+    pub fn alphabet(&self) -> impl Iterator<Item = &S> {
+        self.alphabet.iter()
+    }
+
+    /// The sequences this model was trained on.
+    pub fn training(&self) -> &[Vec<S>] {
+        &self.training
+    }
+
+    /// Returns `true` if the model has seen no training data.
+    pub fn is_untrained(&self) -> bool {
+        self.training.is_empty()
+    }
+
+    /// `Pr(sym | context)` using the model's own alphabet size for the
+    /// order-(-1) base case.
+    pub fn prob(&self, sym: &S, context: &[S]) -> f64 {
+        self.prob_with_alphabet(sym, context, self.alphabet.len().max(1))
+    }
+
+    /// `Pr(sym | context)` with an explicit alphabet size — used when two
+    /// models are compared over their *union* alphabet, so that both
+    /// assign comparable base probabilities to symbols unseen by one.
+    pub fn prob_with_alphabet(&self, sym: &S, context: &[S], alphabet_size: usize) -> f64 {
+        let n = alphabet_size.max(1);
+        // Truncate the context to the model depth (longest suffix).
+        let ctx = if context.len() > self.depth {
+            &context[context.len() - self.depth..]
+        } else {
+            context
+        };
+        self.prob_rec(sym, ctx, n)
+    }
+
+    fn prob_rec(&self, sym: &S, ctx: &[S], n: usize) -> f64 {
+        if let Some(node) = self.node(ctx) {
+            let total = node.total();
+            if total > 0 {
+                let d = node.distinct();
+                if let Some(c) = node.counts.get(sym) {
+                    return *c as f64 / (total + d) as f64;
+                }
+                let escape = d as f64 / (total + d) as f64;
+                return escape * self.shorter(sym, ctx, n);
+            }
+        }
+        // Context never observed: back off without paying escape.
+        self.shorter(sym, ctx, n)
+    }
+
+    fn shorter(&self, sym: &S, ctx: &[S], n: usize) -> f64 {
+        if ctx.is_empty() {
+            1.0 / n as f64
+        } else {
+            self.prob_rec(sym, &ctx[1..], n)
+        }
+    }
+
+    /// Probability of a whole sequence: `∏ Pr(x_i | x_{i-D}..x_{i-1})`.
+    pub fn sequence_prob(&self, seq: &[S]) -> f64 {
+        self.sequence_prob_with_alphabet(seq, self.alphabet.len().max(1))
+    }
+
+    /// [`Slm::sequence_prob`] with an explicit alphabet size.
+    pub fn sequence_prob_with_alphabet(&self, seq: &[S], alphabet_size: usize) -> f64 {
+        self.sequence_log_prob_with_alphabet(seq, alphabet_size).exp()
+    }
+
+    /// Natural-log probability of a sequence (numerically safe for long
+    /// sequences).
+    pub fn sequence_log_prob(&self, seq: &[S]) -> f64 {
+        self.sequence_log_prob_with_alphabet(seq, self.alphabet.len().max(1))
+    }
+
+    /// [`Slm::sequence_log_prob`] with an explicit alphabet size.
+    pub fn sequence_log_prob_with_alphabet(&self, seq: &[S], alphabet_size: usize) -> f64 {
+        let mut lp = 0.0;
+        for i in 0..seq.len() {
+            let lo = i.saturating_sub(self.depth);
+            lp += self.prob_with_alphabet(&seq[i], &seq[lo..i], alphabet_size).ln();
+        }
+        lp
+    }
+
+    /// The escape probability mass at a given context (PPM-C:
+    /// `d / (T + d)`), or `None` if the context was never observed.
+    pub fn escape_prob(&self, context: &[S]) -> Option<f64> {
+        let node = self.node(context)?;
+        let total = node.total();
+        if total == 0 {
+            return None;
+        }
+        let d = node.distinct();
+        Some(d as f64 / (total + d) as f64)
+    }
+}
+
+impl<S: Symbol> fmt::Display for Slm<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slm(depth={}, |Σ|={}, {} training sequences)",
+            self.depth,
+            self.alphabet.len(),
+            self.training.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_model_is_uniform() {
+        let m: Slm<char> = Slm::new(2);
+        assert!(m.is_untrained());
+        // alphabet size clamps to 1.
+        assert!((m.prob(&'x', &[]) - 1.0).abs() < 1e-12);
+        assert!((m.prob_with_alphabet(&'x', &[], 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order0_counts_with_escape() {
+        let mut m = Slm::new(2);
+        m.train(&['a', 'a', 'b']);
+        // Order-0: a seen twice, b once; total 3, distinct 2.
+        assert!((m.prob(&'a', &[]) - 2.0 / 5.0).abs() < 1e-12);
+        assert!((m.prob(&'b', &[]) - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(m.escape_prob(&[]), Some(2.0 / 5.0));
+    }
+
+    #[test]
+    fn paper_training_example() {
+        // Paper §3.1: sequences "aa" and "ab" — 'a' appears first with
+        // certainty; after 'a', 'a' appears 50% of the time.
+        let mut m = Slm::new(2);
+        m.train(&['a', 'a']);
+        m.train(&['a', 'b']);
+        // After context 'a': counts a=1, b=1 → PPM-C gives 1/4 each with
+        // 1/2 escape; the *ratio* between them is 1 (i.e. 50/50).
+        let pa = m.prob(&'a', &['a']);
+        let pb = m.prob(&'b', &['a']);
+        assert!((pa - pb).abs() < 1e-12, "a and b equally likely after a");
+        assert!((pa - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escape_backs_off_to_shorter_context() {
+        let mut m = Slm::new(2);
+        m.train(&['a', 'b', 'c']);
+        // Context [a]: only b seen. Pr(c|[a]) = escape([a]) * Pr(c|[]).
+        let esc = m.escape_prob(&['a']).unwrap();
+        let p_c0 = m.prob(&'c', &[]);
+        let p = m.prob(&'c', &['a']);
+        assert!((p - esc * p_c0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_context_skips_escape() {
+        let mut m = Slm::new(2);
+        m.train(&['a', 'b']);
+        // Context [z] never seen: fall straight to order-0.
+        assert!((m.prob(&'a', &['z']) - m.prob(&'a', &[])).abs() < 1e-12);
+        assert_eq!(m.escape_prob(&['z']), None);
+    }
+
+    #[test]
+    fn long_contexts_are_truncated_to_depth() {
+        let mut m = Slm::new(1);
+        m.train(&['a', 'b', 'a', 'b']);
+        let with_long = m.prob(&'b', &['x', 'y', 'z', 'a']);
+        let with_short = m.prob(&'b', &['a']);
+        assert!((with_long - with_short).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_form_submeasure() {
+        let mut m = Slm::new(2);
+        m.train(&['a', 'b', 'a', 'c', 'a', 'b']);
+        for ctx in [vec![], vec!['a'], vec!['b'], vec!['a', 'b'], vec!['z']] {
+            let sum: f64 = ['a', 'b', 'c'].iter().map(|s| m.prob(s, &ctx)).sum();
+            assert!(sum <= 1.0 + 1e-9, "context {ctx:?} sums to {sum}");
+            for s in ['a', 'b', 'c'] {
+                let p = m.prob(&s, &ctx);
+                assert!(p > 0.0 && p <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_probability_multiplies() {
+        let mut m = Slm::new(2);
+        m.train(&['a', 'b']);
+        let p_manual = m.prob(&'a', &[]) * m.prob(&'b', &['a']);
+        assert!((m.sequence_prob(&['a', 'b']) - p_manual).abs() < 1e-12);
+        let lp = m.sequence_log_prob(&['a', 'b']);
+        assert!((lp.exp() - p_manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trained_sequences_more_likely_than_foreign() {
+        let mut m = Slm::new(3);
+        for _ in 0..4 {
+            m.train(&['f', '0', 'f', '0', 'f', '0']);
+        }
+        let own = m.sequence_log_prob(&['f', '0', 'f', '0']);
+        let foreign = m.sequence_log_prob(&['0', 'f', '0', '0']);
+        assert!(own > foreign);
+    }
+
+    #[test]
+    fn training_is_remembered() {
+        let mut m = Slm::new(2);
+        m.train(&[1, 2, 3]);
+        m.train(&[4]);
+        assert_eq!(m.training().len(), 2);
+        assert_eq!(m.alphabet_len(), 4);
+        assert_eq!(m.alphabet().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(!m.is_untrained());
+        assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let mut m = Slm::new(2);
+        m.train(&['x']);
+        assert_eq!(m.to_string(), "slm(depth=2, |Σ|=1, 1 training sequences)");
+    }
+
+    #[test]
+    fn depth_zero_is_unigram() {
+        let mut m = Slm::new(0);
+        m.train(&['a', 'a', 'b']);
+        assert!((m.prob(&'a', &['b']) - m.prob(&'a', &[])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the PPM-C model and divergences.
+
+use proptest::prelude::*;
+use rock_slm::{js_divergence, kl_divergence, Slm};
+
+fn arb_seq() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..6, 1..20)
+}
+
+fn arb_training() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(arb_seq(), 1..8)
+}
+
+fn trained(depth: usize, seqs: &[Vec<u8>]) -> Slm<u8> {
+    let mut m = Slm::new(depth);
+    for s in seqs {
+        m.train(s);
+    }
+    m
+}
+
+proptest! {
+    /// Every conditional probability lies in (0, 1].
+    #[test]
+    fn probabilities_are_valid(seqs in arb_training(), ctx in prop::collection::vec(0u8..6, 0..4), sym in 0u8..6) {
+        let m = trained(2, &seqs);
+        let p = m.prob(&sym, &ctx);
+        prop_assert!(p > 0.0, "p = {p}");
+        prop_assert!(p <= 1.0, "p = {p}");
+    }
+
+    /// The conditional distribution over the (shared) alphabet is a
+    /// sub-measure: PPM without exclusion may leak mass, never exceed 1.
+    /// The query must use the same alphabet size as the summation range.
+    #[test]
+    fn conditional_sums_to_at_most_one(seqs in arb_training(), ctx in prop::collection::vec(0u8..6, 0..3)) {
+        let m = trained(2, &seqs);
+        let sum: f64 = (0u8..6).map(|s| m.prob_with_alphabet(&s, &ctx, 6)).sum();
+        prop_assert!(sum <= 1.0 + 1e-9, "sum = {sum}");
+    }
+
+    /// Sequence log-probability equals the sum of conditional logs.
+    #[test]
+    fn sequence_prob_factorizes(seqs in arb_training(), query in arb_seq()) {
+        let m = trained(3, &seqs);
+        let mut manual = 0.0;
+        for i in 0..query.len() {
+            let lo = i.saturating_sub(3);
+            manual += m.prob(&query[i], &query[lo..i]).ln();
+        }
+        let got = m.sequence_log_prob(&query);
+        prop_assert!((got - manual).abs() < 1e-9);
+    }
+
+    /// Self-divergence is exactly zero; divergence to a different model is
+    /// finite.
+    #[test]
+    fn kl_self_zero_and_finite(seqs_a in arb_training(), seqs_b in arb_training()) {
+        let a = trained(2, &seqs_a);
+        let b = trained(2, &seqs_b);
+        prop_assert!(kl_divergence(&a, &a).abs() < 1e-12);
+        prop_assert!(kl_divergence(&a, &b).is_finite());
+    }
+
+    /// JS divergence is symmetric and non-negative.
+    #[test]
+    fn js_symmetric_nonnegative(seqs_a in arb_training(), seqs_b in arb_training()) {
+        let a = trained(2, &seqs_a);
+        let b = trained(2, &seqs_b);
+        let ab = js_divergence(&a, &b);
+        let ba = js_divergence(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= -1e-12);
+    }
+
+    /// Training on more copies of a sequence raises (or keeps) its
+    /// probability relative to an untrained competitor sequence.
+    #[test]
+    fn repetition_reinforces(seq in arb_seq()) {
+        let mut m1 = Slm::new(2);
+        m1.train(&seq);
+        let mut m5 = Slm::new(2);
+        for _ in 0..5 {
+            m5.train(&seq);
+        }
+        let p1 = m1.sequence_log_prob(&seq);
+        let p5 = m5.sequence_log_prob(&seq);
+        prop_assert!(p5 >= p1 - 1e-9, "p5 = {p5}, p1 = {p1}");
+    }
+
+    /// Depth-0 models ignore context entirely.
+    #[test]
+    fn depth_zero_ignores_context(seqs in arb_training(), sym in 0u8..6, ctx in prop::collection::vec(0u8..6, 1..4)) {
+        let m = trained(0, &seqs);
+        prop_assert!((m.prob(&sym, &ctx) - m.prob(&sym, &[])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,490 @@
+//! The two-phase structural analysis.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rock_analysis::{execute_function, AnalysisConfig, CtorMap, Event, ObjId};
+use rock_binary::Addr;
+use rock_graph::UnionFind;
+use rock_loader::LoadedBinary;
+
+use crate::purecall_candidates;
+
+/// The `possibleParent` relation restricted to each child's family.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PossibleParents {
+    allowed: BTreeMap<Addr, BTreeSet<Addr>>,
+}
+
+impl PossibleParents {
+    /// The candidate parents of `child`, sorted.
+    pub fn of(&self, child: Addr) -> Vec<Addr> {
+        self.allowed
+            .get(&child)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if `parent` may be `child`'s parent.
+    pub fn is_possible(&self, parent: Addr, child: Addr) -> bool {
+        self.allowed.get(&child).is_some_and(|s| s.contains(&parent))
+    }
+
+    fn remove(&mut self, parent: Addr, child: Addr) {
+        if let Some(s) = self.allowed.get_mut(&child) {
+            s.remove(&parent);
+        }
+    }
+
+    fn restrict_to(&mut self, child: Addr, only: Addr) {
+        if let Some(s) = self.allowed.get_mut(&child) {
+            s.retain(|p| *p == only);
+        }
+    }
+}
+
+/// How many candidate child-parent pairs each Phase II rule eliminated —
+/// diagnostics for the §5.2 discussion ("in certain simple benchmarks …
+/// the structural analysis is precise enough").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EliminationStats {
+    /// Pairs eliminated by rule 1 (parent longer than child).
+    pub rule1_slot_count: usize,
+    /// Pairs eliminated by rule 2 (pure slot vs concrete slot).
+    pub rule2_pure_slot: usize,
+    /// Pairs eliminated by rule 3 pinning (ctor-call evidence).
+    pub rule3_pinning: usize,
+    /// Candidate pairs remaining after all rules.
+    pub remaining: usize,
+}
+
+impl fmt::Display for EliminationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rule1: {}, rule2: {}, rule3: {}, remaining: {}",
+            self.rule1_slot_count, self.rule2_pure_slot, self.rule3_pinning, self.remaining
+        )
+    }
+}
+
+/// The output of the structural analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Structural {
+    families: Vec<Vec<Addr>>,
+    possible: PossibleParents,
+    pinned: BTreeMap<Addr, Addr>,
+    vptr_store_counts: BTreeMap<Addr, usize>,
+    stats: EliminationStats,
+}
+
+impl Structural {
+    /// The type families (each sorted; families sorted by first member).
+    pub fn families(&self) -> &[Vec<Addr>] {
+        &self.families
+    }
+
+    /// The family containing `vtable`, if any.
+    pub fn family_of(&self, vtable: Addr) -> Option<&[Addr]> {
+        self.families
+            .iter()
+            .find(|f| f.contains(&vtable))
+            .map(Vec::as_slice)
+    }
+
+    /// The possible-parent relation.
+    pub fn possible_parents(&self) -> &PossibleParents {
+        &self.possible
+    }
+
+    /// Parents pinned by constructor-call evidence (rule 3).
+    pub fn pinned(&self) -> &BTreeMap<Addr, Addr> {
+        &self.pinned
+    }
+
+    /// How many vtable-pointer stores each type's constructor performs —
+    /// under multiple inheritance, X stores mean X parents (§5.3).
+    pub fn vptr_store_counts(&self) -> &BTreeMap<Addr, usize> {
+        &self.vptr_store_counts
+    }
+
+    /// Per-rule elimination counts.
+    pub fn stats(&self) -> EliminationStats {
+        self.stats
+    }
+
+    /// Returns `true` if every type has at most one possible parent —
+    /// the hierarchy is determined without any behavioral analysis
+    /// (the paper's "structurally resolvable" benchmarks).
+    pub fn is_structurally_resolved(&self) -> bool {
+        self.families
+            .iter()
+            .flatten()
+            .all(|vt| self.possible.of(*vt).len() <= 1)
+    }
+
+    /// Total number of candidate hierarchies left (product over types of
+    /// `max(1, #candidates)`, before tree constraints), saturating.
+    /// For echoparams — four types with three candidate parents each —
+    /// this reports 3⁴ = 81; the paper quotes "64 equally likely possible
+    /// hierarchies" under its own counting of tree-consistent choices.
+    pub fn candidate_hierarchies(&self) -> u64 {
+        let mut n: u64 = 1;
+        for vt in self.families.iter().flatten() {
+            let c = self.possible.of(*vt).len().max(1) as u64;
+            n = n.saturating_mul(c);
+        }
+        n
+    }
+}
+
+impl fmt::Display for Structural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} families", self.families.len())?;
+        for (i, fam) in self.families.iter().enumerate() {
+            write!(f, "  family {i}:")?;
+            for vt in fam {
+                write!(f, " {vt}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the structural analysis over a loaded binary.
+///
+/// `ctors` must come from
+/// [`recognize_ctors`](rock_analysis::recognize_ctors) on the same binary.
+pub fn analyze(loaded: &LoadedBinary, ctors: &CtorMap, config: &AnalysisConfig) -> Structural {
+    let vtables = loaded.vtables();
+    let n = vtables.len();
+    let index: BTreeMap<Addr, usize> =
+        vtables.iter().enumerate().map(|(i, v)| (v.addr(), i)).collect();
+
+    // --- Rule 3 evidence: ctor of child calls ctor of parent on `this`.
+    let pinned = find_pinned_parents(loaded, ctors, config);
+
+    // --- Phase I: families = connected components of slot sharing,
+    //     joined further by ctor-call evidence.
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if vtables[i].shares_function_with(&vtables[j]) {
+                uf.union(i, j);
+            }
+        }
+    }
+    for (child, parent) in &pinned {
+        if let (Some(&ci), Some(&pi)) = (index.get(child), index.get(parent)) {
+            uf.union(ci, pi);
+        }
+    }
+    let families: Vec<Vec<Addr>> = uf
+        .components()
+        .into_iter()
+        .map(|c| c.into_iter().map(|i| vtables[i].addr()).collect())
+        .collect();
+
+    // --- Phase II: initialize possibleParent within families, eliminate.
+    let pure = purecall_candidates(loaded);
+    let mut allowed: BTreeMap<Addr, BTreeSet<Addr>> = BTreeMap::new();
+    for fam in &families {
+        for &child in fam {
+            let entry = allowed.entry(child).or_default();
+            for &parent in fam {
+                if parent != child {
+                    entry.insert(parent);
+                }
+            }
+        }
+    }
+    let mut possible = PossibleParents { allowed };
+
+    let mut stats = EliminationStats::default();
+    for fam in &families {
+        for &child in fam {
+            let cvt = loaded.vtable_at(child).expect("family member exists");
+            for &parent in fam {
+                if parent == child {
+                    continue;
+                }
+                let pvt = loaded.vtable_at(parent).expect("family member exists");
+                // Rule 1: a parent cannot have more virtual functions.
+                if pvt.len() > cvt.len() {
+                    possible.remove(parent, child);
+                    stats.rule1_slot_count += 1;
+                    continue;
+                }
+                // Rule 2: pure slot in the child where the parent is
+                // concrete.
+                let contradiction = cvt
+                    .slots()
+                    .iter()
+                    .zip(pvt.slots())
+                    .any(|(cs, ps)| pure.contains(cs) && !pure.contains(ps));
+                if contradiction {
+                    possible.remove(parent, child);
+                    stats.rule2_pure_slot += 1;
+                }
+            }
+        }
+    }
+    // Rule 3: pinning overrides everything else.
+    for (&child, &parent) in &pinned {
+        let before = possible.of(child).len();
+        possible.restrict_to(child, parent);
+        stats.rule3_pinning += before.saturating_sub(possible.of(child).len());
+        // Ensure the pinned parent survived (it may have been eliminated
+        // by an over-eager rule; ctor evidence is authoritative).
+        possible
+            .allowed
+            .entry(child)
+            .or_default()
+            .insert(parent);
+    }
+    stats.remaining = possible.allowed.values().map(BTreeSet::len).sum();
+
+    let vptr_store_counts = ctors
+        .functions()
+        .filter_map(|f| {
+            let stores = ctors.stores_of(f)?;
+            let primary = stores.iter().find(|(off, _)| *off == 0)?.1;
+            Some((primary, stores.len()))
+        })
+        .collect();
+
+    Structural { families, possible, pinned, vptr_store_counts, stats }
+}
+
+/// Scans ctor-like functions for direct calls to *other* ctor-like
+/// functions on their own `this` (offset 0) — parent-constructor calls.
+fn find_pinned_parents(
+    loaded: &LoadedBinary,
+    ctors: &CtorMap,
+    config: &AnalysisConfig,
+) -> BTreeMap<Addr, Addr> {
+    let mut pinned = BTreeMap::new();
+    for f in loaded.functions() {
+        let Some(own_vt) = ctors.primary_vtable_of(f.entry()) else {
+            continue;
+        };
+        for path in execute_function(f, loaded, ctors, config) {
+            for sub in &path.subobjects {
+                // Parent ctor runs on the primary view of `this`.
+                if sub.view.obj != ObjId::ENTRY || sub.view.base != 0 {
+                    continue;
+                }
+                for ev in &sub.events {
+                    if let Event::Call(g) = ev {
+                        if let Some(parent_vt) = ctors.primary_vtable_of(*g) {
+                            if parent_vt != own_vt {
+                                pinned.insert(own_vt, parent_vt);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pinned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_analysis::recognize_ctors;
+    use rock_minicpp::{compile, CompileOptions, Compiled, ProgramBuilder};
+
+    fn setup(p: ProgramBuilder, opts: &CompileOptions) -> (LoadedBinary, Compiled, Structural) {
+        let compiled = compile(&p.finish(), opts).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let config = AnalysisConfig::default();
+        let ctors = recognize_ctors(&loaded, &config);
+        let s = analyze(&loaded, &ctors, &config);
+        (loaded, compiled, s)
+    }
+
+    fn streams() -> ProgramBuilder {
+        let mut p = ProgramBuilder::new();
+        p.class("Stream").method("send", |b| {
+            b.ret();
+        });
+        p.class("ConfirmableStream").base("Stream").method("confirm", |b| {
+            b.ret();
+        });
+        p.class("FlushableStream")
+            .base("Stream")
+            .method("flush", |b| {
+                b.ret();
+            })
+            .method("close", |b| {
+                b.ret();
+            });
+        p.func("drive", |f| {
+            f.new_obj("s", "Stream");
+            f.new_obj("c", "ConfirmableStream");
+            f.new_obj("fl", "FlushableStream");
+            f.vcall("s", "send", vec![]);
+            f.vcall("c", "confirm", vec![]);
+            f.vcall("fl", "flush", vec![]);
+            f.ret();
+        });
+        p
+    }
+
+    #[test]
+    fn one_family_for_one_hierarchy() {
+        let (_, compiled, s) = setup(streams(), &CompileOptions::default());
+        assert_eq!(s.families().len(), 1);
+        let fam = s.family_of(compiled.vtable_of("Stream").unwrap()).unwrap();
+        assert_eq!(fam.len(), 3);
+    }
+
+    #[test]
+    fn rule1_eliminates_longer_parents() {
+        let (_, compiled, s) = setup(streams(), &CompileOptions::default());
+        let stream = compiled.vtable_of("Stream").unwrap();
+        let confirmable = compiled.vtable_of("ConfirmableStream").unwrap();
+        let flushable = compiled.vtable_of("FlushableStream").unwrap();
+        // Stream (1 slot) cannot descend from 2- or 3-slot tables.
+        assert!(!s.possible_parents().is_possible(confirmable, stream));
+        assert!(!s.possible_parents().is_possible(flushable, stream));
+        // Flushable (3 slots) could structurally descend from either.
+        // But ctor pinning resolves it to Stream.
+        assert!(s.possible_parents().is_possible(stream, flushable));
+    }
+
+    #[test]
+    fn ctor_calls_pin_parents_in_debug_builds() {
+        let (_, compiled, s) = setup(streams(), &CompileOptions::default());
+        let stream = compiled.vtable_of("Stream").unwrap();
+        let confirmable = compiled.vtable_of("ConfirmableStream").unwrap();
+        assert_eq!(s.pinned().get(&confirmable), Some(&stream));
+        assert_eq!(s.possible_parents().of(confirmable), vec![stream]);
+        assert!(s.is_structurally_resolved());
+        assert_eq!(s.candidate_hierarchies(), 1);
+    }
+
+    #[test]
+    fn inlining_removes_pinning() {
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = true;
+        let (_, compiled, s) = setup(streams(), &opts);
+        assert!(s.pinned().is_empty(), "inlined ctors leave no call evidence");
+        // Now FlushableStream has 2 possible parents (Stream and
+        // ConfirmableStream) — exactly the paper's Fig. 6 ambiguity.
+        let flushable = compiled.vtable_of("FlushableStream").unwrap();
+        assert_eq!(s.possible_parents().of(flushable).len(), 2);
+        assert!(!s.is_structurally_resolved());
+        assert!(s.candidate_hierarchies() > 1);
+    }
+
+    #[test]
+    fn unrelated_hierarchies_form_separate_families() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("am", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("bm", |b| {
+            b.ret();
+        });
+        p.class("X").method("xm", |b| {
+            b.ret();
+        });
+        p.class("Y").base("X").method("ym", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("b", "B");
+            f.new_obj("y", "Y");
+            f.vcall("b", "bm", vec![]);
+            f.vcall("y", "ym", vec![]);
+            f.ret();
+        });
+        let (_, compiled, s) = setup(p, &CompileOptions::default());
+        assert_eq!(s.families().len(), 2);
+        let a = compiled.vtable_of("A").unwrap();
+        let x = compiled.vtable_of("X").unwrap();
+        assert_ne!(s.family_of(a).unwrap(), s.family_of(x).unwrap());
+        // Cross-family parenthood is impossible.
+        assert!(!s.possible_parents().is_possible(a, compiled.vtable_of("Y").unwrap()));
+    }
+
+    #[test]
+    fn rule2_pure_slots_block_concrete_parents() {
+        // Child has a pure slot where parent is concrete: impossible.
+        let mut p = ProgramBuilder::new();
+        p.class("Concrete").method("m", |b| {
+            b.ret();
+        });
+        // AbstractChild overrides m as pure — contrived but legal, and
+        // exactly the §5.2-rule-2 shape. It shares no impl with Concrete,
+        // so give both a second, genuinely shared method through a common
+        // driver call to keep them in one family via another route:
+        // simpler: they share nothing, so force same family via ctor...
+        // Instead craft it directly: Base defines m + n; child overrides m
+        // as pure (keeps n shared).
+        p.class("Base").method("bm", |b| {
+            b.ret();
+        }).method("bn", |b| {
+            b.ret();
+        });
+        p.class("PureChild").base("Base").pure_method("bm");
+        p.class("Leaf").base("PureChild").method("bm", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("b", "Base");
+            f.new_obj("l", "Leaf");
+            f.vcall("b", "bm", vec![]);
+            f.vcall("l", "bm", vec![]);
+            f.ret();
+        });
+        let (_, compiled, s) = setup(p, &CompileOptions::default());
+        let base = compiled.vtable_of("Base").unwrap();
+        let pure_child = compiled.vtable_of("PureChild").unwrap();
+        // PureChild's slot 0 is pure; Base's slot 0 is concrete: Base
+        // cannot be... it IS the parent in truth, but rule 2 forbids the
+        // *reverse*: PureChild (concrete at 0? no, pure) —
+        // rule: child=PureChild (pure at 0), parent=Base (concrete at 0)
+        // => eliminated by rule 2. However the ctor pinning re-adds it
+        // (ctor evidence is authoritative in debug builds).
+        let pp = s.possible_parents();
+        assert!(pp.is_possible(base, pure_child), "pinning keeps the true parent");
+        // And Leaf (concrete at 0) cannot be a parent of PureChild by
+        // rule 2 + rule 1.
+        assert!(!pp.is_possible(compiled.vtable_of("Leaf").unwrap(), pure_child));
+    }
+
+    #[test]
+    fn vptr_store_counts_single_inheritance() {
+        let (_, compiled, s) = setup(streams(), &CompileOptions::default());
+        let stream = compiled.vtable_of("Stream").unwrap();
+        assert_eq!(s.vptr_store_counts().get(&stream), Some(&1));
+    }
+
+    #[test]
+    fn display_lists_families() {
+        let (_, _, s) = setup(streams(), &CompileOptions::default());
+        assert!(s.to_string().contains("1 families"));
+    }
+
+    #[test]
+    fn elimination_stats_account_for_the_rules() {
+        // Debug build: rule 1 fires (Stream cannot descend from longer
+        // tables) and rule 3 pins the two children.
+        let (_, _, s) = setup(streams(), &CompileOptions::default());
+        let st = s.stats();
+        assert!(st.rule1_slot_count >= 2, "{st}");
+        assert!(st.rule3_pinning >= 1, "{st}");
+        assert_eq!(st.remaining, 2, "one pinned parent per child: {st}");
+        // Optimized build: no pins; remaining candidates grow.
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = true;
+        let (_, _, s2) = setup(streams(), &opts);
+        assert_eq!(s2.stats().rule3_pinning, 0);
+        assert!(s2.stats().remaining > st.remaining);
+        assert!(s2.stats().to_string().contains("rule1:"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Recognition of the pure-virtual-call trap.
+
+use std::collections::BTreeSet;
+
+use rock_binary::{Addr, Instr};
+use rock_loader::LoadedBinary;
+
+/// Finds functions that look like the `__purecall` trap: a bare prologue
+/// followed immediately by `halt` (the runtime abort every pure-virtual
+/// slot points at).
+///
+/// A vtable slot pointing at such a function is a *pure* slot — "a virtual
+/// function which does not have an implementation" in the words of §5.2
+/// rule 2.
+pub fn purecall_candidates(loaded: &LoadedBinary) -> BTreeSet<Addr> {
+    loaded
+        .functions()
+        .iter()
+        .filter(|f| {
+            let instrs = f.instrs();
+            instrs.len() == 2
+                && matches!(instrs[0].instr, Instr::Enter { .. })
+                && matches!(instrs[1].instr, Instr::Halt)
+        })
+        .map(|f| f.entry())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_binary::{ImageBuilder, Reg};
+
+    #[test]
+    fn detects_trap_shape() {
+        let mut b = ImageBuilder::new();
+        b.begin_function("__purecall");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Halt);
+        b.end_function();
+        b.begin_function("normal");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::MovImm { dst: Reg::R0, imm: 1 });
+        b.push(Instr::Ret);
+        b.end_function();
+        b.begin_function("tiny_but_returns");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        let mut image = b.finish();
+        image.strip();
+        let loaded = LoadedBinary::load(image).unwrap();
+        let traps = purecall_candidates(&loaded);
+        assert_eq!(traps.len(), 1);
+        assert!(traps.contains(&loaded.functions()[0].entry()));
+    }
+
+    #[test]
+    fn compiled_purecall_is_detected() {
+        use rock_minicpp::{compile, CompileOptions, ProgramBuilder};
+        let mut p = ProgramBuilder::new();
+        p.class("I").pure_method("run");
+        p.class("Impl").base("I").method("run", |b| {
+            b.ret();
+        });
+        let c = compile(&p.finish(), &CompileOptions::default()).unwrap();
+        let loaded = LoadedBinary::load(c.stripped_image()).unwrap();
+        let traps = purecall_candidates(&loaded);
+        assert_eq!(traps.len(), 1);
+        // The pure slot of I's vtable points at the trap.
+        let vt_i = loaded.vtable_at(c.vtable_of("I").unwrap()).unwrap();
+        assert!(traps.contains(&vt_i.slots()[0]));
+        let vt_impl = loaded.vtable_at(c.vtable_of("Impl").unwrap()).unwrap();
+        assert!(!traps.contains(&vt_impl.slots()[0]));
+    }
+}

@@ -1,0 +1,218 @@
+//! A Lego-style **dynamic** hierarchy reconstructor (Srinivasan & Reps,
+//! discussed in the paper's §7).
+//!
+//! Dynamic tools execute the program and watch each object's vtable
+//! pointer evolve: a constructor chain stores the base class's vtable
+//! first, then overwrites it with the derived class's — so consecutive
+//! distinct vtable stores to one address reveal parent→child edges.
+//!
+//! This is exactly the evidence that optimizing compilers destroy
+//! (inlined constructors + dead-store elimination leave only the final
+//! store), which is the paper's argument for a *static, behavioral*
+//! approach: "Rock is able to reconstruct a hierarchy even when all
+//! destructors have been inlined". The comparison harness
+//! (`rock-bench --bin dynamic_vs_static`) measures both on the same
+//! binaries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rock_binary::{Addr, BinaryImage, Instr};
+use rock_graph::Forest;
+
+use crate::{Machine, VmError};
+
+/// Options for the dynamic baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynamicOptions {
+    /// Per-driver step budget.
+    pub step_limit: u64,
+}
+
+impl Default for DynamicOptions {
+    fn default() -> Self {
+        DynamicOptions { step_limit: 5_000_000 }
+    }
+}
+
+/// Reconstructs a hierarchy by *executing* the binary's entry points and
+/// observing vtable-pointer evolution per object.
+///
+/// Requires an **unstripped** image (dynamic tools run real binaries and
+/// need the allocator located; symbols provide that here). Drivers are
+/// all functions that are never statically called and sit in no vtable.
+///
+/// # Errors
+///
+/// Returns [`VmError::Load`] if the image fails to load; individual
+/// driver crashes are tolerated (their partial traces still count).
+pub fn dynamic_reconstruct(
+    image: &BinaryImage,
+    options: &DynamicOptions,
+) -> Result<Forest<Addr>, VmError> {
+    let mut vm = Machine::new(image.clone())?;
+    vm.set_step_limit(options.step_limit);
+
+    // Root functions: never a static call target, not in a vtable, not a
+    // runtime helper.
+    let mut call_targets: BTreeSet<Addr> = BTreeSet::new();
+    for f in vm.loaded().functions() {
+        for d in f.instrs() {
+            if let Instr::Call { target } = d.instr {
+                call_targets.insert(target);
+            }
+        }
+    }
+    let in_vtables: BTreeSet<Addr> = vm
+        .loaded()
+        .vtables()
+        .iter()
+        .flat_map(|v| v.slots().iter().copied())
+        .collect();
+    let runtime: BTreeSet<Addr> = image
+        .symbols()
+        .iter()
+        .filter(|s| s.name.starts_with("__"))
+        .map(|s| s.addr)
+        .collect();
+    let drivers: Vec<Addr> = vm
+        .loaded()
+        .functions()
+        .iter()
+        .map(|f| f.entry())
+        .filter(|e| !call_targets.contains(e) && !in_vtables.contains(e) && !runtime.contains(e))
+        .collect();
+
+    // Observe vtable-store sequences per object address, across drivers.
+    let mut edge_votes: BTreeMap<(Addr, Addr), usize> = BTreeMap::new();
+    for driver in drivers {
+        vm.reset();
+        // Crashing drivers still contribute their partial trace.
+        let _ = vm.run(driver, &[0, 0, 0, 0, 0, 0]);
+        let mut per_addr: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
+        for (at, vtable) in vm.trace().vtable_stores() {
+            per_addr.entry(at).or_default().push(vtable);
+        }
+        for stores in per_addr.values() {
+            // Construction phase: consecutive distinct stores where the
+            // successor has not been seen yet at this address (skips the
+            // destructor's reverse walk).
+            let mut seen: BTreeSet<Addr> = BTreeSet::new();
+            for pair in stores.windows(2) {
+                seen.insert(pair[0]);
+                if pair[0] != pair[1] && !seen.contains(&pair[1]) {
+                    *edge_votes.entry((pair[0], pair[1])).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    // Majority parent per child.
+    let mut best: BTreeMap<Addr, (Addr, usize)> = BTreeMap::new();
+    for ((parent, child), votes) in &edge_votes {
+        let e = best.entry(*child).or_insert((*parent, 0));
+        if *votes > e.1 {
+            *e = (*parent, *votes);
+        }
+    }
+
+    let mut forest = Forest::new();
+    for vt in vm.loaded().vtables() {
+        let parent = best.get(&vt.addr()).map(|(p, _)| *p);
+        forest.insert(vt.addr(), parent);
+    }
+    Ok(forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_minicpp::{compile, CompileOptions, ProgramBuilder};
+
+    fn chain_program() -> ProgramBuilder {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("am", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("bm", |b| {
+            b.ret();
+        });
+        p.class("C").base("B").method("cm", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("a", "A");
+            f.new_obj("b", "B");
+            f.new_obj("c", "C");
+            f.vcall("c", "am", vec![]);
+            f.delete("c");
+            f.ret();
+        });
+        p
+    }
+
+    #[test]
+    fn debug_build_yields_exact_chain() {
+        let compiled = compile(&chain_program().finish(), &CompileOptions::default()).unwrap();
+        let forest = dynamic_reconstruct(compiled.image(), &DynamicOptions::default()).unwrap();
+        let a = compiled.vtable_of("A").unwrap();
+        let b = compiled.vtable_of("B").unwrap();
+        let c = compiled.vtable_of("C").unwrap();
+        assert_eq!(forest.parent_of(&a), None);
+        assert_eq!(forest.parent_of(&b), Some(&a));
+        assert_eq!(forest.parent_of(&c), Some(&b));
+    }
+
+    #[test]
+    fn destructor_walk_does_not_reverse_edges() {
+        // `delete c` re-stores C, B, A vtables in reverse; the seen-set
+        // logic must not emit child->parent edges from that.
+        let compiled = compile(&chain_program().finish(), &CompileOptions::default()).unwrap();
+        let forest = dynamic_reconstruct(compiled.image(), &DynamicOptions::default()).unwrap();
+        let a = compiled.vtable_of("A").unwrap();
+        let c = compiled.vtable_of("C").unwrap();
+        assert_ne!(forest.parent_of(&a), Some(&c));
+        assert!(forest.is_acyclic());
+    }
+
+    #[test]
+    fn optimized_build_loses_the_evidence() {
+        // The paper's §7 criticism of dynamic approaches, reproduced:
+        // inlining + DSE leave a single vtable store per object, so the
+        // dynamic baseline sees no parent edges at all.
+        let mut opts = CompileOptions::default();
+        opts.inline_parent_ctors = true;
+        let compiled = compile(&chain_program().finish(), &opts).unwrap();
+        let forest = dynamic_reconstruct(compiled.image(), &DynamicOptions::default()).unwrap();
+        for class in ["A", "B", "C"] {
+            let vt = compiled.vtable_of(class).unwrap();
+            assert_eq!(forest.parent_of(&vt), None, "{class} should be an orphan root");
+        }
+    }
+
+    #[test]
+    fn uninstantiated_types_are_invisible_to_dynamic_analysis() {
+        // Coverage dependence: a type no driver instantiates produces no
+        // trace, hence no parent — another §7 weakness of dynamic tools.
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("am", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("bm", |b| {
+            b.ret();
+        });
+        p.class("Unused").base("A").method("um", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("b", "B");
+            f.vcall("b", "bm", vec![]);
+            f.ret();
+        });
+        let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+        let forest = dynamic_reconstruct(compiled.image(), &DynamicOptions::default()).unwrap();
+        let b = compiled.vtable_of("B").unwrap();
+        let unused = compiled.vtable_of("Unused").unwrap();
+        assert!(forest.parent_of(&b).is_some(), "covered type resolved");
+        assert_eq!(forest.parent_of(&unused), None, "uncovered type lost");
+    }
+}

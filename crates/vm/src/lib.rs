@@ -1,0 +1,57 @@
+//! Reference interpreter for the substrate ISA, plus a **dynamic**
+//! hierarchy-reconstruction baseline in the style of Lego
+//! (Srinivasan & Reps), which the paper compares against in §7.
+//!
+//! The interpreter ([`Machine`]) executes compiled binary images for
+//! real: virtual dispatch goes through the in-memory vtable pointers,
+//! constructors store them, the heap is a bump allocator behind the
+//! `__alloc` runtime function. It serves two purposes:
+//!
+//! 1. **Substrate validation** — compiled MiniCpp programs actually run,
+//!    dispatch reaches the overriding implementation, fields hold what
+//!    was stored (tested extensively);
+//! 2. **The dynamic baseline** ([`dynamic_reconstruct`]) — Lego-style
+//!    hierarchy recovery from execution traces: during construction an
+//!    object's vtable pointer is overwritten parent-to-child, revealing
+//!    ancestor chains. The paper's criticism (§7) is that this evidence
+//!    disappears when constructors are inlined (dead-store elimination) —
+//!    which is exactly observable here: the baseline is perfect on debug
+//!    builds and collapses on optimized ones while Rock's static
+//!    behavioral analysis keeps working.
+//!
+//! # Example
+//!
+//! ```
+//! use rock_minicpp::{ProgramBuilder, CompileOptions, compile};
+//! use rock_vm::Machine;
+//!
+//! let mut p = ProgramBuilder::new();
+//! p.class("A").field("x").method("set", |b| {
+//!     b.write("this", "x", rock_minicpp::Expr::Const(41));
+//!     b.ret();
+//! });
+//! p.func("drive", |f| {
+//!     f.new_obj("a", "A");
+//!     f.vcall("a", "set", vec![]);
+//!     f.ret();
+//! });
+//! let compiled = compile(&p.finish(), &CompileOptions::default())?;
+//! let mut vm = Machine::new(compiled.image().clone())?;
+//! let drive = compiled.image().symbols().by_name("drive").unwrap().addr;
+//! let outcome = vm.run(drive, &[])?;
+//! assert!(outcome.steps > 0);
+//! // The driver dispatched exactly one virtual call.
+//! assert_eq!(vm.trace().virtual_calls().count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamic;
+mod machine;
+mod trace;
+
+pub use dynamic::{dynamic_reconstruct, DynamicOptions};
+pub use machine::{Machine, Outcome, VmError};
+pub use trace::{Trace, TraceEvent};

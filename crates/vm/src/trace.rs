@@ -1,0 +1,148 @@
+//! Execution traces recorded by the interpreter.
+
+use std::fmt;
+
+use rock_binary::Addr;
+
+/// One observable event during execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A known vtable address was stored to memory (the dynamic-type
+    /// change Lego-style tools key on).
+    VtableStore {
+        /// Absolute address written to (the object's vptr slot).
+        at: Addr,
+        /// The vtable stored.
+        vtable: Addr,
+    },
+    /// An indirect call resolved through a vtable slot.
+    VirtualCall {
+        /// Receiver pointer (`r0` at the call).
+        receiver: Addr,
+        /// The vtable the pointer was loaded from.
+        vtable: Addr,
+        /// Slot index.
+        slot: usize,
+        /// Resolved callee entry.
+        target: Addr,
+    },
+    /// A direct call.
+    DirectCall {
+        /// Callee entry.
+        target: Addr,
+        /// `r0` at the call (the receiver for methods/ctors).
+        receiver: Addr,
+    },
+    /// A heap allocation served by the `__alloc` runtime.
+    Alloc {
+        /// Returned object base address.
+        at: Addr,
+        /// Requested size in bytes.
+        size: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::VtableStore { at, vtable } => write!(f, "vstore [{at}] <- {vtable}"),
+            TraceEvent::VirtualCall { receiver, vtable, slot, target } => {
+                write!(f, "vcall obj={receiver} vt={vtable} slot={slot} -> {target}")
+            }
+            TraceEvent::DirectCall { target, receiver } => {
+                write!(f, "call {target} (r0={receiver})")
+            }
+            TraceEvent::Alloc { at, size } => write!(f, "alloc {size} -> {at}"),
+        }
+    }
+}
+
+/// An ordered execution trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Just the vtable stores, in order.
+    pub fn vtable_stores(&self) -> impl Iterator<Item = (Addr, Addr)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::VtableStore { at, vtable } => Some((*at, *vtable)),
+            _ => None,
+        })
+    }
+
+    /// Just the virtual calls, in order.
+    pub fn virtual_calls(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::VirtualCall { .. }))
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_and_filters() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(TraceEvent::Alloc { at: Addr::new(0x100), size: 16 });
+        t.push(TraceEvent::VtableStore { at: Addr::new(0x100), vtable: Addr::new(0x2000) });
+        t.push(TraceEvent::VirtualCall {
+            receiver: Addr::new(0x100),
+            vtable: Addr::new(0x2000),
+            slot: 0,
+            target: Addr::new(0x1000),
+        });
+        t.push(TraceEvent::DirectCall { target: Addr::new(0x1000), receiver: Addr::new(0) });
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.vtable_stores().count(), 1);
+        assert_eq!(t.virtual_calls().count(), 1);
+        let text = t.to_string();
+        assert!(text.contains("vstore"));
+        assert!(text.contains("slot=0"));
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

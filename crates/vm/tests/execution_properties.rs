@@ -1,0 +1,110 @@
+//! Property-based tests: randomly generated hierarchies compile to
+//! binaries that *execute* correctly, and the dynamic baseline recovers
+//! debug-build hierarchies exactly.
+
+use proptest::prelude::*;
+use rock_minicpp::{compile, CompileOptions, Program, ProgramBuilder};
+use rock_vm::{dynamic_reconstruct, DynamicOptions, Machine};
+
+/// Random forest: parent[i] < i or None.
+fn arb_parents() -> impl Strategy<Value = Vec<Option<usize>>> {
+    (2usize..7).prop_flat_map(|n| {
+        (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(None).boxed()
+                } else {
+                    prop_oneof![2 => (0..i).prop_map(Some), 1 => Just(None)].boxed()
+                }
+            })
+            .collect::<Vec<BoxedStrategy<Option<usize>>>>()
+    })
+}
+
+fn build(parents: &[Option<usize>]) -> Program {
+    let mut p = ProgramBuilder::new();
+    for (i, parent) in parents.iter().enumerate() {
+        let mut cb = p.class(format!("C{i}"));
+        if let Some(pi) = parent {
+            cb.base(format!("C{pi}"));
+        }
+        cb.field(format!("f{i}"));
+        cb.method(format!("m{i}"), move |b| {
+            b.ret_val(rock_minicpp::Expr::Const(100 + i as u64));
+        });
+    }
+    for (i, _) in parents.iter().enumerate() {
+        p.func(format!("drive{i}"), move |f| {
+            f.new_obj("o", format!("C{i}"));
+            f.vcall_dst("r", "o", format!("m{i}"), vec![]);
+            f.delete("o");
+            f.ret_val(rock_minicpp::Expr::Var("r".into()));
+        });
+    }
+    p.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every driver executes, returns its class's magic value (dispatch
+    /// reached the right implementation), and faults never occur.
+    #[test]
+    fn compiled_programs_execute_correctly(parents in arb_parents(), optimized in any::<bool>()) {
+        let program = build(&parents);
+        let options = if optimized {
+            // Keep symbols for the VM runtime lookup; other passes on.
+            let mut o = CompileOptions::default();
+            o.inline_parent_ctors = true;
+            o
+        } else {
+            CompileOptions::default()
+        };
+        let compiled = compile(&program, &options).unwrap();
+        let mut vm = Machine::new(compiled.image().clone()).unwrap();
+        for (i, _) in parents.iter().enumerate() {
+            let entry = compiled
+                .image()
+                .symbols()
+                .by_name(&format!("drive{i}"))
+                .unwrap()
+                .addr;
+            vm.reset();
+            let out = vm.run(entry, &[]).unwrap();
+            prop_assert_eq!(out.return_value, 100 + i as u64, "driver {} dispatched wrong impl", i);
+            prop_assert!(!out.halted);
+        }
+    }
+
+    /// On debug builds the dynamic baseline reconstructs the forest
+    /// exactly (full ctor chains, full coverage).
+    #[test]
+    fn dynamic_baseline_is_exact_on_debug_builds(parents in arb_parents()) {
+        let program = build(&parents);
+        let compiled = compile(&program, &CompileOptions::default()).unwrap();
+        let forest =
+            dynamic_reconstruct(compiled.image(), &DynamicOptions::default()).unwrap();
+        for (i, parent) in parents.iter().enumerate() {
+            let vt = compiled.vtable_of(&format!("C{i}")).unwrap();
+            let got = forest.parent_of(&vt).copied();
+            let want = parent.map(|pi| compiled.vtable_of(&format!("C{pi}")).unwrap());
+            prop_assert_eq!(got, want, "class C{}", i);
+        }
+    }
+
+    /// On inlined builds the dynamic baseline loses every edge, while the
+    /// binary still executes identically (the §7 contrast, as a law).
+    #[test]
+    fn inlining_blinds_dynamic_but_not_execution(parents in arb_parents()) {
+        let program = build(&parents);
+        let mut options = CompileOptions::default();
+        options.inline_parent_ctors = true;
+        let compiled = compile(&program, &options).unwrap();
+        let forest =
+            dynamic_reconstruct(compiled.image(), &DynamicOptions::default()).unwrap();
+        for (i, _) in parents.iter().enumerate() {
+            let vt = compiled.vtable_of(&format!("C{i}")).unwrap();
+            prop_assert_eq!(forest.parent_of(&vt), None, "C{} should be orphaned", i);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Runs the full 19-benchmark evaluation suite and prints Table 2.
+//!
+//! Same measurement as `cargo run -p rock-bench --bin table2`, exposed as
+//! an example of driving the public API over many binaries.
+//!
+//! ```text
+//! cargo run --release --example benchmark_suite
+//! ```
+
+use rock::core::{evaluate, render_table2, suite, Rock, RockConfig, Table2Row};
+use rock::loader::LoadedBinary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rock = Rock::new(RockConfig::paper());
+    let mut rows = Vec::new();
+    for bench in suite::all_benchmarks() {
+        let compiled = bench.compile()?;
+        let loaded = LoadedBinary::load(compiled.stripped_image())?;
+        let recon = rock.reconstruct(&loaded);
+        let eval = evaluate(&compiled, &recon);
+        println!(
+            "{:<18} {:>3} types  structural-only: {:>5}  candidates: {}",
+            bench.name,
+            eval.num_types,
+            if eval.structurally_resolved { "yes" } else { "no" },
+            recon.structural.candidate_hierarchies(),
+        );
+        rows.push(Table2Row::new(&bench, &eval));
+    }
+    println!("\n{}", render_table2(&rows));
+
+    let holds = rows.iter().filter(|r| r.shape_holds()).count();
+    println!("qualitative shape holds on {holds}/{} benchmarks", rows.len());
+    assert!(holds >= 17, "the reproduction should track the paper's shape");
+    Ok(())
+}

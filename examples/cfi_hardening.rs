@@ -1,0 +1,85 @@
+//! CFI hardening: the paper's §1 motivation (Figs. 1–2).
+//!
+//! A control-flow-integrity policy for a virtual call site must allow
+//! exactly the implementations reachable from the receiver's static type
+//! — i.e. the type itself plus its successors in the class hierarchy.
+//! Type *grouping* (family-level CFI, what pre-Rock tools could offer)
+//! lets an external data source flow into `readInternal()`; the
+//! reconstructed *hierarchy* does not.
+//!
+//! ```text
+//! cargo run --example cfi_hardening
+//! ```
+
+use std::collections::BTreeSet;
+
+use rock::core::{project_hierarchy, suite, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = suite::datasource_example();
+    let compiled = bench.compile()?;
+    let loaded = LoadedBinary::load(compiled.stripped_image())?;
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let hierarchy = project_hierarchy(&recon.hierarchy, &compiled);
+
+    println!("reconstructed hierarchy:\n{hierarchy}");
+
+    // CFI target set for a call on a receiver of static type `t`:
+    // t plus its reconstructed successors.
+    let target_set = |t: &str| -> BTreeSet<String> {
+        let mut s = hierarchy.successors(&t.to_string());
+        s.insert(t.to_string());
+        s
+    };
+
+    // Family-level policy (type grouping): every type in the family.
+    let family_set = |t: &str| -> BTreeSet<String> {
+        let vt = compiled.vtable_of(t).expect("known class");
+        recon
+            .structural
+            .family_of(vt)
+            .expect("in a family")
+            .iter()
+            .filter_map(|a| compiled.class_of(*a))
+            .map(str::to_string)
+            .collect()
+    };
+
+    let internal_policy = target_set("InternalDataSource");
+    let internal_family = family_set("InternalDataSource");
+
+    println!("readInternal() receiver: InternalDataSource");
+    println!("  hierarchy-based CFI targets: {internal_policy:?}");
+    println!("  family-based  CFI targets:   {internal_family:?}");
+
+    assert!(
+        !internal_policy.contains("ExternalDataSource"),
+        "hierarchy CFI must exclude external sources"
+    );
+    assert!(
+        !internal_policy.contains("External0") && !internal_policy.contains("External1"),
+        "hierarchy CFI must exclude external leaf types"
+    );
+    assert!(
+        internal_family.contains("ExternalDataSource"),
+        "family-level grouping cannot make this distinction (the §1 attack)"
+    );
+    println!(
+        "\nOK: hierarchy-based CFI blocks external sources ({} targets vs {} \
+         with type grouping).",
+        internal_policy.len(),
+        internal_family.len()
+    );
+
+    // And the payload shrinkage across the whole binary:
+    let classes: Vec<&str> = compiled.ground_truth().classes().collect();
+    let total_h: usize = classes.iter().map(|c| target_set(c).len()).sum();
+    let total_f: usize = classes.iter().map(|c| family_set(c).len()).sum();
+    println!(
+        "total allowed targets across all call-site types: {total_h} (hierarchy) \
+         vs {total_f} (grouping)"
+    );
+    assert!(total_h < total_f);
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! The paper's Fig. 3 vs Fig. 5 contrast, live.
+//!
+//! Prints the same program twice: first as the *source* the developer
+//! wrote (class names, method names, inheritance — Fig. 3), then as the
+//! generalized pseudo-source a reverse engineer can recover from the
+//! stripped binary (positional names only — Fig. 5), annotated with the
+//! hierarchy Rock reconstructed.
+//!
+//! ```text
+//! cargo run --example source_vs_stripped
+//! ```
+
+use rock::core::{pseudo_source, suite, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+use rock::minicpp::to_source;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = suite::streams_example();
+
+    println!("===== what the developer wrote (Fig. 3) =====\n");
+    println!("{}", to_source(&bench.program));
+
+    let compiled = bench.compile()?;
+    let loaded = LoadedBinary::load(compiled.stripped_image())?;
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+
+    println!("===== what the stripped binary reveals (Fig. 5) =====\n");
+    let pseudo = pseudo_source(&loaded, &recon);
+    println!("{pseudo}");
+
+    // The generalized view leaks no source identifiers...
+    assert!(!pseudo.contains("Stream"));
+    assert!(!pseudo.contains("send"));
+    // ...but the reconstructed `: public` clauses match the original
+    // hierarchy (one root, two children).
+    assert_eq!(pseudo.matches(": public Class").count(), 2);
+    println!("OK: no identifiers leaked; inheritance recovered behaviorally.");
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! End-to-end integration tests: source program → compiled stripped
+//! binary → loaded → reconstructed → evaluated, across optimization
+//! levels.
+
+use rock::core::{evaluate, project_hierarchy, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+use rock::minicpp::{compile, CompileOptions, Compiled, Expr, ProgramBuilder};
+
+fn reconstruct(compiled: &Compiled) -> rock::core::Reconstruction {
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    Rock::new(RockConfig::paper()).reconstruct(&loaded)
+}
+
+/// A medium hierarchy: root, two mid-level classes, four leaves.
+fn seven_types() -> ProgramBuilder {
+    let mut p = ProgramBuilder::new();
+    p.class("Root").field("state").method("base0", |b| {
+        b.write("this", "state", rock::minicpp::Expr::Const(1));
+        b.ret();
+    });
+    p.class("MidA").base("Root").method("mid_a", |b| {
+        b.read("v", "this", "state");
+        b.ret();
+    });
+    p.class("MidB").base("Root").field("bstate").method("mid_b0", |b| {
+        b.write("this", "bstate", Expr::Const(7));
+        b.ret();
+    }).method("mid_b1", |b| {
+        b.read("v", "this", "bstate");
+        b.write("this", "bstate", Expr::Const(9));
+        b.ret();
+    });
+    for (leaf, base) in [("LeafA0", "MidA"), ("LeafA1", "MidA"), ("LeafB0", "MidB"), ("LeafB1", "MidB")] {
+        let fld = format!("{}_data", leaf.to_lowercase());
+        let fld2 = fld.clone();
+        let k = leaf.len() as u64 + leaf.ends_with('1') as u64 * 11;
+        p.class(leaf).base(base).field(&fld).method(
+            format!("{}_own", leaf.to_lowercase()),
+            move |b| {
+                b.write("this", &fld2, Expr::Const(k));
+                b.read("v", "this", &fld2);
+                b.ret();
+            },
+        );
+    }
+    // Distinctive drivers: each class has a usage *segment* (its methods
+    // with class-specific counts/interleavings); a driver replays the
+    // segments of every ancestor root-first, then its own — behavioral
+    // containment along chains, distinctive signatures across siblings.
+    let segment = |f: &mut rock::minicpp::FuncBuilder, class: &str| match class {
+        "Root" => {
+            f.vcall("o", "base0", vec![]);
+            f.vcall("o", "base0", vec![]);
+        }
+        "MidA" => {
+            f.vcall("o", "mid_a", vec![]);
+            f.vcall("o", "mid_a", vec![]);
+        }
+        "MidB" => {
+            f.vcall("o", "mid_b0", vec![]);
+            f.vcall("o", "mid_b1", vec![]);
+            f.vcall("o", "mid_b1", vec![]);
+            f.vcall("o", "mid_b1", vec![]);
+        }
+        leaf => {
+            let own = format!("{}_own", leaf.to_lowercase());
+            let n = 1 + leaf.len() % 4 + leaf.ends_with('1') as usize * 3;
+            for _ in 0..n {
+                f.vcall("o", own.clone(), vec![]);
+            }
+            if leaf.ends_with('0') {
+                f.vcall("o", "base0", vec![]);
+                f.vcall("o", own, vec![]);
+            }
+        }
+    };
+    let chains: [&[&str]; 7] = [
+        &["Root"],
+        &["Root", "MidA"],
+        &["Root", "MidB"],
+        &["Root", "MidA", "LeafA0"],
+        &["Root", "MidA", "LeafA1"],
+        &["Root", "MidB", "LeafB0"],
+        &["Root", "MidB", "LeafB1"],
+    ];
+    for (i, chain) in chains.iter().enumerate() {
+        let chain: Vec<String> = chain.iter().map(|s| s.to_string()).collect();
+        p.func(format!("drive{i}"), move |f| {
+            f.new_obj("o", chain.last().expect("non-empty").clone());
+            for class in &chain {
+                segment(f, class);
+            }
+            f.delete("o");
+            f.ret();
+        });
+    }
+    p
+}
+
+#[test]
+fn debug_build_reconstructs_exactly() {
+    let compiled = compile(&seven_types().finish(), &CompileOptions::default()).unwrap();
+    let recon = reconstruct(&compiled);
+    let eval = evaluate(&compiled, &recon);
+    assert_eq!(eval.num_types, 7);
+    assert!(eval.structurally_resolved, "ctor pins resolve everything");
+    assert_eq!(eval.with_slm.avg_missing, 0.0);
+    assert_eq!(eval.with_slm.avg_added, 0.0);
+}
+
+#[test]
+fn optimized_build_is_ambiguous_but_reconstructed() {
+    let mut opts = CompileOptions::default();
+    opts.inline_parent_ctors = true;
+    let compiled = compile(&seven_types().finish(), &opts).unwrap();
+    let recon = reconstruct(&compiled);
+    assert!(
+        !recon.structural.is_structurally_resolved(),
+        "inlining must remove the pins"
+    );
+    let eval = evaluate(&compiled, &recon);
+    // This workload is deliberately adversarial: sibling subtrees collide
+    // on slot indices *and* field offsets, the hardest case for a purely
+    // behavioral signal (the paper's error source 3). The behavioral
+    // analysis must still lose nothing and stay within a small added
+    // budget, far below the structural-only baseline.
+    assert_eq!(eval.with_slm.avg_missing, 0.0, "per-type: {:?}", eval.with_slm.per_type);
+    assert!(
+        eval.with_slm.avg_added <= 1.5,
+        "added {:.2}; per-type: {:?}",
+        eval.with_slm.avg_added,
+        eval.with_slm.per_type
+    );
+    assert!(eval.without_slm.avg_added > eval.with_slm.avg_added);
+}
+
+#[test]
+fn fully_optimized_with_noise_still_loads_and_runs() {
+    let compiled = compile(&seven_types().finish(), &CompileOptions::optimized()).unwrap();
+    let recon = reconstruct(&compiled);
+    let eval = evaluate(&compiled, &recon);
+    // COMDAT folding may fold trivial ret-only methods across the tree;
+    // the pipeline must stay sound (all 7 types found, hierarchy total).
+    assert_eq!(recon.hierarchy.len(), 7);
+    assert!(eval.with_slm.avg_added <= eval.without_slm.avg_added + 1e-9);
+}
+
+#[test]
+fn hierarchy_projection_matches_ground_truth_labels() {
+    let compiled = compile(&seven_types().finish(), &CompileOptions::default()).unwrap();
+    let recon = reconstruct(&compiled);
+    let projected = project_hierarchy(&recon.hierarchy, &compiled);
+    assert_eq!(projected.parent_of(&"MidA".to_string()), Some(&"Root".to_string()));
+    assert_eq!(projected.parent_of(&"LeafB1".to_string()), Some(&"MidB".to_string()));
+    assert_eq!(projected.roots(), vec![&"Root".to_string()]);
+    assert!(projected.is_acyclic());
+}
+
+#[test]
+fn stripping_is_what_makes_it_hard() {
+    // With RTTI present, ground truth is directly readable; the pipeline
+    // must work *without* it.
+    let compiled = compile(&seven_types().finish(), &CompileOptions::default()).unwrap();
+    assert!(!compiled.image().is_stripped());
+    assert_eq!(compiled.image().rtti().len(), 7);
+    let stripped = compiled.stripped_image();
+    assert!(stripped.is_stripped());
+    assert!(stripped.rtti().is_empty());
+    assert!(stripped.symbols().is_empty());
+    // Same bytes otherwise: sections intact.
+    assert_eq!(stripped.size(), compiled.image().size());
+}
+
+#[test]
+fn rtti_ground_truth_agrees_with_compiler_ground_truth() {
+    // §6.2: the paper derives ground truth from RTTI ancestor chains.
+    let compiled = compile(&seven_types().finish(), &CompileOptions::default()).unwrap();
+    let gt = compiled.ground_truth();
+    for record in compiled.image().rtti() {
+        let class = &record.class_name;
+        match record.parent() {
+            None => assert_eq!(gt.parent_of(class), None, "{class}"),
+            Some(parent_vt) => {
+                let parent_name = compiled.class_of(parent_vt).expect("parent is a class");
+                assert_eq!(gt.parent_of(class), Some(parent_name), "{class}");
+            }
+        }
+        // Full ancestor chain agrees too.
+        let chain: Vec<&str> = record
+            .ancestors
+            .iter()
+            .map(|a| compiled.class_of(*a).expect("ancestor class"))
+            .collect();
+        assert_eq!(gt.ancestors(class), chain, "{class}");
+    }
+}
+
+#[test]
+fn loader_sees_every_emitted_vtable() {
+    let compiled = compile(&seven_types().finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    for (class, vt) in compiled.vtables() {
+        assert!(
+            loaded.vtable_at(*vt).is_some(),
+            "{class}'s vtable at {vt} must be discovered"
+        );
+    }
+}
+
+#[test]
+fn distances_are_finite_and_self_consistent() {
+    let mut opts = CompileOptions::default();
+    opts.inline_parent_ctors = true;
+    let compiled = compile(&seven_types().finish(), &opts).unwrap();
+    let recon = reconstruct(&compiled);
+    for ((p, c), d) in &recon.distances {
+        assert!(d.is_finite(), "distance {p}->{c} = {d}");
+        assert_ne!(p, c);
+    }
+    // Every chosen parent must have been a surviving candidate.
+    for node in recon.hierarchy.nodes() {
+        if let Some(parent) = recon.hierarchy.parent_of(node) {
+            assert!(
+                recon.structural.possible_parents().is_possible(*parent, *node),
+                "chosen parent {parent} of {node} was structurally eliminated"
+            );
+        }
+    }
+}

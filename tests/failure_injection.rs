@@ -1,0 +1,182 @@
+//! Failure injection: malformed and adversarial inputs must produce
+//! errors or degraded-but-sound results, never panics or nonsense.
+
+use rock::binary::{Addr, BinaryImage, Section, SectionKind};
+use rock::core::{Rock, RockConfig};
+use rock::loader::{LoadError, LoadedBinary};
+use rock::minicpp::{compile, CompileOptions, ProgramBuilder};
+
+#[test]
+fn empty_image_is_rejected() {
+    assert_eq!(LoadedBinary::load(BinaryImage::new(vec![])), Err(LoadError::NoTextSection));
+}
+
+#[test]
+fn garbage_text_is_a_decode_error() {
+    let image = BinaryImage::new(vec![Section::new(
+        SectionKind::Text,
+        Addr::new(0x1000),
+        vec![0xff, 0xfe, 0xfd],
+    )]);
+    assert!(matches!(LoadedBinary::load(image), Err(LoadError::Decode(_))));
+}
+
+#[test]
+fn text_without_prologue_is_rejected() {
+    // 0x02 = ret: valid instruction, but no `enter` at the start.
+    let image = BinaryImage::new(vec![Section::new(
+        SectionKind::Text,
+        Addr::new(0x1000),
+        vec![0x02],
+    )]);
+    assert!(matches!(
+        LoadedBinary::load(image),
+        Err(LoadError::NoPrologueAtStart { .. })
+    ));
+}
+
+#[test]
+fn truncated_text_section_is_detected() {
+    let compiled = sample();
+    let image = compiled.stripped_image();
+    let text = image.section(SectionKind::Text).unwrap();
+    // Chop two bytes off: the trailing 1-byte `ret` plus the final byte
+    // of the preceding multi-byte instruction, so the cut is guaranteed
+    // to land mid-instruction.
+    let truncated = Section::new(
+        SectionKind::Text,
+        text.base(),
+        text.bytes()[..text.len() - 2].to_vec(),
+    );
+    let mut sections = vec![truncated];
+    sections.extend(
+        image
+            .sections()
+            .iter()
+            .filter(|s| s.kind() != SectionKind::Text)
+            .cloned(),
+    );
+    let broken = BinaryImage::new(sections);
+    assert!(matches!(LoadedBinary::load(broken), Err(LoadError::Decode(_))));
+}
+
+#[test]
+fn corrupted_vtable_slot_degrades_gracefully() {
+    // Overwrite the middle of a vtable with a non-function value: the
+    // scanner truncates the table instead of failing.
+    let compiled = sample();
+    let image = compiled.stripped_image();
+    let rodata = image.section(SectionKind::RoData).unwrap();
+    let vt = compiled.vtable_of("B").expect("B exists");
+    let mut bytes = rodata.bytes().to_vec();
+    let off = (vt.value() - rodata.base().value()) as usize + 8; // slot 1
+    bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let mut sections: Vec<Section> = image
+        .sections()
+        .iter()
+        .filter(|s| s.kind() != SectionKind::RoData)
+        .cloned()
+        .collect();
+    sections.push(Section::new(SectionKind::RoData, rodata.base(), bytes));
+    let patched = BinaryImage::new(sections);
+    let loaded = LoadedBinary::load(patched).expect("still loads");
+    let b_table = loaded.vtable_at(vt).expect("table still found");
+    assert_eq!(b_table.len(), 1, "table truncated at the corrupted slot");
+    // The pipeline still runs.
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    assert!(recon.hierarchy.len() >= 1);
+}
+
+#[test]
+fn binary_without_any_vtables_reconstructs_nothing() {
+    let mut p = ProgramBuilder::new();
+    p.func("pure_code", |f| {
+        f.let_("x", rock::minicpp::Expr::Const(42));
+        f.ret_val(rock::minicpp::Expr::Var("x".into()));
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    assert!(loaded.vtables().is_empty());
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    assert!(recon.hierarchy.is_empty());
+    assert!(recon.structural.families().is_empty());
+}
+
+#[test]
+fn single_type_binary_is_a_trivial_hierarchy() {
+    let mut p = ProgramBuilder::new();
+    p.class("Only").method("m", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("o", "Only");
+        f.vcall("o", "m", vec![]);
+        f.ret();
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let only = compiled.vtable_of("Only").unwrap();
+    assert_eq!(recon.parent_of(only), None);
+    assert_eq!(recon.hierarchy.len(), 1);
+}
+
+#[test]
+fn unused_types_still_get_a_place_in_the_hierarchy() {
+    // A class that is never instantiated by any driver: no behavioral
+    // data at all. The pipeline must still assign it a position (possibly
+    // root) without failing.
+    let mut p = ProgramBuilder::new();
+    p.class("Used").method("m", |b| {
+        b.ret();
+    });
+    p.class("Never").base("Used").method("n", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("u", "Used");
+        f.vcall("u", "m", vec![]);
+        f.ret();
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let never = compiled.vtable_of("Never").unwrap();
+    assert!(recon.hierarchy.contains(&never));
+    // Structural pinning still works via the (emitted but uncalled) ctor?
+    // No ctor call exists, so the pin comes from the ctor *function*
+    // calling its parent ctor — which is enough.
+    let used = compiled.vtable_of("Used").unwrap();
+    assert_eq!(recon.parent_of(never), Some(used));
+}
+
+#[test]
+fn extreme_configs_do_not_crash() {
+    let compiled = sample();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    for (paths, depth, len) in [(1usize, 0usize, 1usize), (2, 1, 2), (128, 5, 20)] {
+        let mut config = RockConfig::paper();
+        config.analysis.max_paths = paths;
+        config.analysis.slm_depth = depth;
+        config.analysis.tracelet_len = len;
+        let recon = Rock::new(config).reconstruct(&loaded);
+        assert_eq!(recon.hierarchy.len(), loaded.vtables().len());
+    }
+}
+
+fn sample() -> rock::minicpp::Compiled {
+    let mut p = ProgramBuilder::new();
+    p.class("A").method("m0", |b| {
+        b.ret();
+    });
+    p.class("B").base("A").method("m1", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("b", "B");
+        f.vcall("b", "m0", vec![]);
+        f.vcall("b", "m1", vec![]);
+        f.ret();
+    });
+    compile(&p.finish(), &CompileOptions::default()).unwrap()
+}

@@ -1,0 +1,87 @@
+//! Tests of the public workload-generator API (`suite::generate_program`
+//! + `ClassSpec`) — the interface downstream users get for synthesizing
+//! benchmarks with controlled structural characters.
+
+use rock::core::suite::{generate_program, ClassSpec};
+use rock::core::{evaluate, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+use rock::minicpp::{compile, CompileOptions};
+
+#[test]
+fn custom_hierarchy_roundtrips() {
+    // A diamond-free 5-type shape with one override-heavy sibling.
+    let mut specs = vec![ClassSpec::node(None, 2, 0)];
+    specs.push(ClassSpec::node(Some(0), 1, 1));
+    specs.push(ClassSpec { overrides: 2, ..ClassSpec::node(Some(0), 0, 2) });
+    specs.push(ClassSpec::node(Some(1), 1, 3));
+    specs.push(ClassSpec::node(Some(2), 2, 4));
+    let program = generate_program("custom", &specs);
+    assert_eq!(program.classes.len(), 5);
+    // One driver per concrete class.
+    assert_eq!(program.functions.len(), 5);
+
+    let compiled = compile(&program, &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let eval = evaluate(&compiled, &recon);
+    assert_eq!(eval.with_slm.avg_missing, 0.0);
+    assert_eq!(eval.with_slm.avg_added, 0.0);
+}
+
+#[test]
+fn abstract_specs_produce_no_drivers() {
+    let specs = vec![
+        ClassSpec { is_abstract: true, ..ClassSpec::node(None, 2, 0) },
+        ClassSpec::node(Some(0), 1, 1),
+    ];
+    let program = generate_program("abs", &specs);
+    assert_eq!(program.functions.len(), 1, "only the concrete class gets a driver");
+    // With elimination on, only one type survives.
+    let mut opts = CompileOptions::default();
+    opts.eliminate_abstract = true;
+    let compiled = compile(&program, &opts).unwrap();
+    assert_eq!(compiled.vtables().len(), 1);
+    assert_eq!(compiled.ground_truth().parent_of("abs_C1"), None);
+}
+
+#[test]
+fn equal_body_seeds_fold_under_comdat() {
+    // Two same-shaped root classes with equal body seeds: COMDAT merges
+    // their implementations, linking the families (error source 1 on
+    // demand).
+    let mut specs = vec![ClassSpec::node(None, 2, 0), ClassSpec::node(None, 2, 1)];
+    specs[0].body_seed = 42;
+    specs[1].body_seed = 42;
+    let program = generate_program("fold", &specs);
+    let mut opts = CompileOptions::default();
+    opts.comdat_fold = true;
+    let compiled = compile(&program, &opts).unwrap();
+    assert!(!compiled.folded_functions().is_empty());
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    assert_eq!(recon.structural.families().len(), 1, "folding merges the families");
+}
+
+#[test]
+fn inline_ctor_severs_exactly_one_link() {
+    // 0 -> 1 -> 2 chain; class 1's ctor inlined into 2, and 2 overrides
+    // everything: the 1-2 link leaves no structural trace, 0-1 keeps its
+    // pin.
+    let specs = vec![
+        ClassSpec::node(None, 1, 0),
+        ClassSpec { inline_ctor: true, ..ClassSpec::node(Some(0), 1, 1) },
+        ClassSpec { overrides: usize::MAX, own_methods: 1, ..ClassSpec::node(Some(1), 1, 2) },
+    ];
+    let program = generate_program("sever", &specs);
+    let compiled = compile(&program, &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let c0 = compiled.vtable_of("sever_C0").unwrap();
+    let c1 = compiled.vtable_of("sever_C1").unwrap();
+    assert_eq!(recon.structural.pinned().get(&c1), Some(&c0), "0-1 pin intact");
+    // But class 2 fell out of the family: note its ctor inlines 1's,
+    // which *calls 0's ctor* (grandparent leak — exactly how real
+    // single-level inlining behaves), so 2 is pinned to 0 instead.
+    let c2 = compiled.vtable_of("sever_C2").unwrap();
+    assert_eq!(recon.structural.pinned().get(&c2), Some(&c0), "grandparent leak");
+}

@@ -1,0 +1,133 @@
+//! Property-based integration tests: random class hierarchies round-trip
+//! through compile → strip → load → reconstruct with sound invariants.
+
+use proptest::prelude::*;
+use rock::core::{evaluate, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+use rock::minicpp::{compile, CompileOptions, Expr, Program, ProgramBuilder};
+
+/// A random forest over `n` classes: parent[i] < i or none.
+fn arb_forest() -> impl Strategy<Value = Vec<Option<usize>>> {
+    (2usize..9).prop_flat_map(|n| {
+        let mut parts: Vec<BoxedStrategy<Option<usize>>> = Vec::new();
+        for i in 0..n {
+            if i == 0 {
+                parts.push(Just(None).boxed());
+            } else {
+                parts.push(
+                    prop_oneof![
+                        2 => (0..i).prop_map(Some),
+                        1 => Just(None),
+                    ]
+                    .boxed(),
+                );
+            }
+        }
+        parts
+    })
+}
+
+/// Turns a parent forest into a program with distinctive drivers.
+fn program_from_forest(parents: &[Option<usize>]) -> Program {
+    let mut p = ProgramBuilder::new();
+    for (i, parent) in parents.iter().enumerate() {
+        let mut cb = p.class(format!("C{i}"));
+        if let Some(pi) = parent {
+            cb.base(format!("C{pi}"));
+        }
+        cb.field(format!("f{i}"));
+        cb.method(format!("m{i}"), move |b| {
+            b.write("this", format!("f{i}"), Expr::Const(i as u64 + 1));
+            b.ret();
+        });
+    }
+    for (i, _) in parents.iter().enumerate() {
+        // Chain of methods from root to self.
+        let mut chain = vec![i];
+        let mut cur = parents[i];
+        while let Some(pi) = cur {
+            chain.push(pi);
+            cur = parents[pi];
+        }
+        chain.reverse();
+        p.func(format!("drive{i}"), move |f| {
+            f.new_obj("o", format!("C{i}"));
+            for (pos, a) in chain.iter().enumerate() {
+                for _ in 0..=(pos % 3) {
+                    f.vcall("o", format!("m{a}"), vec![]);
+                }
+            }
+            f.ret();
+        });
+    }
+    p.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Debug builds (ctor pins intact) reconstruct every random forest
+    /// exactly.
+    #[test]
+    fn debug_builds_reconstruct_exactly(parents in arb_forest()) {
+        let program = program_from_forest(&parents);
+        let compiled = compile(&program, &CompileOptions::default()).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        let eval = evaluate(&compiled, &recon);
+        prop_assert_eq!(eval.with_slm.avg_missing, 0.0);
+        prop_assert_eq!(eval.with_slm.avg_added, 0.0);
+    }
+
+    /// The reconstructed hierarchy is always a forest over exactly the
+    /// discovered vtables, regardless of optimization level.
+    #[test]
+    fn reconstruction_is_always_a_forest(parents in arb_forest(), optimized in any::<bool>()) {
+        let program = program_from_forest(&parents);
+        let options = if optimized {
+            let mut o = CompileOptions::default();
+            o.inline_parent_ctors = true;
+            o
+        } else {
+            CompileOptions::default()
+        };
+        let compiled = compile(&program, &options).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        prop_assert_eq!(recon.hierarchy.len(), loaded.vtables().len());
+        prop_assert!(recon.hierarchy.is_acyclic());
+        // Chosen parents respect the structural relation.
+        for node in recon.hierarchy.nodes() {
+            if let Some(parent) = recon.hierarchy.parent_of(node) {
+                prop_assert!(
+                    recon.structural.possible_parents().is_possible(*parent, *node)
+                );
+            }
+        }
+    }
+
+    /// With-SLM added types never exceed the without-SLM baseline: the
+    /// paper's headline claim, as an invariant.
+    #[test]
+    fn slm_never_hurts_added_types(parents in arb_forest()) {
+        let program = program_from_forest(&parents);
+        let mut options = CompileOptions::default();
+        options.inline_parent_ctors = true;
+        let compiled = compile(&program, &options).unwrap();
+        let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        let eval = evaluate(&compiled, &recon);
+        prop_assert!(eval.with_slm.avg_added <= eval.without_slm.avg_added + 1e-9);
+    }
+
+    /// Ground truth and binary agree on the number of types for any
+    /// forest and any optimization setting without abstract classes.
+    #[test]
+    fn type_counts_agree(parents in arb_forest(), optimized in any::<bool>()) {
+        let program = program_from_forest(&parents);
+        let options = if optimized { CompileOptions::optimized() } else { CompileOptions::default() };
+        let compiled = compile(&program, &options).unwrap();
+        prop_assert_eq!(compiled.ground_truth().len(), parents.len());
+        prop_assert_eq!(compiled.vtables().len(), parents.len());
+    }
+}

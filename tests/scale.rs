@@ -1,0 +1,56 @@
+//! Scale test: the "Skype" soak of §6.1 — a large generated binary with
+//! no ground-truth comparison, exercised end to end to show the pipeline
+//! handles realistic sizes (the paper: "we also successfully analyzed the
+//! binary of Skype (21.6 Mb), but do not report these results as we had
+//! no groundtruth").
+
+use rock::core::{suite, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+
+#[test]
+fn large_binary_end_to_end() {
+    // 3 families × (1 + 3 + 9) = 39 types, plus drivers/ctors/dtors:
+    // several hundred functions.
+    let bench = suite::stress_program(3, 3, 3);
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    assert_eq!(loaded.vtables().len(), 39);
+    assert!(loaded.functions().len() > 150, "{} functions", loaded.functions().len());
+
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    assert_eq!(recon.hierarchy.len(), 39);
+    assert!(recon.hierarchy.is_acyclic());
+
+    // Optimized build => no pins; the arborescence still recovers the
+    // exact forest on this (clean, well-differentiated) workload.
+    let eval = rock::core::evaluate(&compiled, &recon);
+    assert_eq!(eval.num_types, 39);
+    assert!(
+        eval.with_slm.avg_missing + eval.with_slm.avg_added
+            <= (eval.without_slm.avg_missing + eval.without_slm.avg_added).max(1.0),
+        "with: {}/{}, without: {}/{}",
+        eval.with_slm.avg_missing,
+        eval.with_slm.avg_added,
+        eval.without_slm.avg_missing,
+        eval.without_slm.avg_added,
+    );
+}
+
+#[test]
+fn analysis_is_linear_ish_in_procedures() {
+    // Doubling the program should not blow analysis cost up
+    // super-linearly; assert via structure (the per-function analysis
+    // touches each function once).
+    use rock::analysis::{extract_tracelets, AnalysisConfig};
+    let small = suite::stress_program(1, 3, 2);
+    let large = suite::stress_program(4, 3, 2);
+    let cs = small.compile().unwrap();
+    let cl = large.compile().unwrap();
+    let ls = LoadedBinary::load(cs.stripped_image()).unwrap();
+    let ll = LoadedBinary::load(cl.stripped_image()).unwrap();
+    assert!(ll.functions().len() >= 3 * ls.functions().len());
+    let a_small = extract_tracelets(&ls, &AnalysisConfig::default());
+    let a_large = extract_tracelets(&ll, &AnalysisConfig::default());
+    // Tracelet volume scales with the binary, and both complete.
+    assert!(a_large.tracelets().total() >= 3 * a_small.tracelets().total() / 2);
+}

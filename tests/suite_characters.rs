@@ -1,0 +1,180 @@
+//! Tests that the synthetic benchmarks actually exhibit the *structural
+//! characters* the paper attributes to their originals (§6.4's case
+//! studies) — these properties are what make Table 2 meaningful.
+
+use rock::core::{evaluate, suite, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+
+fn setup(name: &str) -> (rock::minicpp::Compiled, rock::core::Reconstruction) {
+    let bench = suite::benchmark(name).expect("suite benchmark");
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    (compiled, recon)
+}
+
+#[test]
+fn echoparams_types_are_structurally_equivalent() {
+    // §6.4: "the structural analysis ... was incapable of eliminating any
+    // possible parents for any of the types since they are structurally
+    // equivalent. Thus, structural analysis alone resulted in 3 possible
+    // parents for each type."
+    let (compiled, recon) = setup("echoparams");
+    assert_eq!(recon.structural.families().len(), 1, "one family");
+    for (_, vt) in compiled.vtables() {
+        assert_eq!(
+            recon.possible_parents_of(*vt).len(),
+            3,
+            "every type must have 3 candidate parents"
+        );
+    }
+    assert!(!recon.structural.is_structurally_resolved());
+    // All four vtables have the same slot count.
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let lens: Vec<usize> = loaded.vtables().iter().map(|v| v.len()).collect();
+    assert!(lens.windows(2).all(|w| w[0] == w[1]), "equal vtable lengths: {lens:?}");
+    // And the SLMs fully de-ambiguate the added types.
+    let eval = evaluate(&compiled, &recon);
+    assert_eq!(eval.with_slm.avg_added, 0.0);
+    assert!(eval.without_slm.avg_added > 1.0);
+}
+
+#[test]
+fn tinyxml_root_is_split_into_its_own_family() {
+    // §6.4: "The structural analysis found no evidence that the root was
+    // related to any of the other types and therefore placed it in a
+    // separate type family. As a result, the root type lost all of its
+    // children, 8 in total."
+    let (compiled, recon) = setup("tinyxml");
+    let root_vt = compiled.vtable_of("tinyxml_C0").expect("root exists");
+    let root_family = recon.structural.family_of(root_vt).expect("in a family");
+    assert_eq!(root_family, &[root_vt], "the root sits alone");
+    assert_eq!(recon.structural.families().len(), 2);
+
+    let gt = compiled.ground_truth();
+    assert_eq!(gt.successors("tinyxml_C0").len(), 8, "GT root has all 8 successors");
+    let eval = evaluate(&compiled, &recon);
+    // Exactly the paper's 0.89 = 8 missing / 9 types, no added.
+    assert!((eval.with_slm.avg_missing - 8.0 / 9.0).abs() < 1e-9);
+    assert_eq!(eval.with_slm.avg_added, 0.0);
+    // 8 of 9 types have no missing successors ("which we consider a good
+    // result in practice").
+    let clean = eval
+        .with_slm
+        .per_type
+        .values()
+        .filter(|(m, _)| *m == 0)
+        .count();
+    assert_eq!(clean, 8);
+}
+
+#[test]
+fn td_unittest_folding_merges_unrelated_types() {
+    // Error source 1: "the compiler sometimes placed pointers to the same
+    // virtual function implementation in the virtual table of unrelated
+    // types, causing these types to be placed in the same family."
+    let (compiled, recon) = setup("td_unittest");
+    assert!(!compiled.folded_functions().is_empty(), "COMDAT folding must fire");
+    assert_eq!(
+        recon.structural.families().len(),
+        1,
+        "the two unrelated types share a family"
+    );
+    let gt = compiled.ground_truth();
+    assert_eq!(gt.roots().len(), 2, "ground truth keeps them unrelated");
+    let eval = evaluate(&compiled, &recon);
+    // The paper's exact numbers: without 0/1.0, with 0/0.5.
+    assert_eq!(eval.without_slm.avg_added, 1.0);
+    assert_eq!(eval.with_slm.avg_added, 0.5);
+    assert_eq!(eval.with_slm.avg_missing, 0.0);
+}
+
+#[test]
+fn cgridlistctrlex_abstract_roots_are_gone() {
+    // Fig. 9: CEdit and CDialog cannot be instantiated and are optimized
+    // out of the binary; each child pair still clusters into one family.
+    let (compiled, recon) = setup("CGridListCtrlEx");
+    assert_eq!(compiled.vtable_of("CGridListCtrlEx_C24"), None);
+    assert_eq!(compiled.vtable_of("CGridListCtrlEx_C27"), None);
+    for (a, b) in [
+        ("CGridListCtrlEx_C25", "CGridListCtrlEx_C26"),
+        ("CGridListCtrlEx_C28", "CGridListCtrlEx_C29"),
+    ] {
+        let va = compiled.vtable_of(a).unwrap();
+        let vb = compiled.vtable_of(b).unwrap();
+        assert_eq!(
+            recon.structural.family_of(va),
+            recon.structural.family_of(vb),
+            "orphaned siblings {a}/{b} share inherited impls -> one family"
+        );
+    }
+}
+
+#[test]
+fn smoothing_has_a_wide_ambiguous_family() {
+    let (compiled, recon) = setup("Smoothing");
+    // The wide family: 15 equal-length vtables.
+    let widest = recon
+        .structural
+        .families()
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap();
+    assert!(widest >= 15, "widest family has {widest} members");
+    assert!(!recon.structural.is_structurally_resolved());
+    let eval = evaluate(&compiled, &recon);
+    // The paper's headline: a large added-type blowup without SLMs,
+    // collapsed by the behavioral ranking.
+    assert!(eval.without_slm.avg_added > 5.0);
+    assert!(eval.with_slm.avg_added < eval.without_slm.avg_added / 3.0);
+}
+
+#[test]
+fn resolvable_benchmarks_really_resolve() {
+    for name in ["AntispyComplete", "cppcheck", "MidiLib", "patl", "pop3", "smtp", "yafc"] {
+        let (compiled, recon) = setup(name);
+        assert!(
+            recon.structural.is_structurally_resolved(),
+            "{name} should be structurally resolved"
+        );
+        let eval = evaluate(&compiled, &recon);
+        assert_eq!(eval.with_slm.avg_missing, 0.0, "{name}");
+        assert_eq!(eval.with_slm.avg_added, 0.0, "{name}");
+    }
+}
+
+#[test]
+fn repartitioning_heals_the_tinyxml_split() {
+    // The §6.4 future-work extension: behavioral family repartitioning
+    // recovers the root's 8 lost children (missing 0.89 -> 0.00) by
+    // reattaching the split family's root under the isolated root —
+    // pure behavioral evidence, no structural link in the binary at all.
+    let bench = suite::benchmark("tinyxml").expect("suite benchmark");
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let recon =
+        Rock::new(RockConfig::paper().with_repartitioning()).reconstruct(&loaded);
+    let eval = evaluate(&compiled, &recon);
+    assert_eq!(eval.with_slm.avg_missing, 0.0, "{:?}", eval.with_slm.per_type);
+    assert_eq!(eval.with_slm.avg_added, 0.0);
+    // The healed edge is the true one: C1's parent is the root C0.
+    let c0 = compiled.vtable_of("tinyxml_C0").unwrap();
+    let c1 = compiled.vtable_of("tinyxml_C1").unwrap();
+    assert_eq!(recon.parent_of(c1), Some(c0));
+}
+
+#[test]
+fn k_parents_tradeoff_is_monotone() {
+    // §6.4 "Applying CFI": more parents -> fewer missing, more added.
+    let (compiled, recon) = setup("gperf");
+    let mut last_missing = f64::INFINITY;
+    for k in 1..=3 {
+        let d = rock::core::evaluate_k_parents(&compiled, &recon, k);
+        assert!(d.avg_missing <= last_missing + 1e-9, "k={k}");
+        last_missing = d.avg_missing;
+    }
+    let d1 = rock::core::evaluate_k_parents(&compiled, &recon, 1);
+    let d3 = rock::core::evaluate_k_parents(&compiled, &recon, 3);
+    assert!(d3.avg_added >= d1.avg_added, "payload grows with k");
+}

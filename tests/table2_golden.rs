@@ -1,0 +1,73 @@
+//! Golden regression test for Table 2: the pipeline is fully
+//! deterministic, so the measured application distances are pinned here
+//! (with a small tolerance for benign algorithmic adjustments). A failure
+//! means the reconstruction quality moved — deliberately or not.
+
+use rock::core::{evaluate, suite, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+
+/// (name, without (missing, added), with (missing, added)).
+const GOLDEN: &[(&str, (f64, f64), (f64, f64))] = &[
+    ("AntispyComplete", (0.00, 0.00), (0.00, 0.00)),
+    ("bafprp", (0.13, 0.00), (0.13, 0.00)),
+    ("cppcheck", (0.00, 0.00), (0.00, 0.00)),
+    ("MidiLib", (0.00, 0.00), (0.00, 0.00)),
+    ("patl", (0.00, 0.00), (0.00, 0.00)),
+    ("pop3", (0.00, 0.00), (0.00, 0.00)),
+    ("smtp", (0.00, 0.00), (0.00, 0.00)),
+    ("tinyxml", (0.89, 0.00), (0.89, 0.00)),
+    ("tinyxmlSTL", (0.20, 0.00), (0.20, 0.00)),
+    ("yafc", (0.00, 0.00), (0.00, 0.00)),
+    ("Analyzer", (0.00, 13.08), (0.79, 2.17)),
+    ("CGridListCtrlEx", (0.00, 0.14), (0.00, 0.07)),
+    ("echoparams", (0.00, 1.50), (0.25, 0.00)),
+    ("gperf", (0.00, 7.50), (0.40, 1.20)),
+    ("libctemplate", (0.00, 4.25), (0.08, 0.78)),
+    ("ShowTraf", (0.00, 0.12), (0.00, 0.04)),
+    ("Smoothing", (0.00, 9.94), (0.29, 1.71)),
+    ("td_unittest", (0.00, 1.00), (0.00, 0.50)),
+    ("tinyserver", (0.00, 1.50), (0.25, 0.75)),
+];
+
+/// Allowed drift before the golden test fires. The resolvable half is
+/// structural-only and must stay exact; the behavioral half may move a
+/// little under deliberate tuning.
+const TOLERANCE: f64 = 0.35;
+
+#[test]
+fn table2_matches_golden_values() {
+    let rock = Rock::new(RockConfig::paper());
+    for (name, want_without, want_with) in GOLDEN {
+        let bench = suite::benchmark(name).expect("benchmark exists");
+        let compiled = bench.compile().expect("compiles");
+        let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+        let eval = evaluate(&compiled, &rock.reconstruct(&loaded));
+        let got_without = (eval.without_slm.avg_missing, eval.without_slm.avg_added);
+        let got_with = (eval.with_slm.avg_missing, eval.with_slm.avg_added);
+        let tol = if bench.structurally_resolvable { 0.02 } else { TOLERANCE };
+        for (label, got, want) in [
+            ("without.missing", got_without.0, want_without.0),
+            ("without.added", got_without.1, want_without.1),
+            ("with.missing", got_with.0, want_with.0),
+            ("with.added", got_with.1, want_with.1),
+        ] {
+            assert!(
+                (got - want).abs() <= tol,
+                "{name} {label}: got {got:.3}, golden {want:.3} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    // Two runs over the same binary produce byte-identical hierarchies.
+    let bench = suite::benchmark("Smoothing").expect("exists");
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let rock = Rock::new(RockConfig::paper());
+    let a = rock.reconstruct(&loaded);
+    let b = rock.reconstruct(&loaded);
+    assert_eq!(a.hierarchy, b.hierarchy);
+    assert_eq!(a.distances, b.distances);
+}
