@@ -34,11 +34,7 @@ impl CtorMap {
 
     /// The *primary* vtable (offset-0 store) of a ctor-like function.
     pub fn primary_vtable_of(&self, f: Addr) -> Option<Addr> {
-        self.stores
-            .get(&f)?
-            .iter()
-            .find(|(off, _)| *off == 0)
-            .map(|(_, vt)| *vt)
+        self.stores.get(&f)?.iter().find(|(off, _)| *off == 0).map(|(_, vt)| *vt)
     }
 
     /// All ctor-like functions.

@@ -71,17 +71,14 @@ mod tests {
             Event::Call(Addr::new(0x1000)),
         ];
         let shown: Vec<String> = events.iter().map(ToString::to_string).collect();
-        assert_eq!(
-            shown,
-            vec!["C(2)", "R(8)", "W(16)", "this", "Arg(1)", "ret", "call(0x1000)"]
-        );
+        assert_eq!(shown, vec!["C(2)", "R(8)", "W(16)", "this", "Arg(1)", "ret", "call(0x1000)"]);
         let kinds: Vec<&str> = events.iter().map(Event::kind).collect();
         assert_eq!(kinds, vec!["C", "R", "W", "this", "Arg", "ret", "call"]);
     }
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Event::Ret, Event::C(1), Event::C(0), Event::This];
+        let mut v = [Event::Ret, Event::C(1), Event::C(0), Event::This];
         v.sort();
         assert_eq!(v[0], Event::C(0));
         assert_eq!(v[1], Event::C(1));

@@ -131,11 +131,8 @@ pub fn execute_function(
         visits: BTreeMap<Addr, usize>,
     }
 
-    let mut stack = vec![Frame {
-        block: cfg.entry(),
-        state: State::entry(),
-        visits: BTreeMap::new(),
-    }];
+    let mut stack =
+        vec![Frame { block: cfg.entry(), state: State::entry(), visits: BTreeMap::new() }];
 
     while let Some(mut frame) = stack.pop() {
         if results.len() >= config.max_paths {
@@ -345,17 +342,14 @@ mod tests {
     use super::*;
     use rock_binary::{ImageBuilder, Instr};
 
-    fn exec_single(
-        build: impl FnOnce(&mut ImageBuilder),
-    ) -> (Vec<PathResult>, LoadedBinary) {
+    fn exec_single(build: impl FnOnce(&mut ImageBuilder)) -> (Vec<PathResult>, LoadedBinary) {
         let mut b = ImageBuilder::new();
         build(&mut b);
         let mut image = b.finish();
         image.strip();
         let loaded = LoadedBinary::load(image).unwrap();
         let f = &loaded.functions()[0];
-        let results =
-            execute_function(f, &loaded, &CtorMap::default(), &AnalysisConfig::default());
+        let results = execute_function(f, &loaded, &CtorMap::default(), &AnalysisConfig::default());
         (results, loaded.clone())
     }
 
@@ -398,8 +392,7 @@ mod tests {
         // exec_single runs functions()[0] = A::m; run the ctor instead.
         let f = loaded.function_containing(loaded.functions()[1].entry()).unwrap();
         let res = execute_function(f, &loaded, &CtorMap::default(), &AnalysisConfig::default());
-        let entry =
-            res[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
+        let entry = res[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
         assert_eq!(entry.vtable, Some(loaded.vtables()[0].addr()));
         // The vtable store is not a W event.
         assert!(!entry.events.contains(&Event::W(0)));
@@ -431,8 +424,7 @@ mod tests {
         let driver = &loaded.functions()[1];
         let res =
             execute_function(driver, &loaded, &CtorMap::default(), &AnalysisConfig::default());
-        let entry =
-            res[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
+        let entry = res[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
         assert_eq!(entry.events, vec![Event::C(1)]);
     }
 
@@ -457,8 +449,7 @@ mod tests {
         let res =
             execute_function(driver, &loaded, &CtorMap::default(), &AnalysisConfig::default());
         let callee_entry = loaded.functions()[0].entry();
-        let entry =
-            res[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
+        let entry = res[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
         assert_eq!(entry.events, vec![Event::This, Event::Call(callee_entry)]);
     }
 
@@ -477,11 +468,7 @@ mod tests {
         assert_eq!(results.len(), 2);
         let with_read = results
             .iter()
-            .filter(|r| {
-                r.subobjects
-                    .iter()
-                    .any(|s| s.events.contains(&Event::R(8)))
-            })
+            .filter(|r| r.subobjects.iter().any(|s| s.events.contains(&Event::R(8))))
             .count();
         assert_eq!(with_read, 1, "exactly one path reads the field");
     }
@@ -520,11 +507,7 @@ mod tests {
             b.push(Instr::Ret);
             b.end_function();
         });
-        let entry = results[0]
-            .subobjects
-            .iter()
-            .find(|s| s.view.obj == ObjId::ENTRY)
-            .unwrap();
+        let entry = results[0].subobjects.iter().find(|s| s.view.obj == ObjId::ENTRY).unwrap();
         assert!(entry.events.contains(&Event::R(24)));
     }
 
@@ -541,11 +524,7 @@ mod tests {
             b.end_function();
         });
         // Both leas denote the same object: W(8) then R(8) on one view.
-        let obj_sub = results[0]
-            .subobjects
-            .iter()
-            .find(|s| s.view.obj != ObjId::ENTRY)
-            .unwrap();
+        let obj_sub = results[0].subobjects.iter().find(|s| s.view.obj != ObjId::ENTRY).unwrap();
         assert_eq!(obj_sub.events, vec![Event::W(8), Event::R(8)]);
     }
 

@@ -78,11 +78,7 @@ impl TypeTracelets {
 
 impl fmt::Display for TraceletStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} tracelets, {} events, |Σ|={}",
-            self.tracelets, self.events, self.alphabet
-        )?;
+        write!(f, "{} tracelets, {} events, |Σ|={}", self.tracelets, self.events, self.alphabet)?;
         for (k, n) in &self.by_kind {
             write!(f, ", {k}:{n}")?;
         }
@@ -141,11 +137,8 @@ pub fn extract_tracelets(loaded: &LoadedBinary, config: &AnalysisConfig) -> Anal
     let mut tracelets = TypeTracelets::default();
 
     for f in loaded.functions() {
-        let host_vtables: Vec<Addr> = loaded
-            .vtables_containing(f.entry())
-            .iter()
-            .map(|vt| vt.addr())
-            .collect();
+        let host_vtables: Vec<Addr> =
+            loaded.vtables_containing(f.entry()).iter().map(|vt| vt.addr()).collect();
         for path in execute_function(f, loaded, &ctors, config) {
             for sub in &path.subobjects {
                 if sub.events.is_empty() {
@@ -182,7 +175,7 @@ mod tests {
 
     #[test]
     fn windows_split() {
-        let e: Vec<Event> = (0..10).map(|i| Event::C(i)).collect();
+        let e: Vec<Event> = (0..10).map(Event::C).collect();
         let w = windows(&e, 7);
         assert_eq!(w.len(), 2);
         assert_eq!(w[0].len(), 7);
@@ -214,9 +207,8 @@ mod tests {
         let ts = analysis.tracelets().of_type(vt);
         assert!(!ts.is_empty());
         // Some tracelet contains two C(0) events (the two dispatches).
-        let has_double_dispatch = ts
-            .iter()
-            .any(|t| t.iter().filter(|e| **e == Event::C(0)).count() >= 2);
+        let has_double_dispatch =
+            ts.iter().any(|t| t.iter().filter(|e| **e == Event::C(0)).count() >= 2);
         assert!(has_double_dispatch, "tracelets: {ts:?}");
     }
 
@@ -265,13 +257,7 @@ mod tests {
         let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
         let vt_a = compiled.vtable_of("A").unwrap();
         let vt_b = compiled.vtable_of("B").unwrap();
-        let has_w8 = |vt| {
-            analysis
-                .tracelets()
-                .of_type(vt)
-                .iter()
-                .any(|t| t.contains(&Event::W(8)))
-        };
+        let has_w8 = |vt| analysis.tracelets().of_type(vt).iter().any(|t| t.contains(&Event::W(8)));
         assert!(has_w8(vt_a), "A should see W(8) from its method body");
         assert!(has_w8(vt_b), "B inherits the method, so it sees W(8) too");
     }

@@ -5,10 +5,7 @@ use rock_analysis::{extract_tracelets, AnalysisConfig, Event};
 use rock_loader::LoadedBinary;
 use rock_minicpp::{compile, CallArg, CompileOptions, Expr, ProgramBuilder};
 
-fn tracelets_for(
-    p: ProgramBuilder,
-    class: &str,
-) -> (Vec<Vec<Event>>, rock_minicpp::Compiled) {
+fn tracelets_for(p: ProgramBuilder, class: &str) -> (Vec<Vec<Event>>, rock_minicpp::Compiled) {
     let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
     let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
     let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
@@ -34,9 +31,7 @@ fn c_events_carry_slot_indices() {
         f.ret();
     });
     let (ts, _) = tracelets_for(p, "A");
-    let has = |needle: &[Event]| {
-        ts.iter().any(|t| t.windows(needle.len()).any(|w| w == needle))
-    };
+    let has = |needle: &[Event]| ts.iter().any(|t| t.windows(needle.len()).any(|w| w == needle));
     assert!(has(&[Event::C(1), Event::C(0), Event::C(1)]), "tracelets: {ts:?}");
 }
 
@@ -113,9 +108,7 @@ fn field_events_in_method_bodies() {
     });
     let (ts, _) = tracelets_for(p, "A");
     // x at offset 8, y at offset 16.
-    let has = ts
-        .iter()
-        .any(|t| t.windows(2).any(|w| w == [Event::R(8), Event::W(16)]));
+    let has = ts.iter().any(|t| t.windows(2).any(|w| w == [Event::R(8), Event::W(16)]));
     assert!(has, "tracelets: {ts:?}");
 }
 

@@ -20,20 +20,13 @@ fn bench_analysis(c: &mut Criterion) {
         let compiled = bench.compile().expect("compiles");
         let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
         let procs = loaded.functions().len();
-        group.bench_with_input(
-            BenchmarkId::new("procedures", procs),
-            &loaded,
-            |b, loaded| {
-                b.iter(|| {
-                    let a = extract_tracelets(
-                        std::hint::black_box(loaded),
-                        &AnalysisConfig::default(),
-                    );
-                    assert!(!a.tracelets().is_empty());
-                    a
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("procedures", procs), &loaded, |b, loaded| {
+            b.iter(|| {
+                let a = extract_tracelets(std::hint::black_box(loaded), &AnalysisConfig::default());
+                assert!(!a.tracelets().is_empty());
+                a
+            });
+        });
     }
     group.finish();
 }

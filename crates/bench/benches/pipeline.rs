@@ -1,10 +1,12 @@
 //! End-to-end pipeline cost on representative Table 2 benchmarks: one
 //! small structurally-resolved binary, the echoparams showcase, and the
-//! two largest families (Smoothing, Analyzer).
+//! two largest families (Smoothing, Analyzer) — plus the §6.1
+//! "Skype-scale" stress shape, serial vs. parallel, with a per-stage
+//! [`rock_core::StageTimings`] breakdown.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rock_core::suite::benchmark;
-use rock_core::{Rock, RockConfig};
+use rock_core::suite::{benchmark, stress_program};
+use rock_core::{Parallelism, Rock, RockConfig};
 use rock_loader::LoadedBinary;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -22,5 +24,69 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The same reconstruction, serial vs. 4 worker threads, on the largest
+/// suite shape. Results are bit-identical (asserted by
+/// `tests/parallel_determinism.rs`); only wall-clock should differ. The
+/// speedup scales with available cores — on a single-core host the
+/// threaded variant can only tie serial (minus scheduling overhead), so
+/// the detected core count is printed alongside the numbers.
+fn bench_parallelism(c: &mut Criterion) {
+    let bench = stress_program(3, 3, 3);
+    let compiled = bench.compile().expect("stress program compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("\ndetected hardware threads: {cores}");
+    if cores < 2 {
+        println!("(single-core host: expect parity, not speedup, from threads-4)");
+    }
+
+    let mut group = c.benchmark_group("rock_reconstruct_stress_3_3_3");
+    group.sample_size(10);
+    for (label, parallelism) in
+        [("serial", Parallelism::Serial), ("threads-4", Parallelism::Threads(4))]
+    {
+        // A fresh Rock per measured call keeps the distance cache cold,
+        // so both variants do the full quadratic work every iteration.
+        let config = RockConfig::paper().with_parallelism(parallelism);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &loaded, |b, loaded| {
+            b.iter(|| Rock::new(config).reconstruct(std::hint::black_box(loaded)));
+        });
+    }
+    group.finish();
+
+    // One instrumented run per variant: where the time actually goes.
+    for (label, parallelism) in
+        [("serial", Parallelism::Serial), ("threads-4", Parallelism::Threads(4))]
+    {
+        let config = RockConfig::paper().with_parallelism(parallelism);
+        let recon = Rock::new(config).reconstruct(&loaded);
+        println!("\nstress_program(3, 3, 3) [{label}]\n{}", recon.timings);
+    }
+}
+
+/// The distance cache's wall-clock contribution: the same binary
+/// reconstructed with a cold cache every iteration vs. a cache warmed by
+/// one prior pass (the repeated-pass shape of ablation sweeps and
+/// `k_most_likely_parents` queries). Warm passes skip every divergence.
+fn bench_distance_cache(c: &mut Criterion) {
+    let bench = stress_program(3, 3, 3);
+    let compiled = bench.compile().expect("stress program compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let config = RockConfig::paper();
+
+    let mut group = c.benchmark_group("rock_reconstruct_stress_3_3_3_cache");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("cold"), &loaded, |b, loaded| {
+        b.iter(|| Rock::new(config).reconstruct(std::hint::black_box(loaded)));
+    });
+    let warm = Rock::new(config);
+    warm.reconstruct(&loaded); // warm the shared cache once
+    group.bench_with_input(BenchmarkId::from_parameter("warm"), &loaded, |b, loaded| {
+        b.iter(|| warm.reconstruct(std::hint::black_box(loaded)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_parallelism, bench_distance_cache);
 criterion_main!(benches);

@@ -69,9 +69,8 @@ fn bench_divergence(c: &mut Criterion) {
             BenchmarkId::from_parameter(n),
             &(a, b_model),
             |bencher, (a, b_model)| {
-                bencher.iter(|| {
-                    kl_divergence(std::hint::black_box(a), std::hint::black_box(b_model))
-                });
+                bencher
+                    .iter(|| kl_divergence(std::hint::black_box(a), std::hint::black_box(b_model)));
             },
         );
     }

@@ -21,10 +21,7 @@ use rock_loader::LoadedBinary;
 use rock_vm::{dynamic_reconstruct, DynamicOptions};
 
 fn main() {
-    println!(
-        "{:<18} | {:>16} | {:>16}",
-        "benchmark", "dynamic (m/a)", "Rock static (m/a)"
-    );
+    println!("{:<18} | {:>16} | {:>16}", "benchmark", "dynamic (m/a)", "Rock static (m/a)");
     println!("{}", "-".repeat(60));
     let mut dyn_missing_total = 0.0;
     let mut rock_missing_total = 0.0;

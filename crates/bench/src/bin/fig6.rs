@@ -36,10 +36,7 @@ fn main() {
     assert!(d31 < d32);
     println!("\nchosen hierarchy:");
     for (class, vt) in compiled.vtables() {
-        let parent = recon
-            .parent_of(*vt)
-            .and_then(|p| compiled.class_of(p))
-            .unwrap_or("(root)");
+        let parent = recon.parent_of(*vt).and_then(|p| compiled.class_of(p)).unwrap_or("(root)");
         println!("  {class} : {parent}");
     }
 }

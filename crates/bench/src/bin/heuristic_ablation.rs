@@ -27,10 +27,8 @@ use rock_graph::Forest;
 use rock_loader::LoadedBinary;
 
 fn main() {
-    let benches: Vec<_> = all_benchmarks()
-        .into_iter()
-        .filter(|b| !b.structurally_resolvable)
-        .collect();
+    let benches: Vec<_> =
+        all_benchmarks().into_iter().filter(|b| !b.structurally_resolvable).collect();
 
     let mut totals: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
     println!(

@@ -12,10 +12,8 @@ use rock_core::{evaluate_k_parents, Rock, RockConfig};
 use rock_loader::LoadedBinary;
 
 fn main() {
-    let benches: Vec<_> = all_benchmarks()
-        .into_iter()
-        .filter(|b| !b.structurally_resolvable)
-        .collect();
+    let benches: Vec<_> =
+        all_benchmarks().into_iter().filter(|b| !b.structurally_resolvable).collect();
 
     println!("k-parents CFI trade-off (mean missing/added over the 9 behavioral benchmarks)");
     println!("{:<4} | {:>8} | {:>8}", "k", "missing", "added");
@@ -35,10 +33,7 @@ fn main() {
         missing /= benches.len() as f64;
         added /= benches.len() as f64;
         println!("{k:<4} | {missing:>8.3} | {added:>8.3}");
-        assert!(
-            missing <= prev_missing + 1e-9,
-            "missing must be non-increasing in k"
-        );
+        assert!(missing <= prev_missing + 1e-9, "missing must be non-increasing in k");
         prev_missing = missing;
     }
     println!("\nMore parents per type -> fewer missing (false negatives), more added");

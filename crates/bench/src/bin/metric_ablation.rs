@@ -10,16 +10,16 @@
 //! cargo run -p rock-bench --bin metric_ablation
 //! ```
 
-use rock_bench::run_benchmark;
+use std::sync::Arc;
+
+use rock_bench::run_benchmark_with;
 use rock_core::suite::all_benchmarks;
-use rock_core::RockConfig;
-use rock_slm::Metric;
+use rock_core::{Rock, RockConfig};
+use rock_slm::{DistanceCache, Metric};
 
 fn main() {
-    let benches: Vec<_> = all_benchmarks()
-        .into_iter()
-        .filter(|b| !b.structurally_resolvable)
-        .collect();
+    let benches: Vec<_> =
+        all_benchmarks().into_iter().filter(|b| !b.structurally_resolvable).collect();
 
     println!(
         "{:<18} | {:>13} | {:>13} | {:>13}",
@@ -29,9 +29,15 @@ fn main() {
 
     let mut totals = vec![(0.0, 0.0); Metric::ALL.len()];
     for bench in &benches {
+        // One distance cache per benchmark (cache keys are vtable
+        // addresses, valid only within one binary): the three metric
+        // passes share every pair divergence they have in common.
+        let cache = Arc::new(DistanceCache::new());
         let mut cells = Vec::new();
         for (mi, metric) in Metric::ALL.iter().enumerate() {
-            let eval = run_benchmark(bench, RockConfig::with_metric(*metric));
+            let rock =
+                Rock::with_shared_cache(RockConfig::with_metric(*metric), Arc::clone(&cache));
+            let eval = run_benchmark_with(bench, &rock);
             totals[mi].0 += eval.with_slm.avg_missing;
             totals[mi].1 += eval.with_slm.avg_added;
             cells.push(format!(
@@ -52,9 +58,7 @@ fn main() {
     let kl_err = totals[0].0 + totals[0].1;
     let js_err = totals[1].0 + totals[1].1;
     let jsd_err = totals[2].0 + totals[2].1;
-    println!(
-        "\ntotal error: KL {kl_err:.2}, JS-divergence {js_err:.2}, JS-distance {jsd_err:.2}"
-    );
+    println!("\ntotal error: KL {kl_err:.2}, JS-divergence {js_err:.2}, JS-distance {jsd_err:.2}");
     if kl_err <= js_err && kl_err <= jsd_err {
         println!("KL (asymmetric) wins — matches the paper's §6.4 observation.");
     } else {

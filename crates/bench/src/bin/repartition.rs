@@ -18,18 +18,14 @@ use rock_core::suite::all_benchmarks;
 use rock_core::RockConfig;
 
 fn main() {
-    println!(
-        "{:<18} | {:>15} | {:>15}",
-        "benchmark", "baseline (m/a)", "repartition (m/a)"
-    );
+    println!("{:<18} | {:>15} | {:>15}", "benchmark", "baseline (m/a)", "repartition (m/a)");
     println!("{}", "-".repeat(60));
     let mut base_total = (0.0, 0.0);
     let mut rep_total = (0.0, 0.0);
     let mut n = 0.0;
     for bench in all_benchmarks() {
         let base = run_benchmark(&bench, RockConfig::paper()).with_slm;
-        let rep =
-            run_benchmark(&bench, RockConfig::paper().with_repartitioning()).with_slm;
+        let rep = run_benchmark(&bench, RockConfig::paper().with_repartitioning()).with_slm;
         println!(
             "{:<18} | {:>6.2}/{:<7.2} | {:>6.2}/{:<7.2}",
             bench.name, base.avg_missing, base.avg_added, rep.avg_missing, rep.avg_added

@@ -14,10 +14,8 @@ use rock_core::suite::all_benchmarks;
 use rock_core::RockConfig;
 
 fn main() {
-    let benches: Vec<_> = all_benchmarks()
-        .into_iter()
-        .filter(|b| !b.structurally_resolvable)
-        .collect();
+    let benches: Vec<_> =
+        all_benchmarks().into_iter().filter(|b| !b.structurally_resolvable).collect();
 
     println!("== tracelet window length sweep (with-SLM mean missing/added) ==");
     for len in [3usize, 5, 7, 9, 12] {

@@ -43,9 +43,7 @@ impl Addr {
     ///
     /// Panics if `other > self`.
     pub fn offset_from(self, other: Addr) -> u64 {
-        self.0
-            .checked_sub(other.0)
-            .expect("offset_from: base address is above self")
+        self.0.checked_sub(other.0).expect("offset_from: base address is above self")
     }
 
     /// Checked addition of a byte delta.

@@ -8,8 +8,8 @@
 use std::collections::HashMap;
 
 use crate::{
-    encode_instr, encoded_len, Addr, BinaryImage, Instr, Reg, RttiRecord, Section,
-    SectionKind, Symbol, SymbolTable, WORD_SIZE,
+    encode_instr, encoded_len, Addr, BinaryImage, Instr, Reg, RttiRecord, Section, SectionKind,
+    Symbol, SymbolTable, WORD_SIZE,
 };
 
 /// Load address of the text section.
@@ -353,7 +353,7 @@ impl ImageBuilder {
         };
         for (vi, vt) in self.vtables.iter().enumerate() {
             emit_blobs(&mut ro_bytes, vi);
-            while ro_bytes.len() % WORD_SIZE as usize != 0 {
+            while !ro_bytes.len().is_multiple_of(WORD_SIZE as usize) {
                 ro_bytes.push(0);
             }
             vtable_addrs[vi] = rodata_base + ro_bytes.len() as u64;

@@ -164,17 +164,11 @@ pub fn decode_instr(bytes: &[u8], at: Addr) -> Result<(Instr, usize), DecodeErro
         OP_RET => Ok((Instr::Ret, 1)),
         OP_MOV_IMM => {
             need(rest, 9, at)?;
-            Ok((
-                Instr::MovImm { dst: reg(rest[0], at)?, imm: read_u64(&rest[1..9]) },
-                10,
-            ))
+            Ok((Instr::MovImm { dst: reg(rest[0], at)?, imm: read_u64(&rest[1..9]) }, 10))
         }
         OP_MOV_REG => {
             need(rest, 2, at)?;
-            Ok((
-                Instr::MovReg { dst: reg(rest[0], at)?, src: reg(rest[1], at)? },
-                3,
-            ))
+            Ok((Instr::MovReg { dst: reg(rest[0], at)?, src: reg(rest[1], at)? }, 3))
         }
         OP_LOAD => {
             need(rest, 6, at)?;
@@ -224,17 +218,14 @@ pub fn decode_instr(bytes: &[u8], at: Addr) -> Result<(Instr, usize), DecodeErro
         OP_BRANCH => {
             need(rest, 9, at)?;
             Ok((
-                Instr::Branch {
-                    cond: reg(rest[0], at)?,
-                    target: Addr::new(read_u64(&rest[1..9])),
-                },
+                Instr::Branch { cond: reg(rest[0], at)?, target: Addr::new(read_u64(&rest[1..9])) },
                 10,
             ))
         }
         OP_BINOP => {
             need(rest, 4, at)?;
-            let op = BinOp::from_code(rest[0])
-                .ok_or(DecodeError::BadBinOp { at, code: rest[0] })?;
+            let op =
+                BinOp::from_code(rest[0]).ok_or(DecodeError::BadBinOp { at, code: rest[0] })?;
             Ok((
                 Instr::BinOp {
                     op,
@@ -331,8 +322,7 @@ mod tests {
 
     #[test]
     fn bad_binop_code() {
-        let err =
-            decode_instr(&[super::OP_BINOP, 99, 0, 1, 2], Addr::new(0)).unwrap_err();
+        let err = decode_instr(&[super::OP_BINOP, 99, 0, 1, 2], Addr::new(0)).unwrap_err();
         assert_eq!(err, DecodeError::BadBinOp { at: Addr::new(0), code: 99 });
     }
 

@@ -62,10 +62,7 @@ mod tests {
     #[test]
     fn display_messages() {
         let at = Addr::new(0x10);
-        assert_eq!(
-            DecodeError::Truncated { at }.to_string(),
-            "truncated instruction at 0x10"
-        );
+        assert_eq!(DecodeError::Truncated { at }.to_string(), "truncated instruction at 0x10");
         assert_eq!(
             DecodeError::BadOpcode { at, opcode: 0xff }.to_string(),
             "invalid opcode 0xff at 0x10"

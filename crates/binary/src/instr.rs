@@ -188,10 +188,7 @@ pub enum Instr {
 impl Instr {
     /// Returns `true` for instructions that terminate a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(
-            self,
-            Instr::Ret | Instr::Jmp { .. } | Instr::Branch { .. } | Instr::Halt
-        )
+        matches!(self, Instr::Ret | Instr::Jmp { .. } | Instr::Branch { .. } | Instr::Halt)
     }
 
     /// Returns `true` if this instruction can fall through to the next one.

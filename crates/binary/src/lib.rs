@@ -55,8 +55,8 @@ pub use image::BinaryImage;
 pub use instr::{BinOp, Instr};
 pub use reg::Reg;
 pub use rtti::RttiRecord;
-pub use serialize::{image_from_bytes, image_to_bytes, ImageFormatError, MAGIC};
 pub use section::{Section, SectionKind};
+pub use serialize::{image_from_bytes, image_to_bytes, ImageFormatError, MAGIC};
 pub use symbol::{Symbol, SymbolTable};
 
 /// Size, in bytes, of one machine word (pointers, vtable slots).

@@ -17,12 +17,21 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Ret),
         (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::MovImm { dst, imm }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Instr::MovReg { dst, src }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, base, offset)| Instr::Load { dst, base, offset }),
-        (arb_reg(), any::<i32>(), arb_reg())
-            .prop_map(|(base, offset, src)| Instr::Store { base, offset, src }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, base, offset)| Instr::Lea { dst, base, offset }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, offset)| Instr::Load {
+            dst,
+            base,
+            offset
+        }),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(base, offset, src)| Instr::Store {
+            base,
+            offset,
+            src
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, offset)| Instr::Lea {
+            dst,
+            base,
+            offset
+        }),
         any::<u64>().prop_map(|a| Instr::Call { target: Addr::new(a) }),
         arb_reg().prop_map(|target| Instr::CallReg { target }),
         any::<u64>().prop_map(|a| Instr::Jmp { target: Addr::new(a) }),

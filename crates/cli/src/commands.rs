@@ -6,7 +6,7 @@ use std::fs;
 
 use rock_binary::{image_from_bytes, image_to_bytes, Addr, BinaryImage};
 use rock_core::suite::{all_benchmarks, benchmark};
-use rock_core::{evaluate, render_table2, Rock, RockConfig, Table2Row};
+use rock_core::{evaluate, render_table2, Parallelism, Rock, RockConfig, Table2Row};
 use rock_loader::LoadedBinary;
 use rock_slm::Metric;
 
@@ -46,7 +46,7 @@ fn load_file(path: &str) -> Result<LoadedBinary, Box<dyn Error>> {
 }
 
 fn cmd_list() -> CliResult {
-    println!("{:<18} {:>5}  {}", "benchmark", "types", "structurally resolvable");
+    println!("{:<18} {:>5}  structurally resolvable", "benchmark", "types");
     for b in all_benchmarks() {
         println!(
             "{:<18} {:>5}  {}",
@@ -63,9 +63,8 @@ fn find_benchmark(name: &str) -> Result<rock_core::suite::Benchmark, Box<dyn Err
     match name {
         "streams" => Ok(rock_core::suite::streams_example()),
         "datasource" => Ok(rock_core::suite::datasource_example()),
-        _ => benchmark(name).ok_or_else(|| {
-            format!("unknown benchmark {name:?}; run `rock list`").into()
-        }),
+        _ => benchmark(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?}; run `rock list`").into()),
     }
 }
 
@@ -249,15 +248,23 @@ fn parse_metric(s: &str) -> Result<Metric, Box<dyn Error>> {
 
 fn cmd_reconstruct(args: &[String]) -> CliResult {
     let mut dot = false;
+    let mut timings = false;
     let mut metric = Metric::KlDivergence;
+    let mut parallelism = Parallelism::Auto;
     let mut path = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dot" => dot = true,
+            "--timings" => timings = true,
             "--metric" => {
                 let v = it.next().ok_or("--metric needs a value")?;
                 metric = parse_metric(v)?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value (count, or 0 for auto)")?;
+                let n: usize = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+                parallelism = if n == 0 { Parallelism::Auto } else { Parallelism::Threads(n) };
             }
             other if other.starts_with("--") => {
                 return Err(format!("reconstruct: unknown flag {other}").into())
@@ -265,17 +272,15 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
             other => path = Some(other.to_string()),
         }
     }
-    let path = path.ok_or("usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--dot]")?;
+    let path = path.ok_or(
+        "usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--threads n] [--timings] [--dot]",
+    )?;
     let loaded = load_file(&path)?;
-    let recon = Rock::new(RockConfig::with_metric(metric)).reconstruct(&loaded);
+    let config = RockConfig::with_metric(metric).with_parallelism(parallelism);
+    let recon = Rock::new(config).reconstruct(&loaded);
     // Label with symbols when available (unstripped input), else addresses.
     let label = |a: Addr| -> String {
-        loaded
-            .image()
-            .symbols()
-            .at(a)
-            .map(|s| s.name.clone())
-            .unwrap_or_else(|| a.to_string())
+        loaded.image().symbols().at(a).map(|s| s.name.clone()).unwrap_or_else(|| a.to_string())
     };
     if dot {
         println!("{}", hierarchy_dot(&recon, &label));
@@ -283,6 +288,9 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
         let named = recon.hierarchy.map(|a| label(*a));
         print!("{named}");
         println!("({} types, metric {metric})", recon.hierarchy.len());
+    }
+    if timings {
+        println!("{}", recon.timings);
     }
     Ok(())
 }
@@ -377,13 +385,26 @@ mod tests {
         dispatch(&["stats".into(), path_str.clone()]).unwrap();
         dispatch(&["disasm".into(), path_str.clone()]).unwrap();
         dispatch(&["reconstruct".into(), path_str.clone(), "--dot".into()]).unwrap();
+        dispatch(&["reconstruct".into(), path_str.clone(), "--metric".into(), "js".into()])
+            .unwrap();
         dispatch(&[
             "reconstruct".into(),
             path_str.clone(),
-            "--metric".into(),
-            "js".into(),
+            "--timings".into(),
+            "--threads".into(),
+            "2".into(),
         ])
         .unwrap();
+        // 0 means auto; garbage errors cleanly.
+        dispatch(&["reconstruct".into(), path_str.clone(), "--threads".into(), "0".into()])
+            .unwrap();
+        assert!(dispatch(&[
+            "reconstruct".into(),
+            path_str.clone(),
+            "--threads".into(),
+            "lots".into(),
+        ])
+        .is_err());
         fs::remove_file(path).unwrap();
     }
 
@@ -393,13 +414,8 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("streams-run.rkb");
         let path_str = path.to_str().unwrap().to_string();
-        dispatch(&[
-            "gen".into(),
-            "streams".into(),
-            path_str.clone(),
-            "--keep-debug".into(),
-        ])
-        .unwrap();
+        dispatch(&["gen".into(), "streams".into(), path_str.clone(), "--keep-debug".into()])
+            .unwrap();
         dispatch(&["run".into(), path_str.clone(), "useStream".into()]).unwrap();
         // Unknown symbol errors cleanly.
         assert!(dispatch(&["run".into(), path_str.clone(), "nope".into()]).is_err());
@@ -412,13 +428,8 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("streams-debug.rkb");
         let path_str = path.to_str().unwrap().to_string();
-        dispatch(&[
-            "gen".into(),
-            "streams".into(),
-            path_str.clone(),
-            "--keep-debug".into(),
-        ])
-        .unwrap();
+        dispatch(&["gen".into(), "streams".into(), path_str.clone(), "--keep-debug".into()])
+            .unwrap();
         let loaded = load_file(&path_str).unwrap();
         assert!(!loaded.image().is_stripped());
         fs::remove_file(path).unwrap();

@@ -10,6 +10,8 @@
 //! rock families <file.rkb>           structural analysis (families + candidates)
 //! rock reconstruct <file.rkb>        reconstruct the class hierarchy
 //!          [--metric kl|js|jsd]      distance criterion (default kl)
+//!          [--threads <n>]           worker threads (0 = auto, default)
+//!          [--timings]               print per-stage wall-clock + counters
 //!          [--dot]                   emit graphviz instead of a tree
 //! rock eval <bench>                  Table 2 row for one benchmark
 //! rock table2                        the whole Table 2

@@ -3,6 +3,8 @@
 use rock_analysis::AnalysisConfig;
 use rock_slm::Metric;
 
+use crate::Parallelism;
+
 /// Configuration of the full Rock pipeline.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RockConfig {
@@ -23,6 +25,10 @@ pub struct RockConfig {
     /// similar type of *another* family when the distance is within the
     /// range of already-accepted edges, healing false family splits.
     pub repartition_families: bool,
+    /// Worker threads for the hot loops (SLM training, distance
+    /// matrices, arborescences). Any setting yields a bit-identical
+    /// [`crate::Reconstruction`]; only wall-clock changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RockConfig {
@@ -34,6 +40,7 @@ impl Default for RockConfig {
             tie_epsilon: 1e-9,
             max_tie_variants: 8,
             repartition_families: false,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -62,6 +69,12 @@ impl RockConfig {
         self.repartition_families = true;
         self
     }
+
+    /// Same pipeline with an explicit [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +92,10 @@ mod tests {
         assert!(!RockConfig::default().without_tie_resolution().resolve_ties);
         assert!(!c.repartition_families, "repartitioning is opt-in");
         assert!(RockConfig::default().with_repartitioning().repartition_families);
+        assert_eq!(c.parallelism, Parallelism::Auto);
+        assert_eq!(
+            RockConfig::default().with_parallelism(Parallelism::Threads(2)).parallelism,
+            Parallelism::Threads(2)
+        );
     }
 }

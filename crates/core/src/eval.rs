@@ -64,7 +64,11 @@ pub struct Evaluation {
 
 impl fmt::Display for Evaluation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} types (structurally resolved: {})", self.num_types, self.structurally_resolved)?;
+        writeln!(
+            f,
+            "{} types (structurally resolved: {})",
+            self.num_types, self.structurally_resolved
+        )?;
         writeln!(f, "  without SLMs: {}", self.without_slm)?;
         writeln!(f, "  with SLMs:    {}", self.with_slm)
     }
@@ -100,9 +104,7 @@ pub fn project_hierarchy(hierarchy: &Forest<Addr>, compiled: &Compiled) -> Fores
 /// successor of `p` if `p` is transitively reachable from `c` through
 /// parent links. Used for the Without-SLMs setting (every possible
 /// parent) and for the §6.4 k-parents CFI trade-off.
-fn closure_successors(
-    parents: &BTreeMap<&str, Vec<&str>>,
-) -> BTreeMap<String, BTreeSet<String>> {
+fn closure_successors(parents: &BTreeMap<&str, Vec<&str>>) -> BTreeMap<String, BTreeSet<String>> {
     // successors(p) = all c such that p ∈ ancestors*(c).
     let mut successors: BTreeMap<String, BTreeSet<String>> =
         parents.keys().map(|k| (k.to_string(), BTreeSet::new())).collect();
@@ -145,16 +147,15 @@ fn distance_from_successors(
     AppDistance { avg_missing, avg_added, per_type }
 }
 
-fn named_parent_relation<'c>(
-    compiled: &'c Compiled,
+fn named_parent_relation(
+    compiled: &Compiled,
     of: impl Fn(rock_binary::Addr) -> Vec<rock_binary::Addr>,
-) -> BTreeMap<&'c str, Vec<&'c str>> {
+) -> BTreeMap<&str, Vec<&str>> {
     compiled
         .vtables()
         .iter()
         .map(|(name, vt)| {
-            let ps: Vec<&str> =
-                of(*vt).into_iter().filter_map(|p| compiled.class_of(p)).collect();
+            let ps: Vec<&str> = of(*vt).into_iter().filter_map(|p| compiled.class_of(p)).collect();
             (name.as_str(), ps)
         })
         .collect()
@@ -166,14 +167,11 @@ fn named_parent_relation<'c>(
 /// added types (payload) for fewer missing types (soundness).
 pub fn evaluate_k_parents(compiled: &Compiled, recon: &Reconstruction, k: usize) -> AppDistance {
     let gt = compiled.ground_truth();
-    let gt_succ: BTreeMap<String, BTreeSet<String>> = gt
-        .classes()
-        .map(|c| (c.to_string(), gt.successors(c)))
-        .collect();
+    let gt_succ: BTreeMap<String, BTreeSet<String>> =
+        gt.classes().map(|c| (c.to_string(), gt.successors(c))).collect();
     let k_parents = recon.k_most_likely_parents(k);
-    let relation = named_parent_relation(compiled, |vt| {
-        k_parents.get(&vt).cloned().unwrap_or_default()
-    });
+    let relation =
+        named_parent_relation(compiled, |vt| k_parents.get(&vt).cloned().unwrap_or_default());
     let succ = closure_successors(&relation);
     distance_from_successors(&gt_succ, &succ)
 }
@@ -182,22 +180,16 @@ pub fn evaluate_k_parents(compiled: &Compiled, recon: &Reconstruction, k: usize)
 /// compile-time ground truth, in both Table 2 settings.
 pub fn evaluate(compiled: &Compiled, recon: &Reconstruction) -> Evaluation {
     let gt = compiled.ground_truth();
-    let gt_succ: BTreeMap<String, BTreeSet<String>> = gt
-        .classes()
-        .map(|c| (c.to_string(), gt.successors(c)))
-        .collect();
+    let gt_succ: BTreeMap<String, BTreeSet<String>> =
+        gt.classes().map(|c| (c.to_string(), gt.successors(c))).collect();
 
     // With SLMs: single-parent forest successors.
     let projected = project_hierarchy(&recon.hierarchy, compiled);
-    let with_succ: BTreeMap<String, BTreeSet<String>> = gt
-        .classes()
-        .map(|c| (c.to_string(), projected.successors(&c.to_string())))
-        .collect();
+    let with_succ: BTreeMap<String, BTreeSet<String>> =
+        gt.classes().map(|c| (c.to_string(), projected.successors(&c.to_string()))).collect();
 
     // Without SLMs: every possible parent counts.
-    let relation = named_parent_relation(compiled, |vt| {
-        recon.structural.possible_parents().of(vt)
-    });
+    let relation = named_parent_relation(compiled, |vt| recon.structural.possible_parents().of(vt));
     let without_succ = closure_successors(&relation);
 
     Evaluation {

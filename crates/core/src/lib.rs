@@ -45,13 +45,17 @@
 
 mod config;
 mod eval;
+mod par;
 mod pipeline;
 mod pseudo;
 mod report;
 pub mod suite;
+mod timings;
 
 pub use config::RockConfig;
 pub use eval::{evaluate, evaluate_k_parents, project_hierarchy, AppDistance, Evaluation};
+pub use par::Parallelism;
 pub use pipeline::{Reconstruction, Rock};
 pub use pseudo::pseudo_source;
 pub use report::{render_table2, render_table2_markdown, Table2Row};
+pub use timings::StageTimings;

@@ -2,23 +2,32 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 use rock_analysis::{extract_tracelets, Analysis, Event};
 use rock_binary::Addr;
 use rock_graph::{min_spanning_forest, DiGraph, Forest};
 use rock_loader::LoadedBinary;
-use rock_slm::Slm;
+use rock_slm::{DistanceCache, Metric, Slm};
 use rock_structural::{analyze, Structural};
 
-use crate::RockConfig;
+use crate::par::{par_map, Parallelism};
+use crate::{RockConfig, StageTimings};
 
 /// The Rock reconstructor.
 ///
 /// Construct one with a [`RockConfig`] and call [`Rock::reconstruct`] on a
-/// loaded (stripped) binary.
+/// loaded (stripped) binary. Every reconstructor owns a shared
+/// [`DistanceCache`]; [`Rock::with_shared_cache`] lets several
+/// reconstructors (e.g. an ablation sweep over metrics) reuse one cache so
+/// each `(metric, parent, child)` divergence over the **same binary** is
+/// computed exactly once. Cache keys are vtable addresses, so a shared
+/// cache must never span different binaries.
 #[derive(Clone, Debug, Default)]
 pub struct Rock {
     config: RockConfig,
+    cache: Arc<DistanceCache<Addr>>,
 }
 
 /// Everything the pipeline produced for one binary.
@@ -35,6 +44,15 @@ pub struct Reconstruction {
     /// Behavioral distances computed for surviving candidate edges:
     /// `(parent, child) -> distance`.
     pub distances: BTreeMap<(Addr, Addr), f64>,
+    /// Per-stage wall-clock and work counters for this run.
+    pub timings: StageTimings,
+    /// The metric the distances were computed under.
+    metric: Metric,
+    /// The trained per-type models, kept so post-hoc queries
+    /// ([`Reconstruction::k_most_likely_parents`]) can fill cache misses.
+    models: BTreeMap<Addr, Slm<Event>>,
+    /// The distance cache shared with (and warmed by) the pipeline run.
+    cache: Arc<DistanceCache<Addr>>,
 }
 
 impl Reconstruction {
@@ -49,6 +67,11 @@ impl Reconstruction {
         self.hierarchy.parent_of(&child).copied()
     }
 
+    /// The trained model of a binary type, if the type exists.
+    pub fn model_of(&self, addr: Addr) -> Option<&Slm<Event>> {
+        self.models.get(&addr)
+    }
+
     /// §5.3 multiple inheritance: "if a type inherits from X different
     /// parents, we will observe assignments of X different vtable
     /// pointers … given that we observe X assignments, we will choose the
@@ -61,10 +84,7 @@ impl Reconstruction {
         for family in self.structural.families() {
             for &child in family {
                 let k = counts.get(&child).copied().unwrap_or(1).max(1);
-                let parents = self
-                    .k_most_likely_parents(k)
-                    .remove(&child)
-                    .unwrap_or_default();
+                let parents = self.k_most_likely_parents(k).remove(&child).unwrap_or_default();
                 out.insert(child, parents);
             }
         }
@@ -78,7 +98,9 @@ impl Reconstruction {
     ///
     /// The arborescence-chosen parent always ranks first; further slots
     /// are filled by ascending behavioral distance among the surviving
-    /// structural candidates.
+    /// structural candidates. Distances not computed during lifting are
+    /// filled through the run's shared [`DistanceCache`], so repeated
+    /// queries never recompute a divergence.
     pub fn k_most_likely_parents(&self, k: usize) -> BTreeMap<Addr, Vec<Addr>> {
         let mut out = BTreeMap::new();
         for family in self.structural.families() {
@@ -90,9 +112,7 @@ impl Reconstruction {
                     .of(child)
                     .into_iter()
                     .filter(|p| Some(*p) != chosen)
-                    .map(|p| {
-                        (self.distances.get(&(p, child)).copied().unwrap_or(f64::MAX), p)
-                    })
+                    .map(|p| (self.distance_of(p, child), p))
                     .collect();
                 ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let mut parents: Vec<Addr> = chosen.into_iter().collect();
@@ -102,6 +122,19 @@ impl Reconstruction {
             }
         }
         out
+    }
+
+    /// The behavioral distance of a candidate edge: answered from the
+    /// lifting pass when available, otherwise computed through the shared
+    /// cache; `f64::MAX` if either endpoint has no model.
+    fn distance_of(&self, parent: Addr, child: Addr) -> f64 {
+        if let Some(d) = self.distances.get(&(parent, child)) {
+            return *d;
+        }
+        match (self.models.get(&parent), self.models.get(&child)) {
+            (Some(pm), Some(cm)) => self.cache.distance(self.metric, (&parent, pm), (&child, cm)),
+            _ => f64::MAX,
+        }
     }
 }
 
@@ -113,9 +146,15 @@ impl fmt::Display for Reconstruction {
 }
 
 impl Rock {
-    /// Creates a reconstructor.
+    /// Creates a reconstructor with its own (empty) distance cache.
     pub fn new(config: RockConfig) -> Self {
-        Rock { config }
+        Rock { config, cache: Arc::new(DistanceCache::new()) }
+    }
+
+    /// Creates a reconstructor that shares `cache` with other passes over
+    /// the **same binary** (ablation sweeps, repeated reconstructions).
+    pub fn with_shared_cache(config: RockConfig, cache: Arc<DistanceCache<Addr>>) -> Self {
+        Rock { config, cache }
     }
 
     /// The active configuration.
@@ -123,59 +162,117 @@ impl Rock {
         &self.config
     }
 
-    /// Runs the full pipeline on a loaded binary.
-    pub fn reconstruct(&self, loaded: &LoadedBinary) -> Reconstruction {
-        // Behavioral analysis (also recognizes ctor-like functions).
-        let analysis = extract_tracelets(loaded, &self.config.analysis);
-        // Structural analysis.
-        let structural = analyze(loaded, analysis.ctors(), &self.config.analysis);
+    /// The distance cache this reconstructor reads and warms.
+    pub fn cache(&self) -> &Arc<DistanceCache<Addr>> {
+        &self.cache
+    }
 
-        // One SLM per binary type.
-        let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
-        for vt in loaded.vtables() {
+    /// Runs the full pipeline on a loaded binary.
+    ///
+    /// The hot loops (SLM training, distance matrices, arborescences) run
+    /// on [`RockConfig::parallelism`] threads; every merge happens in
+    /// deterministic input order, so the result is bit-identical to
+    /// [`Parallelism::Serial`] whatever setting is active.
+    pub fn reconstruct(&self, loaded: &LoadedBinary) -> Reconstruction {
+        let run_start = Instant::now();
+        let par = self.config.parallelism;
+        let mut timings = StageTimings { threads: par.thread_count(), ..StageTimings::default() };
+        let cache_hits0 = self.cache.hits();
+        let cache_misses0 = self.cache.misses();
+
+        // Behavioral analysis (also recognizes ctor-like functions).
+        let stage = Instant::now();
+        let analysis = extract_tracelets(loaded, &self.config.analysis);
+        timings.analysis = stage.elapsed();
+
+        // Structural analysis.
+        let stage = Instant::now();
+        let structural = analyze(loaded, analysis.ctors(), &self.config.analysis);
+        timings.structural = stage.elapsed();
+
+        // One SLM per binary type, trained independently per vtable.
+        let stage = Instant::now();
+        let addrs: Vec<Addr> = loaded.vtables().iter().map(|vt| vt.addr()).collect();
+        let trained = par_map(par, &addrs, |&addr| {
             let mut m = Slm::new(self.config.analysis.slm_depth);
-            for t in analysis.tracelets().of_type(vt.addr()) {
+            for t in analysis.tracelets().of_type(addr) {
                 m.train(t);
             }
-            models.insert(vt.addr(), m);
-        }
+            m
+        });
+        let models: BTreeMap<Addr, Slm<Event>> = addrs.into_iter().zip(trained).collect();
+        timings.slm_count = models.len();
+        timings.training = stage.elapsed();
 
-        // Per family: weighted digraph over surviving candidate edges,
-        // then a minimum-weight maximal forest.
-        let mut hierarchy: Forest<Addr> = Forest::new();
+        // Weighted digraph per family over surviving candidate edges.
+        // Every edge weight is an independent pair divergence, so the
+        // scoring work is flattened to one item per (family, child) —
+        // a binary with few families still fans out across all workers.
+        // The graphs are then assembled serially in family order, which
+        // replays the exact edge-insertion order of the serial loop.
+        let stage = Instant::now();
+        let families = structural.families();
+        let indices: Vec<BTreeMap<Addr, usize>> =
+            families.iter().map(|f| f.iter().enumerate().map(|(i, a)| (*a, i)).collect()).collect();
+        let children: Vec<(usize, Addr)> = families
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| f.iter().map(move |&child| (fi, child)))
+            .collect();
+        let scored = par_map(par, &children, |&(fi, child)| {
+            child_candidate_edges(
+                &indices[fi],
+                child,
+                |c| structural.possible_parents().of(c),
+                |parent, child| {
+                    self.cache.distance(
+                        self.config.metric,
+                        (&parent, &models[&parent]),
+                        (&child, &models[&child]),
+                    )
+                },
+            )
+        });
         let mut distances = BTreeMap::new();
-        for family in structural.families() {
-            let index: BTreeMap<Addr, usize> =
-                family.iter().enumerate().map(|(i, a)| (*a, i)).collect();
-            let mut graph = DiGraph::new(family.len());
-            for &child in family {
-                for parent in structural.possible_parents().of(child) {
-                    let d = self
-                        .config
-                        .metric
-                        .distance(&models[&parent], &models[&child]);
-                    distances.insert((parent, child), d);
-                    graph.add_edge(index[&parent], index[&child], d);
-                }
+        let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
+        for (&(fi, _), (edges, foreign)) in children.iter().zip(&scored) {
+            timings.edge_count += edges.len();
+            timings.foreign_candidates += foreign;
+            for &(parent, child, d) in edges {
+                graphs[fi].add_edge(indices[fi][&parent], indices[fi][&child], d);
+                distances.insert((parent, child), d);
             }
-            let parent = if self.config.resolve_ties {
+        }
+        timings.distances = stage.elapsed();
+
+        // Per family: minimum-weight maximal forest (§4.2.2), with the
+        // majority-vote tie heuristic when enabled. Results are merged in
+        // family order, so the union is deterministic.
+        let stage = Instant::now();
+        let parents = par_map(par, &graphs, |graph| {
+            if self.config.resolve_ties {
                 // §4.2.2: several arborescences may share the minimal
                 // weight; resolve with the majority-vote heuristic.
                 let variants = rock_graph::co_optimal_forests(
-                    &graph,
+                    graph,
                     self.config.tie_epsilon,
                     self.config.max_tie_variants,
                 );
                 rock_graph::vote_select(&variants).parent.clone()
             } else {
-                min_spanning_forest(&graph).parent
-            };
+                min_spanning_forest(graph).parent
+            }
+        });
+        let mut hierarchy: Forest<Addr> = Forest::new();
+        for (family, parent) in structural.families().iter().zip(&parents) {
             for (i, p) in parent.iter().enumerate() {
                 hierarchy.insert(family[i], p.map(|pi| family[pi]));
             }
         }
+        timings.lifting = stage.elapsed();
 
         if self.config.repartition_families {
+            let stage = Instant::now();
             repartition(
                 &mut hierarchy,
                 &mut distances,
@@ -183,11 +280,58 @@ impl Rock {
                 &models,
                 loaded,
                 self.config.metric,
+                &self.cache,
+                par,
             );
+            timings.repartition = stage.elapsed();
         }
 
-        Reconstruction { hierarchy, structural, analysis, distances }
+        timings.cache_hits = self.cache.hits() - cache_hits0;
+        timings.cache_misses = self.cache.misses() - cache_misses0;
+        timings.total = run_start.elapsed();
+
+        Reconstruction {
+            hierarchy,
+            structural,
+            analysis,
+            distances,
+            timings,
+            metric: self.config.metric,
+            models,
+            cache: Arc::clone(&self.cache),
+        }
     }
+}
+
+/// Scores one child's surviving candidate edges within its family.
+///
+/// `index` is the family's member list; returns the accepted
+/// `(parent, child, distance)` edges plus the number of **foreign**
+/// candidates skipped — parents proposed by the structural phase (e.g.
+/// via a ctor merge) that are not family members. Indexing those
+/// unconditionally (`index[&parent]`) was a panic; they carry no position
+/// in the family's digraph, so they are logged and dropped instead.
+fn child_candidate_edges(
+    index: &BTreeMap<Addr, usize>,
+    child: Addr,
+    candidates: impl Fn(Addr) -> Vec<Addr>,
+    distance: impl Fn(Addr, Addr) -> f64,
+) -> (Vec<(Addr, Addr, f64)>, usize) {
+    let mut edges = Vec::new();
+    let mut foreign = 0usize;
+    for parent in candidates(child) {
+        if !index.contains_key(&parent) {
+            eprintln!(
+                "rock: skipping foreign parent candidate {parent} for {child} \
+                 (outside its family)"
+            );
+            foreign += 1;
+            continue;
+        }
+        let d = distance(parent, child);
+        edges.push((parent, child, d));
+    }
+    (edges, foreign)
 }
 
 /// Behavioral family repartitioning — the future-work extension the paper
@@ -198,13 +342,22 @@ impl Rock {
 /// parents that pass the rule-1 slot check; adopt the best one if its
 /// behavioral distance is no worse than the distances of the edges already
 /// accepted within families.
+///
+/// Runs in two phases so the scan parallelizes and the outcome is
+/// independent of scan order: first every root's best candidate is scored
+/// against a **snapshot** of the hierarchy, then the proposals are applied
+/// serially by [`apply_adoptions`], which re-checks ancestry against the
+/// *current* hierarchy before each insert.
+#[allow(clippy::too_many_arguments)]
 fn repartition(
     hierarchy: &mut Forest<Addr>,
     distances: &mut BTreeMap<(Addr, Addr), f64>,
-    structural: &rock_structural::Structural,
+    structural: &Structural,
     models: &BTreeMap<Addr, Slm<Event>>,
     loaded: &LoadedBinary,
-    metric: rock_slm::Metric,
+    metric: Metric,
+    cache: &DistanceCache<Addr>,
+    par: Parallelism,
 ) {
     // Acceptance threshold: the worst distance among already-chosen edges
     // (no edges chosen => nothing to calibrate against; bail out).
@@ -226,9 +379,12 @@ fn repartition(
         .flat_map(|(i, f)| f.iter().map(move |a| (*a, i)))
         .collect();
 
+    // Phase 1: score every root against the snapshot. Roots come out of
+    // the forest in address order and par_map preserves input order, so
+    // the proposal list is deterministic.
     let roots: Vec<Addr> = hierarchy.roots().into_iter().copied().collect();
-    for root in roots {
-        let Some(root_vt) = loaded.vtable_at(root) else { continue };
+    let proposals = par_map(par, &roots, |&root| {
+        let root_vt = loaded.vtable_at(root)?;
         let root_family = family_of.get(&root);
         let mut best: Option<(f64, Addr)> = None;
         for cand in loaded.vtables() {
@@ -239,15 +395,24 @@ fn repartition(
             if cand.len() > root_vt.len() {
                 continue;
             }
-            // No cycles: the candidate must not descend from this root.
+            // Cheap prefilter against the snapshot; the authoritative
+            // cycle check happens at apply time.
             if hierarchy.successors(&root).contains(&cand.addr()) {
                 continue;
             }
-            let d = metric.distance(&models[&cand.addr()], &models[&root]);
+            let d = cache.distance(
+                metric,
+                (&cand.addr(), &models[&cand.addr()]),
+                (&root, &models[&root]),
+            );
             // Parenthood is asymmetric (§4.2.1): the candidate's behavior
             // should be *contained* in the root's, so encoding parent
             // with child must be cheaper than the reverse.
-            let d_rev = metric.distance(&models[&root], &models[&cand.addr()]);
+            let d_rev = cache.distance(
+                metric,
+                (&root, &models[&root]),
+                (&cand.addr(), &models[&cand.addr()]),
+            );
             if d >= d_rev {
                 continue;
             }
@@ -255,14 +420,35 @@ fn repartition(
                 best = Some((d, cand.addr()));
             }
         }
-        if let Some((d, parent)) = best {
-            // Cross-family edges had no structural support, so require
-            // only that they stay within 2x the worst accepted edge.
-            if d <= 2.0 * threshold {
-                hierarchy.insert(root, Some(parent));
-                distances.insert((parent, root), d);
-            }
+        // Cross-family edges had no structural support, so require only
+        // that they stay within 2x the worst accepted edge.
+        let (d, parent) = best.filter(|&(d, _)| d <= 2.0 * threshold)?;
+        Some((root, parent, d))
+    });
+
+    // Phase 2: apply serially with the ancestry re-check.
+    apply_adoptions(hierarchy, distances, proposals.into_iter().flatten());
+}
+
+/// Applies cross-family adoption proposals to the hierarchy, skipping any
+/// that would close a cycle.
+///
+/// Proposals were scored against a snapshot: by the time one is applied,
+/// an *earlier* adoption in the same pass may have re-rooted `parent`'s
+/// tree underneath `root`, so inserting the edge would create a cycle.
+/// The ancestry check therefore runs against the **current** hierarchy
+/// immediately before each insert — not against the snapshot.
+fn apply_adoptions(
+    hierarchy: &mut Forest<Addr>,
+    distances: &mut BTreeMap<(Addr, Addr), f64>,
+    proposals: impl IntoIterator<Item = (Addr, Addr, f64)>,
+) {
+    for (root, parent, d) in proposals {
+        if root == parent || hierarchy.successors(&root).contains(&parent) {
+            continue;
         }
+        hierarchy.insert(root, Some(parent));
+        distances.insert((parent, root), d);
     }
 }
 
@@ -358,5 +544,99 @@ mod tests {
         let recon = Rock::new(RockConfig::default()).reconstruct(&loaded);
         let text = recon.to_string();
         assert!(text.contains("reconstructed hierarchy over 3 types"));
+    }
+
+    #[test]
+    fn timings_cover_the_run() {
+        let (loaded, _) = streams_optimized();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        let t = recon.timings;
+        assert_eq!(t.slm_count, 3);
+        assert!(t.edge_count >= recon.distances.len());
+        assert!(t.threads >= 1);
+        assert!(t.total >= t.analysis);
+        assert_eq!(t.foreign_candidates, 0);
+        // Every lifted edge came through the cache exactly once.
+        assert_eq!(t.cache_misses as usize, recon.distances.len());
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_runs() {
+        let (loaded, _) = streams_optimized();
+        let rock = Rock::new(RockConfig::paper());
+        let first = rock.reconstruct(&loaded);
+        let second = rock.reconstruct(&loaded);
+        assert!(first.timings.cache_misses > 0);
+        // The second pass finds every pair already cached.
+        assert_eq!(second.timings.cache_misses, 0);
+        assert_eq!(second.timings.cache_hits, first.timings.cache_misses);
+        assert_eq!(first.distances, second.distances);
+    }
+
+    /// Regression: a possible-parent candidate outside the family's member
+    /// list (as a ctor merge can produce) must be skipped, not `index[..]`
+    /// panicked on.
+    #[test]
+    fn child_candidate_edges_skip_foreign_candidates() {
+        let family = [Addr::new(0x1000), Addr::new(0x2000)];
+        let foreign = Addr::new(0xdead);
+        let index: BTreeMap<Addr, usize> =
+            family.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let mut graph = DiGraph::new(family.len());
+        let mut skipped = 0;
+        for &child in &family {
+            let (edges, foreign_count) = child_candidate_edges(
+                &index,
+                child,
+                |c| {
+                    if c == Addr::new(0x2000) {
+                        // One legitimate candidate and one from outside.
+                        vec![Addr::new(0x1000), foreign]
+                    } else {
+                        vec![]
+                    }
+                },
+                |_, _| 1.0,
+            );
+            skipped += foreign_count;
+            if child == Addr::new(0x2000) {
+                assert_eq!(edges, vec![(Addr::new(0x1000), Addr::new(0x2000), 1.0)]);
+            } else {
+                assert!(edges.is_empty());
+            }
+            for (parent, child, d) in edges {
+                graph.add_edge(index[&parent], index[&child], d);
+            }
+        }
+        assert_eq!(skipped, 1);
+        let parent = min_spanning_forest(&graph).parent;
+        assert_eq!(parent, vec![None, Some(0)]);
+    }
+
+    /// Regression for the repartition mutation-order hazard: proposals
+    /// scored against a snapshot can, once an earlier adoption lands,
+    /// point a root at its own (new) descendant. The apply step must
+    /// re-check ancestry against the current hierarchy and keep the
+    /// forest acyclic.
+    #[test]
+    fn apply_adoptions_rechecks_ancestry_against_current_hierarchy() {
+        let (a, b) = (Addr::new(0x10), Addr::new(0x20));
+        let mut hierarchy: Forest<Addr> = Forest::new();
+        hierarchy.insert(a, None);
+        hierarchy.insert(b, None);
+        let mut distances = BTreeMap::new();
+        // Scored against the snapshot (two independent roots), both
+        // adoptions look fine; applying both would close the cycle a→b→a.
+        let proposals = vec![(a, b, 0.5), (b, a, 0.6)];
+        apply_adoptions(&mut hierarchy, &mut distances, proposals);
+        assert!(hierarchy.is_acyclic(), "adoption pass must never close a cycle");
+        assert_eq!(hierarchy.parent_of(&a), Some(&b));
+        assert_eq!(hierarchy.parent_of(&b), None, "second adoption must be rejected");
+        assert_eq!(distances.get(&(b, a)), Some(&0.5));
+        assert_eq!(distances.get(&(a, b)), None);
+        // Self-adoption is rejected outright.
+        apply_adoptions(&mut hierarchy, &mut distances, vec![(b, b, 0.1)]);
+        assert!(hierarchy.is_acyclic());
+        assert_eq!(hierarchy.parent_of(&b), None);
     }
 }

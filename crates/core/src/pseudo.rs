@@ -38,13 +38,9 @@ pub fn pseudo_source(loaded: &LoadedBinary, recon: &Reconstruction) -> String {
         let _ = writeln!(out, "class {name}{parent} {{");
         // A slot is "inherited" if the reconstructed parent's table holds
         // the same implementation at the same position.
-        let parent_table = recon
-            .parent_of(vt.addr())
-            .and_then(|p| loaded.vtable_at(p));
+        let parent_table = recon.parent_of(vt.addr()).and_then(|p| loaded.vtable_at(p));
         for (i, slot) in vt.slots().iter().enumerate() {
-            let inherited = parent_table
-                .map(|pt| pt.slots().get(i) == Some(slot))
-                .unwrap_or(false);
+            let inherited = parent_table.map(|pt| pt.slots().get(i) == Some(slot)).unwrap_or(false);
             if inherited {
                 let _ = writeln!(out, "    // f{i} inherited (impl @{slot})");
             } else {
@@ -83,8 +79,7 @@ mod tests {
             f.ret();
         });
         let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
-        let loaded =
-            rock_loader::LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let loaded = rock_loader::LoadedBinary::load(compiled.stripped_image()).unwrap();
         let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
         let src = pseudo_source(&loaded, &recon);
         // Generalized names only; no source identifiers survive.
@@ -104,8 +99,7 @@ mod tests {
             f.ret();
         });
         let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
-        let loaded =
-            rock_loader::LoadedBinary::load(compiled.stripped_image()).unwrap();
+        let loaded = rock_loader::LoadedBinary::load(compiled.stripped_image()).unwrap();
         let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
         assert!(pseudo_source(&loaded, &recon).is_empty());
     }

@@ -201,8 +201,7 @@ pub fn generate_program(name: &str, specs: &[ClassSpec]) -> Program {
         let segments: Vec<(usize, Vec<String>)> = chain
             .iter()
             .map(|&a| {
-                let names =
-                    owned[a].iter().map(|&s| my_slots[s].clone()).collect::<Vec<_>>();
+                let names = owned[a].iter().map(|&s| my_slots[s].clone()).collect::<Vec<_>>();
                 (a, names)
             })
             .collect();
@@ -257,11 +256,7 @@ pub fn generate_program(name: &str, specs: &[ClassSpec]) -> Program {
 /// Builds a plain tree: `parents[i]` is the parent index of class `i`.
 /// Own-method counts alternate 1/2 so vtable lengths vary.
 fn tree(parents: &[Option<usize>]) -> Vec<ClassSpec> {
-    parents
-        .iter()
-        .enumerate()
-        .map(|(i, p)| ClassSpec::node(*p, 1 + i % 2, i))
-        .collect()
+    parents.iter().enumerate().map(|(i, p)| ClassSpec::node(*p, 1 + i % 2, i)).collect()
 }
 
 fn resolvable_options() -> CompileOptions {
@@ -334,13 +329,7 @@ fn bafprp() -> Benchmark {
     specs[19].own_methods = 2;
     specs[20].overrides = usize::MAX; // clipped to inherited count
     specs[20].own_methods = 2;
-    bench(
-        "bafprp",
-        true,
-        paper(52.9, 23, (0.3, 0.0), (0.3, 0.0)),
-        specs,
-        resolvable_options(),
-    )
+    bench("bafprp", true, paper(52.9, 23, (0.3, 0.0), (0.3, 0.0)), specs, resolvable_options())
 }
 
 fn cppcheck() -> Benchmark {
@@ -421,13 +410,7 @@ fn tinyxml() -> Benchmark {
     specs[0].own_methods = 2;
     specs[1].overrides = usize::MAX;
     specs[1].own_methods = 1;
-    bench(
-        "tinyxml",
-        true,
-        paper(60.0, 9, (0.89, 0.0), (0.89, 0.0)),
-        specs,
-        resolvable_options(),
-    )
+    bench("tinyxml", true, paper(60.0, 9, (0.89, 0.0), (0.89, 0.0)), specs, resolvable_options())
 }
 
 fn tinyxml_stl() -> Benchmark {
@@ -502,13 +485,7 @@ fn analyzer() -> Benchmark {
     specs[23].own_methods = 1;
     let mut o = optimized_options();
     o.comdat_fold = true;
-    bench(
-        "Analyzer",
-        false,
-        paper(419.0, 24, (0.21, 6.79), (0.25, 1.38)),
-        specs,
-        o,
-    )
+    bench("Analyzer", false, paper(419.0, 24, (0.21, 6.79), (0.25, 1.38)), specs, o)
 }
 
 fn cgridlistctrlex() -> Benchmark {
@@ -532,13 +509,7 @@ fn cgridlistctrlex() -> Benchmark {
     let mut o = CompileOptions::default();
     o.eliminate_abstract = true;
     o.rodata_noise = 64;
-    bench(
-        "CGridListCtrlEx",
-        false,
-        paper(151.0, 28, (0.0, 0.46), (0.07, 0.07)),
-        specs,
-        o,
-    )
+    bench("CGridListCtrlEx", false, paper(151.0, 28, (0.0, 0.46), (0.07, 0.07)), specs, o)
 }
 
 fn echoparams() -> Benchmark {
@@ -555,13 +526,7 @@ fn echoparams() -> Benchmark {
         s.overrides = k;
         specs.push(s);
     }
-    bench(
-        "echoparams",
-        false,
-        paper(58.0, 4, (0.0, 2.25), (0.0, 0.0)),
-        specs,
-        optimized_options(),
-    )
+    bench("echoparams", false, paper(58.0, 4, (0.0, 2.25), (0.0, 0.0)), specs, optimized_options())
 }
 
 fn gperf() -> Benchmark {
@@ -578,13 +543,7 @@ fn gperf() -> Benchmark {
         s.overrides = 2;
         specs.push(s);
     }
-    bench(
-        "gperf",
-        false,
-        paper(84.0, 10, (0.0, 3.8), (0.0, 0.5)),
-        specs,
-        optimized_options(),
-    )
+    bench("gperf", false, paper(84.0, 10, (0.0, 3.8), (0.0, 0.5)), specs, optimized_options())
 }
 
 fn libctemplate() -> Benchmark {
@@ -601,17 +560,11 @@ fn libctemplate() -> Benchmark {
     parents.push(Some(2)); // 37th class so 36 remain after elimination
     let mut specs = tree(&parents);
     specs[12].is_abstract = true; // second tree's root vanishes
-    bench(
-        "libctemplate",
-        false,
-        paper(1233.0, 36, (0.25, 0.33), (0.25, 0.11)),
-        specs,
-        {
-            let mut o = optimized_options();
-            o.eliminate_abstract = true;
-            o
-        },
-    )
+    bench("libctemplate", false, paper(1233.0, 36, (0.25, 0.33), (0.25, 0.11)), specs, {
+        let mut o = optimized_options();
+        o.eliminate_abstract = true;
+        o
+    })
 }
 
 fn showtraf() -> Benchmark {
@@ -628,13 +581,7 @@ fn showtraf() -> Benchmark {
     specs.push(ClassSpec::node(Some(23), 1, 25));
     let mut o = CompileOptions::default();
     o.eliminate_abstract = true;
-    bench(
-        "ShowTraf",
-        false,
-        paper(137.0, 25, (0.04, 0.4), (0.04, 0.08)),
-        specs,
-        o,
-    )
+    bench("ShowTraf", false, paper(137.0, 25, (0.04, 0.4), (0.04, 0.08)), specs, o)
 }
 
 fn smoothing() -> Benchmark {
@@ -672,13 +619,7 @@ fn td_unittest() -> Benchmark {
     specs[1].body_seed = 77;
     let mut o = optimized_options();
     o.comdat_fold = true;
-    bench(
-        "td_unittest",
-        false,
-        paper(101.0, 2, (0.0, 1.0), (0.0, 0.5)),
-        specs,
-        o,
-    )
+    bench("td_unittest", false, paper(101.0, 2, (0.0, 1.0), (0.0, 0.5)), specs, o)
 }
 
 fn tinyserver() -> Benchmark {
@@ -693,13 +634,7 @@ fn tinyserver() -> Benchmark {
     specs[2].body_seed = 55;
     let mut o = optimized_options();
     o.comdat_fold = true;
-    bench(
-        "tinyserver",
-        false,
-        paper(46.0, 4, (0.0, 2.25), (0.0, 0.25)),
-        specs,
-        o,
-    )
+    bench("tinyserver", false, paper(46.0, 4, (0.0, 2.25), (0.0, 0.25)), specs, o)
 }
 
 /// All 19 Table 2 benchmarks, resolvable half first (paper order).

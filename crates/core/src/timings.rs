@@ -1,0 +1,107 @@
+//! Per-stage observability for one reconstruction run.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock and work counters for each pipeline stage of a single
+/// [`crate::Rock::reconstruct`] call.
+///
+/// Related binary-lifting systems (VPS; the GrammaTech type-inference
+/// work) report analysis wall-clock as a first-class result; this struct
+/// makes the same numbers available here — per stage, so regressions can
+/// be pinned to tracelet extraction vs. model training vs. lifting rather
+/// than observed only as an end-to-end blur. Surfaced by
+/// `rock reconstruct --timings` and by the pipeline benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Behavioral analysis: tracelet extraction + ctor recognition (§3).
+    pub analysis: Duration,
+    /// Structural analysis: families + possible parents (§5).
+    pub structural: Duration,
+    /// Per-vtable SLM training (§3.1).
+    pub training: Duration,
+    /// Per-family distance-matrix computation (§4.2.1).
+    pub distances: Duration,
+    /// Per-family arborescence search + tie resolution (§4.2.2).
+    pub lifting: Duration,
+    /// Cross-family repartitioning (§6.4 extension; zero when disabled).
+    pub repartition: Duration,
+    /// End-to-end wall clock for the whole `reconstruct` call.
+    pub total: Duration,
+    /// Worker threads the parallel stages resolved to.
+    pub threads: usize,
+    /// SLMs trained (one per vtable).
+    pub slm_count: usize,
+    /// Weighted candidate edges put into family digraphs.
+    pub edge_count: usize,
+    /// Candidate parents skipped because they were outside their family's
+    /// member list (would previously have been an index panic).
+    pub foreign_candidates: usize,
+    /// Distance lookups answered by the shared cache.
+    pub cache_hits: u64,
+    /// Distance lookups that had to compute.
+    pub cache_misses: u64,
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ms(d: Duration) -> f64 {
+            d.as_secs_f64() * 1e3
+        }
+        writeln!(f, "stage timings ({} thread(s)):", self.threads)?;
+        writeln!(f, "  analysis     {:>10.3} ms", ms(self.analysis))?;
+        writeln!(f, "  structural   {:>10.3} ms", ms(self.structural))?;
+        writeln!(f, "  training     {:>10.3} ms  ({} SLMs)", ms(self.training), self.slm_count)?;
+        writeln!(
+            f,
+            "  distances    {:>10.3} ms  ({} edges, cache {} hit / {} miss)",
+            ms(self.distances),
+            self.edge_count,
+            self.cache_hits,
+            self.cache_misses
+        )?;
+        writeln!(f, "  lifting      {:>10.3} ms", ms(self.lifting))?;
+        writeln!(f, "  repartition  {:>10.3} ms", ms(self.repartition))?;
+        if self.foreign_candidates > 0 {
+            writeln!(f, "  skipped foreign candidates: {}", self.foreign_candidates)?;
+        }
+        write!(f, "  total        {:>10.3} ms", ms(self.total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_stage() {
+        let t = StageTimings {
+            analysis: Duration::from_millis(12),
+            training: Duration::from_micros(1500),
+            threads: 4,
+            slm_count: 39,
+            edge_count: 120,
+            cache_hits: 7,
+            cache_misses: 113,
+            ..StageTimings::default()
+        };
+        let text = t.to_string();
+        for needle in [
+            "4 thread(s)",
+            "analysis",
+            "structural",
+            "39 SLMs",
+            "120 edges",
+            "cache 7 hit / 113 miss",
+            "lifting",
+            "repartition",
+            "total",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The foreign-candidate line only appears when something was skipped.
+        assert!(!text.contains("foreign"));
+        let skipped = StageTimings { foreign_candidates: 2, ..t };
+        assert!(skipped.to_string().contains("skipped foreign candidates: 2"));
+    }
+}

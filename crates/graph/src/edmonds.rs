@@ -32,12 +32,7 @@ pub struct ArborescenceResult {
 impl ArborescenceResult {
     /// Nodes with no parent.
     pub fn roots(&self) -> Vec<usize> {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.is_none())
-            .map(|(i, _)| i)
-            .collect()
+        self.parent.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(i, _)| i).collect()
     }
 }
 
@@ -173,9 +168,9 @@ fn solve(n: usize, edges: Vec<WorkEdge>, root: usize) -> Option<Vec<usize>> {
     let in_cycle = |v: usize| cycle_nodes.contains(&v);
     let mut relabel = vec![usize::MAX; n];
     let mut next = 0usize;
-    for v in 0..n {
+    for (v, slot) in relabel.iter_mut().enumerate() {
         if !in_cycle(v) {
-            relabel[v] = next;
+            *slot = next;
             next += 1;
         }
     }
@@ -199,12 +194,7 @@ fn solve(n: usize, edges: Vec<WorkEdge>, root: usize) -> Option<Vec<usize>> {
         } else {
             e.weight
         };
-        contracted.push(WorkEdge {
-            from: relabel[e.from],
-            to: relabel[e.to],
-            weight,
-            orig: i,
-        });
+        contracted.push(WorkEdge { from: relabel[e.from], to: relabel[e.to], weight, orig: i });
     }
 
     let sub = solve(c + 1, contracted, new_root)?;
@@ -328,8 +318,8 @@ mod tests {
         let r = min_arborescence(&g, 0).unwrap();
         assert_eq!(r.total_weight, 11.0);
         // Either 0->1->2 or 0->2->1.
-        let ok = r.parent == vec![None, Some(0), Some(1)]
-            || r.parent == vec![None, Some(2), Some(0)];
+        let ok =
+            r.parent == vec![None, Some(0), Some(1)] || r.parent == vec![None, Some(2), Some(0)];
         assert!(ok, "got {:?}", r.parent);
     }
 

@@ -68,20 +68,12 @@ impl<N: Ord + Clone> Forest<N> {
 
     /// All roots (nodes without a parent), sorted.
     pub fn roots(&self) -> Vec<&N> {
-        self.parent
-            .iter()
-            .filter(|(_, p)| p.is_none())
-            .map(|(n, _)| n)
-            .collect()
+        self.parent.iter().filter(|(_, p)| p.is_none()).map(|(n, _)| n).collect()
     }
 
     /// Direct children of `node`, sorted.
     pub fn children_of(&self, node: &N) -> Vec<&N> {
-        self.parent
-            .iter()
-            .filter(|(_, p)| p.as_ref() == Some(node))
-            .map(|(n, _)| n)
-            .collect()
+        self.parent.iter().filter(|(_, p)| p.as_ref() == Some(node)).map(|(n, _)| n).collect()
     }
 
     /// All transitive descendants of `node` — `successors_h(t)` in the
@@ -103,7 +95,7 @@ impl<N: Ord + Clone> Forest<N> {
         let mut out = Vec::new();
         let mut cur = self.parent_of(node);
         while let Some(p) = cur {
-            if out.iter().any(|x| *x == p) {
+            if out.contains(&p) {
                 break;
             }
             out.push(p);
@@ -119,13 +111,7 @@ impl<N: Ord + Clone> Forest<N> {
 
     /// Applies `f` to every label, producing a relabelled forest.
     pub fn map<M: Ord + Clone>(&self, mut f: impl FnMut(&N) -> M) -> Forest<M> {
-        Forest {
-            parent: self
-                .parent
-                .iter()
-                .map(|(n, p)| (f(n), p.as_ref().map(&mut f)))
-                .collect(),
-        }
+        Forest { parent: self.parent.iter().map(|(n, p)| (f(n), p.as_ref().map(&mut f))).collect() }
     }
 
     /// Verifies the forest is acyclic.

@@ -102,10 +102,10 @@ proptest! {
             let mut greedy_parent: Vec<Option<usize>> = vec![None; n];
             let mut greedy_weight = 0.0;
             let mut feasible = true;
-            for v in 1..n {
+            for (v, slot) in greedy_parent.iter_mut().enumerate().skip(1) {
                 match g.in_edges(v).min_by(|a, b| a.weight.total_cmp(&b.weight)) {
                     Some(e) => {
-                        greedy_parent[v] = Some(e.from);
+                        *slot = Some(e.from);
                         greedy_weight += e.weight;
                     }
                     None => feasible = false,

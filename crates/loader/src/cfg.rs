@@ -59,10 +59,8 @@ impl Cfg {
                         leaders.insert(instrs[i + 1].addr);
                     }
                 }
-                Instr::Ret | Instr::Halt => {
-                    if i + 1 < instrs.len() {
-                        leaders.insert(instrs[i + 1].addr);
-                    }
+                Instr::Ret | Instr::Halt if i + 1 < instrs.len() => {
+                    leaders.insert(instrs[i + 1].addr);
                 }
                 _ => {}
             }

@@ -131,7 +131,7 @@ fn discover_vtables(
     for d in decoded {
         if let Instr::MovImm { imm, .. } = d.instr {
             let a = Addr::new(imm);
-            if rodata.contains(a) && a.value() % WORD_SIZE == 0 {
+            if rodata.contains(a) && a.value().is_multiple_of(WORD_SIZE) {
                 candidates.insert(a);
             }
         }

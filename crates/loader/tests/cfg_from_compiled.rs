@@ -72,7 +72,10 @@ fn while_loop_has_a_back_edge() {
         f.while_loop(
             Expr::bin(rock_binary::BinOp::Lt, Expr::Var("i".into()), Expr::Param(0)),
             |b| {
-                b.let_("i", Expr::bin(rock_binary::BinOp::Add, Expr::Var("i".into()), Expr::Const(1)));
+                b.let_(
+                    "i",
+                    Expr::bin(rock_binary::BinOp::Add, Expr::Var("i".into()), Expr::Const(1)),
+                );
             },
         );
         f.ret();
@@ -104,14 +107,8 @@ fn calls_do_not_split_blocks() {
     let (loaded, compiled) = load(p);
     let cfg = cfg_of(&loaded, &compiled, "caller");
     assert_eq!(cfg.len(), 1, "intra-procedural CFG ignores calls: {cfg}");
-    let f = loaded
-        .function_at(compiled.image().symbols().by_name("caller").unwrap().addr)
-        .unwrap();
-    let calls = f
-        .instrs()
-        .iter()
-        .filter(|d| matches!(d.instr, Instr::Call { .. }))
-        .count();
+    let f = loaded.function_at(compiled.image().symbols().by_name("caller").unwrap().addr).unwrap();
+    let calls = f.instrs().iter().filter(|d| matches!(d.instr, Instr::Call { .. })).count();
     assert_eq!(calls, 2);
 }
 

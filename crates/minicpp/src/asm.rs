@@ -200,10 +200,7 @@ mod tests {
     use rock_binary::SectionKind;
 
     fn ret_fn(name: &str) -> AFunction {
-        AFunction::new(
-            name,
-            vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Ret)],
-        )
+        AFunction::new(name, vec![AInstr::I(Instr::Enter { frame: 0 }), AInstr::I(Instr::Ret)])
     }
 
     #[test]
@@ -234,10 +231,7 @@ mod tests {
             functions: vec![ret_fn("A::m"), ret_fn("B::n")],
             vtables: vec![
                 AVtable { name: "vtable for A".into(), slots: vec!["A::m".into()] },
-                AVtable {
-                    name: "vtable for B".into(),
-                    slots: vec!["A::m".into(), "B::n".into()],
-                },
+                AVtable { name: "vtable for B".into(), slots: vec!["A::m".into(), "B::n".into()] },
             ],
             rtti: vec![ARtti {
                 vtable: "vtable for B".into(),
@@ -249,10 +243,7 @@ mod tests {
         let out = assemble(&program);
         let vt_b = out.vtable_addrs["vtable for B"];
         assert_eq!(out.image.read_word(vt_b), Some(out.function_addrs["A::m"].value()));
-        assert_eq!(
-            out.image.read_word(vt_b + 8),
-            Some(out.function_addrs["B::n"].value())
-        );
+        assert_eq!(out.image.read_word(vt_b + 8), Some(out.function_addrs["B::n"].value()));
         let rec = out.image.rtti_for(vt_b).unwrap();
         assert_eq!(rec.class_name, "B");
         assert_eq!(rec.parent(), Some(out.vtable_addrs["vtable for A"]));

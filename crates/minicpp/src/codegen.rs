@@ -118,10 +118,7 @@ impl Compiled {
 
     /// Reverse lookup: class name for a primary vtable address.
     pub fn class_of(&self, vtable: Addr) -> Option<&str> {
-        self.vtables
-            .iter()
-            .find(|(_, a)| **a == vtable)
-            .map(|(c, _)| c.as_str())
+        self.vtables.iter().find(|(_, a)| **a == vtable).map(|(c, _)| c.as_str())
     }
 
     /// The induced binary type hierarchy (ground truth, paper §6.2).
@@ -190,7 +187,8 @@ fn finish(
             .iter()
             .filter(|c| emitted(&c.name))
             .map(|c| {
-                let parent = nearest_emitted(program, c.bases.first().map(String::as_str), &emitted);
+                let parent =
+                    nearest_emitted(program, c.bases.first().map(String::as_str), &emitted);
                 (c.name.clone(), parent)
             })
             .collect::<Vec<_>>(),
@@ -484,9 +482,8 @@ impl<'a> Codegen<'a> {
         let mut ctx = FnCtx::new(name);
         let mut renames = BTreeMap::new();
         for (i, p) in def.params.iter().enumerate() {
-            let reg = Reg::arg(i).ok_or_else(|| CompileError::TooManyArgs {
-                context: name.to_string(),
-            })?;
+            let reg = Reg::arg(i)
+                .ok_or_else(|| CompileError::TooManyArgs { context: name.to_string() })?;
             ctx.define(&p.name, p.class.clone());
             let off = ctx.slot_off(&p.name);
             ctx.emit(Instr::Store { base: Reg::SP, offset: off, src: reg });
@@ -556,11 +553,7 @@ impl<'a> Codegen<'a> {
             if self.options.inline_parent_ctors || self.eliminated(base) || base_always_inline {
                 self.ctor_content(ctx, base, this_off + base_off, false, depth + 1)?;
             } else {
-                ctx.emit(Instr::Lea {
-                    dst: Reg::R0,
-                    base: OBJ_REG,
-                    offset: this_off + base_off,
-                });
+                ctx.emit(Instr::Lea { dst: Reg::R0, base: OBJ_REG, offset: this_off + base_off });
                 ctx.instrs.push(AInstr::CallNamed(ctor_fn_name(base)));
             }
         }
@@ -568,13 +561,8 @@ impl<'a> Codegen<'a> {
         // Own vtable pointer stores.
         if store_vtables {
             for (off, idx) in cl.vptr_stores() {
-                ctx.instrs
-                    .push(AInstr::MovVtAddr(VPTR_REG, cl.vtables[idx].symbol_name()));
-                ctx.emit(Instr::Store {
-                    base: OBJ_REG,
-                    offset: this_off + off,
-                    src: VPTR_REG,
-                });
+                ctx.instrs.push(AInstr::MovVtAddr(VPTR_REG, cl.vtables[idx].symbol_name()));
+                ctx.emit(Instr::Store { base: OBJ_REG, offset: this_off + off, src: VPTR_REG });
             }
         }
 
@@ -582,11 +570,7 @@ impl<'a> Codegen<'a> {
         for f in &def.fields {
             let off = cl.field_offsets[f];
             ctx.emit(Instr::MovImm { dst: SCRATCH[0], imm: 0 });
-            ctx.emit(Instr::Store {
-                base: OBJ_REG,
-                offset: this_off + off,
-                src: SCRATCH[0],
-            });
+            ctx.emit(Instr::Store { base: OBJ_REG, offset: this_off + off, src: SCRATCH[0] });
         }
 
         // User body with `this` bound to the (adjusted) object pointer.
@@ -613,13 +597,8 @@ impl<'a> Codegen<'a> {
 
         if store_vtables {
             for (off, idx) in cl.vptr_stores() {
-                ctx.instrs
-                    .push(AInstr::MovVtAddr(VPTR_REG, cl.vtables[idx].symbol_name()));
-                ctx.emit(Instr::Store {
-                    base: OBJ_REG,
-                    offset: this_off + off,
-                    src: VPTR_REG,
-                });
+                ctx.instrs.push(AInstr::MovVtAddr(VPTR_REG, cl.vtables[idx].symbol_name()));
+                ctx.emit(Instr::Store { base: OBJ_REG, offset: this_off + off, src: VPTR_REG });
             }
         }
 
@@ -642,11 +621,7 @@ impl<'a> Codegen<'a> {
             if self.options.inline_parent_ctors || self.eliminated(base) || base_always_inline {
                 self.dtor_content(ctx, base, this_off + base_off, false, depth + 1)?;
             } else {
-                ctx.emit(Instr::Lea {
-                    dst: Reg::R0,
-                    base: OBJ_REG,
-                    offset: this_off + base_off,
-                });
+                ctx.emit(Instr::Lea { dst: Reg::R0, base: OBJ_REG, offset: this_off + base_off });
                 ctx.instrs.push(AInstr::CallNamed(dtor_fn_name(base)));
             }
         }
@@ -1091,9 +1066,7 @@ mod tests {
             let (i, n) = rock_binary::decode_instr(&text.bytes()[pos..], at).unwrap();
             match i {
                 Instr::Call { target } if target == parent_ctor.addr => calls_parent = true,
-                Instr::MovImm { imm, .. } if imm == parent_vt.value() => {
-                    stores_parent_vt = true
-                }
+                Instr::MovImm { imm, .. } if imm == parent_vt.value() => stores_parent_vt = true,
                 Instr::MovImm { imm, .. } if imm == own_vt.value() => stores_own_vt = true,
                 _ => {}
             }
@@ -1239,8 +1212,7 @@ mod tests {
     fn error_types_render() {
         let e = CompileError::TooManyArgs { context: "f".into() };
         assert_eq!(e.to_string(), "f: too many call arguments");
-        let v: CompileError =
-            ValidateError::DuplicateClass("A".into()).into();
+        let v: CompileError = ValidateError::DuplicateClass("A".into()).into();
         assert!(v.to_string().contains("duplicate class"));
     }
 }

@@ -20,16 +20,14 @@ pub fn comdat_fold(program: &mut AProgram) -> BTreeMap<String, String> {
     let mut canonical: HashMap<Vec<AInstr>, String> = HashMap::new();
     let mut replacement: BTreeMap<String, String> = BTreeMap::new();
 
-    program.functions.retain(|f| {
-        match canonical.get(f.body_key()) {
-            Some(survivor) => {
-                replacement.insert(f.name.clone(), survivor.clone());
-                false
-            }
-            None => {
-                canonical.insert(f.instrs.clone(), f.name.clone());
-                true
-            }
+    program.functions.retain(|f| match canonical.get(f.body_key()) {
+        Some(survivor) => {
+            replacement.insert(f.name.clone(), survivor.clone());
+            false
+        }
+        None => {
+            canonical.insert(f.instrs.clone(), f.name.clone());
+            true
         }
     });
 

@@ -27,19 +27,13 @@ impl GroundTruth {
         I: IntoIterator<Item = (S, Option<S>)>,
         S: Into<String>,
     {
-        let parent = pairs
-            .into_iter()
-            .map(|(c, p)| (c.into(), p.map(Into::into)))
-            .collect();
+        let parent = pairs.into_iter().map(|(c, p)| (c.into(), p.map(Into::into))).collect();
         GroundTruth { parent, extra_parents: BTreeMap::new() }
     }
 
     /// Registers an additional (multiple-inheritance) parent.
     pub fn add_extra_parent(&mut self, class: &str, parent: &str) {
-        self.extra_parents
-            .entry(class.to_string())
-            .or_default()
-            .push(parent.to_string());
+        self.extra_parents.entry(class.to_string()).or_default().push(parent.to_string());
     }
 
     /// All classes present in the binary, sorted.
@@ -82,11 +76,7 @@ impl GroundTruth {
 
     /// Root classes (no parent), sorted.
     pub fn roots(&self) -> Vec<&str> {
-        self.parent
-            .iter()
-            .filter(|(_, p)| p.is_none())
-            .map(|(c, _)| c.as_str())
-            .collect()
+        self.parent.iter().filter(|(_, p)| p.is_none()).map(|(c, _)| c.as_str()).collect()
     }
 
     /// Direct children of `class` (primary parent relation only), sorted.
@@ -190,10 +180,7 @@ mod tests {
     fn extra_parents() {
         let mut g = gt();
         g.add_extra_parent("BufferedFlushable", "ConfirmableStream");
-        assert_eq!(
-            g.parents_of("BufferedFlushable"),
-            vec!["FlushableStream", "ConfirmableStream"]
-        );
+        assert_eq!(g.parents_of("BufferedFlushable"), vec!["FlushableStream", "ConfirmableStream"]);
         // Primary relation untouched.
         assert_eq!(g.parent_of("BufferedFlushable"), Some("FlushableStream"));
     }

@@ -83,11 +83,7 @@ impl ClassLayout {
     /// The vtable-pointer stores a constructor of this class performs:
     /// `(object offset, vtable index in self.vtables)`.
     pub fn vptr_stores(&self) -> Vec<(i32, usize)> {
-        self.vtables
-            .iter()
-            .enumerate()
-            .map(|(i, vt)| (vt.subobject_offset, i))
-            .collect()
+        self.vtables.iter().enumerate().map(|(i, vt)| (vt.subobject_offset, i)).collect()
     }
 }
 
@@ -110,14 +106,12 @@ impl ProgramLayout {
         let mut out = ProgramLayout::default();
         // Topological order: bases before derived (validation guarantees
         // acyclicity and that bases are defined).
-        let mut remaining: Vec<&str> =
-            program.classes.iter().map(|c| c.name.as_str()).collect();
+        let mut remaining: Vec<&str> = program.classes.iter().map(|c| c.name.as_str()).collect();
         while !remaining.is_empty() {
             let before = remaining.len();
             remaining.retain(|name| {
                 let class = program.class(name).expect("validated");
-                let ready =
-                    class.bases.iter().all(|b| out.classes.contains_key(b.as_str()));
+                let ready = class.bases.iter().all(|b| out.classes.contains_key(b.as_str()));
                 if ready {
                     let layout = compute_class(program, name, &out.classes);
                     out.order.push((*name).to_string());
@@ -206,10 +200,8 @@ fn compute_class(
 
         // New methods (not overriding anything in any base) extend the
         // primary vtable.
-        let inherited: Vec<String> = vtables
-            .iter()
-            .flat_map(|vt| vt.slots.iter().map(|s| s.method.clone()))
-            .collect();
+        let inherited: Vec<String> =
+            vtables.iter().flat_map(|vt| vt.slots.iter().map(|s| s.method.clone())).collect();
         for m in &class.methods {
             if !inherited.iter().any(|n| n == &m.name) {
                 vtables[0].slots.push(SlotInfo {

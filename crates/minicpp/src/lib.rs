@@ -56,9 +56,9 @@ mod printer;
 mod program_builder;
 mod validate;
 
-pub use asm::{assemble, AFunction, AInstr, AProgram, ARtti, Assembled, AVtable};
+pub use asm::{assemble, AFunction, AInstr, AProgram, ARtti, AVtable, Assembled};
 pub use ast::{CallArg, ClassDef, Expr, FunctionDef, MethodDef, Param, Program, Stmt};
-pub use codegen::{compile, Compiled, CompileError};
+pub use codegen::{compile, CompileError, Compiled};
 pub use hierarchy::GroundTruth;
 pub use layout::{ClassLayout, ProgramLayout};
 pub use options::CompileOptions;

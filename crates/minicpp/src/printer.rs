@@ -87,7 +87,10 @@ fn body_source(body: &[Stmt], depth: usize, out: &mut String) {
             }
             Stmt::New { var, class, on_stack } => {
                 if *on_stack {
-                    let _ = writeln!(out, "{pad}{class} {var}_storage; {class}* {var} = &{var}_storage;");
+                    let _ = writeln!(
+                        out,
+                        "{pad}{class} {var}_storage; {class}* {var} = &{var}_storage;"
+                    );
                 } else {
                     let _ = writeln!(out, "{pad}{class}* {var} = new {class}();");
                 }
@@ -165,11 +168,9 @@ mod tests {
         p.class("Stream").method("send", |b| {
             b.ret();
         });
-        p.class("ConfirmableStream")
-            .base("Stream")
-            .method("confirm", |b| {
-                b.ret();
-            });
+        p.class("ConfirmableStream").base("Stream").method("confirm", |b| {
+            b.ret();
+        });
         p.func("useStream", |f| {
             f.param_obj("stream", "Stream");
             f.vcall("stream", "send", vec![Expr::Const(0)]);

@@ -67,10 +67,7 @@ impl ProgramBuilder {
         inline_hint: bool,
         f: impl FnOnce(&mut FuncBuilder),
     ) {
-        let mut fb = FuncBuilder {
-            params: Vec::new(),
-            body: BodyBuilder::new(),
-        };
+        let mut fb = FuncBuilder { params: Vec::new(), body: BodyBuilder::new() };
         f(&mut fb);
         self.program.functions.push(FunctionDef {
             name: name.into(),
@@ -132,21 +129,13 @@ impl ClassBuilder<'_> {
     ) -> &mut Self {
         let mut b = BodyBuilder::new();
         f(&mut b);
-        self.class().methods.push(MethodDef {
-            name: name.into(),
-            is_pure: false,
-            body: b.stmts,
-        });
+        self.class().methods.push(MethodDef { name: name.into(), is_pure: false, body: b.stmts });
         self
     }
 
     /// Adds a pure virtual method (implies the class is abstract).
     pub fn pure_method(&mut self, name: impl Into<String>) -> &mut Self {
-        self.class().methods.push(MethodDef {
-            name: name.into(),
-            is_pure: true,
-            body: Vec::new(),
-        });
+        self.class().methods.push(MethodDef { name: name.into(), is_pure: true, body: Vec::new() });
         self
     }
 
@@ -210,12 +199,7 @@ impl BodyBuilder {
         method: impl Into<String>,
         args: Vec<Expr>,
     ) -> &mut Self {
-        self.stmts.push(Stmt::VCall {
-            dst: None,
-            obj: obj.into(),
-            method: method.into(),
-            args,
-        });
+        self.stmts.push(Stmt::VCall { dst: None, obj: obj.into(), method: method.into(), args });
         self
     }
 
@@ -243,11 +227,7 @@ impl BodyBuilder {
         obj: impl Into<String>,
         field: impl Into<String>,
     ) -> &mut Self {
-        self.stmts.push(Stmt::ReadField {
-            dst: dst.into(),
-            obj: obj.into(),
-            field: field.into(),
-        });
+        self.stmts.push(Stmt::ReadField { dst: dst.into(), obj: obj.into(), field: field.into() });
         self
     }
 
@@ -305,11 +285,7 @@ impl BodyBuilder {
     }
 
     /// `while (cond) { body }`.
-    pub fn while_loop(
-        &mut self,
-        cond: Expr,
-        body_f: impl FnOnce(&mut BodyBuilder),
-    ) -> &mut Self {
+    pub fn while_loop(&mut self, cond: Expr, body_f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
         let mut b = BodyBuilder::new();
         body_f(&mut b);
         self.stmts.push(Stmt::While { cond, body: b.stmts });
@@ -465,11 +441,7 @@ impl FuncBuilder {
     }
 
     /// See [`BodyBuilder::while_loop`].
-    pub fn while_loop(
-        &mut self,
-        cond: Expr,
-        body_f: impl FnOnce(&mut BodyBuilder),
-    ) -> &mut Self {
+    pub fn while_loop(&mut self, cond: Expr, body_f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
         self.body.while_loop(cond, body_f);
         self
     }
@@ -539,11 +511,14 @@ mod tests {
     #[test]
     fn ctor_dtor_bodies() {
         let mut p = ProgramBuilder::new();
-        p.class("R").field("f").ctor(|b| {
-            b.write("this", "f", Expr::Const(7));
-        }).dtor(|b| {
-            b.read("v", "this", "f");
-        });
+        p.class("R")
+            .field("f")
+            .ctor(|b| {
+                b.write("this", "f", Expr::Const(7));
+            })
+            .dtor(|b| {
+                b.read("v", "this", "f");
+            });
         let program = p.finish();
         let r = program.class("R").unwrap();
         assert_eq!(r.ctor_body.len(), 1);

@@ -184,10 +184,7 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
     for c in &program.classes {
         for b in &c.bases {
             if !class_names.contains(b.as_str()) {
-                return Err(ValidateError::UnknownBase {
-                    class: c.name.clone(),
-                    base: b.clone(),
-                });
+                return Err(ValidateError::UnknownBase { class: c.name.clone(), base: b.clone() });
             }
         }
         let mut methods = BTreeSet::new();
@@ -578,11 +575,7 @@ mod tests {
         b.methods = vec![MethodDef {
             name: "use_x".into(),
             is_pure: false,
-            body: vec![Stmt::ReadField {
-                dst: "v".into(),
-                obj: "this".into(),
-                field: "x".into(),
-            }],
+            body: vec![Stmt::ReadField { dst: "v".into(), obj: "this".into(), field: "x".into() }],
         }];
         let p = Program { classes: vec![a, b], functions: vec![] };
         assert_eq!(validate(&p), Ok(()));

@@ -90,7 +90,7 @@ proptest! {
         let layout = ProgramLayout::compute(&program).unwrap();
         for cl in layout.iter() {
             let mut seen = std::collections::BTreeSet::new();
-            for (_, off) in &cl.field_offsets {
+            for off in cl.field_offsets.values() {
                 prop_assert!(*off >= 8, "field below the vptr in {}", cl.name);
                 prop_assert_eq!(*off % 8, 0);
                 prop_assert!(seen.insert(*off), "duplicate offset in {}", cl.name);

@@ -1,0 +1,202 @@
+//! A thread-safe memo table for pairwise model distances.
+//!
+//! The lifting step of the pipeline is quadratic per family: one SLM per
+//! vtable, then a divergence for every surviving parent/child pair
+//! (§4.2). The same pair is re-queried by family repartitioning, by
+//! `k_most_likely_parents` (§6.4 CFI), and by ablation sweeps that re-run
+//! the pipeline with different knobs over the *same* binary. The cache
+//! keys each computed distance by `(metric, from, to)` so every pair is
+//! computed exactly once per binary, however many passes ask for it.
+//!
+//! Keys identify models only by the caller-chosen `K` (vtable addresses
+//! in the pipeline), so a cache must not be shared across *different*
+//! binaries where the same key could denote different models.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{Metric, Slm, Symbol};
+
+const SHARDS: usize = 16;
+
+/// One lock-protected slice of the key space.
+type Shard<K> = Mutex<BTreeMap<(Metric, K, K), f64>>;
+
+/// A sharded, thread-safe `(metric, from, to) -> distance` memo table.
+///
+/// # Example
+///
+/// ```
+/// use rock_slm::{DistanceCache, Metric, Slm};
+/// let mut a = Slm::new(2);
+/// a.train(&["x", "y"]);
+/// let mut b = Slm::new(2);
+/// b.train(&["y", "z"]);
+/// let cache: DistanceCache<&str> = DistanceCache::new();
+/// let first = cache.distance(Metric::KlDivergence, (&"a", &a), (&"b", &b));
+/// let again = cache.distance(Metric::KlDivergence, (&"a", &a), (&"b", &b));
+/// assert_eq!(first, again);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DistanceCache<K: Ord + Clone + Hash> {
+    shards: [Shard<K>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Ord + Clone + Hash> DistanceCache<K> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DistanceCache {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(key: &(Metric, K, K)) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % SHARDS as u64) as usize
+    }
+
+    /// Returns `metric.distance(from_model, to_model)`, computing it at
+    /// most once per `(metric, from, to)` key.
+    pub fn distance<S: Symbol>(
+        &self,
+        metric: Metric,
+        from: (&K, &Slm<S>),
+        to: (&K, &Slm<S>),
+    ) -> f64 {
+        let key = (metric, from.0.clone(), to.0.clone());
+        let shard = &self.shards[Self::shard_of(&key)];
+        if let Some(d) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *d;
+        }
+        // Compute outside the lock: divergences are expensive and pairs
+        // are unique within one pass, so duplicated work is negligible.
+        let d = metric.distance(from.1, to.1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("cache shard poisoned").entry(key).or_insert(d);
+        d
+    }
+
+    /// The cached distance for `(metric, from, to)`, if already computed.
+    pub fn get(&self, metric: Metric, from: &K, to: &K) -> Option<f64> {
+        let key = (metric, from.clone(), to.clone());
+        self.shards[Self::shard_of(&key)].lock().expect("cache shard poisoned").get(&key).copied()
+    }
+
+    /// Number of lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached pairs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// Returns `true` if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the hit/miss counters. Call when
+    /// reusing a cache for a *different* binary.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kl_divergence;
+
+    fn model(seqs: &[&[&'static str]]) -> Slm<&'static str> {
+        let mut m = Slm::new(2);
+        for s in seqs {
+            m.train(s);
+        }
+        m
+    }
+
+    #[test]
+    fn caches_and_counts() {
+        let a = model(&[&["x", "y", "x"]]);
+        let b = model(&[&["y", "z"]]);
+        let cache: DistanceCache<u32> = DistanceCache::new();
+        let d1 = cache.distance(Metric::KlDivergence, (&1, &a), (&2, &b));
+        assert_eq!(d1, kl_divergence(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let d2 = cache.distance(Metric::KlDivergence, (&1, &a), (&2, &b));
+        assert_eq!(d1, d2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keyed_by_metric_and_direction() {
+        let a = model(&[&["x", "x", "x"]]);
+        let b = model(&[&["x", "y", "z"]]);
+        let cache: DistanceCache<u32> = DistanceCache::new();
+        cache.distance(Metric::KlDivergence, (&1, &a), (&2, &b));
+        cache.distance(Metric::KlDivergence, (&2, &b), (&1, &a));
+        cache.distance(Metric::JsDivergence, (&1, &a), (&2, &b));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.get(Metric::KlDivergence, &1, &2), Some(kl_divergence(&a, &b)));
+        assert_eq!(cache.get(Metric::JsDistance, &1, &2), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let a = model(&[&["x"]]);
+        let cache: DistanceCache<u8> = DistanceCache::new();
+        cache.distance(Metric::KlDivergence, (&0, &a), (&1, &a));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let a = model(&[&["x", "y", "x", "z"]]);
+        let b = model(&[&["y", "z", "y"]]);
+        let cache: DistanceCache<usize> = DistanceCache::new();
+        let expect = kl_divergence(&a, &b);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..50 {
+                        let d = cache.distance(
+                            Metric::KlDivergence,
+                            (&(i % 5), &a),
+                            (&(10 + i % 7), &b),
+                        );
+                        assert_eq!(d, expect);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 5 * 7);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

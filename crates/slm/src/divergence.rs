@@ -10,7 +10,7 @@ use crate::{Slm, Symbol};
 ///
 /// The paper's algorithm is parametric in this choice (Remark 4.1); only a
 /// *ranking* over candidate parents is required.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Metric {
     /// Kullback–Leibler divergence `D_KL(child ‖ parent)` — the paper's
     /// choice, asymmetric like the problem itself.
@@ -107,15 +107,21 @@ pub fn kl_divergence<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
 
 /// `D_KL(A ‖ B) = Σ_w Pr_A(w) · ln(Pr_A(w) / Pr_B(w))` over an explicit
 /// word set.
+///
+/// Computed in log space: PPM-C never assigns a true zero, but for long
+/// words `sequence_prob_with_alphabet` underflows `f64` to `0.0`, and a
+/// naive `pa > 0 && pb > 0` guard would silently drop exactly the terms
+/// that dominate the divergence (a word `A` knows well that `B` finds
+/// astronomically unlikely). `ln(pa/pb) = log_pa − log_pb` stays finite,
+/// and the `pa` weight underflowing to zero is then the mathematically
+/// correct limit rather than a dropped term.
 pub fn kl_divergence_over<S: Symbol>(a: &Slm<S>, b: &Slm<S>, words: &[Vec<S>]) -> f64 {
     let n = union_alphabet_len(a, b);
     let mut d = 0.0;
     for w in words {
-        let pa = a.sequence_prob_with_alphabet(w, n);
-        let pb = b.sequence_prob_with_alphabet(w, n);
-        if pa > 0.0 && pb > 0.0 {
-            d += pa * (pa / pb).ln();
-        }
+        let log_pa = a.sequence_log_prob_with_alphabet(w, n);
+        let log_pb = b.sequence_log_prob_with_alphabet(w, n);
+        d += log_pa.exp() * (log_pa - log_pb);
     }
     d
 }
@@ -219,10 +225,7 @@ mod tests {
         let c3 = model(2, &[&["f0", "f0", "f0", "f1", "f2"]]);
         let d31 = kl_divergence(&c3, &c1);
         let d32 = kl_divergence(&c3, &c2);
-        assert!(
-            d31 < d32,
-            "Class1 should rank as more likely parent of Class3: {d31} vs {d32}"
-        );
+        assert!(d31 < d32, "Class1 should rank as more likely parent of Class3: {d31} vs {d32}");
     }
 
     #[test]
@@ -270,6 +273,30 @@ mod tests {
         let d = kl_divergence_over(&a, &b, &words);
         assert!(d > 0.0);
         // Over an empty word set the divergence collapses to zero.
+        assert_eq!(kl_divergence_over(&a, &b, &[]), 0.0);
+    }
+
+    #[test]
+    fn kl_over_long_words_survives_underflow() {
+        // Regression: `b` finds a 64-symbol word of pure "q"s astronomically
+        // unlikely — log Pr_B ≈ 64·ln(escape·1/|Σ|) is far below ln(f64::MIN),
+        // so Pr_B rounds to exactly 0.0 and the old `pa > 0 && pb > 0` guard
+        // silently dropped the single dominant term, reporting d == 0.
+        let a = model(2, &[&["q"; 64]]);
+        let mut b = Slm::new(2);
+        let noise: Vec<&'static str> =
+            ["u", "v", "w"].iter().cycle().take(120_000).copied().collect();
+        b.train(&noise);
+        let words = vec![vec!["q"; 64]];
+        let n = 4; // union alphabet {q, u, v, w}
+        assert_eq!(
+            b.sequence_prob_with_alphabet(&words[0], n),
+            0.0,
+            "fixture must actually underflow in linear space"
+        );
+        let d = kl_divergence_over(&a, &b, &words);
+        assert!(d.is_finite() && d > 100.0, "long-word term must dominate, not vanish: {d}");
+        // Over an empty word set the divergence still collapses to zero.
         assert_eq!(kl_divergence_over(&a, &b, &[]), 0.0);
     }
 

@@ -44,9 +44,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod divergence;
 mod model;
 
+pub use cache::DistanceCache;
 pub use divergence::{
     cross_entropy, js_distance, js_divergence, kl_divergence, kl_divergence_over, perplexity,
     word_set, Metric,

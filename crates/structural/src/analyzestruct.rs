@@ -19,10 +19,7 @@ pub struct PossibleParents {
 impl PossibleParents {
     /// The candidate parents of `child`, sorted.
     pub fn of(&self, child: Addr) -> Vec<Addr> {
-        self.allowed
-            .get(&child)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        self.allowed.get(&child).map(|s| s.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Returns `true` if `parent` may be `child`'s parent.
@@ -86,10 +83,7 @@ impl Structural {
 
     /// The family containing `vtable`, if any.
     pub fn family_of(&self, vtable: Addr) -> Option<&[Addr]> {
-        self.families
-            .iter()
-            .find(|f| f.contains(&vtable))
-            .map(Vec::as_slice)
+        self.families.iter().find(|f| f.contains(&vtable)).map(Vec::as_slice)
     }
 
     /// The possible-parent relation.
@@ -117,10 +111,7 @@ impl Structural {
     /// the hierarchy is determined without any behavioral analysis
     /// (the paper's "structurally resolvable" benchmarks).
     pub fn is_structurally_resolved(&self) -> bool {
-        self.families
-            .iter()
-            .flatten()
-            .all(|vt| self.possible.of(*vt).len() <= 1)
+        self.families.iter().flatten().all(|vt| self.possible.of(*vt).len() <= 1)
     }
 
     /// Total number of candidate hierarchies left (product over types of
@@ -237,11 +228,7 @@ pub fn analyze(loaded: &LoadedBinary, ctors: &CtorMap, config: &AnalysisConfig) 
         stats.rule3_pinning += before.saturating_sub(possible.of(child).len());
         // Ensure the pinned parent survived (it may have been eliminated
         // by an over-eager rule; ctor evidence is authoritative).
-        possible
-            .allowed
-            .entry(child)
-            .or_default()
-            .insert(parent);
+        possible.allowed.entry(child).or_default().insert(parent);
     }
     stats.remaining = possible.allowed.values().map(BTreeSet::len).sum();
 
@@ -425,11 +412,13 @@ mod tests {
         // simpler: they share nothing, so force same family via ctor...
         // Instead craft it directly: Base defines m + n; child overrides m
         // as pure (keeps n shared).
-        p.class("Base").method("bm", |b| {
-            b.ret();
-        }).method("bn", |b| {
-            b.ret();
-        });
+        p.class("Base")
+            .method("bm", |b| {
+                b.ret();
+            })
+            .method("bn", |b| {
+                b.ret();
+            });
         p.class("PureChild").base("Base").pure_method("bm");
         p.class("Leaf").base("PureChild").method("bm", |b| {
             b.ret();

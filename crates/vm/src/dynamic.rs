@@ -62,18 +62,10 @@ pub fn dynamic_reconstruct(
             }
         }
     }
-    let in_vtables: BTreeSet<Addr> = vm
-        .loaded()
-        .vtables()
-        .iter()
-        .flat_map(|v| v.slots().iter().copied())
-        .collect();
-    let runtime: BTreeSet<Addr> = image
-        .symbols()
-        .iter()
-        .filter(|s| s.name.starts_with("__"))
-        .map(|s| s.addr)
-        .collect();
+    let in_vtables: BTreeSet<Addr> =
+        vm.loaded().vtables().iter().flat_map(|v| v.slots().iter().copied()).collect();
+    let runtime: BTreeSet<Addr> =
+        image.symbols().iter().filter(|s| s.name.starts_with("__")).map(|s| s.addr).collect();
     let drivers: Vec<Addr> = vm
         .loaded()
         .functions()

@@ -224,10 +224,7 @@ impl Machine {
             if steps > self.step_limit {
                 return Err(VmError::StepLimit(self.step_limit));
             }
-            let function = self
-                .loaded
-                .function_containing(pc)
-                .ok_or(VmError::BadPc(pc))?;
+            let function = self.loaded.function_containing(pc).ok_or(VmError::BadPc(pc))?;
             let idx = function.index_of(pc).ok_or(VmError::BadPc(pc))?;
             let d = function.instrs()[idx];
             let mut next = d.next_addr();
@@ -347,10 +344,7 @@ impl Machine {
         if self.loaded.function_at(target).is_none() {
             return Err(VmError::BadIndirectTarget(target));
         }
-        self.trace.push(TraceEvent::DirectCall {
-            target,
-            receiver: Addr::new(self.reg(Reg::R0)),
-        });
+        self.trace.push(TraceEvent::DirectCall { target, receiver: Addr::new(self.reg(Reg::R0)) });
         frames.push((Some(return_pc), self.reg(Reg::SP)));
         Ok(Some(target))
     }
@@ -390,11 +384,7 @@ mod tests {
         p.func("add", |f| {
             f.param_val("a");
             f.param_val("b");
-            f.ret_val(Expr::bin(
-                rock_binary::BinOp::Add,
-                Expr::Param(0),
-                Expr::Param(1),
-            ));
+            f.ret_val(Expr::bin(rock_binary::BinOp::Add, Expr::Param(0), Expr::Param(1)));
         });
         let (mut vm, compiled) = machine_for(p, &CompileOptions::default());
         let out = vm.run(entry(&compiled, "add"), &[40, 2]).unwrap();
@@ -458,15 +448,21 @@ mod tests {
     #[test]
     fn fields_persist_across_calls() {
         let mut p = ProgramBuilder::new();
-        p.class("Counter").field("n").method("bump", |b| {
-            b.read("v", "this", "n");
-            b.let_("v2", Expr::bin(rock_binary::BinOp::Add, Expr::Var("v".into()), Expr::Const(1)));
-            b.write("this", "n", Expr::Var("v2".into()));
-            b.ret();
-        }).method("get", |b| {
-            b.read("v", "this", "n");
-            b.ret_val(Expr::Var("v".into()));
-        });
+        p.class("Counter")
+            .field("n")
+            .method("bump", |b| {
+                b.read("v", "this", "n");
+                b.let_(
+                    "v2",
+                    Expr::bin(rock_binary::BinOp::Add, Expr::Var("v".into()), Expr::Const(1)),
+                );
+                b.write("this", "n", Expr::Var("v2".into()));
+                b.ret();
+            })
+            .method("get", |b| {
+                b.read("v", "this", "n");
+                b.ret_val(Expr::Var("v".into()));
+            });
         p.func("drive", |f| {
             f.new_obj("c", "Counter");
             f.vcall("c", "bump", vec![]);
@@ -526,13 +522,16 @@ mod tests {
     #[test]
     fn stack_objects_work() {
         let mut p = ProgramBuilder::new();
-        p.class("S").field("v").method("put", |b| {
-            b.write("this", "v", Expr::Const(9));
-            b.ret();
-        }).method("get", |b| {
-            b.read("x", "this", "v");
-            b.ret_val(Expr::Var("x".into()));
-        });
+        p.class("S")
+            .field("v")
+            .method("put", |b| {
+                b.write("this", "v", Expr::Const(9));
+                b.ret();
+            })
+            .method("get", |b| {
+                b.read("x", "this", "v");
+                b.ret_val(Expr::Var("x".into()));
+            });
         p.func("drive", |f| {
             f.new_stack("s", "S");
             f.vcall("s", "put", vec![]);
@@ -623,10 +622,7 @@ mod tests {
             f.ret();
         });
         let (mut vm, _) = machine_for(p, &CompileOptions::default());
-        assert!(matches!(
-            vm.run(Addr::new(0x9999), &[]),
-            Err(VmError::NotAFunction(_))
-        ));
+        assert!(matches!(vm.run(Addr::new(0x9999), &[]), Err(VmError::NotAFunction(_))));
     }
 
     #[test]

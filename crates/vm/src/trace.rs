@@ -104,9 +104,7 @@ impl Trace {
 
     /// Just the virtual calls, in order.
     pub fn virtual_calls(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::VirtualCall { .. }))
+        self.events.iter().filter(|e| matches!(e, TraceEvent::VirtualCall { .. }))
     }
 }
 

@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("baseline     : without {} | with {}", eval.without_slm, eval.with_slm);
 
     // Repartitioning heals the severed subtree.
-    let recon_rep =
-        Rock::new(RockConfig::paper().with_repartitioning()).reconstruct(&loaded);
+    let recon_rep = Rock::new(RockConfig::paper().with_repartitioning()).reconstruct(&loaded);
     let eval_rep = evaluate(&compiled, &recon_rep);
     println!("repartitioned: with {}", eval_rep.with_slm);
     assert!(eval_rep.with_slm.avg_missing <= eval.with_slm.avg_missing);

@@ -42,7 +42,9 @@ fn program() -> ProgramBuilder {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (label, inline) in [("debug build (ctor calls intact)", false), ("optimized build (ctors inlined)", true)] {
+    for (label, inline) in
+        [("debug build (ctor calls intact)", false), ("optimized build (ctors inlined)", true)]
+    {
         println!("=== {label} ===");
         let mut opts = CompileOptions::default();
         opts.inline_parent_ctors = inline;
@@ -53,10 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("dynamic (Lego-style):");
         for class in ["Shape", "Polygon", "Triangle"] {
             let vt = compiled.vtable_of(class).unwrap();
-            let parent = dyn_forest
-                .parent_of(&vt)
-                .and_then(|p| compiled.class_of(*p))
-                .unwrap_or("(root)");
+            let parent =
+                dyn_forest.parent_of(&vt).and_then(|p| compiled.class_of(*p)).unwrap_or("(root)");
             println!("  {class} : {parent}");
         }
 
@@ -70,11 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let poly = compiled.vtable_of("Polygon").unwrap();
         let shape = compiled.vtable_of("Shape").unwrap();
         if inline {
-            assert_eq!(
-                dyn_forest.parent_of(&poly),
-                None,
-                "dynamic evidence erased by inlining"
-            );
+            assert_eq!(dyn_forest.parent_of(&poly), None, "dynamic evidence erased by inlining");
         } else {
             assert_eq!(dyn_forest.parent_of(&poly), Some(&shape));
         }

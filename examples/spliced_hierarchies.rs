@@ -23,8 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(compiled.vtable_of("CGridListCtrlEx_C27"), None, "abstract root eliminated");
     // ...so their children are roots in the induced ground truth (Fig. 9a).
     let gt = compiled.ground_truth();
-    for orphan in ["CGridListCtrlEx_C25", "CGridListCtrlEx_C26", "CGridListCtrlEx_C28",
-                   "CGridListCtrlEx_C29"] {
+    for orphan in
+        ["CGridListCtrlEx_C25", "CGridListCtrlEx_C26", "CGridListCtrlEx_C28", "CGridListCtrlEx_C29"]
+    {
         assert_eq!(gt.parent_of(orphan), None, "{orphan} should be a GT root");
     }
 
@@ -37,8 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {orphan} (root)");
     }
     println!("\nreconstructed (Fig. 9b): the pairs are spliced");
-    for pair in [("CGridListCtrlEx_C25", "CGridListCtrlEx_C26"),
-                 ("CGridListCtrlEx_C28", "CGridListCtrlEx_C29")] {
+    for pair in [
+        ("CGridListCtrlEx_C25", "CGridListCtrlEx_C26"),
+        ("CGridListCtrlEx_C28", "CGridListCtrlEx_C29"),
+    ] {
         let p0 = hierarchy.parent_of(&pair.0.to_string());
         let p1 = hierarchy.parent_of(&pair.1.to_string());
         println!("  {} : parent {:?}", pair.0, p0);

@@ -6,5 +6,5 @@ pub use rock_graph as graph;
 pub use rock_loader as loader;
 pub use rock_minicpp as minicpp;
 pub use rock_slm as slm;
-pub use rock_vm as vm;
 pub use rock_structural as structural;
+pub use rock_vm as vm;

@@ -22,15 +22,21 @@ fn seven_types() -> ProgramBuilder {
         b.read("v", "this", "state");
         b.ret();
     });
-    p.class("MidB").base("Root").field("bstate").method("mid_b0", |b| {
-        b.write("this", "bstate", Expr::Const(7));
-        b.ret();
-    }).method("mid_b1", |b| {
-        b.read("v", "this", "bstate");
-        b.write("this", "bstate", Expr::Const(9));
-        b.ret();
-    });
-    for (leaf, base) in [("LeafA0", "MidA"), ("LeafA1", "MidA"), ("LeafB0", "MidB"), ("LeafB1", "MidB")] {
+    p.class("MidB")
+        .base("Root")
+        .field("bstate")
+        .method("mid_b0", |b| {
+            b.write("this", "bstate", Expr::Const(7));
+            b.ret();
+        })
+        .method("mid_b1", |b| {
+            b.read("v", "this", "bstate");
+            b.write("this", "bstate", Expr::Const(9));
+            b.ret();
+        });
+    for (leaf, base) in
+        [("LeafA0", "MidA"), ("LeafA1", "MidA"), ("LeafB0", "MidB"), ("LeafB1", "MidB")]
+    {
         let fld = format!("{}_data", leaf.to_lowercase());
         let fld2 = fld.clone();
         let k = leaf.len() as u64 + leaf.ends_with('1') as u64 * 11;
@@ -114,10 +120,7 @@ fn optimized_build_is_ambiguous_but_reconstructed() {
     opts.inline_parent_ctors = true;
     let compiled = compile(&seven_types().finish(), &opts).unwrap();
     let recon = reconstruct(&compiled);
-    assert!(
-        !recon.structural.is_structurally_resolved(),
-        "inlining must remove the pins"
-    );
+    assert!(!recon.structural.is_structurally_resolved(), "inlining must remove the pins");
     let eval = evaluate(&compiled, &recon);
     // This workload is deliberately adversarial: sibling subtrees collide
     // on slot indices *and* field offsets, the hardest case for a purely
@@ -200,10 +203,7 @@ fn loader_sees_every_emitted_vtable() {
     let compiled = compile(&seven_types().finish(), &CompileOptions::default()).unwrap();
     let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
     for (class, vt) in compiled.vtables() {
-        assert!(
-            loaded.vtable_at(*vt).is_some(),
-            "{class}'s vtable at {vt} must be discovered"
-        );
+        assert!(loaded.vtable_at(*vt).is_some(), "{class}'s vtable at {vt} must be discovered");
     }
 }
 

@@ -24,15 +24,9 @@ fn garbage_text_is_a_decode_error() {
 #[test]
 fn text_without_prologue_is_rejected() {
     // 0x02 = ret: valid instruction, but no `enter` at the start.
-    let image = BinaryImage::new(vec![Section::new(
-        SectionKind::Text,
-        Addr::new(0x1000),
-        vec![0x02],
-    )]);
-    assert!(matches!(
-        LoadedBinary::load(image),
-        Err(LoadError::NoPrologueAtStart { .. })
-    ));
+    let image =
+        BinaryImage::new(vec![Section::new(SectionKind::Text, Addr::new(0x1000), vec![0x02])]);
+    assert!(matches!(LoadedBinary::load(image), Err(LoadError::NoPrologueAtStart { .. })));
 }
 
 #[test]
@@ -43,19 +37,10 @@ fn truncated_text_section_is_detected() {
     // Chop two bytes off: the trailing 1-byte `ret` plus the final byte
     // of the preceding multi-byte instruction, so the cut is guaranteed
     // to land mid-instruction.
-    let truncated = Section::new(
-        SectionKind::Text,
-        text.base(),
-        text.bytes()[..text.len() - 2].to_vec(),
-    );
+    let truncated =
+        Section::new(SectionKind::Text, text.base(), text.bytes()[..text.len() - 2].to_vec());
     let mut sections = vec![truncated];
-    sections.extend(
-        image
-            .sections()
-            .iter()
-            .filter(|s| s.kind() != SectionKind::Text)
-            .cloned(),
-    );
+    sections.extend(image.sections().iter().filter(|s| s.kind() != SectionKind::Text).cloned());
     let broken = BinaryImage::new(sections);
     assert!(matches!(LoadedBinary::load(broken), Err(LoadError::Decode(_))));
 }
@@ -71,12 +56,8 @@ fn corrupted_vtable_slot_degrades_gracefully() {
     let mut bytes = rodata.bytes().to_vec();
     let off = (vt.value() - rodata.base().value()) as usize + 8; // slot 1
     bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-    let mut sections: Vec<Section> = image
-        .sections()
-        .iter()
-        .filter(|s| s.kind() != SectionKind::RoData)
-        .cloned()
-        .collect();
+    let mut sections: Vec<Section> =
+        image.sections().iter().filter(|s| s.kind() != SectionKind::RoData).cloned().collect();
     sections.push(Section::new(SectionKind::RoData, rodata.base(), bytes));
     let patched = BinaryImage::new(sections);
     let loaded = LoadedBinary::load(patched).expect("still loads");
@@ -84,7 +65,7 @@ fn corrupted_vtable_slot_degrades_gracefully() {
     assert_eq!(b_table.len(), 1, "table truncated at the corrupted slot");
     // The pipeline still runs.
     let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
-    assert!(recon.hierarchy.len() >= 1);
+    assert!(!recon.hierarchy.is_empty());
 }
 
 #[test]

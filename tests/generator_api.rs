@@ -1,6 +1,6 @@
 //! Tests of the public workload-generator API (`suite::generate_program`
-//! + `ClassSpec`) — the interface downstream users get for synthesizing
-//! benchmarks with controlled structural characters.
+//! plus `ClassSpec`) — the interface downstream users get for
+//! synthesizing benchmarks with controlled structural characters.
 
 use rock::core::suite::{generate_program, ClassSpec};
 use rock::core::{evaluate, Rock, RockConfig};

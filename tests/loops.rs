@@ -11,15 +11,18 @@ use rock::vm::Machine;
 /// A looping driver: constructs an object and dispatches on it `n` times.
 fn looping_program() -> ProgramBuilder {
     let mut p = ProgramBuilder::new();
-    p.class("Acc").field("total").method("add_one", |b| {
-        b.read("t", "this", "total");
-        b.let_("t2", Expr::bin(BinOp::Add, Expr::Var("t".into()), Expr::Const(1)));
-        b.write("this", "total", Expr::Var("t2".into()));
-        b.ret();
-    }).method("total_of", |b| {
-        b.read("t", "this", "total");
-        b.ret_val(Expr::Var("t".into()));
-    });
+    p.class("Acc")
+        .field("total")
+        .method("add_one", |b| {
+            b.read("t", "this", "total");
+            b.let_("t2", Expr::bin(BinOp::Add, Expr::Var("t".into()), Expr::Const(1)));
+            b.write("this", "total", Expr::Var("t2".into()));
+            b.ret();
+        })
+        .method("total_of", |b| {
+            b.read("t", "this", "total");
+            b.ret_val(Expr::Var("t".into()));
+        });
     p.class("Doubler").base("Acc").method("add_one", |b| {
         b.read("t", "this", "total");
         b.let_("t2", Expr::bin(BinOp::Add, Expr::Var("t".into()), Expr::Const(2)));
@@ -30,13 +33,10 @@ fn looping_program() -> ProgramBuilder {
         f.param_val("n");
         f.new_obj("a", "Acc");
         f.let_("i", Expr::Const(0));
-        f.while_loop(
-            Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Param(0)),
-            |b| {
-                b.vcall("a", "add_one", vec![]);
-                b.let_("i", Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Const(1)));
-            },
-        );
+        f.while_loop(Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Param(0)), |b| {
+            b.vcall("a", "add_one", vec![]);
+            b.let_("i", Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Const(1)));
+        });
         f.vcall_dst("r", "a", "total_of", vec![]);
         f.ret_val(Expr::Var("r".into()));
     });
@@ -44,13 +44,10 @@ fn looping_program() -> ProgramBuilder {
         f.param_val("n");
         f.new_obj("d", "Doubler");
         f.let_("i", Expr::Const(0));
-        f.while_loop(
-            Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Param(0)),
-            |b| {
-                b.vcall("d", "add_one", vec![]);
-                b.let_("i", Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Const(1)));
-            },
-        );
+        f.while_loop(Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Param(0)), |b| {
+            b.vcall("d", "add_one", vec![]);
+            b.let_("i", Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Const(1)));
+        });
         f.vcall_dst("r", "d", "total_of", vec![]);
         f.ret_val(Expr::Var("r".into()));
     });

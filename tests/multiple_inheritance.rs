@@ -21,14 +21,11 @@ fn diamond_free_mi() -> ProgramBuilder {
         b.write("this", "wbuf", rock::minicpp::Expr::Const(3));
         b.ret();
     });
-    p.class("Duplex")
-        .base("Readable")
-        .base("Writable")
-        .method("flush_both", |b| {
-            b.vcall("this", "read", vec![]);
-            b.vcall("this", "write_it", vec![]);
-            b.ret();
-        });
+    p.class("Duplex").base("Readable").base("Writable").method("flush_both", |b| {
+        b.vcall("this", "read", vec![]);
+        b.vcall("this", "write_it", vec![]);
+        b.ret();
+    });
     p.func("drive_r", |f| {
         f.new_obj("r", "Readable");
         f.vcall("r", "read", vec![]);

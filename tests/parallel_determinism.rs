@@ -1,0 +1,91 @@
+//! Determinism under parallelism: `Parallelism::Serial` and
+//! `Parallelism::Threads(4)` must produce **bit-identical**
+//! reconstructions. All parallel merges happen in input order over
+//! BTreeMap-backed structures, and every edge weight is the same
+//! float computation on the same operands — so not just the chosen
+//! hierarchy but every distance bit pattern must agree.
+
+use rock::core::{suite, Parallelism, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+
+fn reconstruct_with(
+    loaded: &LoadedBinary,
+    config: RockConfig,
+    parallelism: Parallelism,
+) -> rock::core::Reconstruction {
+    Rock::new(config.with_parallelism(parallelism)).reconstruct(loaded)
+}
+
+#[test]
+fn stress_program_serial_vs_threads_bit_identical() {
+    // 3 families × (1 + 3 + 9) = 39 types — the §6.1 soak shape.
+    let bench = suite::stress_program(3, 3, 3);
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+
+    // Tie resolution ON (the default): tie-vote outcomes are part of the
+    // hierarchy, so equality covers them too.
+    let config = RockConfig::paper();
+    let serial = reconstruct_with(&loaded, config, Parallelism::Serial);
+    let parallel = reconstruct_with(&loaded, config, Parallelism::Threads(4));
+
+    assert_eq!(serial.hierarchy, parallel.hierarchy, "hierarchies diverged");
+
+    // Distances must agree down to the bit pattern, not just under
+    // float ==.
+    assert_eq!(serial.distances.len(), parallel.distances.len());
+    for (key, d_serial) in &serial.distances {
+        let d_parallel = parallel.distances.get(key).expect("edge missing in parallel run");
+        assert_eq!(
+            d_serial.to_bits(),
+            d_parallel.to_bits(),
+            "distance for {key:?} differs: {d_serial} vs {d_parallel}"
+        );
+    }
+
+    // Per-type chosen parents (including every tie-vote outcome) agree.
+    for vt in loaded.vtables() {
+        assert_eq!(
+            serial.parent_of(vt.addr()),
+            parallel.parent_of(vt.addr()),
+            "tie-vote outcome diverged for {}",
+            vt.addr()
+        );
+    }
+
+    // The parallel run really did use more workers.
+    assert_eq!(serial.timings.threads, 1);
+    assert_eq!(parallel.timings.threads, 4);
+    // Same work either way: one cache miss per computed pair.
+    assert_eq!(serial.timings.cache_misses, parallel.timings.cache_misses);
+    assert_eq!(serial.timings.edge_count, parallel.timings.edge_count);
+}
+
+#[test]
+fn repartitioning_path_is_deterministic_too() {
+    // Repartitioning adds the snapshot-scan + guarded-apply phase; its
+    // proposals and applications must not depend on thread count either.
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+
+    let config = RockConfig::paper().with_repartitioning();
+    let serial = reconstruct_with(&loaded, config, Parallelism::Serial);
+    let parallel = reconstruct_with(&loaded, config, Parallelism::Threads(4));
+
+    assert_eq!(serial.hierarchy, parallel.hierarchy);
+    assert!(serial.hierarchy.is_acyclic());
+    assert_eq!(serial.distances, parallel.distances);
+}
+
+#[test]
+fn auto_parallelism_matches_serial() {
+    let bench = suite::streams_example();
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+
+    let serial = reconstruct_with(&loaded, RockConfig::paper(), Parallelism::Serial);
+    let auto = reconstruct_with(&loaded, RockConfig::paper(), Parallelism::Auto);
+    assert_eq!(serial.hierarchy, auto.hierarchy);
+    assert_eq!(serial.distances, auto.distances);
+}

@@ -21,7 +21,7 @@ fn echoparams_types_are_structurally_equivalent() {
     // parents for each type."
     let (compiled, recon) = setup("echoparams");
     assert_eq!(recon.structural.families().len(), 1, "one family");
-    for (_, vt) in compiled.vtables() {
+    for vt in compiled.vtables().values() {
         assert_eq!(
             recon.possible_parents_of(*vt).len(),
             3,
@@ -59,12 +59,7 @@ fn tinyxml_root_is_split_into_its_own_family() {
     assert_eq!(eval.with_slm.avg_added, 0.0);
     // 8 of 9 types have no missing successors ("which we consider a good
     // result in practice").
-    let clean = eval
-        .with_slm
-        .per_type
-        .values()
-        .filter(|(m, _)| *m == 0)
-        .count();
+    let clean = eval.with_slm.per_type.values().filter(|(m, _)| *m == 0).count();
     assert_eq!(clean, 8);
 }
 
@@ -75,11 +70,7 @@ fn td_unittest_folding_merges_unrelated_types() {
     // types, causing these types to be placed in the same family."
     let (compiled, recon) = setup("td_unittest");
     assert!(!compiled.folded_functions().is_empty(), "COMDAT folding must fire");
-    assert_eq!(
-        recon.structural.families().len(),
-        1,
-        "the two unrelated types share a family"
-    );
+    assert_eq!(recon.structural.families().len(), 1, "the two unrelated types share a family");
     let gt = compiled.ground_truth();
     assert_eq!(gt.roots().len(), 2, "ground truth keeps them unrelated");
     let eval = evaluate(&compiled, &recon);
@@ -114,13 +105,7 @@ fn cgridlistctrlex_abstract_roots_are_gone() {
 fn smoothing_has_a_wide_ambiguous_family() {
     let (compiled, recon) = setup("Smoothing");
     // The wide family: 15 equal-length vtables.
-    let widest = recon
-        .structural
-        .families()
-        .iter()
-        .map(Vec::len)
-        .max()
-        .unwrap();
+    let widest = recon.structural.families().iter().map(Vec::len).max().unwrap();
     assert!(widest >= 15, "widest family has {widest} members");
     assert!(!recon.structural.is_structurally_resolved());
     let eval = evaluate(&compiled, &recon);
@@ -153,8 +138,7 @@ fn repartitioning_heals_the_tinyxml_split() {
     let bench = suite::benchmark("tinyxml").expect("suite benchmark");
     let compiled = bench.compile().expect("compiles");
     let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
-    let recon =
-        Rock::new(RockConfig::paper().with_repartitioning()).reconstruct(&loaded);
+    let recon = Rock::new(RockConfig::paper().with_repartitioning()).reconstruct(&loaded);
     let eval = evaluate(&compiled, &recon);
     assert_eq!(eval.with_slm.avg_missing, 0.0, "{:?}", eval.with_slm.per_type);
     assert_eq!(eval.with_slm.avg_added, 0.0);

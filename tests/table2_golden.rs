@@ -7,7 +7,9 @@ use rock::core::{evaluate, suite, Rock, RockConfig};
 use rock::loader::LoadedBinary;
 
 /// (name, without (missing, added), with (missing, added)).
-const GOLDEN: &[(&str, (f64, f64), (f64, f64))] = &[
+type GoldenRow = (&'static str, (f64, f64), (f64, f64));
+
+const GOLDEN: &[GoldenRow] = &[
     ("AntispyComplete", (0.00, 0.00), (0.00, 0.00)),
     ("bafprp", (0.13, 0.00), (0.13, 0.00)),
     ("cppcheck", (0.00, 0.00), (0.00, 0.00)),

@@ -15,7 +15,9 @@ fn run_all_drivers(bench: &suite::Benchmark) -> (usize, usize) {
         .image()
         .symbols()
         .iter()
-        .filter(|s| s.name.starts_with("drive") || s.name.starts_with("use") || s.name.starts_with("read"))
+        .filter(|s| {
+            s.name.starts_with("drive") || s.name.starts_with("use") || s.name.starts_with("read")
+        })
         .map(|s| (s.name.clone(), s.addr))
         .collect();
     assert!(!drivers.is_empty(), "{}: no drivers found", bench.name);
@@ -35,11 +37,7 @@ fn run_all_drivers(bench: &suite::Benchmark) -> (usize, usize) {
 fn all_19_benchmarks_execute() {
     for bench in suite::all_benchmarks() {
         let (drivers, vcalls) = run_all_drivers(&bench);
-        assert!(
-            vcalls > 0,
-            "{}: {drivers} drivers ran but dispatched nothing",
-            bench.name
-        );
+        assert!(vcalls > 0, "{}: {drivers} drivers ran but dispatched nothing", bench.name);
     }
 }
 
