@@ -41,6 +41,16 @@ impl TypeTracelets {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Interns the binary's **global** event alphabet: every distinct
+    /// event across all types' tracelets, with dense `u32` ids in `Ord`
+    /// order. Because ids depend only on the event *set* (not extraction
+    /// order), the table is deterministic per binary — the same property
+    /// the per-model SLM interners rely on — and can be shared by any
+    /// consumer that wants to work on ids rather than `Event` values.
+    pub fn event_table(&self) -> rock_slm::SymbolTable<Event> {
+        rock_slm::SymbolTable::from_symbols(self.map.values().flatten().flatten().copied())
+    }
 }
 
 /// Aggregate statistics of a type's tracelet pool, for diagnostics and
@@ -111,6 +121,12 @@ impl Analysis {
     /// The recognized ctor-like functions.
     pub fn ctors(&self) -> &CtorMap {
         &self.ctors
+    }
+
+    /// The binary-wide interned event alphabet
+    /// (see [`TypeTracelets::event_table`]).
+    pub fn event_table(&self) -> rock_slm::SymbolTable<Event> {
+        self.tracelets.event_table()
     }
 }
 
@@ -210,6 +226,37 @@ mod tests {
         let has_double_dispatch =
             ts.iter().any(|t| t.iter().filter(|e| **e == Event::C(0)).count() >= 2);
         assert!(has_double_dispatch, "tracelets: {ts:?}");
+    }
+
+    #[test]
+    fn event_table_interns_the_global_alphabet() {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m0", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("a", "A");
+            f.vcall("a", "m0", vec![]);
+            f.ret();
+        });
+        let (loaded, _) = load(p, &CompileOptions::default());
+        let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
+        let table = analysis.event_table();
+        assert!(!table.is_empty());
+        // Every event of every tracelet is interned, ids round-trip, and
+        // the iteration order is ascending Ord (= id) order.
+        for vt in analysis.tracelets().types() {
+            for t in analysis.tracelets().of_type(vt) {
+                for e in t {
+                    let id = table.id_of(e).expect("observed event must intern");
+                    assert_eq!(table.resolve(id), Some(e));
+                }
+            }
+        }
+        let ids: Vec<Event> = table.iter().copied().collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!          [--metric kl|js|jsd]      distance criterion (default kl)
 //!          [--threads <n>]           worker threads (0 = auto, default)
 //!          [--timings]               print per-stage wall-clock + counters
+//!                                    (incl. SLM arena nodes/edges/bytes and
+//!                                    unique-vs-total training words)
 //!          [--dot]                   emit graphviz instead of a tree
 //! rock eval <bench>                  Table 2 row for one benchmark
 //! rock table2                        the whole Table 2

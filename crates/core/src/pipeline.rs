@@ -198,10 +198,21 @@ impl Rock {
             for t in analysis.tracelets().of_type(addr) {
                 m.train(t);
             }
+            // Build the interned symbol table + arena trie here, so the
+            // cost lands in the (parallel) training stage instead of the
+            // first divergence query.
+            m.finalize();
             m
         });
         let models: BTreeMap<Addr, Slm<Event>> = addrs.into_iter().zip(trained).collect();
         timings.slm_count = models.len();
+        for m in models.values() {
+            timings.slm_nodes += m.node_count();
+            timings.slm_edges += m.edge_count();
+            timings.slm_bytes += m.approx_trie_bytes();
+            timings.slm_unique_words += m.unique_training_len();
+            timings.slm_total_words += m.training_total();
+        }
         timings.training = stage.elapsed();
 
         // Weighted digraph per family over surviving candidate edges.
@@ -552,6 +563,9 @@ mod tests {
         let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
         let t = recon.timings;
         assert_eq!(t.slm_count, 3);
+        assert!(t.slm_nodes > 0 && t.slm_edges > 0 && t.slm_bytes > 0);
+        assert!(t.slm_total_words > 0);
+        assert!(t.slm_unique_words as u64 <= t.slm_total_words, "dedup can only shrink");
         assert!(t.edge_count >= recon.distances.len());
         assert!(t.threads >= 1);
         assert!(t.total >= t.analysis);

@@ -32,6 +32,17 @@ pub struct StageTimings {
     pub threads: usize,
     /// SLMs trained (one per vtable).
     pub slm_count: usize,
+    /// Context nodes across all SLM arena tries.
+    pub slm_nodes: usize,
+    /// Child edges across all SLM arena tries.
+    pub slm_edges: usize,
+    /// Approximate resident bytes of all SLM arena tries.
+    pub slm_bytes: usize,
+    /// Distinct training sequences stored across all SLMs (after
+    /// multiplicity deduplication).
+    pub slm_unique_words: usize,
+    /// Total training sequences fed to all SLMs (clones included).
+    pub slm_total_words: u64,
     /// Weighted candidate edges put into family digraphs.
     pub edge_count: usize,
     /// Candidate parents skipped because they were outside their family's
@@ -52,6 +63,15 @@ impl fmt::Display for StageTimings {
         writeln!(f, "  analysis     {:>10.3} ms", ms(self.analysis))?;
         writeln!(f, "  structural   {:>10.3} ms", ms(self.structural))?;
         writeln!(f, "  training     {:>10.3} ms  ({} SLMs)", ms(self.training), self.slm_count)?;
+        writeln!(
+            f,
+            "  slm arenas   {} nodes, {} edges, ~{:.1} KiB, {}/{} unique words",
+            self.slm_nodes,
+            self.slm_edges,
+            self.slm_bytes as f64 / 1024.0,
+            self.slm_unique_words,
+            self.slm_total_words
+        )?;
         writeln!(
             f,
             "  distances    {:>10.3} ms  ({} edges, cache {} hit / {} miss)",
@@ -80,6 +100,11 @@ mod tests {
             training: Duration::from_micros(1500),
             threads: 4,
             slm_count: 39,
+            slm_nodes: 410,
+            slm_edges: 380,
+            slm_bytes: 4096,
+            slm_unique_words: 57,
+            slm_total_words: 200,
             edge_count: 120,
             cache_hits: 7,
             cache_misses: 113,
@@ -91,6 +116,7 @@ mod tests {
             "analysis",
             "structural",
             "39 SLMs",
+            "410 nodes, 380 edges, ~4.0 KiB, 57/200 unique words",
             "120 edges",
             "cache 7 hit / 113 miss",
             "lifting",

@@ -1,0 +1,301 @@
+//! Flat arena-backed PPM-C context trie over interned symbol ids.
+//!
+//! Replaces the seed's `BTreeMap`-of-`BTreeMap` trie (kept as
+//! [`crate::reference`]): all context nodes live in one `Vec`, edges are
+//! sorted `(symbol id, child index)` lists, and each node caches its total
+//! count so queries never re-sum. A [`Cursor`] slides a context window
+//! along a word so sequence scoring descends the trie once per symbol
+//! instead of re-walking from the root for every context suffix.
+//!
+//! Probability composition replicates the reference recursion *bit for
+//! bit*: the escape chain is folded in the same (right-associated)
+//! multiplication order, so `prob` agrees with the seed implementation to
+//! exact `f64` bits (asserted by the oracle property tests).
+
+/// One context node: cached totals plus sorted count/child edge lists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Node {
+    /// Cached `Σ counts` — maintained incrementally by [`ArenaTrie::build`].
+    total: u64,
+    /// `(symbol id, count)` sorted by id; `len()` is the distinct count.
+    counts: Vec<(u32, u64)>,
+    /// `(symbol id, child node index)` sorted by id.
+    children: Vec<(u32, u32)>,
+}
+
+impl Node {
+    fn count_of(&self, sym: u32) -> Option<u64> {
+        self.counts.binary_search_by_key(&sym, |e| e.0).ok().map(|i| self.counts[i].1)
+    }
+
+    fn child_of(&self, sym: u32) -> Option<u32> {
+        self.children.binary_search_by_key(&sym, |e| e.0).ok().map(|i| self.children[i].1)
+    }
+
+    fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+}
+
+/// The arena trie: node 0 is the root (empty context).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ArenaTrie {
+    nodes: Vec<Node>,
+    depth: usize,
+}
+
+impl ArenaTrie {
+    /// Builds the trie from deduplicated `(interned word, multiplicity)`
+    /// pairs. Each symbol occurrence bumps the counts of every context
+    /// suffix of length `0..=depth` by the word's multiplicity — the same
+    /// counts the reference implementation accumulates one clone at a
+    /// time. The context-node stack slides along the word, so the build is
+    /// `O(len · depth)` node visits per word.
+    pub fn build(depth: usize, words: &[(Vec<u32>, u64)]) -> Self {
+        let mut trie = ArenaTrie { nodes: vec![Node::default()], depth };
+        let mut stack: Vec<u32> = Vec::with_capacity(depth + 1);
+        let mut next: Vec<u32> = Vec::with_capacity(depth + 1);
+        for (word, count) in words {
+            stack.clear();
+            stack.push(0);
+            for &sym in word {
+                for &node in &stack {
+                    trie.bump(node, sym, *count);
+                }
+                next.clear();
+                next.push(0);
+                for &parent in stack.iter().take(depth) {
+                    next.push(trie.child_or_insert(parent, sym));
+                }
+                std::mem::swap(&mut stack, &mut next);
+            }
+        }
+        trie
+    }
+
+    fn bump(&mut self, node: u32, sym: u32, count: u64) {
+        let n = &mut self.nodes[node as usize];
+        n.total += count;
+        match n.counts.binary_search_by_key(&sym, |e| e.0) {
+            Ok(i) => n.counts[i].1 += count,
+            Err(i) => n.counts.insert(i, (sym, count)),
+        }
+    }
+
+    fn child_or_insert(&mut self, node: u32, sym: u32) -> u32 {
+        match self.nodes[node as usize].children.binary_search_by_key(&sym, |e| e.0) {
+            Ok(i) => self.nodes[node as usize].children[i].1,
+            Err(i) => {
+                let child = u32::try_from(self.nodes.len()).expect("trie node count overflow");
+                self.nodes.push(Node::default());
+                self.nodes[node as usize].children.insert(i, (sym, child));
+                child
+            }
+        }
+    }
+
+    /// The node index for an exact context path from the root; any unknown
+    /// symbol (`None`) or missing edge yields `None`.
+    pub fn lookup(&self, ctx: &[Option<u32>]) -> Option<u32> {
+        let mut node = 0u32;
+        for sym in ctx {
+            node = self.nodes[node as usize].child_of((*sym)?)?;
+        }
+        Some(node)
+    }
+
+    /// PPM-C escape mass `d/(T+d)` at a node, `None` when unobserved.
+    pub fn escape(&self, node: u32) -> Option<f64> {
+        let n = &self.nodes[node as usize];
+        if n.total == 0 {
+            return None;
+        }
+        Some(n.distinct() as f64 / (n.total + n.distinct()) as f64)
+    }
+
+    /// `Pr(sym | context)` given the context's suffix-node stack,
+    /// **shortest suffix first** (`stack[0]` is the root; `stack[k]` the
+    /// node of the last-`k`-symbols context, `None` where that context was
+    /// never observed).
+    ///
+    /// Replicates the reference recursion exactly: scan from the longest
+    /// suffix down; the first node whose counts contain `sym` terminates
+    /// with `c/(T+d)`; nodes without the symbol contribute escape mass;
+    /// missing or empty nodes are skipped without paying escape; the
+    /// order-(-1) base case is `1/n`. The escape chain is folded
+    /// innermost-first so the multiplication association (and therefore
+    /// every result bit) matches the recursive form.
+    pub fn score_stack(&self, stack: &[Option<u32>], sym: Option<u32>, n: usize) -> f64 {
+        // Downward scan (longest context first) for the terminal level.
+        let (mut value, terminal) = 'scan: {
+            if let Some(id) = sym {
+                for k in (0..stack.len()).rev() {
+                    let Some(node) = stack[k] else { continue };
+                    let node = &self.nodes[node as usize];
+                    if node.total == 0 {
+                        continue;
+                    }
+                    if let Some(c) = node.count_of(id) {
+                        break 'scan (c as f64 / (node.total + node.distinct()) as f64, Some(k));
+                    }
+                }
+            }
+            (1.0 / n.max(1) as f64, None)
+        };
+        // Fold escapes upward from just above the terminal level, so the
+        // product associates exactly like `escape * shorter(..)`.
+        let from = terminal.map_or(0, |k| k + 1);
+        for entry in &stack[from..] {
+            let Some(node) = *entry else { continue };
+            let node = &self.nodes[node as usize];
+            if node.total == 0 {
+                continue;
+            }
+            // `x * value`, not `value * x`: IEEE multiplication is exactly
+            // commutative, so `*=` keeps the right-associated bits.
+            value *= node.distinct() as f64 / (node.total + node.distinct()) as f64;
+        }
+        value
+    }
+
+    /// Number of context nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of child edges across all nodes.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.children.len()).sum()
+    }
+
+    /// Approximate resident size of the trie in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.counts.len() * std::mem::size_of::<(u32, u64)>()
+                        + n.children.len() * std::mem::size_of::<(u32, u32)>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// A sliding context window over the trie for one-pass sequence scoring.
+///
+/// Maintains the suffix-node stack for the current context; advancing by a
+/// symbol extends every suffix with one child lookup instead of re-walking
+/// each suffix from the root, turning per-symbol lookup cost from
+/// `O(depth²)` map walks into `O(depth)` binary searches.
+pub(crate) struct Cursor<'t> {
+    trie: &'t ArenaTrie,
+    /// `stack[k]` = node of the last-`k`-symbols context (shortest first).
+    stack: Vec<Option<u32>>,
+    scratch: Vec<Option<u32>>,
+}
+
+impl<'t> Cursor<'t> {
+    /// A cursor positioned at the start of a sequence (empty context).
+    pub fn new(trie: &'t ArenaTrie) -> Self {
+        let mut stack = Vec::with_capacity(trie.depth + 1);
+        stack.push(Some(0));
+        Cursor { trie, stack, scratch: Vec::with_capacity(trie.depth + 1) }
+    }
+
+    /// Rewinds to the start-of-sequence (empty) context, keeping the
+    /// allocated stacks — lets one cursor score many words.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+        self.stack.push(Some(0));
+    }
+
+    /// `Pr(sym | current context)`; `None` is a never-seen symbol.
+    pub fn prob(&self, sym: Option<u32>, n: usize) -> f64 {
+        self.trie.score_stack(&self.stack, sym, n)
+    }
+
+    /// Slides the window forward over `sym`.
+    pub fn advance(&mut self, sym: Option<u32>) {
+        self.scratch.clear();
+        self.scratch.push(Some(0));
+        for k in 0..self.stack.len().min(self.trie.depth) {
+            let child = match (self.stack[k], sym) {
+                (Some(node), Some(id)) => self.trie.nodes[node as usize].child_of(id),
+                _ => None,
+            };
+            self.scratch.push(child);
+        }
+        std::mem::swap(&mut self.stack, &mut self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seqs: &[(&[u32], u64)]) -> Vec<(Vec<u32>, u64)> {
+        seqs.iter().map(|(s, c)| (s.to_vec(), *c)).collect()
+    }
+
+    #[test]
+    fn build_counts_match_hand_computation() {
+        // "aab" with a=0, b=1 at depth 2: root counts a:2 b:1.
+        let trie = ArenaTrie::build(2, &words(&[(&[0, 0, 1], 1)]));
+        assert_eq!(trie.nodes[0].total, 3);
+        assert_eq!(trie.nodes[0].count_of(0), Some(2));
+        assert_eq!(trie.nodes[0].count_of(1), Some(1));
+        // Context [a]: a once, b once.
+        let a_node = trie.lookup(&[Some(0)]).unwrap();
+        assert_eq!(trie.nodes[a_node as usize].total, 2);
+        assert_eq!(trie.escape(a_node), Some(0.5));
+        // Context [a, a]: b once.
+        let aa = trie.lookup(&[Some(0), Some(0)]).unwrap();
+        assert_eq!(trie.nodes[aa as usize].count_of(1), Some(1));
+        assert_eq!(trie.lookup(&[Some(1), Some(1)]), None);
+        assert_eq!(trie.lookup(&[None]), None);
+    }
+
+    #[test]
+    fn multiplicity_equals_repeated_training() {
+        let once_x3 = ArenaTrie::build(2, &words(&[(&[0, 1, 0], 3)]));
+        let thrice =
+            ArenaTrie::build(2, &words(&[(&[0, 1, 0], 1), (&[0, 1, 0], 1), (&[0, 1, 0], 1)]));
+        // Counts agree even though the second build revisits the word.
+        assert_eq!(once_x3.nodes[0].total, thrice.nodes[0].total);
+        assert_eq!(once_x3.node_count(), thrice.node_count());
+        assert_eq!(once_x3.edge_count(), thrice.edge_count());
+        assert!(once_x3.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn cursor_stack_matches_root_walks() {
+        let trie = ArenaTrie::build(2, &words(&[(&[0, 1, 2, 0, 1], 1)]));
+        let seq = [0u32, 1, 2, 0, 1, 7];
+        let mut cursor = Cursor::new(&trie);
+        for (i, &sym) in seq.iter().enumerate() {
+            let lo = i.saturating_sub(2);
+            let ctx: Vec<Option<u32>> = seq[lo..i].iter().map(|&s| Some(s)).collect();
+            // Stack computed by per-suffix root walks must equal the
+            // cursor's incrementally maintained one.
+            let mut stack = Vec::new();
+            for k in 0..=ctx.len() {
+                stack.push(trie.lookup(&ctx[ctx.len() - k..]));
+            }
+            let sym_opt = if sym < 7 { Some(sym) } else { None };
+            let via_walk = trie.score_stack(&stack, sym_opt, 8);
+            let via_cursor = cursor.prob(sym_opt, 8);
+            assert_eq!(via_walk.to_bits(), via_cursor.to_bits(), "position {i}");
+            cursor.advance(sym_opt);
+        }
+    }
+
+    #[test]
+    fn empty_trie_scores_uniform() {
+        let trie = ArenaTrie::build(2, &[]);
+        let cursor = Cursor::new(&trie);
+        assert_eq!(cursor.prob(Some(0), 4), 0.25);
+        assert_eq!(cursor.prob(None, 0), 1.0); // alphabet clamps to 1
+        assert_eq!(trie.escape(0), None);
+    }
+}

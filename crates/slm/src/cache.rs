@@ -8,6 +8,13 @@
 //! keys each computed distance by `(metric, from, to)` so every pair is
 //! computed exactly once per binary, however many passes ask for it.
 //!
+//! Beneath the distance memo sits a second, cheaper layer: the pair's
+//! **union alphabet size** is memoized per *unordered* `(from, to)` key,
+//! so the two directions of a pair and every metric of an ablation sweep
+//! merge the alphabets once. (The per-model word-evaluation tables — the
+//! self-side of each divergence — are cached one layer further down, on
+//! the models themselves; see `Slm::eval_table`.)
+//!
 //! Keys identify models only by the caller-chosen `K` (vtable addresses
 //! in the pipeline), so a cache must not be shared across *different*
 //! binaries where the same key could denote different models.
@@ -18,12 +25,15 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::{Metric, Slm, Symbol};
+use crate::{union_alphabet_len, Metric, Slm, Symbol};
 
 const SHARDS: usize = 16;
 
 /// One lock-protected slice of the key space.
 type Shard<K> = Mutex<BTreeMap<(Metric, K, K), f64>>;
+
+/// One lock-protected slice of the union-alphabet memo (unordered pairs).
+type AlphabetShard<K> = Mutex<BTreeMap<(K, K), usize>>;
 
 /// A sharded, thread-safe `(metric, from, to) -> distance` memo table.
 ///
@@ -45,6 +55,7 @@ type Shard<K> = Mutex<BTreeMap<(Metric, K, K), f64>>;
 #[derive(Debug, Default)]
 pub struct DistanceCache<K: Ord + Clone + Hash> {
     shards: [Shard<K>; SHARDS],
+    alphabet_shards: [AlphabetShard<K>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -54,6 +65,7 @@ impl<K: Ord + Clone + Hash> DistanceCache<K> {
     pub fn new() -> Self {
         DistanceCache {
             shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            alphabet_shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -65,8 +77,34 @@ impl<K: Ord + Clone + Hash> DistanceCache<K> {
         (h.finish() % SHARDS as u64) as usize
     }
 
+    fn pair_shard(key: &(K, K)) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % SHARDS as u64) as usize
+    }
+
+    /// The pair's union alphabet size, merged at most once per unordered
+    /// `(from, to)` key — shared by both directions and all metrics.
+    fn union_len<S: Symbol>(&self, from: (&K, &Slm<S>), to: (&K, &Slm<S>)) -> usize {
+        let key = if from.0 <= to.0 {
+            (from.0.clone(), to.0.clone())
+        } else {
+            (to.0.clone(), from.0.clone())
+        };
+        let shard = &self.alphabet_shards[Self::pair_shard(&key)];
+        if let Some(n) = shard.lock().expect("alphabet shard poisoned").get(&key) {
+            return *n;
+        }
+        let n = union_alphabet_len(from.1, to.1);
+        shard.lock().expect("alphabet shard poisoned").insert(key, n);
+        n
+    }
+
     /// Returns `metric.distance(from_model, to_model)`, computing it at
-    /// most once per `(metric, from, to)` key.
+    /// most once per `(metric, from, to)` key. The pair's union alphabet
+    /// size is resolved through the per-pair memo, so an ablation sweep
+    /// asking for every [`Metric`] of the same pair merges the two
+    /// alphabets exactly once.
     pub fn distance<S: Symbol>(
         &self,
         metric: Metric,
@@ -81,7 +119,8 @@ impl<K: Ord + Clone + Hash> DistanceCache<K> {
         }
         // Compute outside the lock: divergences are expensive and pairs
         // are unique within one pass, so duplicated work is negligible.
-        let d = metric.distance(from.1, to.1);
+        let n = self.union_len(from, to);
+        let d = metric.distance_with_alphabet(from.1, to.1, n);
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard.lock().expect("cache shard poisoned").entry(key).or_insert(d);
         d
@@ -113,11 +152,20 @@ impl<K: Ord + Clone + Hash> DistanceCache<K> {
         self.len() == 0
     }
 
-    /// Drops all entries and resets the hit/miss counters. Call when
-    /// reusing a cache for a *different* binary.
+    /// Number of unordered pairs whose union alphabet size is memoized.
+    pub fn alphabet_entries(&self) -> usize {
+        self.alphabet_shards.iter().map(|s| s.lock().expect("alphabet shard poisoned").len()).sum()
+    }
+
+    /// Drops all entries (distances and alphabet memos) and resets the
+    /// hit/miss counters. Call when reusing a cache for a *different*
+    /// binary.
     pub fn clear(&self) {
         for s in &self.shards {
             s.lock().expect("cache shard poisoned").clear();
+        }
+        for s in &self.alphabet_shards {
+            s.lock().expect("alphabet shard poisoned").clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -174,6 +222,25 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.alphabet_entries(), 0);
+    }
+
+    #[test]
+    fn alphabet_is_memoized_per_unordered_pair() {
+        let a = model(&[&["x", "y", "x"]]);
+        let b = model(&[&["y", "z"]]);
+        let cache: DistanceCache<u32> = DistanceCache::new();
+        // Both directions and all three metrics of the same pair: six
+        // distance computations, one alphabet merge.
+        for metric in Metric::ALL {
+            cache.distance(metric, (&1, &a), (&2, &b));
+            cache.distance(metric, (&2, &b), (&1, &a));
+        }
+        assert_eq!(cache.misses(), 6);
+        assert_eq!(cache.alphabet_entries(), 1);
+        // The memoized size matches a direct merge, so values agree with
+        // the uncached entry points bit for bit.
+        assert_eq!(cache.get(Metric::KlDivergence, &1, &2), Some(kl_divergence(&a, &b)),);
     }
 
     #[test]

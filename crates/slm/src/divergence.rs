@@ -1,9 +1,20 @@
 //! Divergence metrics between trained models (paper §4.2.1 and the
 //! "Other Metrics" ablation of §6.4).
+//!
+//! All metrics are computed over each model's **deduplicated** training
+//! words, weighting every term by the word's multiplicity — algebraically
+//! the same sum as the seed's clone-by-clone loop, but each distinct word
+//! is scored once. The self side of every pair (`Σ count · ln Pr_A(w)`
+//! over `A`'s own words and the per-position probability vectors) comes
+//! from the model's cached word-evaluation table (`Slm::eval_table`),
+//! computed **once per model** — own-word scoring never reaches the
+//! alphabet-size-dependent order-(-1) base case — and reused across all
+//! O(n²) pairs; the cross side reuses the *other* model's table whenever
+//! the word also appears in its training set, and falls back to one-pass
+//! cursor scoring otherwise.
 
-use std::collections::BTreeSet;
-use std::fmt;
-
+use crate::arena::Cursor;
+use crate::model::{EvalTable, Index};
 use crate::{Slm, Symbol};
 
 /// The pairwise distance criterion used to weigh hierarchy edges.
@@ -27,18 +38,28 @@ impl Metric {
     /// All metrics, for ablation sweeps.
     pub const ALL: [Metric; 3] = [Metric::KlDivergence, Metric::JsDivergence, Metric::JsDistance];
 
-    /// Computes the distance from `a` to `b` under this metric.
+    /// Computes the distance from `a` to `b` under this metric. The union
+    /// alphabet size is computed once here (not once per internal KL
+    /// term); callers that already know it — ablation sweeps, the
+    /// distance cache — should use [`Metric::distance_with_alphabet`].
     pub fn distance<S: Symbol>(self, a: &Slm<S>, b: &Slm<S>) -> f64 {
+        self.distance_with_alphabet(a, b, union_alphabet_len(a, b))
+    }
+
+    /// [`Metric::distance`] with the pair's union alphabet size supplied
+    /// by the caller, so sweeps over several metrics (or both directions)
+    /// of the same pair compute it exactly once.
+    pub fn distance_with_alphabet<S: Symbol>(self, a: &Slm<S>, b: &Slm<S>, n: usize) -> f64 {
         match self {
-            Metric::KlDivergence => kl_divergence(a, b),
-            Metric::JsDivergence => js_divergence(a, b),
-            Metric::JsDistance => js_distance(a, b),
+            Metric::KlDivergence => kl_divergence_with_alphabet(a, b, n),
+            Metric::JsDivergence => js_divergence_with_alphabet(a, b, n),
+            Metric::JsDistance => js_distance_with_alphabet(a, b, n),
         }
     }
 }
 
-impl fmt::Display for Metric {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             Metric::KlDivergence => "KL-divergence",
             Metric::JsDivergence => "JS-divergence",
@@ -48,26 +69,171 @@ impl fmt::Display for Metric {
     }
 }
 
-/// The word set two models are compared over: the union of their training
-/// sequences (deduplicated).
+/// Size of the union of two models' observed alphabets (at least 1): the
+/// `|Σ|` both sides of a comparison use for the order-(-1) base case.
+/// One linear merge over the two sorted alphabets — no set allocation.
+pub fn union_alphabet_len<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> usize {
+    let mut ia = a.alphabet().peekable();
+    let mut ib = b.alphabet().peekable();
+    let mut n = 0usize;
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                match x.cmp(y) {
+                    std::cmp::Ordering::Less => {
+                        ia.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        ib.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        ia.next();
+                        ib.next();
+                    }
+                }
+                n += 1;
+            }
+            (Some(_), None) => {
+                ia.next();
+                n += 1;
+            }
+            (None, Some(_)) => {
+                ib.next();
+                n += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    n.max(1)
+}
+
+/// The word set two models are compared over: the union of their distinct
+/// training sequences.
 ///
 /// KL is "measured over a set of words W" (§4.2.1); using the observed
 /// tracelets weights frequent behaviours highly and is finite by
-/// construction.
-pub fn word_set<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> Vec<Vec<S>> {
-    let mut set: BTreeSet<Vec<S>> = BTreeSet::new();
-    for seq in a.training().iter().chain(b.training()) {
-        if !seq.is_empty() {
-            set.insert(seq.clone());
-        }
-    }
-    set.into_iter().collect()
+/// construction. The set borrows the words straight out of the models'
+/// deduplicated training pools — nothing is cloned per pair.
+#[derive(Clone, Debug)]
+pub struct WordSet<'m, S: Symbol> {
+    words: Vec<&'m [S]>,
 }
 
-fn union_alphabet_len<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> usize {
-    let mut set: BTreeSet<&S> = a.alphabet().collect();
-    set.extend(b.alphabet());
-    set.len().max(1)
+impl<'m, S: Symbol> WordSet<'m, S> {
+    /// Number of distinct non-empty words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if both models were untrained (or trained only on
+    /// empty sequences).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates the words in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &'m [S]> + '_ {
+        self.words.iter().copied()
+    }
+}
+
+/// Builds the union word set of two models' training pools (deduplicated,
+/// empty words skipped), borrowing each word from its owning model.
+pub fn word_set<'m, S: Symbol>(a: &'m Slm<S>, b: &'m Slm<S>) -> WordSet<'m, S> {
+    let mut words = Vec::new();
+    let mut ia = a.training().peekable();
+    let mut ib = b.training().peekable();
+    loop {
+        let next: &'m [S] = match (ia.peek(), ib.peek()) {
+            (Some(&(wa, _)), Some(&(wb, _))) => match wa.cmp(wb) {
+                std::cmp::Ordering::Less => {
+                    ia.next();
+                    wa
+                }
+                std::cmp::Ordering::Greater => {
+                    ib.next();
+                    wb
+                }
+                std::cmp::Ordering::Equal => {
+                    ia.next();
+                    ib.next();
+                    wa
+                }
+            },
+            (Some(&(wa, _)), None) => {
+                ia.next();
+                wa
+            }
+            (None, Some(&(wb, _))) => {
+                ib.next();
+                wb
+            }
+            (None, None) => break,
+        };
+        if !next.is_empty() {
+            words.push(next);
+        }
+    }
+    WordSet { words }
+}
+
+/// A word of model `a` translated into model `b`'s id space, with the
+/// cross-model evaluation-table fast path: when the translated word is
+/// also one of `b`'s training words, its (bit-identical) cached score is
+/// used instead of re-walking `b`'s trie.
+struct CrossScorer<'m, S: Symbol> {
+    ib: &'m Index<S>,
+    table: &'m EvalTable,
+    /// `a` id → `b` id.
+    map: Vec<Option<u32>>,
+    cursor: Cursor<'m>,
+    opt_buf: Vec<Option<u32>>,
+    id_buf: Vec<u32>,
+}
+
+impl<'m, S: Symbol> CrossScorer<'m, S> {
+    fn new(ia: &Index<S>, b: &'m Slm<S>) -> Self {
+        let ib = b.index();
+        CrossScorer {
+            ib,
+            table: b.eval_table(),
+            map: ia.table.translation_to(&ib.table),
+            cursor: Cursor::new(&ib.trie),
+            opt_buf: Vec::new(),
+            id_buf: Vec::new(),
+        }
+    }
+
+    /// Translates `word` (in `a` ids); returns the index of the matching
+    /// training word of `b`, if any. `self.opt_buf` holds the translation
+    /// afterwards either way.
+    fn translate(&mut self, word: &[u32]) -> Option<usize> {
+        self.opt_buf.clear();
+        self.opt_buf.extend(word.iter().map(|&id| self.map[id as usize]));
+        if self.opt_buf.iter().any(Option::is_none) {
+            return None;
+        }
+        self.id_buf.clear();
+        self.id_buf.extend(self.opt_buf.iter().map(|id| id.expect("checked above")));
+        let ids = &self.id_buf;
+        self.ib.words.binary_search_by(|(w, _)| w.as_slice().cmp(ids)).ok()
+    }
+
+    /// `ln Pr_B(word)` — cached when `word` is in `b`'s training pool.
+    fn log_prob(&mut self, word: &[u32], n: usize) -> f64 {
+        match self.translate(word) {
+            Some(widx) => self.table.word_log_probs[widx],
+            None => {
+                self.cursor.reset();
+                let mut lp = 0.0;
+                for &id in &self.opt_buf {
+                    lp += self.cursor.prob(id, n).ln();
+                    self.cursor.advance(id);
+                }
+                lp
+            }
+        }
+    }
 }
 
 /// `D_KL(A ‖ B)`: the Kullback–Leibler divergence *rate* between the two
@@ -80,29 +246,26 @@ fn union_alphabet_len<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> usize {
 ///
 /// with the context distribution `P_A(ctx)` taken empirically from `A`'s
 /// training tracelets (so "popular behaviors weigh more than rare ones",
-/// §4.2.1). Computed as the average pointwise log-likelihood difference
-/// over every symbol occurrence in `A`'s training data. Zero iff `B`
-/// assigns the same conditionals on `A`'s support; asymmetric, as the
-/// parent/child relation demands.
+/// §4.2.1): every distinct word's log-likelihood difference is weighted by
+/// its clone count. Zero iff `B` assigns the same conditionals on `A`'s
+/// support; asymmetric, as the parent/child relation demands.
 pub fn kl_divergence<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
-    let n = union_alphabet_len(a, b);
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for seq in a.training() {
-        for i in 0..seq.len() {
-            let lo = i.saturating_sub(a.depth());
-            let ctx = &seq[lo..i];
-            let pa = a.prob_with_alphabet(&seq[i], ctx, n);
-            let pb = b.prob_with_alphabet(&seq[i], ctx, n);
-            total += (pa / pb).ln();
-            count += 1;
-        }
+    kl_divergence_with_alphabet(a, b, union_alphabet_len(a, b))
+}
+
+/// [`kl_divergence`] with the union alphabet size supplied by the caller.
+pub fn kl_divergence_with_alphabet<S: Symbol>(a: &Slm<S>, b: &Slm<S>, n: usize) -> f64 {
+    let ia = a.index();
+    let ta = a.eval_table();
+    if ta.weighted_positions == 0 {
+        return 0.0;
     }
-    if count == 0 {
-        0.0
-    } else {
-        total / count as f64
+    let mut cross = CrossScorer::new(ia, b);
+    let mut sum_b = 0.0;
+    for (word, count) in &ia.words {
+        sum_b += *count as f64 * cross.log_prob(word, n);
     }
+    (ta.weighted_log_sum - sum_b) / ta.weighted_positions as f64
 }
 
 /// `D_KL(A ‖ B) = Σ_w Pr_A(w) · ln(Pr_A(w) / Pr_B(w))` over an explicit
@@ -119,11 +282,38 @@ pub fn kl_divergence_over<S: Symbol>(a: &Slm<S>, b: &Slm<S>, words: &[Vec<S>]) -
     let n = union_alphabet_len(a, b);
     let mut d = 0.0;
     for w in words {
-        let log_pa = a.sequence_log_prob_with_alphabet(w, n);
-        let log_pb = b.sequence_log_prob_with_alphabet(w, n);
+        let log_pa = log_prob_cached(a, w, n);
+        let log_pb = log_prob_cached(b, w, n);
         d += log_pa.exp() * (log_pa - log_pb);
     }
     d
+}
+
+/// [`kl_divergence_over`] over a borrowed [`WordSet`] (the zero-clone
+/// form used by pair sweeps).
+pub fn kl_divergence_over_set<S: Symbol>(a: &Slm<S>, b: &Slm<S>, words: &WordSet<'_, S>) -> f64 {
+    let n = union_alphabet_len(a, b);
+    let mut d = 0.0;
+    for w in words.iter() {
+        let log_pa = log_prob_cached(a, w, n);
+        let log_pb = log_prob_cached(b, w, n);
+        d += log_pa.exp() * (log_pa - log_pb);
+    }
+    d
+}
+
+/// `ln Pr_M(w)` — answered from `m`'s word-evaluation table when `w` is
+/// one of its training words, scored with one cursor pass otherwise.
+fn log_prob_cached<S: Symbol>(m: &Slm<S>, w: &[S], n: usize) -> f64 {
+    let im = m.index();
+    let ids = im.table.intern_seq(w);
+    if ids.iter().all(Option::is_some) {
+        let exact: Vec<u32> = ids.iter().map(|id| id.expect("checked above")).collect();
+        if let Ok(widx) = im.words.binary_search_by(|(word, _)| word.as_slice().cmp(&exact)) {
+            return m.eval_table().word_log_probs[widx];
+        }
+    }
+    m.score_ids(&ids, n)
 }
 
 /// Jensen–Shannon divergence rate: `½·D(A‖M) + ½·D(B‖M)` where the
@@ -132,35 +322,59 @@ pub fn kl_divergence_over<S: Symbol>(a: &Slm<S>, b: &Slm<S>, words: &[Vec<S>]) -
 /// [`kl_divergence`]. Symmetric by construction — provided for the §6.4
 /// "Other Metrics" ablation, where symmetry is a *disadvantage*.
 pub fn js_divergence<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
-    0.5 * (kl_to_mixture(a, b) + kl_to_mixture(b, a))
+    js_divergence_with_alphabet(a, b, union_alphabet_len(a, b))
 }
 
-/// `D(A ‖ ½(A+B))` over `A`'s training data.
-fn kl_to_mixture<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
-    let n = union_alphabet_len(a, b);
+/// [`js_divergence`] with the union alphabet size supplied by the caller.
+pub fn js_divergence_with_alphabet<S: Symbol>(a: &Slm<S>, b: &Slm<S>, n: usize) -> f64 {
+    0.5 * (kl_to_mixture(a, b, n) + kl_to_mixture(b, a, n))
+}
+
+/// `D(A ‖ ½(A+B))` over `A`'s training data. The `P_A` side comes from
+/// `A`'s word-evaluation table; the `P_B` side reuses `B`'s table for
+/// shared words and cursor-scores the rest.
+fn kl_to_mixture<S: Symbol>(a: &Slm<S>, b: &Slm<S>, n: usize) -> f64 {
+    let ia = a.index();
+    let ta = a.eval_table();
+    if ta.weighted_positions == 0 {
+        return 0.0;
+    }
+    let mut cross = CrossScorer::new(ia, b);
     let mut total = 0.0;
-    let mut count = 0usize;
-    for seq in a.training() {
-        for i in 0..seq.len() {
-            let lo = i.saturating_sub(a.depth());
-            let ctx = &seq[lo..i];
-            let pa = a.prob_with_alphabet(&seq[i], ctx, n);
-            let pb = b.prob_with_alphabet(&seq[i], ctx, n);
-            let pm = 0.5 * (pa + pb);
-            total += (pa / pm).ln();
-            count += 1;
+    for (wi, (word, count)) in ia.words.iter().enumerate() {
+        let pas = &ta.pos_probs[wi];
+        let mut wsum = 0.0;
+        match cross.translate(word) {
+            Some(widx) => {
+                let pbs = &cross.table.pos_probs[widx];
+                for (pa, pb) in pas.iter().zip(pbs) {
+                    let pm = 0.5 * (pa + pb);
+                    wsum += (pa / pm).ln();
+                }
+            }
+            None => {
+                cross.cursor.reset();
+                for (pos, &id) in cross.opt_buf.iter().enumerate() {
+                    let pb = cross.cursor.prob(id, n);
+                    let pm = 0.5 * (pas[pos] + pb);
+                    wsum += (pas[pos] / pm).ln();
+                    cross.cursor.advance(id);
+                }
+            }
         }
+        total += *count as f64 * wsum;
     }
-    if count == 0 {
-        0.0
-    } else {
-        total / count as f64
-    }
+    total / ta.weighted_positions as f64
 }
 
 /// Jensen–Shannon distance: `√JS`.
 pub fn js_distance<S: Symbol>(a: &Slm<S>, b: &Slm<S>) -> f64 {
-    js_divergence(a, b).max(0.0).sqrt()
+    js_distance_with_alphabet(a, b, union_alphabet_len(a, b))
+}
+
+/// [`js_distance`] with the union alphabet size supplied by the caller.
+pub fn js_distance_with_alphabet<S: Symbol>(a: &Slm<S>, b: &Slm<S>, n: usize) -> f64 {
+    js_divergence_with_alphabet(a, b, n).max(0.0).sqrt()
 }
 
 /// Cross-entropy rate (nats per symbol) of `sequences` under `model`:
@@ -203,7 +417,7 @@ mod tests {
     #[test]
     fn kl_self_is_zero() {
         let m = model(2, &[&["f0", "f1", "f0"]]);
-        assert!(kl_divergence(&m, &m).abs() < 1e-12);
+        assert_eq!(kl_divergence(&m, &m), 0.0);
     }
 
     #[test]
@@ -229,6 +443,26 @@ mod tests {
     }
 
     #[test]
+    fn kl_weights_duplicate_words() {
+        // A word trained five times must dominate the empirical context
+        // distribution exactly as five stored clones did in the seed.
+        let mut many = Slm::new(2);
+        for _ in 0..5 {
+            many.train(&["x", "y"]);
+        }
+        many.train(&["z"]);
+        let mut each = Slm::new(2);
+        each.train(&["x", "y"]);
+        each.train(&["z"]);
+        let b = model(2, &[&["y", "z", "y"]]);
+        let d_many = kl_divergence(&many, &b);
+        let d_each = kl_divergence(&each, &b);
+        assert!((d_many - d_each).abs() > 1e-12, "multiplicity must shift the weighting");
+        // Weighted average stays between the per-word extremes.
+        assert!(d_many.is_finite() && d_each.is_finite());
+    }
+
+    #[test]
     fn js_is_symmetric() {
         let a = model(2, &[&["x", "y"]]);
         let b = model(2, &[&["y", "z", "z"]]);
@@ -251,6 +485,13 @@ mod tests {
         let b = model(2, &[&["y"], &["z"]]);
         let w = word_set(&a, &b);
         assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let words: Vec<&[&str]> = w.iter().collect();
+        assert_eq!(words, vec![&["x"][..], &["y"][..], &["z"][..]]);
+        // The set borrows from the models — same kl either way.
+        let via_set = kl_divergence_over_set(&a, &b, &w);
+        let owned: Vec<Vec<&str>> = w.iter().map(<[&str]>::to_vec).collect();
+        assert_eq!(via_set.to_bits(), kl_divergence_over(&a, &b, &owned).to_bits());
     }
 
     #[test]
@@ -263,6 +504,15 @@ mod tests {
         assert_eq!(Metric::default(), Metric::KlDivergence);
         assert_eq!(Metric::ALL.len(), 3);
         assert_eq!(Metric::KlDivergence.to_string(), "KL-divergence");
+        // Supplying the pair's alphabet size up front changes nothing.
+        let n = union_alphabet_len(&a, &b);
+        assert_eq!(n, 3);
+        for metric in Metric::ALL {
+            assert_eq!(
+                metric.distance(&a, &b).to_bits(),
+                metric.distance_with_alphabet(&a, &b, n).to_bits()
+            );
+        }
     }
 
     #[test]
@@ -289,6 +539,7 @@ mod tests {
         b.train(&noise);
         let words = vec![vec!["q"; 64]];
         let n = 4; // union alphabet {q, u, v, w}
+        assert_eq!(union_alphabet_len(&a, &b), n);
         assert_eq!(
             b.sequence_prob_with_alphabet(&words[0], n),
             0.0,
@@ -317,5 +568,7 @@ mod tests {
         let b: Slm<&str> = Slm::new(2);
         assert_eq!(kl_divergence(&a, &b), 0.0);
         assert_eq!(js_divergence(&a, &b), 0.0);
+        assert_eq!(union_alphabet_len(&a, &b), 1);
+        assert!(word_set(&a, &b).is_empty());
     }
 }

@@ -1,0 +1,129 @@
+//! Dense symbol interning for the SLM data plane.
+//!
+//! The arena trie ([`crate::Slm`]'s storage) operates on `u32` ids rather
+//! than cloned symbols. Ids are assigned **in `Ord` order over the full
+//! observed alphabet** — not in first-seen order — so the mapping is a
+//! pure function of the alphabet *set*: training the same sequences in any
+//! order produces bit-identical tables, and comparing interned sequences
+//! lexicographically agrees with comparing the original symbol sequences.
+//! That property is what keeps every downstream float summation order (and
+//! therefore the serial-vs-parallel bit-identity guarantee of
+//! `tests/parallel_determinism.rs`) deterministic.
+
+use std::collections::BTreeSet;
+
+use crate::Symbol;
+
+/// A dense, order-preserving symbol interner: symbol ↔ `u32` id, with ids
+/// assigned by ascending `Ord` rank over the observed alphabet.
+///
+/// # Example
+///
+/// ```
+/// use rock_slm::SymbolTable;
+/// let t = SymbolTable::from_symbols(["b", "a", "c", "a"]);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.id_of(&"a"), Some(0)); // rank order, not insertion order
+/// assert_eq!(t.id_of(&"c"), Some(2));
+/// assert_eq!(t.resolve(1), Some(&"b"));
+/// assert_eq!(t.id_of(&"z"), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymbolTable<S: Symbol> {
+    /// Sorted ascending; a symbol's id is its position.
+    syms: Vec<S>,
+}
+
+impl<S: Symbol> SymbolTable<S> {
+    /// Builds a table over every distinct symbol yielded by `symbols`.
+    /// Duplicates and iteration order are irrelevant: ids depend only on
+    /// the resulting set.
+    pub fn from_symbols(symbols: impl IntoIterator<Item = S>) -> Self {
+        let set: BTreeSet<S> = symbols.into_iter().collect();
+        SymbolTable { syms: set.into_iter().collect() }
+    }
+
+    /// Builds a table from an already-deduplicated sorted set.
+    pub(crate) fn from_sorted_set(set: &BTreeSet<S>) -> Self {
+        SymbolTable { syms: set.iter().cloned().collect() }
+    }
+
+    /// The id of `sym`, or `None` if it is outside the interned alphabet.
+    pub fn id_of(&self, sym: &S) -> Option<u32> {
+        self.syms.binary_search(sym).ok().map(|i| i as u32)
+    }
+
+    /// The symbol with id `id`, if in range.
+    pub fn resolve(&self, id: u32) -> Option<&S> {
+        self.syms.get(id as usize)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Iterates symbols in id (= `Ord`) order.
+    pub fn iter(&self) -> impl Iterator<Item = &S> {
+        self.syms.iter()
+    }
+
+    /// Interns a sequence; symbols outside the alphabet map to `None`.
+    pub(crate) fn intern_seq(&self, seq: &[S]) -> Vec<Option<u32>> {
+        seq.iter().map(|s| self.id_of(s)).collect()
+    }
+
+    /// Per-id translation into `to`'s id space (`None` where `to` has not
+    /// seen the symbol). One linear merge over both sorted alphabets;
+    /// built once per model pair and reused for every word.
+    pub(crate) fn translation_to(&self, to: &SymbolTable<S>) -> Vec<Option<u32>> {
+        let mut out = Vec::with_capacity(self.syms.len());
+        let mut j = 0usize;
+        for sym in &self.syms {
+            while j < to.syms.len() && to.syms[j] < *sym {
+                j += 1;
+            }
+            if j < to.syms.len() && to.syms[j] == *sym {
+                out.push(Some(j as u32));
+            } else {
+                out.push(None);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_rank_order_and_insertion_independent() {
+        let forward = SymbolTable::from_symbols(['a', 'b', 'c']);
+        let shuffled = SymbolTable::from_symbols(['c', 'a', 'b', 'b']);
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward.id_of(&'b'), Some(1));
+        assert_eq!(forward.resolve(2), Some(&'c'));
+        assert_eq!(forward.resolve(3), None);
+    }
+
+    #[test]
+    fn intern_seq_marks_unknowns() {
+        let t = SymbolTable::from_symbols([1u8, 3, 5]);
+        assert_eq!(t.intern_seq(&[1, 2, 5]), vec![Some(0), None, Some(2)]);
+    }
+
+    #[test]
+    fn translation_merges_sorted_alphabets() {
+        let a = SymbolTable::from_symbols(['a', 'b', 'd']);
+        let b = SymbolTable::from_symbols(['b', 'c', 'd', 'e']);
+        assert_eq!(a.translation_to(&b), vec![None, Some(0), Some(2)]);
+        assert_eq!(b.translation_to(&a), vec![Some(1), None, Some(2), None]);
+        assert!(SymbolTable::<char>::default().is_empty());
+    }
+}

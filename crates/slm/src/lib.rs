@@ -44,13 +44,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod cache;
 mod divergence;
+mod intern;
 mod model;
+pub mod reference;
 
 pub use cache::DistanceCache;
 pub use divergence::{
-    cross_entropy, js_distance, js_divergence, kl_divergence, kl_divergence_over, perplexity,
-    word_set, Metric,
+    cross_entropy, js_distance, js_distance_with_alphabet, js_divergence,
+    js_divergence_with_alphabet, kl_divergence, kl_divergence_over, kl_divergence_over_set,
+    kl_divergence_with_alphabet, perplexity, union_alphabet_len, word_set, Metric, WordSet,
 };
+pub use intern::SymbolTable;
 pub use model::{Slm, Symbol};

@@ -1,7 +1,31 @@
-//! The PPM-C variable-order Markov model.
+//! The PPM-C variable-order Markov model, arena-backed and interned.
+//!
+//! The public probability API is unchanged from the seed implementation
+//! (which survives as [`crate::reference`] and serves as the equivalence
+//! oracle), but the data plane is rebuilt around three ideas:
+//!
+//! 1. **Deduplicated training** — [`Slm::train`] stores each distinct
+//!    sequence once with a multiplicity count. Stress binaries emit
+//!    thousands of identical tracelet clones per type; every divergence
+//!    loop now visits each distinct word once and weights by count.
+//! 2. **Interned symbols** — a [`SymbolTable`] maps symbols to dense
+//!    `u32` ids in `Ord` order (insertion-order independent), so the trie
+//!    stores integers instead of cloned symbols.
+//! 3. **Arena trie** — contexts live in one flat `Vec` of nodes with
+//!    sorted edge lists and incrementally-maintained totals
+//!    ([`crate::arena`]); sequence scoring slides a cursor instead of
+//!    re-walking from the root per symbol.
+//!
+//! The interned index is built lazily on first query (training only
+//! buffers sequences) and cached; further training invalidates it. All
+//! probability results are bit-identical to the reference implementation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
+
+use crate::arena::{ArenaTrie, Cursor};
+use crate::intern::SymbolTable;
 
 /// Marker trait for symbols an [`Slm`] can model.
 ///
@@ -11,35 +35,44 @@ pub trait Symbol: Clone + Ord + fmt::Debug {}
 
 impl<T: Clone + Ord + fmt::Debug> Symbol for T {}
 
-/// One context node of the trie: counts of symbols seen *after* this
-/// context, plus child contexts (one level deeper).
-#[derive(Clone, Debug, PartialEq, Eq)]
-struct Node<S: Symbol> {
-    counts: BTreeMap<S, u64>,
-    children: BTreeMap<S, Node<S>>,
+/// The lazily-built interned view of a trained model: symbol table, arena
+/// trie, interned unique words, and per-alphabet word-evaluation tables.
+pub(crate) struct Index<S: Symbol> {
+    pub(crate) table: SymbolTable<S>,
+    pub(crate) trie: ArenaTrie,
+    /// Unique training words as id sequences with multiplicities, in the
+    /// same sorted order as [`Slm::training`] iteration. Sorted ids mean
+    /// the list is also lexicographically sorted by id sequence, so other
+    /// models' translated words can be binary-searched against it.
+    pub(crate) words: Vec<(Vec<u32>, u64)>,
+    /// The word-evaluation table, built once per model on first use.
+    eval: OnceLock<EvalTable>,
 }
 
-impl<S: Symbol> Default for Node<S> {
-    fn default() -> Self {
-        Node { counts: BTreeMap::new(), children: BTreeMap::new() }
-    }
-}
-
-impl<S: Symbol> Node<S> {
-    fn total(&self) -> u64 {
-        self.counts.values().sum()
-    }
-
-    fn distinct(&self) -> u64 {
-        self.counts.len() as u64
-    }
+/// Scores of a model's own training words: the reusable "A-side" of every
+/// divergence this model participates in. Computed **once per model** and
+/// shared across all O(n²) pairs: own-word scoring never reaches the
+/// order-(-1) `1/|Σ|` base case (every symbol of a training word has a
+/// root count, so the escape chain always terminates at a count hit), so
+/// the table is independent of the pair's union alphabet size — bit for
+/// bit.
+pub(crate) struct EvalTable {
+    /// Per unique word (aligned with [`Index::words`]): `ln Pr(word)`.
+    pub(crate) word_log_probs: Vec<f64>,
+    /// Per unique word: the per-position conditional probabilities.
+    pub(crate) pos_probs: Vec<Vec<f64>>,
+    /// `Σ_w count(w) · ln Pr(w)` in word order.
+    pub(crate) weighted_log_sum: f64,
+    /// `Σ_w count(w) · len(w)` — total symbol occurrences incl. clones.
+    pub(crate) weighted_positions: u64,
 }
 
 /// A trained statistical language model over symbols of type `S`.
 ///
 /// See the [crate docs](crate) for the probability definition. Models
-/// remember their training sequences so that divergence word sets can be
-/// derived from them (see [`word_set`](crate::word_set)).
+/// remember their training sequences (deduplicated, with multiplicities)
+/// so that divergence word sets can be derived from them (see
+/// [`word_set`](crate::word_set)).
 ///
 /// # Example
 ///
@@ -52,12 +85,15 @@ impl<S: Symbol> Node<S> {
 /// let p = m.prob(&'b', &['a']);
 /// assert!((p - 0.25).abs() < 1e-12);
 /// ```
-#[derive(Clone, Debug, PartialEq)]
 pub struct Slm<S: Symbol> {
     depth: usize,
-    root: Node<S>,
-    training: Vec<Vec<S>>,
-    alphabet: std::collections::BTreeSet<S>,
+    /// Distinct training sequences → multiplicity, sorted by sequence.
+    training: BTreeMap<Vec<S>, u64>,
+    /// Total `train` calls (clones included).
+    trained_total: u64,
+    alphabet: BTreeSet<S>,
+    /// Interned arena view, built lazily and reset by further training.
+    index: OnceLock<Index<S>>,
 }
 
 impl<S: Symbol> Slm<S> {
@@ -66,9 +102,10 @@ impl<S: Symbol> Slm<S> {
     pub fn new(depth: usize) -> Self {
         Slm {
             depth,
-            root: Node::default(),
-            training: Vec::new(),
-            alphabet: std::collections::BTreeSet::new(),
+            training: BTreeMap::new(),
+            trained_total: 0,
+            alphabet: BTreeSet::new(),
+            index: OnceLock::new(),
         }
     }
 
@@ -78,36 +115,73 @@ impl<S: Symbol> Slm<S> {
     }
 
     /// Trains the model on one sequence. Call repeatedly for a training
-    /// *set* (one call per tracelet).
+    /// *set* (one call per tracelet). Duplicate sequences are stored once
+    /// with a multiplicity count; counts in the context trie accumulate
+    /// exactly as if every clone were stored.
     pub fn train(&mut self, seq: &[S]) {
-        for (i, sym) in seq.iter().enumerate() {
-            self.alphabet.insert(sym.clone());
-            // Update the counts of every context suffix of length 0..=D.
-            let lo = i.saturating_sub(self.depth);
-            for start in lo..=i {
-                let ctx = &seq[start..i];
-                let node = self.node_mut(ctx);
-                *node.counts.entry(sym.clone()).or_insert(0) += 1;
+        self.alphabet.extend(seq.iter().cloned());
+        *self.training.entry(seq.to_vec()).or_insert(0) += 1;
+        self.trained_total += 1;
+        self.index = OnceLock::new();
+    }
+
+    /// The interned view, building it on first use.
+    pub(crate) fn index(&self) -> &Index<S> {
+        self.index.get_or_init(|| {
+            let table = SymbolTable::from_sorted_set(&self.alphabet);
+            let words: Vec<(Vec<u32>, u64)> = self
+                .training
+                .iter()
+                .map(|(seq, &count)| {
+                    let ids = seq.iter().map(|s| table.id_of(s).expect("trained symbol")).collect();
+                    (ids, count)
+                })
+                .collect();
+            let trie = ArenaTrie::build(self.depth, &words);
+            Index { table, trie, words, eval: OnceLock::new() }
+        })
+    }
+
+    /// Forces the interned index (symbol table + arena trie) and the
+    /// word-evaluation table to be built now. Queries do this lazily; the
+    /// pipeline calls it inside the parallel training stage so the build
+    /// cost lands there, not in the first divergence.
+    pub fn finalize(&self) {
+        self.eval_table();
+    }
+
+    /// The word-evaluation table: every unique training word scored once
+    /// under this model. Built lazily, once per model — own-word scores
+    /// never depend on the alphabet size (see [`EvalTable`]), so one
+    /// table serves every pair this model appears in.
+    pub(crate) fn eval_table(&self) -> &EvalTable {
+        let idx = self.index();
+        idx.eval.get_or_init(|| {
+            let mut word_log_probs = Vec::with_capacity(idx.words.len());
+            let mut pos_probs = Vec::with_capacity(idx.words.len());
+            let mut weighted_log_sum = 0.0;
+            let mut weighted_positions = 0u64;
+            let mut cursor = Cursor::new(&idx.trie);
+            for (word, count) in &idx.words {
+                cursor.reset();
+                let mut lp = 0.0;
+                let mut probs = Vec::with_capacity(word.len());
+                for &id in word {
+                    // The alphabet size passed here is irrelevant: `id`
+                    // is a trained symbol, so the order-(-1) base case is
+                    // unreachable.
+                    let p = cursor.prob(Some(id), 1);
+                    probs.push(p);
+                    lp += p.ln();
+                    cursor.advance(Some(id));
+                }
+                word_log_probs.push(lp);
+                pos_probs.push(probs);
+                weighted_log_sum += *count as f64 * lp;
+                weighted_positions += count * word.len() as u64;
             }
-        }
-        self.training.push(seq.to_vec());
-    }
-
-    fn node_mut(&mut self, ctx: &[S]) -> &mut Node<S> {
-        let mut node = &mut self.root;
-        // Context trie is keyed oldest-symbol-first.
-        for sym in ctx {
-            node = node.children.entry(sym.clone()).or_default();
-        }
-        node
-    }
-
-    fn node(&self, ctx: &[S]) -> Option<&Node<S>> {
-        let mut node = &self.root;
-        for sym in ctx {
-            node = node.children.get(sym)?;
-        }
-        Some(node)
+            EvalTable { word_log_probs, pos_probs, weighted_log_sum, weighted_positions }
+        })
     }
 
     /// Number of distinct symbols observed in training.
@@ -115,19 +189,50 @@ impl<S: Symbol> Slm<S> {
         self.alphabet.len()
     }
 
-    /// Iterates over the observed alphabet.
+    /// Iterates over the observed alphabet in `Ord` order.
     pub fn alphabet(&self) -> impl Iterator<Item = &S> {
         self.alphabet.iter()
     }
 
-    /// The sequences this model was trained on.
-    pub fn training(&self) -> &[Vec<S>] {
-        &self.training
+    /// The interned symbol table (built on first call).
+    pub fn symbol_table(&self) -> &SymbolTable<S> {
+        &self.index().table
+    }
+
+    /// The distinct sequences this model was trained on, with their
+    /// multiplicities, in sorted order.
+    pub fn training(&self) -> impl Iterator<Item = (&[S], u64)> {
+        self.training.iter().map(|(seq, &count)| (seq.as_slice(), count))
+    }
+
+    /// Number of distinct training sequences.
+    pub fn unique_training_len(&self) -> usize {
+        self.training.len()
+    }
+
+    /// Total number of [`Slm::train`] calls, duplicate clones included.
+    pub fn training_total(&self) -> u64 {
+        self.trained_total
     }
 
     /// Returns `true` if the model has seen no training data.
     pub fn is_untrained(&self) -> bool {
         self.training.is_empty()
+    }
+
+    /// Number of context nodes in the arena trie (builds the index).
+    pub fn node_count(&self) -> usize {
+        self.index().trie.node_count()
+    }
+
+    /// Number of context-trie edges (builds the index).
+    pub fn edge_count(&self) -> usize {
+        self.index().trie.edge_count()
+    }
+
+    /// Approximate resident bytes of the interned trie (builds the index).
+    pub fn approx_trie_bytes(&self) -> usize {
+        self.index().trie.approx_bytes()
     }
 
     /// `Pr(sym | context)` using the model's own alphabet size for the
@@ -140,6 +245,7 @@ impl<S: Symbol> Slm<S> {
     /// models are compared over their *union* alphabet, so that both
     /// assign comparable base probabilities to symbols unseen by one.
     pub fn prob_with_alphabet(&self, sym: &S, context: &[S], alphabet_size: usize) -> f64 {
+        let idx = self.index();
         let n = alphabet_size.max(1);
         // Truncate the context to the model depth (longest suffix).
         let ctx = if context.len() > self.depth {
@@ -147,31 +253,13 @@ impl<S: Symbol> Slm<S> {
         } else {
             context
         };
-        self.prob_rec(sym, ctx, n)
-    }
-
-    fn prob_rec(&self, sym: &S, ctx: &[S], n: usize) -> f64 {
-        if let Some(node) = self.node(ctx) {
-            let total = node.total();
-            if total > 0 {
-                let d = node.distinct();
-                if let Some(c) = node.counts.get(sym) {
-                    return *c as f64 / (total + d) as f64;
-                }
-                let escape = d as f64 / (total + d) as f64;
-                return escape * self.shorter(sym, ctx, n);
-            }
+        let ids = idx.table.intern_seq(ctx);
+        // Suffix-node stack, shortest suffix first.
+        let mut stack = Vec::with_capacity(ids.len() + 1);
+        for k in 0..=ids.len() {
+            stack.push(idx.trie.lookup(&ids[ids.len() - k..]));
         }
-        // Context never observed: back off without paying escape.
-        self.shorter(sym, ctx, n)
-    }
-
-    fn shorter(&self, sym: &S, ctx: &[S], n: usize) -> f64 {
-        if ctx.is_empty() {
-            1.0 / n as f64
-        } else {
-            self.prob_rec(sym, &ctx[1..], n)
-        }
+        idx.trie.score_stack(&stack, idx.table.id_of(sym), n)
     }
 
     /// Probability of a whole sequence: `∏ Pr(x_i | x_{i-D}..x_{i-1})`.
@@ -190,12 +278,31 @@ impl<S: Symbol> Slm<S> {
         self.sequence_log_prob_with_alphabet(seq, self.alphabet.len().max(1))
     }
 
-    /// [`Slm::sequence_log_prob`] with an explicit alphabet size.
+    /// [`Slm::sequence_log_prob`] with an explicit alphabet size. One
+    /// trie descent for the whole sequence: the context window slides via
+    /// a [`Cursor`] instead of re-walking from the root per symbol.
     pub fn sequence_log_prob_with_alphabet(&self, seq: &[S], alphabet_size: usize) -> f64 {
+        let idx = self.index();
+        let n = alphabet_size.max(1);
+        let mut cursor = Cursor::new(&idx.trie);
         let mut lp = 0.0;
-        for i in 0..seq.len() {
-            let lo = i.saturating_sub(self.depth);
-            lp += self.prob_with_alphabet(&seq[i], &seq[lo..i], alphabet_size).ln();
+        for sym in seq {
+            let id = idx.table.id_of(sym);
+            lp += cursor.prob(id, n).ln();
+            cursor.advance(id);
+        }
+        lp
+    }
+
+    /// Scores a word already translated into this model's id space
+    /// (`None` marks symbols outside the alphabet).
+    pub(crate) fn score_ids(&self, ids: &[Option<u32>], n: usize) -> f64 {
+        let idx = self.index();
+        let mut cursor = Cursor::new(&idx.trie);
+        let mut lp = 0.0;
+        for &id in ids {
+            lp += cursor.prob(id, n).ln();
+            cursor.advance(id);
         }
         lp
     }
@@ -203,13 +310,44 @@ impl<S: Symbol> Slm<S> {
     /// The escape probability mass at a given context (PPM-C:
     /// `d / (T + d)`), or `None` if the context was never observed.
     pub fn escape_prob(&self, context: &[S]) -> Option<f64> {
-        let node = self.node(context)?;
-        let total = node.total();
-        if total == 0 {
-            return None;
+        let idx = self.index();
+        let ids = idx.table.intern_seq(context);
+        let node = idx.trie.lookup(&ids)?;
+        idx.trie.escape(node)
+    }
+}
+
+impl<S: Symbol> Clone for Slm<S> {
+    fn clone(&self) -> Self {
+        // The interned index is derived state; the clone rebuilds it
+        // lazily on first query.
+        Slm {
+            depth: self.depth,
+            training: self.training.clone(),
+            trained_total: self.trained_total,
+            alphabet: self.alphabet.clone(),
+            index: OnceLock::new(),
         }
-        let d = node.distinct();
-        Some(d as f64 / (total + d) as f64)
+    }
+}
+
+impl<S: Symbol> PartialEq for Slm<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.depth == other.depth
+            && self.training == other.training
+            && self.trained_total == other.trained_total
+    }
+}
+
+impl<S: Symbol> fmt::Debug for Slm<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slm")
+            .field("depth", &self.depth)
+            .field("alphabet_len", &self.alphabet.len())
+            .field("unique_words", &self.training.len())
+            .field("trained_total", &self.trained_total)
+            .field("indexed", &self.index.get().is_some())
+            .finish()
     }
 }
 
@@ -220,7 +358,7 @@ impl<S: Symbol> fmt::Display for Slm<S> {
             "slm(depth={}, |Σ|={}, {} training sequences)",
             self.depth,
             self.alphabet.len(),
-            self.training.len()
+            self.trained_total
         )
     }
 }
@@ -328,15 +466,76 @@ mod tests {
     }
 
     #[test]
-    fn training_is_remembered() {
+    fn training_is_remembered_and_deduplicated() {
         let mut m = Slm::new(2);
         m.train(&[1, 2, 3]);
         m.train(&[4]);
-        assert_eq!(m.training().len(), 2);
+        m.train(&[1, 2, 3]);
+        // Three calls, two distinct sequences; the duplicate carries
+        // multiplicity 2 and training iterates in sorted order.
+        assert_eq!(m.training_total(), 3);
+        assert_eq!(m.unique_training_len(), 2);
+        let words: Vec<(Vec<i32>, u64)> =
+            m.training().map(|(seq, count)| (seq.to_vec(), count)).collect();
+        assert_eq!(words, vec![(vec![1, 2, 3], 2), (vec![4], 1)]);
         assert_eq!(m.alphabet_len(), 4);
         assert_eq!(m.alphabet().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
         assert!(!m.is_untrained());
         assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn duplicate_training_matches_explicit_clones() {
+        // Counts with multiplicity must equal the clone-by-clone seed
+        // behaviour, so probabilities agree exactly.
+        let mut dup = Slm::new(2);
+        let mut explicit = Slm::new(2);
+        for _ in 0..5 {
+            dup.train(&['a', 'b', 'a']);
+            explicit.train(&['a', 'b', 'a']);
+        }
+        dup.train(&['b', 'c']);
+        explicit.train(&['b', 'c']);
+        for (sym, ctx) in [('a', vec![]), ('b', vec!['a']), ('c', vec!['b']), ('c', vec!['a'])] {
+            assert_eq!(dup.prob(&sym, &ctx).to_bits(), explicit.prob(&sym, &ctx).to_bits());
+        }
+    }
+
+    #[test]
+    fn interner_ids_are_insertion_order_independent() {
+        let mut fwd = Slm::new(2);
+        fwd.train(&['a', 'c']);
+        fwd.train(&['b']);
+        let mut rev = Slm::new(2);
+        rev.train(&['b']);
+        rev.train(&['a', 'c']);
+        assert_eq!(fwd.symbol_table(), rev.symbol_table());
+        assert_eq!(fwd.symbol_table().id_of(&'b'), Some(1));
+    }
+
+    #[test]
+    fn clone_and_eq_cover_derived_state() {
+        let mut m = Slm::new(2);
+        m.train(&['x', 'y']);
+        m.finalize();
+        let c = m.clone();
+        assert_eq!(m, c);
+        assert_eq!(m.prob(&'y', &['x']).to_bits(), c.prob(&'y', &['x']).to_bits());
+        assert!(format!("{m:?}").contains("depth"));
+        // Training after queries invalidates and rebuilds the index.
+        let before = m.node_count();
+        m.train(&['x', 'z', 'y']);
+        assert!(m.node_count() > before);
+        assert_ne!(m, c);
+    }
+
+    #[test]
+    fn trie_counters_are_exposed() {
+        let mut m = Slm::new(2);
+        m.train(&['a', 'b', 'a']);
+        assert!(m.node_count() >= 4);
+        assert!(m.edge_count() >= 3);
+        assert!(m.approx_trie_bytes() > 0);
     }
 
     #[test]

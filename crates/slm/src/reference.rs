@@ -1,0 +1,209 @@
+//! The seed `BTreeMap`-trie PPM-C implementation, kept verbatim as a
+//! **reference oracle** for the arena-backed [`crate::Slm`].
+//!
+//! The equivalence property tests (`tests/properties.rs`) train both
+//! implementations on identical data and assert that every probability
+//! agrees to exact `f64` bits; the SLM microbenchmarks use it as the
+//! before-side of the arena speedup measurements. It is not wired into
+//! the pipeline and should not grow features.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::Symbol;
+
+/// One context node of the trie: counts of symbols seen *after* this
+/// context, plus child contexts (one level deeper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Node<S: Symbol> {
+    counts: BTreeMap<S, u64>,
+    children: BTreeMap<S, Node<S>>,
+}
+
+impl<S: Symbol> Default for Node<S> {
+    fn default() -> Self {
+        Node { counts: BTreeMap::new(), children: BTreeMap::new() }
+    }
+}
+
+impl<S: Symbol> Node<S> {
+    fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+}
+
+/// The seed model: nested `BTreeMap` trie, cloned-symbol keys, totals
+/// re-summed per query, training clones stored verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReferenceSlm<S: Symbol> {
+    depth: usize,
+    root: Node<S>,
+    training: Vec<Vec<S>>,
+    alphabet: BTreeSet<S>,
+}
+
+impl<S: Symbol> ReferenceSlm<S> {
+    /// Creates an untrained model with maximum context depth `depth`.
+    pub fn new(depth: usize) -> Self {
+        ReferenceSlm {
+            depth,
+            root: Node::default(),
+            training: Vec::new(),
+            alphabet: BTreeSet::new(),
+        }
+    }
+
+    /// The maximum context depth `D`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Trains the model on one sequence (clones are stored verbatim).
+    pub fn train(&mut self, seq: &[S]) {
+        for (i, sym) in seq.iter().enumerate() {
+            self.alphabet.insert(sym.clone());
+            // Update the counts of every context suffix of length 0..=D.
+            let lo = i.saturating_sub(self.depth);
+            for start in lo..=i {
+                let ctx = &seq[start..i];
+                let node = self.node_mut(ctx);
+                *node.counts.entry(sym.clone()).or_insert(0) += 1;
+            }
+        }
+        self.training.push(seq.to_vec());
+    }
+
+    fn node_mut(&mut self, ctx: &[S]) -> &mut Node<S> {
+        let mut node = &mut self.root;
+        // Context trie is keyed oldest-symbol-first.
+        for sym in ctx {
+            node = node.children.entry(sym.clone()).or_default();
+        }
+        node
+    }
+
+    fn node(&self, ctx: &[S]) -> Option<&Node<S>> {
+        let mut node = &self.root;
+        for sym in ctx {
+            node = node.children.get(sym)?;
+        }
+        Some(node)
+    }
+
+    /// Number of distinct symbols observed in training.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// The sequences this model was trained on, clone by clone.
+    pub fn training(&self) -> &[Vec<S>] {
+        &self.training
+    }
+
+    /// `Pr(sym | context)` using the model's own alphabet size.
+    pub fn prob(&self, sym: &S, context: &[S]) -> f64 {
+        self.prob_with_alphabet(sym, context, self.alphabet.len().max(1))
+    }
+
+    /// `Pr(sym | context)` with an explicit alphabet size.
+    pub fn prob_with_alphabet(&self, sym: &S, context: &[S], alphabet_size: usize) -> f64 {
+        let n = alphabet_size.max(1);
+        // Truncate the context to the model depth (longest suffix).
+        let ctx = if context.len() > self.depth {
+            &context[context.len() - self.depth..]
+        } else {
+            context
+        };
+        self.prob_rec(sym, ctx, n)
+    }
+
+    fn prob_rec(&self, sym: &S, ctx: &[S], n: usize) -> f64 {
+        if let Some(node) = self.node(ctx) {
+            let total = node.total();
+            if total > 0 {
+                let d = node.distinct();
+                if let Some(c) = node.counts.get(sym) {
+                    return *c as f64 / (total + d) as f64;
+                }
+                let escape = d as f64 / (total + d) as f64;
+                return escape * self.shorter(sym, ctx, n);
+            }
+        }
+        // Context never observed: back off without paying escape.
+        self.shorter(sym, ctx, n)
+    }
+
+    fn shorter(&self, sym: &S, ctx: &[S], n: usize) -> f64 {
+        if ctx.is_empty() {
+            1.0 / n as f64
+        } else {
+            self.prob_rec(sym, &ctx[1..], n)
+        }
+    }
+
+    /// Natural-log probability of a sequence, one root walk per symbol.
+    pub fn sequence_log_prob_with_alphabet(&self, seq: &[S], alphabet_size: usize) -> f64 {
+        let mut lp = 0.0;
+        for i in 0..seq.len() {
+            let lo = i.saturating_sub(self.depth);
+            lp += self.prob_with_alphabet(&seq[i], &seq[lo..i], alphabet_size).ln();
+        }
+        lp
+    }
+}
+
+/// The seed per-clone KL loop: `Σ ln(pa/pb)` over every stored training
+/// clone of `a`, averaged per symbol. Kept as the cost baseline for the
+/// deduplicated, table-driven [`crate::kl_divergence`].
+pub fn reference_kl_divergence<S: Symbol>(a: &ReferenceSlm<S>, b: &ReferenceSlm<S>) -> f64 {
+    let n = reference_union_alphabet_len(a, b);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for seq in a.training() {
+        for i in 0..seq.len() {
+            let lo = i.saturating_sub(a.depth());
+            let ctx = &seq[lo..i];
+            let pa = a.prob_with_alphabet(&seq[i], ctx, n);
+            let pb = b.prob_with_alphabet(&seq[i], ctx, n);
+            total += (pa / pb).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+fn reference_union_alphabet_len<S: Symbol>(a: &ReferenceSlm<S>, b: &ReferenceSlm<S>) -> usize {
+    let mut set: BTreeSet<&S> = a.alphabet.iter().collect();
+    set.extend(b.alphabet.iter());
+    set.len().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_behaviour_is_preserved() {
+        let mut m = ReferenceSlm::new(2);
+        m.train(&['a', 'a', 'b']);
+        assert!((m.prob(&'a', &[]) - 2.0 / 5.0).abs() < 1e-12);
+        assert!((m.prob(&'b', &['a']) - 0.25).abs() < 1e-12);
+        assert_eq!(m.training().len(), 1);
+        assert_eq!(m.alphabet_len(), 2);
+        assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn reference_kl_self_is_zero() {
+        let mut m = ReferenceSlm::new(2);
+        m.train(&['x', 'y', 'x']);
+        assert!(reference_kl_divergence(&m, &m).abs() < 1e-12);
+    }
+}

@@ -1,7 +1,11 @@
-//! Property-based tests for the PPM-C model and divergences.
+//! Property-based tests for the PPM-C model and divergences, including
+//! the bit-exact equivalence oracle: the arena-backed [`Slm`] must agree
+//! with the seed `BTreeMap` implementation ([`rock_slm::reference`]) on
+//! every probability — to exact `f64` bits, unknown symbols included.
 
 use proptest::prelude::*;
-use rock_slm::{js_divergence, kl_divergence, Slm};
+use rock_slm::reference::ReferenceSlm;
+use rock_slm::{js_distance, js_divergence, kl_divergence, union_alphabet_len, Metric, Slm};
 
 fn arb_seq() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0u8..6, 1..20)
@@ -17,6 +21,55 @@ fn trained(depth: usize, seqs: &[Vec<u8>]) -> Slm<u8> {
         m.train(s);
     }
     m
+}
+
+fn ref_trained(depth: usize, seqs: &[Vec<u8>]) -> ReferenceSlm<u8> {
+    let mut m = ReferenceSlm::new(depth);
+    for s in seqs {
+        m.train(s);
+    }
+    m
+}
+
+/// The canonical weighted accumulation over `a`'s deduplicated sorted
+/// words, with every probability drawn from the *reference* models: the
+/// oracle value [`kl_divergence`] must reproduce bit for bit.
+fn ref_canonical_kl(a: &Slm<u8>, ra: &ReferenceSlm<u8>, rb: &ReferenceSlm<u8>, n: usize) -> f64 {
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    let mut positions = 0u64;
+    for (w, cnt) in a.training() {
+        sum_a += cnt as f64 * ra.sequence_log_prob_with_alphabet(w, n);
+        sum_b += cnt as f64 * rb.sequence_log_prob_with_alphabet(w, n);
+        positions += cnt * w.len() as u64;
+    }
+    if positions == 0 {
+        0.0
+    } else {
+        (sum_a - sum_b) / positions as f64
+    }
+}
+
+/// Reference-composed `D(A ‖ ½(A+B))` over `a`'s words (one JS half).
+fn ref_canonical_klm(a: &Slm<u8>, ra: &ReferenceSlm<u8>, rb: &ReferenceSlm<u8>, n: usize) -> f64 {
+    let mut total = 0.0;
+    let mut positions = 0u64;
+    for (w, cnt) in a.training() {
+        let mut wsum = 0.0;
+        for i in 0..w.len() {
+            let pa = ra.prob_with_alphabet(&w[i], &w[..i], n);
+            let pb = rb.prob_with_alphabet(&w[i], &w[..i], n);
+            let pm = 0.5 * (pa + pb);
+            wsum += (pa / pm).ln();
+        }
+        total += cnt as f64 * wsum;
+        positions += cnt * w.len() as u64;
+    }
+    if positions == 0 {
+        0.0
+    } else {
+        total / positions as f64
+    }
 }
 
 proptest! {
@@ -93,5 +146,85 @@ proptest! {
     fn depth_zero_ignores_context(seqs in arb_training(), sym in 0u8..6, ctx in prop::collection::vec(0u8..6, 1..4)) {
         let m = trained(0, &seqs);
         prop_assert!((m.prob(&sym, &ctx) - m.prob(&sym, &[])).abs() < 1e-12);
+    }
+
+    /// Oracle equivalence: `prob_with_alphabet` agrees with the seed
+    /// implementation to exact f64 bits — including symbols and context
+    /// entries (6 and 7) the model has never seen, and alphabet sizes
+    /// both smaller and larger than the observed alphabet.
+    #[test]
+    fn arena_prob_matches_reference_bits(
+        seqs in arb_training(),
+        depth in 0usize..4,
+        sym in 0u8..8,
+        ctx in prop::collection::vec(0u8..8, 0..5),
+        n in 1usize..12,
+    ) {
+        let arena = trained(depth, &seqs);
+        let seed = ref_trained(depth, &seqs);
+        let pa = arena.prob_with_alphabet(&sym, &ctx, n);
+        let pr = seed.prob_with_alphabet(&sym, &ctx, n);
+        prop_assert_eq!(pa.to_bits(), pr.to_bits(), "prob {} vs {}", pa, pr);
+    }
+
+    /// Oracle equivalence: the cursor-based one-pass sequence scorer
+    /// agrees with the seed's per-symbol root walks to exact f64 bits.
+    #[test]
+    fn arena_sequence_log_prob_matches_reference_bits(
+        seqs in arb_training(),
+        depth in 0usize..4,
+        query in prop::collection::vec(0u8..8, 0..24),
+        n in 1usize..12,
+    ) {
+        let arena = trained(depth, &seqs);
+        let seed = ref_trained(depth, &seqs);
+        let la = arena.sequence_log_prob_with_alphabet(&query, n);
+        let lr = seed.sequence_log_prob_with_alphabet(&query, n);
+        prop_assert_eq!(la.to_bits(), lr.to_bits(), "log prob {} vs {}", la, lr);
+    }
+
+    /// Oracle equivalence for all three metrics: every divergence equals
+    /// the canonical weighted accumulation composed from *reference*
+    /// model probabilities, to exact f64 bits.
+    #[test]
+    fn metrics_match_reference_composition_bits(seqs_a in arb_training(), seqs_b in arb_training()) {
+        let a = trained(2, &seqs_a);
+        let b = trained(2, &seqs_b);
+        let ra = ref_trained(2, &seqs_a);
+        let rb = ref_trained(2, &seqs_b);
+        let n = union_alphabet_len(&a, &b);
+
+        let kl = ref_canonical_kl(&a, &ra, &rb, n);
+        prop_assert_eq!(kl_divergence(&a, &b).to_bits(), kl.to_bits());
+        prop_assert_eq!(Metric::KlDivergence.distance(&a, &b).to_bits(), kl.to_bits());
+
+        let js = 0.5 * (ref_canonical_klm(&a, &ra, &rb, n) + ref_canonical_klm(&b, &rb, &ra, n));
+        prop_assert_eq!(js_divergence(&a, &b).to_bits(), js.to_bits());
+        prop_assert_eq!(js_distance(&a, &b).to_bits(), js.max(0.0).sqrt().to_bits());
+    }
+
+    /// Interner-id stability regression: training order must not affect
+    /// the symbol table or any probability bit. Ids are assigned by `Ord`
+    /// rank over the alphabet *set*, not first-seen order.
+    #[test]
+    fn interner_ids_are_training_order_independent(
+        seqs in arb_training(),
+        sym in 0u8..8,
+        ctx in prop::collection::vec(0u8..8, 0..4),
+        probe in arb_training(),
+    ) {
+        let fwd = trained(2, &seqs);
+        let rev_seqs: Vec<Vec<u8>> = seqs.iter().rev().cloned().collect();
+        let rev = trained(2, &rev_seqs);
+        prop_assert_eq!(fwd.symbol_table(), rev.symbol_table());
+        prop_assert_eq!(
+            fwd.prob(&sym, &ctx).to_bits(),
+            rev.prob(&sym, &ctx).to_bits()
+        );
+        let other = trained(2, &probe);
+        prop_assert_eq!(
+            kl_divergence(&fwd, &other).to_bits(),
+            kl_divergence(&rev, &other).to_bits()
+        );
     }
 }
