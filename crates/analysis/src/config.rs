@@ -1,5 +1,7 @@
 //! Tuning knobs of the behavioral analysis.
 
+use rock_budget::Budget;
+
 /// Configuration of the symbolic execution and tracelet extraction.
 ///
 /// Defaults mirror the paper: tracelets up to length 7 (§3.2), bounded
@@ -19,6 +21,15 @@ pub struct AnalysisConfig {
     /// Depth `D` of the trained variable-order models (consumers read
     /// this; the paper's running example uses 2).
     pub slm_depth: usize,
+    /// Per-function symbolic-execution fuel: one unit per instruction
+    /// stepped across all explored paths. A function that exhausts its
+    /// fuel is excluded (recorded, not propagated) — the same shared
+    /// [`Budget`] vocabulary the interpreter uses.
+    pub fuel: Budget,
+    /// Optional wall-clock bound per function, in milliseconds. Wall
+    /// clocks are nondeterministic, so this defaults to off and stays off
+    /// in reproducible pipelines.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for AnalysisConfig {
@@ -29,6 +40,11 @@ impl Default for AnalysisConfig {
             block_visit_limit: 2,
             max_events_per_object: 512,
             slm_depth: 2,
+            // Generous: bounded path enumeration stays far below this on
+            // any function the loader accepts, so behavior is unchanged
+            // unless a caller tightens it.
+            fuel: Budget::steps(1_000_000),
+            deadline_ms: None,
         }
     }
 }
@@ -43,6 +59,8 @@ impl AnalysisConfig {
             block_visit_limit: 1,
             max_events_per_object: 128,
             slm_depth: 2,
+            fuel: Budget::steps(200_000),
+            deadline_ms: None,
         }
     }
 }
@@ -65,5 +83,12 @@ mod tests {
         let d = AnalysisConfig::default();
         assert!(f.tracelet_len <= d.tracelet_len);
         assert!(f.max_paths <= d.max_paths);
+        assert!(f.fuel <= d.fuel);
+    }
+
+    #[test]
+    fn deadlines_default_off() {
+        assert_eq!(AnalysisConfig::default().deadline_ms, None);
+        assert_eq!(AnalysisConfig::fast().deadline_ms, None);
     }
 }

@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rock_binary::{Addr, Instr, Reg, WORD_SIZE};
+use rock_budget::Deadline;
 use rock_loader::{Cfg, Function, LoadedBinary};
 
 use crate::{AnalysisConfig, CtorMap, Event, ObjId, SubObj, SymValue};
@@ -39,6 +40,18 @@ pub struct SubObjectSummary {
 pub struct PathResult {
     /// Per-view summaries (sorted by view).
     pub subobjects: Vec<SubObjectSummary>,
+}
+
+/// How a budgeted symbolic execution of one function ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// Path enumeration ran to its natural (bounded) end.
+    Completed,
+    /// The per-function fuel budget ([`AnalysisConfig::fuel`]) ran out.
+    FuelExhausted,
+    /// The per-function wall-clock deadline
+    /// ([`AnalysisConfig::deadline_ms`]) passed.
+    DeadlineExceeded,
 }
 
 #[derive(Clone, Debug)]
@@ -121,9 +134,29 @@ pub fn execute_function(
     ctors: &CtorMap,
     config: &AnalysisConfig,
 ) -> Vec<PathResult> {
+    execute_function_budgeted(function, loaded, ctors, config).0
+}
+
+/// Like [`execute_function`], but enforces the per-function fuel and
+/// deadline budgets and reports how enumeration ended.
+///
+/// Fuel is spent one unit per instruction stepped, across all explored
+/// paths, so exhaustion is deterministic. On [`ExecStatus::FuelExhausted`]
+/// or [`ExecStatus::DeadlineExceeded`] the paths completed so far are
+/// still returned; callers decide whether partial evidence counts (the
+/// tracelet extractor drops it so a function either finishes within
+/// budget or is excluded wholesale and recorded).
+pub fn execute_function_budgeted(
+    function: &Function,
+    loaded: &LoadedBinary,
+    ctors: &CtorMap,
+    config: &AnalysisConfig,
+) -> (Vec<PathResult>, ExecStatus) {
     let vtable_addrs: BTreeSet<Addr> = loaded.vtables().iter().map(|v| v.addr()).collect();
     let cfg = Cfg::build(function);
     let mut results = Vec::new();
+    let mut fuel = config.fuel.meter();
+    let deadline = Deadline::from_config(config.deadline_ms);
 
     struct Frame {
         block: Addr,
@@ -138,6 +171,9 @@ pub fn execute_function(
         if results.len() >= config.max_paths {
             break;
         }
+        if deadline.expired() {
+            return (results, ExecStatus::DeadlineExceeded);
+        }
         *frame.visits.entry(frame.block).or_insert(0) += 1;
         let Some(block) = cfg.block_at(frame.block) else {
             results.push(frame.state.finalize());
@@ -146,6 +182,9 @@ pub fn execute_function(
         let (lo, hi) = block.instr_range;
         let mut terminated = false;
         for d in &function.instrs()[lo..hi] {
+            if fuel.spend(1).is_err() {
+                return (results, ExecStatus::FuelExhausted);
+            }
             step(&mut frame.state, &d.instr, &vtable_addrs, ctors, config);
             if matches!(d.instr, Instr::Ret | Instr::Halt) {
                 terminated = true;
@@ -173,7 +212,7 @@ pub fn execute_function(
             });
         }
     }
-    results
+    (results, ExecStatus::Completed)
 }
 
 fn step(
@@ -544,5 +583,90 @@ mod tests {
             .find(|s| s.view.base == 16)
             .expect("secondary view tracked");
         assert_eq!(sub.events, vec![Event::W(8)]);
+    }
+
+    fn loaded_single(build: impl FnOnce(&mut ImageBuilder)) -> LoadedBinary {
+        let mut b = ImageBuilder::new();
+        build(&mut b);
+        let mut image = b.finish();
+        image.strip();
+        LoadedBinary::load(image).unwrap()
+    }
+
+    #[test]
+    fn zero_fuel_exhausts_immediately() {
+        let loaded = loaded_single(|b| {
+            b.begin_function("f");
+            b.push(Instr::Enter { frame: 0 });
+            b.push(Instr::Ret);
+            b.end_function();
+        });
+        let mut cfg = AnalysisConfig::default();
+        cfg.fuel = rock_budget::Budget::steps(0);
+        let (paths, status) =
+            execute_function_budgeted(&loaded.functions()[0], &loaded, &CtorMap::default(), &cfg);
+        assert_eq!(status, ExecStatus::FuelExhausted);
+        assert!(paths.is_empty(), "no instruction could be stepped");
+    }
+
+    #[test]
+    fn fuel_exhaustion_mid_enumeration_returns_partial_paths() {
+        let loaded = loaded_single(|b| {
+            b.begin_function("f");
+            let l = b.new_label();
+            b.push(Instr::Enter { frame: 0 });
+            b.push_branch(Reg::R1, l);
+            b.push(Instr::Load { dst: Reg::R8, base: Reg::R0, offset: 8 });
+            b.bind_label(l);
+            b.push(Instr::Ret);
+            b.end_function();
+        });
+        let f = &loaded.functions()[0];
+        let mut cfg = AnalysisConfig::default();
+        let (full, status) = execute_function_budgeted(f, &loaded, &CtorMap::default(), &cfg);
+        assert_eq!(status, ExecStatus::Completed);
+        assert_eq!(full.len(), 2);
+        // Enough fuel for the first path only.
+        cfg.fuel = rock_budget::Budget::steps(3);
+        let (partial, status) = execute_function_budgeted(f, &loaded, &CtorMap::default(), &cfg);
+        assert_eq!(status, ExecStatus::FuelExhausted);
+        assert!(partial.len() < full.len());
+    }
+
+    #[test]
+    fn fuel_metering_is_deterministic() {
+        let loaded = loaded_single(|b| {
+            b.begin_function("f");
+            let top = b.new_label();
+            b.push(Instr::Enter { frame: 0 });
+            b.bind_label(top);
+            b.push(Instr::Load { dst: Reg::R8, base: Reg::R0, offset: 8 });
+            b.push_branch(Reg::R1, top);
+            b.push(Instr::Ret);
+            b.end_function();
+        });
+        let f = &loaded.functions()[0];
+        let mut cfg = AnalysisConfig::default();
+        cfg.fuel = rock_budget::Budget::steps(5);
+        let a = execute_function_budgeted(f, &loaded, &CtorMap::default(), &cfg);
+        let b = execute_function_budgeted(f, &loaded, &CtorMap::default(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expired_deadline_stops_enumeration() {
+        let loaded = loaded_single(|b| {
+            b.begin_function("f");
+            b.push(Instr::Enter { frame: 0 });
+            b.push(Instr::Ret);
+            b.end_function();
+        });
+        let mut cfg = AnalysisConfig::default();
+        cfg.deadline_ms = Some(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (paths, status) =
+            execute_function_budgeted(&loaded.functions()[0], &loaded, &CtorMap::default(), &cfg);
+        assert_eq!(status, ExecStatus::DeadlineExceeded);
+        assert!(paths.is_empty());
     }
 }

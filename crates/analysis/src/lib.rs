@@ -63,6 +63,12 @@ mod value;
 pub use config::AnalysisConfig;
 pub use ctors::{recognize_ctors, CtorMap};
 pub use event::Event;
-pub use exec::{execute_function, PathResult, SubObjectSummary};
-pub use tracelets::{extract_tracelets, Analysis, TraceletStats, TypeTracelets};
+pub use exec::{
+    execute_function, execute_function_budgeted, ExecStatus, PathResult, SubObjectSummary,
+};
+pub use rock_budget::{Budget, Deadline, Exhausted};
+pub use tracelets::{
+    extract_tracelets, extract_tracelets_with, Analysis, AnalysisHooks, FunctionDirective,
+    IncidentKind, NoHooks, TraceletStats, TypeTracelets,
+};
 pub use value::{ObjId, SubObj, SymValue};

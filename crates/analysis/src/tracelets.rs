@@ -2,11 +2,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rock_binary::Addr;
+use rock_budget::Budget;
 use rock_loader::LoadedBinary;
 
-use crate::{execute_function, recognize_ctors, AnalysisConfig, CtorMap, Event, ObjId};
+use crate::{
+    execute_function_budgeted, recognize_ctors, AnalysisConfig, CtorMap, Event, ExecStatus, ObjId,
+};
 
 /// Tracelets pooled per binary type (vtable address).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -105,11 +109,71 @@ impl fmt::Display for TypeTracelets {
     }
 }
 
+/// Why one function contributed nothing to the tracelet pools.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The symbolic executor panicked; the payload message is preserved.
+    Panicked(String),
+    /// The per-function fuel budget ran out.
+    FuelExhausted,
+    /// The per-function wall-clock deadline passed.
+    DeadlineExceeded,
+    /// A hook directed the extractor to skip the function.
+    Skipped,
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidentKind::Panicked(msg) => write!(f, "panicked: {msg}"),
+            IncidentKind::FuelExhausted => write!(f, "fuel exhausted"),
+            IncidentKind::DeadlineExceeded => write!(f, "deadline exceeded"),
+            IncidentKind::Skipped => write!(f, "skipped by hook"),
+        }
+    }
+}
+
+/// What to do with one function, decided by [`AnalysisHooks`] before its
+/// symbolic execution starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FunctionDirective {
+    /// Analyze normally.
+    Run,
+    /// Skip the function, recording an incident.
+    Skip,
+    /// Panic inside the (contained) execution — exercises the
+    /// panic-isolation path deterministically.
+    Panic,
+    /// Analyze with this fuel budget instead of the configured one.
+    Fuel(Budget),
+}
+
+/// Observation/injection points of the behavioral analysis.
+///
+/// The production pipeline passes a no-op implementation; the
+/// fault-injection harness implements this to deterministically skip,
+/// panic, or starve named functions. Implementations must be `Sync`
+/// because hook objects are shared across pipeline stages.
+pub trait AnalysisHooks: Sync {
+    /// Decides the fate of `function` before it is analyzed.
+    fn before_function(&self, function: Addr) -> FunctionDirective {
+        let _ = function;
+        FunctionDirective::Run
+    }
+}
+
+/// The default hooks: analyze everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHooks;
+
+impl AnalysisHooks for NoHooks {}
+
 /// The complete output of the behavioral analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Analysis {
     tracelets: TypeTracelets,
     ctors: CtorMap,
+    incidents: Vec<(Addr, IncidentKind)>,
 }
 
 impl Analysis {
@@ -121,6 +185,11 @@ impl Analysis {
     /// The recognized ctor-like functions.
     pub fn ctors(&self) -> &CtorMap {
         &self.ctors
+    }
+
+    /// Functions that contributed nothing and why, in function order.
+    pub fn incidents(&self) -> &[(Addr, IncidentKind)] {
+        &self.incidents
     }
 
     /// The binary-wide interned event alphabet
@@ -149,13 +218,75 @@ pub(crate) fn windows(events: &[Event], len: usize) -> Vec<Vec<Event>> {
 /// * the `this` view of a **virtual function** (a function appearing in
 ///   vtable slots) contributes to every vtable containing the function.
 pub fn extract_tracelets(loaded: &LoadedBinary, config: &AnalysisConfig) -> Analysis {
+    extract_tracelets_with(loaded, config, &NoHooks)
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`extract_tracelets`], but with per-function fault isolation
+/// driven by `hooks`.
+///
+/// Every function is analyzed inside `catch_unwind`, so a panicking
+/// symbolic execution (a bug, or an injected fault) is contained: the
+/// function simply contributes no tracelets and an incident is recorded.
+/// The same holds for fuel/deadline exhaustion — a function either
+/// completes within its budget or is excluded wholesale, which keeps the
+/// surviving pools identical to a clean run over the surviving functions.
+pub fn extract_tracelets_with(
+    loaded: &LoadedBinary,
+    config: &AnalysisConfig,
+    hooks: &dyn AnalysisHooks,
+) -> Analysis {
     let ctors = recognize_ctors(loaded, config);
     let mut tracelets = TypeTracelets::default();
+    let mut incidents: Vec<(Addr, IncidentKind)> = Vec::new();
 
     for f in loaded.functions() {
+        let entry = f.entry();
+        let mut cfg = *config;
+        let mut inject_panic = false;
+        match hooks.before_function(entry) {
+            FunctionDirective::Run => {}
+            FunctionDirective::Skip => {
+                incidents.push((entry, IncidentKind::Skipped));
+                continue;
+            }
+            FunctionDirective::Panic => inject_panic = true,
+            FunctionDirective::Fuel(b) => cfg.fuel = b,
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: behavioral analysis of {entry}");
+            }
+            execute_function_budgeted(f, loaded, &ctors, &cfg)
+        }));
+        let paths = match outcome {
+            Err(payload) => {
+                incidents.push((entry, IncidentKind::Panicked(panic_message(payload))));
+                continue;
+            }
+            Ok((_, ExecStatus::FuelExhausted)) => {
+                incidents.push((entry, IncidentKind::FuelExhausted));
+                continue;
+            }
+            Ok((_, ExecStatus::DeadlineExceeded)) => {
+                incidents.push((entry, IncidentKind::DeadlineExceeded));
+                continue;
+            }
+            Ok((paths, ExecStatus::Completed)) => paths,
+        };
         let host_vtables: Vec<Addr> =
-            loaded.vtables_containing(f.entry()).iter().map(|vt| vt.addr()).collect();
-        for path in execute_function(f, loaded, &ctors, config) {
+            loaded.vtables_containing(entry).iter().map(|vt| vt.addr()).collect();
+        for path in paths {
             for sub in &path.subobjects {
                 if sub.events.is_empty() {
                     continue;
@@ -175,7 +306,7 @@ pub fn extract_tracelets(loaded: &LoadedBinary, config: &AnalysisConfig) -> Anal
             }
         }
     }
-    Analysis { tracelets, ctors }
+    Analysis { tracelets, ctors, incidents }
 }
 
 #[cfg(test)]
@@ -350,6 +481,84 @@ mod tests {
         let z = tt.stats_of(Addr::new(0x9999));
         assert_eq!(z.tracelets, 0);
         assert_eq!(z.alphabet, 0);
+    }
+
+    fn hierarchy_program() -> ProgramBuilder {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m0", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("m1", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("a", "A");
+            f.new_obj("b", "B");
+            f.vcall("a", "m0", vec![]);
+            f.vcall("b", "m1", vec![]);
+            f.ret();
+        });
+        p
+    }
+
+    #[test]
+    fn clean_hooks_change_nothing() {
+        let (loaded, _) = load(hierarchy_program(), &CompileOptions::default());
+        let plain = extract_tracelets(&loaded, &AnalysisConfig::default());
+        let hooked = extract_tracelets_with(&loaded, &AnalysisConfig::default(), &NoHooks);
+        assert_eq!(plain, hooked);
+        assert!(plain.incidents().is_empty());
+    }
+
+    #[test]
+    fn panicking_function_is_contained_and_equals_a_skip() {
+        struct FaultOne(Addr, FunctionDirective);
+        impl AnalysisHooks for FaultOne {
+            fn before_function(&self, f: Addr) -> FunctionDirective {
+                if f == self.0 {
+                    self.1
+                } else {
+                    FunctionDirective::Run
+                }
+            }
+        }
+        let (loaded, _) = load(hierarchy_program(), &CompileOptions::default());
+        let victim = loaded.functions()[0].entry();
+        let cfg = AnalysisConfig::default();
+        let panicked =
+            extract_tracelets_with(&loaded, &cfg, &FaultOne(victim, FunctionDirective::Panic));
+        let skipped =
+            extract_tracelets_with(&loaded, &cfg, &FaultOne(victim, FunctionDirective::Skip));
+        let starved = extract_tracelets_with(
+            &loaded,
+            &cfg,
+            &FaultOne(victim, FunctionDirective::Fuel(Budget::steps(0))),
+        );
+        // All three isolation paths exclude the function identically.
+        assert_eq!(panicked.tracelets(), skipped.tracelets());
+        assert_eq!(panicked.tracelets(), starved.tracelets());
+        // Each records exactly one incident against the victim.
+        for (a, kind) in
+            [(&panicked, "panicked"), (&skipped, "skipped"), (&starved, "fuel exhausted")]
+        {
+            assert_eq!(a.incidents().len(), 1);
+            assert_eq!(a.incidents()[0].0, victim);
+            assert!(a.incidents()[0].1.to_string().contains(kind));
+        }
+    }
+
+    #[test]
+    fn skipping_every_function_yields_empty_pools_not_a_panic() {
+        struct SkipAll;
+        impl AnalysisHooks for SkipAll {
+            fn before_function(&self, _: Addr) -> FunctionDirective {
+                FunctionDirective::Skip
+            }
+        }
+        let (loaded, _) = load(hierarchy_program(), &CompileOptions::default());
+        let a = extract_tracelets_with(&loaded, &AnalysisConfig::default(), &SkipAll);
+        assert!(a.tracelets().is_empty());
+        assert_eq!(a.incidents().len(), loaded.functions().len());
     }
 
     #[test]

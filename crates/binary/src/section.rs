@@ -93,10 +93,8 @@ impl Section {
     /// bounds.
     pub fn read_word(&self, addr: Addr) -> Option<u64> {
         let bytes = self.bytes_at(addr)?;
-        if bytes.len() < 8 {
-            return None;
-        }
-        Some(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
+        let word: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(word))
     }
 }
 

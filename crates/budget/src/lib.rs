@@ -1,0 +1,228 @@
+//! Shared execution budgets for every bounded loop in the workspace.
+//!
+//! Two subsystems historically carried their own step-limit machinery:
+//! the reference interpreter (`rock-vm`, a per-run instruction budget
+//! guarding against runaway loops) and the symbolic executor
+//! (`rock-analysis`, per-function path enumeration bounds). This crate
+//! unifies them behind one vocabulary so the CLI and the fault-isolation
+//! layer can expose a single consistent knob:
+//!
+//! * [`Budget`] — an immutable, `Copy` *configuration* value: how many
+//!   abstract steps a piece of work may spend. Lives in config structs.
+//! * [`Meter`] — the *runtime* counter spun off a budget with
+//!   [`Budget::meter`]; each hot loop calls [`Meter::spend`] and reacts
+//!   to [`Exhausted`].
+//! * [`Deadline`] — an optional wall-clock bound, for callers that want
+//!   "give up after N milliseconds" semantics on top of (or instead of)
+//!   step counting. Wall-clock bounds are inherently nondeterministic, so
+//!   deterministic pipelines keep them off by default.
+//!
+//! The paper's scalability story (§3.2: "extract fewer and/or shorter
+//! tracelets from each procedure") treats analysis exhaustion as a
+//! *per-item degradation*, not a failure — [`Exhausted`] is therefore a
+//! plain value an isolation layer can record and move past, not a panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An abstract step allowance (configuration side).
+///
+/// `Budget` is deliberately `Copy` + `Eq` so it can sit inside the
+/// workspace's `Copy` config structs (`AnalysisConfig`, `DynamicOptions`).
+/// Spend tracking happens on a [`Meter`] derived from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Budget {
+    limit: u64,
+}
+
+impl Budget {
+    /// A budget of exactly `limit` steps (`0` means "always exhausted").
+    pub const fn steps(limit: u64) -> Self {
+        Budget { limit }
+    }
+
+    /// An effectively unlimited budget (`u64::MAX` steps).
+    pub const fn unlimited() -> Self {
+        Budget { limit: u64::MAX }
+    }
+
+    /// The configured step limit.
+    pub const fn limit(self) -> u64 {
+        self.limit
+    }
+
+    /// Returns `true` if this is the [`Budget::unlimited`] sentinel.
+    pub const fn is_unlimited(self) -> bool {
+        self.limit == u64::MAX
+    }
+
+    /// Starts a fresh runtime counter over this budget.
+    pub const fn meter(self) -> Meter {
+        Meter { limit: self.limit, spent: 0 }
+    }
+}
+
+impl Default for Budget {
+    /// Unlimited — budgets are opt-in bounds.
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlimited() {
+            write!(f, "unlimited")
+        } else {
+            write!(f, "{} steps", self.limit)
+        }
+    }
+}
+
+/// The single "budget ran out" error shared by every metered loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Exhausted {
+    /// The limit that was hit.
+    pub limit: u64,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step budget of {} exhausted", self.limit)
+    }
+}
+
+impl Error for Exhausted {}
+
+/// The runtime side of a [`Budget`]: a monotone spend counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Meter {
+    limit: u64,
+    spent: u64,
+}
+
+impl Meter {
+    /// Spends `n` steps; fails with [`Exhausted`] once the budget is gone.
+    ///
+    /// The meter saturates: after the first `Err`, further calls keep
+    /// failing with the same error (callers may poll it in loops).
+    pub fn spend(&mut self, n: u64) -> Result<(), Exhausted> {
+        self.spent = self.spent.saturating_add(n);
+        if self.spent > self.limit {
+            Err(Exhausted { limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Steps spent so far (may exceed the limit by the final overdraft).
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Steps left before exhaustion.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.spent)
+    }
+
+    /// Returns `true` once [`Meter::spend`] has failed.
+    pub fn is_exhausted(&self) -> bool {
+        self.spent > self.limit
+    }
+}
+
+/// An optional wall-clock bound.
+///
+/// [`Deadline::none`] never expires and costs one branch per check, so it
+/// is safe to thread unconditionally.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    expires_at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub const fn none() -> Self {
+        Deadline { expires_at: None }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Deadline { expires_at: Instant::now().checked_add(Duration::from_millis(ms)) }
+    }
+
+    /// Builds from the `Option<u64>` millisecond knob used by configs.
+    pub fn from_config(deadline_ms: Option<u64>) -> Self {
+        match deadline_ms {
+            Some(ms) => Deadline::after_ms(ms),
+            None => Deadline::none(),
+        }
+    }
+
+    /// Returns `true` once the wall clock has passed the bound.
+    pub fn expired(&self) -> bool {
+        matches!(self.expires_at, Some(t) if Instant::now() >= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_and_meters() {
+        let b = Budget::steps(3);
+        assert_eq!(b.limit(), 3);
+        assert!(!b.is_unlimited());
+        let mut m = b.meter();
+        assert!(m.spend(1).is_ok());
+        assert!(m.spend(2).is_ok());
+        assert!(!m.is_exhausted());
+        assert_eq!(m.remaining(), 0);
+        let err = m.spend(1).unwrap_err();
+        assert_eq!(err, Exhausted { limit: 3 });
+        assert!(m.is_exhausted());
+        // Saturates: keeps failing.
+        assert!(m.spend(1).is_err());
+        assert_eq!(m.spent(), 5);
+    }
+
+    #[test]
+    fn zero_budget_fails_immediately() {
+        let mut m = Budget::steps(0).meter();
+        assert!(m.spend(1).is_err());
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        assert!(Budget::default().is_unlimited());
+        let mut m = Budget::unlimited().meter();
+        assert!(m.spend(u64::MAX).is_ok());
+        assert!(m.spend(u64::MAX).is_ok(), "saturating add cannot wrap");
+        assert_eq!(m.remaining(), 0);
+        assert!(!m.is_exhausted());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Budget::steps(7).to_string(), "7 steps");
+        assert_eq!(Budget::unlimited().to_string(), "unlimited");
+        assert_eq!(Exhausted { limit: 7 }.to_string(), "step budget of 7 exhausted");
+    }
+
+    #[test]
+    fn deadlines() {
+        assert!(!Deadline::none().expired());
+        assert!(!Deadline::from_config(None).expired());
+        let d = Deadline::after_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        assert!(Deadline::from_config(Some(0)).expires_at.is_some());
+        // A far-future deadline is live but unexpired.
+        assert!(!Deadline::after_ms(1_000_000).expired());
+    }
+}

@@ -45,6 +45,15 @@ fn load_file(path: &str) -> Result<LoadedBinary, Box<dyn Error>> {
     Ok(LoadedBinary::load(image)?)
 }
 
+/// Best-effort load: malformed sections degrade to recorded issues on a
+/// partial binary instead of an error (used by `reconstruct` unless
+/// `--strict`).
+fn load_file_lenient(path: &str) -> Result<LoadedBinary, Box<dyn Error>> {
+    let data = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let image = image_from_bytes(&data)?;
+    Ok(LoadedBinary::load_lenient(image))
+}
+
 fn cmd_list() -> CliResult {
     println!("{:<18} {:>5}  structurally resolvable", "benchmark", "types");
     for b in all_benchmarks() {
@@ -249,6 +258,9 @@ fn parse_metric(s: &str) -> Result<Metric, Box<dyn Error>> {
 fn cmd_reconstruct(args: &[String]) -> CliResult {
     let mut dot = false;
     let mut timings = false;
+    let mut diagnostics = false;
+    let mut strict = false;
+    let mut fuel = None;
     let mut metric = Metric::KlDivergence;
     let mut parallelism = Parallelism::Auto;
     let mut path = None;
@@ -257,6 +269,8 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
         match a.as_str() {
             "--dot" => dot = true,
             "--timings" => timings = true,
+            "--diagnostics" => diagnostics = true,
+            "--strict" => strict = true,
             "--metric" => {
                 let v = it.next().ok_or("--metric needs a value")?;
                 metric = parse_metric(v)?;
@@ -266,6 +280,11 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
                 let n: usize = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
                 parallelism = if n == 0 { Parallelism::Auto } else { Parallelism::Threads(n) };
             }
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel needs a value (steps per function)")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad fuel {v:?}: {e}"))?;
+                fuel = Some(rock_analysis::Budget::steps(n));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("reconstruct: unknown flag {other}").into())
             }
@@ -273,11 +292,20 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
         }
     }
     let path = path.ok_or(
-        "usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--threads n] [--timings] [--dot]",
+        "usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--threads n] [--fuel steps] \
+         [--timings] [--diagnostics] [--strict] [--dot]",
     )?;
-    let loaded = load_file(&path)?;
-    let config = RockConfig::with_metric(metric).with_parallelism(parallelism);
-    let recon = Rock::new(config).reconstruct(&loaded);
+    // Lenient by default: a damaged image degrades to a partial binary
+    // with recorded issues; --strict restores the old fail-fast load.
+    let loaded = if strict { load_file(&path)? } else { load_file_lenient(&path)? };
+    let mut config = RockConfig::with_metric(metric).with_parallelism(parallelism);
+    if strict {
+        config = config.with_strict();
+    }
+    if let Some(budget) = fuel {
+        config.analysis.fuel = budget;
+    }
+    let recon = Rock::new(config).try_reconstruct(&loaded)?;
     // Label with symbols when available (unstripped input), else addresses.
     let label = |a: Addr| -> String {
         loaded.image().symbols().at(a).map(|s| s.name.clone()).unwrap_or_else(|| a.to_string())
@@ -291,6 +319,17 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
     }
     if timings {
         println!("{}", recon.timings);
+    }
+    if diagnostics {
+        println!("{}", recon.coverage);
+        if recon.diagnostics.is_empty() {
+            println!("diagnostics: none");
+        } else {
+            println!("diagnostics ({}):", recon.diagnostics.len());
+            for e in &recon.diagnostics {
+                println!("  {e}");
+            }
+        }
     }
     Ok(())
 }
@@ -395,6 +434,28 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
+        dispatch(&[
+            "reconstruct".into(),
+            path_str.clone(),
+            "--diagnostics".into(),
+            "--strict".into(),
+        ])
+        .unwrap();
+        dispatch(&["reconstruct".into(), path_str.clone(), "--fuel".into(), "100000".into()])
+            .unwrap();
+        // A starved fuel budget degrades coverage but still succeeds
+        // (non-strict), and is reported by --diagnostics.
+        dispatch(&[
+            "reconstruct".into(),
+            path_str.clone(),
+            "--fuel".into(),
+            "1".into(),
+            "--diagnostics".into(),
+            "--timings".into(),
+        ])
+        .unwrap();
+        assert!(dispatch(&["reconstruct".into(), path_str.clone(), "--fuel".into(), "x".into()])
+            .is_err());
         // 0 means auto; garbage errors cleanly.
         dispatch(&["reconstruct".into(), path_str.clone(), "--threads".into(), "0".into()])
             .unwrap();

@@ -11,9 +11,13 @@
 //! rock reconstruct <file.rkb>        reconstruct the class hierarchy
 //!          [--metric kl|js|jsd]      distance criterion (default kl)
 //!          [--threads <n>]           worker threads (0 = auto, default)
+//!          [--fuel <steps>]          per-function symbolic-execution budget
 //!          [--timings]               print per-stage wall-clock + counters
 //!                                    (incl. SLM arena nodes/edges/bytes and
 //!                                    unique-vs-total training words)
+//!          [--diagnostics]           print coverage + contained faults
+//!          [--strict]                fail fast instead of degrading
+//!                                    (strict load + abort on first error)
 //!          [--dot]                   emit graphviz instead of a tree
 //! rock eval <bench>                  Table 2 row for one benchmark
 //! rock table2                        the whole Table 2

@@ -29,6 +29,10 @@ pub struct RockConfig {
     /// matrices, arborescences). Any setting yields a bit-identical
     /// [`crate::Reconstruction`]; only wall-clock changes.
     pub parallelism: Parallelism,
+    /// Fail fast instead of degrading: the first error-severity
+    /// [`crate::StageError`] aborts [`crate::Rock::try_reconstruct`]
+    /// rather than being recorded and worked around.
+    pub strict: bool,
 }
 
 impl Default for RockConfig {
@@ -41,6 +45,7 @@ impl Default for RockConfig {
             max_tie_variants: 8,
             repartition_families: false,
             parallelism: Parallelism::Auto,
+            strict: false,
         }
     }
 }
@@ -75,6 +80,13 @@ impl RockConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Enables strict mode (fail fast on the first error-severity
+    /// diagnostic instead of degrading).
+    pub fn with_strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +109,7 @@ mod tests {
             RockConfig::default().with_parallelism(Parallelism::Threads(2)).parallelism,
             Parallelism::Threads(2)
         );
+        assert!(!c.strict, "strict mode is opt-in");
+        assert!(RockConfig::default().with_strict().strict);
     }
 }

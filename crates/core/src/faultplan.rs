@@ -1,0 +1,216 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] decides — purely from its seed and the identity of
+//! each work item — which functions panic, get skipped, or run with a
+//! starved fuel budget, and which stage items fault mid-pipeline. No
+//! wall-clock or OS randomness is consulted, so the same plan on the
+//! same binary produces bit-identical reconstructions whatever the
+//! thread count, and a failing seed replays exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rock_analysis::{AnalysisHooks, Budget, FunctionDirective};
+use rock_binary::Addr;
+
+use crate::diagnostics::Stage;
+
+/// SplitMix64 finalizer: a strong 64-bit mix used to derive per-item
+/// decisions from the plan seed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic plan of injected faults.
+///
+/// Explicit directives (built with [`FaultPlan::panic_on`] and friends)
+/// always win; on top of them, [`FaultPlan::seeded`] makes every
+/// `(stage, item)` pair independently fault with a fixed per-mille
+/// probability derived from the seed.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rate_per_mille: u32,
+    panic_functions: BTreeSet<Addr>,
+    skip_functions: BTreeSet<Addr>,
+    starved_functions: BTreeMap<Addr, u64>,
+    panic_stages: BTreeSet<Stage>,
+}
+
+impl FaultPlan {
+    /// An explicit plan with no seeded faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan where every `(stage, item)` pair independently faults with
+    /// probability `rate_per_mille / 1000` (clamped to 1000), decided by
+    /// hashing the seed with the item's identity.
+    pub fn seeded(seed: u64, rate_per_mille: u32) -> Self {
+        FaultPlan { seed, rate_per_mille: rate_per_mille.min(1000), ..FaultPlan::default() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Makes the behavioral analysis of `function` panic (contained).
+    pub fn panic_on(mut self, function: Addr) -> Self {
+        self.panic_functions.insert(function);
+        self
+    }
+
+    /// Makes the behavioral analysis skip `function`.
+    pub fn skip(mut self, function: Addr) -> Self {
+        self.skip_functions.insert(function);
+        self
+    }
+
+    /// Runs `function` with a starved fuel budget of `steps`.
+    pub fn starve(mut self, function: Addr, steps: u64) -> Self {
+        self.starved_functions.insert(function, steps);
+        self
+    }
+
+    /// Makes every item of `stage` panic (contained). Only the parallel
+    /// stages — [`Stage::Training`], [`Stage::Distances`],
+    /// [`Stage::Lifting`] — honor stage-wide panics; function-level
+    /// faults go through the [`AnalysisHooks`] implementation.
+    pub fn panic_in(mut self, stage: Stage) -> Self {
+        self.panic_stages.insert(stage);
+        self
+    }
+
+    /// One deterministic 64-bit draw for `(stage, key)`.
+    fn draw(&self, stage: Stage, key: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64((stage as u64) << 32 ^ key))
+    }
+
+    /// Whether a seeded fault hits `(stage, key)`.
+    fn seeded_hit(&self, stage: Stage, key: u64) -> bool {
+        self.rate_per_mille > 0 && self.draw(stage, key) % 1000 < u64::from(self.rate_per_mille)
+    }
+
+    /// Whether the item identified by `key` should panic inside `stage`.
+    pub fn should_panic_in(&self, stage: Stage, key: u64) -> bool {
+        self.panic_stages.contains(&stage) || self.seeded_hit(stage, key)
+    }
+
+    /// XORs `count` seeded byte positions of `bytes` with seeded values,
+    /// returning the mutated positions. Structure-oblivious corruption
+    /// for loader-robustness tests.
+    pub fn corrupt(&self, bytes: &mut [u8], count: usize) -> Vec<usize> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let mut positions = Vec::with_capacity(count);
+        for i in 0..count {
+            let r = splitmix64(self.seed ^ splitmix64(0xC0FF_EE00 ^ i as u64));
+            let pos = (r % bytes.len() as u64) as usize;
+            // Never XOR with 0: every listed position really changes.
+            bytes[pos] ^= ((r >> 32) as u8) | 1;
+            positions.push(pos);
+        }
+        positions
+    }
+}
+
+impl AnalysisHooks for FaultPlan {
+    fn before_function(&self, function: Addr) -> FunctionDirective {
+        if self.panic_functions.contains(&function) {
+            return FunctionDirective::Panic;
+        }
+        if self.skip_functions.contains(&function) {
+            return FunctionDirective::Skip;
+        }
+        if let Some(&steps) = self.starved_functions.get(&function) {
+            return FunctionDirective::Fuel(Budget::steps(steps));
+        }
+        if self.seeded_hit(Stage::Analysis, function.value()) {
+            // A second independent draw picks the fault flavor.
+            return match self.draw(Stage::Analysis, !function.value()) % 3 {
+                0 => FunctionDirective::Panic,
+                1 => FunctionDirective::Skip,
+                _ => FunctionDirective::Fuel(Budget::steps(2)),
+            };
+        }
+        FunctionDirective::Run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_directives_win() {
+        let plan = FaultPlan::new()
+            .panic_on(Addr::new(0x10))
+            .skip(Addr::new(0x20))
+            .starve(Addr::new(0x30), 5);
+        assert_eq!(plan.before_function(Addr::new(0x10)), FunctionDirective::Panic);
+        assert_eq!(plan.before_function(Addr::new(0x20)), FunctionDirective::Skip);
+        assert_eq!(
+            plan.before_function(Addr::new(0x30)),
+            FunctionDirective::Fuel(Budget::steps(5))
+        );
+        assert_eq!(plan.before_function(Addr::new(0x40)), FunctionDirective::Run);
+    }
+
+    #[test]
+    fn seeded_decisions_are_deterministic() {
+        let a = FaultPlan::seeded(7, 500);
+        let b = FaultPlan::seeded(7, 500);
+        for addr in 0..256u64 {
+            assert_eq!(
+                a.before_function(Addr::new(addr)),
+                b.before_function(Addr::new(addr)),
+                "seeded plans must agree at {addr:#x}"
+            );
+            assert_eq!(
+                a.should_panic_in(Stage::Training, addr),
+                b.should_panic_in(Stage::Training, addr)
+            );
+        }
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn seeded_rate_roughly_holds() {
+        let plan = FaultPlan::seeded(3, 500);
+        let hits = (0..1000u64).filter(|&k| plan.seeded_hit(Stage::Analysis, k)).count();
+        assert!((300..700).contains(&hits), "~50% expected, got {hits}/1000");
+        let never = FaultPlan::seeded(3, 0);
+        assert!((0..1000u64).all(|k| !never.seeded_hit(Stage::Analysis, k)));
+        let always = FaultPlan::seeded(3, 5000); // clamped to 1000
+        assert!((0..1000u64).all(|k| always.seeded_hit(Stage::Analysis, k)));
+    }
+
+    #[test]
+    fn stage_panics_are_per_stage() {
+        let plan = FaultPlan::new().panic_in(Stage::Training);
+        assert!(plan.should_panic_in(Stage::Training, 0));
+        assert!(!plan.should_panic_in(Stage::Lifting, 0));
+    }
+
+    #[test]
+    fn corruption_mutates_listed_positions() {
+        let plan = FaultPlan::seeded(11, 0);
+        let clean = vec![0u8; 64];
+        let mut dirty = clean.clone();
+        let positions = plan.corrupt(&mut dirty, 8);
+        assert_eq!(positions.len(), 8);
+        for &p in &positions {
+            assert_ne!(dirty[p], clean[p], "position {p} must change");
+        }
+        // Deterministic: same plan, same mutations.
+        let mut again = clean.clone();
+        assert_eq!(plan.corrupt(&mut again, 8), positions);
+        assert_eq!(again, dirty);
+        // Empty input is a no-op.
+        assert!(plan.corrupt(&mut [], 4).is_empty());
+    }
+}

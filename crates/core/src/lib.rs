@@ -44,7 +44,9 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod diagnostics;
 mod eval;
+pub mod faultplan;
 mod par;
 mod pipeline;
 mod pseudo;
@@ -53,7 +55,9 @@ pub mod suite;
 mod timings;
 
 pub use config::RockConfig;
+pub use diagnostics::{Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject};
 pub use eval::{evaluate, evaluate_k_parents, project_hierarchy, AppDistance, Evaluation};
+pub use faultplan::FaultPlan;
 pub use par::Parallelism;
 pub use pipeline::{Reconstruction, Rock};
 pub use pseudo::pseudo_source;

@@ -9,6 +9,7 @@
 //! callers can merge them exactly as the serial loop would have and the
 //! reconstruction stays bit-identical whatever [`Parallelism`] is chosen.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -82,6 +83,34 @@ where
         .collect()
 }
 
+/// Like [`par_map`], but each item runs inside `catch_unwind`: a
+/// panicking item yields `Err(message)` in its slot instead of tearing
+/// down the worker (and, through scoped-thread propagation, the whole
+/// pipeline). Result order still follows input order, so merges stay
+/// deterministic whatever the thread count.
+pub(crate) fn par_map_catch<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(parallelism, items, |item| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +138,27 @@ mod tests {
         let none: Vec<i32> = par_map(Parallelism::Threads(8), &[], |&x: &i32| x);
         assert!(none.is_empty());
         assert_eq!(par_map(Parallelism::Auto, &[5], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn catch_contains_panics_in_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let out = par_map_catch(par, &items, |&x| {
+                if x % 10 == 3 {
+                    panic!("boom {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 100);
+            for (i, r) in out.iter().enumerate() {
+                if i % 10 == 3 {
+                    assert_eq!(*r, Err(format!("boom {i}")));
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2));
+                }
+            }
+        }
     }
 
     #[test]

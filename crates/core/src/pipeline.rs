@@ -5,14 +5,20 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use rock_analysis::{extract_tracelets, Analysis, Event};
+use rock_analysis::{
+    extract_tracelets_with, Analysis, AnalysisHooks, Event, IncidentKind, NoHooks,
+};
 use rock_binary::Addr;
 use rock_graph::{min_spanning_forest, DiGraph, Forest};
-use rock_loader::LoadedBinary;
+use rock_loader::{LoadIssue, LoadedBinary};
 use rock_slm::{DistanceCache, Metric, Slm};
 use rock_structural::{analyze, Structural};
 
-use crate::par::{par_map, Parallelism};
+use crate::diagnostics::{
+    Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject,
+};
+use crate::faultplan::FaultPlan;
+use crate::par::{par_map, par_map_catch, Parallelism};
 use crate::{RockConfig, StageTimings};
 
 /// The Rock reconstructor.
@@ -28,6 +34,7 @@ use crate::{RockConfig, StageTimings};
 pub struct Rock {
     config: RockConfig,
     cache: Arc<DistanceCache<Addr>>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 /// Everything the pipeline produced for one binary.
@@ -46,6 +53,10 @@ pub struct Reconstruction {
     pub distances: BTreeMap<(Addr, Addr), f64>,
     /// Per-stage wall-clock and work counters for this run.
     pub timings: StageTimings,
+    /// Every contained fault of the run, in deterministic record order.
+    pub diagnostics: Vec<StageError>,
+    /// How much of the binary the run actually covered.
+    pub coverage: Coverage,
     /// The metric the distances were computed under.
     metric: Metric,
     /// The trained per-type models, kept so post-hoc queries
@@ -148,13 +159,21 @@ impl fmt::Display for Reconstruction {
 impl Rock {
     /// Creates a reconstructor with its own (empty) distance cache.
     pub fn new(config: RockConfig) -> Self {
-        Rock { config, cache: Arc::new(DistanceCache::new()) }
+        Rock { config, cache: Arc::new(DistanceCache::new()), fault: None }
     }
 
     /// Creates a reconstructor that shares `cache` with other passes over
     /// the **same binary** (ablation sweeps, repeated reconstructions).
     pub fn with_shared_cache(config: RockConfig, cache: Arc<DistanceCache<Addr>>) -> Self {
-        Rock { config, cache }
+        Rock { config, cache, fault: None }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`]: named functions and stage
+    /// items panic, get skipped, or run starved, exercising the
+    /// containment paths without any wall-clock randomness.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// The active configuration.
@@ -173,27 +192,106 @@ impl Rock {
     /// on [`RockConfig::parallelism`] threads; every merge happens in
     /// deterministic input order, so the result is bit-identical to
     /// [`Parallelism::Serial`] whatever setting is active.
+    ///
+    /// # Panics
+    ///
+    /// Only with [`RockConfig::strict`] set, on the first error-severity
+    /// diagnostic — use [`Rock::try_reconstruct`] to handle that case.
     pub fn reconstruct(&self, loaded: &LoadedBinary) -> Reconstruction {
+        match self.try_reconstruct(loaded) {
+            Ok(recon) => recon,
+            Err(e) => panic!("strict reconstruction failed: {e}"),
+        }
+    }
+
+    /// Like [`Rock::reconstruct`], but surfaces strict-mode failures.
+    ///
+    /// Without [`RockConfig::strict`] this never returns `Err`: every
+    /// fault — a panicking symbolic execution, an untrainable model, a
+    /// faulting arborescence search — is contained, recorded in
+    /// [`Reconstruction::diagnostics`], and accounted for by
+    /// [`Reconstruction::coverage`], while the rest of the binary is
+    /// still reconstructed. With `strict`, the first error-severity
+    /// [`StageError`] aborts the run instead (the old fail-fast shape).
+    pub fn try_reconstruct(&self, loaded: &LoadedBinary) -> Result<Reconstruction, StageError> {
         let run_start = Instant::now();
         let par = self.config.parallelism;
         let mut timings = StageTimings { threads: par.thread_count(), ..StageTimings::default() };
         let cache_hits0 = self.cache.hits();
         let cache_misses0 = self.cache.misses();
+        let sink = DiagnosticSink::default();
+        let mut coverage = Coverage {
+            functions_total: loaded.functions().len(),
+            vtables_parsed: loaded.vtables().len(),
+            ..Coverage::default()
+        };
+        // Stage-level panic injection (function-level faults go through
+        // the AnalysisHooks implementation on the plan instead).
+        let inject = |stage: Stage, key: u64| {
+            if self.fault.as_ref().is_some_and(|p| p.should_panic_in(stage, key)) {
+                panic!("injected fault: {stage} of item {key:#x}");
+            }
+        };
+        let strict_failure = |sink: &DiagnosticSink| {
+            if !self.config.strict {
+                return None;
+            }
+            sink.iter().find(|e| e.severity == Severity::Error).cloned()
+        };
+
+        // Whatever the (possibly lenient) load degraded on becomes part
+        // of this run's diagnostics, so one report covers the whole path.
+        for issue in loaded.issues() {
+            sink.record(load_issue_error(issue));
+            if matches!(issue, LoadIssue::RejectedVtableCandidate { .. }) {
+                coverage.vtables_rejected += 1;
+            }
+        }
+        if let Some(e) = strict_failure(&sink) {
+            return Err(e);
+        }
 
         // Behavioral analysis (also recognizes ctor-like functions).
+        // Each function runs inside catch_unwind with a fuel/deadline
+        // budget; a faulted function is excluded wholesale and recorded.
         let stage = Instant::now();
-        let analysis = extract_tracelets(loaded, &self.config.analysis);
+        let hooks: &dyn AnalysisHooks = match &self.fault {
+            Some(plan) => plan.as_ref(),
+            None => &NoHooks,
+        };
+        let analysis = extract_tracelets_with(loaded, &self.config.analysis, hooks);
+        for (entry, incident) in analysis.incidents() {
+            match incident {
+                IncidentKind::FuelExhausted => {
+                    coverage.functions_timed_out += 1;
+                    timings.fuel_exhausted += 1;
+                }
+                IncidentKind::DeadlineExceeded => coverage.functions_timed_out += 1,
+                IncidentKind::Panicked(_) | IncidentKind::Skipped => {
+                    coverage.functions_skipped += 1;
+                }
+            }
+            sink.record(incident_error(*entry, incident));
+        }
+        coverage.functions_analyzed =
+            coverage.functions_total - coverage.functions_skipped - coverage.functions_timed_out;
         timings.analysis = stage.elapsed();
+        if let Some(e) = strict_failure(&sink) {
+            return Err(e);
+        }
 
         // Structural analysis.
         let stage = Instant::now();
         let structural = analyze(loaded, analysis.ctors(), &self.config.analysis);
         timings.structural = stage.elapsed();
 
-        // One SLM per binary type, trained independently per vtable.
+        // One SLM per binary type, trained independently per vtable. A
+        // training fault drops that type's model; edges touching it are
+        // skipped later and the type degrades to a hierarchy root.
         let stage = Instant::now();
         let addrs: Vec<Addr> = loaded.vtables().iter().map(|vt| vt.addr()).collect();
-        let trained = par_map(par, &addrs, |&addr| {
+        let trained = par_map_catch(par, &addrs, |&addr| {
+            inject(Stage::Training, addr.value());
             let mut m = Slm::new(self.config.analysis.slm_depth);
             for t in analysis.tracelets().of_type(addr) {
                 m.train(t);
@@ -204,7 +302,21 @@ impl Rock {
             m.finalize();
             m
         });
-        let models: BTreeMap<Addr, Slm<Event>> = addrs.into_iter().zip(trained).collect();
+        let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
+        for (addr, outcome) in addrs.into_iter().zip(trained) {
+            match outcome {
+                Ok(m) => {
+                    models.insert(addr, m);
+                }
+                Err(msg) => sink.record(StageError {
+                    stage: Stage::Training,
+                    subject: Subject::Vtable(addr),
+                    kind: FaultKind::Panicked(msg),
+                    severity: Severity::Error,
+                }),
+            }
+        }
+        coverage.models_trained = models.len();
         timings.slm_count = models.len();
         for m in models.values() {
             timings.slm_nodes += m.node_count();
@@ -214,6 +326,9 @@ impl Rock {
             timings.slm_total_words += m.training_total();
         }
         timings.training = stage.elapsed();
+        if let Some(e) = strict_failure(&sink) {
+            return Err(e);
+        }
 
         // Weighted digraph per family over surviving candidate edges.
         // Every edge weight is an independent pair divergence, so the
@@ -230,37 +345,64 @@ impl Rock {
             .enumerate()
             .flat_map(|(fi, f)| f.iter().map(move |&child| (fi, child)))
             .collect();
-        let scored = par_map(par, &children, |&(fi, child)| {
+        let scored = par_map_catch(par, &children, |&(fi, child)| {
+            inject(Stage::Distances, child.value());
             child_candidate_edges(
                 &indices[fi],
                 child,
                 |c| structural.possible_parents().of(c),
                 |parent, child| {
-                    self.cache.distance(
-                        self.config.metric,
-                        (&parent, &models[&parent]),
-                        (&child, &models[&child]),
-                    )
+                    let (pm, cm) = (models.get(&parent)?, models.get(&child)?);
+                    Some(self.cache.distance(self.config.metric, (&parent, pm), (&child, cm)))
                 },
             )
         });
         let mut distances = BTreeMap::new();
         let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
-        for (&(fi, _), (edges, foreign)) in children.iter().zip(&scored) {
-            timings.edge_count += edges.len();
-            timings.foreign_candidates += foreign;
-            for &(parent, child, d) in edges {
+        for (&(fi, child), outcome) in children.iter().zip(&scored) {
+            let edges = match outcome {
+                Ok(edges) => edges,
+                Err(msg) => {
+                    // The child keeps no incoming edges and becomes a
+                    // root of its family's arborescence.
+                    sink.record(StageError {
+                        stage: Stage::Distances,
+                        subject: Subject::Vtable(child),
+                        kind: FaultKind::Panicked(msg.clone()),
+                        severity: Severity::Error,
+                    });
+                    continue;
+                }
+            };
+            timings.edge_count += edges.accepted.len();
+            timings.foreign_candidates += edges.foreign;
+            for &(parent, child) in &edges.unmodeled {
+                sink.record(StageError {
+                    stage: Stage::Distances,
+                    subject: Subject::Edge(parent, child),
+                    kind: FaultKind::MissingModel,
+                    severity: Severity::Warning,
+                });
+            }
+            for &(parent, child, d) in &edges.accepted {
                 graphs[fi].add_edge(indices[fi][&parent], indices[fi][&child], d);
                 distances.insert((parent, child), d);
             }
         }
         timings.distances = stage.elapsed();
+        if let Some(e) = strict_failure(&sink) {
+            return Err(e);
+        }
 
         // Per family: minimum-weight maximal forest (§4.2.2), with the
         // majority-vote tie heuristic when enabled. Results are merged in
-        // family order, so the union is deterministic.
+        // family order, so the union is deterministic. A faulted family
+        // degrades to all-roots instead of aborting the run.
         let stage = Instant::now();
-        let parents = par_map(par, &graphs, |graph| {
+        coverage.families_total = families.len();
+        let graph_items: Vec<(usize, &DiGraph)> = graphs.iter().enumerate().collect();
+        let lifted = par_map_catch(par, &graph_items, |&(fi, graph)| {
+            inject(Stage::Lifting, fi as u64);
             if self.config.resolve_ties {
                 // §4.2.2: several arborescences may share the minimal
                 // weight; resolve with the majority-vote heuristic.
@@ -275,12 +417,29 @@ impl Rock {
             }
         });
         let mut hierarchy: Forest<Addr> = Forest::new();
-        for (family, parent) in structural.families().iter().zip(&parents) {
+        for ((fi, family), outcome) in families.iter().enumerate().zip(lifted) {
+            let parent = match outcome {
+                Ok(parent) => parent,
+                Err(msg) => {
+                    sink.record(StageError {
+                        stage: Stage::Lifting,
+                        subject: Subject::Family(fi),
+                        kind: FaultKind::Panicked(msg),
+                        severity: Severity::Error,
+                    });
+                    coverage.families_degraded += 1;
+                    vec![None; family.len()]
+                }
+            };
             for (i, p) in parent.iter().enumerate() {
                 hierarchy.insert(family[i], p.map(|pi| family[pi]));
             }
         }
+        coverage.families_lifted = coverage.families_total - coverage.families_degraded;
         timings.lifting = stage.elapsed();
+        if let Some(e) = strict_failure(&sink) {
+            return Err(e);
+        }
 
         if self.config.repartition_families {
             let stage = Instant::now();
@@ -299,50 +458,103 @@ impl Rock {
 
         timings.cache_hits = self.cache.hits() - cache_hits0;
         timings.cache_misses = self.cache.misses() - cache_misses0;
+        timings.skipped_functions = coverage.functions_skipped + coverage.functions_timed_out;
+        timings.rejected_vtables = coverage.vtables_rejected;
+        let dropped = sink.dropped();
+        let diagnostics = sink.into_entries();
+        timings.diagnostics_bytes = diagnostics.iter().map(StageError::approx_bytes).sum();
+        if dropped > 0 {
+            eprintln!("rock: diagnostic sink overflowed; {dropped} entries dropped");
+        }
         timings.total = run_start.elapsed();
 
-        Reconstruction {
+        Ok(Reconstruction {
             hierarchy,
             structural,
             analysis,
             distances,
             timings,
+            diagnostics,
+            coverage,
             metric: self.config.metric,
             models,
             cache: Arc::clone(&self.cache),
-        }
+        })
     }
+}
+
+/// Maps a loader degradation onto the diagnostic taxonomy.
+fn load_issue_error(issue: &LoadIssue) -> StageError {
+    let (subject, kind, severity) = match issue {
+        LoadIssue::NoTextSection => (Subject::Image, FaultKind::MissingText, Severity::Error),
+        LoadIssue::TruncatedText { .. } => {
+            (Subject::Image, FaultKind::TruncatedDecode, Severity::Error)
+        }
+        LoadIssue::SkippedPrefix { .. } => {
+            (Subject::Image, FaultKind::SkippedPrefix, Severity::Warning)
+        }
+        LoadIssue::RejectedVtableCandidate { at } => {
+            (Subject::Vtable(*at), FaultKind::RejectedVtable, Severity::Warning)
+        }
+    };
+    StageError { stage: Stage::Load, subject, kind, severity }
+}
+
+/// Maps a behavioral-analysis incident onto the diagnostic taxonomy.
+fn incident_error(entry: Addr, incident: &IncidentKind) -> StageError {
+    let (kind, severity) = match incident {
+        IncidentKind::Panicked(msg) => (FaultKind::Panicked(msg.clone()), Severity::Error),
+        IncidentKind::FuelExhausted => (FaultKind::FuelExhausted, Severity::Error),
+        IncidentKind::DeadlineExceeded => (FaultKind::DeadlineExceeded, Severity::Error),
+        IncidentKind::Skipped => (FaultKind::Skipped, Severity::Warning),
+    };
+    StageError { stage: Stage::Analysis, subject: Subject::Function(entry), kind, severity }
+}
+
+/// One child's scored candidate edges, plus everything that was dropped
+/// on the way and why.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct ChildEdges {
+    /// Accepted `(parent, child, distance)` edges.
+    accepted: Vec<(Addr, Addr, f64)>,
+    /// Candidates outside the family's member list (ctor merges).
+    foreign: usize,
+    /// Candidate pairs skipped because an endpoint has no trained model
+    /// (its training faulted upstream).
+    unmodeled: Vec<(Addr, Addr)>,
 }
 
 /// Scores one child's surviving candidate edges within its family.
 ///
-/// `index` is the family's member list; returns the accepted
-/// `(parent, child, distance)` edges plus the number of **foreign**
-/// candidates skipped — parents proposed by the structural phase (e.g.
-/// via a ctor merge) that are not family members. Indexing those
+/// `index` is the family's member list; **foreign** candidates — parents
+/// proposed by the structural phase (e.g. via a ctor merge) that are not
+/// family members — are counted and dropped: indexing them
 /// unconditionally (`index[&parent]`) was a panic; they carry no position
-/// in the family's digraph, so they are logged and dropped instead.
+/// in the family's digraph. `distance` returns `None` when an endpoint
+/// has no model; those pairs are reported in
+/// [`ChildEdges::unmodeled`] instead of being scored.
 fn child_candidate_edges(
     index: &BTreeMap<Addr, usize>,
     child: Addr,
     candidates: impl Fn(Addr) -> Vec<Addr>,
-    distance: impl Fn(Addr, Addr) -> f64,
-) -> (Vec<(Addr, Addr, f64)>, usize) {
-    let mut edges = Vec::new();
-    let mut foreign = 0usize;
+    distance: impl Fn(Addr, Addr) -> Option<f64>,
+) -> ChildEdges {
+    let mut edges = ChildEdges::default();
     for parent in candidates(child) {
         if !index.contains_key(&parent) {
             eprintln!(
                 "rock: skipping foreign parent candidate {parent} for {child} \
                  (outside its family)"
             );
-            foreign += 1;
+            edges.foreign += 1;
             continue;
         }
-        let d = distance(parent, child);
-        edges.push((parent, child, d));
+        match distance(parent, child) {
+            Some(d) => edges.accepted.push((parent, child, d)),
+            None => edges.unmodeled.push((parent, child)),
+        }
     }
-    (edges, foreign)
+    edges
 }
 
 /// Behavioral family repartitioning — the future-work extension the paper
@@ -396,6 +608,8 @@ fn repartition(
     let roots: Vec<Addr> = hierarchy.roots().into_iter().copied().collect();
     let proposals = par_map(par, &roots, |&root| {
         let root_vt = loaded.vtable_at(root)?;
+        // A root whose training faulted has no model to compare with.
+        let root_model = models.get(&root)?;
         let root_family = family_of.get(&root);
         let mut best: Option<(f64, Addr)> = None;
         for cand in loaded.vtables() {
@@ -411,19 +625,14 @@ fn repartition(
             if hierarchy.successors(&root).contains(&cand.addr()) {
                 continue;
             }
-            let d = cache.distance(
-                metric,
-                (&cand.addr(), &models[&cand.addr()]),
-                (&root, &models[&root]),
-            );
+            let Some(cand_model) = models.get(&cand.addr()) else {
+                continue; // unmodeled candidate: nothing to score
+            };
+            let d = cache.distance(metric, (&cand.addr(), cand_model), (&root, root_model));
             // Parenthood is asymmetric (§4.2.1): the candidate's behavior
             // should be *contained* in the root's, so encoding parent
             // with child must be cheaper than the reverse.
-            let d_rev = cache.distance(
-                metric,
-                (&root, &models[&root]),
-                (&cand.addr(), &models[&cand.addr()]),
-            );
+            let d_rev = cache.distance(metric, (&root, root_model), (&cand.addr(), cand_model));
             if d >= d_rev {
                 continue;
             }
@@ -599,7 +808,7 @@ mod tests {
         let mut graph = DiGraph::new(family.len());
         let mut skipped = 0;
         for &child in &family {
-            let (edges, foreign_count) = child_candidate_edges(
+            let edges = child_candidate_edges(
                 &index,
                 child,
                 |c| {
@@ -610,21 +819,105 @@ mod tests {
                         vec![]
                     }
                 },
-                |_, _| 1.0,
+                |_, _| Some(1.0),
             );
-            skipped += foreign_count;
+            skipped += edges.foreign;
+            assert!(edges.unmodeled.is_empty());
             if child == Addr::new(0x2000) {
-                assert_eq!(edges, vec![(Addr::new(0x1000), Addr::new(0x2000), 1.0)]);
+                assert_eq!(edges.accepted, vec![(Addr::new(0x1000), Addr::new(0x2000), 1.0)]);
             } else {
-                assert!(edges.is_empty());
+                assert!(edges.accepted.is_empty());
             }
-            for (parent, child, d) in edges {
+            for (parent, child, d) in edges.accepted {
                 graph.add_edge(index[&parent], index[&child], d);
             }
         }
         assert_eq!(skipped, 1);
         let parent = min_spanning_forest(&graph).parent;
         assert_eq!(parent, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn clean_run_has_empty_diagnostics_and_full_coverage() {
+        let (loaded, _) = streams_optimized();
+        let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+        assert!(recon.diagnostics.is_empty(), "clean run: {:?}", recon.diagnostics);
+        assert!(recon.coverage.is_complete(), "clean run: {:?}", recon.coverage);
+        assert_eq!(recon.timings.skipped_functions, 0);
+        assert_eq!(recon.timings.fuel_exhausted, 0);
+        assert_eq!(recon.timings.rejected_vtables, 0);
+        assert_eq!(recon.timings.diagnostics_bytes, 0);
+    }
+
+    #[test]
+    fn analysis_fault_is_contained_and_recorded() {
+        let (loaded, _) = streams_optimized();
+        let victim = loaded.functions()[0].entry();
+        let plan = Arc::new(FaultPlan::new().panic_on(victim));
+        let recon = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        assert_eq!(recon.coverage.functions_skipped, 1);
+        assert_eq!(recon.timings.skipped_functions, 1);
+        let e = recon
+            .diagnostics
+            .iter()
+            .find(|e| e.stage == Stage::Analysis)
+            .expect("analysis fault must be recorded");
+        assert_eq!(e.subject, Subject::Function(victim));
+        assert_eq!(e.severity, Severity::Error);
+        assert!(recon.timings.diagnostics_bytes > 0);
+        // The rest of the binary is still reconstructed.
+        assert_eq!(recon.hierarchy.len(), 3);
+    }
+
+    #[test]
+    fn training_faults_degrade_types_to_roots() {
+        let (loaded, _) = streams_optimized();
+        let plan = Arc::new(FaultPlan::new().panic_in(Stage::Training));
+        let recon = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        // No models trained: every candidate edge is unmodeled, every
+        // type degrades to a root — but the run still completes.
+        assert_eq!(recon.coverage.models_trained, 0);
+        assert!(recon.distances.is_empty());
+        assert_eq!(recon.hierarchy.len(), 3);
+        for node in recon.hierarchy.nodes() {
+            assert_eq!(recon.hierarchy.parent_of(node), None);
+        }
+        let training_errors =
+            recon.diagnostics.iter().filter(|e| e.stage == Stage::Training).count();
+        assert_eq!(training_errors, 3, "one error per vtable");
+        assert!(recon
+            .diagnostics
+            .iter()
+            .any(|e| e.stage == Stage::Distances && e.kind == FaultKind::MissingModel));
+    }
+
+    #[test]
+    fn lifting_faults_degrade_families_not_the_run() {
+        let (loaded, _) = streams_optimized();
+        let plan = Arc::new(FaultPlan::new().panic_in(Stage::Lifting));
+        let recon = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        assert_eq!(recon.coverage.families_degraded, recon.coverage.families_total);
+        assert_eq!(recon.coverage.families_lifted, 0);
+        // Distances were still computed; only the arborescence was lost.
+        assert!(!recon.distances.is_empty());
+        for node in recon.hierarchy.nodes() {
+            assert_eq!(recon.hierarchy.parent_of(node), None);
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_the_first_error() {
+        let (loaded, _) = streams_optimized();
+        let victim = loaded.functions()[0].entry();
+        let plan = Arc::new(FaultPlan::new().panic_on(victim));
+        let rock = Rock::new(RockConfig::paper().with_strict()).with_fault_plan(plan);
+        let err = rock.try_reconstruct(&loaded).expect_err("strict must fail fast");
+        assert_eq!(err.stage, Stage::Analysis);
+        assert_eq!(err.subject, Subject::Function(victim));
+        // Warnings alone do not trip strict mode.
+        let skip_plan = Arc::new(FaultPlan::new().skip(victim));
+        let rock = Rock::new(RockConfig::paper().with_strict()).with_fault_plan(skip_plan);
+        assert!(rock.try_reconstruct(&loaded).is_ok(), "skips are warnings");
     }
 
     /// Regression for the repartition mutation-order hazard: proposals

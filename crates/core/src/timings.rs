@@ -52,6 +52,15 @@ pub struct StageTimings {
     pub cache_hits: u64,
     /// Distance lookups that had to compute.
     pub cache_misses: u64,
+    /// Functions excluded from behavioral analysis (skips + contained
+    /// panics + budget exhaustion).
+    pub skipped_functions: usize,
+    /// Functions excluded specifically by fuel exhaustion.
+    pub fuel_exhausted: usize,
+    /// Vtable candidates rejected by the loader.
+    pub rejected_vtables: usize,
+    /// Approximate bytes retained by the run's diagnostics.
+    pub diagnostics_bytes: usize,
 }
 
 impl fmt::Display for StageTimings {
@@ -85,6 +94,15 @@ impl fmt::Display for StageTimings {
         if self.foreign_candidates > 0 {
             writeln!(f, "  skipped foreign candidates: {}", self.foreign_candidates)?;
         }
+        writeln!(
+            f,
+            "  robustness   {} skipped fns ({} fuel-starved), {} rejected vtables, \
+             {} diagnostic bytes",
+            self.skipped_functions,
+            self.fuel_exhausted,
+            self.rejected_vtables,
+            self.diagnostics_bytes
+        )?;
         write!(f, "  total        {:>10.3} ms", ms(self.total))
     }
 }
@@ -108,6 +126,10 @@ mod tests {
             edge_count: 120,
             cache_hits: 7,
             cache_misses: 113,
+            skipped_functions: 2,
+            fuel_exhausted: 1,
+            rejected_vtables: 3,
+            diagnostics_bytes: 96,
             ..StageTimings::default()
         };
         let text = t.to_string();
@@ -121,6 +143,7 @@ mod tests {
             "cache 7 hit / 113 miss",
             "lifting",
             "repartition",
+            "2 skipped fns (1 fuel-starved), 3 rejected vtables, 96 diagnostic bytes",
             "total",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -69,7 +69,11 @@ impl Cfg {
         let mut blocks = Vec::new();
         let leader_list: Vec<Addr> = leaders.iter().copied().collect();
         for (bi, &start) in leader_list.iter().enumerate() {
-            let lo = function.index_of(start).expect("leader is an instruction start");
+            // Leaders come from instruction addresses of this function, so
+            // the lookup cannot miss; skip defensively instead of panicking.
+            let Some(lo) = function.index_of(start) else {
+                continue;
+            };
             let hi = leader_list
                 .get(bi + 1)
                 .and_then(|next| function.index_of(*next))

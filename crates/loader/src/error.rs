@@ -44,6 +44,60 @@ impl From<DecodeError> for LoadError {
     }
 }
 
+/// A non-fatal defect observed while loading an image.
+///
+/// Strict loading ([`LoadedBinary::load`](crate::LoadedBinary::load))
+/// turns the fatal subset of these into [`LoadError`]s; lenient loading
+/// ([`LoadedBinary::load_lenient`](crate::LoadedBinary::load_lenient))
+/// records every defect here and degrades to a partial view instead —
+/// the behavior a service ingesting arbitrary user-supplied binaries
+/// needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadIssue {
+    /// The image has no text section; the loaded view is empty.
+    NoTextSection,
+    /// Disassembly stopped early; the bytes from `at` on were discarded.
+    TruncatedText {
+        /// Address of the first undecodable byte.
+        at: Addr,
+        /// The decode failure that stopped the sweep.
+        reason: DecodeError,
+        /// Number of text bytes discarded.
+        dropped_bytes: usize,
+    },
+    /// Instructions before the first function prologue were discarded.
+    SkippedPrefix {
+        /// Address of the first discarded instruction.
+        at: Addr,
+        /// Number of instructions discarded.
+        instrs: usize,
+    },
+    /// A vtable candidate whose first word was not a function entry
+    /// (truncated table, out-of-image pointer, or plain data) was
+    /// rejected.
+    RejectedVtableCandidate {
+        /// The candidate's rodata address.
+        at: Addr,
+    },
+}
+
+impl fmt::Display for LoadIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadIssue::NoTextSection => write!(f, "image has no text section"),
+            LoadIssue::TruncatedText { at, reason, dropped_bytes } => {
+                write!(f, "text truncated at {at} ({reason}); dropped {dropped_bytes} bytes")
+            }
+            LoadIssue::SkippedPrefix { at, instrs } => {
+                write!(f, "skipped {instrs} instructions before the first prologue at {at}")
+            }
+            LoadIssue::RejectedVtableCandidate { at } => {
+                write!(f, "rejected vtable candidate at {at}")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

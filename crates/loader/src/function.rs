@@ -53,8 +53,12 @@ impl Function {
 
     /// One-past-the-end address.
     pub fn end(&self) -> Addr {
-        let last = self.instrs.last().expect("non-empty");
-        last.next_addr()
+        // The constructor guarantees at least one instruction; degrade to
+        // a zero-extent function rather than panic if that is ever broken.
+        match self.instrs.last() {
+            Some(last) => last.next_addr(),
+            None => self.entry,
+        }
     }
 
     /// The disassembled instructions, in address order.

@@ -49,7 +49,7 @@ mod load;
 mod vtable;
 
 pub use cfg::{BasicBlock, Cfg};
-pub use error::LoadError;
+pub use error::{LoadError, LoadIssue};
 pub use function::{DecodedInstr, Function};
 pub use load::LoadedBinary;
 pub use vtable::Vtable;

@@ -5,17 +5,19 @@ use std::fmt;
 
 use rock_binary::{decode_instr, Addr, BinaryImage, Instr, SectionKind, WORD_SIZE};
 
-use crate::{Cfg, DecodedInstr, Function, LoadError, Vtable};
+use crate::{Cfg, DecodedInstr, Function, LoadError, LoadIssue, Vtable};
 
 /// A fully loaded binary: the image plus recovered functions and vtables.
 ///
-/// Built by [`LoadedBinary::load`]; this is the input type of the Rock
-/// structural and behavioral analyses.
+/// Built by [`LoadedBinary::load`] (strict) or
+/// [`LoadedBinary::load_lenient`] (degrading); this is the input type of
+/// the Rock structural and behavioral analyses.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoadedBinary {
     image: BinaryImage,
     functions: Vec<Function>,
     vtables: Vec<Vtable>,
+    issues: Vec<LoadIssue>,
 }
 
 impl LoadedBinary {
@@ -40,26 +42,83 @@ impl LoadedBinary {
             pos += len;
         }
 
-        // Function boundaries: every `enter` begins a function.
-        let mut functions = Vec::new();
-        if !decoded.is_empty() {
-            if !matches!(decoded[0].instr, Instr::Enter { .. }) {
-                return Err(LoadError::NoPrologueAtStart { at: decoded[0].addr });
+        if let Some(first) = decoded.first() {
+            if !matches!(first.instr, Instr::Enter { .. }) {
+                return Err(LoadError::NoPrologueAtStart { at: first.addr });
             }
-            let mut start = 0usize;
-            for i in 1..=decoded.len() {
-                let is_boundary =
-                    i == decoded.len() || matches!(decoded[i].instr, Instr::Enter { .. });
-                if is_boundary {
-                    let body = decoded[start..i].to_vec();
-                    functions.push(Function::new(body[0].addr, body));
-                    start = i;
+        }
+        let functions = split_functions(&decoded);
+        let mut issues = Vec::new();
+        let vtables = discover_vtables(&image, &functions, &decoded, &mut issues);
+        Ok(LoadedBinary { image, functions, vtables, issues })
+    }
+
+    /// Loads an image, degrading around defects instead of erroring.
+    ///
+    /// Never fails: undecodable text is truncated at the first bad byte,
+    /// instructions before the first prologue are discarded, a missing
+    /// text section yields an empty view, and bad vtable candidates are
+    /// rejected individually — each defect is recorded as a [`LoadIssue`]
+    /// retrievable via [`LoadedBinary::issues`].
+    ///
+    /// On a well-formed image this returns exactly what [`LoadedBinary::load`]
+    /// returns (and no issues besides any rejected vtable candidates,
+    /// which strict loading records identically).
+    pub fn load_lenient(image: BinaryImage) -> LoadedBinary {
+        let mut issues = Vec::new();
+        let Some(text) = image.section(SectionKind::Text) else {
+            issues.push(LoadIssue::NoTextSection);
+            return LoadedBinary { image, functions: Vec::new(), vtables: Vec::new(), issues };
+        };
+
+        // Linear sweep; stop at the first undecodable byte.
+        let mut decoded: Vec<DecodedInstr> = Vec::new();
+        let mut pos = 0usize;
+        let bytes = text.bytes();
+        while pos < bytes.len() {
+            let addr = text.base() + pos as u64;
+            match decode_instr(&bytes[pos..], addr) {
+                Ok((instr, len)) => {
+                    decoded.push(DecodedInstr { addr, instr, len });
+                    pos += len;
+                }
+                Err(reason) => {
+                    issues.push(LoadIssue::TruncatedText {
+                        at: addr,
+                        reason,
+                        dropped_bytes: bytes.len() - pos,
+                    });
+                    break;
                 }
             }
         }
 
-        let vtables = discover_vtables(&image, &functions, &decoded);
-        Ok(LoadedBinary { image, functions, vtables })
+        // Discard anything before the first prologue.
+        let first_enter = decoded.iter().position(|d| matches!(d.instr, Instr::Enter { .. }));
+        let body = match first_enter {
+            Some(0) => decoded,
+            Some(k) => {
+                issues.push(LoadIssue::SkippedPrefix { at: decoded[0].addr, instrs: k });
+                decoded.split_off(k)
+            }
+            None => {
+                if let Some(first) = decoded.first() {
+                    issues.push(LoadIssue::SkippedPrefix { at: first.addr, instrs: decoded.len() });
+                }
+                Vec::new()
+            }
+        };
+
+        let functions = split_functions(&body);
+        let vtables = discover_vtables(&image, &functions, &body, &mut issues);
+        LoadedBinary { image, functions, vtables, issues }
+    }
+
+    /// Non-fatal defects recorded while loading (always empty for a
+    /// strict load of a well-formed image, except rejected vtable
+    /// candidates which both paths record).
+    pub fn issues(&self) -> &[LoadIssue] {
+        &self.issues
     }
 
     /// The underlying image.
@@ -114,12 +173,34 @@ impl fmt::Display for LoadedBinary {
     }
 }
 
+/// Splits a decoded instruction stream into functions at `enter`
+/// prologues. The stream must start with an `enter` (or be empty) —
+/// both loaders guarantee that.
+fn split_functions(decoded: &[DecodedInstr]) -> Vec<Function> {
+    let mut functions = Vec::new();
+    if !decoded.is_empty() {
+        let mut start = 0usize;
+        for i in 1..=decoded.len() {
+            let is_boundary = i == decoded.len() || matches!(decoded[i].instr, Instr::Enter { .. });
+            if is_boundary {
+                let body = decoded[start..i].to_vec();
+                functions.push(Function::new(body[0].addr, body));
+                start = i;
+            }
+        }
+    }
+    functions
+}
+
 /// Vtable discovery (§3.2): candidate rodata addresses referenced from
-/// code, scanned for runs of function-entry pointers.
+/// code, scanned for runs of function-entry pointers. Candidates that
+/// yield no valid slot (truncated tables, out-of-image pointers, plain
+/// data) are rejected individually and recorded in `issues`.
 fn discover_vtables(
     image: &BinaryImage,
     functions: &[Function],
     decoded: &[DecodedInstr],
+    issues: &mut Vec<LoadIssue>,
 ) -> Vec<Vtable> {
     let Some(rodata) = image.section(SectionKind::RoData) else {
         return Vec::new();
@@ -152,7 +233,9 @@ fn discover_vtables(
                 _ => break,
             }
         }
-        if !slots.is_empty() {
+        if slots.is_empty() {
+            issues.push(LoadIssue::RejectedVtableCandidate { at: start });
+        } else {
             vtables.push(Vtable::new(start, slots));
         }
     }
@@ -162,7 +245,7 @@ fn discover_vtables(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rock_binary::{ImageBuilder, Reg};
+    use rock_binary::{ImageBuilder, Reg, Section};
 
     /// Two classes; B extends A (2 slots), ctors reference the vtables.
     fn two_class_image() -> (BinaryImage, Vec<Addr>) {
@@ -283,5 +366,98 @@ mod tests {
         let (image, _) = two_class_image();
         let loaded = LoadedBinary::load(image).unwrap();
         assert!(loaded.to_string().contains("4 functions"));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_images() {
+        let (image, _) = two_class_image();
+        let strict = LoadedBinary::load(image.clone()).unwrap();
+        let lenient = LoadedBinary::load_lenient(image);
+        assert_eq!(strict, lenient);
+        assert!(strict.issues().is_empty());
+    }
+
+    #[test]
+    fn lenient_tolerates_empty_images() {
+        let loaded = LoadedBinary::load_lenient(BinaryImage::new(vec![]));
+        assert!(loaded.functions().is_empty());
+        assert!(loaded.vtables().is_empty());
+        assert_eq!(loaded.issues(), &[LoadIssue::NoTextSection]);
+    }
+
+    /// Rebuilds `image` with one section's bytes replaced.
+    fn with_section_bytes(image: &BinaryImage, kind: SectionKind, bytes: Vec<u8>) -> BinaryImage {
+        let base = image.section(kind).unwrap().base();
+        let mut sections: Vec<Section> =
+            image.sections().iter().filter(|s| s.kind() != kind).cloned().collect();
+        sections.push(Section::new(kind, base, bytes));
+        BinaryImage::new(sections)
+    }
+
+    #[test]
+    fn lenient_truncates_undecodable_text() {
+        let (image, _) = two_class_image();
+        // Append garbage to the text section: strict errors, lenient
+        // truncates and keeps every function decoded before the garbage.
+        let strict_clean = LoadedBinary::load(image.clone()).unwrap();
+        let mut bytes = image.section(SectionKind::Text).unwrap().bytes().to_vec();
+        bytes.extend([0xff; 7]);
+        let corrupted = with_section_bytes(&image, SectionKind::Text, bytes);
+        assert!(matches!(LoadedBinary::load(corrupted.clone()), Err(LoadError::Decode(_))));
+        let lenient = LoadedBinary::load_lenient(corrupted);
+        assert_eq!(lenient.functions().len(), strict_clean.functions().len());
+        assert_eq!(lenient.vtables().len(), strict_clean.vtables().len());
+        assert!(lenient
+            .issues()
+            .iter()
+            .any(|i| matches!(i, LoadIssue::TruncatedText { dropped_bytes: 7, .. })));
+    }
+
+    #[test]
+    fn lenient_skips_pre_prologue_instructions() {
+        // An image whose text starts with stray non-prologue code: a
+        // 1-byte `ret` prepended before the first `enter`.
+        let mut b = ImageBuilder::new();
+        b.begin_function("f");
+        b.push(Instr::Enter { frame: 0 });
+        b.push(Instr::Ret);
+        b.end_function();
+        let mut image = b.finish();
+        image.strip();
+        let mut bytes = vec![0x02];
+        bytes.extend_from_slice(image.section(SectionKind::Text).unwrap().bytes());
+        let shifted = with_section_bytes(&image, SectionKind::Text, bytes);
+        assert!(matches!(
+            LoadedBinary::load(shifted.clone()),
+            Err(LoadError::NoPrologueAtStart { .. })
+        ));
+        let lenient = LoadedBinary::load_lenient(shifted);
+        assert_eq!(lenient.functions().len(), 1);
+        assert!(lenient
+            .issues()
+            .iter()
+            .any(|i| matches!(i, LoadIssue::SkippedPrefix { instrs: 1, .. })));
+    }
+
+    #[test]
+    fn rejected_vtable_candidates_are_recorded() {
+        // Corrupt vtable A's only slot: the candidate at its address no
+        // longer starts with a function entry, so it is rejected — and
+        // recorded, on both the strict and the lenient path.
+        let (image, vt_addrs) = two_class_image();
+        let rodata = image.section(SectionKind::RoData).unwrap();
+        let mut bytes = rodata.bytes().to_vec();
+        let off = (vt_addrs[0].value() - rodata.base().value()) as usize;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let patched = with_section_bytes(&image, SectionKind::RoData, bytes);
+        for loaded in
+            [LoadedBinary::load(patched.clone()).unwrap(), LoadedBinary::load_lenient(patched)]
+        {
+            assert_eq!(loaded.vtables().len(), 1, "only B's table survives");
+            assert!(loaded
+                .issues()
+                .iter()
+                .any(|i| *i == LoadIssue::RejectedVtableCandidate { at: vt_addrs[0] }));
+        }
     }
 }

@@ -17,6 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rock_binary::{Addr, BinaryImage, Instr};
+use rock_budget::Budget;
 use rock_graph::Forest;
 
 use crate::{Machine, VmError};
@@ -24,13 +25,13 @@ use crate::{Machine, VmError};
 /// Options for the dynamic baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DynamicOptions {
-    /// Per-driver step budget.
-    pub step_limit: u64,
+    /// Per-driver execution budget (shared [`Budget`] vocabulary).
+    pub budget: Budget,
 }
 
 impl Default for DynamicOptions {
     fn default() -> Self {
-        DynamicOptions { step_limit: 5_000_000 }
+        DynamicOptions { budget: Budget::steps(5_000_000) }
     }
 }
 
@@ -50,7 +51,7 @@ pub fn dynamic_reconstruct(
     options: &DynamicOptions,
 ) -> Result<Forest<Addr>, VmError> {
     let mut vm = Machine::new(image.clone())?;
-    vm.set_step_limit(options.step_limit);
+    vm.set_budget(options.budget);
 
     // Root functions: never a static call target, not in a vtable, not a
     // runtime helper.

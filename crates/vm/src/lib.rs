@@ -54,4 +54,5 @@ mod trace;
 
 pub use dynamic::{dynamic_reconstruct, DynamicOptions};
 pub use machine::{Machine, Outcome, VmError};
+pub use rock_budget::{Budget, Exhausted};
 pub use trace::{Trace, TraceEvent};

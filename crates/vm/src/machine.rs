@@ -5,6 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use rock_binary::{Addr, BinaryImage, Instr, Reg};
+use rock_budget::{Budget, Exhausted};
 use rock_loader::{LoadError, LoadedBinary};
 
 use crate::{Trace, TraceEvent};
@@ -14,7 +15,7 @@ const HEAP_BASE: u64 = 0x4000_0000;
 /// Initial stack pointer (frames grow downward).
 const STACK_TOP: u64 = 0x7fff_0000;
 /// Default execution budget.
-const DEFAULT_STEP_LIMIT: u64 = 5_000_000;
+const DEFAULT_BUDGET: Budget = Budget::steps(5_000_000);
 
 /// A runtime error raised by the interpreter.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,7 +32,7 @@ pub enum VmError {
         at: Addr,
     },
     /// The step budget was exhausted (runaway loop).
-    StepLimit(u64),
+    Exhausted(Exhausted),
     /// `run` was called with an address that is not a function entry.
     NotAFunction(Addr),
     /// A load or store touched the null page (address below 0x1000) —
@@ -46,7 +47,7 @@ impl fmt::Display for VmError {
             VmError::BadPc(a) => write!(f, "execution left text at {a}"),
             VmError::BadIndirectTarget(a) => write!(f, "indirect call to non-function {a}"),
             VmError::PureVirtualCall { at } => write!(f, "pure virtual call trapped at {at}"),
-            VmError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            VmError::Exhausted(e) => write!(f, "{e}"),
             VmError::NotAFunction(a) => write!(f, "{a} is not a function entry"),
             VmError::NullAccess(a) => write!(f, "null-page access at {a}"),
         }
@@ -65,6 +66,12 @@ impl Error for VmError {
 impl From<LoadError> for VmError {
     fn from(e: LoadError) -> Self {
         VmError::Load(e)
+    }
+}
+
+impl From<Exhausted> for VmError {
+    fn from(e: Exhausted) -> Self {
+        VmError::Exhausted(e)
     }
 }
 
@@ -95,7 +102,7 @@ pub struct Machine {
     purecall_fns: BTreeSet<Addr>,
     vtable_addrs: BTreeSet<Addr>,
     trace: Trace,
-    step_limit: u64,
+    budget: Budget,
 }
 
 impl Machine {
@@ -149,13 +156,18 @@ impl Machine {
             purecall_fns,
             vtable_addrs,
             trace: Trace::new(),
-            step_limit: DEFAULT_STEP_LIMIT,
+            budget: DEFAULT_BUDGET,
         })
     }
 
-    /// Replaces the step budget.
+    /// Replaces the per-run execution budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Replaces the step budget (convenience for [`Machine::set_budget`]).
     pub fn set_step_limit(&mut self, limit: u64) {
-        self.step_limit = limit;
+        self.budget = Budget::steps(limit);
     }
 
     /// The trace recorded so far (across runs; see [`Machine::reset`]).
@@ -217,13 +229,10 @@ impl Machine {
         // (return pc, saved sp); the entry frame returns to a sentinel.
         let mut frames: Vec<(Option<Addr>, u64)> = vec![(None, STACK_TOP)];
         let mut pc = entry;
-        let mut steps: u64 = 0;
+        let mut meter = self.budget.meter();
 
         loop {
-            steps += 1;
-            if steps > self.step_limit {
-                return Err(VmError::StepLimit(self.step_limit));
-            }
+            meter.spend(1)?;
             let function = self.loaded.function_containing(pc).ok_or(VmError::BadPc(pc))?;
             let idx = function.index_of(pc).ok_or(VmError::BadPc(pc))?;
             let d = function.instrs()[idx];
@@ -240,7 +249,7 @@ impl Machine {
                         Some(r) => next = r,
                         None => {
                             return Ok(Outcome {
-                                steps,
+                                steps: meter.spent(),
                                 return_value: self.reg(Reg::R0),
                                 halted: false,
                             })
@@ -248,7 +257,11 @@ impl Machine {
                     }
                 }
                 Instr::Halt => {
-                    return Ok(Outcome { steps, return_value: self.reg(Reg::R0), halted: true })
+                    return Ok(Outcome {
+                        steps: meter.spent(),
+                        return_value: self.reg(Reg::R0),
+                        halted: true,
+                    })
                 }
                 Instr::Nop => {}
                 Instr::MovImm { dst, imm } => self.set_reg(dst, imm),
@@ -610,9 +623,25 @@ mod tests {
         b.end_function();
         let image = b.finish();
         let mut vm = Machine::new(image).unwrap();
-        vm.set_step_limit(1000);
+        vm.set_budget(Budget::steps(1000));
         let e = vm.run(rock_binary::Addr::new(0x1000), &[]).unwrap_err();
-        assert_eq!(e, VmError::StepLimit(1000));
+        assert_eq!(e, VmError::Exhausted(Exhausted { limit: 1000 }));
+    }
+
+    #[test]
+    fn set_step_limit_is_budget_sugar() {
+        use rock_binary::ImageBuilder;
+        let mut b = ImageBuilder::new();
+        b.begin_function("spin");
+        let top = b.new_label();
+        b.push(Instr::Enter { frame: 0 });
+        b.bind_label(top);
+        b.push_jmp(top);
+        b.end_function();
+        let mut vm = Machine::new(b.finish()).unwrap();
+        vm.set_step_limit(7);
+        let e = vm.run(rock_binary::Addr::new(0x1000), &[]).unwrap_err();
+        assert_eq!(e, VmError::Exhausted(Exhausted { limit: 7 }));
     }
 
     #[test]
@@ -662,7 +691,7 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(VmError::BadPc(Addr::new(1)).to_string().contains("left text"));
-        assert!(VmError::StepLimit(5).to_string().contains("step limit"));
+        assert!(VmError::Exhausted(Exhausted { limit: 5 }).to_string().contains("step budget"));
         let e: VmError = LoadError::NoTextSection.into();
         assert!(Error::source(&e).is_some());
     }

@@ -1,0 +1,201 @@
+//! Fault-injection property tests: the reconstruction pipeline must
+//! degrade, never die.
+//!
+//! A deterministic [`FaultPlan`] makes seeded subsets of functions
+//! panic, get skipped, or run with starved budgets, and corrupts seeded
+//! byte positions of compiled images. Under every plan the pipeline
+//! must (1) return a `Reconstruction` without panicking, (2) account
+//! for every excluded item with a matching diagnostic, and (3) produce
+//! for a contained fault exactly the result of explicitly excluding the
+//! faulted item — faults are indistinguishable from skips.
+//!
+//! Seeds come from `ROCK_FAULT_SEEDS` (`"a..b"` range or a comma list;
+//! CI sweeps `0..16`), defaulting to a small smoke set.
+
+use std::sync::Arc;
+
+use rock::binary::{BinaryImage, Section};
+use rock::core::{suite, FaultPlan, Rock, RockConfig, Stage, Subject};
+use rock::loader::LoadedBinary;
+
+/// Seeds to sweep: `ROCK_FAULT_SEEDS="0..16"` or `"1,5,9"`, else `0..4`.
+fn seeds() -> Vec<u64> {
+    let Ok(spec) = std::env::var("ROCK_FAULT_SEEDS") else {
+        return (0..4).collect();
+    };
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: u64 = lo.trim().parse().expect("bad ROCK_FAULT_SEEDS lower bound");
+        let hi: u64 = hi.trim().parse().expect("bad ROCK_FAULT_SEEDS upper bound");
+        (lo..hi).collect()
+    } else {
+        spec.split(',').map(|s| s.trim().parse().expect("bad ROCK_FAULT_SEEDS entry")).collect()
+    }
+}
+
+fn stress_loaded() -> LoadedBinary {
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    LoadedBinary::load(compiled.stripped_image()).expect("loads")
+}
+
+#[test]
+fn seeded_faults_never_panic_and_every_skip_is_accounted() {
+    let loaded = stress_loaded();
+    let clean = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let mut total_faults = 0usize;
+    for seed in seeds() {
+        let plan = Arc::new(FaultPlan::seeded(seed, 150));
+        // Returning at all is property (1): no panic escapes.
+        let recon = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        let cov = recon.coverage;
+
+        // Coverage partitions the input exactly.
+        assert_eq!(
+            cov.functions_analyzed + cov.functions_skipped + cov.functions_timed_out,
+            cov.functions_total,
+            "seed {seed}: function accounting must add up"
+        );
+        assert_eq!(cov.functions_total, loaded.functions().len());
+        assert_eq!(cov.vtables_parsed, loaded.vtables().len());
+        assert_eq!(cov.families_lifted + cov.families_degraded, cov.families_total);
+
+        // Property (2): every excluded item has a matching diagnostic.
+        for (entry, kind) in recon.analysis.incidents() {
+            assert!(
+                recon
+                    .diagnostics
+                    .iter()
+                    .any(|e| e.stage == Stage::Analysis && e.subject == Subject::Function(*entry)),
+                "seed {seed}: incident {kind} at {entry} has no diagnostic"
+            );
+        }
+        let analysis_diags =
+            recon.diagnostics.iter().filter(|e| e.stage == Stage::Analysis).count();
+        assert_eq!(
+            analysis_diags,
+            recon.analysis.incidents().len(),
+            "seed {seed}: diagnostics and incidents must match one-to-one"
+        );
+        assert_eq!(
+            cov.functions_skipped + cov.functions_timed_out,
+            recon.analysis.incidents().len(),
+            "seed {seed}: coverage counts the incidents"
+        );
+        let training_diags =
+            recon.diagnostics.iter().filter(|e| e.stage == Stage::Training).count();
+        assert_eq!(
+            cov.models_trained + training_diags,
+            cov.vtables_parsed,
+            "seed {seed}: every untrained model has a training diagnostic"
+        );
+
+        // The hierarchy still spans every discovered type.
+        assert_eq!(recon.hierarchy.len(), clean.hierarchy.len());
+        assert!(recon.hierarchy.is_acyclic());
+        total_faults += recon.diagnostics.len();
+    }
+    assert!(total_faults > 0, "a 15% seeded rate must inject something across the sweep");
+}
+
+#[test]
+fn contained_faults_equal_explicit_skips() {
+    // Property (3): a panicking function and a starved function produce
+    // exactly the reconstruction of a plan that skips it — bit for bit.
+    let loaded = stress_loaded();
+    let config = RockConfig::paper();
+    for f in loaded.functions().iter().step_by(3) {
+        let victim = f.entry();
+        let runs: Vec<_> = [
+            FaultPlan::new().panic_on(victim),
+            FaultPlan::new().starve(victim, 0),
+            FaultPlan::new().skip(victim),
+        ]
+        .into_iter()
+        .map(|plan| Rock::new(config).with_fault_plan(Arc::new(plan)).reconstruct(&loaded))
+        .collect();
+        for other in &runs[1..] {
+            assert_eq!(
+                runs[0].hierarchy, other.hierarchy,
+                "fault flavors must be indistinguishable for {victim}"
+            );
+            assert_eq!(runs[0].distances.len(), other.distances.len());
+            for (key, d) in &runs[0].distances {
+                assert_eq!(
+                    d.to_bits(),
+                    other.distances[key].to_bits(),
+                    "distance bits for {key:?} diverged at {victim}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_plan_with_no_faults_changes_nothing() {
+    let loaded = stress_loaded();
+    let clean = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    for seed in seeds() {
+        let plan = Arc::new(FaultPlan::seeded(seed, 0));
+        let inert = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        assert_eq!(clean.hierarchy, inert.hierarchy);
+        assert_eq!(clean.distances, inert.distances);
+        assert!(inert.diagnostics.is_empty());
+        assert!(inert.coverage.is_complete());
+    }
+}
+
+#[test]
+fn strict_mode_restores_fail_fast_under_faults() {
+    let loaded = stress_loaded();
+    let victim = loaded.functions()[0].entry();
+    let plan = Arc::new(FaultPlan::new().panic_on(victim));
+    let strict = Rock::new(RockConfig::paper().with_strict()).with_fault_plan(Arc::clone(&plan));
+    let err = strict.try_reconstruct(&loaded).expect_err("strict must fail");
+    assert_eq!(err.stage, Stage::Analysis);
+    assert_eq!(err.subject, Subject::Function(victim));
+    // The same plan degrades gracefully without strict.
+    let lax = Rock::new(RockConfig::paper()).with_fault_plan(plan);
+    assert!(lax.try_reconstruct(&loaded).is_ok());
+}
+
+/// Rebuilds `image` with one section's bytes replaced.
+fn with_section_bytes(image: &BinaryImage, index: usize, bytes: Vec<u8>) -> BinaryImage {
+    let mut sections: Vec<Section> = image.sections().to_vec();
+    let old = &sections[index];
+    sections[index] = Section::new(old.kind(), old.base(), bytes);
+    BinaryImage::new(sections)
+}
+
+#[test]
+fn corrupted_images_load_leniently_and_never_panic() {
+    // Structure-aware mutation smoke: corrupt seeded byte positions of
+    // each section of a compiled image, then demand a full lenient load
+    // + reconstruction without a panic. The hierarchy may be anything —
+    // the property is survival plus accounting.
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    let image = compiled.stripped_image();
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed, 0);
+        for section_index in 0..image.sections().len() {
+            let mut bytes = image.sections()[section_index].bytes().to_vec();
+            if bytes.is_empty() {
+                continue;
+            }
+            let positions = plan.corrupt(&mut bytes, 8);
+            assert_eq!(positions.len(), 8);
+            let corrupted = with_section_bytes(&image, section_index, bytes);
+            let loaded = LoadedBinary::load_lenient(corrupted);
+            let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+            assert!(recon.hierarchy.is_acyclic());
+            assert_eq!(recon.coverage.vtables_parsed, loaded.vtables().len());
+            // Loader degradations surface as diagnostics.
+            assert!(recon
+                .diagnostics
+                .iter()
+                .filter(|e| e.stage == Stage::Load)
+                .count()
+                .eq(&loaded.issues().len()));
+        }
+    }
+}

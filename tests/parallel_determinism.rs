@@ -5,7 +5,9 @@
 //! float computation on the same operands — so not just the chosen
 //! hierarchy but every distance bit pattern must agree.
 
-use rock::core::{suite, Parallelism, Rock, RockConfig};
+use std::sync::Arc;
+
+use rock::core::{suite, FaultPlan, Parallelism, Rock, RockConfig};
 use rock::loader::LoadedBinary;
 
 fn reconstruct_with(
@@ -76,6 +78,45 @@ fn repartitioning_path_is_deterministic_too() {
     assert_eq!(serial.hierarchy, parallel.hierarchy);
     assert!(serial.hierarchy.is_acyclic());
     assert_eq!(serial.distances, parallel.distances);
+}
+
+#[test]
+fn fault_injected_runs_are_bit_identical_across_thread_counts() {
+    // Fault containment must not cost determinism: with a seeded plan
+    // panicking/skipping/starving a subset of items, `Serial`,
+    // `Threads(2)` and `Threads(8)` must still agree bit for bit —
+    // hierarchies, every distance bit pattern, diagnostics, coverage.
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+
+    let plan = Arc::new(FaultPlan::seeded(42, 150));
+    let runs: Vec<_> = [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)]
+        .into_iter()
+        .map(|par| {
+            Rock::new(RockConfig::paper().with_parallelism(par))
+                .with_fault_plan(Arc::clone(&plan))
+                .reconstruct(&loaded)
+        })
+        .collect();
+
+    assert!(!runs[0].diagnostics.is_empty(), "the plan must actually inject faults");
+    for other in &runs[1..] {
+        assert_eq!(runs[0].hierarchy, other.hierarchy, "faulted hierarchies diverged");
+        assert_eq!(runs[0].distances.len(), other.distances.len());
+        for (key, d) in &runs[0].distances {
+            assert_eq!(
+                d.to_bits(),
+                other.distances[key].to_bits(),
+                "faulted distance bits for {key:?} diverged"
+            );
+        }
+        assert_eq!(
+            runs[0].diagnostics, other.diagnostics,
+            "diagnostics must be recorded in the same deterministic order"
+        );
+        assert_eq!(runs[0].coverage, other.coverage);
+    }
 }
 
 #[test]

@@ -120,7 +120,7 @@ fn stripped_images_cannot_run_without_runtime_hints() {
             Err(VmError::NullAccess(_)) | Err(VmError::BadIndirectTarget(_)) => {
                 saw_fault = true;
             }
-            Err(VmError::StepLimit(_)) | Err(VmError::PureVirtualCall { .. }) => {}
+            Err(VmError::Exhausted(_)) | Err(VmError::PureVirtualCall { .. }) => {}
             Err(e) => panic!("unexpected fault class: {e}"),
         }
     }
