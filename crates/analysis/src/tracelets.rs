@@ -177,6 +177,19 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Reassembles an analysis from its three parts (checkpoint restore).
+    ///
+    /// The parts round-trip: serializing via [`Analysis::tracelets`],
+    /// [`Analysis::ctors`] and [`Analysis::incidents`] and rebuilding
+    /// through this constructor compares equal to the original.
+    pub fn from_parts(
+        tracelets: TypeTracelets,
+        ctors: CtorMap,
+        incidents: Vec<(Addr, IncidentKind)>,
+    ) -> Self {
+        Analysis { tracelets, ctors, incidents }
+    }
+
     /// Tracelets per type.
     pub fn tracelets(&self) -> &TypeTracelets {
         &self.tracelets

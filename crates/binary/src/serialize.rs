@@ -111,11 +111,14 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], ImageFormatError> {
-        if self.pos + n > self.data.len() {
+        // checked_add: a lying length field near usize::MAX must read as
+        // truncation, not overflow the cursor.
+        let end = self.pos.checked_add(n).ok_or(ImageFormatError::Truncated)?;
+        if end > self.data.len() {
             return Err(ImageFormatError::Truncated);
         }
-        let slice = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
         Ok(slice)
     }
 
@@ -231,6 +234,14 @@ mod tests {
             let err = image_from_bytes(&bytes[..cut]);
             assert!(err.is_err(), "prefix of {cut} bytes unexpectedly parsed");
         }
+    }
+
+    #[test]
+    fn huge_length_fields_are_truncation_not_overflow() {
+        let mut bytes = image_to_bytes(&sample_image());
+        // The first section's len field: magic(4) + count(4) + kind(1) + base(8).
+        bytes[17..25].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(image_from_bytes(&bytes), Err(ImageFormatError::Truncated));
     }
 
     #[test]

@@ -169,9 +169,123 @@ impl Deadline {
     }
 }
 
+/// A deterministic retry schedule with exponential backoff.
+///
+/// The schedule is a pure function of the policy — no wall clock, no
+/// jitter — so supervisors can be tested against the exact delays they
+/// will sleep (`attempt` is 0-based: the delay *before* retry `n`).
+/// Whether to *sleep* the returned delay is the caller's business; the
+/// policy only does the arithmetic, which keeps retry logic clock-free
+/// in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    max_retries: u32,
+    base_backoff_ms: u64,
+    max_backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Up to `max_retries` retries, backing off from 100 ms doubling to
+    /// a 10 s cap.
+    pub const fn new(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, base_backoff_ms: 100, max_backoff_ms: 10_000 }
+    }
+
+    /// No retries at all: fail (or degrade) on the first fault.
+    pub const fn none() -> Self {
+        RetryPolicy::new(0)
+    }
+
+    /// Overrides the backoff curve: start at `base_ms`, double each
+    /// attempt, never exceed `cap_ms`.
+    pub const fn with_backoff(mut self, base_ms: u64, cap_ms: u64) -> Self {
+        self.base_backoff_ms = base_ms;
+        self.max_backoff_ms = cap_ms;
+        self
+    }
+
+    /// The maximum number of retries (attempts beyond the first try).
+    pub const fn max_retries(self) -> u32 {
+        self.max_retries
+    }
+
+    /// The delay in milliseconds before 0-based retry `attempt`:
+    /// `min(base * 2^attempt, cap)`, saturating instead of overflowing.
+    pub const fn backoff_ms(self, attempt: u32) -> u64 {
+        let doubled = if attempt >= 64 {
+            u64::MAX
+        } else {
+            // checked_mul, not checked_shl: shifting only rejects shift
+            // amounts >= 64, it silently drops overflowing value bits.
+            match self.base_backoff_ms.checked_mul(1u64 << attempt) {
+                Some(v) => v,
+                None => u64::MAX,
+            }
+        };
+        if doubled > self.max_backoff_ms {
+            self.max_backoff_ms
+        } else {
+            doubled
+        }
+    }
+
+    /// Whether 0-based `attempt` is still within the policy.
+    pub const fn allows(self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+
+    /// The full backoff schedule, one delay per permitted retry.
+    pub fn schedule(self) -> Vec<u64> {
+        (0..self.max_retries).map(|a| self.backoff_ms(a)).collect()
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three retries on the default 100 ms → 10 s curve.
+    fn default() -> Self {
+        RetryPolicy::new(3)
+    }
+}
+
+impl fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} retries, backoff {}ms..{}ms",
+            self.max_retries, self.base_backoff_ms, self.max_backoff_ms
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_schedule_is_deterministic_and_capped() {
+        let p = RetryPolicy::new(5).with_backoff(100, 1000);
+        assert_eq!(p.schedule(), vec![100, 200, 400, 800, 1000]);
+        assert_eq!(p.schedule(), p.schedule(), "pure function of the policy");
+        assert_eq!(p.max_retries(), 5);
+        assert!(p.allows(4));
+        assert!(!p.allows(5));
+        // Saturation: huge attempts cap rather than overflow.
+        assert_eq!(p.backoff_ms(63), 1000);
+        assert_eq!(p.backoff_ms(64), 1000);
+        assert_eq!(p.backoff_ms(u32::MAX), 1000);
+    }
+
+    #[test]
+    fn retry_policy_edges() {
+        let none = RetryPolicy::none();
+        assert_eq!(none.max_retries(), 0);
+        assert!(none.schedule().is_empty());
+        assert!(!none.allows(0));
+        let d = RetryPolicy::default();
+        assert_eq!(d.max_retries(), 3);
+        assert_eq!(d.schedule(), vec![100, 200, 400]);
+        assert_eq!(d.to_string(), "3 retries, backoff 100ms..10000ms");
+    }
 
     #[test]
     fn budgets_and_meters() {

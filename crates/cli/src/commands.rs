@@ -5,36 +5,42 @@ use std::fmt::Write as _;
 use std::fs;
 
 use rock_binary::{image_from_bytes, image_to_bytes, Addr, BinaryImage};
+use rock_budget::RetryPolicy;
 use rock_core::suite::{all_benchmarks, benchmark};
 use rock_core::{evaluate, render_table2, Parallelism, Rock, RockConfig, Table2Row};
 use rock_loader::LoadedBinary;
 use rock_slm::Metric;
+use rock_supervisor::{ArtifactStore, Supervisor, SupervisorOptions};
 
 type CliResult = Result<(), Box<dyn Error>>;
 
-const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2> ...
+const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2|batch> ...
 run `rock help` for details";
 
-/// Dispatches one CLI invocation.
-pub fn dispatch(args: &[String]) -> CliResult {
+/// Dispatches one CLI invocation; `Ok` carries the process exit code
+/// (always `0` except for `batch`, whose typed codes surface degraded,
+/// failed, deadline-blown, and corrupt-resume jobs — see the README).
+pub fn dispatch(args: &[String]) -> Result<u8, Box<dyn Error>> {
+    let ok = |r: CliResult| r.map(|()| 0u8);
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
-        Some("list") => cmd_list(),
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("info") => cmd_info(&args[1..]),
-        Some("disasm") => cmd_disasm(&args[1..]),
-        Some("vtables") => cmd_vtables(&args[1..]),
-        Some("families") => cmd_families(&args[1..]),
-        Some("reconstruct") => cmd_reconstruct(&args[1..]),
-        Some("pseudo") => cmd_pseudo(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("eval") => cmd_eval(&args[1..]),
-        Some("table2") => cmd_table2(&args[1..]),
+        Some("list") => ok(cmd_list()),
+        Some("gen") => ok(cmd_gen(&args[1..])),
+        Some("info") => ok(cmd_info(&args[1..])),
+        Some("disasm") => ok(cmd_disasm(&args[1..])),
+        Some("vtables") => ok(cmd_vtables(&args[1..])),
+        Some("families") => ok(cmd_families(&args[1..])),
+        Some("reconstruct") => ok(cmd_reconstruct(&args[1..])),
+        Some("pseudo") => ok(cmd_pseudo(&args[1..])),
+        Some("run") => ok(cmd_run(&args[1..])),
+        Some("stats") => ok(cmd_stats(&args[1..])),
+        Some("eval") => ok(cmd_eval(&args[1..])),
+        Some("table2") => ok(cmd_table2(&args[1..])),
+        Some("batch") => cmd_batch(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     }
 }
@@ -383,6 +389,141 @@ fn cmd_table2(args: &[String]) -> CliResult {
         println!("{}", render_table2(&rows));
     }
     Ok(())
+}
+
+/// `rock batch` — supervised batch reconstruction with checkpoints,
+/// watchdog deadlines, and the retry/degradation ladder. Returns the
+/// batch's typed exit code (largest per-job code).
+fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
+    let mut store_dir = String::from(".rock-store");
+    let mut resume = false;
+    let mut max_retries: u32 = 3;
+    let mut deadline_ms = None;
+    let mut max_failures = None;
+    let mut metric = Metric::KlDivergence;
+    let mut parallelism = Parallelism::Auto;
+    let mut strict = false;
+    let mut sleep_backoff = false;
+    let mut report_path: Option<String> = None;
+    let mut timings = false;
+    let mut fuel = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--resume" => resume = true,
+            "--strict" => strict = true,
+            "--sleep-backoff" => sleep_backoff = true,
+            "--timings" => timings = true,
+            "--store" => store_dir = it.next().ok_or("--store needs a directory")?.clone(),
+            "--report" => report_path = Some(it.next().ok_or("--report needs a path")?.clone()),
+            "--jobs" => {
+                let list = it.next().ok_or("--jobs needs a file (one image path per line)")?;
+                let text =
+                    fs::read_to_string(list).map_err(|e| format!("cannot read {list}: {e}"))?;
+                paths.extend(
+                    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from),
+                );
+            }
+            "--max-retries" => {
+                let v = it.next().ok_or("--max-retries needs a count")?;
+                max_retries = v.parse().map_err(|e| format!("bad retry count {v:?}: {e}"))?;
+            }
+            "--deadline" => {
+                let v = it.next().ok_or("--deadline needs milliseconds")?;
+                deadline_ms =
+                    Some(v.parse::<u64>().map_err(|e| format!("bad deadline {v:?}: {e}"))?);
+            }
+            "--max-errors" => {
+                let v = it.next().ok_or("--max-errors needs a count")?;
+                max_failures =
+                    Some(v.parse::<usize>().map_err(|e| format!("bad error cap {v:?}: {e}"))?);
+            }
+            "--metric" => metric = parse_metric(it.next().ok_or("--metric needs a value")?)?,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value (count, or 0 for auto)")?;
+                let n: usize = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+                parallelism = if n == 0 { Parallelism::Auto } else { Parallelism::Threads(n) };
+            }
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel needs a value (steps per function)")?;
+                let n: u64 = v.parse().map_err(|e| format!("bad fuel {v:?}: {e}"))?;
+                fuel = Some(rock_analysis::Budget::steps(n));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("batch: unknown flag {other}").into())
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--store <dir>] [--resume] \
+                    [--max-retries n] [--deadline ms] [--max-errors n] [--metric kl|js|jsd] \
+                    [--threads n] [--strict] [--report <path>] [--sleep-backoff] [--timings]"
+            .into());
+    }
+    let mut jobs: Vec<(String, Vec<u8>)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        jobs.push((name, bytes));
+    }
+    let mut config = RockConfig::with_metric(metric).with_parallelism(parallelism);
+    if strict {
+        config = config.with_strict();
+    }
+    if let Some(budget) = fuel {
+        config.analysis.fuel = budget;
+    }
+    let options = SupervisorOptions {
+        retry: RetryPolicy::new(max_retries),
+        deadline_ms,
+        resume,
+        sleep_backoff,
+        max_failures,
+    };
+    let store = ArtifactStore::open(&store_dir)?;
+    let supervisor = Supervisor::new(config, store, options);
+    let start = std::time::Instant::now();
+    let batch = supervisor.run_batch(&jobs);
+    let elapsed = start.elapsed();
+    for job in &batch.jobs {
+        println!("{}", job.report.to_json());
+    }
+    if let Some(n) = batch.aborted_after {
+        eprintln!("batch aborted after {n}/{} jobs (--max-errors reached)", jobs.len());
+    }
+    if let Some(path) = report_path {
+        let mut out = String::from("{\"jobs\":[");
+        for (i, job) in batch.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&job.report.to_json());
+        }
+        let _ = write!(
+            out,
+            "],\"exit_code\":{},\"elapsed_ms\":{}}}",
+            batch.exit_code,
+            elapsed.as_millis()
+        );
+        fs::write(&path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if timings {
+        let restored: usize = batch.jobs.iter().map(|j| j.report.restored.len()).sum();
+        let run = batch.jobs.len();
+        let ms = elapsed.as_millis().max(1);
+        println!(
+            "batch: {run} jobs in {ms} ms ({:.1} jobs/s), {restored} stages restored from \
+             checkpoints, exit code {}",
+            run as f64 * 1000.0 / ms as f64,
+            batch.exit_code
+        );
+    }
+    Ok(batch.exit_code)
 }
 
 #[cfg(test)]

@@ -21,7 +21,23 @@
 //!          [--dot]                   emit graphviz instead of a tree
 //! rock eval <bench>                  Table 2 row for one benchmark
 //! rock table2                        the whole Table 2
+//! rock batch <file.rkb ...>          supervised batch reconstruction
+//!          [--jobs <list>]           read job paths (one per line) from a file
+//!          [--store <dir>]           artifact store root (default .rock-store)
+//!          [--resume]                restore checkpointed stages
+//!          [--max-retries <n>]       retry ladder depth (default 3)
+//!          [--deadline <ms>]         per-job watchdog deadline
+//!          [--max-errors <n>]        abort batch after n hard failures
+//!          [--report <path>]         write the batch report JSON to a file
+//!          [--sleep-backoff]         actually sleep retry backoff delays
+//!          [--timings]               batch throughput + resume summary
 //! ```
+//!
+//! Exit codes: `0` success; `1` usage / interrupted job; `2` a job
+//! degraded (retry ladder or contained faults); `3` a job failed
+//! (unloadable image or strict mode); `4` a job blew its deadline;
+//! `5` resume found corrupt artifacts. A batch exits with the largest
+//! per-job code.
 
 use std::process::ExitCode;
 
@@ -30,7 +46,7 @@ mod commands;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("rock: {e}");
             ExitCode::FAILURE

@@ -1,0 +1,168 @@
+//! The typed exit codes of `rock batch`, asserted against the real
+//! binary (the contract documented in the README).
+//!
+//! | code | meaning                                        |
+//! |------|------------------------------------------------|
+//! | 0    | every job ok at full strength                  |
+//! | 1    | usage error / interrupted job                  |
+//! | 2    | a job degraded (retry ladder, contained fault) |
+//! | 3    | a job failed (unloadable image, strict mode)   |
+//! | 4    | a job blew its watchdog deadline               |
+//! | 5    | resume found corrupt artifacts                 |
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rock(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rock")).args(args).output().expect("spawn rock")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A scratch dir with a generated benchmark image inside.
+struct Scratch {
+    dir: PathBuf,
+    image: String,
+    store: String,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("rock-exit-codes-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let image = dir.join("streams.rkb").to_str().unwrap().to_string();
+        let out = rock(&["gen", "streams", &image]);
+        assert_eq!(code(&out), 0, "gen must succeed: {:?}", out);
+        let store = dir.join("store").to_str().unwrap().to_string();
+        Scratch { dir, image, store }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn clean_batch_exits_zero_with_a_json_report_per_job() {
+    let s = Scratch::new("ok");
+    let out = rock(&["batch", &s.image, "--store", &s.store]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = stdout(&out);
+    assert!(json.contains("\"outcome\":\"ok\""), "got: {json}");
+    assert!(json.contains("\"exit_code\":0"));
+    assert!(json.contains("\"name\":\"streams\""));
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let out = rock(&["batch"]);
+    assert_eq!(code(&out), 1, "no jobs is a usage error");
+    let out = rock(&["batch", "--bogus-flag"]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn a_degraded_job_exits_two() {
+    let s = Scratch::new("degraded");
+    // One step of fuel starves the behavioral analysis: the run
+    // completes with error-severity diagnostics and incomplete
+    // coverage, which is the "degraded" outcome.
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--fuel", "1"]);
+    assert_eq!(code(&out), 2, "stdout: {}", stdout(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"outcome\":\"degraded\""), "got: {json}");
+    assert!(json.contains("\"exit_code\":2"));
+}
+
+#[test]
+fn an_unloadable_image_exits_three_without_stopping_healthy_jobs() {
+    let s = Scratch::new("failed");
+    let bad = s.dir.join("bad.rkb").to_str().unwrap().to_string();
+    fs::write(&bad, b"this is not an image").unwrap();
+    let out = rock(&["batch", &s.image, &bad, "--store", &s.store]);
+    assert_eq!(code(&out), 3, "stdout: {}", stdout(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"outcome\":\"ok\""), "healthy job still ran: {json}");
+    assert!(json.contains("\"outcome\":\"failed\""));
+    assert!(json.contains("unloadable image"));
+}
+
+#[test]
+fn a_blown_deadline_exits_four_but_still_emits_a_hierarchy() {
+    let s = Scratch::new("deadline");
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--deadline", "0"]);
+    assert_eq!(code(&out), 4, "stdout: {}", stdout(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"outcome\":\"deadline\""), "got: {json}");
+    // The structural-only fallback ran: the report counts its types.
+    let types = json
+        .split("\"types\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|n| n.parse::<usize>().ok())
+        .expect("types field");
+    assert!(types > 0, "fallback hierarchy must be non-empty: {json}");
+}
+
+#[test]
+fn corrupt_resume_artifacts_exit_five_and_recompute() {
+    let s = Scratch::new("corrupt");
+    // First run populates the store.
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--resume"]);
+    assert_eq!(code(&out), 0, "stdout: {}", stdout(&out));
+    // Damage every analysis artifact in the store.
+    let mut damaged = 0;
+    for job_dir in fs::read_dir(&s.store).unwrap() {
+        let art = job_dir.unwrap().path().join("analysis.art");
+        if art.exists() {
+            fs::write(&art, b"garbage").unwrap();
+            damaged += 1;
+        }
+    }
+    assert!(damaged > 0, "first run must have checkpointed");
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--resume"]);
+    assert_eq!(code(&out), 5, "stdout: {}", stdout(&out));
+    let json = stdout(&out);
+    assert!(json.contains("\"resume_corrupt\":true"), "got: {json}");
+    // The job itself still recomputed successfully.
+    assert!(json.contains("\"outcome\":\"ok\""), "got: {json}");
+}
+
+#[test]
+fn resume_restores_checkpointed_stages() {
+    let s = Scratch::new("resume");
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--resume", "--timings"]);
+    assert_eq!(code(&out), 0);
+    assert!(stdout(&out).contains("\"restored\":[]"), "first run restores nothing");
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--resume", "--timings"]);
+    assert_eq!(code(&out), 0);
+    let json = stdout(&out);
+    assert!(
+        json.contains("\"restored\":[\"analysis\",\"training\",\"distances\",\"lifting\"]"),
+        "second run restores every stage: {json}"
+    );
+    assert!(json.contains("4 stages restored"), "timings summary: {json}");
+}
+
+#[test]
+fn report_file_collects_the_whole_batch() {
+    let s = Scratch::new("report");
+    let report = s.dir.join("report.json").to_str().unwrap().to_string();
+    let out = rock(&["batch", &s.image, "--store", &s.store, "--report", &report]);
+    assert_eq!(code(&out), 0);
+    let body = fs::read_to_string(&report).unwrap();
+    assert!(body.starts_with("{\"jobs\":["), "got: {body}");
+    assert!(body.contains("\"exit_code\":0"));
+    assert!(body.contains("\"elapsed_ms\":"));
+}

@@ -13,6 +13,7 @@ use rock_analysis::{AnalysisHooks, Budget, FunctionDirective};
 use rock_binary::Addr;
 
 use crate::diagnostics::Stage;
+use crate::staged::StageId;
 
 /// SplitMix64 finalizer: a strong 64-bit mix used to derive per-item
 /// decisions from the plan seed.
@@ -37,6 +38,8 @@ pub struct FaultPlan {
     skip_functions: BTreeSet<Addr>,
     starved_functions: BTreeMap<Addr, u64>,
     panic_stages: BTreeSet<Stage>,
+    interrupt_after: BTreeSet<StageId>,
+    fail_attempts: u32,
 }
 
 impl FaultPlan {
@@ -82,6 +85,39 @@ impl FaultPlan {
     pub fn panic_in(mut self, stage: Stage) -> Self {
         self.panic_stages.insert(stage);
         self
+    }
+
+    /// Interrupts a supervised run right after `stage` completes (and
+    /// after its checkpoint is written), simulating a crash / kill at
+    /// that boundary. Drives the resume property tests: a run
+    /// interrupted after any stage and then resumed must reproduce the
+    /// uninterrupted result bit for bit.
+    pub fn interrupt_after(mut self, stage: StageId) -> Self {
+        self.interrupt_after.insert(stage);
+        self
+    }
+
+    /// Whether a supervised run should stop at the boundary after
+    /// `stage`. Honored by the supervisor's checkpoint loop, not by the
+    /// in-process pipeline (a direct `reconstruct` ignores it).
+    pub fn should_interrupt_after(&self, stage: StageId) -> bool {
+        self.interrupt_after.contains(&stage)
+    }
+
+    /// Makes the first `count` supervised pipeline attempts panic
+    /// outright (an *uncontained* fault, unlike [`FaultPlan::panic_on`]),
+    /// driving the supervisor's retry ladder deterministically: attempt
+    /// `count` is the first one allowed to run.
+    pub fn fail_attempts(mut self, count: u32) -> Self {
+        self.fail_attempts = count;
+        self
+    }
+
+    /// Whether 0-based supervised attempt `attempt` should panic before
+    /// doing any work. Honored by the supervisor, not by a direct
+    /// `reconstruct`.
+    pub fn should_fail_attempt(&self, attempt: u32) -> bool {
+        attempt < self.fail_attempts
     }
 
     /// One deterministic 64-bit draw for `(stage, key)`.
@@ -194,6 +230,23 @@ mod tests {
         let plan = FaultPlan::new().panic_in(Stage::Training);
         assert!(plan.should_panic_in(Stage::Training, 0));
         assert!(!plan.should_panic_in(Stage::Lifting, 0));
+    }
+
+    #[test]
+    fn interrupts_are_per_boundary_and_inert_by_default() {
+        let plan = FaultPlan::new().interrupt_after(StageId::Training);
+        assert!(plan.should_interrupt_after(StageId::Training));
+        assert!(!plan.should_interrupt_after(StageId::Analysis));
+        assert!(!FaultPlan::seeded(9, 500).should_interrupt_after(StageId::Lifting));
+    }
+
+    #[test]
+    fn attempt_failures_count_down_then_stop() {
+        let plan = FaultPlan::new().fail_attempts(2);
+        assert!(plan.should_fail_attempt(0));
+        assert!(plan.should_fail_attempt(1));
+        assert!(!plan.should_fail_attempt(2));
+        assert!(!FaultPlan::new().should_fail_attempt(0));
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod par;
 mod pipeline;
 mod pseudo;
 mod report;
+mod staged;
 pub mod suite;
 mod timings;
 
@@ -62,4 +63,5 @@ pub use par::Parallelism;
 pub use pipeline::{Reconstruction, Rock};
 pub use pseudo::pseudo_source;
 pub use report::{render_table2, render_table2_markdown, Table2Row};
+pub use staged::{RestoreError, StageId, StagedRun};
 pub use timings::StageTimings;

@@ -3,22 +3,17 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
-use rock_analysis::{
-    extract_tracelets_with, Analysis, AnalysisHooks, Event, IncidentKind, NoHooks,
-};
+use rock_analysis::{Analysis, Event, IncidentKind};
 use rock_binary::Addr;
-use rock_graph::{min_spanning_forest, DiGraph, Forest};
+use rock_graph::Forest;
 use rock_loader::{LoadIssue, LoadedBinary};
 use rock_slm::{DistanceCache, Metric, Slm};
-use rock_structural::{analyze, Structural};
+use rock_structural::Structural;
 
-use crate::diagnostics::{
-    Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject,
-};
+use crate::diagnostics::{Coverage, FaultKind, Severity, Stage, StageError, Subject};
 use crate::faultplan::FaultPlan;
-use crate::par::{par_map, par_map_catch, Parallelism};
+use crate::par::{par_map, Parallelism};
 use crate::{RockConfig, StageTimings};
 
 /// The Rock reconstructor.
@@ -213,278 +208,55 @@ impl Rock {
     /// [`Reconstruction::coverage`], while the rest of the binary is
     /// still reconstructed. With `strict`, the first error-severity
     /// [`StageError`] aborts the run instead (the old fail-fast shape).
+    ///
+    /// This is a thin loop over the staged pipeline ([`Rock::begin`] +
+    /// [`crate::StagedRun::advance`]) — supervised checkpoint/resume runs
+    /// drive the *same* stage bodies, so the two paths cannot drift.
     pub fn try_reconstruct(&self, loaded: &LoadedBinary) -> Result<Reconstruction, StageError> {
-        let run_start = Instant::now();
-        let par = self.config.parallelism;
-        let mut timings = StageTimings { threads: par.thread_count(), ..StageTimings::default() };
-        let cache_hits0 = self.cache.hits();
-        let cache_misses0 = self.cache.misses();
-        let sink = DiagnosticSink::default();
-        let mut coverage = Coverage {
-            functions_total: loaded.functions().len(),
-            vtables_parsed: loaded.vtables().len(),
-            ..Coverage::default()
-        };
-        // Stage-level panic injection (function-level faults go through
-        // the AnalysisHooks implementation on the plan instead).
-        let inject = |stage: Stage, key: u64| {
-            if self.fault.as_ref().is_some_and(|p| p.should_panic_in(stage, key)) {
-                panic!("injected fault: {stage} of item {key:#x}");
-            }
-        };
-        let strict_failure = |sink: &DiagnosticSink| {
-            if !self.config.strict {
-                return None;
-            }
-            sink.iter().find(|e| e.severity == Severity::Error).cloned()
-        };
+        let mut run = self.begin(loaded);
+        while !run.is_done() {
+            run.advance()?;
+        }
+        Ok(run.finish())
+    }
 
-        // Whatever the (possibly lenient) load degraded on becomes part
-        // of this run's diagnostics, so one report covers the whole path.
-        for issue in loaded.issues() {
-            sink.record(load_issue_error(issue));
-            if matches!(issue, LoadIssue::RejectedVtableCandidate { .. }) {
-                coverage.vtables_rejected += 1;
-            }
-        }
-        if let Some(e) = strict_failure(&sink) {
-            return Err(e);
-        }
+    /// The attached fault plan, if any.
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_deref()
+    }
+}
 
-        // Behavioral analysis (also recognizes ctor-like functions).
-        // Each function runs inside catch_unwind with a fuel/deadline
-        // budget; a faulted function is excluded wholesale and recorded.
-        let stage = Instant::now();
-        let hooks: &dyn AnalysisHooks = match &self.fault {
-            Some(plan) => plan.as_ref(),
-            None => &NoHooks,
-        };
-        let analysis = extract_tracelets_with(loaded, &self.config.analysis, hooks);
-        for (entry, incident) in analysis.incidents() {
-            match incident {
-                IncidentKind::FuelExhausted => {
-                    coverage.functions_timed_out += 1;
-                    timings.fuel_exhausted += 1;
-                }
-                IncidentKind::DeadlineExceeded => coverage.functions_timed_out += 1,
-                IncidentKind::Panicked(_) | IncidentKind::Skipped => {
-                    coverage.functions_skipped += 1;
-                }
-            }
-            sink.record(incident_error(*entry, incident));
-        }
-        coverage.functions_analyzed =
-            coverage.functions_total - coverage.functions_skipped - coverage.functions_timed_out;
-        timings.analysis = stage.elapsed();
-        if let Some(e) = strict_failure(&sink) {
-            return Err(e);
-        }
-
-        // Structural analysis.
-        let stage = Instant::now();
-        let structural = analyze(loaded, analysis.ctors(), &self.config.analysis);
-        timings.structural = stage.elapsed();
-
-        // One SLM per binary type, trained independently per vtable. A
-        // training fault drops that type's model; edges touching it are
-        // skipped later and the type degrades to a hierarchy root.
-        let stage = Instant::now();
-        let addrs: Vec<Addr> = loaded.vtables().iter().map(|vt| vt.addr()).collect();
-        let trained = par_map_catch(par, &addrs, |&addr| {
-            inject(Stage::Training, addr.value());
-            let mut m = Slm::new(self.config.analysis.slm_depth);
-            for t in analysis.tracelets().of_type(addr) {
-                m.train(t);
-            }
-            // Build the interned symbol table + arena trie here, so the
-            // cost lands in the (parallel) training stage instead of the
-            // first divergence query.
-            m.finalize();
-            m
-        });
-        let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
-        for (addr, outcome) in addrs.into_iter().zip(trained) {
-            match outcome {
-                Ok(m) => {
-                    models.insert(addr, m);
-                }
-                Err(msg) => sink.record(StageError {
-                    stage: Stage::Training,
-                    subject: Subject::Vtable(addr),
-                    kind: FaultKind::Panicked(msg),
-                    severity: Severity::Error,
-                }),
-            }
-        }
-        coverage.models_trained = models.len();
-        timings.slm_count = models.len();
-        for m in models.values() {
-            timings.slm_nodes += m.node_count();
-            timings.slm_edges += m.edge_count();
-            timings.slm_bytes += m.approx_trie_bytes();
-            timings.slm_unique_words += m.unique_training_len();
-            timings.slm_total_words += m.training_total();
-        }
-        timings.training = stage.elapsed();
-        if let Some(e) = strict_failure(&sink) {
-            return Err(e);
-        }
-
-        // Weighted digraph per family over surviving candidate edges.
-        // Every edge weight is an independent pair divergence, so the
-        // scoring work is flattened to one item per (family, child) —
-        // a binary with few families still fans out across all workers.
-        // The graphs are then assembled serially in family order, which
-        // replays the exact edge-insertion order of the serial loop.
-        let stage = Instant::now();
-        let families = structural.families();
-        let indices: Vec<BTreeMap<Addr, usize>> =
-            families.iter().map(|f| f.iter().enumerate().map(|(i, a)| (*a, i)).collect()).collect();
-        let children: Vec<(usize, Addr)> = families
-            .iter()
-            .enumerate()
-            .flat_map(|(fi, f)| f.iter().map(move |&child| (fi, child)))
-            .collect();
-        let scored = par_map_catch(par, &children, |&(fi, child)| {
-            inject(Stage::Distances, child.value());
-            child_candidate_edges(
-                &indices[fi],
-                child,
-                |c| structural.possible_parents().of(c),
-                |parent, child| {
-                    let (pm, cm) = (models.get(&parent)?, models.get(&child)?);
-                    Some(self.cache.distance(self.config.metric, (&parent, pm), (&child, cm)))
-                },
-            )
-        });
-        let mut distances = BTreeMap::new();
-        let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
-        for (&(fi, child), outcome) in children.iter().zip(&scored) {
-            let edges = match outcome {
-                Ok(edges) => edges,
-                Err(msg) => {
-                    // The child keeps no incoming edges and becomes a
-                    // root of its family's arborescence.
-                    sink.record(StageError {
-                        stage: Stage::Distances,
-                        subject: Subject::Vtable(child),
-                        kind: FaultKind::Panicked(msg.clone()),
-                        severity: Severity::Error,
-                    });
-                    continue;
-                }
-            };
-            timings.edge_count += edges.accepted.len();
-            timings.foreign_candidates += edges.foreign;
-            for &(parent, child) in &edges.unmodeled {
-                sink.record(StageError {
-                    stage: Stage::Distances,
-                    subject: Subject::Edge(parent, child),
-                    kind: FaultKind::MissingModel,
-                    severity: Severity::Warning,
-                });
-            }
-            for &(parent, child, d) in &edges.accepted {
-                graphs[fi].add_edge(indices[fi][&parent], indices[fi][&child], d);
-                distances.insert((parent, child), d);
-            }
-        }
-        timings.distances = stage.elapsed();
-        if let Some(e) = strict_failure(&sink) {
-            return Err(e);
-        }
-
-        // Per family: minimum-weight maximal forest (§4.2.2), with the
-        // majority-vote tie heuristic when enabled. Results are merged in
-        // family order, so the union is deterministic. A faulted family
-        // degrades to all-roots instead of aborting the run.
-        let stage = Instant::now();
-        coverage.families_total = families.len();
-        let graph_items: Vec<(usize, &DiGraph)> = graphs.iter().enumerate().collect();
-        let lifted = par_map_catch(par, &graph_items, |&(fi, graph)| {
-            inject(Stage::Lifting, fi as u64);
-            if self.config.resolve_ties {
-                // §4.2.2: several arborescences may share the minimal
-                // weight; resolve with the majority-vote heuristic.
-                let variants = rock_graph::co_optimal_forests(
-                    graph,
-                    self.config.tie_epsilon,
-                    self.config.max_tie_variants,
-                );
-                rock_graph::vote_select(&variants).parent.clone()
-            } else {
-                min_spanning_forest(graph).parent
-            }
-        });
-        let mut hierarchy: Forest<Addr> = Forest::new();
-        for ((fi, family), outcome) in families.iter().enumerate().zip(lifted) {
-            let parent = match outcome {
-                Ok(parent) => parent,
-                Err(msg) => {
-                    sink.record(StageError {
-                        stage: Stage::Lifting,
-                        subject: Subject::Family(fi),
-                        kind: FaultKind::Panicked(msg),
-                        severity: Severity::Error,
-                    });
-                    coverage.families_degraded += 1;
-                    vec![None; family.len()]
-                }
-            };
-            for (i, p) in parent.iter().enumerate() {
-                hierarchy.insert(family[i], p.map(|pi| family[pi]));
-            }
-        }
-        coverage.families_lifted = coverage.families_total - coverage.families_degraded;
-        timings.lifting = stage.elapsed();
-        if let Some(e) = strict_failure(&sink) {
-            return Err(e);
-        }
-
-        if self.config.repartition_families {
-            let stage = Instant::now();
-            repartition(
-                &mut hierarchy,
-                &mut distances,
-                &structural,
-                &models,
-                loaded,
-                self.config.metric,
-                &self.cache,
-                par,
-            );
-            timings.repartition = stage.elapsed();
-        }
-
-        timings.cache_hits = self.cache.hits() - cache_hits0;
-        timings.cache_misses = self.cache.misses() - cache_misses0;
-        timings.skipped_functions = coverage.functions_skipped + coverage.functions_timed_out;
-        timings.rejected_vtables = coverage.vtables_rejected;
-        let dropped = sink.dropped();
-        let diagnostics = sink.into_entries();
-        timings.diagnostics_bytes = diagnostics.iter().map(StageError::approx_bytes).sum();
-        if dropped > 0 {
-            eprintln!("rock: diagnostic sink overflowed; {dropped} entries dropped");
-        }
-        timings.total = run_start.elapsed();
-
-        Ok(Reconstruction {
-            hierarchy,
-            structural,
-            analysis,
-            distances,
-            timings,
-            diagnostics,
-            coverage,
-            metric: self.config.metric,
-            models,
-            cache: Arc::clone(&self.cache),
-        })
+/// Assembles a [`Reconstruction`] from finished stage outputs (the
+/// private-field constructor used by [`crate::StagedRun::finish`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_reconstruction(
+    hierarchy: Forest<Addr>,
+    structural: Structural,
+    analysis: Analysis,
+    distances: BTreeMap<(Addr, Addr), f64>,
+    timings: StageTimings,
+    diagnostics: Vec<StageError>,
+    coverage: Coverage,
+    metric: Metric,
+    models: BTreeMap<Addr, Slm<Event>>,
+    cache: Arc<DistanceCache<Addr>>,
+) -> Reconstruction {
+    Reconstruction {
+        hierarchy,
+        structural,
+        analysis,
+        distances,
+        timings,
+        diagnostics,
+        coverage,
+        metric,
+        models,
+        cache,
     }
 }
 
 /// Maps a loader degradation onto the diagnostic taxonomy.
-fn load_issue_error(issue: &LoadIssue) -> StageError {
+pub(crate) fn load_issue_error(issue: &LoadIssue) -> StageError {
     let (subject, kind, severity) = match issue {
         LoadIssue::NoTextSection => (Subject::Image, FaultKind::MissingText, Severity::Error),
         LoadIssue::TruncatedText { .. } => {
@@ -501,7 +273,7 @@ fn load_issue_error(issue: &LoadIssue) -> StageError {
 }
 
 /// Maps a behavioral-analysis incident onto the diagnostic taxonomy.
-fn incident_error(entry: Addr, incident: &IncidentKind) -> StageError {
+pub(crate) fn incident_error(entry: Addr, incident: &IncidentKind) -> StageError {
     let (kind, severity) = match incident {
         IncidentKind::Panicked(msg) => (FaultKind::Panicked(msg.clone()), Severity::Error),
         IncidentKind::FuelExhausted => (FaultKind::FuelExhausted, Severity::Error),
@@ -514,14 +286,14 @@ fn incident_error(entry: Addr, incident: &IncidentKind) -> StageError {
 /// One child's scored candidate edges, plus everything that was dropped
 /// on the way and why.
 #[derive(Clone, Debug, Default, PartialEq)]
-struct ChildEdges {
+pub(crate) struct ChildEdges {
     /// Accepted `(parent, child, distance)` edges.
-    accepted: Vec<(Addr, Addr, f64)>,
+    pub(crate) accepted: Vec<(Addr, Addr, f64)>,
     /// Candidates outside the family's member list (ctor merges).
-    foreign: usize,
+    pub(crate) foreign: usize,
     /// Candidate pairs skipped because an endpoint has no trained model
     /// (its training faulted upstream).
-    unmodeled: Vec<(Addr, Addr)>,
+    pub(crate) unmodeled: Vec<(Addr, Addr)>,
 }
 
 /// Scores one child's surviving candidate edges within its family.
@@ -533,7 +305,7 @@ struct ChildEdges {
 /// in the family's digraph. `distance` returns `None` when an endpoint
 /// has no model; those pairs are reported in
 /// [`ChildEdges::unmodeled`] instead of being scored.
-fn child_candidate_edges(
+pub(crate) fn child_candidate_edges(
     index: &BTreeMap<Addr, usize>,
     child: Addr,
     candidates: impl Fn(Addr) -> Vec<Addr>,
@@ -572,7 +344,7 @@ fn child_candidate_edges(
 /// serially by [`apply_adoptions`], which re-checks ancestry against the
 /// *current* hierarchy before each insert.
 #[allow(clippy::too_many_arguments)]
-fn repartition(
+pub(crate) fn repartition(
     hierarchy: &mut Forest<Addr>,
     distances: &mut BTreeMap<(Addr, Addr), f64>,
     structural: &Structural,
@@ -675,6 +447,7 @@ fn apply_adoptions(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rock_graph::{min_spanning_forest, DiGraph};
     use rock_minicpp::{compile, CompileOptions, ProgramBuilder};
 
     /// The paper's running example (Fig. 3/5): Stream + two children, each

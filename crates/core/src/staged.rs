@@ -1,0 +1,782 @@
+//! The reconstruction pipeline as explicit, checkpointable stages.
+//!
+//! [`crate::Rock::try_reconstruct`] is a thin loop over a [`StagedRun`]:
+//! `begin` records the load boundary, each [`StagedRun::advance`] call
+//! runs exactly one [`StageId`] to completion, and [`StagedRun::finish`]
+//! assembles the [`crate::Reconstruction`]. A supervisor (the
+//! `rock-supervisor` crate) drives the same loop but snapshots every
+//! completed stage to an on-disk artifact store, and on resume feeds the
+//! artifacts back through the `restore_*` methods so completed stages are
+//! **skipped, not re-run** — the restored state is bit-identical to what
+//! the live stage would have produced, because every stage is a
+//! deterministic function of its restored inputs.
+//!
+//! Restores must follow stage order (analysis, then training, then
+//! distances, then lifting); a restore against the wrong cursor position
+//! is rejected with [`RestoreError`] rather than silently corrupting the
+//! run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use rock_analysis::{extract_tracelets_with, Analysis, AnalysisHooks, Event, NoHooks};
+use rock_binary::Addr;
+use rock_graph::{min_spanning_forest, DiGraph, Forest};
+use rock_loader::{LoadIssue, LoadedBinary};
+use rock_slm::Slm;
+use rock_structural::{analyze, Structural};
+
+use crate::diagnostics::{
+    Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject,
+};
+use crate::pipeline::{
+    assemble_reconstruction, child_candidate_edges, incident_error, load_issue_error, Rock,
+};
+use crate::{Reconstruction, StageTimings};
+
+/// One checkpointable pipeline stage.
+///
+/// The variants are ordered: a [`StagedRun`] executes them front to back,
+/// and a resumed run restores a *prefix* of them from artifacts before
+/// executing the rest live. (Structural analysis is deliberately not a
+/// checkpoint boundary: it is cheap, deterministic, and re-derived on
+/// demand from the loaded binary plus the analysis artifact.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageId {
+    /// Behavioral analysis: tracelet extraction + ctor recognition.
+    Analysis,
+    /// Per-vtable SLM training.
+    Training,
+    /// Candidate-edge distance scoring.
+    Distances,
+    /// Per-family arborescence lifting.
+    Lifting,
+}
+
+impl StageId {
+    /// All stages, in execution order.
+    pub const ALL: [StageId; 4] =
+        [StageId::Analysis, StageId::Training, StageId::Distances, StageId::Lifting];
+
+    /// Stable lowercase name (artifact file stems, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Analysis => "analysis",
+            StageId::Training => "training",
+            StageId::Distances => "distances",
+            StageId::Lifting => "lifting",
+        }
+    }
+
+    /// The stage after this one, if any.
+    pub fn next(self) -> Option<StageId> {
+        match self {
+            StageId::Analysis => Some(StageId::Training),
+            StageId::Training => Some(StageId::Distances),
+            StageId::Distances => Some(StageId::Lifting),
+            StageId::Lifting => None,
+        }
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A restore was attempted against the wrong cursor position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestoreError {
+    /// The stage the caller tried to restore.
+    pub restoring: StageId,
+    /// The stage the run actually expects next (`None` when complete).
+    pub expected: Option<StageId>,
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.expected {
+            Some(e) => write!(f, "cannot restore {}: run expects {e} next", self.restoring),
+            None => write!(f, "cannot restore {}: run already complete", self.restoring),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// One in-flight reconstruction, advanced stage by stage.
+///
+/// Obtained from [`Rock::begin`]; see the module docs for the contract.
+pub struct StagedRun<'a> {
+    rock: &'a Rock,
+    loaded: &'a LoadedBinary,
+    run_start: Instant,
+    timings: StageTimings,
+    sink: DiagnosticSink,
+    coverage: Coverage,
+    cache_hits0: u64,
+    cache_misses0: u64,
+    analysis: Option<Analysis>,
+    structural: Option<Structural>,
+    models: Option<BTreeMap<Addr, Slm<Event>>>,
+    distances: Option<BTreeMap<(Addr, Addr), f64>>,
+    graphs: Option<Vec<DiGraph>>,
+    hierarchy: Option<Forest<Addr>>,
+    cursor: Option<StageId>,
+}
+
+impl Rock {
+    /// Starts a staged reconstruction: records the load boundary (issues
+    /// + initial coverage) and positions the cursor at [`StageId::Analysis`].
+    pub fn begin<'a>(&'a self, loaded: &'a LoadedBinary) -> StagedRun<'a> {
+        let sink = DiagnosticSink::default();
+        let mut coverage = Coverage {
+            functions_total: loaded.functions().len(),
+            vtables_parsed: loaded.vtables().len(),
+            ..Coverage::default()
+        };
+        // Whatever the (possibly lenient) load degraded on becomes part
+        // of this run's diagnostics, so one report covers the whole path.
+        for issue in loaded.issues() {
+            sink.record(load_issue_error(issue));
+            if matches!(issue, LoadIssue::RejectedVtableCandidate { .. }) {
+                coverage.vtables_rejected += 1;
+            }
+        }
+        StagedRun {
+            rock: self,
+            loaded,
+            run_start: Instant::now(),
+            timings: StageTimings {
+                threads: self.config().parallelism.thread_count(),
+                ..StageTimings::default()
+            },
+            sink,
+            coverage,
+            cache_hits0: self.cache().hits(),
+            cache_misses0: self.cache().misses(),
+            analysis: None,
+            structural: None,
+            models: None,
+            distances: None,
+            graphs: None,
+            hierarchy: None,
+            cursor: Some(StageId::Analysis),
+        }
+    }
+}
+
+impl<'a> StagedRun<'a> {
+    /// The next stage `advance` would run (`None` once all stages ran).
+    pub fn pending(&self) -> Option<StageId> {
+        self.cursor
+    }
+
+    /// Returns `true` once every stage has run or been restored.
+    pub fn is_done(&self) -> bool {
+        self.cursor.is_none()
+    }
+
+    /// The binary this run reconstructs.
+    pub fn loaded(&self) -> &'a LoadedBinary {
+        self.loaded
+    }
+
+    /// The behavioral analysis, once its stage completed.
+    pub fn analysis(&self) -> Option<&Analysis> {
+        self.analysis.as_ref()
+    }
+
+    /// The trained models, once the training stage completed.
+    pub fn models(&self) -> Option<&BTreeMap<Addr, Slm<Event>>> {
+        self.models.as_ref()
+    }
+
+    /// The scored candidate edges, once the distance stage completed.
+    pub fn distances(&self) -> Option<&BTreeMap<(Addr, Addr), f64>> {
+        self.distances.as_ref()
+    }
+
+    /// The lifted hierarchy, once the lifting stage completed.
+    pub fn hierarchy(&self) -> Option<&Forest<Addr>> {
+        self.hierarchy.as_ref()
+    }
+
+    /// Every diagnostic recorded so far, in record order (a checkpoint
+    /// snapshots this alongside the stage output so a resumed run
+    /// reports exactly what the original would have).
+    pub fn diagnostics_snapshot(&self) -> Vec<StageError> {
+        self.sink.iter().cloned().collect()
+    }
+
+    /// Coverage accumulated so far.
+    pub fn coverage(&self) -> Coverage {
+        self.coverage
+    }
+
+    /// The first error-severity diagnostic, under strict mode only.
+    fn strict_failure(&self) -> Option<StageError> {
+        if !self.rock.config().strict {
+            return None;
+        }
+        self.sink.iter().find(|e| e.severity == Severity::Error).cloned()
+    }
+
+    /// Stage-level panic injection (function-level faults go through the
+    /// `AnalysisHooks` implementation on the plan instead).
+    fn inject(&self, stage: Stage, key: u64) {
+        if self.rock.fault_plan().is_some_and(|p| p.should_panic_in(stage, key)) {
+            panic!("injected fault: {stage} of item {key:#x}");
+        }
+    }
+
+    /// Runs the next pending stage to completion.
+    ///
+    /// Returns the stage that just completed, or `None` if the run was
+    /// already done. With [`crate::RockConfig::strict`], the first
+    /// error-severity diagnostic aborts the run instead — including one
+    /// recorded at the load boundary, which fails the first `advance`
+    /// before any analysis happens.
+    pub fn advance(&mut self) -> Result<Option<StageId>, StageError> {
+        if let Some(e) = self.strict_failure() {
+            return Err(e);
+        }
+        let Some(stage) = self.cursor else { return Ok(None) };
+        match stage {
+            StageId::Analysis => self.run_analysis(),
+            StageId::Training => self.run_training(),
+            StageId::Distances => self.run_distances(),
+            StageId::Lifting => self.run_lifting(),
+        }
+        self.cursor = stage.next();
+        if let Some(e) = self.strict_failure() {
+            return Err(e);
+        }
+        Ok(Some(stage))
+    }
+
+    /// Re-derives the structural analysis if it is not present yet.
+    ///
+    /// Structural analysis is not a checkpoint boundary: it is a cheap
+    /// deterministic function of the loaded binary and the recognized
+    /// ctors, so live and resumed runs alike compute it on first use.
+    fn ensure_structural(&mut self) {
+        if self.structural.is_some() {
+            return;
+        }
+        let analysis = self.analysis.as_ref().expect("structural analysis needs ctors");
+        let stage = Instant::now();
+        self.structural =
+            Some(analyze(self.loaded, analysis.ctors(), &self.rock.config().analysis));
+        self.timings.structural = stage.elapsed();
+    }
+
+    /// Behavioral analysis (also recognizes ctor-like functions). Each
+    /// function runs inside `catch_unwind` with a fuel/deadline budget; a
+    /// faulted function is excluded wholesale and recorded.
+    fn run_analysis(&mut self) {
+        let stage = Instant::now();
+        let hooks: &dyn AnalysisHooks = match self.rock.fault_plan() {
+            Some(plan) => plan,
+            None => &NoHooks,
+        };
+        let analysis = extract_tracelets_with(self.loaded, &self.rock.config().analysis, hooks);
+        self.record_analysis_incidents(&analysis);
+        self.analysis = Some(analysis);
+        self.timings.analysis = stage.elapsed();
+    }
+
+    /// Folds an analysis' incident list into diagnostics + coverage
+    /// (shared by the live stage and the restore path).
+    fn record_analysis_incidents(&mut self, analysis: &Analysis) {
+        use rock_analysis::IncidentKind;
+        for (entry, incident) in analysis.incidents() {
+            match incident {
+                IncidentKind::FuelExhausted => {
+                    self.coverage.functions_timed_out += 1;
+                    self.timings.fuel_exhausted += 1;
+                }
+                IncidentKind::DeadlineExceeded => self.coverage.functions_timed_out += 1,
+                IncidentKind::Panicked(_) | IncidentKind::Skipped => {
+                    self.coverage.functions_skipped += 1;
+                }
+            }
+            self.sink.record(incident_error(*entry, incident));
+        }
+        self.coverage.functions_analyzed = self.coverage.functions_total
+            - self.coverage.functions_skipped
+            - self.coverage.functions_timed_out;
+    }
+
+    /// One SLM per binary type, trained independently per vtable. A
+    /// training fault drops that type's model; edges touching it are
+    /// skipped later and the type degrades to a hierarchy root.
+    fn run_training(&mut self) {
+        self.ensure_structural();
+        let stage = Instant::now();
+        let analysis = self.analysis.as_ref().expect("training follows analysis");
+        let config = self.rock.config();
+        let addrs: Vec<Addr> = self.loaded.vtables().iter().map(|vt| vt.addr()).collect();
+        let trained = crate::par::par_map_catch(config.parallelism, &addrs, |&addr| {
+            self.inject(Stage::Training, addr.value());
+            let mut m = Slm::new(config.analysis.slm_depth);
+            for t in analysis.tracelets().of_type(addr) {
+                m.train(t);
+            }
+            // Build the interned symbol table + arena trie here, so the
+            // cost lands in the (parallel) training stage instead of the
+            // first divergence query.
+            m.finalize();
+            m
+        });
+        let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
+        for (addr, outcome) in addrs.into_iter().zip(trained) {
+            match outcome {
+                Ok(m) => {
+                    models.insert(addr, m);
+                }
+                Err(msg) => self.sink.record(StageError {
+                    stage: Stage::Training,
+                    subject: Subject::Vtable(addr),
+                    kind: FaultKind::Panicked(msg),
+                    severity: Severity::Error,
+                }),
+            }
+        }
+        self.set_models(models);
+        self.timings.training = stage.elapsed();
+    }
+
+    /// Installs trained models and their derived counters (shared by the
+    /// live stage and the restore path).
+    fn set_models(&mut self, models: BTreeMap<Addr, Slm<Event>>) {
+        self.coverage.models_trained = models.len();
+        self.timings.slm_count = models.len();
+        for m in models.values() {
+            self.timings.slm_nodes += m.node_count();
+            self.timings.slm_edges += m.edge_count();
+            self.timings.slm_bytes += m.approx_trie_bytes();
+            self.timings.slm_unique_words += m.unique_training_len();
+            self.timings.slm_total_words += m.training_total();
+        }
+        self.models = Some(models);
+    }
+
+    /// Weighted digraph per family over surviving candidate edges.
+    /// Every edge weight is an independent pair divergence, so the
+    /// scoring work is flattened to one item per (family, child) —
+    /// a binary with few families still fans out across all workers.
+    /// The graphs are then assembled serially in family order, which
+    /// replays the exact edge-insertion order of the serial loop.
+    fn run_distances(&mut self) {
+        self.ensure_structural();
+        let stage = Instant::now();
+        let structural = self.structural.as_ref().expect("distances follow structural");
+        let models = self.models.as_ref().expect("distances follow training");
+        let config = self.rock.config();
+        let families = structural.families();
+        let indices: Vec<BTreeMap<Addr, usize>> =
+            families.iter().map(|f| f.iter().enumerate().map(|(i, a)| (*a, i)).collect()).collect();
+        let children: Vec<(usize, Addr)> = families
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| f.iter().map(move |&child| (fi, child)))
+            .collect();
+        let scored = crate::par::par_map_catch(config.parallelism, &children, |&(fi, child)| {
+            self.inject(Stage::Distances, child.value());
+            child_candidate_edges(
+                &indices[fi],
+                child,
+                |c| structural.possible_parents().of(c),
+                |parent, child| {
+                    let (pm, cm) = (models.get(&parent)?, models.get(&child)?);
+                    Some(self.rock.cache().distance(config.metric, (&parent, pm), (&child, cm)))
+                },
+            )
+        });
+        let mut distances = BTreeMap::new();
+        let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
+        for (&(fi, child), outcome) in children.iter().zip(&scored) {
+            let edges = match outcome {
+                Ok(edges) => edges,
+                Err(msg) => {
+                    // The child keeps no incoming edges and becomes a
+                    // root of its family's arborescence.
+                    self.sink.record(StageError {
+                        stage: Stage::Distances,
+                        subject: Subject::Vtable(child),
+                        kind: FaultKind::Panicked(msg.clone()),
+                        severity: Severity::Error,
+                    });
+                    continue;
+                }
+            };
+            self.timings.edge_count += edges.accepted.len();
+            self.timings.foreign_candidates += edges.foreign;
+            for &(parent, child) in &edges.unmodeled {
+                self.sink.record(StageError {
+                    stage: Stage::Distances,
+                    subject: Subject::Edge(parent, child),
+                    kind: FaultKind::MissingModel,
+                    severity: Severity::Warning,
+                });
+            }
+            for &(parent, child, d) in &edges.accepted {
+                graphs[fi].add_edge(indices[fi][&parent], indices[fi][&child], d);
+                distances.insert((parent, child), d);
+            }
+        }
+        self.distances = Some(distances);
+        self.graphs = Some(graphs);
+        self.timings.distances = stage.elapsed();
+    }
+
+    /// Per family: minimum-weight maximal forest (§4.2.2), with the
+    /// majority-vote tie heuristic when enabled. Results are merged in
+    /// family order, so the union is deterministic. A faulted family
+    /// degrades to all-roots instead of aborting the run.
+    fn run_lifting(&mut self) {
+        let stage = Instant::now();
+        let structural = self.structural.as_ref().expect("lifting follows structural");
+        let graphs = self.graphs.as_ref().expect("lifting follows distances");
+        let config = self.rock.config();
+        let families = structural.families();
+        self.coverage.families_total = families.len();
+        let graph_items: Vec<(usize, &DiGraph)> = graphs.iter().enumerate().collect();
+        let lifted = crate::par::par_map_catch(config.parallelism, &graph_items, |&(fi, graph)| {
+            self.inject(Stage::Lifting, fi as u64);
+            if config.resolve_ties {
+                // §4.2.2: several arborescences may share the minimal
+                // weight; resolve with the majority-vote heuristic.
+                let variants = rock_graph::co_optimal_forests(
+                    graph,
+                    config.tie_epsilon,
+                    config.max_tie_variants,
+                );
+                rock_graph::vote_select(&variants).parent.clone()
+            } else {
+                min_spanning_forest(graph).parent
+            }
+        });
+        let mut hierarchy: Forest<Addr> = Forest::new();
+        for ((fi, family), outcome) in families.iter().enumerate().zip(lifted) {
+            let parent = match outcome {
+                Ok(parent) => parent,
+                Err(msg) => {
+                    self.sink.record(StageError {
+                        stage: Stage::Lifting,
+                        subject: Subject::Family(fi),
+                        kind: FaultKind::Panicked(msg),
+                        severity: Severity::Error,
+                    });
+                    self.coverage.families_degraded += 1;
+                    vec![None; family.len()]
+                }
+            };
+            for (i, p) in parent.iter().enumerate() {
+                hierarchy.insert(family[i], p.map(|pi| family[pi]));
+            }
+        }
+        self.coverage.families_lifted =
+            self.coverage.families_total - self.coverage.families_degraded;
+        self.hierarchy = Some(hierarchy);
+        self.timings.lifting = stage.elapsed();
+    }
+
+    /// Replaces the diagnostic sink and coverage with a checkpoint
+    /// snapshot (the cumulative state at the restored stage's boundary).
+    fn restore_observability(&mut self, diagnostics: Vec<StageError>, coverage: Coverage) {
+        let sink = DiagnosticSink::default();
+        for e in diagnostics {
+            sink.record(e);
+        }
+        self.sink = sink;
+        self.coverage = coverage;
+    }
+
+    /// Checks that `stage` is the one the cursor expects, then moves the
+    /// cursor past it.
+    fn accept_restore(&mut self, stage: StageId) -> Result<(), RestoreError> {
+        if self.cursor != Some(stage) {
+            return Err(RestoreError { restoring: stage, expected: self.cursor });
+        }
+        self.cursor = stage.next();
+        Ok(())
+    }
+
+    /// Restores the behavioral-analysis stage from a checkpoint.
+    ///
+    /// The incidents carried by `analysis` are *not* re-folded into
+    /// coverage — the snapshot already accounts for them.
+    pub fn restore_analysis(
+        &mut self,
+        analysis: Analysis,
+        diagnostics: Vec<StageError>,
+        coverage: Coverage,
+    ) -> Result<(), RestoreError> {
+        self.accept_restore(StageId::Analysis)?;
+        self.restore_observability(diagnostics, coverage);
+        self.analysis = Some(analysis);
+        Ok(())
+    }
+
+    /// Restores the training stage from a checkpoint: re-derives each
+    /// listed model from the (already restored) analysis artifact.
+    ///
+    /// SLM parameters are a deterministic function of the type's tracelet
+    /// pool and the configured depth (symbol ids are assigned in `Ord`
+    /// order, trie counts are additive), so retraining reproduces the
+    /// original models bit for bit — the checkpoint only has to pin
+    /// *which* types trained successfully. Crucially, no fault is
+    /// injected here: a plan that would panic the live training stage
+    /// cannot touch a restored one.
+    pub fn restore_models(
+        &mut self,
+        trained: &[Addr],
+        diagnostics: Vec<StageError>,
+        coverage: Coverage,
+    ) -> Result<(), RestoreError> {
+        self.accept_restore(StageId::Training)?;
+        let analysis = self.analysis.as_ref().expect("restore order guarantees analysis");
+        let config = self.rock.config();
+        let retrained = crate::par::par_map(config.parallelism, trained, |&addr| {
+            let mut m = Slm::new(config.analysis.slm_depth);
+            for t in analysis.tracelets().of_type(addr) {
+                m.train(t);
+            }
+            m.finalize();
+            m
+        });
+        let models: BTreeMap<Addr, Slm<Event>> = trained.iter().copied().zip(retrained).collect();
+        self.ensure_structural();
+        self.set_models(models);
+        self.restore_observability(diagnostics, coverage);
+        Ok(())
+    }
+
+    /// Restores the distance stage from a checkpoint: installs the scored
+    /// edges and replays the family digraph assembly from them.
+    ///
+    /// The replay walks families, children, and candidate parents in the
+    /// same order as the live stage, inserting exactly the edges the
+    /// checkpoint accepted — so the digraphs (and therefore every
+    /// downstream tie-break in the arborescence search) are bit-identical
+    /// to the uninterrupted run's.
+    pub fn restore_distances(
+        &mut self,
+        distances: BTreeMap<(Addr, Addr), f64>,
+        diagnostics: Vec<StageError>,
+        coverage: Coverage,
+    ) -> Result<(), RestoreError> {
+        self.accept_restore(StageId::Distances)?;
+        self.ensure_structural();
+        let structural = self.structural.as_ref().expect("restore order guarantees structural");
+        let families = structural.families();
+        let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
+        for (fi, family) in families.iter().enumerate() {
+            let index: BTreeMap<Addr, usize> =
+                family.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+            for &child in family {
+                for parent in structural.possible_parents().of(child) {
+                    if !index.contains_key(&parent) {
+                        self.timings.foreign_candidates += 1;
+                        continue;
+                    }
+                    if let Some(&d) = distances.get(&(parent, child)) {
+                        graphs[fi].add_edge(index[&parent], index[&child], d);
+                        self.timings.edge_count += 1;
+                    }
+                }
+            }
+        }
+        self.distances = Some(distances);
+        self.graphs = Some(graphs);
+        self.restore_observability(diagnostics, coverage);
+        Ok(())
+    }
+
+    /// Restores the lifting stage from a checkpoint.
+    pub fn restore_hierarchy(
+        &mut self,
+        hierarchy: Forest<Addr>,
+        diagnostics: Vec<StageError>,
+        coverage: Coverage,
+    ) -> Result<(), RestoreError> {
+        self.accept_restore(StageId::Lifting)?;
+        self.hierarchy = Some(hierarchy);
+        self.restore_observability(diagnostics, coverage);
+        Ok(())
+    }
+
+    /// Completes the run: optional repartitioning, final counters, and
+    /// the assembled [`Reconstruction`].
+    ///
+    /// # Panics
+    ///
+    /// If stages are still pending ([`StagedRun::is_done`] is `false`).
+    pub fn finish(mut self) -> Reconstruction {
+        assert!(self.is_done(), "finish() with stage {:?} still pending", self.cursor);
+        self.ensure_structural();
+        let structural = self.structural.take().expect("structural ensured");
+        let analysis = self.analysis.take().expect("analysis ran or was restored");
+        let models = self.models.take().expect("training ran or was restored");
+        let mut distances = self.distances.take().expect("distances ran or were restored");
+        let mut hierarchy = self.hierarchy.take().expect("lifting ran or was restored");
+        let config = *self.rock.config();
+
+        if config.repartition_families {
+            let stage = Instant::now();
+            crate::pipeline::repartition(
+                &mut hierarchy,
+                &mut distances,
+                &structural,
+                &models,
+                self.loaded,
+                config.metric,
+                self.rock.cache(),
+                config.parallelism,
+            );
+            self.timings.repartition = stage.elapsed();
+        }
+
+        self.timings.cache_hits = self.rock.cache().hits() - self.cache_hits0;
+        self.timings.cache_misses = self.rock.cache().misses() - self.cache_misses0;
+        self.timings.skipped_functions =
+            self.coverage.functions_skipped + self.coverage.functions_timed_out;
+        self.timings.rejected_vtables = self.coverage.vtables_rejected;
+        let dropped = self.sink.dropped();
+        let diagnostics = self.sink.into_entries();
+        self.timings.diagnostics_bytes = diagnostics.iter().map(StageError::approx_bytes).sum();
+        if dropped > 0 {
+            eprintln!("rock: diagnostic sink overflowed; {dropped} entries dropped");
+        }
+        self.timings.total = self.run_start.elapsed();
+
+        assemble_reconstruction(
+            hierarchy,
+            structural,
+            analysis,
+            distances,
+            self.timings,
+            diagnostics,
+            self.coverage,
+            config.metric,
+            models,
+            self.rock.cache().clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RockConfig;
+    use rock_minicpp::{compile, CompileOptions, ProgramBuilder};
+
+    fn loaded_sample() -> LoadedBinary {
+        let mut p = ProgramBuilder::new();
+        p.class("A").method("m0", |b| {
+            b.ret();
+        });
+        p.class("B").base("A").method("m1", |b| {
+            b.ret();
+        });
+        p.func("drive", |f| {
+            f.new_obj("b", "B");
+            f.vcall("b", "m0", vec![]);
+            f.vcall("b", "m1", vec![]);
+            f.ret();
+        });
+        let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+        LoadedBinary::load(compiled.stripped_image()).unwrap()
+    }
+
+    #[test]
+    fn stage_order_and_names() {
+        assert_eq!(StageId::ALL.len(), 4);
+        assert_eq!(StageId::Analysis.next(), Some(StageId::Training));
+        assert_eq!(StageId::Lifting.next(), None);
+        assert_eq!(StageId::Distances.to_string(), "distances");
+    }
+
+    #[test]
+    fn staged_run_matches_monolithic_reconstruct() {
+        let loaded = loaded_sample();
+        let rock = Rock::new(RockConfig::paper());
+        let direct = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+
+        let mut run = rock.begin(&loaded);
+        let mut order = Vec::new();
+        while !run.is_done() {
+            order.push(run.advance().expect("non-strict advance cannot fail").unwrap());
+        }
+        assert_eq!(order, StageId::ALL);
+        assert_eq!(run.advance().unwrap(), None, "advancing a done run is a no-op");
+        let staged = run.finish();
+        assert_eq!(staged.hierarchy, direct.hierarchy);
+        assert_eq!(staged.distances, direct.distances);
+        assert_eq!(staged.coverage, direct.coverage);
+        assert_eq!(staged.diagnostics, direct.diagnostics);
+    }
+
+    #[test]
+    fn restores_must_follow_cursor_order() {
+        let loaded = loaded_sample();
+        let rock = Rock::new(RockConfig::paper());
+        let mut run = rock.begin(&loaded);
+        let err = run
+            .restore_models(&[], Vec::new(), Coverage::default())
+            .expect_err("training restore before analysis must fail");
+        assert_eq!(err.restoring, StageId::Training);
+        assert_eq!(err.expected, Some(StageId::Analysis));
+        assert!(err.to_string().contains("expects analysis next"));
+        // After running everything, no further restore is accepted.
+        while !run.is_done() {
+            run.advance().unwrap();
+        }
+        let err = run
+            .restore_hierarchy(Forest::new(), Vec::new(), Coverage::default())
+            .expect_err("restore after completion must fail");
+        assert_eq!(err.expected, None);
+        assert!(err.to_string().contains("already complete"));
+    }
+
+    #[test]
+    fn full_restore_chain_reproduces_the_run() {
+        let loaded = loaded_sample();
+        let rock = Rock::new(RockConfig::paper());
+
+        // Live run, snapshotting at every boundary.
+        let mut live = rock.begin(&loaded);
+        let mut snaps = Vec::new();
+        while !live.is_done() {
+            live.advance().unwrap();
+            snaps.push((live.diagnostics_snapshot(), live.coverage()));
+        }
+        let analysis = live.analysis().unwrap().clone();
+        let trained: Vec<Addr> = live.models().unwrap().keys().copied().collect();
+        let distances = live.distances().unwrap().clone();
+        let hierarchy = live.hierarchy().unwrap().clone();
+        let original = live.finish();
+
+        // Resumed run: everything restored, nothing executed.
+        let rock2 = Rock::new(RockConfig::paper());
+        let mut resumed = rock2.begin(&loaded);
+        resumed.restore_analysis(analysis, snaps[0].0.clone(), snaps[0].1).unwrap();
+        resumed.restore_models(&trained, snaps[1].0.clone(), snaps[1].1).unwrap();
+        resumed.restore_distances(distances, snaps[2].0.clone(), snaps[2].1).unwrap();
+        resumed.restore_hierarchy(hierarchy, snaps[3].0.clone(), snaps[3].1).unwrap();
+        assert!(resumed.is_done());
+        let replayed = resumed.finish();
+
+        assert_eq!(replayed.hierarchy, original.hierarchy);
+        assert_eq!(replayed.coverage, original.coverage);
+        assert_eq!(replayed.diagnostics, original.diagnostics);
+        assert_eq!(replayed.distances.len(), original.distances.len());
+        for (k, d) in &original.distances {
+            assert_eq!(d.to_bits(), replayed.distances[k].to_bits(), "distance bits for {k:?}");
+        }
+    }
+}

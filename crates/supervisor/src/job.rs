@@ -1,0 +1,711 @@
+//! The supervised job runner: watchdog deadline, retry ladder,
+//! checkpoint/resume, and per-job reports.
+//!
+//! One *job* is one binary image to reconstruct. The supervisor drives
+//! the staged pipeline ([`rock_core::StagedRun`]) and wraps it in
+//! policy:
+//!
+//! * **Checkpointing** — after every completed stage the stage artifact
+//!   is saved to the [`ArtifactStore`]. With `resume` on, the next run
+//!   of the same (image, config) restores the completed prefix and
+//!   skips straight to the first unfinished stage. Restored state is
+//!   bit-identical to live state, so an interrupted-then-resumed job
+//!   equals an uninterrupted one.
+//! * **Watchdog** — an optional per-job wall-clock deadline, checked
+//!   cooperatively at stage boundaries. A blown deadline does not kill
+//!   the job: it short-circuits to the structural-only fallback.
+//! * **Retry ladder** — a faulting attempt is retried down the
+//!   [`Rung`] ladder under the [`rock_budget::RetryPolicy`]'s backoff
+//!   schedule. The schedule is *recorded*, and only slept when
+//!   [`SupervisorOptions::sleep_backoff`] is set, which keeps every
+//!   test of the retry logic clock-free.
+//! * **Graceful floor** — if the ladder is exhausted the job still
+//!   emits a structural-only hierarchy with diagnostics; a loadable
+//!   image never produces an empty result.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rock_binary::{image_from_bytes, Addr};
+use rock_budget::{Deadline, RetryPolicy};
+use rock_core::{FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId, StagedRun};
+use rock_graph::Forest;
+use rock_loader::LoadedBinary;
+use rock_structural::Structural;
+
+use crate::artifact::{content_key, ArtifactStore, Checkpoint, StagePayload, StoreError};
+use crate::ladder::{structural_only_hierarchy, Rung};
+
+/// Typed process exit codes for supervised runs (documented in the
+/// README; the CLI maps a batch to the numerically largest per-job
+/// code, so the worst condition in the batch wins).
+pub mod exit {
+    /// Every job completed at full strength with complete coverage.
+    pub const OK: u8 = 0;
+    /// A job was interrupted at a stage boundary (fault injection).
+    pub const INTERRUPTED: u8 = 1;
+    /// A job completed, but degraded: a lower ladder rung, contained
+    /// faults, or incomplete coverage.
+    pub const DEGRADED: u8 = 2;
+    /// A job failed outright: unloadable image, or strict mode hit an
+    /// error-severity diagnostic.
+    pub const FAILED: u8 = 3;
+    /// A job blew its wall-clock deadline (structural fallback emitted).
+    pub const DEADLINE: u8 = 4;
+    /// Resume was requested but the job's artifacts were corrupt (the
+    /// job recomputed from scratch; the damage is still surfaced).
+    pub const RESUME_CORRUPT: u8 = 5;
+}
+
+/// Supervision policy, orthogonal to the reconstruction config.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorOptions {
+    /// Retry count + backoff curve for the ladder's middle rungs.
+    pub retry: RetryPolicy,
+    /// Per-job wall-clock deadline in milliseconds (`None`: no watchdog).
+    pub deadline_ms: Option<u64>,
+    /// Restore checkpointed stages instead of re-running them.
+    pub resume: bool,
+    /// Actually sleep the backoff delays. Off by default so retry
+    /// behavior is testable without a wall clock; the schedule is
+    /// recorded in the report either way.
+    pub sleep_backoff: bool,
+    /// Abort the batch after this many hard failures (code ≥ 3).
+    pub max_failures: Option<usize>,
+}
+
+/// How one job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Full-strength success with complete coverage.
+    Ok,
+    /// Interrupted at a stage boundary by the fault plan (the simulated
+    /// crash of the resume tests; checkpoints up to the boundary are on
+    /// disk).
+    Interrupted(StageId),
+    /// Completed, but on a lower rung and/or with contained faults.
+    Degraded(Rung),
+    /// No result: unloadable image or a strict-mode failure.
+    Failed(String),
+    /// The watchdog fired; the structural-only fallback was emitted.
+    DeadlineBlown,
+}
+
+impl JobOutcome {
+    /// Stable lowercase name (reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::Interrupted(_) => "interrupted",
+            JobOutcome::Degraded(_) => "degraded",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::DeadlineBlown => "deadline",
+        }
+    }
+
+    /// The exit-code contribution of this outcome alone (corrupt-resume
+    /// is tracked separately and folded in by [`JobReport::exit_code`]).
+    pub fn code(&self) -> u8 {
+        match self {
+            JobOutcome::Ok => exit::OK,
+            JobOutcome::Interrupted(_) => exit::INTERRUPTED,
+            JobOutcome::Degraded(_) => exit::DEGRADED,
+            JobOutcome::Failed(_) => exit::FAILED,
+            JobOutcome::DeadlineBlown => exit::DEADLINE,
+        }
+    }
+}
+
+impl fmt::Display for JobOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobOutcome::Interrupted(s) => write!(f, "interrupted after {s}"),
+            JobOutcome::Degraded(r) => write!(f, "degraded ({r})"),
+            JobOutcome::Failed(why) => write!(f, "failed: {why}"),
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+/// One ladder attempt, as recorded in the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// The rung this attempt ran on.
+    pub rung: Rung,
+    /// The backoff delay scheduled before this attempt (recorded even
+    /// when `sleep_backoff` is off).
+    pub backoff_ms: u64,
+    /// What happened ("ok", "panicked: ...", "deadline", ...).
+    pub result: String,
+}
+
+/// The machine-readable summary of one supervised job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Job name (usually the image file stem).
+    pub name: String,
+    /// Content key of the full-strength configuration (the canonical
+    /// artifact-store slot for this job).
+    pub key: u64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Every attempt, in order, including the fallback if it ran.
+    pub attempts: Vec<AttemptRecord>,
+    /// Stages skipped by restoring checkpoints instead of re-running.
+    pub restored: Vec<StageId>,
+    /// Resume found corrupt artifacts (wiped and recomputed).
+    pub resume_corrupt: bool,
+    /// Error-severity diagnostics in the final result.
+    pub errors: usize,
+    /// Warning-severity diagnostics in the final result.
+    pub warnings: usize,
+    /// Types in the emitted hierarchy.
+    pub types: usize,
+    /// Roots in the emitted hierarchy.
+    pub roots: usize,
+    /// Wall-clock time spent on the job.
+    pub elapsed_ms: u64,
+}
+
+impl JobReport {
+    /// The job's process exit code: the outcome's code, raised to
+    /// [`exit::RESUME_CORRUPT`] if resume found damaged artifacts.
+    pub fn exit_code(&self) -> u8 {
+        let base = self.outcome.code();
+        if self.resume_corrupt {
+            base.max(exit::RESUME_CORRUPT)
+        } else {
+            base
+        }
+    }
+
+    /// Renders the report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"name\":\"{}\",", json_escape(&self.name)));
+        s.push_str(&format!("\"key\":\"{:016x}\",", self.key));
+        s.push_str(&format!("\"outcome\":\"{}\",", self.outcome.name()));
+        if let JobOutcome::Degraded(rung) = &self.outcome {
+            s.push_str(&format!("\"rung\":\"{rung}\","));
+        }
+        if let JobOutcome::Failed(why) = &self.outcome {
+            s.push_str(&format!("\"reason\":\"{}\",", json_escape(why)));
+        }
+        if let JobOutcome::Interrupted(stage) = &self.outcome {
+            s.push_str(&format!("\"interrupted_after\":\"{stage}\","));
+        }
+        s.push_str(&format!("\"exit_code\":{},", self.exit_code()));
+        s.push_str("\"attempts\":[");
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rung\":\"{}\",\"backoff_ms\":{},\"result\":\"{}\"}}",
+                a.rung,
+                a.backoff_ms,
+                json_escape(&a.result)
+            ));
+        }
+        s.push_str("],");
+        s.push_str("\"restored\":[");
+        for (i, stage) in self.restored.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{stage}\""));
+        }
+        s.push_str("],");
+        s.push_str(&format!("\"resume_corrupt\":{},", self.resume_corrupt));
+        s.push_str(&format!("\"errors\":{},", self.errors));
+        s.push_str(&format!("\"warnings\":{},", self.warnings));
+        s.push_str(&format!("\"types\":{},", self.types));
+        s.push_str(&format!("\"roots\":{},", self.roots));
+        s.push_str(&format!("\"elapsed_ms\":{}", self.elapsed_ms));
+        s.push('}');
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// What a job actually produced.
+#[derive(Clone, Debug)]
+pub enum JobOutput {
+    /// The full pipeline result (possibly from a reduced rung).
+    Full(Box<Reconstruction>),
+    /// The bottom-rung fallback: hierarchy + structural facts + the
+    /// issues that forced the degradation.
+    StructuralOnly {
+        /// The structurally-determined hierarchy.
+        hierarchy: Forest<Addr>,
+        /// The structural analysis it was read from.
+        structural: Structural,
+        /// Rendered diagnostics: load issues + failed-attempt records.
+        issues: Vec<String>,
+    },
+    /// Nothing: the image did not load, strict mode failed the run, or
+    /// the run was interrupted.
+    None,
+}
+
+impl JobOutput {
+    /// The emitted hierarchy, if any.
+    pub fn hierarchy(&self) -> Option<&Forest<Addr>> {
+        match self {
+            JobOutput::Full(r) => Some(&r.hierarchy),
+            JobOutput::StructuralOnly { hierarchy, .. } => Some(hierarchy),
+            JobOutput::None => None,
+        }
+    }
+}
+
+/// Report plus output for one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The machine-readable summary.
+    pub report: JobReport,
+    /// The reconstruction (or fallback) itself.
+    pub output: JobOutput,
+}
+
+/// The outcome of a whole batch.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-job results, in submission order (prefix only if aborted).
+    pub jobs: Vec<JobResult>,
+    /// Numerically largest per-job exit code (0 for an empty batch).
+    pub exit_code: u8,
+    /// `Some(n)`: the batch stopped after `n` jobs because
+    /// [`SupervisorOptions::max_failures`] tripped.
+    pub aborted_after: Option<usize>,
+}
+
+/// Drives supervised reconstructions against one artifact store.
+pub struct Supervisor {
+    config: RockConfig,
+    options: SupervisorOptions,
+    store: ArtifactStore,
+    fault: Option<Arc<FaultPlan>>,
+}
+
+enum AttemptOutcome {
+    Completed(Box<Reconstruction>),
+    Strict(String),
+    Interrupted(StageId),
+    Deadline,
+    Panicked(String),
+}
+
+impl Supervisor {
+    /// A supervisor reconstructing under `config` with checkpoints in
+    /// `store`.
+    pub fn new(config: RockConfig, store: ArtifactStore, options: SupervisorOptions) -> Self {
+        Supervisor { config, options, store, fault: None }
+    }
+
+    /// Attaches a fault plan (tests: injected panics + stage
+    /// interrupts). The plan reaches the pipeline *and* the
+    /// supervisor's interrupt checks.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The artifact store this supervisor checkpoints into.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// The canonical (full-rung) content key of an image under this
+    /// supervisor's config.
+    pub fn job_key(&self, image_bytes: &[u8]) -> u64 {
+        content_key(image_bytes, &Rung::Full.apply(&self.config))
+    }
+
+    /// Runs one job to a report + output. Never panics; never returns
+    /// an empty output for a loadable image unless the run is strict,
+    /// failed, or interrupted.
+    pub fn run_job(&self, name: &str, image_bytes: &[u8]) -> JobResult {
+        let start = Instant::now();
+        let key = self.job_key(image_bytes);
+        let mut report = JobReport {
+            name: name.to_string(),
+            key,
+            outcome: JobOutcome::Ok,
+            attempts: Vec::new(),
+            restored: Vec::new(),
+            resume_corrupt: false,
+            errors: 0,
+            warnings: 0,
+            types: 0,
+            roots: 0,
+            elapsed_ms: 0,
+        };
+        let image = match image_from_bytes(image_bytes) {
+            Ok(image) => image,
+            Err(e) => {
+                report.outcome = JobOutcome::Failed(format!("unloadable image: {e}"));
+                report.errors = 1;
+                report.elapsed_ms = start.elapsed().as_millis() as u64;
+                return JobResult { report, output: JobOutput::None };
+            }
+        };
+        let loaded = LoadedBinary::load_lenient(image);
+        let deadline = Deadline::from_config(self.options.deadline_ms);
+
+        let mut fall_through_to_fallback = false;
+        let mut output = JobOutput::None;
+        let total_attempts = 1 + self.options.retry.max_retries();
+        let mut attempt = 0u32;
+        loop {
+            if attempt >= total_attempts {
+                fall_through_to_fallback = true;
+                break;
+            }
+            let rung = if attempt == 0 { Rung::Full } else { Rung::Reduced };
+            let backoff_ms =
+                if attempt == 0 { 0 } else { self.options.retry.backoff_ms(attempt - 1) };
+            if backoff_ms > 0 && self.options.sleep_backoff {
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+            }
+            if deadline.expired() {
+                report.attempts.push(AttemptRecord { rung, backoff_ms, result: "deadline".into() });
+                report.outcome = JobOutcome::DeadlineBlown;
+                fall_through_to_fallback = true;
+                break;
+            }
+            match self.attempt(attempt, rung, &loaded, image_bytes, &deadline, &mut report) {
+                AttemptOutcome::Completed(recon) => {
+                    report.attempts.push(AttemptRecord { rung, backoff_ms, result: "ok".into() });
+                    report.errors = count_severity(&recon, Severity::Error);
+                    report.warnings = count_severity(&recon, Severity::Warning);
+                    report.types = recon.hierarchy.len();
+                    report.roots = recon.hierarchy.roots().len();
+                    report.outcome =
+                        if rung == Rung::Full && report.errors == 0 && recon.coverage.is_complete()
+                        {
+                            JobOutcome::Ok
+                        } else {
+                            JobOutcome::Degraded(rung)
+                        };
+                    output = JobOutput::Full(recon);
+                    break;
+                }
+                AttemptOutcome::Strict(why) => {
+                    report.attempts.push(AttemptRecord {
+                        rung,
+                        backoff_ms,
+                        result: format!("strict: {why}"),
+                    });
+                    // Strict failures are deterministic — retrying or
+                    // degrading would betray the mode's contract.
+                    report.outcome = JobOutcome::Failed(why);
+                    report.errors = 1;
+                    break;
+                }
+                AttemptOutcome::Interrupted(stage) => {
+                    report.attempts.push(AttemptRecord {
+                        rung,
+                        backoff_ms,
+                        result: format!("interrupted after {stage}"),
+                    });
+                    report.outcome = JobOutcome::Interrupted(stage);
+                    break;
+                }
+                AttemptOutcome::Deadline => {
+                    report.attempts.push(AttemptRecord {
+                        rung,
+                        backoff_ms,
+                        result: "deadline".into(),
+                    });
+                    report.outcome = JobOutcome::DeadlineBlown;
+                    fall_through_to_fallback = true;
+                    break;
+                }
+                AttemptOutcome::Panicked(msg) => {
+                    report.attempts.push(AttemptRecord {
+                        rung,
+                        backoff_ms,
+                        result: format!("panicked: {msg}"),
+                    });
+                    attempt += 1;
+                }
+            }
+        }
+
+        if fall_through_to_fallback {
+            // The graceful floor: no deadline check, no faults, no
+            // retries — a loadable image always yields a hierarchy.
+            let (hierarchy, structural) = structural_only_hierarchy(&loaded, &self.config.analysis);
+            let mut issues: Vec<String> = loaded.issues().iter().map(|i| i.to_string()).collect();
+            issues.extend(
+                report
+                    .attempts
+                    .iter()
+                    .filter(|a| a.result != "ok")
+                    .map(|a| format!("attempt on rung {}: {}", a.rung, a.result)),
+            );
+            report.attempts.push(AttemptRecord {
+                rung: Rung::StructuralOnly,
+                backoff_ms: 0,
+                result: "ok".into(),
+            });
+            if report.outcome != JobOutcome::DeadlineBlown {
+                report.outcome = JobOutcome::Degraded(Rung::StructuralOnly);
+            }
+            report.errors = issues.len();
+            report.types = hierarchy.len();
+            report.roots = hierarchy.roots().len();
+            output = JobOutput::StructuralOnly { hierarchy, structural, issues };
+        }
+
+        report.elapsed_ms = start.elapsed().as_millis() as u64;
+        JobResult { report, output }
+    }
+
+    /// Runs a batch of `(name, image bytes)` jobs sequentially.
+    pub fn run_batch(&self, jobs: &[(String, Vec<u8>)]) -> BatchResult {
+        let mut results = Vec::new();
+        let mut failures = 0usize;
+        let mut aborted_after = None;
+        for (i, (name, bytes)) in jobs.iter().enumerate() {
+            let r = self.run_job(name, bytes);
+            if r.report.exit_code() >= exit::FAILED {
+                failures += 1;
+            }
+            results.push(r);
+            if let Some(max) = self.options.max_failures {
+                if failures >= max && i + 1 < jobs.len() {
+                    aborted_after = Some(i + 1);
+                    break;
+                }
+            }
+        }
+        let exit_code = results.iter().map(|r| r.report.exit_code()).max().unwrap_or(exit::OK);
+        BatchResult { jobs: results, exit_code, aborted_after }
+    }
+
+    /// One pipeline attempt on `rung`: resume the checkpointed prefix,
+    /// advance the rest live, checkpoint each completed stage, honor
+    /// interrupt directives and the watchdog. Panics are contained and
+    /// reported, never propagated.
+    fn attempt(
+        &self,
+        attempt: u32,
+        rung: Rung,
+        loaded: &LoadedBinary,
+        image_bytes: &[u8],
+        deadline: &Deadline,
+        report: &mut JobReport,
+    ) -> AttemptOutcome {
+        let config = rung.apply(&self.config);
+        let key = content_key(image_bytes, &config);
+        let mut rock = Rock::new(config);
+        if let Some(plan) = &self.fault {
+            rock = rock.with_fault_plan(plan.clone());
+        }
+        let mut restored: Vec<StageId> = Vec::new();
+        let mut resume_corrupt = false;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if self.fault.as_ref().is_some_and(|p| p.should_fail_attempt(attempt)) {
+                panic!("injected attempt fault");
+            }
+            let mut run = rock.begin(loaded);
+            if self.options.resume {
+                self.restore_prefix(&mut run, key, &mut restored, &mut resume_corrupt);
+            }
+            loop {
+                if deadline.expired() {
+                    return AttemptOutcome::Deadline;
+                }
+                match run.advance() {
+                    Err(e) => return AttemptOutcome::Strict(e.to_string()),
+                    Ok(None) => break,
+                    Ok(Some(stage)) => {
+                        if let Some(cp) = checkpoint_of(&run, stage) {
+                            // A failed save must not fail the job: the
+                            // stage already ran; only resume is lost.
+                            let _ = self.store.save(key, &cp);
+                        }
+                        if self.fault.as_ref().is_some_and(|p| p.should_interrupt_after(stage)) {
+                            return AttemptOutcome::Interrupted(stage);
+                        }
+                    }
+                }
+            }
+            AttemptOutcome::Completed(Box::new(run.finish()))
+        }));
+        report.restored.extend(restored);
+        report.resume_corrupt |= resume_corrupt;
+        match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => AttemptOutcome::Panicked(panic_message(&payload)),
+        }
+    }
+
+    /// Restores the contiguous checkpointed prefix into `run`. Corrupt
+    /// or out-of-order artifacts invalidate the whole job slot and fall
+    /// back to live execution from the start.
+    fn restore_prefix(
+        &self,
+        run: &mut StagedRun<'_>,
+        key: u64,
+        restored: &mut Vec<StageId>,
+        resume_corrupt: &mut bool,
+    ) {
+        let prefix = match self.store.completed_prefix(key) {
+            Ok(prefix) => prefix,
+            Err(StoreError::Corrupt { .. }) => {
+                *resume_corrupt = true;
+                let _ = self.store.invalidate(key);
+                return;
+            }
+            Err(StoreError::Io(_)) => return,
+        };
+        for cp in prefix {
+            let stage = cp.payload.stage();
+            let Checkpoint { payload, diagnostics, coverage } = cp;
+            let ok = match payload {
+                StagePayload::Analysis(a) => run.restore_analysis(a, diagnostics, coverage),
+                StagePayload::Training(t) => run.restore_models(&t, diagnostics, coverage),
+                StagePayload::Distances(d) => run.restore_distances(d, diagnostics, coverage),
+                StagePayload::Hierarchy(h) => run.restore_hierarchy(h, diagnostics, coverage),
+            };
+            match ok {
+                Ok(()) => restored.push(stage),
+                Err(_) => {
+                    // completed_prefix is ordered, so this means the
+                    // store and the run disagree — treat as corruption.
+                    *resume_corrupt = true;
+                    let _ = self.store.invalidate(key);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Snapshots the stage that just completed into a checkpoint.
+fn checkpoint_of(run: &StagedRun<'_>, stage: StageId) -> Option<Checkpoint> {
+    let payload = match stage {
+        StageId::Analysis => StagePayload::Analysis(run.analysis()?.clone()),
+        StageId::Training => StagePayload::Training(run.models()?.keys().copied().collect()),
+        StageId::Distances => StagePayload::Distances(run.distances()?.clone()),
+        StageId::Lifting => StagePayload::Hierarchy(run.hierarchy()?.clone()),
+    };
+    Some(Checkpoint { payload, diagnostics: run.diagnostics_snapshot(), coverage: run.coverage() })
+}
+
+fn count_severity(recon: &Reconstruction, severity: Severity) -> usize {
+    recon.diagnostics.iter().filter(|e| e.severity == severity).count()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_ordered_by_badness() {
+        let codes = [
+            JobOutcome::Ok.code(),
+            JobOutcome::Interrupted(StageId::Analysis).code(),
+            JobOutcome::Degraded(Rung::Reduced).code(),
+            JobOutcome::Failed("x".into()).code(),
+            JobOutcome::DeadlineBlown.code(),
+        ];
+        assert_eq!(codes, [0, 1, 2, 3, 4]);
+        let mut sorted = codes;
+        sorted.sort_unstable();
+        assert_eq!(sorted, codes, "worse outcomes have larger codes");
+        assert_eq!(exit::RESUME_CORRUPT, 5);
+    }
+
+    #[test]
+    fn resume_corruption_dominates_the_exit_code() {
+        let mut report = JobReport {
+            name: "j".into(),
+            key: 1,
+            outcome: JobOutcome::Ok,
+            attempts: Vec::new(),
+            restored: Vec::new(),
+            resume_corrupt: false,
+            errors: 0,
+            warnings: 0,
+            types: 0,
+            roots: 0,
+            elapsed_ms: 0,
+        };
+        assert_eq!(report.exit_code(), exit::OK);
+        report.resume_corrupt = true;
+        assert_eq!(report.exit_code(), exit::RESUME_CORRUPT);
+        report.outcome = JobOutcome::DeadlineBlown;
+        assert_eq!(report.exit_code(), exit::RESUME_CORRUPT, "5 > 4");
+    }
+
+    #[test]
+    fn report_json_is_escaped_and_structured() {
+        let report = JobReport {
+            name: "a\"b\\c\nd".into(),
+            key: 0xAB,
+            outcome: JobOutcome::Failed("strict \"quote\"".into()),
+            attempts: vec![AttemptRecord {
+                rung: Rung::Full,
+                backoff_ms: 0,
+                result: "strict: boom".into(),
+            }],
+            restored: vec![StageId::Analysis, StageId::Training],
+            resume_corrupt: false,
+            errors: 1,
+            warnings: 2,
+            types: 3,
+            roots: 1,
+            elapsed_ms: 7,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"name\":\"a\\\"b\\\\c\\nd\""));
+        assert!(json.contains("\"key\":\"00000000000000ab\""));
+        assert!(json.contains("\"outcome\":\"failed\""));
+        assert!(json.contains("\"reason\":\"strict \\\"quote\\\"\""));
+        assert!(json.contains("\"exit_code\":3"));
+        assert!(json.contains("\"restored\":[\"analysis\",\"training\"]"));
+        assert!(json.contains("\"backoff_ms\":0"));
+        assert!(!json.contains('\n'), "single-line record");
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        let e = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(&*e), "static str");
+        let e = catch_unwind(|| panic!("{}", String::from("owned"))).unwrap_err();
+        assert_eq!(panic_message(&*e), "owned");
+        let e = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(&*e), "opaque panic payload");
+    }
+}

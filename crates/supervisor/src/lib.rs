@@ -1,0 +1,40 @@
+//! Supervised batch runtime for Rock reconstructions.
+//!
+//! `rock-core` makes a *single* reconstruction resilient (contained
+//! faults, typed diagnostics, a staged pipeline). This crate makes a
+//! *fleet* of reconstructions operable:
+//!
+//! * [`artifact`] — a versioned on-disk store of per-stage checkpoints,
+//!   keyed by a content hash of the image bytes + config fingerprint.
+//!   An interrupted job resumes from its last completed stage, and the
+//!   resumed output is bit-identical to an uninterrupted run (enforced
+//!   by the integration property tests in `tests/batch_resume.rs`).
+//! * [`ladder`] — the deterministic degradation ladder: full pipeline →
+//!   reduced analysis budgets → structural-only hierarchy. The bottom
+//!   rung cannot fail for a loadable image, so a supervised job never
+//!   returns empty-handed.
+//! * [`job`] — the [`job::Supervisor`] itself: watchdog deadlines
+//!   checked at stage boundaries, retries on the
+//!   [`rock_budget::RetryPolicy`] backoff schedule (recorded, and only
+//!   slept on request, so tests stay clock-free), per-job JSON reports,
+//!   and typed exit codes ([`job::exit`]).
+//! * [`wire`] — the hand-rolled, fully bounds-checked binary codec the
+//!   artifacts are framed in.
+//!
+//! The CLI's `rock batch` subcommand is a thin shell around
+//! [`job::Supervisor::run_batch`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod job;
+pub mod ladder;
+pub mod wire;
+
+pub use artifact::{content_key, ArtifactStore, Checkpoint, StagePayload, StoreError};
+pub use job::{
+    exit, AttemptRecord, BatchResult, JobOutcome, JobOutput, JobReport, JobResult, Supervisor,
+    SupervisorOptions,
+};
+pub use ladder::{structural_only_hierarchy, Rung};

@@ -1,10 +1,12 @@
 //! Umbrella crate re-exporting the Rock reproduction workspace.
 pub use rock_analysis as analysis;
 pub use rock_binary as binary;
+pub use rock_budget as budget;
 pub use rock_core as core;
 pub use rock_graph as graph;
 pub use rock_loader as loader;
 pub use rock_minicpp as minicpp;
 pub use rock_slm as slm;
 pub use rock_structural as structural;
+pub use rock_supervisor as supervisor;
 pub use rock_vm as vm;

@@ -1,0 +1,218 @@
+//! The checkpoint/resume contract of the supervised batch runtime:
+//! a job interrupted at **any** stage boundary and then resumed — even
+//! under a different thread count — produces a reconstruction
+//! bit-identical to an uninterrupted run. Distances are compared as raw
+//! f64 bits, not approximately.
+//!
+//! Also proven here: restored stages really are *restored*, not re-run —
+//! a fault plan poisoned to panic inside an already-checkpointed stage
+//! never fires on resume.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rock::binary::image_to_bytes;
+use rock::core::{suite, FaultPlan, Parallelism, Reconstruction, Rock, RockConfig, StageId};
+use rock::supervisor::{ArtifactStore, JobOutcome, JobOutput, Supervisor, SupervisorOptions};
+
+/// A scratch artifact-store root, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("rock-batch-resume-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::open(&self.0).unwrap()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn image_bytes() -> Vec<u8> {
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    image_to_bytes(&compiled.stripped_image())
+}
+
+fn config(par: Parallelism) -> RockConfig {
+    RockConfig::paper().with_parallelism(par)
+}
+
+fn options(resume: bool) -> SupervisorOptions {
+    SupervisorOptions { resume, ..SupervisorOptions::default() }
+}
+
+fn full(output: JobOutput) -> Reconstruction {
+    match output {
+        JobOutput::Full(recon) => *recon,
+        other => panic!("expected a full reconstruction, got {other:?}"),
+    }
+}
+
+/// Bit-level equality: hierarchy, structural pins, and every distance
+/// compared on raw bits.
+fn assert_bit_identical(a: &Reconstruction, b: &Reconstruction, what: &str) {
+    assert_eq!(a.hierarchy, b.hierarchy, "{what}: hierarchy diverged");
+    assert_eq!(a.distances.len(), b.distances.len(), "{what}: distance count diverged");
+    for (key, d) in &a.distances {
+        let other = b.distances.get(key).unwrap_or_else(|| panic!("{what}: missing edge {key:?}"));
+        assert_eq!(d.to_bits(), other.to_bits(), "{what}: distance bits for {key:?}");
+    }
+    assert_eq!(a.structural.pinned(), b.structural.pinned(), "{what}: pins diverged");
+    assert_eq!(a.coverage, b.coverage, "{what}: coverage diverged");
+}
+
+const PARS: [Parallelism; 3] =
+    [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)];
+
+#[test]
+fn interrupt_at_every_stage_then_resume_is_bit_identical() {
+    let bytes = image_bytes();
+    let scratch = Scratch::new("every-stage");
+    let reference = {
+        let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(false));
+        let result = sup.run_job("ref", &bytes);
+        assert_eq!(result.report.outcome, JobOutcome::Ok);
+        full(result.output)
+    };
+
+    for stage in StageId::ALL {
+        for par in PARS {
+            let scratch = Scratch::new(&format!("{}-{par:?}", stage.name()));
+            // Crash the job right after `stage` checkpoints.
+            let sup = Supervisor::new(config(par), scratch.store(), options(true))
+                .with_fault_plan(Arc::new(FaultPlan::new().interrupt_after(stage)));
+            let crashed = sup.run_job("job", &bytes);
+            assert_eq!(
+                crashed.report.outcome,
+                JobOutcome::Interrupted(stage),
+                "interrupt after {stage:?} under {par:?}"
+            );
+            assert!(matches!(crashed.output, JobOutput::None), "a crash leaves no output");
+
+            // Resume with no faults: only the remaining stages run.
+            let sup = Supervisor::new(config(par), scratch.store(), options(true));
+            let resumed = sup.run_job("job", &bytes);
+            assert_eq!(resumed.report.outcome, JobOutcome::Ok, "resume after {stage:?}");
+            let expected: Vec<StageId> =
+                StageId::ALL.iter().copied().take_while(|s| *s <= stage).collect();
+            assert_eq!(
+                resumed.report.restored, expected,
+                "resume restores exactly the checkpointed prefix"
+            );
+            assert_bit_identical(
+                &full(resumed.output),
+                &reference,
+                &format!("interrupt@{stage:?} par={par:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_crosses_thread_counts() {
+    // Interrupt under one parallelism, resume under another: the content
+    // key deliberately excludes parallelism, so checkpoints transfer.
+    let bytes = image_bytes();
+    let reference = {
+        let scratch = Scratch::new("cross-ref");
+        let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(false));
+        full(sup.run_job("ref", &bytes).output)
+    };
+    for (crash_par, resume_par) in [
+        (Parallelism::Threads(8), Parallelism::Serial),
+        (Parallelism::Serial, Parallelism::Threads(2)),
+    ] {
+        let scratch = Scratch::new("cross");
+        let sup = Supervisor::new(config(crash_par), scratch.store(), options(true))
+            .with_fault_plan(Arc::new(FaultPlan::new().interrupt_after(StageId::Training)));
+        let crashed = sup.run_job("job", &bytes);
+        assert_eq!(crashed.report.outcome, JobOutcome::Interrupted(StageId::Training));
+
+        let sup = Supervisor::new(config(resume_par), scratch.store(), options(true));
+        let resumed = sup.run_job("job", &bytes);
+        assert_eq!(resumed.report.outcome, JobOutcome::Ok);
+        assert_eq!(resumed.report.restored, vec![StageId::Analysis, StageId::Training]);
+        assert_bit_identical(
+            &full(resumed.output),
+            &reference,
+            &format!("crash={crash_par:?} resume={resume_par:?}"),
+        );
+    }
+}
+
+#[test]
+fn restored_stages_skip_fault_injection() {
+    // Poison-plan proof: a plan that would panic every analyzed function
+    // cannot touch a restored analysis stage, because restore replays
+    // the checkpoint instead of re-running the work.
+    let bytes = image_bytes();
+    let image = rock::binary::image_from_bytes(&bytes).unwrap();
+    let loaded = rock::loader::LoadedBinary::load(image).unwrap();
+
+    let scratch = Scratch::new("poison");
+    let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true))
+        .with_fault_plan(Arc::new(FaultPlan::new().interrupt_after(StageId::Analysis)));
+    let crashed = sup.run_job("job", &bytes);
+    assert_eq!(crashed.report.outcome, JobOutcome::Interrupted(StageId::Analysis));
+
+    // Poison every function. A fresh run with this plan would be heavily
+    // degraded — prove that first.
+    let mut poison = FaultPlan::new();
+    for f in loaded.functions() {
+        poison = poison.panic_on(f.entry());
+    }
+    let poison = Arc::new(poison);
+    let degraded = Rock::new(config(Parallelism::Serial))
+        .with_fault_plan(Arc::clone(&poison))
+        .reconstruct(&loaded);
+    assert!(!degraded.diagnostics.is_empty(), "the poison plan must bite a fresh run");
+
+    // The resumed run carries the same poison, yet completes cleanly:
+    // analysis is restored, so no function is ever re-analyzed.
+    let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true))
+        .with_fault_plan(poison);
+    let resumed = sup.run_job("job", &bytes);
+    assert_eq!(resumed.report.outcome, JobOutcome::Ok, "restored stages must not re-run faults");
+    assert_eq!(resumed.report.restored, vec![StageId::Analysis]);
+    assert_eq!(resumed.report.errors, 0);
+}
+
+#[test]
+fn a_second_uninterrupted_run_restores_everything() {
+    let bytes = image_bytes();
+    let scratch = Scratch::new("warm");
+    let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true));
+    let first = sup.run_job("job", &bytes);
+    assert_eq!(first.report.outcome, JobOutcome::Ok);
+    assert!(first.report.restored.is_empty());
+
+    let second = sup.run_job("job", &bytes);
+    assert_eq!(second.report.outcome, JobOutcome::Ok);
+    assert_eq!(second.report.restored, StageId::ALL.to_vec());
+    assert_bit_identical(&full(second.output), &full(first.output), "warm rerun");
+}
+
+#[test]
+fn resume_off_ignores_a_populated_store() {
+    let bytes = image_bytes();
+    let scratch = Scratch::new("cold");
+    let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true));
+    assert_eq!(sup.run_job("job", &bytes).report.outcome, JobOutcome::Ok);
+
+    let cold = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(false));
+    let result = cold.run_job("job", &bytes);
+    assert_eq!(result.report.outcome, JobOutcome::Ok);
+    assert!(result.report.restored.is_empty(), "resume=false must recompute");
+}

@@ -1,0 +1,379 @@
+//! The fault-injection harness: every way the pipeline can be hurt —
+//! malformed images, adversarial sections, injected panics, starved
+//! budgets, skip directives — driven through one deterministic
+//! [`FaultPlan`] scaffold. The invariants:
+//!
+//! 1. **Survival** — no input or plan makes the pipeline panic; the
+//!    worst case is a degraded `Reconstruction`.
+//! 2. **Accounting** — every excluded item has a matching diagnostic,
+//!    and coverage partitions the input exactly.
+//! 3. **Containment** — a contained fault is bit-identical to an
+//!    explicit skip of the same item; fault flavors are
+//!    indistinguishable downstream.
+//!
+//! Seeds come from `ROCK_FAULT_SEEDS` (`"a..b"` range or a comma list;
+//! CI sweeps `0..16`), defaulting to a small smoke set.
+
+use std::sync::Arc;
+
+use rock::binary::{Addr, BinaryImage, Section, SectionKind};
+use rock::core::{suite, FaultPlan, Rock, RockConfig, Stage, Subject};
+use rock::loader::{LoadError, LoadedBinary};
+use rock::minicpp::{compile, CompileOptions, Compiled, ProgramBuilder};
+
+// ---------------------------------------------------------------------
+// Shared scaffolding
+// ---------------------------------------------------------------------
+
+/// Seeds to sweep: `ROCK_FAULT_SEEDS="0..16"` or `"1,5,9"`, else `0..4`.
+fn seeds() -> Vec<u64> {
+    let Ok(spec) = std::env::var("ROCK_FAULT_SEEDS") else {
+        return (0..4).collect();
+    };
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: u64 = lo.trim().parse().expect("bad ROCK_FAULT_SEEDS lower bound");
+        let hi: u64 = hi.trim().parse().expect("bad ROCK_FAULT_SEEDS upper bound");
+        (lo..hi).collect()
+    } else {
+        spec.split(',').map(|s| s.trim().parse().expect("bad ROCK_FAULT_SEEDS entry")).collect()
+    }
+}
+
+fn stress_loaded() -> LoadedBinary {
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    LoadedBinary::load(compiled.stripped_image()).expect("loads")
+}
+
+/// A two-class program with a driver: the minimal interesting image.
+fn sample() -> Compiled {
+    let mut p = ProgramBuilder::new();
+    p.class("A").method("m0", |b| {
+        b.ret();
+    });
+    p.class("B").base("A").method("m1", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("b", "B");
+        f.vcall("b", "m0", vec![]);
+        f.vcall("b", "m1", vec![]);
+        f.ret();
+    });
+    compile(&p.finish(), &CompileOptions::default()).unwrap()
+}
+
+/// Rebuilds `image` with one section's bytes replaced.
+fn with_section_bytes(image: &BinaryImage, index: usize, bytes: Vec<u8>) -> BinaryImage {
+    let mut sections: Vec<Section> = image.sections().to_vec();
+    let old = &sections[index];
+    sections[index] = Section::new(old.kind(), old.base(), bytes);
+    BinaryImage::new(sections)
+}
+
+// ---------------------------------------------------------------------
+// Malformed input: strict loads reject, lenient loads degrade
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_image_is_rejected() {
+    assert_eq!(LoadedBinary::load(BinaryImage::new(vec![])), Err(LoadError::NoTextSection));
+}
+
+#[test]
+fn garbage_text_is_a_decode_error() {
+    let image = BinaryImage::new(vec![Section::new(
+        SectionKind::Text,
+        Addr::new(0x1000),
+        vec![0xff, 0xfe, 0xfd],
+    )]);
+    assert!(matches!(LoadedBinary::load(image), Err(LoadError::Decode(_))));
+}
+
+#[test]
+fn text_without_prologue_is_rejected() {
+    // 0x02 = ret: valid instruction, but no `enter` at the start.
+    let image =
+        BinaryImage::new(vec![Section::new(SectionKind::Text, Addr::new(0x1000), vec![0x02])]);
+    assert!(matches!(LoadedBinary::load(image), Err(LoadError::NoPrologueAtStart { .. })));
+}
+
+#[test]
+fn truncated_text_section_is_detected() {
+    let compiled = sample();
+    let image = compiled.stripped_image();
+    let text = image.section(SectionKind::Text).unwrap();
+    // Chop two bytes off: the trailing 1-byte `ret` plus the final byte
+    // of the preceding multi-byte instruction, so the cut is guaranteed
+    // to land mid-instruction.
+    let truncated =
+        Section::new(SectionKind::Text, text.base(), text.bytes()[..text.len() - 2].to_vec());
+    let mut sections = vec![truncated];
+    sections.extend(image.sections().iter().filter(|s| s.kind() != SectionKind::Text).cloned());
+    let broken = BinaryImage::new(sections);
+    assert!(matches!(LoadedBinary::load(broken), Err(LoadError::Decode(_))));
+}
+
+#[test]
+fn corrupted_vtable_slot_degrades_gracefully() {
+    // Overwrite the middle of a vtable with a non-function value: the
+    // scanner truncates the table instead of failing.
+    let compiled = sample();
+    let image = compiled.stripped_image();
+    let rodata = image.section(SectionKind::RoData).unwrap();
+    let vt = compiled.vtable_of("B").expect("B exists");
+    let mut bytes = rodata.bytes().to_vec();
+    let off = (vt.value() - rodata.base().value()) as usize + 8; // slot 1
+    bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let mut sections: Vec<Section> =
+        image.sections().iter().filter(|s| s.kind() != SectionKind::RoData).cloned().collect();
+    sections.push(Section::new(SectionKind::RoData, rodata.base(), bytes));
+    let patched = BinaryImage::new(sections);
+    let loaded = LoadedBinary::load(patched).expect("still loads");
+    let b_table = loaded.vtable_at(vt).expect("table still found");
+    assert_eq!(b_table.len(), 1, "table truncated at the corrupted slot");
+    // The pipeline still runs.
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    assert!(!recon.hierarchy.is_empty());
+}
+
+#[test]
+fn corrupted_images_load_leniently_and_never_panic() {
+    // Structure-aware mutation smoke: corrupt seeded byte positions of
+    // each section of a compiled image, then demand a full lenient load
+    // + reconstruction without a panic. The hierarchy may be anything —
+    // the property is survival plus accounting. (The dedicated seeded
+    // loader fuzzer in `loader_fuzz.rs` goes further with adversarial
+    // section layouts.)
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    let image = compiled.stripped_image();
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed, 0);
+        for section_index in 0..image.sections().len() {
+            let mut bytes = image.sections()[section_index].bytes().to_vec();
+            if bytes.is_empty() {
+                continue;
+            }
+            let positions = plan.corrupt(&mut bytes, 8);
+            assert_eq!(positions.len(), 8);
+            let corrupted = with_section_bytes(&image, section_index, bytes);
+            let loaded = LoadedBinary::load_lenient(corrupted);
+            let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+            assert!(recon.hierarchy.is_acyclic());
+            assert_eq!(recon.coverage.vtables_parsed, loaded.vtables().len());
+            // Loader degradations surface as diagnostics.
+            assert!(recon
+                .diagnostics
+                .iter()
+                .filter(|e| e.stage == Stage::Load)
+                .count()
+                .eq(&loaded.issues().len()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate but well-formed inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn binary_without_any_vtables_reconstructs_nothing() {
+    let mut p = ProgramBuilder::new();
+    p.func("pure_code", |f| {
+        f.let_("x", rock::minicpp::Expr::Const(42));
+        f.ret_val(rock::minicpp::Expr::Var("x".into()));
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    assert!(loaded.vtables().is_empty());
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    assert!(recon.hierarchy.is_empty());
+    assert!(recon.structural.families().is_empty());
+}
+
+#[test]
+fn single_type_binary_is_a_trivial_hierarchy() {
+    let mut p = ProgramBuilder::new();
+    p.class("Only").method("m", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("o", "Only");
+        f.vcall("o", "m", vec![]);
+        f.ret();
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let only = compiled.vtable_of("Only").unwrap();
+    assert_eq!(recon.parent_of(only), None);
+    assert_eq!(recon.hierarchy.len(), 1);
+}
+
+#[test]
+fn unused_types_still_get_a_place_in_the_hierarchy() {
+    // A class that is never instantiated by any driver: no behavioral
+    // data at all. The pipeline must still assign it a position (possibly
+    // root) without failing.
+    let mut p = ProgramBuilder::new();
+    p.class("Used").method("m", |b| {
+        b.ret();
+    });
+    p.class("Never").base("Used").method("n", |b| {
+        b.ret();
+    });
+    p.func("drive", |f| {
+        f.new_obj("u", "Used");
+        f.vcall("u", "m", vec![]);
+        f.ret();
+    });
+    let compiled = compile(&p.finish(), &CompileOptions::default()).unwrap();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    let recon = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let never = compiled.vtable_of("Never").unwrap();
+    assert!(recon.hierarchy.contains(&never));
+    // Structural pinning still works via the (emitted but uncalled) ctor?
+    // No ctor call exists, so the pin comes from the ctor *function*
+    // calling its parent ctor — which is enough.
+    let used = compiled.vtable_of("Used").unwrap();
+    assert_eq!(recon.parent_of(never), Some(used));
+}
+
+#[test]
+fn extreme_configs_do_not_crash() {
+    let compiled = sample();
+    let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
+    for (paths, depth, len) in [(1usize, 0usize, 1usize), (2, 1, 2), (128, 5, 20)] {
+        let mut config = RockConfig::paper();
+        config.analysis.max_paths = paths;
+        config.analysis.slm_depth = depth;
+        config.analysis.tracelet_len = len;
+        let recon = Rock::new(config).reconstruct(&loaded);
+        assert_eq!(recon.hierarchy.len(), loaded.vtables().len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected faults: seeded plans, containment, strict mode
+// ---------------------------------------------------------------------
+
+#[test]
+fn seeded_faults_never_panic_and_every_skip_is_accounted() {
+    let loaded = stress_loaded();
+    let clean = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    let mut total_faults = 0usize;
+    for seed in seeds() {
+        let plan = Arc::new(FaultPlan::seeded(seed, 150));
+        // Returning at all is property (1): no panic escapes.
+        let recon = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        let cov = recon.coverage;
+
+        // Coverage partitions the input exactly.
+        assert_eq!(
+            cov.functions_analyzed + cov.functions_skipped + cov.functions_timed_out,
+            cov.functions_total,
+            "seed {seed}: function accounting must add up"
+        );
+        assert_eq!(cov.functions_total, loaded.functions().len());
+        assert_eq!(cov.vtables_parsed, loaded.vtables().len());
+        assert_eq!(cov.families_lifted + cov.families_degraded, cov.families_total);
+
+        // Property (2): every excluded item has a matching diagnostic.
+        for (entry, kind) in recon.analysis.incidents() {
+            assert!(
+                recon
+                    .diagnostics
+                    .iter()
+                    .any(|e| e.stage == Stage::Analysis && e.subject == Subject::Function(*entry)),
+                "seed {seed}: incident {kind} at {entry} has no diagnostic"
+            );
+        }
+        let analysis_diags =
+            recon.diagnostics.iter().filter(|e| e.stage == Stage::Analysis).count();
+        assert_eq!(
+            analysis_diags,
+            recon.analysis.incidents().len(),
+            "seed {seed}: diagnostics and incidents must match one-to-one"
+        );
+        assert_eq!(
+            cov.functions_skipped + cov.functions_timed_out,
+            recon.analysis.incidents().len(),
+            "seed {seed}: coverage counts the incidents"
+        );
+        let training_diags =
+            recon.diagnostics.iter().filter(|e| e.stage == Stage::Training).count();
+        assert_eq!(
+            cov.models_trained + training_diags,
+            cov.vtables_parsed,
+            "seed {seed}: every untrained model has a training diagnostic"
+        );
+
+        // The hierarchy still spans every discovered type.
+        assert_eq!(recon.hierarchy.len(), clean.hierarchy.len());
+        assert!(recon.hierarchy.is_acyclic());
+        total_faults += recon.diagnostics.len();
+    }
+    assert!(total_faults > 0, "a 15% seeded rate must inject something across the sweep");
+}
+
+#[test]
+fn contained_faults_equal_explicit_skips() {
+    // Property (3): a panicking function and a starved function produce
+    // exactly the reconstruction of a plan that skips it — bit for bit.
+    let loaded = stress_loaded();
+    let config = RockConfig::paper();
+    for f in loaded.functions().iter().step_by(3) {
+        let victim = f.entry();
+        let runs: Vec<_> = [
+            FaultPlan::new().panic_on(victim),
+            FaultPlan::new().starve(victim, 0),
+            FaultPlan::new().skip(victim),
+        ]
+        .into_iter()
+        .map(|plan| Rock::new(config).with_fault_plan(Arc::new(plan)).reconstruct(&loaded))
+        .collect();
+        for other in &runs[1..] {
+            assert_eq!(
+                runs[0].hierarchy, other.hierarchy,
+                "fault flavors must be indistinguishable for {victim}"
+            );
+            assert_eq!(runs[0].distances.len(), other.distances.len());
+            for (key, d) in &runs[0].distances {
+                assert_eq!(
+                    d.to_bits(),
+                    other.distances[key].to_bits(),
+                    "distance bits for {key:?} diverged at {victim}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_plan_with_no_faults_changes_nothing() {
+    let loaded = stress_loaded();
+    let clean = Rock::new(RockConfig::paper()).reconstruct(&loaded);
+    for seed in seeds() {
+        let plan = Arc::new(FaultPlan::seeded(seed, 0));
+        let inert = Rock::new(RockConfig::paper()).with_fault_plan(plan).reconstruct(&loaded);
+        assert_eq!(clean.hierarchy, inert.hierarchy);
+        assert_eq!(clean.distances, inert.distances);
+        assert!(inert.diagnostics.is_empty());
+        assert!(inert.coverage.is_complete());
+    }
+}
+
+#[test]
+fn strict_mode_restores_fail_fast_under_faults() {
+    let loaded = stress_loaded();
+    let victim = loaded.functions()[0].entry();
+    let plan = Arc::new(FaultPlan::new().panic_on(victim));
+    let strict = Rock::new(RockConfig::paper().with_strict()).with_fault_plan(Arc::clone(&plan));
+    let err = strict.try_reconstruct(&loaded).expect_err("strict must fail");
+    assert_eq!(err.stage, Stage::Analysis);
+    assert_eq!(err.subject, Subject::Function(victim));
+    // The same plan degrades gracefully without strict.
+    let lax = Rock::new(RockConfig::paper()).with_fault_plan(plan);
+    assert!(lax.try_reconstruct(&loaded).is_ok());
+}
