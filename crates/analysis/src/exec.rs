@@ -152,6 +152,19 @@ pub fn execute_function_budgeted(
     ctors: &CtorMap,
     config: &AnalysisConfig,
 ) -> (Vec<PathResult>, ExecStatus) {
+    let (paths, status, _fuel_spent) = execute_function_metered(function, loaded, ctors, config);
+    (paths, status)
+}
+
+/// Like [`execute_function_budgeted`], and additionally reports the fuel
+/// actually spent (instruction steps summed over all explored paths) so
+/// the observability layer can attribute analysis cost per function.
+pub fn execute_function_metered(
+    function: &Function,
+    loaded: &LoadedBinary,
+    ctors: &CtorMap,
+    config: &AnalysisConfig,
+) -> (Vec<PathResult>, ExecStatus, u64) {
     let vtable_addrs: BTreeSet<Addr> = loaded.vtables().iter().map(|v| v.addr()).collect();
     let cfg = Cfg::build(function);
     let mut results = Vec::new();
@@ -172,7 +185,7 @@ pub fn execute_function_budgeted(
             break;
         }
         if deadline.expired() {
-            return (results, ExecStatus::DeadlineExceeded);
+            return (results, ExecStatus::DeadlineExceeded, fuel.spent());
         }
         *frame.visits.entry(frame.block).or_insert(0) += 1;
         let Some(block) = cfg.block_at(frame.block) else {
@@ -183,7 +196,7 @@ pub fn execute_function_budgeted(
         let mut terminated = false;
         for d in &function.instrs()[lo..hi] {
             if fuel.spend(1).is_err() {
-                return (results, ExecStatus::FuelExhausted);
+                return (results, ExecStatus::FuelExhausted, fuel.spent());
             }
             step(&mut frame.state, &d.instr, &vtable_addrs, ctors, config);
             if matches!(d.instr, Instr::Ret | Instr::Halt) {
@@ -212,7 +225,7 @@ pub fn execute_function_budgeted(
             });
         }
     }
-    (results, ExecStatus::Completed)
+    (results, ExecStatus::Completed, fuel.spent())
 }
 
 fn step(

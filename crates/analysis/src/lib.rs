@@ -64,11 +64,12 @@ pub use config::AnalysisConfig;
 pub use ctors::{recognize_ctors, CtorMap};
 pub use event::Event;
 pub use exec::{
-    execute_function, execute_function_budgeted, ExecStatus, PathResult, SubObjectSummary,
+    execute_function, execute_function_budgeted, execute_function_metered, ExecStatus, PathResult,
+    SubObjectSummary,
 };
 pub use rock_budget::{Budget, Deadline, Exhausted};
 pub use tracelets::{
-    extract_tracelets, extract_tracelets_with, Analysis, AnalysisHooks, FunctionDirective,
-    IncidentKind, NoHooks, TraceletStats, TypeTracelets,
+    extract_tracelets, extract_tracelets_instrumented, extract_tracelets_with, Analysis,
+    AnalysisHooks, FunctionDirective, IncidentKind, NoHooks, TraceletStats, TypeTracelets,
 };
 pub use value::{ObjId, SubObj, SymValue};

@@ -8,8 +8,10 @@ use rock_binary::Addr;
 use rock_budget::Budget;
 use rock_loader::LoadedBinary;
 
+use rock_trace::{names, LocalSpans, MetricsRegistry};
+
 use crate::{
-    execute_function_budgeted, recognize_ctors, AnalysisConfig, CtorMap, Event, ExecStatus, ObjId,
+    execute_function_metered, recognize_ctors, AnalysisConfig, CtorMap, Event, ExecStatus, ObjId,
 };
 
 /// Tracelets pooled per binary type (vtable address).
@@ -259,6 +261,27 @@ pub fn extract_tracelets_with(
     config: &AnalysisConfig,
     hooks: &dyn AnalysisHooks,
 ) -> Analysis {
+    let mut spans = LocalSpans::disabled();
+    let mut metrics = MetricsRegistry::new();
+    extract_tracelets_instrumented(loaded, config, hooks, &mut spans, &mut metrics)
+}
+
+/// Like [`extract_tracelets_with`], but records one
+/// [`rock_trace::names::ANALYSIS_FUNCTION`] span per symbolic execution
+/// (subject = entry address) into `spans` and folds fuel accounting
+/// ([`rock_trace::names::ANALYSIS_FUEL_SPENT`], completed executions
+/// only) into `metrics`.
+///
+/// Instrumentation never changes the analysis: the returned [`Analysis`]
+/// is bit-identical to [`extract_tracelets_with`]'s, and a disabled
+/// `spans` buffer makes the whole span path a no-op.
+pub fn extract_tracelets_instrumented(
+    loaded: &LoadedBinary,
+    config: &AnalysisConfig,
+    hooks: &dyn AnalysisHooks,
+    spans: &mut LocalSpans,
+    metrics: &mut MetricsRegistry,
+) -> Analysis {
     let ctors = recognize_ctors(loaded, config);
     let mut tracelets = TypeTracelets::default();
     let mut incidents: Vec<(Addr, IncidentKind)> = Vec::new();
@@ -276,26 +299,33 @@ pub fn extract_tracelets_with(
             FunctionDirective::Panic => inject_panic = true,
             FunctionDirective::Fuel(b) => cfg.fuel = b,
         }
+        let token = spans.enter(names::ANALYSIS_FUNCTION, entry.value());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected fault: behavioral analysis of {entry}");
             }
-            execute_function_budgeted(f, loaded, &ctors, &cfg)
+            execute_function_metered(f, loaded, &ctors, &cfg)
         }));
         let paths = match outcome {
             Err(payload) => {
+                spans.exit(token);
                 incidents.push((entry, IncidentKind::Panicked(panic_message(payload))));
                 continue;
             }
-            Ok((_, ExecStatus::FuelExhausted)) => {
+            Ok((_, ExecStatus::FuelExhausted, _)) => {
+                spans.exit(token);
                 incidents.push((entry, IncidentKind::FuelExhausted));
                 continue;
             }
-            Ok((_, ExecStatus::DeadlineExceeded)) => {
+            Ok((_, ExecStatus::DeadlineExceeded, _)) => {
+                spans.exit(token);
                 incidents.push((entry, IncidentKind::DeadlineExceeded));
                 continue;
             }
-            Ok((paths, ExecStatus::Completed)) => paths,
+            Ok((paths, ExecStatus::Completed, fuel_spent)) => {
+                metrics.add(names::ANALYSIS_FUEL_SPENT, fuel_spent);
+                paths
+            }
         };
         let host_vtables: Vec<Addr> =
             loaded.vtables_containing(entry).iter().map(|vt| vt.addr()).collect();
@@ -318,6 +348,7 @@ pub fn extract_tracelets_with(
                 }
             }
         }
+        spans.exit(token);
     }
     Analysis { tracelets, ctors, incidents }
 }

@@ -4,10 +4,18 @@
 //! "Skype-scale" stress shape, serial vs. parallel, with a per-stage
 //! [`rock_core::StageTimings`] breakdown.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rock_core::suite::{benchmark, stress_program};
 use rock_core::{Parallelism, Rock, RockConfig};
 use rock_loader::LoadedBinary;
+use rock_trace::Tracer;
+
+fn smoke() -> bool {
+    std::env::var_os("ROCK_BENCH_SMOKE").is_some()
+}
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("rock_reconstruct");
@@ -88,5 +96,79 @@ fn bench_distance_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_parallelism, bench_distance_cache);
+/// Tracer overhead guard: the same reconstruction with the tracer
+/// detached vs. attached. The detached path is a structural no-op
+/// (no clock reads, no span buffers, no locks — proven allocation-free
+/// by `crates/trace/tests/no_alloc.rs`), so "tracer-off" here must match
+/// the plain groups above; "tracer-on" bounds the cost of full per-item
+/// span capture. Medians land in `BENCH_trace.json` at the workspace
+/// root.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let bench = stress_program(3, 3, 3);
+    let compiled = bench.compile().expect("stress program compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let config = RockConfig::paper().with_parallelism(Parallelism::Threads(4));
+
+    let mut group = c.benchmark_group("rock_reconstruct_stress_3_3_3_trace");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("tracer-off"), &loaded, |b, loaded| {
+        b.iter(|| Rock::new(config).reconstruct(std::hint::black_box(loaded)));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("tracer-on"), &loaded, |b, loaded| {
+        b.iter(|| {
+            // A fresh tracer per iteration: steady-state span capture,
+            // not an ever-growing log.
+            Rock::new(config)
+                .with_tracer(Arc::new(Tracer::new()))
+                .reconstruct(std::hint::black_box(loaded))
+        });
+    });
+    group.finish();
+
+    // Machine-readable medians for the workspace-root report.
+    fn median(xs: &mut [f64]) -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    }
+    let ms = |f: &dyn Fn()| {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let runs = if smoke() { 2 } else { 5 };
+    let mut off_ms: Vec<f64> =
+        (0..runs).map(|_| ms(&|| drop(Rock::new(config).reconstruct(&loaded)))).collect();
+    let mut on_ms: Vec<f64> = (0..runs)
+        .map(|_| {
+            ms(&|| {
+                drop(Rock::new(config).with_tracer(Arc::new(Tracer::new())).reconstruct(&loaded))
+            })
+        })
+        .collect();
+    let tracer = Arc::new(Tracer::new());
+    let recon = Rock::new(config).with_tracer(tracer.clone()).reconstruct(&loaded);
+    let spans = tracer.events().len();
+    let metrics_bytes = recon.metrics.to_json().len();
+    let (off, on) = (median(&mut off_ms), median(&mut on_ms));
+    let json = format!(
+        "{{\n  \"benchmark\": \"stress_program(3,3,3)\",\n  \
+         \"mode\": \"{mode}\",\n  \"parallelism\": \"threads-4\",\n  \
+         \"tracer_off_median_ms\": {off:.3},\n  \"tracer_on_median_ms\": {on:.3},\n  \
+         \"overhead_pct\": {pct:.1},\n  \"spans_recorded\": {spans},\n  \
+         \"metrics_doc_bytes\": {metrics_bytes}\n}}\n",
+        mode = if smoke() { "smoke" } else { "full" },
+        pct = (on / off.max(1e-9) - 1.0) * 100.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, &json).expect("write BENCH_trace.json");
+    println!("\nwrote {path}:\n{json}");
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_parallelism,
+    bench_distance_cache,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::Arc;
 
 use rock_binary::{image_from_bytes, image_to_bytes, Addr, BinaryImage};
 use rock_budget::RetryPolicy;
@@ -11,8 +12,58 @@ use rock_core::{evaluate, render_table2, Parallelism, Rock, RockConfig, Table2Ro
 use rock_loader::LoadedBinary;
 use rock_slm::Metric;
 use rock_supervisor::{ArtifactStore, Supervisor, SupervisorOptions};
+use rock_trace::{chrome_trace_json, validate_chrome_trace, validate_metrics_doc, Tracer};
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// How `--timings[=json]` renders (shared by `reconstruct` and `batch`;
+/// see [`emit_timings`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TimingsFormat {
+    Text,
+    Json,
+}
+
+/// Parses a `--timings` / `--timings=json` flag occurrence.
+fn parse_timings_flag(arg: &str) -> Result<TimingsFormat, Box<dyn Error>> {
+    match arg {
+        "--timings" => Ok(TimingsFormat::Text),
+        "--timings=json" => Ok(TimingsFormat::Json),
+        other => {
+            Err(format!("bad timings flag {other:?} (use --timings or --timings=json)").into())
+        }
+    }
+}
+
+/// The one timings formatter: `reconstruct` and `batch` both go through
+/// here, so the two surfaces can never drift apart again. `label` tags
+/// batch per-job lines; empty for single reconstructions.
+fn emit_timings(label: &str, timings: &rock_core::StageTimings, format: TimingsFormat) {
+    match format {
+        TimingsFormat::Text => {
+            if !label.is_empty() {
+                println!("[{label}]");
+            }
+            println!("{timings}");
+        }
+        TimingsFormat::Json if label.is_empty() => println!("{}", timings.to_json()),
+        TimingsFormat::Json => {
+            println!("{{\"job\":\"{label}\",\"timings\":{}}}", timings.to_json());
+        }
+    }
+}
+
+/// Writes a validated Chrome-trace document for `tracer` to `path`.
+fn write_trace(path: &str, tracer: &Tracer) -> CliResult {
+    let doc = chrome_trace_json(&tracer.events());
+    validate_chrome_trace(&doc).map_err(|e| format!("internal: invalid trace export: {e}"))?;
+    fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote {path}: chrome trace, {} events (load via chrome://tracing)",
+        tracer.events().len()
+    );
+    Ok(())
+}
 
 const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2|batch> ...
 run `rock help` for details";
@@ -263,18 +314,25 @@ fn parse_metric(s: &str) -> Result<Metric, Box<dyn Error>> {
 
 fn cmd_reconstruct(args: &[String]) -> CliResult {
     let mut dot = false;
-    let mut timings = false;
+    let mut timings: Option<TimingsFormat> = None;
     let mut diagnostics = false;
     let mut strict = false;
     let mut fuel = None;
     let mut metric = Metric::KlDivergence;
     let mut parallelism = Parallelism::Auto;
+    let mut trace_path: Option<String> = None;
+    // None: off; Some(None): stdout; Some(Some(p)): write to file p.
+    let mut metrics_out: Option<Option<String>> = None;
     let mut path = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--dot" => dot = true,
-            "--timings" => timings = true,
+            "--timings" | "--timings=json" => timings = Some(parse_timings_flag(a)?),
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
+            "--metrics" => metrics_out = Some(None),
             "--diagnostics" => diagnostics = true,
             "--strict" => strict = true,
             "--metric" => {
@@ -291,6 +349,9 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
                 let n: u64 = v.parse().map_err(|e| format!("bad fuel {v:?}: {e}"))?;
                 fuel = Some(rock_analysis::Budget::steps(n));
             }
+            other if other.starts_with("--metrics=") => {
+                metrics_out = Some(Some(other["--metrics=".len()..].to_string()));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("reconstruct: unknown flag {other}").into())
             }
@@ -299,7 +360,8 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
     }
     let path = path.ok_or(
         "usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--threads n] [--fuel steps] \
-         [--timings] [--diagnostics] [--strict] [--dot]",
+         [--timings[=json]] [--trace <out.json>] [--metrics[=path]] [--diagnostics] [--strict] \
+         [--dot]",
     )?;
     // Lenient by default: a damaged image degrades to a partial binary
     // with recorded issues; --strict restores the old fail-fast load.
@@ -311,7 +373,12 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
     if let Some(budget) = fuel {
         config.analysis.fuel = budget;
     }
-    let recon = Rock::new(config).try_reconstruct(&loaded)?;
+    let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
+    let mut rock = Rock::new(config);
+    if let Some(t) = &tracer {
+        rock = rock.with_tracer(t.clone());
+    }
+    let recon = rock.try_reconstruct(&loaded)?;
     // Label with symbols when available (unstripped input), else addresses.
     let label = |a: Addr| -> String {
         loaded.image().symbols().at(a).map(|s| s.name.clone()).unwrap_or_else(|| a.to_string())
@@ -323,8 +390,22 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
         print!("{named}");
         println!("({} types, metric {metric})", recon.hierarchy.len());
     }
-    if timings {
-        println!("{}", recon.timings);
+    if let Some(format) = timings {
+        emit_timings("", &recon.timings, format);
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        write_trace(path, tracer)?;
+    }
+    if let Some(dest) = metrics_out {
+        let doc = recon.metrics.to_json();
+        validate_metrics_doc(&doc).map_err(|e| format!("internal: invalid metrics doc: {e}"))?;
+        match dest {
+            None => println!("{doc}"),
+            Some(path) => {
+                fs::write(&path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}: metrics schema v1, {} bytes", doc.len());
+            }
+        }
     }
     if diagnostics {
         println!("{}", recon.coverage);
@@ -405,7 +486,9 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut strict = false;
     let mut sleep_backoff = false;
     let mut report_path: Option<String> = None;
-    let mut timings = false;
+    let mut timings: Option<TimingsFormat> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
     let mut fuel = None;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -414,7 +497,11 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
             "--resume" => resume = true,
             "--strict" => strict = true,
             "--sleep-backoff" => sleep_backoff = true,
-            "--timings" => timings = true,
+            "--timings" | "--timings=json" => timings = Some(parse_timings_flag(a)?),
+            "--metrics" => metrics = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
             "--store" => store_dir = it.next().ok_or("--store needs a directory")?.clone(),
             "--report" => report_path = Some(it.next().ok_or("--report needs a path")?.clone()),
             "--jobs" => {
@@ -459,7 +546,8 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     if paths.is_empty() {
         return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--store <dir>] [--resume] \
                     [--max-retries n] [--deadline ms] [--max-errors n] [--metric kl|js|jsd] \
-                    [--threads n] [--strict] [--report <path>] [--sleep-backoff] [--timings]"
+                    [--threads n] [--strict] [--report <path>] [--sleep-backoff] \
+                    [--timings[=json]] [--trace <out.json>] [--metrics]"
             .into());
     }
     let mut jobs: Vec<(String, Vec<u8>)> = Vec::with_capacity(paths.len());
@@ -484,9 +572,14 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         resume,
         sleep_backoff,
         max_failures,
+        collect_metrics: metrics,
     };
     let store = ArtifactStore::open(&store_dir)?;
-    let supervisor = Supervisor::new(config, store, options);
+    let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
+    let mut supervisor = Supervisor::new(config, store, options);
+    if let Some(t) = &tracer {
+        supervisor = supervisor.with_tracer(t.clone());
+    }
     let start = std::time::Instant::now();
     let batch = supervisor.run_batch(&jobs);
     let elapsed = start.elapsed();
@@ -512,16 +605,31 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         );
         fs::write(&path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    if timings {
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        write_trace(path, tracer)?;
+    }
+    if let Some(format) = timings {
+        for job in &batch.jobs {
+            if let rock_supervisor::JobOutput::Full(recon) = &job.output {
+                emit_timings(&job.report.name, &recon.timings, format);
+            }
+        }
         let restored: usize = batch.jobs.iter().map(|j| j.report.restored.len()).sum();
         let run = batch.jobs.len();
         let ms = elapsed.as_millis().max(1);
-        println!(
-            "batch: {run} jobs in {ms} ms ({:.1} jobs/s), {restored} stages restored from \
-             checkpoints, exit code {}",
-            run as f64 * 1000.0 / ms as f64,
-            batch.exit_code
-        );
+        match format {
+            TimingsFormat::Text => println!(
+                "batch: {run} jobs in {ms} ms ({:.1} jobs/s), {restored} stages restored from \
+                 checkpoints, exit code {}",
+                run as f64 * 1000.0 / ms as f64,
+                batch.exit_code
+            ),
+            TimingsFormat::Json => println!(
+                "{{\"batch\":{{\"jobs\":{run},\"elapsed_ms\":{ms},\"stages_restored\":\
+                 {restored},\"exit_code\":{}}}}}",
+                batch.exit_code
+            ),
+        }
     }
     Ok(batch.exit_code)
 }
@@ -608,6 +716,58 @@ mod tests {
         ])
         .is_err());
         fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn trace_and_metrics_exports_validate() {
+        let dir = std::env::temp_dir().join("rock-cli-trace");
+        fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("streams.rkb").to_str().unwrap().to_string();
+        let trace = dir.join("trace.json").to_str().unwrap().to_string();
+        let metrics = dir.join("metrics.json").to_str().unwrap().to_string();
+        dispatch(&["gen".into(), "streams".into(), bin.clone()]).unwrap();
+        dispatch(&[
+            "reconstruct".into(),
+            bin.clone(),
+            "--trace".into(),
+            trace.clone(),
+            format!("--metrics={metrics}"),
+            "--timings=json".into(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        // The exported trace loads in chrome://tracing and carries
+        // per-item spans for all four pipeline stages.
+        let doc = fs::read_to_string(&trace).unwrap();
+        validate_chrome_trace(&doc).unwrap();
+        for span in ["analysis.function", "training.type", "distances.pair", "lifting.family"] {
+            assert!(doc.contains(span), "trace missing per-item {span:?} spans");
+        }
+        let mdoc = fs::read_to_string(&metrics).unwrap();
+        validate_metrics_doc(&mdoc).unwrap();
+        // --metrics without a path prints to stdout instead of a file.
+        dispatch(&["reconstruct".into(), bin.clone(), "--metrics".into()]).unwrap();
+
+        // Batch: tracer covers supervisor spans; metrics embed in reports.
+        let store = dir.join("store").to_str().unwrap().to_string();
+        let btrace = dir.join("batch-trace.json").to_str().unwrap().to_string();
+        let code = dispatch(&[
+            "batch".into(),
+            bin.clone(),
+            "--store".into(),
+            store,
+            "--metrics".into(),
+            "--trace".into(),
+            btrace.clone(),
+            "--timings=json".into(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        let bdoc = fs::read_to_string(&btrace).unwrap();
+        validate_chrome_trace(&bdoc).unwrap();
+        assert!(bdoc.contains("supervisor.job"), "batch trace missing supervisor spans");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

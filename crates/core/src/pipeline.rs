@@ -10,6 +10,7 @@ use rock_graph::Forest;
 use rock_loader::{LoadIssue, LoadedBinary};
 use rock_slm::{DistanceCache, Metric, Slm};
 use rock_structural::Structural;
+use rock_trace::{names, MetricsRegistry, TraceCtx, Tracer};
 
 use crate::diagnostics::{Coverage, FaultKind, Severity, Stage, StageError, Subject};
 use crate::faultplan::FaultPlan;
@@ -30,6 +31,7 @@ pub struct Rock {
     config: RockConfig,
     cache: Arc<DistanceCache<Addr>>,
     fault: Option<Arc<FaultPlan>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Everything the pipeline produced for one binary.
@@ -52,6 +54,11 @@ pub struct Reconstruction {
     pub diagnostics: Vec<StageError>,
     /// How much of the binary the run actually covered.
     pub coverage: Coverage,
+    /// The run's full metrics registry (counters + histograms); the
+    /// [`StageTimings`] counters are a fixed projection of it. Contains
+    /// only deterministic work counts — never wall-clock values — so two
+    /// runs of the same binary compare equal at any thread count.
+    pub metrics: MetricsRegistry,
     /// The metric the distances were computed under.
     metric: Metric,
     /// The trained per-type models, kept so post-hoc queries
@@ -154,13 +161,13 @@ impl fmt::Display for Reconstruction {
 impl Rock {
     /// Creates a reconstructor with its own (empty) distance cache.
     pub fn new(config: RockConfig) -> Self {
-        Rock { config, cache: Arc::new(DistanceCache::new()), fault: None }
+        Rock { config, cache: Arc::new(DistanceCache::new()), fault: None, tracer: None }
     }
 
     /// Creates a reconstructor that shares `cache` with other passes over
     /// the **same binary** (ablation sweeps, repeated reconstructions).
     pub fn with_shared_cache(config: RockConfig, cache: Arc<DistanceCache<Addr>>) -> Self {
-        Rock { config, cache, fault: None }
+        Rock { config, cache, fault: None, tracer: None }
     }
 
     /// Attaches a deterministic [`FaultPlan`]: named functions and stage
@@ -168,6 +175,15 @@ impl Rock {
     /// containment paths without any wall-clock randomness.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Attaches a span [`Tracer`]: stage and per-item spans of every
+    /// subsequent run are recorded into it. Tracing never changes
+    /// results — `tests/trace_determinism.rs` pins bit-identical output
+    /// with and without a tracer at every thread count.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -224,6 +240,11 @@ impl Rock {
     pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_deref()
     }
+
+    /// The span-recording context (disabled when no tracer is attached).
+    pub(crate) fn trace_ctx(&self) -> TraceCtx<'_> {
+        TraceCtx::from(self.tracer.as_deref())
+    }
 }
 
 /// Assembles a [`Reconstruction`] from finished stage outputs (the
@@ -237,6 +258,7 @@ pub(crate) fn assemble_reconstruction(
     timings: StageTimings,
     diagnostics: Vec<StageError>,
     coverage: Coverage,
+    metrics: MetricsRegistry,
     metric: Metric,
     models: BTreeMap<Addr, Slm<Event>>,
     cache: Arc<DistanceCache<Addr>>,
@@ -249,6 +271,7 @@ pub(crate) fn assemble_reconstruction(
         timings,
         diagnostics,
         coverage,
+        metrics,
         metric,
         models,
         cache,
@@ -309,7 +332,7 @@ pub(crate) fn child_candidate_edges(
     index: &BTreeMap<Addr, usize>,
     child: Addr,
     candidates: impl Fn(Addr) -> Vec<Addr>,
-    distance: impl Fn(Addr, Addr) -> Option<f64>,
+    mut distance: impl FnMut(Addr, Addr) -> Option<f64>,
 ) -> ChildEdges {
     let mut edges = ChildEdges::default();
     for parent in candidates(child) {
@@ -342,7 +365,8 @@ pub(crate) fn child_candidate_edges(
 /// independent of scan order: first every root's best candidate is scored
 /// against a **snapshot** of the hierarchy, then the proposals are applied
 /// serially by [`apply_adoptions`], which re-checks ancestry against the
-/// *current* hierarchy before each insert.
+/// *current* hierarchy before each insert. Returns the number of
+/// adoptions applied.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn repartition(
     hierarchy: &mut Forest<Addr>,
@@ -353,7 +377,8 @@ pub(crate) fn repartition(
     metric: Metric,
     cache: &DistanceCache<Addr>,
     par: Parallelism,
-) {
+    ctx: TraceCtx<'_>,
+) -> usize {
     // Acceptance threshold: the worst distance among already-chosen edges
     // (no edges chosen => nothing to calibrate against; bail out).
     let chosen: Vec<f64> = hierarchy
@@ -364,7 +389,7 @@ pub(crate) fn repartition(
         })
         .collect();
     let Some(threshold) = chosen.iter().copied().reduce(f64::max) else {
-        return;
+        return 0;
     };
 
     let family_of: BTreeMap<Addr, usize> = structural
@@ -378,48 +403,73 @@ pub(crate) fn repartition(
     // the forest in address order and par_map preserves input order, so
     // the proposal list is deterministic.
     let roots: Vec<Addr> = hierarchy.roots().into_iter().copied().collect();
-    let proposals = par_map(par, &roots, |&root| {
-        let root_vt = loaded.vtable_at(root)?;
-        // A root whose training faulted has no model to compare with.
-        let root_model = models.get(&root)?;
-        let root_family = family_of.get(&root);
-        let mut best: Option<(f64, Addr)> = None;
-        for cand in loaded.vtables() {
-            if family_of.get(&cand.addr()) == root_family {
-                continue; // same family: structural phase already decided
-            }
-            // Rule 1 across families: a parent cannot have more slots.
-            if cand.len() > root_vt.len() {
-                continue;
-            }
-            // Cheap prefilter against the snapshot; the authoritative
-            // cycle check happens at apply time.
-            if hierarchy.successors(&root).contains(&cand.addr()) {
-                continue;
-            }
-            let Some(cand_model) = models.get(&cand.addr()) else {
-                continue; // unmodeled candidate: nothing to score
-            };
-            let d = cache.distance(metric, (&cand.addr(), cand_model), (&root, root_model));
-            // Parenthood is asymmetric (§4.2.1): the candidate's behavior
-            // should be *contained* in the root's, so encoding parent
-            // with child must be cheaper than the reverse.
-            let d_rev = cache.distance(metric, (&root, root_model), (&cand.addr(), cand_model));
-            if d >= d_rev {
-                continue;
-            }
-            if best.map(|(bd, _)| d < bd).unwrap_or(true) {
-                best = Some((d, cand.addr()));
-            }
-        }
+    let scanned = par_map(par, &roots, |&root| {
+        let mut spans = ctx.local();
+        let token = spans.enter(names::REPARTITION_ROOT, root.value());
+        let proposal = scan_root(root, hierarchy, &family_of, models, loaded, metric, cache);
+        spans.exit(token);
         // Cross-family edges had no structural support, so require only
         // that they stay within 2x the worst accepted edge.
-        let (d, parent) = best.filter(|&(d, _)| d <= 2.0 * threshold)?;
-        Some((root, parent, d))
+        (proposal.filter(|&(d, _)| d <= 2.0 * threshold), spans)
     });
 
-    // Phase 2: apply serially with the ancestry re-check.
-    apply_adoptions(hierarchy, distances, proposals.into_iter().flatten());
+    // Phase 2: merge worker spans in input order, then apply serially
+    // with the ancestry re-check.
+    let mut proposals = Vec::new();
+    for (&root, (proposal, spans)) in roots.iter().zip(scanned) {
+        ctx.merge(spans);
+        if let Some((d, parent)) = proposal {
+            proposals.push((root, parent, d));
+        }
+    }
+    apply_adoptions(hierarchy, distances, proposals)
+}
+
+/// Scores one hierarchy root against every cross-family candidate,
+/// returning the best `(distance, parent)` if any survives the filters.
+fn scan_root(
+    root: Addr,
+    hierarchy: &Forest<Addr>,
+    family_of: &BTreeMap<Addr, usize>,
+    models: &BTreeMap<Addr, Slm<Event>>,
+    loaded: &LoadedBinary,
+    metric: Metric,
+    cache: &DistanceCache<Addr>,
+) -> Option<(f64, Addr)> {
+    let root_vt = loaded.vtable_at(root)?;
+    // A root whose training faulted has no model to compare with.
+    let root_model = models.get(&root)?;
+    let root_family = family_of.get(&root);
+    let mut best: Option<(f64, Addr)> = None;
+    for cand in loaded.vtables() {
+        if family_of.get(&cand.addr()) == root_family {
+            continue; // same family: structural phase already decided
+        }
+        // Rule 1 across families: a parent cannot have more slots.
+        if cand.len() > root_vt.len() {
+            continue;
+        }
+        // Cheap prefilter against the snapshot; the authoritative
+        // cycle check happens at apply time.
+        if hierarchy.successors(&root).contains(&cand.addr()) {
+            continue;
+        }
+        let Some(cand_model) = models.get(&cand.addr()) else {
+            continue; // unmodeled candidate: nothing to score
+        };
+        let d = cache.distance(metric, (&cand.addr(), cand_model), (&root, root_model));
+        // Parenthood is asymmetric (§4.2.1): the candidate's behavior
+        // should be *contained* in the root's, so encoding parent
+        // with child must be cheaper than the reverse.
+        let d_rev = cache.distance(metric, (&root, root_model), (&cand.addr(), cand_model));
+        if d >= d_rev {
+            continue;
+        }
+        if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+            best = Some((d, cand.addr()));
+        }
+    }
+    best
 }
 
 /// Applies cross-family adoption proposals to the hierarchy, skipping any
@@ -434,14 +484,17 @@ fn apply_adoptions(
     hierarchy: &mut Forest<Addr>,
     distances: &mut BTreeMap<(Addr, Addr), f64>,
     proposals: impl IntoIterator<Item = (Addr, Addr, f64)>,
-) {
+) -> usize {
+    let mut applied = 0;
     for (root, parent, d) in proposals {
         if root == parent || hierarchy.successors(&root).contains(&parent) {
             continue;
         }
         hierarchy.insert(root, Some(parent));
         distances.insert((parent, root), d);
+        applied += 1;
     }
+    applied
 }
 
 #[cfg(test)]

@@ -20,12 +20,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
-use rock_analysis::{extract_tracelets_with, Analysis, AnalysisHooks, Event, NoHooks};
+use rock_analysis::{extract_tracelets_instrumented, Analysis, AnalysisHooks, Event, NoHooks};
 use rock_binary::Addr;
 use rock_graph::{min_spanning_forest, DiGraph, Forest};
 use rock_loader::{LoadIssue, LoadedBinary};
 use rock_slm::Slm;
 use rock_structural::{analyze, Structural};
+use rock_trace::{names, MetricsRegistry};
 
 use crate::diagnostics::{
     Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject,
@@ -86,6 +87,16 @@ impl fmt::Display for StageId {
     }
 }
 
+/// The serial span opened around one stage's `advance` body.
+fn stage_span_name(stage: StageId) -> &'static str {
+    match stage {
+        StageId::Analysis => names::STAGE_ANALYSIS,
+        StageId::Training => names::STAGE_TRAINING,
+        StageId::Distances => names::STAGE_DISTANCES,
+        StageId::Lifting => names::STAGE_LIFTING,
+    }
+}
+
 /// A restore was attempted against the wrong cursor position.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RestoreError {
@@ -114,6 +125,7 @@ pub struct StagedRun<'a> {
     loaded: &'a LoadedBinary,
     run_start: Instant,
     timings: StageTimings,
+    metrics: MetricsRegistry,
     sink: DiagnosticSink,
     coverage: Coverage,
     cache_hits0: u64,
@@ -153,6 +165,7 @@ impl Rock {
                 threads: self.config().parallelism.thread_count(),
                 ..StageTimings::default()
             },
+            metrics: MetricsRegistry::new(),
             sink,
             coverage,
             cache_hits0: self.cache().hits(),
@@ -216,6 +229,12 @@ impl<'a> StagedRun<'a> {
         self.coverage
     }
 
+    /// The metrics recorded so far (work counts only — no wall-clock
+    /// values — so the registry is deterministic per binary + config).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// The first error-severity diagnostic, under strict mode only.
     fn strict_failure(&self) -> Option<StageError> {
         if !self.rock.config().strict {
@@ -244,11 +263,17 @@ impl<'a> StagedRun<'a> {
             return Err(e);
         }
         let Some(stage) = self.cursor else { return Ok(None) };
-        match stage {
-            StageId::Analysis => self.run_analysis(),
-            StageId::Training => self.run_training(),
-            StageId::Distances => self.run_distances(),
-            StageId::Lifting => self.run_lifting(),
+        {
+            // Copy the `&'a Rock` out so the span guard borrows the rock,
+            // not `self`, which the stage bodies need mutably.
+            let rock = self.rock;
+            let _stage_span = rock.trace_ctx().span(stage_span_name(stage), 0);
+            match stage {
+                StageId::Analysis => self.run_analysis(),
+                StageId::Training => self.run_training(),
+                StageId::Distances => self.run_distances(),
+                StageId::Lifting => self.run_lifting(),
+            }
         }
         self.cursor = stage.next();
         if let Some(e) = self.strict_failure() {
@@ -268,8 +293,15 @@ impl<'a> StagedRun<'a> {
         }
         let analysis = self.analysis.as_ref().expect("structural analysis needs ctors");
         let stage = Instant::now();
-        self.structural =
-            Some(analyze(self.loaded, analysis.ctors(), &self.rock.config().analysis));
+        let rock = self.rock;
+        let _span = rock.trace_ctx().span(names::STAGE_STRUCTURAL, 0);
+        let structural = analyze(self.loaded, analysis.ctors(), &rock.config().analysis);
+        let stats = structural.stats();
+        self.metrics.set(names::STRUCTURAL_RULE1_ELIMINATED, stats.rule1_slot_count as u64);
+        self.metrics.set(names::STRUCTURAL_RULE2_ELIMINATED, stats.rule2_pure_slot as u64);
+        self.metrics.set(names::STRUCTURAL_RULE3_ELIMINATED, stats.rule3_pinning as u64);
+        self.metrics.set(names::STRUCTURAL_REMAINING, stats.remaining as u64);
+        self.structural = Some(structural);
         self.timings.structural = stage.elapsed();
     }
 
@@ -278,14 +310,49 @@ impl<'a> StagedRun<'a> {
     /// faulted function is excluded wholesale and recorded.
     fn run_analysis(&mut self) {
         let stage = Instant::now();
-        let hooks: &dyn AnalysisHooks = match self.rock.fault_plan() {
+        let rock = self.rock;
+        let hooks: &dyn AnalysisHooks = match rock.fault_plan() {
             Some(plan) => plan,
             None => &NoHooks,
         };
-        let analysis = extract_tracelets_with(self.loaded, &self.rock.config().analysis, hooks);
+        let ctx = rock.trace_ctx();
+        let mut spans = ctx.local();
+        let analysis = extract_tracelets_instrumented(
+            self.loaded,
+            &rock.config().analysis,
+            hooks,
+            &mut spans,
+            &mut self.metrics,
+        );
+        ctx.merge(spans);
         self.record_analysis_incidents(&analysis);
+        self.record_analysis_metrics(&analysis);
         self.analysis = Some(analysis);
         self.timings.analysis = stage.elapsed();
+    }
+
+    /// Folds the deterministic shape of an analysis into the registry
+    /// (shared by the live stage and the restore path, so resumed runs
+    /// report the same pool counters the original would have).
+    fn record_analysis_metrics(&mut self, analysis: &Analysis) {
+        use rock_analysis::IncidentKind;
+        let mut tracelets = 0u64;
+        let mut events = 0u64;
+        for vt in analysis.tracelets().types() {
+            for t in analysis.tracelets().of_type(vt) {
+                tracelets += 1;
+                events += t.len() as u64;
+                self.metrics.observe(names::HIST_TRACELET_LEN, t.len() as u64);
+            }
+        }
+        self.metrics.set(names::ANALYSIS_TRACELETS, tracelets);
+        self.metrics.set(names::ANALYSIS_EVENTS, events);
+        let fuel_starved = analysis
+            .incidents()
+            .iter()
+            .filter(|(_, k)| matches!(k, IncidentKind::FuelExhausted))
+            .count();
+        self.metrics.set(names::ANALYSIS_FUEL_EXHAUSTED, fuel_starved as u64);
     }
 
     /// Folds an analysis' incident list into diagnostics + coverage
@@ -296,7 +363,6 @@ impl<'a> StagedRun<'a> {
             match incident {
                 IncidentKind::FuelExhausted => {
                     self.coverage.functions_timed_out += 1;
-                    self.timings.fuel_exhausted += 1;
                 }
                 IncidentKind::DeadlineExceeded => self.coverage.functions_timed_out += 1,
                 IncidentKind::Panicked(_) | IncidentKind::Skipped => {
@@ -316,10 +382,14 @@ impl<'a> StagedRun<'a> {
     fn run_training(&mut self) {
         self.ensure_structural();
         let stage = Instant::now();
+        let rock = self.rock;
         let analysis = self.analysis.as_ref().expect("training follows analysis");
-        let config = self.rock.config();
+        let config = rock.config();
+        let ctx = rock.trace_ctx();
         let addrs: Vec<Addr> = self.loaded.vtables().iter().map(|vt| vt.addr()).collect();
         let trained = crate::par::par_map_catch(config.parallelism, &addrs, |&addr| {
+            let mut spans = ctx.local();
+            let token = spans.enter(names::TRAINING_TYPE, addr.value());
             self.inject(Stage::Training, addr.value());
             let mut m = Slm::new(config.analysis.slm_depth);
             for t in analysis.tracelets().of_type(addr) {
@@ -329,12 +399,14 @@ impl<'a> StagedRun<'a> {
             // cost lands in the (parallel) training stage instead of the
             // first divergence query.
             m.finalize();
-            m
+            spans.exit(token);
+            (m, spans)
         });
         let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
         for (addr, outcome) in addrs.into_iter().zip(trained) {
             match outcome {
-                Ok(m) => {
+                Ok((m, spans)) => {
+                    ctx.merge(spans);
                     models.insert(addr, m);
                 }
                 Err(msg) => self.sink.record(StageError {
@@ -353,14 +425,25 @@ impl<'a> StagedRun<'a> {
     /// live stage and the restore path).
     fn set_models(&mut self, models: BTreeMap<Addr, Slm<Event>>) {
         self.coverage.models_trained = models.len();
-        self.timings.slm_count = models.len();
+        self.metrics.set(names::SLM_MODELS_TRAINED, models.len() as u64);
+        let mut nodes = 0u64;
+        let mut edges = 0u64;
+        let mut bytes = 0u64;
+        let mut unique = 0u64;
+        let mut total = 0u64;
         for m in models.values() {
-            self.timings.slm_nodes += m.node_count();
-            self.timings.slm_edges += m.edge_count();
-            self.timings.slm_bytes += m.approx_trie_bytes();
-            self.timings.slm_unique_words += m.unique_training_len();
-            self.timings.slm_total_words += m.training_total();
+            nodes += m.node_count() as u64;
+            edges += m.edge_count() as u64;
+            bytes += m.approx_trie_bytes() as u64;
+            unique += m.unique_training_len() as u64;
+            total += m.training_total();
+            self.metrics.observe(names::HIST_NODES_PER_MODEL, m.node_count() as u64);
         }
+        self.metrics.set(names::SLM_ARENA_NODES, nodes);
+        self.metrics.set(names::SLM_ARENA_EDGES, edges);
+        self.metrics.set(names::SLM_ARENA_BYTES, bytes);
+        self.metrics.set(names::SLM_WORDS_UNIQUE, unique);
+        self.metrics.set(names::SLM_WORDS_TOTAL, total);
         self.models = Some(models);
     }
 
@@ -373,9 +456,11 @@ impl<'a> StagedRun<'a> {
     fn run_distances(&mut self) {
         self.ensure_structural();
         let stage = Instant::now();
+        let rock = self.rock;
         let structural = self.structural.as_ref().expect("distances follow structural");
         let models = self.models.as_ref().expect("distances follow training");
-        let config = self.rock.config();
+        let config = rock.config();
+        let ctx = rock.trace_ctx();
         let families = structural.families();
         let indices: Vec<BTreeMap<Addr, usize>> =
             families.iter().map(|f| f.iter().enumerate().map(|(i, a)| (*a, i)).collect()).collect();
@@ -385,36 +470,57 @@ impl<'a> StagedRun<'a> {
             .flat_map(|(fi, f)| f.iter().map(move |&child| (fi, child)))
             .collect();
         let scored = crate::par::par_map_catch(config.parallelism, &children, |&(fi, child)| {
+            let mut spans = ctx.local();
+            let token = spans.enter(names::DISTANCES_CHILD, child.value());
             self.inject(Stage::Distances, child.value());
-            child_candidate_edges(
+            let edges = child_candidate_edges(
                 &indices[fi],
                 child,
                 |c| structural.possible_parents().of(c),
                 |parent, child| {
-                    let (pm, cm) = (models.get(&parent)?, models.get(&child)?);
-                    Some(self.rock.cache().distance(config.metric, (&parent, pm), (&child, cm)))
+                    let pair = spans.enter(names::DISTANCES_PAIR, parent.value());
+                    let d = match (models.get(&parent), models.get(&child)) {
+                        (Some(pm), Some(cm)) => {
+                            Some(rock.cache().distance(config.metric, (&parent, pm), (&child, cm)))
+                        }
+                        _ => None,
+                    };
+                    spans.exit(pair);
+                    d
                 },
-            )
+            );
+            spans.exit(token);
+            (edges, spans)
         });
         let mut distances = BTreeMap::new();
         let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
-        for (&(fi, child), outcome) in children.iter().zip(&scored) {
+        for (&(fi, child), outcome) in children.iter().zip(scored) {
             let edges = match outcome {
-                Ok(edges) => edges,
+                Ok((edges, spans)) => {
+                    ctx.merge(spans);
+                    edges
+                }
                 Err(msg) => {
                     // The child keeps no incoming edges and becomes a
                     // root of its family's arborescence.
                     self.sink.record(StageError {
                         stage: Stage::Distances,
                         subject: Subject::Vtable(child),
-                        kind: FaultKind::Panicked(msg.clone()),
+                        kind: FaultKind::Panicked(msg),
                         severity: Severity::Error,
                     });
                     continue;
                 }
             };
-            self.timings.edge_count += edges.accepted.len();
-            self.timings.foreign_candidates += edges.foreign;
+            let candidates = edges.accepted.len() + edges.unmodeled.len() + edges.foreign;
+            self.metrics.observe(names::HIST_CANDIDATES_PER_CHILD, candidates as u64);
+            self.metrics.add(
+                names::DISTANCES_PAIRS_SCORED,
+                (edges.accepted.len() + edges.unmodeled.len()) as u64,
+            );
+            self.metrics.add(names::DISTANCES_EDGES, edges.accepted.len() as u64);
+            self.metrics.add(names::DISTANCES_FOREIGN_CANDIDATES, edges.foreign as u64);
+            self.metrics.add(names::DISTANCES_UNMODELED, edges.unmodeled.len() as u64);
             for &(parent, child) in &edges.unmodeled {
                 self.sink.record(StageError {
                     stage: Stage::Distances,
@@ -439,15 +545,19 @@ impl<'a> StagedRun<'a> {
     /// degrades to all-roots instead of aborting the run.
     fn run_lifting(&mut self) {
         let stage = Instant::now();
+        let rock = self.rock;
         let structural = self.structural.as_ref().expect("lifting follows structural");
         let graphs = self.graphs.as_ref().expect("lifting follows distances");
-        let config = self.rock.config();
+        let config = rock.config();
+        let ctx = rock.trace_ctx();
         let families = structural.families();
         self.coverage.families_total = families.len();
         let graph_items: Vec<(usize, &DiGraph)> = graphs.iter().enumerate().collect();
         let lifted = crate::par::par_map_catch(config.parallelism, &graph_items, |&(fi, graph)| {
+            let mut spans = ctx.local();
+            let token = spans.enter(names::LIFTING_FAMILY, fi as u64);
             self.inject(Stage::Lifting, fi as u64);
-            if config.resolve_ties {
+            let (parent, tie_variants) = if config.resolve_ties {
                 // §4.2.2: several arborescences may share the minimal
                 // weight; resolve with the majority-vote heuristic.
                 let variants = rock_graph::co_optimal_forests(
@@ -455,15 +565,22 @@ impl<'a> StagedRun<'a> {
                     config.tie_epsilon,
                     config.max_tie_variants,
                 );
-                rock_graph::vote_select(&variants).parent.clone()
+                (rock_graph::vote_select(&variants).parent.clone(), variants.len())
             } else {
-                min_spanning_forest(graph).parent
-            }
+                (min_spanning_forest(graph).parent, 1)
+            };
+            spans.exit(token);
+            (parent, tie_variants, spans)
         });
         let mut hierarchy: Forest<Addr> = Forest::new();
         for ((fi, family), outcome) in families.iter().enumerate().zip(lifted) {
             let parent = match outcome {
-                Ok(parent) => parent,
+                Ok((parent, tie_variants, spans)) => {
+                    ctx.merge(spans);
+                    self.metrics.add(names::LIFTING_TIE_VARIANTS, tie_variants as u64);
+                    self.metrics.observe(names::HIST_FAMILY_SIZE, family.len() as u64);
+                    parent
+                }
                 Err(msg) => {
                     self.sink.record(StageError {
                         stage: Stage::Lifting,
@@ -518,6 +635,10 @@ impl<'a> StagedRun<'a> {
     ) -> Result<(), RestoreError> {
         self.accept_restore(StageId::Analysis)?;
         self.restore_observability(diagnostics, coverage);
+        // Pool-shape metrics are re-derived from the artifact; only
+        // `analysis.fuel_spent` is unrecoverable (it never leaves the
+        // live stage) and stays zero on resumed runs.
+        self.record_analysis_metrics(&analysis);
         self.analysis = Some(analysis);
         Ok(())
     }
@@ -581,12 +702,12 @@ impl<'a> StagedRun<'a> {
             for &child in family {
                 for parent in structural.possible_parents().of(child) {
                     if !index.contains_key(&parent) {
-                        self.timings.foreign_candidates += 1;
+                        self.metrics.add(names::DISTANCES_FOREIGN_CANDIDATES, 1);
                         continue;
                     }
                     if let Some(&d) = distances.get(&(parent, child)) {
                         graphs[fi].add_edge(index[&parent], index[&child], d);
-                        self.timings.edge_count += 1;
+                        self.metrics.add(names::DISTANCES_EDGES, 1);
                     }
                 }
             }
@@ -628,30 +749,57 @@ impl<'a> StagedRun<'a> {
 
         if config.repartition_families {
             let stage = Instant::now();
-            crate::pipeline::repartition(
+            let rock = self.rock;
+            let ctx = rock.trace_ctx();
+            let _span = ctx.span(names::STAGE_REPARTITION, 0);
+            let adopted = crate::pipeline::repartition(
                 &mut hierarchy,
                 &mut distances,
                 &structural,
                 &models,
                 self.loaded,
                 config.metric,
-                self.rock.cache(),
+                rock.cache(),
                 config.parallelism,
+                ctx,
             );
+            self.metrics.set(names::REPARTITION_ADOPTIONS, adopted as u64);
             self.timings.repartition = stage.elapsed();
         }
 
-        self.timings.cache_hits = self.rock.cache().hits() - self.cache_hits0;
-        self.timings.cache_misses = self.rock.cache().misses() - self.cache_misses0;
-        self.timings.skipped_functions =
-            self.coverage.functions_skipped + self.coverage.functions_timed_out;
-        self.timings.rejected_vtables = self.coverage.vtables_rejected;
+        // Finalize registry counters that only settle at the run
+        // boundary; all of them derive from deterministic state (coverage
+        // snapshots, diagnostics, cache deltas), so restored runs report
+        // what the uninterrupted run would have.
+        let cov = self.coverage;
+        self.metrics.set(names::ANALYSIS_FUNCTIONS_TOTAL, cov.functions_total as u64);
+        self.metrics.set(names::ANALYSIS_FUNCTIONS_ANALYZED, cov.functions_analyzed as u64);
+        self.metrics.set(
+            names::ANALYSIS_FUNCTIONS_SKIPPED,
+            (cov.functions_skipped + cov.functions_timed_out) as u64,
+        );
+        self.metrics.set(names::LOAD_VTABLES_PARSED, cov.vtables_parsed as u64);
+        self.metrics.set(names::LOAD_VTABLES_REJECTED, cov.vtables_rejected as u64);
+        self.metrics.set(names::LIFTING_FAMILIES_TOTAL, cov.families_total as u64);
+        self.metrics.set(names::LIFTING_FAMILIES_LIFTED, cov.families_lifted as u64);
+        self.metrics.set(names::LIFTING_FAMILIES_DEGRADED, cov.families_degraded as u64);
+        self.metrics.set(names::DISTANCES_CACHE_HIT, self.rock.cache().hits() - self.cache_hits0);
+        self.metrics
+            .set(names::DISTANCES_CACHE_MISS, self.rock.cache().misses() - self.cache_misses0);
         let dropped = self.sink.dropped();
         let diagnostics = self.sink.into_entries();
-        self.timings.diagnostics_bytes = diagnostics.iter().map(StageError::approx_bytes).sum();
+        let errors = diagnostics.iter().filter(|e| e.severity == Severity::Error).count();
+        self.metrics.set(names::DIAGNOSTICS_ERRORS, errors as u64);
+        self.metrics.set(names::DIAGNOSTICS_WARNINGS, (diagnostics.len() - errors) as u64);
+        self.metrics.set(
+            names::DIAGNOSTICS_BYTES,
+            diagnostics.iter().map(StageError::approx_bytes).sum::<usize>() as u64,
+        );
         if dropped > 0 {
             eprintln!("rock: diagnostic sink overflowed; {dropped} entries dropped");
         }
+        // The timings counters are a fixed projection of the registry.
+        self.timings.absorb_counters(&self.metrics);
         self.timings.total = self.run_start.elapsed();
 
         assemble_reconstruction(
@@ -662,6 +810,7 @@ impl<'a> StagedRun<'a> {
             self.timings,
             diagnostics,
             self.coverage,
+            self.metrics,
             config.metric,
             models,
             self.rock.cache().clone(),

@@ -1,7 +1,10 @@
 //! Per-stage observability for one reconstruction run.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::time::Duration;
+
+use rock_trace::{names, MetricsRegistry};
 
 /// Wall-clock and work counters for each pipeline stage of a single
 /// [`crate::Rock::reconstruct`] call.
@@ -61,6 +64,77 @@ pub struct StageTimings {
     pub rejected_vtables: usize,
     /// Approximate bytes retained by the run's diagnostics.
     pub diagnostics_bytes: usize,
+}
+
+impl StageTimings {
+    /// Projects the run's [`MetricsRegistry`] counters onto the legacy
+    /// work-counter fields, making this struct a thin view over the
+    /// registry: the wall-clock fields stay owned here (the registry
+    /// deliberately holds no clock values), every other number has the
+    /// registry as its single source of truth.
+    pub fn absorb_counters(&mut self, metrics: &MetricsRegistry) {
+        self.slm_count = metrics.counter(names::SLM_MODELS_TRAINED) as usize;
+        self.slm_nodes = metrics.counter(names::SLM_ARENA_NODES) as usize;
+        self.slm_edges = metrics.counter(names::SLM_ARENA_EDGES) as usize;
+        self.slm_bytes = metrics.counter(names::SLM_ARENA_BYTES) as usize;
+        self.slm_unique_words = metrics.counter(names::SLM_WORDS_UNIQUE) as usize;
+        self.slm_total_words = metrics.counter(names::SLM_WORDS_TOTAL);
+        self.edge_count = metrics.counter(names::DISTANCES_EDGES) as usize;
+        self.foreign_candidates = metrics.counter(names::DISTANCES_FOREIGN_CANDIDATES) as usize;
+        self.cache_hits = metrics.counter(names::DISTANCES_CACHE_HIT);
+        self.cache_misses = metrics.counter(names::DISTANCES_CACHE_MISS);
+        self.skipped_functions = metrics.counter(names::ANALYSIS_FUNCTIONS_SKIPPED) as usize;
+        self.fuel_exhausted = metrics.counter(names::ANALYSIS_FUEL_EXHAUSTED) as usize;
+        self.rejected_vtables = metrics.counter(names::LOAD_VTABLES_REJECTED) as usize;
+        self.diagnostics_bytes = metrics.counter(names::DIAGNOSTICS_BYTES) as usize;
+    }
+
+    /// Machine-readable rendering for `--timings=json`: one flat JSON
+    /// object, durations as integer microseconds (no floats, no NaNs).
+    /// The same document shape is emitted by `rock reconstruct` and
+    /// `rock batch`, replacing the two drift-prone text formatters.
+    pub fn to_json(&self) -> String {
+        fn us(d: Duration) -> u128 {
+            d.as_micros()
+        }
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"threads\":{},\"analysis_us\":{},\"structural_us\":{},\"training_us\":{},\
+             \"distances_us\":{},\"lifting_us\":{},\"repartition_us\":{},\"total_us\":{},",
+            self.threads,
+            us(self.analysis),
+            us(self.structural),
+            us(self.training),
+            us(self.distances),
+            us(self.lifting),
+            us(self.repartition),
+            us(self.total),
+        );
+        let _ = write!(
+            s,
+            "\"slm_count\":{},\"slm_nodes\":{},\"slm_edges\":{},\"slm_bytes\":{},\
+             \"slm_unique_words\":{},\"slm_total_words\":{},\"edge_count\":{},\
+             \"foreign_candidates\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"skipped_functions\":{},\"fuel_exhausted\":{},\"rejected_vtables\":{},\
+             \"diagnostics_bytes\":{}}}",
+            self.slm_count,
+            self.slm_nodes,
+            self.slm_edges,
+            self.slm_bytes,
+            self.slm_unique_words,
+            self.slm_total_words,
+            self.edge_count,
+            self.foreign_candidates,
+            self.cache_hits,
+            self.cache_misses,
+            self.skipped_functions,
+            self.fuel_exhausted,
+            self.rejected_vtables,
+            self.diagnostics_bytes,
+        );
+        s
+    }
 }
 
 impl fmt::Display for StageTimings {

@@ -34,6 +34,7 @@ use rock_core::{FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId, 
 use rock_graph::Forest;
 use rock_loader::LoadedBinary;
 use rock_structural::Structural;
+use rock_trace::{names, MetricsRegistry, TraceCtx, Tracer};
 
 use crate::artifact::{content_key, ArtifactStore, Checkpoint, StagePayload, StoreError};
 use crate::ladder::{structural_only_hierarchy, Rung};
@@ -74,6 +75,10 @@ pub struct SupervisorOptions {
     pub sleep_backoff: bool,
     /// Abort the batch after this many hard failures (code ≥ 3).
     pub max_failures: Option<usize>,
+    /// Embed the run's versioned metrics document in each job report
+    /// (`rock batch --metrics`). The registry is computed by the
+    /// pipeline either way; this only controls report size.
+    pub collect_metrics: bool,
 }
 
 /// How one job ended.
@@ -167,6 +172,11 @@ pub struct JobReport {
     pub roots: usize,
     /// Wall-clock time spent on the job.
     pub elapsed_ms: u64,
+    /// The run's versioned metrics document (pipeline registry plus the
+    /// `supervisor.*` counters), when
+    /// [`SupervisorOptions::collect_metrics`] is set. Deterministic work
+    /// counts only — no wall-clock values.
+    pub metrics: Option<String>,
 }
 
 impl JobReport {
@@ -223,6 +233,10 @@ impl JobReport {
         s.push_str(&format!("\"warnings\":{},", self.warnings));
         s.push_str(&format!("\"types\":{},", self.types));
         s.push_str(&format!("\"roots\":{},", self.roots));
+        if let Some(doc) = &self.metrics {
+            // Already a rendered JSON object; embed it verbatim.
+            s.push_str(&format!("\"metrics\":{doc},"));
+        }
         s.push_str(&format!("\"elapsed_ms\":{}", self.elapsed_ms));
         s.push('}');
         s
@@ -303,6 +317,14 @@ pub struct Supervisor {
     options: SupervisorOptions,
     store: ArtifactStore,
     fault: Option<Arc<FaultPlan>>,
+    tracer: Option<Arc<Tracer>>,
+}
+
+/// Work counts one job accumulates outside the pipeline registry.
+#[derive(Default)]
+struct SupervisorCounters {
+    checkpoints_saved: u64,
+    backoff_ms_total: u64,
 }
 
 enum AttemptOutcome {
@@ -317,7 +339,15 @@ impl Supervisor {
     /// A supervisor reconstructing under `config` with checkpoints in
     /// `store`.
     pub fn new(config: RockConfig, store: ArtifactStore, options: SupervisorOptions) -> Self {
-        Supervisor { config, options, store, fault: None }
+        Supervisor { config, options, store, fault: None, tracer: None }
+    }
+
+    /// Attaches a span [`Tracer`]: every job records `supervisor.*`
+    /// spans (job, attempts, checkpoint saves, restores, backoff waits)
+    /// and the pipeline's stage/item spans into it.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Attaches a fault plan (tests: injected panics + stage
@@ -345,6 +375,9 @@ impl Supervisor {
     pub fn run_job(&self, name: &str, image_bytes: &[u8]) -> JobResult {
         let start = Instant::now();
         let key = self.job_key(image_bytes);
+        let ctx = TraceCtx::from(self.tracer.as_deref());
+        let _job_span = ctx.span(names::SUPERVISOR_JOB, key);
+        let mut counters = SupervisorCounters::default();
         let mut report = JobReport {
             name: name.to_string(),
             key,
@@ -357,6 +390,7 @@ impl Supervisor {
             types: 0,
             roots: 0,
             elapsed_ms: 0,
+            metrics: None,
         };
         let image = match image_from_bytes(image_bytes) {
             Ok(image) => image,
@@ -382,8 +416,12 @@ impl Supervisor {
             let rung = if attempt == 0 { Rung::Full } else { Rung::Reduced };
             let backoff_ms =
                 if attempt == 0 { 0 } else { self.options.retry.backoff_ms(attempt - 1) };
-            if backoff_ms > 0 && self.options.sleep_backoff {
-                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+            if backoff_ms > 0 {
+                counters.backoff_ms_total += backoff_ms;
+                let _backoff_span = ctx.span(names::SUPERVISOR_BACKOFF, backoff_ms);
+                if self.options.sleep_backoff {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                }
             }
             if deadline.expired() {
                 report.attempts.push(AttemptRecord { rung, backoff_ms, result: "deadline".into() });
@@ -391,7 +429,15 @@ impl Supervisor {
                 fall_through_to_fallback = true;
                 break;
             }
-            match self.attempt(attempt, rung, &loaded, image_bytes, &deadline, &mut report) {
+            match self.attempt(
+                attempt,
+                rung,
+                &loaded,
+                image_bytes,
+                &deadline,
+                &mut report,
+                &mut counters,
+            ) {
                 AttemptOutcome::Completed(recon) => {
                     report.attempts.push(AttemptRecord { rung, backoff_ms, result: "ok".into() });
                     report.errors = count_severity(&recon, Severity::Error);
@@ -476,6 +522,17 @@ impl Supervisor {
             output = JobOutput::StructuralOnly { hierarchy, structural, issues };
         }
 
+        if self.options.collect_metrics {
+            let mut metrics = match &output {
+                JobOutput::Full(recon) => recon.metrics.clone(),
+                _ => MetricsRegistry::new(),
+            };
+            metrics.set(names::SUPERVISOR_ATTEMPTS, report.attempts.len() as u64);
+            metrics.set(names::SUPERVISOR_CHECKPOINTS_SAVED, counters.checkpoints_saved);
+            metrics.set(names::SUPERVISOR_STAGES_RESTORED, report.restored.len() as u64);
+            metrics.set(names::SUPERVISOR_BACKOFF_MS, counters.backoff_ms_total);
+            report.metrics = Some(metrics.to_json());
+        }
         report.elapsed_ms = start.elapsed().as_millis() as u64;
         JobResult { report, output }
     }
@@ -506,6 +563,7 @@ impl Supervisor {
     /// advance the rest live, checkpoint each completed stage, honor
     /// interrupt directives and the watchdog. Panics are contained and
     /// reported, never propagated.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         attempt: u32,
@@ -514,22 +572,31 @@ impl Supervisor {
         image_bytes: &[u8],
         deadline: &Deadline,
         report: &mut JobReport,
+        counters: &mut SupervisorCounters,
     ) -> AttemptOutcome {
+        let ctx = TraceCtx::from(self.tracer.as_deref());
+        let _attempt_span = ctx.span(names::SUPERVISOR_ATTEMPT, attempt as u64);
         let config = rung.apply(&self.config);
         let key = content_key(image_bytes, &config);
         let mut rock = Rock::new(config);
         if let Some(plan) = &self.fault {
             rock = rock.with_fault_plan(plan.clone());
         }
+        if let Some(tracer) = &self.tracer {
+            rock = rock.with_tracer(tracer.clone());
+        }
         let mut restored: Vec<StageId> = Vec::new();
         let mut resume_corrupt = false;
+        let mut checkpoints_saved = 0u64;
         let caught = catch_unwind(AssertUnwindSafe(|| {
             if self.fault.as_ref().is_some_and(|p| p.should_fail_attempt(attempt)) {
                 panic!("injected attempt fault");
             }
             let mut run = rock.begin(loaded);
             if self.options.resume {
+                let restore_span = ctx.span(names::SUPERVISOR_RESTORE, key);
                 self.restore_prefix(&mut run, key, &mut restored, &mut resume_corrupt);
+                drop(restore_span);
             }
             loop {
                 if deadline.expired() {
@@ -540,9 +607,12 @@ impl Supervisor {
                     Ok(None) => break,
                     Ok(Some(stage)) => {
                         if let Some(cp) = checkpoint_of(&run, stage) {
+                            let cp_span = ctx.span(names::SUPERVISOR_CHECKPOINT, stage as u64);
                             // A failed save must not fail the job: the
                             // stage already ran; only resume is lost.
                             let _ = self.store.save(key, &cp);
+                            checkpoints_saved += 1;
+                            drop(cp_span);
                         }
                         if self.fault.as_ref().is_some_and(|p| p.should_interrupt_after(stage)) {
                             return AttemptOutcome::Interrupted(stage);
@@ -554,6 +624,7 @@ impl Supervisor {
         }));
         report.restored.extend(restored);
         report.resume_corrupt |= resume_corrupt;
+        counters.checkpoints_saved += checkpoints_saved;
         match caught {
             Ok(outcome) => outcome,
             Err(payload) => AttemptOutcome::Panicked(panic_message(&payload)),
@@ -661,6 +732,7 @@ mod tests {
             types: 0,
             roots: 0,
             elapsed_ms: 0,
+            metrics: None,
         };
         assert_eq!(report.exit_code(), exit::OK);
         report.resume_corrupt = true;
@@ -687,6 +759,7 @@ mod tests {
             types: 3,
             roots: 1,
             elapsed_ms: 7,
+            metrics: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"name\":\"a\\\"b\\\\c\\nd\""));

@@ -1,0 +1,271 @@
+//! Export formats: Chrome trace events and schema validation.
+
+use crate::json::{parse_json, Json};
+use crate::metrics::METRICS_SCHEMA_VERSION;
+use crate::tracer::SpanEvent;
+
+/// The deterministic projection of a span: what the determinism suite
+/// compares across thread counts and repeated runs (timestamps and lane
+/// layout scrubbed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScrubbedSpan {
+    /// Span name.
+    pub name: &'static str,
+    /// Subject id.
+    pub subject: u64,
+    /// Parent index within the same log.
+    pub parent: Option<u32>,
+}
+
+/// Scrubs a span log down to its deterministic skeleton, preserving
+/// order. Two runs of the same binary must produce equal scrubbed logs
+/// whatever the thread count.
+pub fn scrubbed(events: &[SpanEvent]) -> Vec<ScrubbedSpan> {
+    events
+        .iter()
+        .map(|e| ScrubbedSpan { name: e.name, subject: e.subject, parent: e.parent })
+        .collect()
+}
+
+/// Renders a span log as a Chrome trace document (the JSON-array-of-
+/// complete-events dialect `chrome://tracing` and Perfetto load).
+///
+/// Every span becomes one `"ph":"X"` event with microsecond timestamps.
+/// All events share `pid` 1; `tid` is a presentation lane — lane 0 holds
+/// the serial driver spans, and each merged worker buffer (one span
+/// `unit`) is packed onto the lowest lane whose previous occupant ended
+/// before it starts, so overlapping parallel items render side by side.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    use std::fmt::Write as _;
+
+    // Interval covered by each unit, in first-appearance order.
+    let mut units: Vec<(u32, u64, u64)> = Vec::new(); // (unit, start, end)
+    for e in events.iter().filter(|e| e.unit != 0) {
+        let end = e.start_ns.saturating_add(e.dur_ns);
+        match units.iter_mut().find(|(u, ..)| *u == e.unit) {
+            Some((_, s, t)) => {
+                *s = (*s).min(e.start_ns);
+                *t = (*t).max(end);
+            }
+            None => units.push((e.unit, e.start_ns, end)),
+        }
+    }
+    // Greedy lane packing; lane 0 is reserved for the serial driver.
+    let mut lane_of: Vec<(u32, u64)> = Vec::new(); // per unit: (tid, unit end)
+    let mut lanes: Vec<u64> = Vec::new(); // per lane: end of last unit
+    for &(unit, start, end) in &units {
+        let lane = match lanes.iter().position(|&busy_until| busy_until <= start) {
+            Some(i) => i,
+            None => {
+                lanes.push(0);
+                lanes.len() - 1
+            }
+        };
+        lanes[lane] = end;
+        lane_of.push((unit, lane as u64 + 1));
+    }
+    let tid_of = |unit: u32| -> u64 {
+        if unit == 0 {
+            return 0;
+        }
+        lane_of.iter().find(|(u, _)| *u == unit).map(|&(_, t)| t).unwrap_or(0)
+    };
+
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        let cat = e.name.split('.').next().unwrap_or(e.name);
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"subject\":{},\"span\":{},\
+             \"parent\":{}}}}}",
+            e.name,
+            cat,
+            tid_of(e.unit),
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            e.subject,
+            i,
+            match e.parent {
+                Some(p) => p as i64,
+                None => -1,
+            },
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Validates an exported metrics document against the schema: versioned,
+/// integer counters, histograms with strictly increasing bounds and
+/// `bounds + 1` bucket counts summing to `count`. The parser itself
+/// rejects NaN/Infinity, so a parse is also a no-NaN proof.
+pub fn validate_metrics_doc(text: &str) -> Result<(), String> {
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    let version = doc.get("version").and_then(Json::as_num).ok_or("missing numeric \"version\"")?;
+    if version != METRICS_SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported metrics schema version {version}"));
+    }
+    let counters = doc.get("counters").and_then(Json::as_obj).ok_or("missing \"counters\"")?;
+    for (name, v) in counters {
+        let n = v.as_num().ok_or_else(|| format!("counter {name:?} is not a number"))?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("counter {name:?} is not a non-negative integer"));
+        }
+    }
+    let histograms =
+        doc.get("histograms").and_then(Json::as_obj).ok_or("missing \"histograms\"")?;
+    for (name, h) in histograms {
+        let bounds = h
+            .get("bounds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("histogram {name:?} missing bounds"))?;
+        let bounds: Vec<f64> = bounds.iter().filter_map(Json::as_num).collect();
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("histogram {name:?} bounds are not strictly increasing"));
+        }
+        let counts = h
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("histogram {name:?} missing counts"))?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram {name:?} has {} buckets for {} bounds",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let total: f64 = counts.iter().filter_map(Json::as_num).sum();
+        let count =
+            h.get("count").and_then(Json::as_num).ok_or_else(|| format!("{name:?} no count"))?;
+        if total != count {
+            return Err(format!("histogram {name:?} bucket counts sum {total} != {count}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a Chrome trace document: an array of complete (`"ph":"X"`)
+/// events with the fields the viewer needs and finite timestamps.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    let events = doc.as_arr().ok_or("trace document must be a JSON array")?;
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "ph", "cat"] {
+            if e.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("event {i} missing string field {key:?}"));
+            }
+        }
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            return Err(format!("event {i} is not a complete (\"X\") event"));
+        }
+        for key in ["pid", "tid", "ts", "dur"] {
+            let Some(n) = e.get(key).and_then(Json::as_num) else {
+                return Err(format!("event {i} missing numeric field {key:?}"));
+            };
+            if n < 0.0 {
+                return Err(format!("event {i} field {key:?} is negative"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::tracer::Tracer;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        let t = Tracer::new();
+        {
+            let _stage = t.span("stage.training", 0);
+            let mut a = t.local();
+            let tok = a.enter("training.type", 0x1000);
+            a.exit(tok);
+            let mut b = t.local();
+            let tok = b.enter("training.type", 0x2000);
+            b.exit(tok);
+            t.merge(a);
+            t.merge(b);
+        }
+        t.events()
+    }
+
+    #[test]
+    fn chrome_export_is_loadable_and_validates() {
+        let doc = chrome_trace_json(&sample_events());
+        validate_chrome_trace(&doc).unwrap();
+        let parsed = parse_json(&doc).unwrap();
+        let events = parsed.as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("tid").unwrap().as_num(), Some(0.0), "driver lane");
+        assert_eq!(events[0].get("cat").unwrap().as_str(), Some("stage"));
+        // Parent links survive the export in args.
+        assert_eq!(events[1].get("args").unwrap().get("parent").unwrap().as_num(), Some(0.0));
+        // Empty logs still produce a valid document.
+        validate_chrome_trace(&chrome_trace_json(&[])).unwrap();
+    }
+
+    #[test]
+    fn scrubbed_drops_only_timing() {
+        let events = sample_events();
+        let s = scrubbed(&events);
+        assert_eq!(s.len(), events.len());
+        assert_eq!(s[0], ScrubbedSpan { name: "stage.training", subject: 0, parent: None });
+        assert_eq!(s[1].parent, Some(0));
+    }
+
+    #[test]
+    fn metrics_validation_accepts_real_docs_and_rejects_drift() {
+        let mut m = MetricsRegistry::new();
+        m.add("a.count", 3);
+        m.observe("a.len", 7);
+        validate_metrics_doc(&m.to_json()).unwrap();
+
+        assert!(validate_metrics_doc("{}").is_err(), "missing version");
+        assert!(
+            validate_metrics_doc("{\"version\":99,\"counters\":{},\"histograms\":{}}").is_err(),
+            "wrong version"
+        );
+        assert!(
+            validate_metrics_doc("{\"version\":1,\"counters\":{\"x\":1.5},\"histograms\":{}}")
+                .is_err(),
+            "fractional counter"
+        );
+        let bad_bounds = "{\"version\":1,\"counters\":{},\"histograms\":{\"h\":\
+                          {\"bounds\":[4,2],\"counts\":[0,0,0],\"count\":0,\"sum\":0}}}";
+        assert!(validate_metrics_doc(bad_bounds).is_err(), "non-monotone bounds");
+        let bad_len = "{\"version\":1,\"counters\":{},\"histograms\":{\"h\":\
+                       {\"bounds\":[1,2],\"counts\":[0,0],\"count\":0,\"sum\":0}}}";
+        assert!(validate_metrics_doc(bad_len).is_err(), "bucket arity");
+    }
+
+    #[test]
+    fn parallel_units_get_distinct_lanes_when_overlapping() {
+        // Two units with overlapping intervals must land on different
+        // lanes; a third starting after both can reuse lane 1.
+        let ev = |unit, start_ns, dur_ns| SpanEvent {
+            name: "training.type",
+            subject: unit as u64,
+            start_ns,
+            dur_ns,
+            parent: None,
+            unit,
+        };
+        let events = vec![ev(1, 0, 100), ev(2, 50, 100), ev(3, 500, 10)];
+        let doc = chrome_trace_json(&events);
+        let parsed = parse_json(&doc).unwrap();
+        let tids: Vec<f64> = parsed
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_num().unwrap())
+            .collect();
+        assert_eq!(tids, vec![1.0, 2.0, 1.0]);
+    }
+}

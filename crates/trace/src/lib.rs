@@ -1,0 +1,41 @@
+//! Structured observability for the reconstruction pipeline.
+//!
+//! Two cooperating pieces:
+//!
+//! * a **hierarchical span tracer** ([`Tracer`]) recording monotonic
+//!   wall-clock intervals with parent links — stage spans on the serial
+//!   driver thread, per-item spans ([`LocalSpans`]) buffered inside
+//!   parallel workers and merged back **in input order** at stage
+//!   boundaries, so the span *tree* is deterministic modulo timestamps;
+//! * a **typed metrics registry** ([`MetricsRegistry`]) of named counters
+//!   and fixed-bucket histograms. No wall-clock value ever enters the
+//!   registry, so two runs of the same binary under any thread count
+//!   produce *equal* registries.
+//!
+//! The disabled path is a strict no-op: [`TraceCtx`] wraps
+//! `Option<&Tracer>`, a disabled [`LocalSpans`] never allocates, never
+//! reads the clock, and never takes a lock — the hot loops pay only a
+//! branch.
+//!
+//! Exports: [`chrome_trace_json`] renders a span log in the Chrome
+//! `chrome://tracing` event format; [`MetricsRegistry::to_json`] emits a
+//! versioned metrics document. Both are validated (offline, no deps) by
+//! [`validate_chrome_trace`] / [`validate_metrics_doc`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod json;
+mod local;
+mod metrics;
+pub mod names;
+mod tracer;
+
+pub use export::{
+    chrome_trace_json, scrubbed, validate_chrome_trace, validate_metrics_doc, ScrubbedSpan,
+};
+pub use json::{parse_json, Json};
+pub use local::{LocalSpans, SpanToken};
+pub use metrics::{Histogram, MetricsRegistry, DEFAULT_BOUNDS, METRICS_SCHEMA_VERSION};
+pub use tracer::{SpanEvent, SpanGuard, TraceCtx, Tracer};

@@ -1,0 +1,148 @@
+//! Per-worker span buffers: lock-free, and allocation-free when disabled.
+
+use std::time::Instant;
+
+use crate::tracer::SpanEvent;
+
+/// Handle returned by [`LocalSpans::enter`]; pass it back to
+/// [`LocalSpans::exit`] to close the span.
+#[derive(Clone, Copy, Debug)]
+#[must_use = "an unexited span stays open (dur_ns = 0)"]
+pub struct SpanToken {
+    index: u32,
+}
+
+impl SpanToken {
+    const DISABLED: SpanToken = SpanToken { index: u32::MAX };
+}
+
+/// A span buffer owned by one parallel work item.
+///
+/// Created through [`crate::TraceCtx::local`]: enabled buffers share the
+/// tracer's epoch and record into a private `Vec`; disabled buffers hold
+/// empty vectors (`Vec::new` does not allocate), never read the clock,
+/// and never touch a lock — the whole API degenerates to an index check.
+/// Workers hand finished buffers back with their results; the serial
+/// merge loop absorbs them in input order via [`crate::Tracer::merge`].
+#[derive(Debug)]
+pub struct LocalSpans {
+    epoch: Option<Instant>,
+    events: Vec<SpanEvent>,
+    /// Indices of currently-open spans, innermost last.
+    stack: Vec<u32>,
+}
+
+impl LocalSpans {
+    /// An inert buffer: every operation is a no-op.
+    pub fn disabled() -> Self {
+        LocalSpans { epoch: None, events: Vec::new(), stack: Vec::new() }
+    }
+
+    pub(crate) fn enabled(epoch: Instant) -> Self {
+        LocalSpans { epoch: Some(epoch), events: Vec::new(), stack: Vec::new() }
+    }
+
+    /// Whether this buffer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// Opens a span nested under the innermost open span of this buffer.
+    pub fn enter(&mut self, name: &'static str, subject: u64) -> SpanToken {
+        let Some(epoch) = self.epoch else { return SpanToken::DISABLED };
+        let start_ns = epoch.elapsed().as_nanos() as u64;
+        let index = self.events.len() as u32;
+        let parent = self.stack.last().copied();
+        self.events.push(SpanEvent { name, subject, start_ns, dur_ns: 0, parent, unit: 0 });
+        self.stack.push(index);
+        SpanToken { index }
+    }
+
+    /// Closes the span opened by `token` (and any spans still open inside
+    /// it, so a panic-skipped `exit` cannot corrupt later nesting).
+    pub fn exit(&mut self, token: SpanToken) {
+        let Some(epoch) = self.epoch else { return };
+        let end_ns = epoch.elapsed().as_nanos() as u64;
+        while let Some(open) = self.stack.pop() {
+            if let Some(e) = self.events.get_mut(open as usize) {
+                e.dur_ns = end_ns.saturating_sub(e.start_ns);
+            }
+            if open == token.index {
+                break;
+            }
+        }
+    }
+
+    /// Runs `f` inside a span — the closure shape sidesteps borrow checks
+    /// when the traced region itself needs `&mut self`.
+    pub fn scoped<R>(
+        &mut self,
+        name: &'static str,
+        subject: u64,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        let token = self.enter(name, subject);
+        let out = f(self);
+        self.exit(token);
+        out
+    }
+
+    /// Number of recorded spans (0 for disabled buffers).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn into_events(self) -> Vec<SpanEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing_and_holds_no_capacity() {
+        let mut l = LocalSpans::disabled();
+        assert!(!l.is_enabled());
+        let t = l.enter("a", 1);
+        let inner = l.enter("b", 2);
+        l.exit(inner);
+        l.exit(t);
+        let r = l.scoped("c", 3, |_| 42);
+        assert_eq!(r, 42);
+        assert!(l.is_empty());
+        assert_eq!(l.events.capacity(), 0, "disabled buffers must not allocate");
+        assert_eq!(l.stack.capacity(), 0);
+    }
+
+    #[test]
+    fn enabled_buffer_nests_and_closes() {
+        let mut l = LocalSpans::enabled(Instant::now());
+        let outer = l.enter("outer", 1);
+        let inner = l.enter("inner", 2);
+        l.exit(inner);
+        l.exit(outer);
+        assert_eq!(l.len(), 2);
+        let events = l.into_events();
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].parent, Some(0));
+    }
+
+    #[test]
+    fn exiting_an_outer_span_closes_leaked_inner_spans() {
+        let mut l = LocalSpans::enabled(Instant::now());
+        let outer = l.enter("outer", 1);
+        let _leaked = l.enter("inner", 2);
+        l.exit(outer);
+        let next = l.enter("sibling", 3);
+        l.exit(next);
+        let events = l.into_events();
+        assert_eq!(events[2].parent, None, "sibling must not nest under the leaked span");
+    }
+}

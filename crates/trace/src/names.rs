@@ -1,0 +1,146 @@
+//! The span and metric name taxonomy.
+//!
+//! Names are dotted `area.detail` strings; the prefix before the first
+//! dot becomes the chrome-trace category. The full registry (with
+//! semantics and subjects) is tabulated in `DESIGN.md` §14.
+
+// --- Stage spans (serial driver thread, one per pipeline stage) -------
+
+/// Behavioral analysis stage.
+pub const STAGE_ANALYSIS: &str = "stage.analysis";
+/// Structural analysis (families + possible parents).
+pub const STAGE_STRUCTURAL: &str = "stage.structural";
+/// SLM training stage.
+pub const STAGE_TRAINING: &str = "stage.training";
+/// Distance-scoring stage.
+pub const STAGE_DISTANCES: &str = "stage.distances";
+/// Arborescence-lifting stage.
+pub const STAGE_LIFTING: &str = "stage.lifting";
+/// Cross-family repartition pass.
+pub const STAGE_REPARTITION: &str = "stage.repartition";
+
+// --- Per-item spans (worker-local buffers) ----------------------------
+
+/// One function's symbolic execution; subject = entry address.
+pub const ANALYSIS_FUNCTION: &str = "analysis.function";
+/// One type's SLM training; subject = vtable address.
+pub const TRAINING_TYPE: &str = "training.type";
+/// One child's candidate-edge scoring; subject = child vtable address.
+pub const DISTANCES_CHILD: &str = "distances.child";
+/// One candidate pair's KL evaluation; subject = parent vtable address.
+pub const DISTANCES_PAIR: &str = "distances.pair";
+/// One family's arborescence search; subject = family index.
+pub const LIFTING_FAMILY: &str = "lifting.family";
+/// One root's cross-family adoption scan; subject = root vtable address.
+pub const REPARTITION_ROOT: &str = "repartition.root";
+
+// --- Supervisor spans -------------------------------------------------
+
+/// One supervised job; subject = truncated content key.
+pub const SUPERVISOR_JOB: &str = "supervisor.job";
+/// One attempt on the retry ladder; subject = attempt ordinal.
+pub const SUPERVISOR_ATTEMPT: &str = "supervisor.attempt";
+/// Saving one stage checkpoint; subject = stage ordinal.
+pub const SUPERVISOR_CHECKPOINT: &str = "supervisor.checkpoint";
+/// Restoring the checkpointed prefix; subject = stages restored.
+pub const SUPERVISOR_RESTORE: &str = "supervisor.restore";
+/// A backoff wait between attempts; subject = wait in ms.
+pub const SUPERVISOR_BACKOFF: &str = "supervisor.backoff";
+
+// --- Counters ---------------------------------------------------------
+
+/// Functions in the loaded binary.
+pub const ANALYSIS_FUNCTIONS_TOTAL: &str = "analysis.functions_total";
+/// Functions whose symbolic execution completed.
+pub const ANALYSIS_FUNCTIONS_ANALYZED: &str = "analysis.functions_analyzed";
+/// Functions excluded (skips + contained panics + budget exhaustion).
+pub const ANALYSIS_FUNCTIONS_SKIPPED: &str = "analysis.functions_skipped";
+/// Functions excluded specifically by fuel exhaustion (live runs only;
+/// checkpoints do not carry it).
+pub const ANALYSIS_FUEL_EXHAUSTED: &str = "analysis.fuel_exhausted";
+/// Fuel units spent across all completed symbolic executions (live runs
+/// only; zero when the analysis stage was restored from a checkpoint).
+pub const ANALYSIS_FUEL_SPENT: &str = "analysis.fuel_spent";
+/// Tracelets pooled across all types.
+pub const ANALYSIS_TRACELETS: &str = "analysis.tracelets";
+/// Events across all pooled tracelets.
+pub const ANALYSIS_EVENTS: &str = "analysis.events";
+
+/// Vtables the loader accepted.
+pub const LOAD_VTABLES_PARSED: &str = "load.vtables_parsed";
+/// Vtable candidates the loader rejected.
+pub const LOAD_VTABLES_REJECTED: &str = "load.vtables_rejected";
+
+/// Candidate edges eliminated by rule 1 (slot count).
+pub const STRUCTURAL_RULE1_ELIMINATED: &str = "structural.rule1_eliminated";
+/// Candidate edges eliminated by rule 2 (pure-slot reuse).
+pub const STRUCTURAL_RULE2_ELIMINATED: &str = "structural.rule2_eliminated";
+/// Candidate edges eliminated by rule 3 (ctor pinning).
+pub const STRUCTURAL_RULE3_ELIMINATED: &str = "structural.rule3_eliminated";
+/// Candidate edges surviving all elimination rules.
+pub const STRUCTURAL_REMAINING: &str = "structural.remaining_candidates";
+
+/// SLMs trained (one per vtable that trained successfully).
+pub const SLM_MODELS_TRAINED: &str = "slm.models_trained";
+/// Context nodes across all SLM arena tries.
+pub const SLM_ARENA_NODES: &str = "slm.arena_nodes";
+/// Child edges across all SLM arena tries.
+pub const SLM_ARENA_EDGES: &str = "slm.arena_edges";
+/// Approximate resident bytes of all SLM arena tries.
+pub const SLM_ARENA_BYTES: &str = "slm.arena_bytes";
+/// Distinct training sequences after multiplicity deduplication.
+pub const SLM_WORDS_UNIQUE: &str = "slm.words_unique";
+/// Total training sequences fed in (clones included).
+pub const SLM_WORDS_TOTAL: &str = "slm.words_total";
+
+/// Candidate pairs evaluated (accepted + unmodeled).
+pub const DISTANCES_PAIRS_SCORED: &str = "distances.pairs_scored";
+/// Weighted edges put into family digraphs.
+pub const DISTANCES_EDGES: &str = "distances.edges";
+/// Candidates skipped for sitting outside their family.
+pub const DISTANCES_FOREIGN_CANDIDATES: &str = "distances.foreign_candidates";
+/// Candidate pairs dropped because an endpoint had no model.
+pub const DISTANCES_UNMODELED: &str = "distances.unmodeled_pairs";
+/// Distance lookups answered by the shared cache.
+pub const DISTANCES_CACHE_HIT: &str = "distances.cache_hit";
+/// Distance lookups that had to compute.
+pub const DISTANCES_CACHE_MISS: &str = "distances.cache_miss";
+
+/// Families found by the structural phase.
+pub const LIFTING_FAMILIES_TOTAL: &str = "lifting.families_total";
+/// Families whose arborescence search succeeded.
+pub const LIFTING_FAMILIES_LIFTED: &str = "lifting.families_lifted";
+/// Families degraded to all-roots by a contained fault.
+pub const LIFTING_FAMILIES_DEGRADED: &str = "lifting.families_degraded";
+/// Co-optimal tie variants enumerated across all families.
+pub const LIFTING_TIE_VARIANTS: &str = "lifting.tie_variants";
+
+/// Cross-family adoptions applied by the repartition pass.
+pub const REPARTITION_ADOPTIONS: &str = "repartition.adoptions";
+
+/// Diagnostics recorded at error severity.
+pub const DIAGNOSTICS_ERRORS: &str = "diagnostics.errors";
+/// Diagnostics recorded at warning severity.
+pub const DIAGNOSTICS_WARNINGS: &str = "diagnostics.warnings";
+/// Approximate bytes retained by the run's diagnostics.
+pub const DIAGNOSTICS_BYTES: &str = "diagnostics.bytes";
+
+/// Attempts the supervised job made (1 = clean first try).
+pub const SUPERVISOR_ATTEMPTS: &str = "supervisor.attempts";
+/// Stage checkpoints the job saved.
+pub const SUPERVISOR_CHECKPOINTS_SAVED: &str = "supervisor.checkpoints_saved";
+/// Stages restored from artifacts on resume.
+pub const SUPERVISOR_STAGES_RESTORED: &str = "supervisor.stages_restored";
+/// Total scheduled backoff across attempts, milliseconds.
+pub const SUPERVISOR_BACKOFF_MS: &str = "supervisor.backoff_ms_total";
+
+// --- Histograms -------------------------------------------------------
+
+/// Tracelet lengths (events per tracelet) across all pools.
+pub const HIST_TRACELET_LEN: &str = "analysis.tracelet_len";
+/// Arena nodes per trained model.
+pub const HIST_NODES_PER_MODEL: &str = "slm.nodes_per_model";
+/// Surviving candidate parents per child.
+pub const HIST_CANDIDATES_PER_CHILD: &str = "distances.candidates_per_child";
+/// Members per family at lifting time.
+pub const HIST_FAMILY_SIZE: &str = "lifting.family_size";

@@ -1,0 +1,269 @@
+//! The shared span log and its RAII guards.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::local::LocalSpans;
+
+/// One closed span: a named, subject-tagged interval with a parent link.
+///
+/// `start_ns`/`dur_ns` are monotonic nanoseconds relative to the owning
+/// [`Tracer`]'s epoch. `parent` is an index into the same event log
+/// (`None` for roots). `unit` groups the events of one merged
+/// [`LocalSpans`] buffer (0 for spans opened directly on the tracer), so
+/// the chrome export can lay overlapping item spans out on separate
+/// lanes; like the timestamps, it is presentational — the deterministic
+/// part of an event is `(name, subject, parent)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name from the [`crate::names`] taxonomy.
+    pub name: &'static str,
+    /// The analysis unit (function/vtable address, family index, …).
+    pub subject: u64,
+    /// Start offset from the tracer epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Index of the enclosing span in the same log, if any.
+    pub parent: Option<u32>,
+    /// Merge-buffer id (0 = opened directly on the tracer).
+    pub unit: u32,
+}
+
+#[derive(Default)]
+struct SpanLog {
+    events: Vec<SpanEvent>,
+    /// Indices of currently-open spans opened via [`Tracer::span`].
+    stack: Vec<u32>,
+    /// Merge buffers absorbed so far (next unit id minus one).
+    units: u32,
+}
+
+/// A hierarchical span tracer: an epoch plus an append-only span log.
+///
+/// Serial code opens spans directly ([`Tracer::span`]); parallel workers
+/// record into [`LocalSpans`] buffers handed back to the serial merge
+/// loop, which absorbs them in input order ([`Tracer::merge`]). The log
+/// lock is therefore only ever taken on serial paths.
+pub struct Tracer {
+    epoch: Instant,
+    log: Mutex<SpanLog>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer").field("events", &self.lock().events.len()).finish()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer whose epoch is "now".
+    pub fn new() -> Self {
+        Tracer { epoch: Instant::now(), log: Mutex::new(SpanLog::default()) }
+    }
+
+    /// The log survives a panic on another thread; span data is telemetry,
+    /// never load-bearing, so a poisoned lock is simply cleared.
+    fn lock(&self) -> MutexGuard<'_, SpanLog> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Opens a span; it closes (and records its duration) when the
+    /// returned guard drops. Nested calls on the same tracer parent to
+    /// the innermost open span.
+    pub fn span(&self, name: &'static str, subject: u64) -> SpanGuard<'_> {
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut log = self.lock();
+        let index = log.events.len() as u32;
+        let parent = log.stack.last().copied();
+        log.events.push(SpanEvent { name, subject, start_ns, dur_ns: 0, parent, unit: 0 });
+        log.stack.push(index);
+        drop(log);
+        SpanGuard { tracer: self, index }
+    }
+
+    /// A per-worker span buffer sharing this tracer's epoch.
+    pub fn local(&self) -> LocalSpans {
+        LocalSpans::enabled(self.epoch)
+    }
+
+    /// Absorbs one worker buffer: events keep their relative order, local
+    /// parent links are rebased, and buffer roots are parented to the
+    /// innermost span currently open on the tracer (the stage span, in
+    /// pipeline use). Call order defines event order, so merging buffers
+    /// in input order makes the log deterministic modulo timestamps.
+    pub fn merge(&self, local: LocalSpans) {
+        let events = local.into_events();
+        if events.is_empty() {
+            return;
+        }
+        let mut log = self.lock();
+        let base = log.events.len() as u32;
+        let outer = log.stack.last().copied();
+        log.units += 1;
+        let unit = log.units;
+        for mut e in events {
+            e.parent = match e.parent {
+                Some(p) => Some(base + p),
+                None => outer,
+            };
+            e.unit = unit;
+            log.events.push(e);
+        }
+    }
+
+    /// A snapshot of the span log (closed and still-open spans alike; an
+    /// open span has `dur_ns == 0`).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.lock().events.clone()
+    }
+}
+
+/// Closes its span on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    index: u32,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end_ns = self.tracer.epoch.elapsed().as_nanos() as u64;
+        let mut log = self.tracer.lock();
+        if let Some(e) = log.events.get_mut(self.index as usize) {
+            e.dur_ns = end_ns.saturating_sub(e.start_ns);
+        }
+        // Guards drop innermost-first on the serial driver; a defensive
+        // retain also survives out-of-order drops in tests.
+        let index = self.index;
+        log.stack.retain(|&i| i != index);
+    }
+}
+
+/// A copyable handle to "maybe a tracer": every operation is a no-op when
+/// disabled, so pipeline code threads one value through both paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceCtx<'a> {
+    tracer: Option<&'a Tracer>,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// The null sink: spans vanish, buffers never allocate.
+    pub fn disabled() -> Self {
+        TraceCtx { tracer: None }
+    }
+
+    /// A context recording into `tracer`.
+    pub fn enabled(tracer: &'a Tracer) -> Self {
+        TraceCtx { tracer: Some(tracer) }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Opens a span on the underlying tracer, if any.
+    pub fn span(&self, name: &'static str, subject: u64) -> Option<SpanGuard<'a>> {
+        self.tracer.map(|t| t.span(name, subject))
+    }
+
+    /// A worker buffer: live when enabled, inert (no allocation, no clock
+    /// reads) when disabled.
+    pub fn local(&self) -> LocalSpans {
+        match self.tracer {
+            Some(t) => t.local(),
+            None => LocalSpans::disabled(),
+        }
+    }
+
+    /// Merges a worker buffer back, if enabled.
+    pub fn merge(&self, local: LocalSpans) {
+        if let Some(t) = self.tracer {
+            t.merge(local);
+        }
+    }
+}
+
+impl<'a> From<Option<&'a Tracer>> for TraceCtx<'a> {
+    fn from(tracer: Option<&'a Tracer>) -> Self {
+        TraceCtx { tracer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_the_serial_path() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("stage.analysis", 0);
+            let _inner = t.span("analysis.function", 7);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "stage.analysis");
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].subject, 7);
+        assert_eq!(events[1].parent, Some(0));
+        assert_eq!(events[1].unit, 0);
+        assert!(events[0].dur_ns >= events[1].dur_ns);
+    }
+
+    #[test]
+    fn merge_rebases_parents_under_the_open_span() {
+        let t = Tracer::new();
+        let stage = t.span("stage.training", 0);
+        let mut a = t.local();
+        let tok = a.enter("training.type", 0x1000);
+        let nested = a.enter("training.word", 1);
+        a.exit(nested);
+        a.exit(tok);
+        let mut b = t.local();
+        let tok = b.enter("training.type", 0x2000);
+        b.exit(tok);
+        t.merge(a);
+        t.merge(b);
+        drop(stage);
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        // Buffer roots hang off the stage span; nesting is rebased.
+        assert_eq!(events[1].parent, Some(0));
+        assert_eq!(events[2].parent, Some(1));
+        assert_eq!(events[3].parent, Some(0));
+        assert_eq!((events[1].unit, events[3].unit), (1, 2));
+        assert!(events[0].dur_ns > 0, "stage span closed");
+    }
+
+    #[test]
+    fn disabled_ctx_is_inert() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        assert!(ctx.span("stage.analysis", 0).is_none());
+        let mut l = ctx.local();
+        let tok = l.enter("analysis.function", 1);
+        l.exit(tok);
+        ctx.merge(l);
+    }
+
+    #[test]
+    fn merging_an_empty_buffer_adds_no_unit() {
+        let t = Tracer::new();
+        t.merge(t.local());
+        assert!(t.events().is_empty());
+        let mut l = t.local();
+        let tok = l.enter("x", 0);
+        l.exit(tok);
+        t.merge(l);
+        assert_eq!(t.events()[0].unit, 1);
+    }
+}

@@ -9,4 +9,5 @@ pub use rock_minicpp as minicpp;
 pub use rock_slm as slm;
 pub use rock_structural as structural;
 pub use rock_supervisor as supervisor;
+pub use rock_trace as trace;
 pub use rock_vm as vm;

@@ -1,0 +1,79 @@
+//! Golden-file pinning of the metrics registry: a fixed program under a
+//! fixed config must reproduce the checked-in snapshot **byte for byte**
+//! — any counter drift (a lost cache hit, an extra trained model, a
+//! changed histogram bucket) fails loudly with a diffable document.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! ROCK_BLESS=1 cargo test --test golden_metrics
+//! ```
+
+use rock::core::{suite, Parallelism, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+use rock::trace::validate_metrics_doc;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_stress_2x2x2.json");
+
+fn current_doc() -> String {
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    // Serial here, but the determinism suite proves the registry is
+    // identical at every thread count, so this pins all of them.
+    let recon =
+        Rock::new(RockConfig::paper().with_parallelism(Parallelism::Serial)).reconstruct(&loaded);
+    recon.metrics.to_json()
+}
+
+#[test]
+fn metrics_match_golden_snapshot() {
+    let doc = current_doc();
+    validate_metrics_doc(&doc).expect("exported metrics must satisfy the schema");
+    if std::env::var_os("ROCK_BLESS").is_some() {
+        std::fs::write(GOLDEN, format!("{doc}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("missing golden snapshot — run ROCK_BLESS=1 cargo test --test golden_metrics");
+    assert_eq!(
+        doc,
+        golden.trim_end(),
+        "metrics drifted from the golden snapshot; if intentional, re-bless with \
+         ROCK_BLESS=1 cargo test --test golden_metrics"
+    );
+}
+
+#[test]
+fn golden_snapshot_is_schema_valid_and_sane() {
+    // Guards the checked-in file itself (e.g. against a hand edit): it
+    // must parse, satisfy the schema, and carry the structural
+    // invariants a 2×2×2 stress program implies.
+    // Under ROCK_BLESS the snapshot may be mid-rewrite by the other
+    // test; validate the freshly generated document instead.
+    let golden = if std::env::var_os("ROCK_BLESS").is_some() {
+        current_doc()
+    } else {
+        std::fs::read_to_string(GOLDEN)
+            .expect("missing golden snapshot — run ROCK_BLESS=1 cargo test --test golden_metrics")
+    };
+    validate_metrics_doc(&golden).expect("golden snapshot must satisfy the schema");
+
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
+    let recon =
+        Rock::new(RockConfig::paper().with_parallelism(Parallelism::Serial)).reconstruct(&loaded);
+    let m = &recon.metrics;
+    let n_types = loaded.vtables().len() as u64;
+    assert_eq!(m.counter("slm.models_trained"), n_types, "one SLM per vtable");
+    assert!(m.counter("analysis.functions_analyzed") > 0);
+    assert!(m.counter("distances.pairs_scored") > 0);
+    assert_eq!(
+        m.counter("distances.cache_hit") + m.counter("distances.cache_miss"),
+        m.counter("distances.pairs_scored"),
+        "every scored pair is either a cache hit or a miss"
+    );
+    let hist = m.histogram("slm.nodes_per_model").expect("nodes-per-model histogram");
+    assert_eq!(hist.count(), n_types, "one histogram observation per trained model");
+}

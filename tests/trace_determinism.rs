@@ -1,0 +1,120 @@
+//! Observability must be free of observer effects: enabling the tracer
+//! cannot perturb reconstruction output, and the deterministic trace
+//! projection (scrubbed span trees + the metrics registry) must be
+//! identical across thread counts and repeated runs. Spans are buffered
+//! per worker and merged at stage boundaries in input order, and the
+//! registry deliberately records only deterministic work (never clocks),
+//! so these are exact equalities, not statistical ones.
+
+use std::sync::Arc;
+
+use rock::core::{suite, Parallelism, Reconstruction, Rock, RockConfig};
+use rock::loader::LoadedBinary;
+use rock::trace::{scrubbed, validate_chrome_trace, validate_metrics_doc, ScrubbedSpan, Tracer};
+
+const THREAD_COUNTS: [Parallelism; 3] =
+    [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)];
+
+fn load(ranks: usize, fanout: usize, depth: usize) -> LoadedBinary {
+    let bench = suite::stress_program(ranks, fanout, depth);
+    let compiled = bench.compile().expect("compiles");
+    LoadedBinary::load(compiled.stripped_image()).expect("loads")
+}
+
+/// One reconstruction, optionally traced; returns the result plus the
+/// deterministic span projection.
+fn run(
+    loaded: &LoadedBinary,
+    parallelism: Parallelism,
+    traced: bool,
+) -> (Reconstruction, Vec<ScrubbedSpan>) {
+    let mut rock = Rock::new(RockConfig::paper().with_parallelism(parallelism));
+    let tracer = traced.then(|| Arc::new(Tracer::new()));
+    if let Some(t) = &tracer {
+        rock = rock.with_tracer(t.clone());
+    }
+    let recon = rock.reconstruct(loaded);
+    let spans = tracer.map(|t| scrubbed(&t.events())).unwrap_or_default();
+    (recon, spans)
+}
+
+fn assert_bit_identical(a: &Reconstruction, b: &Reconstruction, what: &str) {
+    assert_eq!(a.hierarchy, b.hierarchy, "{what}: hierarchies diverged");
+    assert_eq!(a.distances.len(), b.distances.len(), "{what}: edge sets diverged");
+    for (key, d) in &a.distances {
+        assert_eq!(
+            d.to_bits(),
+            b.distances[key].to_bits(),
+            "{what}: distance bits for {key:?} diverged"
+        );
+    }
+    assert_eq!(a.coverage, b.coverage, "{what}: coverage diverged");
+    assert_eq!(a.diagnostics, b.diagnostics, "{what}: diagnostics diverged");
+}
+
+#[test]
+fn tracing_is_observer_effect_free() {
+    // Tracer on vs. off: bit-identical output at every thread count, and
+    // the metrics registry (filled either way) agrees too.
+    let loaded = load(2, 2, 2);
+    for par in THREAD_COUNTS {
+        let (plain, none) = run(&loaded, par, false);
+        let (traced, spans) = run(&loaded, par, true);
+        assert!(none.is_empty());
+        assert!(!spans.is_empty(), "traced run must record spans");
+        assert_bit_identical(&plain, &traced, &format!("{par:?} traced-vs-plain"));
+        assert_eq!(plain.metrics, traced.metrics, "{par:?}: metrics diverged under tracing");
+    }
+}
+
+#[test]
+fn span_trees_and_metrics_agree_across_thread_counts_and_reruns() {
+    let loaded = load(2, 2, 2);
+    let (base_recon, base_spans) = run(&loaded, THREAD_COUNTS[0], true);
+    for par in THREAD_COUNTS {
+        // Repeated runs at the same thread count, plus every other thread
+        // count, all project to the same span tree and registry.
+        let (recon, spans) = run(&loaded, par, true);
+        assert_bit_identical(&base_recon, &recon, &format!("{par:?} vs serial"));
+        assert_eq!(base_spans, spans, "{par:?}: scrubbed span tree diverged");
+        assert_eq!(base_recon.metrics, recon.metrics, "{par:?}: metrics registry diverged");
+    }
+}
+
+#[test]
+fn span_tree_covers_all_four_stages_at_item_granularity() {
+    let loaded = load(2, 2, 2);
+    let (_, spans) = run(&loaded, Parallelism::Threads(2), true);
+
+    let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+    let n_types = loaded.vtables().len();
+    assert!(count("analysis.function") > 0, "no per-function analysis spans");
+    assert_eq!(count("training.type"), n_types, "one training span per vtable");
+    assert!(count("distances.child") > 0, "no per-child distance spans");
+    assert!(count("distances.pair") > 0, "no per-pair evaluation spans");
+    assert!(count("lifting.family") > 0, "no per-family arborescence spans");
+
+    // Every per-item span is parented by its stage span.
+    let stage_of = |item: &str, stage: &str| {
+        for s in spans.iter().filter(|s| s.name == item) {
+            let p = s.parent.expect("item span must have a parent") as usize;
+            assert_eq!(spans[p].name, stage, "{item} parented by {}", spans[p].name);
+        }
+    };
+    stage_of("analysis.function", "stage.analysis");
+    stage_of("training.type", "stage.training");
+    stage_of("distances.child", "stage.distances");
+    stage_of("lifting.family", "stage.lifting");
+}
+
+#[test]
+fn exports_validate_against_their_schemas() {
+    let loaded = load(2, 2, 1);
+    let tracer = Arc::new(Tracer::new());
+    let recon = Rock::new(RockConfig::paper().with_parallelism(Parallelism::Threads(2)))
+        .with_tracer(tracer.clone())
+        .reconstruct(&loaded);
+    validate_chrome_trace(&rock::trace::chrome_trace_json(&tracer.events()))
+        .expect("chrome trace export must satisfy its schema");
+    validate_metrics_doc(&recon.metrics.to_json()).expect("metrics export must satisfy its schema");
+}
