@@ -274,7 +274,11 @@ pub fn extract_tracelets_with(
 ///
 /// Instrumentation never changes the analysis: the returned [`Analysis`]
 /// is bit-identical to [`extract_tracelets_with`]'s, and a disabled
-/// `spans` buffer makes the whole span path a no-op.
+/// `spans` buffer makes the whole span path a no-op. The buffer's trace
+/// level applies transparently — at `stage` or `sampled` the filtered
+/// `analysis.function` spans cost no clock read and no push, decided
+/// purely by `(name, entry address)`, so the recorded set is the same
+/// on every rerun.
 pub fn extract_tracelets_instrumented(
     loaded: &LoadedBinary,
     config: &AnalysisConfig,

@@ -12,7 +12,9 @@ use rock_core::{evaluate, render_table2, Parallelism, Rock, RockConfig, Table2Ro
 use rock_loader::LoadedBinary;
 use rock_slm::Metric;
 use rock_supervisor::{ArtifactStore, Supervisor, SupervisorOptions};
-use rock_trace::{chrome_trace_json, validate_chrome_trace, validate_metrics_doc, Tracer};
+use rock_trace::{
+    chrome_trace_json, validate_chrome_trace, validate_metrics_doc, TraceLevel, Tracer,
+};
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -51,6 +53,12 @@ fn emit_timings(label: &str, timings: &rock_core::StageTimings, format: TimingsF
             println!("{{\"job\":\"{label}\",\"timings\":{}}}", timings.to_json());
         }
     }
+}
+
+/// Parses a `--trace-level` value (`off|stage|sampled|full`).
+fn parse_trace_level(v: &str) -> Result<TraceLevel, String> {
+    TraceLevel::parse(v)
+        .ok_or_else(|| format!("unknown trace level {v:?} (off|stage|sampled|full)"))
 }
 
 /// Writes a validated Chrome-trace document for `tracer` to `path`.
@@ -321,6 +329,9 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
     let mut metric = Metric::KlDivergence;
     let mut parallelism = Parallelism::Auto;
     let mut trace_path: Option<String> = None;
+    // Production default: deterministic 1-in-16 span sampling. Use
+    // `--trace-level full` for complete trees (golden/determinism runs).
+    let mut trace_level = TraceLevel::Sampled;
     // None: off; Some(None): stdout; Some(Some(p)): write to file p.
     let mut metrics_out: Option<Option<String>> = None;
     let mut path = None;
@@ -331,6 +342,10 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
             "--timings" | "--timings=json" => timings = Some(parse_timings_flag(a)?),
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
+            "--trace-level" => {
+                let v = it.next().ok_or("--trace-level needs a value (off|stage|sampled|full)")?;
+                trace_level = parse_trace_level(v)?;
             }
             "--metrics" => metrics_out = Some(None),
             "--diagnostics" => diagnostics = true,
@@ -360,8 +375,8 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
     }
     let path = path.ok_or(
         "usage: rock reconstruct <file.rkb> [--metric kl|js|jsd] [--threads n] [--fuel steps] \
-         [--timings[=json]] [--trace <out.json>] [--metrics[=path]] [--diagnostics] [--strict] \
-         [--dot]",
+         [--timings[=json]] [--trace <out.json>] [--trace-level off|stage|sampled|full] \
+         [--metrics[=path]] [--diagnostics] [--strict] [--dot]",
     )?;
     // Lenient by default: a damaged image degrades to a partial binary
     // with recorded issues; --strict restores the old fail-fast load.
@@ -374,7 +389,7 @@ fn cmd_reconstruct(args: &[String]) -> CliResult {
         config.analysis.fuel = budget;
     }
     let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
-    let mut rock = Rock::new(config);
+    let mut rock = Rock::new(config).with_trace_level(trace_level);
     if let Some(t) = &tracer {
         rock = rock.with_tracer(t.clone());
     }
@@ -488,6 +503,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut report_path: Option<String> = None;
     let mut timings: Option<TimingsFormat> = None;
     let mut trace_path: Option<String> = None;
+    let mut trace_level = TraceLevel::Sampled;
     let mut metrics = false;
     let mut fuel = None;
     let mut paths: Vec<String> = Vec::new();
@@ -501,6 +517,10 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
             "--metrics" => metrics = true,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
+            "--trace-level" => {
+                let v = it.next().ok_or("--trace-level needs a value (off|stage|sampled|full)")?;
+                trace_level = parse_trace_level(v)?;
             }
             "--store" => store_dir = it.next().ok_or("--store needs a directory")?.clone(),
             "--report" => report_path = Some(it.next().ok_or("--report needs a path")?.clone()),
@@ -547,7 +567,8 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--store <dir>] [--resume] \
                     [--max-retries n] [--deadline ms] [--max-errors n] [--metric kl|js|jsd] \
                     [--threads n] [--strict] [--report <path>] [--sleep-backoff] \
-                    [--timings[=json]] [--trace <out.json>] [--metrics]"
+                    [--timings[=json]] [--trace <out.json>] \
+                    [--trace-level off|stage|sampled|full] [--metrics]"
             .into());
     }
     let mut jobs: Vec<(String, Vec<u8>)> = Vec::with_capacity(paths.len());
@@ -576,7 +597,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     };
     let store = ArtifactStore::open(&store_dir)?;
     let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
-    let mut supervisor = Supervisor::new(config, store, options);
+    let mut supervisor = Supervisor::new(config, store, options).with_trace_level(trace_level);
     if let Some(t) = &tracer {
         supervisor = supervisor.with_tracer(t.clone());
     }
@@ -731,19 +752,39 @@ mod tests {
             bin.clone(),
             "--trace".into(),
             trace.clone(),
+            "--trace-level".into(),
+            "full".into(),
             format!("--metrics={metrics}"),
             "--timings=json".into(),
             "--threads".into(),
             "2".into(),
         ])
         .unwrap();
-        // The exported trace loads in chrome://tracing and carries
-        // per-item spans for all four pipeline stages.
+        // At `full` (the CLI default is `sampled`), the exported trace
+        // loads in chrome://tracing and carries per-item spans for all
+        // four pipeline stages.
         let doc = fs::read_to_string(&trace).unwrap();
         validate_chrome_trace(&doc).unwrap();
         for span in ["analysis.function", "training.type", "distances.pair", "lifting.family"] {
             assert!(doc.contains(span), "trace missing per-item {span:?} spans");
         }
+        // The production default still yields a valid export with the
+        // coarse stage spans present.
+        let strace = dir.join("trace-sampled.json").to_str().unwrap().to_string();
+        dispatch(&["reconstruct".into(), bin.clone(), "--trace".into(), strace.clone()]).unwrap();
+        let sdoc = fs::read_to_string(&strace).unwrap();
+        validate_chrome_trace(&sdoc).unwrap();
+        assert!(sdoc.contains("stage.analysis"), "sampled trace missing stage spans");
+        // Unknown levels error out cleanly.
+        assert!(dispatch(&[
+            "reconstruct".into(),
+            bin.clone(),
+            "--trace".into(),
+            trace.clone(),
+            "--trace-level".into(),
+            "verbose".into(),
+        ])
+        .is_err());
         let mdoc = fs::read_to_string(&metrics).unwrap();
         validate_metrics_doc(&mdoc).unwrap();
         // --metrics without a path prints to stdout instead of a file.

@@ -63,5 +63,6 @@ pub use par::Parallelism;
 pub use pipeline::{Reconstruction, Rock};
 pub use pseudo::pseudo_source;
 pub use report::{render_table2, render_table2_markdown, Table2Row};
+pub use rock_trace::TraceLevel;
 pub use staged::{RestoreError, StageId, StagedRun};
 pub use timings::StageTimings;

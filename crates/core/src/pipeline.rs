@@ -10,7 +10,7 @@ use rock_graph::Forest;
 use rock_loader::{LoadIssue, LoadedBinary};
 use rock_slm::{DistanceCache, Metric, Slm};
 use rock_structural::Structural;
-use rock_trace::{names, MetricsRegistry, TraceCtx, Tracer};
+use rock_trace::{names, MetricsRegistry, TraceCtx, TraceLevel, Tracer};
 
 use crate::diagnostics::{Coverage, FaultKind, Severity, Stage, StageError, Subject};
 use crate::faultplan::FaultPlan;
@@ -32,6 +32,7 @@ pub struct Rock {
     cache: Arc<DistanceCache<Addr>>,
     fault: Option<Arc<FaultPlan>>,
     tracer: Option<Arc<Tracer>>,
+    trace_level: TraceLevel,
 }
 
 /// Everything the pipeline produced for one binary.
@@ -161,13 +162,13 @@ impl fmt::Display for Reconstruction {
 impl Rock {
     /// Creates a reconstructor with its own (empty) distance cache.
     pub fn new(config: RockConfig) -> Self {
-        Rock { config, cache: Arc::new(DistanceCache::new()), fault: None, tracer: None }
+        Rock::with_shared_cache(config, Arc::new(DistanceCache::new()))
     }
 
     /// Creates a reconstructor that shares `cache` with other passes over
     /// the **same binary** (ablation sweeps, repeated reconstructions).
     pub fn with_shared_cache(config: RockConfig, cache: Arc<DistanceCache<Addr>>) -> Self {
-        Rock { config, cache, fault: None, tracer: None }
+        Rock { config, cache, fault: None, tracer: None, trace_level: TraceLevel::default() }
     }
 
     /// Attaches a deterministic [`FaultPlan`]: named functions and stage
@@ -181,9 +182,23 @@ impl Rock {
     /// Attaches a span [`Tracer`]: stage and per-item spans of every
     /// subsequent run are recorded into it. Tracing never changes
     /// results — `tests/trace_determinism.rs` pins bit-identical output
-    /// with and without a tracer at every thread count.
+    /// with and without a tracer at every thread count. Spans are
+    /// filtered through the [`TraceLevel`] set by
+    /// [`Rock::with_trace_level`] ([`TraceLevel::Full`] by default, so
+    /// attaching a tracer alone behaves exactly as before levels
+    /// existed).
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Sets the [`TraceLevel`] spans are filtered through: `stage` keeps
+    /// only the coarse stage spans, `sampled` adds a deterministic
+    /// 1-in-16 sample of per-item spans, `full` records everything.
+    /// Metrics and diagnostics are unaffected — they record 100% of the
+    /// work at every level.
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
         self
     }
 
@@ -241,9 +256,13 @@ impl Rock {
         self.fault.as_deref()
     }
 
-    /// The span-recording context (disabled when no tracer is attached).
+    /// The span-recording context (disabled when no tracer is attached),
+    /// filtering at the configured [`TraceLevel`].
     pub(crate) fn trace_ctx(&self) -> TraceCtx<'_> {
-        TraceCtx::from(self.tracer.as_deref())
+        match self.tracer.as_deref() {
+            Some(t) => TraceCtx::with_level(t, self.trace_level),
+            None => TraceCtx::disabled(),
+        }
     }
 }
 
@@ -413,15 +432,20 @@ pub(crate) fn repartition(
         (proposal.filter(|&(d, _)| d <= 2.0 * threshold), spans)
     });
 
-    // Phase 2: merge worker spans in input order, then apply serially
-    // with the ancestry re-check.
+    // Phase 2: collect worker spans in input order (merged under one
+    // lock at the end — the mutex is a stage-boundary cost, not a
+    // per-root one), then apply serially with the ancestry re-check.
     let mut proposals = Vec::new();
+    let mut buffers = Vec::new();
     for (&root, (proposal, spans)) in roots.iter().zip(scanned) {
-        ctx.merge(spans);
+        if !spans.is_empty() {
+            buffers.push(spans);
+        }
         if let Some((d, parent)) = proposal {
             proposals.push((root, parent, d));
         }
     }
+    ctx.merge_many(buffers);
     apply_adoptions(hierarchy, distances, proposals)
 }
 

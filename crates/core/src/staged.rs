@@ -403,10 +403,13 @@ impl<'a> StagedRun<'a> {
             (m, spans)
         });
         let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
+        let mut buffers = Vec::new();
         for (addr, outcome) in addrs.into_iter().zip(trained) {
             match outcome {
                 Ok((m, spans)) => {
-                    ctx.merge(spans);
+                    if !spans.is_empty() {
+                        buffers.push(spans);
+                    }
                     models.insert(addr, m);
                 }
                 Err(msg) => self.sink.record(StageError {
@@ -417,6 +420,8 @@ impl<'a> StagedRun<'a> {
                 }),
             }
         }
+        // One lock for the whole stage's worker buffers (input order).
+        ctx.merge_many(buffers);
         self.set_models(models);
         self.timings.training = stage.elapsed();
     }
@@ -494,10 +499,13 @@ impl<'a> StagedRun<'a> {
         });
         let mut distances = BTreeMap::new();
         let mut graphs: Vec<DiGraph> = families.iter().map(|f| DiGraph::new(f.len())).collect();
+        let mut buffers = Vec::new();
         for (&(fi, child), outcome) in children.iter().zip(scored) {
             let edges = match outcome {
                 Ok((edges, spans)) => {
-                    ctx.merge(spans);
+                    if !spans.is_empty() {
+                        buffers.push(spans);
+                    }
                     edges
                 }
                 Err(msg) => {
@@ -534,6 +542,7 @@ impl<'a> StagedRun<'a> {
                 distances.insert((parent, child), d);
             }
         }
+        ctx.merge_many(buffers);
         self.distances = Some(distances);
         self.graphs = Some(graphs);
         self.timings.distances = stage.elapsed();
@@ -573,10 +582,13 @@ impl<'a> StagedRun<'a> {
             (parent, tie_variants, spans)
         });
         let mut hierarchy: Forest<Addr> = Forest::new();
+        let mut buffers = Vec::new();
         for ((fi, family), outcome) in families.iter().enumerate().zip(lifted) {
             let parent = match outcome {
                 Ok((parent, tie_variants, spans)) => {
-                    ctx.merge(spans);
+                    if !spans.is_empty() {
+                        buffers.push(spans);
+                    }
                     self.metrics.add(names::LIFTING_TIE_VARIANTS, tie_variants as u64);
                     self.metrics.observe(names::HIST_FAMILY_SIZE, family.len() as u64);
                     parent
@@ -596,6 +608,7 @@ impl<'a> StagedRun<'a> {
                 hierarchy.insert(family[i], p.map(|pi| family[pi]));
             }
         }
+        ctx.merge_many(buffers);
         self.coverage.families_lifted =
             self.coverage.families_total - self.coverage.families_degraded;
         self.hierarchy = Some(hierarchy);

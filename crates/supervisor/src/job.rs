@@ -34,7 +34,7 @@ use rock_core::{FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId, 
 use rock_graph::Forest;
 use rock_loader::LoadedBinary;
 use rock_structural::Structural;
-use rock_trace::{names, MetricsRegistry, TraceCtx, Tracer};
+use rock_trace::{names, MetricsRegistry, TraceCtx, TraceLevel, Tracer};
 
 use crate::artifact::{content_key, ArtifactStore, Checkpoint, StagePayload, StoreError};
 use crate::ladder::{structural_only_hierarchy, Rung};
@@ -318,6 +318,7 @@ pub struct Supervisor {
     store: ArtifactStore,
     fault: Option<Arc<FaultPlan>>,
     tracer: Option<Arc<Tracer>>,
+    trace_level: TraceLevel,
 }
 
 /// Work counts one job accumulates outside the pipeline registry.
@@ -339,15 +340,40 @@ impl Supervisor {
     /// A supervisor reconstructing under `config` with checkpoints in
     /// `store`.
     pub fn new(config: RockConfig, store: ArtifactStore, options: SupervisorOptions) -> Self {
-        Supervisor { config, options, store, fault: None, tracer: None }
+        Supervisor {
+            config,
+            options,
+            store,
+            fault: None,
+            tracer: None,
+            trace_level: TraceLevel::default(),
+        }
     }
 
     /// Attaches a span [`Tracer`]: every job records `supervisor.*`
     /// spans (job, attempts, checkpoint saves, restores, backoff waits)
-    /// and the pipeline's stage/item spans into it.
+    /// and the pipeline's stage/item spans into it, filtered through the
+    /// level set by [`Supervisor::with_trace_level`] ([`TraceLevel::Full`]
+    /// by default).
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Sets the [`TraceLevel`] for this supervisor *and* the pipelines it
+    /// drives. `supervisor.*` spans are coarse, so they survive every
+    /// enabled level; only the pipeline's per-item spans are sampled away.
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// The span-recording context at this supervisor's level.
+    fn trace_ctx(&self) -> TraceCtx<'_> {
+        match self.tracer.as_deref() {
+            Some(t) => TraceCtx::with_level(t, self.trace_level),
+            None => TraceCtx::disabled(),
+        }
     }
 
     /// Attaches a fault plan (tests: injected panics + stage
@@ -375,7 +401,7 @@ impl Supervisor {
     pub fn run_job(&self, name: &str, image_bytes: &[u8]) -> JobResult {
         let start = Instant::now();
         let key = self.job_key(image_bytes);
-        let ctx = TraceCtx::from(self.tracer.as_deref());
+        let ctx = self.trace_ctx();
         let _job_span = ctx.span(names::SUPERVISOR_JOB, key);
         let mut counters = SupervisorCounters::default();
         let mut report = JobReport {
@@ -574,11 +600,11 @@ impl Supervisor {
         report: &mut JobReport,
         counters: &mut SupervisorCounters,
     ) -> AttemptOutcome {
-        let ctx = TraceCtx::from(self.tracer.as_deref());
+        let ctx = self.trace_ctx();
         let _attempt_span = ctx.span(names::SUPERVISOR_ATTEMPT, attempt as u64);
         let config = rung.apply(&self.config);
         let key = content_key(image_bytes, &config);
-        let mut rock = Rock::new(config);
+        let mut rock = Rock::new(config).with_trace_level(self.trace_level);
         if let Some(plan) = &self.fault {
             rock = rock.with_fault_plan(plan.clone());
         }

@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use crate::level::TraceLevel;
 use crate::tracer::SpanEvent;
 
 /// Handle returned by [`LocalSpans::enter`]; pass it back to
@@ -13,20 +14,31 @@ pub struct SpanToken {
 }
 
 impl SpanToken {
+    /// Returned for spans that were filtered out (buffer disabled, or the
+    /// span's `(name, subject)` not admitted at the buffer's level).
     const DISABLED: SpanToken = SpanToken { index: u32::MAX };
 }
 
 /// A span buffer owned by one parallel work item.
 ///
 /// Created through [`crate::TraceCtx::local`]: enabled buffers share the
-/// tracer's epoch and record into a private `Vec`; disabled buffers hold
-/// empty vectors (`Vec::new` does not allocate), never read the clock,
-/// and never touch a lock — the whole API degenerates to an index check.
+/// tracer's epoch, filter spans through the context's [`TraceLevel`],
+/// and record into a private `Vec`; disabled buffers hold empty vectors
+/// (`Vec::new` does not allocate), never read the clock, and never touch
+/// a lock — the whole API degenerates to an index check. A span the
+/// level does not admit costs the same nothing: no clock read, no push.
 /// Workers hand finished buffers back with their results; the serial
-/// merge loop absorbs them in input order via [`crate::Tracer::merge`].
+/// merge loop absorbs them in input order via [`crate::Tracer::merge`]
+/// (or one lock for a whole stage via [`crate::Tracer::merge_many`]),
+/// parenting buffer roots to the span that was open when the buffer was
+/// created.
 #[derive(Debug)]
 pub struct LocalSpans {
     epoch: Option<Instant>,
+    level: TraceLevel,
+    /// Merge parent captured at creation time: the index of the span
+    /// open on the owning tracer when this buffer was made.
+    outer: Option<u32>,
     events: Vec<SpanEvent>,
     /// Indices of currently-open spans, innermost last.
     stack: Vec<u32>,
@@ -35,11 +47,17 @@ pub struct LocalSpans {
 impl LocalSpans {
     /// An inert buffer: every operation is a no-op.
     pub fn disabled() -> Self {
-        LocalSpans { epoch: None, events: Vec::new(), stack: Vec::new() }
+        LocalSpans {
+            epoch: None,
+            level: TraceLevel::Off,
+            outer: None,
+            events: Vec::new(),
+            stack: Vec::new(),
+        }
     }
 
-    pub(crate) fn enabled(epoch: Instant) -> Self {
-        LocalSpans { epoch: Some(epoch), events: Vec::new(), stack: Vec::new() }
+    pub(crate) fn enabled(epoch: Instant, level: TraceLevel, outer: Option<u32>) -> Self {
+        LocalSpans { epoch: Some(epoch), level, outer, events: Vec::new(), stack: Vec::new() }
     }
 
     /// Whether this buffer records anything.
@@ -48,8 +66,13 @@ impl LocalSpans {
     }
 
     /// Opens a span nested under the innermost open span of this buffer.
+    /// Returns an inert token (and does no work — not even a clock read)
+    /// when the buffer is disabled or its level filters the span out.
     pub fn enter(&mut self, name: &'static str, subject: u64) -> SpanToken {
         let Some(epoch) = self.epoch else { return SpanToken::DISABLED };
+        if !self.level.admits(name, subject) {
+            return SpanToken::DISABLED;
+        }
         let start_ns = epoch.elapsed().as_nanos() as u64;
         let index = self.events.len() as u32;
         let parent = self.stack.last().copied();
@@ -59,8 +82,13 @@ impl LocalSpans {
     }
 
     /// Closes the span opened by `token` (and any spans still open inside
-    /// it, so a panic-skipped `exit` cannot corrupt later nesting).
+    /// it, so a panic-skipped `exit` cannot corrupt later nesting). An
+    /// inert token is a no-op — it must not drain spans that *were*
+    /// recorded.
     pub fn exit(&mut self, token: SpanToken) {
+        if token.index == u32::MAX {
+            return;
+        }
         let Some(epoch) = self.epoch else { return };
         let end_ns = epoch.elapsed().as_nanos() as u64;
         while let Some(open) = self.stack.pop() {
@@ -97,6 +125,11 @@ impl LocalSpans {
         self.events.is_empty()
     }
 
+    /// The merge parent captured when this buffer was created.
+    pub(crate) fn outer(&self) -> Option<u32> {
+        self.outer
+    }
+
     pub(crate) fn into_events(self) -> Vec<SpanEvent> {
         self.events
     }
@@ -105,6 +138,10 @@ impl LocalSpans {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn full() -> LocalSpans {
+        LocalSpans::enabled(Instant::now(), TraceLevel::Full, None)
+    }
 
     #[test]
     fn disabled_buffer_records_nothing_and_holds_no_capacity() {
@@ -123,7 +160,7 @@ mod tests {
 
     #[test]
     fn enabled_buffer_nests_and_closes() {
-        let mut l = LocalSpans::enabled(Instant::now());
+        let mut l = full();
         let outer = l.enter("outer", 1);
         let inner = l.enter("inner", 2);
         l.exit(inner);
@@ -136,7 +173,7 @@ mod tests {
 
     #[test]
     fn exiting_an_outer_span_closes_leaked_inner_spans() {
-        let mut l = LocalSpans::enabled(Instant::now());
+        let mut l = full();
         let outer = l.enter("outer", 1);
         let _leaked = l.enter("inner", 2);
         l.exit(outer);
@@ -144,5 +181,36 @@ mod tests {
         l.exit(next);
         let events = l.into_events();
         assert_eq!(events[2].parent, None, "sibling must not nest under the leaked span");
+    }
+
+    #[test]
+    fn filtered_spans_leave_recorded_nesting_intact() {
+        // Stage level on a worker buffer filters every per-item span; an
+        // exit with the resulting inert token must not pop real spans.
+        let mut l = LocalSpans::enabled(Instant::now(), TraceLevel::Stage, None);
+        let real = l.enter("stage.analysis", 0);
+        let filtered = l.enter("analysis.function", 7);
+        l.exit(filtered);
+        assert_eq!(l.len(), 1, "filtered span must not be recorded");
+        let nested = l.enter("stage.training", 0);
+        l.exit(nested);
+        l.exit(real);
+        let events = l.into_events();
+        assert_eq!(events[1].parent, Some(0), "nesting survives an inert exit in between");
+        assert!(events[0].dur_ns >= events[1].dur_ns);
+    }
+
+    #[test]
+    fn sampled_buffer_keeps_exactly_the_admitted_subjects() {
+        let mut l = LocalSpans::enabled(Instant::now(), TraceLevel::Sampled, None);
+        let expected: Vec<u64> =
+            (0..1000u64).filter(|&s| TraceLevel::Sampled.admits("distances.pair", s)).collect();
+        for s in 0..1000u64 {
+            let tok = l.enter("distances.pair", s);
+            l.exit(tok);
+        }
+        let got: Vec<u64> = l.into_events().iter().map(|e| e.subject).collect();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty(), "1000 subjects at 1-in-16 must keep some");
     }
 }

@@ -1,10 +1,15 @@
 //! The shared span log and its RAII guards.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use crate::level::TraceLevel;
 use crate::local::LocalSpans;
+
+/// Sentinel for "no span open" in [`Tracer::open`].
+const NO_SPAN: u32 = u32::MAX;
 
 /// One closed span: a named, subject-tagged interval with a parent link.
 ///
@@ -44,11 +49,21 @@ struct SpanLog {
 ///
 /// Serial code opens spans directly ([`Tracer::span`]); parallel workers
 /// record into [`LocalSpans`] buffers handed back to the serial merge
-/// loop, which absorbs them in input order ([`Tracer::merge`]). The log
-/// lock is therefore only ever taken on serial paths.
+/// loop, which absorbs them in input order ([`Tracer::merge`], or one
+/// lock for a whole stage's buffers via [`Tracer::merge_many`]). The log
+/// lock is therefore only ever taken on serial paths — workers read at
+/// most the lock-free [`Tracer::open`] cell when their buffer is
+/// created.
 pub struct Tracer {
     epoch: Instant,
     log: Mutex<SpanLog>,
+    /// Index of the innermost span currently open via [`Tracer::span`]
+    /// ([`NO_SPAN`] when none). Maintained under the log lock, read
+    /// lock-free by [`Tracer::local`] so worker buffers capture their
+    /// merge parent at **creation** time — a stage guard that unwinds
+    /// before its workers' buffers are merged can no longer orphan
+    /// those spans.
+    open: AtomicU32,
 }
 
 impl Default for Tracer {
@@ -66,7 +81,11 @@ impl fmt::Debug for Tracer {
 impl Tracer {
     /// A fresh tracer whose epoch is "now".
     pub fn new() -> Self {
-        Tracer { epoch: Instant::now(), log: Mutex::new(SpanLog::default()) }
+        Tracer {
+            epoch: Instant::now(),
+            log: Mutex::new(SpanLog::default()),
+            open: AtomicU32::new(NO_SPAN),
+        }
     }
 
     /// The log survives a panic on another thread; span data is telemetry,
@@ -79,43 +98,61 @@ impl Tracer {
     /// returned guard drops. Nested calls on the same tracer parent to
     /// the innermost open span.
     pub fn span(&self, name: &'static str, subject: u64) -> SpanGuard<'_> {
-        let start_ns = self.epoch.elapsed().as_nanos() as u64;
         let mut log = self.lock();
+        // The timestamp is captured *under* the lock: log order and
+        // timestamp order then agree by construction, so chrome-trace
+        // lanes stay monotonic however many threads contend here.
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
         let index = log.events.len() as u32;
         let parent = log.stack.last().copied();
         log.events.push(SpanEvent { name, subject, start_ns, dur_ns: 0, parent, unit: 0 });
         log.stack.push(index);
+        self.open.store(index, Ordering::Release);
         drop(log);
         SpanGuard { tracer: self, index }
     }
 
-    /// A per-worker span buffer sharing this tracer's epoch.
+    /// A per-worker span buffer sharing this tracer's epoch, recording
+    /// at [`TraceLevel::Full`]. The buffer remembers the span open on
+    /// the tracer *now* as its merge parent.
     pub fn local(&self) -> LocalSpans {
-        LocalSpans::enabled(self.epoch)
+        self.local_at(TraceLevel::Full)
+    }
+
+    /// Like [`Tracer::local`], at an explicit level. Lock-free: reads
+    /// only the atomic open-span cell.
+    pub fn local_at(&self, level: TraceLevel) -> LocalSpans {
+        let open = self.open.load(Ordering::Acquire);
+        LocalSpans::enabled(self.epoch, level, (open != NO_SPAN).then_some(open))
     }
 
     /// Absorbs one worker buffer: events keep their relative order, local
     /// parent links are rebased, and buffer roots are parented to the
-    /// innermost span currently open on the tracer (the stage span, in
-    /// pipeline use). Call order defines event order, so merging buffers
-    /// in input order makes the log deterministic modulo timestamps.
+    /// span that was open when the buffer was created (the stage span,
+    /// in pipeline use — even if its guard has since dropped). Call
+    /// order defines event order, so merging buffers in input order
+    /// makes the log deterministic modulo timestamps.
     pub fn merge(&self, local: LocalSpans) {
-        let events = local.into_events();
-        if events.is_empty() {
+        if local.is_empty() {
             return;
         }
-        let mut log = self.lock();
-        let base = log.events.len() as u32;
-        let outer = log.stack.last().copied();
-        log.units += 1;
-        let unit = log.units;
-        for mut e in events {
-            e.parent = match e.parent {
-                Some(p) => Some(base + p),
-                None => outer,
-            };
-            e.unit = unit;
-            log.events.push(e);
+        merge_into(&mut self.lock(), local);
+    }
+
+    /// Absorbs a whole stage's worth of buffers under **one** lock
+    /// acquisition (none at all if every buffer is empty), in iteration
+    /// order — the per-item merge loop of each stage funnels through
+    /// here so the mutex is only touched at stage boundaries.
+    pub fn merge_many<I>(&self, buffers: I)
+    where
+        I: IntoIterator<Item = LocalSpans>,
+    {
+        let mut log: Option<MutexGuard<'_, SpanLog>> = None;
+        for local in buffers {
+            if local.is_empty() {
+                continue;
+            }
+            merge_into(log.get_or_insert_with(|| self.lock()), local);
         }
     }
 
@@ -123,6 +160,23 @@ impl Tracer {
     /// open span has `dur_ns == 0`).
     pub fn events(&self) -> Vec<SpanEvent> {
         self.lock().events.clone()
+    }
+}
+
+/// Rebases one non-empty buffer into the log (see [`Tracer::merge`]).
+fn merge_into(log: &mut SpanLog, local: LocalSpans) {
+    let outer = local.outer();
+    let events = local.into_events();
+    let base = log.events.len() as u32;
+    log.units += 1;
+    let unit = log.units;
+    for mut e in events {
+        e.parent = match e.parent {
+            Some(p) => Some(base + p),
+            None => outer,
+        };
+        e.unit = unit;
+        log.events.push(e);
     }
 }
 
@@ -135,51 +189,77 @@ pub struct SpanGuard<'a> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        let end_ns = self.tracer.epoch.elapsed().as_nanos() as u64;
         let mut log = self.tracer.lock();
+        let end_ns = self.tracer.epoch.elapsed().as_nanos() as u64;
         if let Some(e) = log.events.get_mut(self.index as usize) {
             e.dur_ns = end_ns.saturating_sub(e.start_ns);
         }
-        // Guards drop innermost-first on the serial driver; a defensive
-        // retain also survives out-of-order drops in tests.
-        let index = self.index;
-        log.stack.retain(|&i| i != index);
+        // Guards drop innermost-first on the serial driver, so the top
+        // of the stack is this span: pop and verify. The O(depth) sweep
+        // survives only as the defensive fallback for out-of-order
+        // drops in tests.
+        if log.stack.last() == Some(&self.index) {
+            log.stack.pop();
+        } else {
+            let index = self.index;
+            log.stack.retain(|&i| i != index);
+        }
+        self.tracer.open.store(log.stack.last().copied().unwrap_or(NO_SPAN), Ordering::Release);
     }
 }
 
-/// A copyable handle to "maybe a tracer": every operation is a no-op when
-/// disabled, so pipeline code threads one value through both paths.
+/// A copyable handle to "maybe a tracer" plus the [`TraceLevel`] it
+/// records at: every operation is a no-op when disabled, so pipeline
+/// code threads one value through both paths, and every span (serial or
+/// worker-local) is filtered through the same level.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TraceCtx<'a> {
     tracer: Option<&'a Tracer>,
+    level: TraceLevel,
 }
 
 impl<'a> TraceCtx<'a> {
     /// The null sink: spans vanish, buffers never allocate.
     pub fn disabled() -> Self {
-        TraceCtx { tracer: None }
+        TraceCtx { tracer: None, level: TraceLevel::Off }
     }
 
-    /// A context recording into `tracer`.
+    /// A context recording every span into `tracer`
+    /// ([`TraceLevel::Full`] — the pre-level behavior).
     pub fn enabled(tracer: &'a Tracer) -> Self {
-        TraceCtx { tracer: Some(tracer) }
+        TraceCtx::with_level(tracer, TraceLevel::Full)
     }
 
-    /// Whether spans are being recorded.
+    /// A context recording into `tracer` at `level`
+    /// ([`TraceLevel::Off`] degenerates to [`TraceCtx::disabled`]).
+    pub fn with_level(tracer: &'a Tracer, level: TraceLevel) -> Self {
+        if level == TraceLevel::Off {
+            return TraceCtx::disabled();
+        }
+        TraceCtx { tracer: Some(tracer), level }
+    }
+
+    /// Whether spans are being recorded at all.
     pub fn is_enabled(&self) -> bool {
         self.tracer.is_some()
     }
 
-    /// Opens a span on the underlying tracer, if any.
-    pub fn span(&self, name: &'static str, subject: u64) -> Option<SpanGuard<'a>> {
-        self.tracer.map(|t| t.span(name, subject))
+    /// The level spans are filtered through.
+    pub fn level(&self) -> TraceLevel {
+        self.level
     }
 
-    /// A worker buffer: live when enabled, inert (no allocation, no clock
-    /// reads) when disabled.
+    /// Opens a span on the underlying tracer, if the level admits it.
+    pub fn span(&self, name: &'static str, subject: u64) -> Option<SpanGuard<'a>> {
+        let t = self.tracer?;
+        self.level.admits(name, subject).then(|| t.span(name, subject))
+    }
+
+    /// A worker buffer: live (at this context's level) when enabled,
+    /// inert (no allocation, no clock reads) when disabled.
     pub fn local(&self) -> LocalSpans {
         match self.tracer {
-            Some(t) => t.local(),
+            Some(t) => t.local_at(self.level),
             None => LocalSpans::disabled(),
         }
     }
@@ -190,11 +270,24 @@ impl<'a> TraceCtx<'a> {
             t.merge(local);
         }
     }
+
+    /// Merges a whole stage's buffers back under one lock, if enabled.
+    pub fn merge_many<I>(&self, buffers: I)
+    where
+        I: IntoIterator<Item = LocalSpans>,
+    {
+        if let Some(t) = self.tracer {
+            t.merge_many(buffers);
+        }
+    }
 }
 
 impl<'a> From<Option<&'a Tracer>> for TraceCtx<'a> {
     fn from(tracer: Option<&'a Tracer>) -> Self {
-        TraceCtx { tracer }
+        match tracer {
+            Some(t) => TraceCtx::enabled(t),
+            None => TraceCtx::disabled(),
+        }
     }
 }
 
@@ -248,11 +341,44 @@ mod tests {
     fn disabled_ctx_is_inert() {
         let ctx = TraceCtx::disabled();
         assert!(!ctx.is_enabled());
+        assert_eq!(ctx.level(), TraceLevel::Off);
         assert!(ctx.span("stage.analysis", 0).is_none());
         let mut l = ctx.local();
         let tok = l.enter("analysis.function", 1);
         l.exit(tok);
         ctx.merge(l);
+    }
+
+    #[test]
+    fn off_level_with_a_tracer_records_nothing() {
+        let t = Tracer::new();
+        let ctx = TraceCtx::with_level(&t, TraceLevel::Off);
+        assert!(!ctx.is_enabled());
+        assert!(ctx.span("stage.analysis", 0).is_none());
+        let mut l = ctx.local();
+        assert!(!l.is_enabled());
+        let tok = l.enter("analysis.function", 1);
+        l.exit(tok);
+        ctx.merge(l);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn stage_level_drops_per_item_spans_in_both_paths() {
+        let t = Tracer::new();
+        let ctx = TraceCtx::with_level(&t, TraceLevel::Stage);
+        {
+            let _stage = ctx.span("stage.distances", 0);
+            assert!(ctx.span("distances.child", 7).is_none(), "serial per-item span filtered");
+            let mut l = ctx.local();
+            let tok = l.enter("distances.pair", 9);
+            l.exit(tok);
+            assert!(l.is_empty(), "worker per-item span filtered");
+            ctx.merge(l);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "stage.distances");
     }
 
     #[test]
@@ -265,5 +391,109 @@ mod tests {
         l.exit(tok);
         t.merge(l);
         assert_eq!(t.events()[0].unit, 1);
+    }
+
+    #[test]
+    fn merge_many_takes_buffers_in_order_with_fresh_units() {
+        let t = Tracer::new();
+        let stage = t.span("stage.training", 0);
+        let buffers: Vec<LocalSpans> = (0..3u64)
+            .map(|i| {
+                let mut l = t.local();
+                if i != 1 {
+                    let tok = l.enter("training.type", i);
+                    l.exit(tok);
+                }
+                l
+            })
+            .collect();
+        t.merge_many(buffers);
+        drop(stage);
+        let events = t.events();
+        // The empty middle buffer consumed no unit id.
+        assert_eq!(events.len(), 3);
+        assert_eq!((events[1].subject, events[2].subject), (0, 2));
+        assert_eq!((events[1].unit, events[2].unit), (1, 2));
+        assert_eq!(events[1].parent, Some(0));
+        assert_eq!(events[2].parent, Some(0));
+    }
+
+    /// Regression (timestamp-before-lock): spans opened concurrently
+    /// must carry non-decreasing `start_ns` in log order. With the old
+    /// code the clock was read before the lock, so a thread descheduled
+    /// between the two could publish an *earlier* timestamp at a *later*
+    /// index.
+    #[test]
+    fn concurrent_spans_have_monotonic_start_times_in_log_order() {
+        let t = Tracer::new();
+        std::thread::scope(|scope| {
+            for worker in 0..8u64 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        drop(t.span("stage.analysis", worker * 1000 + i));
+                    }
+                });
+            }
+        });
+        let events = t.events();
+        assert_eq!(events.len(), 1600);
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].start_ns <= pair[1].start_ns,
+                "log order must equal timestamp order ({} > {})",
+                pair[0].start_ns,
+                pair[1].start_ns,
+            );
+        }
+    }
+
+    /// Regression (merge-time parenting): a buffer created under a stage
+    /// span keeps that parent even when the stage guard unwinds before
+    /// the buffer is merged — the `par_map_catch` containment shape,
+    /// reproduced here with an injected panic.
+    #[test]
+    fn buffers_keep_their_parent_across_a_guard_unwind() {
+        let t = Tracer::new();
+        let mut escaped: Option<LocalSpans> = None;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _stage = t.span("stage.training", 0);
+            let mut l = t.local();
+            let tok = l.enter("training.type", 0x1000);
+            l.exit(tok);
+            escaped = Some(l);
+            panic!("injected fault before the merge loop");
+        }))
+        .unwrap_err();
+        assert!(format!("{:?}", err.downcast_ref::<&str>()).contains("injected"));
+        // The guard unwound (stage span closed) before this merge runs.
+        t.merge(escaped.expect("buffer survived the unwind"));
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].dur_ns > 0, "stage span closed by the unwind");
+        assert_eq!(
+            events[1].parent,
+            Some(0),
+            "buffer root must parent to the span open at local() time, not at merge time"
+        );
+    }
+
+    /// The fast close path pops the stack top; out-of-order drops (never
+    /// produced by the pipeline, but possible in tests holding guards in
+    /// locals) fall back to the defensive sweep.
+    #[test]
+    fn out_of_order_guard_drops_keep_nesting_consistent() {
+        let t = Tracer::new();
+        let outer = t.span("stage.analysis", 0);
+        let inner = t.span("analysis.function", 1);
+        drop(outer); // out of order: the fallback removes it mid-stack
+        let sibling = t.span("analysis.function", 2);
+        drop(sibling);
+        drop(inner);
+        let after = t.span("stage.training", 3);
+        drop(after);
+        let events = t.events();
+        assert_eq!(events[2].parent, Some(1), "sibling nests under the still-open inner span");
+        assert_eq!(events[3].parent, None, "all guards dropped: the next span is a root");
     }
 }

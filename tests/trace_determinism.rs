@@ -8,9 +8,11 @@
 
 use std::sync::Arc;
 
-use rock::core::{suite, Parallelism, Reconstruction, Rock, RockConfig};
+use rock::core::{suite, FaultPlan, Parallelism, Reconstruction, Rock, RockConfig, TraceLevel};
 use rock::loader::LoadedBinary;
-use rock::trace::{scrubbed, validate_chrome_trace, validate_metrics_doc, ScrubbedSpan, Tracer};
+use rock::trace::{
+    is_coarse_span, scrubbed, validate_chrome_trace, validate_metrics_doc, ScrubbedSpan, Tracer,
+};
 
 const THREAD_COUNTS: [Parallelism; 3] =
     [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)];
@@ -28,10 +30,21 @@ fn run(
     parallelism: Parallelism,
     traced: bool,
 ) -> (Reconstruction, Vec<ScrubbedSpan>) {
+    // `with_tracer` alone records at TraceLevel::Full — the pre-level
+    // behavior these determinism suites pin.
+    run_at(loaded, parallelism, if traced { Some(TraceLevel::Full) } else { None })
+}
+
+/// One reconstruction traced at an explicit level (`None`: no tracer).
+fn run_at(
+    loaded: &LoadedBinary,
+    parallelism: Parallelism,
+    level: Option<TraceLevel>,
+) -> (Reconstruction, Vec<ScrubbedSpan>) {
     let mut rock = Rock::new(RockConfig::paper().with_parallelism(parallelism));
-    let tracer = traced.then(|| Arc::new(Tracer::new()));
+    let tracer = level.map(|_| Arc::new(Tracer::new()));
     if let Some(t) = &tracer {
-        rock = rock.with_tracer(t.clone());
+        rock = rock.with_tracer(t.clone()).with_trace_level(level.unwrap());
     }
     let recon = rock.reconstruct(loaded);
     let spans = tracer.map(|t| scrubbed(&t.events())).unwrap_or_default();
@@ -105,6 +118,92 @@ fn span_tree_covers_all_four_stages_at_item_granularity() {
     stage_of("training.type", "stage.training");
     stage_of("distances.child", "stage.distances");
     stage_of("lifting.family", "stage.lifting");
+}
+
+/// The sampled subject set is a pure function of `(name, subject)`:
+/// byte-identical across thread counts and reruns, and exactly the
+/// full-level span sequence filtered by the level's `admits` predicate.
+/// Metrics stay bit-equal and unsampled at every level.
+#[test]
+fn trace_levels_are_deterministic_and_project_from_the_full_tree() {
+    let loaded = load(2, 2, 2);
+    let (full_recon, full_spans) = run_at(&loaded, Parallelism::Serial, Some(TraceLevel::Full));
+    for level in [TraceLevel::Off, TraceLevel::Stage, TraceLevel::Sampled] {
+        // The expected (name, subject) sequence: the full tree filtered
+        // by the pure admits predicate, in merge order.
+        let expected: Vec<(&str, u64)> = full_spans
+            .iter()
+            .filter(|s| level.admits(s.name, s.subject))
+            .map(|s| (s.name, s.subject))
+            .collect();
+        let (base_recon, base_spans) = run_at(&loaded, THREAD_COUNTS[0], Some(level));
+        for par in THREAD_COUNTS {
+            for rerun in 0..2 {
+                let (recon, spans) = run_at(&loaded, par, Some(level));
+                assert_bit_identical(&base_recon, &recon, &format!("{level} {par:?} #{rerun}"));
+                assert_eq!(base_spans, spans, "{level} {par:?} #{rerun}: span set diverged");
+                let got: Vec<(&str, u64)> = spans.iter().map(|s| (s.name, s.subject)).collect();
+                assert_eq!(got, expected, "{level}: not the admits-projection of the full tree");
+                // Metrics record 100% of the work at every level.
+                assert_eq!(
+                    full_recon.metrics, recon.metrics,
+                    "{level} {par:?}: metrics must not be sampled"
+                );
+            }
+        }
+        match level {
+            TraceLevel::Off => assert!(base_spans.is_empty(), "off must record nothing"),
+            TraceLevel::Stage => {
+                assert!(!base_spans.is_empty());
+                assert!(base_spans.iter().all(|s| is_coarse_span(s.name)));
+            }
+            TraceLevel::Sampled => {
+                assert!(
+                    base_spans.iter().any(|s| !is_coarse_span(s.name)),
+                    "stress_program(2,2,2) should sample at least one per-item span"
+                );
+                assert!(base_spans.len() < full_spans.len(), "sampling must drop spans");
+            }
+            TraceLevel::Full => unreachable!(),
+        }
+    }
+}
+
+/// Every sampled per-item span stays parented: the merge parent is
+/// captured when the worker buffer is created, so spans can never be
+/// orphaned to roots — including under injected faults, where some
+/// buffers are lost to `catch_unwind` containment entirely.
+#[test]
+fn per_item_spans_keep_their_stage_parents_under_injected_faults() {
+    let loaded = load(2, 2, 2);
+    for level in [TraceLevel::Sampled, TraceLevel::Full] {
+        for plan in [None, Some(FaultPlan::new().panic_in(rock::core::Stage::Distances))] {
+            let tracer = Arc::new(Tracer::new());
+            let mut rock = Rock::new(RockConfig::paper().with_parallelism(Parallelism::Threads(2)))
+                .with_tracer(tracer.clone())
+                .with_trace_level(level);
+            let faulted = plan.is_some();
+            if let Some(p) = plan {
+                rock = rock.with_fault_plan(Arc::new(p));
+            }
+            let recon = rock.reconstruct(&loaded);
+            if faulted {
+                assert!(!recon.diagnostics.is_empty(), "injected faults must be recorded");
+            }
+            let spans = scrubbed(&tracer.events());
+            for (i, s) in spans.iter().enumerate() {
+                if is_coarse_span(s.name) {
+                    continue;
+                }
+                let p = s.parent.unwrap_or_else(|| {
+                    panic!("{level} faulted={faulted}: span {i} ({}) orphaned", s.name)
+                }) as usize;
+                assert!(p < i, "parents precede children in log order");
+            }
+            validate_chrome_trace(&rock::trace::chrome_trace_json(&tracer.events()))
+                .expect("faulted traces still satisfy the chrome schema");
+        }
+    }
 }
 
 #[test]
