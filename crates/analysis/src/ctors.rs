@@ -10,8 +10,9 @@
 use std::collections::BTreeMap;
 
 use rock_binary::Addr;
-use rock_loader::LoadedBinary;
+use rock_loader::{Function, LoadedBinary};
 
+use crate::canon::{CachedCtors, ContentLabels, ExecCache};
 use crate::{execute_function, AnalysisConfig, ObjId};
 
 /// Map from function entry address to the vtable stores it performs on
@@ -72,28 +73,86 @@ impl CtorMap {
 /// (only *direct* vtable stores count) and collects, per function, the
 /// typing of views rooted at the entry object.
 pub fn recognize_ctors(loaded: &LoadedBinary, config: &AnalysisConfig) -> CtorMap {
-    let empty = CtorMap::default();
     let mut stores: BTreeMap<Addr, Vec<(i32, Addr)>> = BTreeMap::new();
     for f in loaded.functions() {
-        let mut found: Vec<(i32, Addr)> = Vec::new();
-        for path in execute_function(f, loaded, &empty, config) {
-            for sub in &path.subobjects {
-                if sub.view.obj != ObjId::ENTRY {
-                    continue;
-                }
-                if let Some(vt) = sub.vtable {
-                    if !found.contains(&(sub.view.base, vt)) {
-                        found.push((sub.view.base, vt));
-                    }
-                }
-            }
-        }
+        let found = ctor_stores_of(f, loaded, config);
         if !found.is_empty() {
-            found.sort();
             stores.insert(f.entry(), found);
         }
     }
     CtorMap { stores }
+}
+
+/// Like [`recognize_ctors`], but answers each function from the
+/// content-addressed `cache` when possible and executes only the
+/// misses, storing their results for the rest of the fleet.
+///
+/// A cached entry records vtables by content label; it is used only
+/// when every label resolves to a unique vtable in *this* binary
+/// (ambiguity falls back to live execution, deterministically per
+/// binary). The pass contributes nothing to metrics, so reuse is
+/// invisible in a job's outputs — the callers' bit-identity guarantees
+/// hold unchanged.
+pub fn recognize_ctors_cached(
+    loaded: &LoadedBinary,
+    config: &AnalysisConfig,
+    labels: &ContentLabels,
+    cache: &dyn ExecCache,
+) -> CtorMap {
+    let mut stores: BTreeMap<Addr, Vec<(i32, Addr)>> = BTreeMap::new();
+    for f in loaded.functions() {
+        let entry = f.entry();
+        let key = labels.function_label(entry);
+        let cached = key.and_then(|k| cache.load_ctors(k)).and_then(|c| {
+            c.stores
+                .iter()
+                .map(|&(off, label)| Some((off, labels.vtable_by_label(label)?)))
+                .collect::<Option<Vec<_>>>()
+        });
+        let found = match cached {
+            Some(found) => found,
+            None => {
+                let found = ctor_stores_of(f, loaded, config);
+                let encoded = found
+                    .iter()
+                    .map(|&(off, vt)| Some((off, labels.vtable_label(vt)?)))
+                    .collect::<Option<Vec<_>>>();
+                if let (Some(k), Some(stores)) = (key, encoded) {
+                    cache.store_ctors(k, &CachedCtors { stores });
+                }
+                found
+            }
+        };
+        if !found.is_empty() {
+            stores.insert(entry, found);
+        }
+    }
+    CtorMap { stores }
+}
+
+/// The sorted `(subobject offset, vtable)` stores one function performs
+/// through `this`, by live symbolic execution against an empty map.
+fn ctor_stores_of(
+    f: &Function,
+    loaded: &LoadedBinary,
+    config: &AnalysisConfig,
+) -> Vec<(i32, Addr)> {
+    let empty = CtorMap::default();
+    let mut found: Vec<(i32, Addr)> = Vec::new();
+    for path in execute_function(f, loaded, &empty, config) {
+        for sub in &path.subobjects {
+            if sub.view.obj != ObjId::ENTRY {
+                continue;
+            }
+            if let Some(vt) = sub.vtable {
+                if !found.contains(&(sub.view.base, vt)) {
+                    found.push((sub.view.base, vt));
+                }
+            }
+        }
+    }
+    found.sort();
+    found
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 mod config;
 mod ctors;
 mod event;
@@ -60,8 +61,9 @@ mod exec;
 mod tracelets;
 mod value;
 
+pub use canon::{CachedCtors, CachedExec, CachedSub, ContentLabels, ExecCache, Label};
 pub use config::AnalysisConfig;
-pub use ctors::{recognize_ctors, CtorMap};
+pub use ctors::{recognize_ctors, recognize_ctors_cached, CtorMap};
 pub use event::Event;
 pub use exec::{
     execute_function, execute_function_budgeted, execute_function_metered, ExecStatus, PathResult,
@@ -69,7 +71,8 @@ pub use exec::{
 };
 pub use rock_budget::{Budget, Deadline, Exhausted};
 pub use tracelets::{
-    extract_tracelets, extract_tracelets_instrumented, extract_tracelets_with, Analysis,
-    AnalysisHooks, FunctionDirective, IncidentKind, NoHooks, TraceletStats, TypeTracelets,
+    extract_tracelets, extract_tracelets_canonical, extract_tracelets_instrumented,
+    extract_tracelets_with, Analysis, AnalysisHooks, FunctionDirective, IncidentKind, NoHooks,
+    TraceletStats, TypeTracelets,
 };
 pub use value::{ObjId, SubObj, SymValue};

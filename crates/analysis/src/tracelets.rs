@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use rock_binary::Addr;
 use rock_budget::Budget;
@@ -10,26 +11,30 @@ use rock_loader::LoadedBinary;
 
 use rock_trace::{names, LocalSpans, MetricsRegistry};
 
+use crate::canon::{CachedExec, CachedSub, ContentLabels, ExecCache};
 use crate::{
-    execute_function_metered, recognize_ctors, AnalysisConfig, CtorMap, Event, ExecStatus, ObjId,
+    execute_function_metered, recognize_ctors, recognize_ctors_cached, AnalysisConfig, CtorMap,
+    Event, ExecStatus, ObjId,
 };
 
-/// Tracelets pooled per binary type (vtable address).
+/// Tracelets pooled per binary type (vtable address). Tracelets are
+/// shared slices (`Arc`): attribution to several hosting vtables, and
+/// corpus-cache hits, alias one allocation instead of copying events.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TypeTracelets {
-    map: BTreeMap<Addr, Vec<Vec<Event>>>,
+    map: BTreeMap<Addr, Vec<Arc<[Event]>>>,
 }
 
 impl TypeTracelets {
     /// Adds one tracelet for a type.
-    pub fn add(&mut self, vtable: Addr, tracelet: Vec<Event>) {
+    pub fn add(&mut self, vtable: Addr, tracelet: Arc<[Event]>) {
         if !tracelet.is_empty() {
             self.map.entry(vtable).or_default().push(tracelet);
         }
     }
 
     /// All tracelets of a type (empty slice if none).
-    pub fn of_type(&self, vtable: Addr) -> &[Vec<Event>] {
+    pub fn of_type(&self, vtable: Addr) -> &[Arc<[Event]>] {
         self.map.get(&vtable).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -55,7 +60,9 @@ impl TypeTracelets {
     /// the per-model SLM interners rely on — and can be shared by any
     /// consumer that wants to work on ids rather than `Event` values.
     pub fn event_table(&self) -> rock_slm::SymbolTable<Event> {
-        rock_slm::SymbolTable::from_symbols(self.map.values().flatten().flatten().copied())
+        rock_slm::SymbolTable::from_symbols(
+            self.map.values().flatten().flat_map(|t| t.iter()).copied(),
+        )
     }
 }
 
@@ -82,7 +89,7 @@ impl TypeTracelets {
         let mut distinct = std::collections::BTreeSet::new();
         let mut events = 0usize;
         for t in pool {
-            for e in t {
+            for e in t.iter() {
                 *by_kind.entry(e.kind()).or_insert(0) += 1;
                 distinct.insert(*e);
                 events += 1;
@@ -217,9 +224,9 @@ impl Analysis {
 /// Splits an event sequence into non-overlapping windows of at most
 /// `len` events (the paper splits sequences "into subsequences of limited
 /// length (up to length 7)").
-pub(crate) fn windows(events: &[Event], len: usize) -> Vec<Vec<Event>> {
+pub(crate) fn windows(events: &[Event], len: usize) -> Vec<Arc<[Event]>> {
     assert!(len > 0, "window length must be positive");
-    events.chunks(len).map(<[Event]>::to_vec).collect()
+    events.chunks(len).map(Arc::from).collect()
 }
 
 /// Runs the full behavioral analysis over a loaded binary:
@@ -286,7 +293,97 @@ pub fn extract_tracelets_instrumented(
     spans: &mut LocalSpans,
     metrics: &mut MetricsRegistry,
 ) -> Analysis {
-    let ctors = recognize_ctors(loaded, config);
+    extract_inner(loaded, config, hooks, spans, metrics, None)
+}
+
+/// Like [`extract_tracelets_instrumented`], but with **canonical call
+/// events** and an optional content-addressed execution cache.
+///
+/// Direct-call events are rewritten to the callee's position-independent
+/// content label ([`ContentLabels::canonical_event`]), so the extracted
+/// pools — and everything downstream of them — hash identically across
+/// binaries that lay the same code out at different addresses. When
+/// `cache` is given, each completed execution is stored under the
+/// function's content label and later extractions (in any binary) reuse
+/// the stored result instead of re-executing, crediting the original
+/// fuel cost so metrics stay byte-identical between cold and warm runs.
+///
+/// Cache entries are consulted only for plain [`FunctionDirective::Run`]
+/// functions under the configured fuel and no wall-clock deadline;
+/// fault-injected, fuel-overridden or deadline-bounded executions always
+/// run live (their outcome is not a pure function of content).
+pub fn extract_tracelets_canonical(
+    loaded: &LoadedBinary,
+    config: &AnalysisConfig,
+    hooks: &dyn AnalysisHooks,
+    spans: &mut LocalSpans,
+    metrics: &mut MetricsRegistry,
+    labels: &ContentLabels,
+    cache: Option<&dyn ExecCache>,
+) -> Analysis {
+    extract_inner(loaded, config, hooks, spans, metrics, Some((labels, cache)))
+}
+
+/// Resolves one cached execution's attributions for this binary: every
+/// stored vtable label must resolve to a unique vtable here, otherwise
+/// the entry is rejected (and the function runs live). Rejection is
+/// deterministic per binary — it depends only on the binary's own label
+/// map — so cold and warm runs agree on it. `None` in the returned list
+/// marks a host-entry attribution.
+fn resolve_cached(labels: &ContentLabels, cached: &CachedExec) -> Option<Vec<Option<Addr>>> {
+    cached
+        .subs
+        .iter()
+        .map(|s| match s.vtable {
+            None => Some(None),
+            Some(label) => labels.vtable_by_label(label).map(Some),
+        })
+        .collect()
+}
+
+/// One function's tracelet contribution to a single attribution target:
+/// the typing vtable's address (`None` = host-entry view) and the
+/// windowed pieces it contributed.
+type Contribution = (Option<Addr>, Vec<Arc<[Event]>>);
+
+/// Encodes one function's tracelet contributions as a
+/// position-independent cache entry, or `None` if any typing vtable has
+/// no content label (cannot happen for vtables the loader accepted, but
+/// refusing is safer than storing a lossy entry). The pieces are shared
+/// with the live pools, so encoding costs reference counts.
+fn encode_cached(
+    labels: &ContentLabels,
+    contrib: &[Contribution],
+    fuel_spent: u64,
+) -> Option<CachedExec> {
+    let mut subs = Vec::with_capacity(contrib.len());
+    for (attr, pieces) in contrib {
+        let vtable = match attr {
+            None => None,
+            Some(addr) => Some(labels.vtable_label(*addr)?),
+        };
+        subs.push(CachedSub { vtable, pieces: pieces.clone() });
+    }
+    Some(CachedExec { subs, fuel_spent })
+}
+
+fn extract_inner(
+    loaded: &LoadedBinary,
+    config: &AnalysisConfig,
+    hooks: &dyn AnalysisHooks,
+    spans: &mut LocalSpans,
+    metrics: &mut MetricsRegistry,
+    canon: Option<(&ContentLabels, Option<&dyn ExecCache>)>,
+) -> Analysis {
+    // The ctor pre-pass is a pure function of content under the same
+    // conditions as the tracelet tier (no wall-clock deadline; hooks
+    // never reach it), so it shares the execution cache.
+    let ctors = match canon {
+        Some((labels, Some(cache))) if config.deadline_ms.is_none() => {
+            recognize_ctors_cached(loaded, config, labels, cache)
+        }
+        _ => recognize_ctors(loaded, config),
+    };
     let mut tracelets = TypeTracelets::default();
     let mut incidents: Vec<(Addr, IncidentKind)> = Vec::new();
 
@@ -294,6 +391,7 @@ pub fn extract_tracelets_instrumented(
         let entry = f.entry();
         let mut cfg = *config;
         let mut inject_panic = false;
+        let mut fuel_overridden = false;
         match hooks.before_function(entry) {
             FunctionDirective::Run => {}
             FunctionDirective::Skip => {
@@ -301,16 +399,60 @@ pub fn extract_tracelets_instrumented(
                 continue;
             }
             FunctionDirective::Panic => inject_panic = true,
-            FunctionDirective::Fuel(b) => cfg.fuel = b,
+            FunctionDirective::Fuel(b) => {
+                cfg.fuel = b;
+                fuel_overridden = true;
+            }
         }
         let token = spans.enter(names::ANALYSIS_FUNCTION, entry.value());
+
+        // A cached result stands in for live execution only when the
+        // outcome is a pure function of the body: no injected fault, no
+        // per-function fuel override, no wall-clock deadline.
+        let cacheable = !inject_panic && !fuel_overridden && config.deadline_ms.is_none();
+        let fkey = canon.and_then(|(labels, _)| labels.function_label(entry));
+        let host_vtables: Vec<Addr> =
+            loaded.vtables_containing(entry).iter().map(|vt| vt.addr()).collect();
+
+        // Cache hit: attribute the shared pieces directly — reference
+        // counts, no event copies, no re-windowing.
+        if let (Some((labels, Some(cache))), Some(key)) = (canon, fkey) {
+            if cacheable {
+                if let Some(cached) = cache.load(key) {
+                    if let Some(attrs) = resolve_cached(labels, &cached) {
+                        metrics.add(names::ANALYSIS_FUEL_SPENT, cached.fuel_spent);
+                        for (attr, sub) in attrs.iter().zip(&cached.subs) {
+                            match attr {
+                                Some(vt) => {
+                                    for p in &sub.pieces {
+                                        tracelets.add(*vt, Arc::clone(p));
+                                    }
+                                }
+                                None => {
+                                    for vt in &host_vtables {
+                                        for p in &sub.pieces {
+                                            tracelets.add(*vt, Arc::clone(p));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        spans.exit(token);
+                        continue;
+                    }
+                    // An unresolvable label rejects the entry for this
+                    // binary; the function runs live below.
+                }
+            }
+        }
+
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected fault: behavioral analysis of {entry}");
             }
             execute_function_metered(f, loaded, &ctors, &cfg)
         }));
-        let paths = match outcome {
+        let (mut paths, fuel_spent) = match outcome {
             Err(payload) => {
                 spans.exit(token);
                 incidents.push((entry, IncidentKind::Panicked(panic_message(payload))));
@@ -328,25 +470,52 @@ pub fn extract_tracelets_instrumented(
             }
             Ok((paths, ExecStatus::Completed, fuel_spent)) => {
                 metrics.add(names::ANALYSIS_FUEL_SPENT, fuel_spent);
-                paths
+                (paths, fuel_spent)
             }
         };
-        let host_vtables: Vec<Addr> =
-            loaded.vtables_containing(entry).iter().map(|vt| vt.addr()).collect();
-        for path in paths {
+        if let Some((labels, _)) = canon {
+            for p in &mut paths {
+                for s in &mut p.subobjects {
+                    for e in &mut s.events {
+                        *e = labels.canonical_event(*e);
+                    }
+                }
+            }
+        }
+
+        // The function's tracelet contributions, windowed once and
+        // shared between the live pools and the cache entry.
+        let mut contrib: Vec<Contribution> = Vec::new();
+        for path in &paths {
             for sub in &path.subobjects {
                 if sub.events.is_empty() {
                     continue;
                 }
-                let pieces = windows(&sub.events, config.tracelet_len);
                 if let Some(vt) = sub.vtable {
-                    for p in &pieces {
-                        tracelets.add(vt, p.clone());
-                    }
+                    contrib.push((Some(vt), windows(&sub.events, config.tracelet_len)));
                 } else if sub.view.obj == ObjId::ENTRY && sub.view.base == 0 {
+                    contrib.push((None, windows(&sub.events, config.tracelet_len)));
+                }
+            }
+        }
+        if let Some((labels, Some(cache))) = canon {
+            if let (Some(key), true) = (fkey, cacheable) {
+                if let Some(entry) = encode_cached(labels, &contrib, fuel_spent) {
+                    cache.store(key, Arc::new(entry));
+                }
+            }
+        }
+        for (attr, pieces) in &contrib {
+            match attr {
+                Some(vt) => {
+                    for p in pieces {
+                        tracelets.add(*vt, Arc::clone(p));
+                    }
+                }
+                None => {
                     for vt in &host_vtables {
-                        for p in &pieces {
-                            tracelets.add(*vt, p.clone());
+                        for p in pieces {
+                            tracelets.add(*vt, Arc::clone(p));
                         }
                     }
                 }
@@ -426,7 +595,7 @@ mod tests {
         // the iteration order is ascending Ord (= id) order.
         for vt in analysis.tracelets().types() {
             for t in analysis.tracelets().of_type(vt) {
-                for e in t {
+                for e in t.iter() {
                     let id = table.id_of(e).expect("observed event must intern");
                     assert_eq!(table.resolve(id), Some(e));
                 }
@@ -514,8 +683,8 @@ mod tests {
     fn stats_aggregate_correctly() {
         let mut tt = TypeTracelets::default();
         let vt = Addr::new(0x2000);
-        tt.add(vt, vec![Event::C(0), Event::C(0), Event::R(8)]);
-        tt.add(vt, vec![Event::This, Event::Ret]);
+        tt.add(vt, vec![Event::C(0), Event::C(0), Event::R(8)].into());
+        tt.add(vt, vec![Event::This, Event::Ret].into());
         let s = tt.stats_of(vt);
         assert_eq!(s.tracelets, 2);
         assert_eq!(s.events, 5);
@@ -613,9 +782,9 @@ mod tests {
     fn type_tracelets_accessors() {
         let mut tt = TypeTracelets::default();
         assert!(tt.is_empty());
-        tt.add(Addr::new(0x2000), vec![Event::C(0)]);
-        tt.add(Addr::new(0x2000), vec![]); // ignored
-        tt.add(Addr::new(0x3000), vec![Event::Ret]);
+        tt.add(Addr::new(0x2000), vec![Event::C(0)].into());
+        tt.add(Addr::new(0x2000), Vec::new().into()); // ignored
+        tt.add(Addr::new(0x3000), vec![Event::Ret].into());
         assert_eq!(tt.total(), 2);
         assert_eq!(tt.of_type(Addr::new(0x2000)).len(), 1);
         assert_eq!(tt.of_type(Addr::new(0x9999)).len(), 0);

@@ -10,7 +10,7 @@ fn tracelets_for(p: ProgramBuilder, class: &str) -> (Vec<Vec<Event>>, rock_minic
     let loaded = LoadedBinary::load(compiled.stripped_image()).unwrap();
     let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
     let vt = compiled.vtable_of(class).unwrap();
-    (analysis.tracelets().of_type(vt).to_vec(), compiled)
+    (analysis.tracelets().of_type(vt).iter().map(|t| t.to_vec()).collect(), compiled)
 }
 
 #[test]
@@ -194,7 +194,7 @@ fn optimized_and_debug_builds_yield_comparable_dispatch_signals() {
             .tracelets()
             .of_type(vt)
             .iter()
-            .flatten()
+            .flat_map(|t| t.iter())
             .filter(|e| matches!(e, Event::C(_)))
             .count()
     };

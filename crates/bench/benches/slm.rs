@@ -6,6 +6,7 @@
 //!
 //! Set `ROCK_BENCH_SMOKE=1` to run a tiny subset (CI smoke).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -100,12 +101,12 @@ fn bench_divergence(c: &mut Criterion) {
 
 /// Per-type tracelet pools of the §6.1 stress shape — the real workload
 /// the pipeline's training and distance stages see.
-fn stress_pools() -> Vec<Vec<Vec<Event>>> {
+fn stress_pools() -> Vec<Vec<Arc<[Event]>>> {
     let bench = stress_program(3, 3, 3);
     let compiled = bench.compile().expect("stress program compiles");
     let loaded = LoadedBinary::load(compiled.stripped_image()).expect("loads");
     let analysis = extract_tracelets(&loaded, &AnalysisConfig::default());
-    let mut pools: Vec<Vec<Vec<Event>>> =
+    let mut pools: Vec<Vec<Arc<[Event]>>> =
         analysis.tracelets().types().map(|vt| analysis.tracelets().of_type(vt).to_vec()).collect();
     if smoke() {
         pools.truncate(6);
@@ -113,7 +114,7 @@ fn stress_pools() -> Vec<Vec<Vec<Event>>> {
     pools
 }
 
-fn train_arena(pools: &[Vec<Vec<Event>>], depth: usize) -> Vec<Slm<Event>> {
+fn train_arena(pools: &[Vec<Arc<[Event]>>], depth: usize) -> Vec<Slm<Event>> {
     pools
         .iter()
         .map(|pool| {
@@ -127,7 +128,7 @@ fn train_arena(pools: &[Vec<Vec<Event>>], depth: usize) -> Vec<Slm<Event>> {
         .collect()
 }
 
-fn train_reference(pools: &[Vec<Vec<Event>>], depth: usize) -> Vec<ReferenceSlm<Event>> {
+fn train_reference(pools: &[Vec<Arc<[Event]>>], depth: usize) -> Vec<ReferenceSlm<Event>> {
     pools
         .iter()
         .map(|pool| {

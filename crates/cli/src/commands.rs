@@ -506,6 +506,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut trace_level = TraceLevel::Sampled;
     let mut metrics = false;
     let mut fuel = None;
+    let mut corpus_manifest: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -531,6 +532,16 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
                 paths.extend(
                     text.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from),
                 );
+            }
+            "--corpus" => {
+                let list =
+                    it.next().ok_or("--corpus needs a manifest (one image path per line)")?;
+                let text =
+                    fs::read_to_string(list).map_err(|e| format!("cannot read {list}: {e}"))?;
+                paths.extend(
+                    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from),
+                );
+                corpus_manifest = Some(list.clone());
             }
             "--max-retries" => {
                 let v = it.next().ok_or("--max-retries needs a count")?;
@@ -564,7 +575,8 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         }
     }
     if paths.is_empty() {
-        return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--store <dir>] [--resume] \
+        return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--corpus <manifest>] \
+                    [--store <dir>] [--resume] \
                     [--max-retries n] [--deadline ms] [--max-errors n] [--metric kl|js|jsd] \
                     [--threads n] [--strict] [--report <path>] [--sleep-backoff] \
                     [--timings[=json]] [--trace <out.json>] \
@@ -587,6 +599,11 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     if let Some(budget) = fuel {
         config.analysis.fuel = budget;
     }
+    // Corpus mode canonicalizes call targets so SLM training inputs are
+    // position-independent and shareable across every binary in the fleet.
+    if corpus_manifest.is_some() {
+        config = config.with_canonical_calls();
+    }
     let options = SupervisorOptions {
         retry: RetryPolicy::new(max_retries),
         deadline_ms,
@@ -600,6 +617,10 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut supervisor = Supervisor::new(config, store, options).with_trace_level(trace_level);
     if let Some(t) = &tracer {
         supervisor = supervisor.with_tracer(t.clone());
+    }
+    let corpus = corpus_manifest.as_ref().map(|_| Arc::new(rock_core::CorpusCache::new()));
+    if let Some(c) = &corpus {
+        supervisor = supervisor.with_corpus(c.clone());
     }
     let start = std::time::Instant::now();
     let batch = supervisor.run_batch(&jobs);
@@ -628,6 +649,22 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     }
     if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
         write_trace(path, tracer)?;
+    }
+    if let Some(corpus) = &corpus {
+        let s = corpus.stats();
+        println!(
+            "corpus: tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit ({:.1}% overall), \
+             {} bytes stored, {} corrupt entries dropped",
+            s.tracelet_hits,
+            s.tracelet_hits + s.tracelet_misses,
+            s.slm_hits,
+            s.slm_hits + s.slm_misses,
+            s.distance_hits,
+            s.distance_hits + s.distance_misses,
+            s.hit_rate() * 100.0,
+            s.bytes_stored,
+            s.corrupt_dropped,
+        );
     }
     if let Some(format) = timings {
         for job in &batch.jobs {
@@ -808,6 +845,34 @@ mod tests {
         let bdoc = fs::read_to_string(&btrace).unwrap();
         validate_chrome_trace(&bdoc).unwrap();
         assert!(bdoc.contains("supervisor.job"), "batch trace missing supervisor spans");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_corpus_mode_shares_work_across_jobs() {
+        let dir = std::env::temp_dir().join("rock-cli-corpus");
+        fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("streams-a.rkb").to_str().unwrap().to_string();
+        let b = dir.join("streams-b.rkb").to_str().unwrap().to_string();
+        dispatch(&["gen".into(), "streams".into(), a.clone()]).unwrap();
+        fs::copy(&a, &b).unwrap();
+        let manifest = dir.join("corpus.txt").to_str().unwrap().to_string();
+        fs::write(&manifest, format!("{a}\n{b}\n")).unwrap();
+        let store = dir.join("store").to_str().unwrap().to_string();
+        let code = dispatch(&[
+            "batch".into(),
+            "--corpus".into(),
+            manifest.clone(),
+            "--store".into(),
+            store,
+            "--timings".into(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        // A missing manifest errors cleanly.
+        assert!(
+            dispatch(&["batch".into(), "--corpus".into(), "/nonexistent/m.txt".into()]).is_err()
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

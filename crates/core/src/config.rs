@@ -33,6 +33,15 @@ pub struct RockConfig {
     /// [`crate::StageError`] aborts [`crate::Rock::try_reconstruct`]
     /// rather than being recorded and worked around.
     pub strict: bool,
+    /// Rewrite direct-call events to the callee's position-independent
+    /// content label (OFF by default; corpus mode turns it on). With
+    /// canonical calls, tracelet pools — and the models and distances
+    /// derived from them — hash identically across binaries that lay
+    /// the same code out at different addresses, which is what lets a
+    /// shared [`crate::CorpusCache`] dedup work fleet-wide. Changes the
+    /// event *alphabet* (call targets become labels), so it is part of
+    /// the supervisor's content key.
+    pub canonical_calls: bool,
 }
 
 impl Default for RockConfig {
@@ -46,6 +55,7 @@ impl Default for RockConfig {
             repartition_families: false,
             parallelism: Parallelism::Auto,
             strict: false,
+            canonical_calls: false,
         }
     }
 }
@@ -87,6 +97,13 @@ impl RockConfig {
         self.strict = true;
         self
     }
+
+    /// Enables position-independent (canonical) call events — the
+    /// cross-binary key mode used by corpus runs.
+    pub fn with_canonical_calls(mut self) -> Self {
+        self.canonical_calls = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +128,7 @@ mod tests {
         );
         assert!(!c.strict, "strict mode is opt-in");
         assert!(RockConfig::default().with_strict().strict);
+        assert!(!c.canonical_calls, "canonical calls are opt-in");
+        assert!(RockConfig::default().with_canonical_calls().canonical_calls);
     }
 }

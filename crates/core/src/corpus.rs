@@ -1,0 +1,818 @@
+//! The corpus cache: cross-binary content-addressed reuse of analysis,
+//! training, and distance work.
+//!
+//! A fleet of binaries built from overlapping sources (COMDAT folding,
+//! shared libraries, template instantiation) repeats the same function
+//! bodies across images. The per-job pipeline cannot see that overlap:
+//! every job re-executes, re-trains and re-scores work an earlier job
+//! already did. [`CorpusCache`] is one shared, thread-safe store that a
+//! whole batch attaches to ([`crate::Rock::with_corpus_cache`]), with
+//! three tiers keyed by **content hash** — never by anything
+//! position-dependent:
+//!
+//! 1. **Executions** — function content label (plus an analysis-config
+//!    salt) → the symbolic execution's per-path sub-object summaries
+//!    and fuel cost, with typing vtables recorded by content label
+//!    (see [`rock_analysis::canon`]).
+//! 2. **Models** — tracelet-pool content key (depth + training
+//!    multiset, [`pool_key`]) → the trained SLM, shared by `Arc` so a
+//!    hit reuses the finalized evaluation tables, not just the counts.
+//! 3. **Distances** — `(metric, from-model key, to-model key)` → the
+//!    divergence bits, the corpus-wide layer behind each run's local
+//!    [`rock_slm::DistanceCache`].
+//!
+//! Every tier stores a compact verification image (a content
+//! fingerprint of the entry) plus an FNV-1a checksum, verified on each
+//! hit: a corrupted entry is dropped, counted, and recomputed by the
+//! requesting job instead of poisoning it — the same self-verifying
+//! discipline as the supervisor's artifact store, at O(1) per hit
+//! instead of a full re-hash of the serialized result. Because keys
+//! hash the *exact inputs* of the computation they memoize, a hit
+//! returns bit-for-bit what the job would have computed itself; warm
+//! runs differ from cold runs only in wall clock.
+
+use std::collections::btree_map::Entry as MapSlot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rock_analysis::canon::{CachedCtors, CachedExec, ExecCache, Label};
+#[cfg(test)]
+use rock_analysis::CachedSub;
+use rock_analysis::{AnalysisConfig, Event};
+use rock_slm::{GlobalDistanceStore, Metric, ModelKey, Slm};
+
+use crate::faultplan::FaultPlan;
+
+const SHARDS: usize = 16;
+
+/// Version byte mixed into every key: bump to invalidate all entries
+/// when any serialized layout or canonicalization rule changes.
+const CORPUS_FORMAT: u8 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn shard_of(key: u128) -> usize {
+    // Mix the halves so structured keys still spread.
+    let k = (key as u64) ^ ((key >> 64) as u64).rotate_left(29);
+    (k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 60) as usize % SHARDS
+}
+
+/// One self-verifying stored blob.
+#[derive(Clone, Debug)]
+struct Entry {
+    bytes: Vec<u8>,
+    checksum: u64,
+}
+
+impl Entry {
+    fn new(bytes: Vec<u8>) -> Entry {
+        let checksum = fnv1a(&bytes);
+        Entry { bytes, checksum }
+    }
+
+    fn verified(&self) -> Option<&[u8]> {
+        (fnv1a(&self.bytes) == self.checksum).then_some(self.bytes.as_slice())
+    }
+}
+
+/// A model-tier entry: the verification image (format byte + pool
+/// fingerprint) plus the shared trained model.
+#[derive(Clone, Debug)]
+struct ModelEntry {
+    entry: Entry,
+    model: Arc<Slm<Event>>,
+}
+
+/// An execution-tier slot: either a full symbolic-execution result or a
+/// ctor-recognition result (disjoint key spaces, see [`CTOR_TAG`]).
+///
+/// Execution entries keep the decoded result alongside the serialized
+/// verification image, so a hit shares the `Arc` instead of
+/// deserializing — the same discipline as [`ModelEntry`].
+#[derive(Clone, Debug)]
+enum ExecSlot {
+    Exec { entry: Entry, exec: Arc<CachedExec> },
+    Ctors(Entry),
+}
+
+impl ExecSlot {
+    fn entry_mut(&mut self) -> &mut Entry {
+        match self {
+            ExecSlot::Exec { entry, .. } => entry,
+            ExecSlot::Ctors(entry) => entry,
+        }
+    }
+}
+
+/// Monotonic hit/miss/bytes counters for the three tiers.
+///
+/// All counters are totals since construction; per-job deltas come from
+/// subtracting two [`CorpusStats`] snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Execution-tier lookups answered from the cache.
+    pub tracelet_hits: u64,
+    /// Execution-tier lookups that ran live.
+    pub tracelet_misses: u64,
+    /// Model-tier lookups answered from the cache.
+    pub slm_hits: u64,
+    /// Model-tier lookups that trained live.
+    pub slm_misses: u64,
+    /// Distance-tier lookups answered from the cache.
+    pub distance_hits: u64,
+    /// Distance-tier lookups that computed live.
+    pub distance_misses: u64,
+    /// Total serialized bytes currently stored across all tiers.
+    pub bytes_stored: u64,
+    /// Entries dropped because their checksum failed verification.
+    pub corrupt_dropped: u64,
+}
+
+impl CorpusStats {
+    /// Component-wise `self - earlier` (for per-job deltas).
+    pub fn since(&self, earlier: &CorpusStats) -> CorpusStats {
+        CorpusStats {
+            tracelet_hits: self.tracelet_hits - earlier.tracelet_hits,
+            tracelet_misses: self.tracelet_misses - earlier.tracelet_misses,
+            slm_hits: self.slm_hits - earlier.slm_hits,
+            slm_misses: self.slm_misses - earlier.slm_misses,
+            distance_hits: self.distance_hits - earlier.distance_hits,
+            distance_misses: self.distance_misses - earlier.distance_misses,
+            bytes_stored: self.bytes_stored.saturating_sub(earlier.bytes_stored),
+            corrupt_dropped: self.corrupt_dropped - earlier.corrupt_dropped,
+        }
+    }
+
+    /// Hit rate over all three tiers, in `[0, 1]` (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.tracelet_hits + self.slm_hits + self.distance_hits;
+        let total = hits + self.tracelet_misses + self.slm_misses + self.distance_misses;
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    tracelet_hits: AtomicU64,
+    tracelet_misses: AtomicU64,
+    slm_hits: AtomicU64,
+    slm_misses: AtomicU64,
+    distance_hits: AtomicU64,
+    distance_misses: AtomicU64,
+    bytes_stored: AtomicU64,
+    corrupt_dropped: AtomicU64,
+}
+
+/// A distance-tier key: the metric plus both pool content keys, in
+/// evaluation order (KL divergence is not symmetric).
+type DistanceKey = (Metric, ModelKey, ModelKey);
+
+/// The shared cross-job content cache. See the module docs.
+///
+/// One instance is shared (via `Arc`) by every job of a corpus run;
+/// all methods take `&self` and are safe to call concurrently.
+#[derive(Debug, Default)]
+pub struct CorpusCache {
+    execs: [Mutex<BTreeMap<u128, ExecSlot>>; SHARDS],
+    models: [Mutex<BTreeMap<ModelKey, ModelEntry>>; SHARDS],
+    distances: [Mutex<BTreeMap<DistanceKey, Entry>>; SHARDS],
+    counters: Counters,
+}
+
+impl CorpusCache {
+    /// Creates an empty cache.
+    pub fn new() -> CorpusCache {
+        CorpusCache::default()
+    }
+
+    /// A point-in-time snapshot of the tier counters.
+    pub fn stats(&self) -> CorpusStats {
+        let c = &self.counters;
+        CorpusStats {
+            tracelet_hits: c.tracelet_hits.load(Ordering::Relaxed),
+            tracelet_misses: c.tracelet_misses.load(Ordering::Relaxed),
+            slm_hits: c.slm_hits.load(Ordering::Relaxed),
+            slm_misses: c.slm_misses.load(Ordering::Relaxed),
+            distance_hits: c.distance_hits.load(Ordering::Relaxed),
+            distance_misses: c.distance_misses.load(Ordering::Relaxed),
+            bytes_stored: c.bytes_stored.load(Ordering::Relaxed),
+            corrupt_dropped: c.corrupt_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries stored per tier: `(executions, models, distances)`.
+    pub fn lens(&self) -> (usize, usize, usize) {
+        (
+            self.execs.iter().map(|m| m.lock().expect("corpus shard poisoned").len()).sum(),
+            self.models.iter().map(|m| m.lock().expect("corpus shard poisoned").len()).sum(),
+            self.distances.iter().map(|m| m.lock().expect("corpus shard poisoned").len()).sum(),
+        )
+    }
+
+    /// The execution-tier view for one analysis configuration: a
+    /// [`rock_analysis::canon::ExecCache`] whose keys mix in the
+    /// config's result-affecting knobs, so jobs running with different
+    /// budgets never alias each other's entries.
+    pub fn exec_cache(&self, config: &AnalysisConfig) -> CorpusExecCache<'_> {
+        CorpusExecCache { cache: self, salt: exec_salt(config) }
+    }
+
+    fn exec_load(&self, key: u128) -> Option<Arc<CachedExec>> {
+        let shard = &self.execs[shard_of(key)];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        match map.get(&key) {
+            Some(ExecSlot::Exec { entry, exec }) => match entry.verified() {
+                Some(_) => {
+                    self.counters.tracelet_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(exec))
+                }
+                None => {
+                    // Corrupt: drop and recompute.
+                    let freed = entry.bytes.len() as u64;
+                    map.remove(&key);
+                    self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
+                    self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.counters.tracelet_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+            _ => {
+                self.counters.tracelet_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn exec_store(&self, key: u128, exec: Arc<CachedExec>) {
+        let entry = Entry::new(exec_fp(&exec).to_le_bytes().to_vec());
+        let shard = &self.execs[shard_of(key)];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        if let MapSlot::Vacant(slot) = map.entry(key) {
+            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
+            slot.insert(ExecSlot::Exec { entry, exec });
+        }
+    }
+
+    // Ctor-recognition results live in the execution tier (they are
+    // cached symbolic executions of a function body, just under the
+    // empty ctor map), in a key space disjoint from the tracelet
+    // entries via `CTOR_TAG`. They share the tier's counters and the
+    // corruption hooks.
+    fn ctor_load(&self, key: u128) -> Option<CachedCtors> {
+        let shard = &self.execs[shard_of(key)];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        match map.get(&key) {
+            Some(ExecSlot::Ctors(entry)) => match entry.verified().and_then(decode_ctors) {
+                Some(ctors) => {
+                    self.counters.tracelet_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(ctors)
+                }
+                None => {
+                    let freed = entry.bytes.len() as u64;
+                    map.remove(&key);
+                    self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
+                    self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.counters.tracelet_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+            _ => {
+                self.counters.tracelet_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn ctor_store(&self, key: u128, ctors: &CachedCtors) {
+        let entry = Entry::new(encode_ctors(ctors));
+        let shard = &self.execs[shard_of(key)];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        if let MapSlot::Vacant(slot) = map.entry(key) {
+            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
+            slot.insert(ExecSlot::Ctors(entry));
+        }
+    }
+
+    /// Looks up the trained model for a pool content key, verifying the
+    /// stored verification image first. A hit shares the model (`Arc`),
+    /// so its lazily built index and evaluation table are reused too.
+    pub fn load_model(&self, key: ModelKey) -> Option<Arc<Slm<Event>>> {
+        let shard = &self.models[shard_of(key)];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        match map.get(&key) {
+            None => {
+                self.counters.slm_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(me) => match me.entry.verified() {
+                Some(_) => {
+                    self.counters.slm_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(&me.model))
+                }
+                None => {
+                    let freed = me.entry.bytes.len() as u64;
+                    map.remove(&key);
+                    self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
+                    self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.counters.slm_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Stores a freshly trained model under its pool content key. The
+    /// verification image is the key itself (format byte plus the
+    /// 16-byte pool fingerprint) — enough for the checksum discipline
+    /// to detect bit rot without re-hashing a serialized pool per hit.
+    pub fn store_model(&self, key: ModelKey, model: Arc<Slm<Event>>) {
+        let mut bytes = vec![CORPUS_FORMAT];
+        bytes.extend_from_slice(&key.to_le_bytes());
+        let entry = Entry::new(bytes);
+        let shard = &self.models[shard_of(key)];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        if let MapSlot::Vacant(slot) = map.entry(key) {
+            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
+            slot.insert(ModelEntry { entry, model });
+        }
+    }
+
+    /// Deterministically corrupts every stored byte image (all tiers)
+    /// with `plan`'s seeded XOR mutations — the corruption-recovery
+    /// test hook. Returns the number of entries touched.
+    pub fn corrupt_all(&self, plan: &FaultPlan, mutations_per_entry: usize) -> usize {
+        let mut touched = 0;
+        for shard in &self.execs {
+            for slot in shard.lock().expect("corpus shard poisoned").values_mut() {
+                plan.corrupt(&mut slot.entry_mut().bytes, mutations_per_entry);
+                touched += 1;
+            }
+        }
+        for shard in &self.models {
+            for me in shard.lock().expect("corpus shard poisoned").values_mut() {
+                plan.corrupt(&mut me.entry.bytes, mutations_per_entry);
+                touched += 1;
+            }
+        }
+        for shard in &self.distances {
+            for entry in shard.lock().expect("corpus shard poisoned").values_mut() {
+                plan.corrupt(&mut entry.bytes, mutations_per_entry);
+                touched += 1;
+            }
+        }
+        touched
+    }
+}
+
+impl GlobalDistanceStore<ModelKey> for CorpusCache {
+    fn load_distance(&self, metric: Metric, from: &ModelKey, to: &ModelKey) -> Option<f64> {
+        let key = (metric, *from, *to);
+        let shard = &self.distances[shard_of(*from ^ to.rotate_left(64))];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        match map.get(&key) {
+            None => {
+                self.counters.distance_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(entry) => match entry.verified().and_then(|b| {
+                let bits: [u8; 8] = b.try_into().ok()?;
+                Some(f64::from_le_bytes(bits))
+            }) {
+                Some(d) => {
+                    self.counters.distance_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(d)
+                }
+                None => {
+                    let freed = entry.bytes.len() as u64;
+                    map.remove(&key);
+                    self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
+                    self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.counters.distance_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+        }
+    }
+
+    fn store_distance(&self, metric: Metric, from: &ModelKey, to: &ModelKey, d: f64) {
+        let key = (metric, *from, *to);
+        let shard = &self.distances[shard_of(*from ^ to.rotate_left(64))];
+        let mut map = shard.lock().expect("corpus shard poisoned");
+        if let MapSlot::Vacant(slot) = map.entry(key) {
+            let entry = Entry::new(d.to_le_bytes().to_vec());
+            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
+            slot.insert(entry);
+        }
+    }
+}
+
+/// The execution-tier adapter handed to the behavioral analysis: keys
+/// are `salt ⊕ function label`, where the salt fingerprints every
+/// analysis knob that can change an execution result (`max_paths`,
+/// `block_visit_limit`, `max_events_per_object`, the fuel limit —
+/// deliberately *not* `tracelet_len`, which is applied downstream of the
+/// cached event sequences, and not `deadline_ms`, under which the cache
+/// is bypassed entirely).
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusExecCache<'a> {
+    cache: &'a CorpusCache,
+    salt: u128,
+}
+
+impl ExecCache for CorpusExecCache<'_> {
+    fn load(&self, key: Label) -> Option<Arc<CachedExec>> {
+        self.cache.exec_load(self.salt ^ key.as_u128())
+    }
+
+    fn store(&self, key: Label, exec: Arc<CachedExec>) {
+        self.cache.exec_store(self.salt ^ key.as_u128(), exec);
+    }
+
+    fn load_ctors(&self, key: Label) -> Option<CachedCtors> {
+        self.cache.ctor_load(self.salt ^ key.as_u128() ^ CTOR_TAG)
+    }
+
+    fn store_ctors(&self, key: Label, ctors: &CachedCtors) {
+        self.cache.ctor_store(self.salt ^ key.as_u128() ^ CTOR_TAG, ctors);
+    }
+}
+
+/// XORed into ctor-recognition keys so they can share the execution
+/// tier's shards without ever aliasing a tracelet entry.
+const CTOR_TAG: u128 = 0xc70c_70c7_0c70_c70c_5a5a_5a5a_5a5a_5a5a;
+
+/// Fingerprints the result-affecting analysis knobs for execution keys.
+/// `tracelet_len` is included because entries carry pre-windowed
+/// pieces: two configs that split at different lengths must not share.
+fn exec_salt(config: &AnalysisConfig) -> u128 {
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u64(config.max_paths as u64);
+    w.u64(config.block_visit_limit as u64);
+    w.u64(config.max_events_per_object as u64);
+    w.u64(config.fuel.limit());
+    w.u64(config.tracelet_len as u64);
+    key_of_bytes(&w.bytes)
+}
+
+/// The content key of one SLM training input: model depth plus the
+/// tracelet **multiset** — exactly the state a trained [`Slm`] is a
+/// pure function of. Pools with equal keys train bit-equal models, at
+/// any thread count, in any binary.
+///
+/// The key folds per-tracelet fingerprints with a commutative
+/// (wrapping) sum, so extraction order cannot change it and no sorted
+/// multiset is materialized — this runs on every pool of every warm
+/// job, and must cost one pass over the events.
+pub fn pool_key(depth: usize, pool: &[Arc<[Event]>]) -> ModelKey {
+    let mut sum_a: u64 = 0;
+    let mut sum_b: u64 = 0;
+    for t in pool {
+        let fp = tracelet_fp(t);
+        sum_a = sum_a.wrapping_add(fp as u64);
+        sum_b = sum_b.wrapping_add((fp >> 64) as u64);
+    }
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u64(depth as u64);
+    w.u64(pool.len() as u64);
+    w.u64(sum_a);
+    w.u64(sum_b);
+    key_of_bytes(&w.bytes)
+}
+
+/// One word-mixing step of the dual-FNV content fingerprints: each
+/// stream absorbs the word, multiplies, and folds the high bits back
+/// down — every step a bijection on the stream state.
+fn mix(a: &mut u64, b: &mut u64, v: u64) {
+    *a = (*a ^ v).wrapping_mul(0x100_0000_01b3);
+    *a ^= *a >> 32;
+    *b = (*b ^ v.rotate_left(17)).wrapping_mul(0x100_0000_01b3);
+    *b ^= *b >> 32;
+}
+
+/// The (tag, payload) word pair an event contributes to a fingerprint.
+fn event_words(e: Event) -> (u64, u64) {
+    match e {
+        Event::C(i) => (0, i as u64),
+        Event::R(o) => (1, o as i64 as u64),
+        Event::W(o) => (2, o as i64 as u64),
+        Event::This => (3, 0),
+        Event::Arg(i) => (4, i as u64),
+        Event::Ret => (5, 0),
+        Event::Call(addr) => (6, addr.value()),
+    }
+}
+
+/// Dual-FNV fingerprint of one tracelet's event sequence.
+fn tracelet_fp(t: &[Event]) -> u128 {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x9e37_79b9_7f4a_7c15;
+    mix(&mut a, &mut b, t.len() as u64);
+    for &e in t {
+        let (tag, payload) = event_words(e);
+        mix(&mut a, &mut b, tag);
+        mix(&mut a, &mut b, payload);
+    }
+    (u128::from(b) << 64) | u128::from(a)
+}
+
+/// Content fingerprint of a cached execution — the execution tier's
+/// 16-byte verification image. Walks every field a serialized image
+/// would cover (fuel, attribution structure, vtable labels, windowed
+/// events), allocation-free: stores cost one pass, hit verification
+/// costs a 16-byte checksum.
+fn exec_fp(exec: &CachedExec) -> u128 {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x9e37_79b9_7f4a_7c15;
+    mix(&mut a, &mut b, exec.fuel_spent);
+    mix(&mut a, &mut b, exec.subs.len() as u64);
+    for s in &exec.subs {
+        match s.vtable {
+            None => mix(&mut a, &mut b, 0),
+            Some(l) => {
+                mix(&mut a, &mut b, 1);
+                mix(&mut a, &mut b, l.lo);
+                mix(&mut a, &mut b, l.hi);
+            }
+        }
+        mix(&mut a, &mut b, s.pieces.len() as u64);
+        for p in &s.pieces {
+            mix(&mut a, &mut b, p.len() as u64);
+            for &e in p.iter() {
+                let (tag, payload) = event_words(e);
+                mix(&mut a, &mut b, tag);
+                mix(&mut a, &mut b, payload);
+            }
+        }
+    }
+    (u128::from(b) << 64) | u128::from(a)
+}
+
+/// Folds a byte image into a 128-bit key via two FNV-1a streams.
+fn key_of_bytes(bytes: &[u8]) -> u128 {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &x in bytes {
+        a = (a ^ u64::from(x)).wrapping_mul(0x100_0000_01b3);
+        b = (b ^ u64::from(x ^ 0xa5)).wrapping_mul(0x100_0000_01b3);
+    }
+    (u128::from(b) << 64) | u128::from(a)
+}
+
+// --- Serialization (little-endian, length-prefixed) -------------------
+
+#[derive(Default)]
+struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.bytes.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.bytes.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+    fn i64(&mut self) -> Option<i64> {
+        self.u64().map(|v| v as i64)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn encode_ctors(ctors: &CachedCtors) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u32(ctors.stores.len() as u32);
+    for &(off, label) in &ctors.stores {
+        w.i64(i64::from(off));
+        w.u64(label.lo);
+        w.u64(label.hi);
+    }
+    w.bytes
+}
+
+fn decode_ctors(bytes: &[u8]) -> Option<CachedCtors> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != CORPUS_FORMAT {
+        return None;
+    }
+    let count = r.u32()? as usize;
+    let mut stores = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let off = i32::try_from(r.i64()?).ok()?;
+        let label = Label { lo: r.u64()?, hi: r.u64()? };
+        stores.push((off, label));
+    }
+    r.done().then_some(CachedCtors { stores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rock_binary::Addr;
+
+    fn sample_exec() -> CachedExec {
+        CachedExec {
+            subs: vec![
+                CachedSub {
+                    vtable: Some(Label { lo: 7, hi: 9 }),
+                    pieces: vec![
+                        vec![
+                            Event::This,
+                            Event::C(2),
+                            Event::W(-8),
+                            Event::Call(Addr::new(0xdead_beef)),
+                        ]
+                        .into(),
+                        vec![Event::Ret].into(),
+                    ],
+                },
+                CachedSub {
+                    vtable: None,
+                    pieces: vec![vec![Event::R(4), Event::Arg(1), Event::Ret].into()],
+                },
+            ],
+            fuel_spent: 12345,
+        }
+    }
+
+    #[test]
+    fn exec_fp_covers_every_field() {
+        let base = exec_fp(&sample_exec());
+        let mut fuel = sample_exec();
+        fuel.fuel_spent += 1;
+        assert_ne!(exec_fp(&fuel), base, "fuel is covered");
+        let mut ev = sample_exec();
+        ev.subs[0].pieces[1] = vec![Event::C(3)].into();
+        assert_ne!(exec_fp(&ev), base, "events are covered");
+        let mut vt = sample_exec();
+        vt.subs[0].vtable = None;
+        assert_ne!(exec_fp(&vt), base, "vtable labels are covered");
+        let mut shape = sample_exec();
+        shape.subs.pop();
+        assert_ne!(exec_fp(&shape), base, "attribution structure is covered");
+    }
+
+    #[test]
+    fn pool_key_is_order_independent_with_multiplicity() {
+        let a: Arc<[Event]> = vec![Event::C(0), Event::Ret].into();
+        let b: Arc<[Event]> = vec![Event::This, Event::W(8)].into();
+        let k1 = pool_key(2, &[a.clone(), b.clone(), a.clone()]);
+        let k2 = pool_key(2, &[b.clone(), a.clone(), a.clone()]);
+        assert_eq!(k1, k2, "multiset key ignores extraction order");
+        let k3 = pool_key(2, &[a.clone(), b.clone()]);
+        assert_ne!(k1, k3, "multiplicity matters");
+        let k4 = pool_key(3, &[a, b]);
+        assert_ne!(k3, k4, "depth matters");
+    }
+
+    #[test]
+    fn exec_tier_hits_misses_and_corruption() {
+        let cache = CorpusCache::new();
+        let cfg = AnalysisConfig::default();
+        let view = cache.exec_cache(&cfg);
+        let key = Label { lo: 11, hi: 22 };
+        assert_eq!(view.load(key), None);
+        let exec = Arc::new(sample_exec());
+        view.store(key, Arc::clone(&exec));
+        let hit = view.load(key).expect("stored exec must hit");
+        assert!(Arc::ptr_eq(&hit, &exec), "hits share the decoded execution");
+        let s = cache.stats();
+        assert_eq!((s.tracelet_hits, s.tracelet_misses), (1, 1));
+        assert!(s.bytes_stored > 0);
+        // A different config salts to a different key space.
+        let other = cache.exec_cache(&AnalysisConfig::fast());
+        assert_eq!(other.load(key), None);
+        // Corrupt every entry: next load detects, drops, recomputes.
+        let touched = cache.corrupt_all(&FaultPlan::seeded(5, 0), 3);
+        assert_eq!(touched, 1);
+        assert_eq!(view.load(key), None);
+        let s = cache.stats();
+        assert_eq!(s.corrupt_dropped, 1);
+        assert_eq!(s.bytes_stored, 0);
+        // Recompute path: store again, clean hit.
+        view.store(key, Arc::clone(&exec));
+        assert_eq!(view.load(key), Some(exec));
+    }
+
+    #[test]
+    fn ctor_entries_share_the_exec_tier() {
+        let cache = CorpusCache::new();
+        let cfg = AnalysisConfig::default();
+        let view = cache.exec_cache(&cfg);
+        let key = Label { lo: 33, hi: 44 };
+        assert_eq!(view.load_ctors(key), None);
+        let ctors =
+            CachedCtors { stores: vec![(0, Label { lo: 1, hi: 2 }), (16, Label { lo: 3, hi: 4 })] };
+        view.store_ctors(key, &ctors);
+        assert_eq!(view.load_ctors(key), Some(ctors.clone()));
+        // The tagged key space never aliases the execution entries.
+        assert_eq!(view.load(key), None);
+        view.store(key, Arc::new(sample_exec()));
+        assert_eq!(view.load_ctors(key), Some(ctors.clone()));
+        // Corruption drops ctor entries like any other.
+        let touched = cache.corrupt_all(&FaultPlan::seeded(7, 0), 3);
+        assert_eq!(touched, 2);
+        assert_eq!(view.load_ctors(key), None);
+        assert!(cache.stats().corrupt_dropped >= 1);
+        // Negative results (no stores) round-trip too.
+        view.store_ctors(key, &CachedCtors::default());
+        assert_eq!(view.load_ctors(key), Some(CachedCtors::default()));
+    }
+
+    #[test]
+    fn ctors_roundtrip() {
+        let ctors = CachedCtors { stores: vec![(-8, Label { lo: 5, hi: 6 })] };
+        assert_eq!(decode_ctors(&encode_ctors(&ctors)), Some(ctors));
+        assert_eq!(
+            decode_ctors(&encode_ctors(&CachedCtors::default())),
+            Some(CachedCtors::default())
+        );
+        assert_eq!(decode_ctors(&[]), None);
+        assert_eq!(decode_ctors(&[0xff, 1, 2]), None);
+    }
+
+    #[test]
+    fn model_tier_shares_the_same_arc() {
+        let cache = CorpusCache::new();
+        let pool: Vec<Arc<[Event]>> =
+            vec![vec![Event::C(0), Event::C(1)].into(), vec![Event::Ret].into()];
+        let key = pool_key(2, &pool);
+        assert!(cache.load_model(key).is_none());
+        let mut m = Slm::new(2);
+        for t in &pool {
+            m.train(t);
+        }
+        m.finalize();
+        let arc = Arc::new(m);
+        cache.store_model(key, Arc::clone(&arc));
+        let hit = cache.load_model(key).expect("stored model must hit");
+        assert!(Arc::ptr_eq(&hit, &arc), "hits share the finalized model");
+        let s = cache.stats();
+        assert_eq!((s.slm_hits, s.slm_misses), (1, 1));
+    }
+
+    #[test]
+    fn distance_tier_stores_exact_bits() {
+        let cache = CorpusCache::new();
+        let (ka, kb): (ModelKey, ModelKey) = (1, 2);
+        assert_eq!(cache.load_distance(Metric::KlDivergence, &ka, &kb), None);
+        let d = 0.1234567890123_f64;
+        cache.store_distance(Metric::KlDivergence, &ka, &kb, d);
+        let got = cache.load_distance(Metric::KlDivergence, &ka, &kb).unwrap();
+        assert_eq!(got.to_bits(), d.to_bits());
+        // Directional: the reverse pair is its own entry.
+        assert_eq!(cache.load_distance(Metric::KlDivergence, &kb, &ka), None);
+        // Other metrics are their own entries too.
+        assert_eq!(cache.load_distance(Metric::JsDivergence, &ka, &kb), None);
+        let s = cache.stats();
+        assert_eq!((s.distance_hits, s.distance_misses), (1, 3));
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod corpus;
 pub mod diagnostics;
 mod eval;
 pub mod faultplan;
@@ -56,6 +57,7 @@ pub mod suite;
 mod timings;
 
 pub use config::RockConfig;
+pub use corpus::{pool_key, CorpusCache, CorpusStats};
 pub use diagnostics::{Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject};
 pub use eval::{evaluate, evaluate_k_parents, project_hierarchy, AppDistance, Evaluation};
 pub use faultplan::FaultPlan;

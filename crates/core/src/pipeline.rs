@@ -8,10 +8,11 @@ use rock_analysis::{Analysis, Event, IncidentKind};
 use rock_binary::Addr;
 use rock_graph::Forest;
 use rock_loader::{LoadIssue, LoadedBinary};
-use rock_slm::{DistanceCache, Metric, Slm};
+use rock_slm::{DistanceCache, GlobalDistanceStore, Metric, ModelKey, Slm};
 use rock_structural::Structural;
 use rock_trace::{names, MetricsRegistry, TraceCtx, TraceLevel, Tracer};
 
+use crate::corpus::CorpusCache;
 use crate::diagnostics::{Coverage, FaultKind, Severity, Stage, StageError, Subject};
 use crate::faultplan::FaultPlan;
 use crate::par::{par_map, Parallelism};
@@ -23,13 +24,21 @@ use crate::{RockConfig, StageTimings};
 /// loaded (stripped) binary. Every reconstructor owns a shared
 /// [`DistanceCache`]; [`Rock::with_shared_cache`] lets several
 /// reconstructors (e.g. an ablation sweep over metrics) reuse one cache so
-/// each `(metric, parent, child)` divergence over the **same binary** is
-/// computed exactly once. Cache keys are vtable addresses, so a shared
-/// cache must never span different binaries.
+/// each `(metric, parent, child)` divergence is computed exactly once.
+/// Cache keys are **content hashes** of each type's tracelet pool
+/// ([`crate::corpus::pool_key`]), so equal keys imply equal training
+/// inputs and the cache is safe to share across runs — and, with
+/// [`RockConfig::canonical_calls`], across different binaries.
+///
+/// [`Rock::with_corpus_cache`] additionally attaches a fleet-wide
+/// [`CorpusCache`]: symbolic executions, trained models, and distances
+/// are then published to (and answered from) the shared store, so a
+/// batch over overlapping binaries trains every distinct pool once.
 #[derive(Clone, Debug, Default)]
 pub struct Rock {
     config: RockConfig,
-    cache: Arc<DistanceCache<Addr>>,
+    cache: Arc<DistanceCache<ModelKey>>,
+    corpus: Option<Arc<CorpusCache>>,
     fault: Option<Arc<FaultPlan>>,
     tracer: Option<Arc<Tracer>>,
     trace_level: TraceLevel,
@@ -64,9 +73,16 @@ pub struct Reconstruction {
     metric: Metric,
     /// The trained per-type models, kept so post-hoc queries
     /// ([`Reconstruction::k_most_likely_parents`]) can fill cache misses.
-    models: BTreeMap<Addr, Slm<Event>>,
+    /// Shared (`Arc`) because corpus runs alias one model across every
+    /// type — in one binary or many — whose pool hashes identically.
+    models: BTreeMap<Addr, Arc<Slm<Event>>>,
+    /// Content key of every type's tracelet pool (trained or not);
+    /// [`DistanceCache`] and [`CorpusCache`] lookups key on these.
+    model_keys: BTreeMap<Addr, ModelKey>,
     /// The distance cache shared with (and warmed by) the pipeline run.
-    cache: Arc<DistanceCache<Addr>>,
+    cache: Arc<DistanceCache<ModelKey>>,
+    /// The fleet-wide corpus cache, when the run had one attached.
+    corpus: Option<Arc<CorpusCache>>,
 }
 
 impl Reconstruction {
@@ -83,7 +99,7 @@ impl Reconstruction {
 
     /// The trained model of a binary type, if the type exists.
     pub fn model_of(&self, addr: Addr) -> Option<&Slm<Event>> {
-        self.models.get(&addr)
+        self.models.get(&addr).map(|m| &**m)
     }
 
     /// §5.3 multiple inheritance: "if a type inherits from X different
@@ -145,10 +161,15 @@ impl Reconstruction {
         if let Some(d) = self.distances.get(&(parent, child)) {
             return *d;
         }
-        match (self.models.get(&parent), self.models.get(&child)) {
-            (Some(pm), Some(cm)) => self.cache.distance(self.metric, (&parent, pm), (&child, cm)),
-            _ => f64::MAX,
-        }
+        let (Some(pm), Some(cm)) = (self.models.get(&parent), self.models.get(&child)) else {
+            return f64::MAX;
+        };
+        let (Some(kp), Some(kc)) = (self.model_keys.get(&parent), self.model_keys.get(&child))
+        else {
+            return f64::MAX;
+        };
+        let global = self.corpus.as_deref().map(|c| c as &dyn GlobalDistanceStore<ModelKey>);
+        self.cache.distance_via(self.metric, (kp, &**pm), (kc, &**cm), global)
     }
 }
 
@@ -165,10 +186,28 @@ impl Rock {
         Rock::with_shared_cache(config, Arc::new(DistanceCache::new()))
     }
 
-    /// Creates a reconstructor that shares `cache` with other passes over
-    /// the **same binary** (ablation sweeps, repeated reconstructions).
-    pub fn with_shared_cache(config: RockConfig, cache: Arc<DistanceCache<Addr>>) -> Self {
-        Rock { config, cache, fault: None, tracer: None, trace_level: TraceLevel::default() }
+    /// Creates a reconstructor that shares `cache` with other passes
+    /// (ablation sweeps, repeated reconstructions). Content keys make
+    /// sharing sound across binaries too: equal keys imply equal pools.
+    pub fn with_shared_cache(config: RockConfig, cache: Arc<DistanceCache<ModelKey>>) -> Self {
+        Rock {
+            config,
+            cache,
+            corpus: None,
+            fault: None,
+            tracer: None,
+            trace_level: TraceLevel::default(),
+        }
+    }
+
+    /// Attaches a fleet-wide [`CorpusCache`]: subsequent runs answer
+    /// symbolic executions, SLM trainings, and distances from the shared
+    /// store when a content key matches, and publish fresh results back.
+    /// Pair it with [`RockConfig::with_canonical_calls`] so keys survive
+    /// layout changes between binaries.
+    pub fn with_corpus_cache(mut self, corpus: Arc<CorpusCache>) -> Self {
+        self.corpus = Some(corpus);
+        self
     }
 
     /// Attaches a deterministic [`FaultPlan`]: named functions and stage
@@ -208,8 +247,18 @@ impl Rock {
     }
 
     /// The distance cache this reconstructor reads and warms.
-    pub fn cache(&self) -> &Arc<DistanceCache<Addr>> {
+    pub fn cache(&self) -> &Arc<DistanceCache<ModelKey>> {
         &self.cache
+    }
+
+    /// The attached corpus cache, if any.
+    pub fn corpus_cache(&self) -> Option<&Arc<CorpusCache>> {
+        self.corpus.as_ref()
+    }
+
+    /// The corpus cache viewed as the distance tier's global store.
+    pub(crate) fn global_distances(&self) -> Option<&dyn GlobalDistanceStore<ModelKey>> {
+        self.corpus.as_deref().map(|c| c as &dyn GlobalDistanceStore<ModelKey>)
     }
 
     /// Runs the full pipeline on a loaded binary.
@@ -279,8 +328,10 @@ pub(crate) fn assemble_reconstruction(
     coverage: Coverage,
     metrics: MetricsRegistry,
     metric: Metric,
-    models: BTreeMap<Addr, Slm<Event>>,
-    cache: Arc<DistanceCache<Addr>>,
+    models: BTreeMap<Addr, Arc<Slm<Event>>>,
+    model_keys: BTreeMap<Addr, ModelKey>,
+    cache: Arc<DistanceCache<ModelKey>>,
+    corpus: Option<Arc<CorpusCache>>,
 ) -> Reconstruction {
     Reconstruction {
         hierarchy,
@@ -293,7 +344,9 @@ pub(crate) fn assemble_reconstruction(
         metrics,
         metric,
         models,
+        model_keys,
         cache,
+        corpus,
     }
 }
 
@@ -391,10 +444,12 @@ pub(crate) fn repartition(
     hierarchy: &mut Forest<Addr>,
     distances: &mut BTreeMap<(Addr, Addr), f64>,
     structural: &Structural,
-    models: &BTreeMap<Addr, Slm<Event>>,
+    models: &BTreeMap<Addr, Arc<Slm<Event>>>,
+    model_keys: &BTreeMap<Addr, ModelKey>,
     loaded: &LoadedBinary,
     metric: Metric,
-    cache: &DistanceCache<Addr>,
+    cache: &DistanceCache<ModelKey>,
+    global: Option<&dyn GlobalDistanceStore<ModelKey>>,
     par: Parallelism,
     ctx: TraceCtx<'_>,
 ) -> usize {
@@ -425,7 +480,9 @@ pub(crate) fn repartition(
     let scanned = par_map(par, &roots, |&root| {
         let mut spans = ctx.local();
         let token = spans.enter(names::REPARTITION_ROOT, root.value());
-        let proposal = scan_root(root, hierarchy, &family_of, models, loaded, metric, cache);
+        let proposal = scan_root(
+            root, hierarchy, &family_of, models, model_keys, loaded, metric, cache, global,
+        );
         spans.exit(token);
         // Cross-family edges had no structural support, so require only
         // that they stay within 2x the worst accepted edge.
@@ -451,18 +508,22 @@ pub(crate) fn repartition(
 
 /// Scores one hierarchy root against every cross-family candidate,
 /// returning the best `(distance, parent)` if any survives the filters.
+#[allow(clippy::too_many_arguments)]
 fn scan_root(
     root: Addr,
     hierarchy: &Forest<Addr>,
     family_of: &BTreeMap<Addr, usize>,
-    models: &BTreeMap<Addr, Slm<Event>>,
+    models: &BTreeMap<Addr, Arc<Slm<Event>>>,
+    model_keys: &BTreeMap<Addr, ModelKey>,
     loaded: &LoadedBinary,
     metric: Metric,
-    cache: &DistanceCache<Addr>,
+    cache: &DistanceCache<ModelKey>,
+    global: Option<&dyn GlobalDistanceStore<ModelKey>>,
 ) -> Option<(f64, Addr)> {
     let root_vt = loaded.vtable_at(root)?;
     // A root whose training faulted has no model to compare with.
     let root_model = models.get(&root)?;
+    let root_key = model_keys.get(&root)?;
     let root_family = family_of.get(&root);
     let mut best: Option<(f64, Addr)> = None;
     for cand in loaded.vtables() {
@@ -481,11 +542,24 @@ fn scan_root(
         let Some(cand_model) = models.get(&cand.addr()) else {
             continue; // unmodeled candidate: nothing to score
         };
-        let d = cache.distance(metric, (&cand.addr(), cand_model), (&root, root_model));
+        let Some(cand_key) = model_keys.get(&cand.addr()) else {
+            continue;
+        };
+        let d = cache.distance_via(
+            metric,
+            (cand_key, &**cand_model),
+            (root_key, &**root_model),
+            global,
+        );
         // Parenthood is asymmetric (§4.2.1): the candidate's behavior
         // should be *contained* in the root's, so encoding parent
         // with child must be cheaper than the reverse.
-        let d_rev = cache.distance(metric, (&root, root_model), (&cand.addr(), cand_model));
+        let d_rev = cache.distance_via(
+            metric,
+            (root_key, &**root_model),
+            (cand_key, &**cand_model),
+            global,
+        );
         if d >= d_rev {
             continue;
         }

@@ -18,16 +18,21 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
-use rock_analysis::{extract_tracelets_instrumented, Analysis, AnalysisHooks, Event, NoHooks};
+use rock_analysis::{
+    extract_tracelets_canonical, extract_tracelets_instrumented, Analysis, AnalysisHooks,
+    ContentLabels, Event, ExecCache, NoHooks,
+};
 use rock_binary::Addr;
 use rock_graph::{min_spanning_forest, DiGraph, Forest};
 use rock_loader::{LoadIssue, LoadedBinary};
-use rock_slm::Slm;
+use rock_slm::{ModelKey, Slm};
 use rock_structural::{analyze, Structural};
 use rock_trace::{names, MetricsRegistry};
 
+use crate::corpus::pool_key;
 use crate::diagnostics::{
     Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject,
 };
@@ -132,7 +137,8 @@ pub struct StagedRun<'a> {
     cache_misses0: u64,
     analysis: Option<Analysis>,
     structural: Option<Structural>,
-    models: Option<BTreeMap<Addr, Slm<Event>>>,
+    models: Option<BTreeMap<Addr, Arc<Slm<Event>>>>,
+    model_keys: BTreeMap<Addr, ModelKey>,
     distances: Option<BTreeMap<(Addr, Addr), f64>>,
     graphs: Option<Vec<DiGraph>>,
     hierarchy: Option<Forest<Addr>>,
@@ -173,6 +179,7 @@ impl Rock {
             analysis: None,
             structural: None,
             models: None,
+            model_keys: BTreeMap::new(),
             distances: None,
             graphs: None,
             hierarchy: None,
@@ -202,8 +209,10 @@ impl<'a> StagedRun<'a> {
         self.analysis.as_ref()
     }
 
-    /// The trained models, once the training stage completed.
-    pub fn models(&self) -> Option<&BTreeMap<Addr, Slm<Event>>> {
+    /// The trained models, once the training stage completed. Models are
+    /// `Arc`-shared: corpus runs alias one model across every type whose
+    /// pool hashes to the same content key.
+    pub fn models(&self) -> Option<&BTreeMap<Addr, Arc<Slm<Event>>>> {
         self.models.as_ref()
     }
 
@@ -308,6 +317,11 @@ impl<'a> StagedRun<'a> {
     /// Behavioral analysis (also recognizes ctor-like functions). Each
     /// function runs inside `catch_unwind` with a fuel/deadline budget; a
     /// faulted function is excluded wholesale and recorded.
+    ///
+    /// With [`crate::RockConfig::canonical_calls`] the extraction rewrites
+    /// call events to position-independent content labels, and — when a
+    /// corpus cache is attached — answers whole per-function executions
+    /// from the fleet-wide tracelet tier instead of re-running them.
     fn run_analysis(&mut self) {
         let stage = Instant::now();
         let rock = self.rock;
@@ -317,13 +331,27 @@ impl<'a> StagedRun<'a> {
         };
         let ctx = rock.trace_ctx();
         let mut spans = ctx.local();
-        let analysis = extract_tracelets_instrumented(
-            self.loaded,
-            &rock.config().analysis,
-            hooks,
-            &mut spans,
-            &mut self.metrics,
-        );
+        let analysis = if rock.config().canonical_calls {
+            let labels = ContentLabels::compute(self.loaded);
+            let exec_cache = rock.corpus_cache().map(|c| c.exec_cache(&rock.config().analysis));
+            extract_tracelets_canonical(
+                self.loaded,
+                &rock.config().analysis,
+                hooks,
+                &mut spans,
+                &mut self.metrics,
+                &labels,
+                exec_cache.as_ref().map(|c| c as &dyn ExecCache),
+            )
+        } else {
+            extract_tracelets_instrumented(
+                self.loaded,
+                &rock.config().analysis,
+                hooks,
+                &mut spans,
+                &mut self.metrics,
+            )
+        };
         ctx.merge(spans);
         self.record_analysis_incidents(&analysis);
         self.record_analysis_metrics(&analysis);
@@ -376,17 +404,114 @@ impl<'a> StagedRun<'a> {
             - self.coverage.functions_timed_out;
     }
 
+    /// Computes the content key of every type's tracelet pool (trained
+    /// and faulted types alike); distance-cache and corpus lookups key on
+    /// these instead of per-binary vtable addresses.
+    fn compute_model_keys(&mut self) {
+        let analysis = self.analysis.as_ref().expect("model keys follow analysis");
+        let depth = self.rock.config().analysis.slm_depth;
+        self.model_keys = self
+            .loaded
+            .vtables()
+            .iter()
+            .map(|vt| (vt.addr(), pool_key(depth, analysis.tracelets().of_type(vt.addr()))))
+            .collect();
+    }
+
     /// One SLM per binary type, trained independently per vtable. A
     /// training fault drops that type's model; edges touching it are
     /// skipped later and the type degrades to a hierarchy root.
+    ///
+    /// With a corpus cache attached, types are grouped by pool content
+    /// key first: each distinct pool is answered by (or published to) the
+    /// fleet-wide model tier exactly once per run, and every alias shares
+    /// the same `Arc`'d model. Fault-targeted types train solo so an
+    /// injected panic still lands on exactly the type the per-type loop
+    /// would have lost.
     fn run_training(&mut self) {
         self.ensure_structural();
+        self.compute_model_keys();
         let stage = Instant::now();
         let rock = self.rock;
         let analysis = self.analysis.as_ref().expect("training follows analysis");
         let config = rock.config();
         let ctx = rock.trace_ctx();
         let addrs: Vec<Addr> = self.loaded.vtables().iter().map(|vt| vt.addr()).collect();
+
+        if let Some(corpus) = rock.corpus_cache() {
+            let mut groups: BTreeMap<ModelKey, Vec<Addr>> = BTreeMap::new();
+            let mut solo: Vec<Vec<Addr>> = Vec::new();
+            for &addr in &addrs {
+                let targeted = rock
+                    .fault_plan()
+                    .is_some_and(|p| p.should_panic_in(Stage::Training, addr.value()));
+                if targeted {
+                    solo.push(vec![addr]);
+                } else {
+                    groups.entry(self.model_keys[&addr]).or_default().push(addr);
+                }
+            }
+            // Work in first-member (= lowest-address) order so spans and
+            // fault diagnostics come out deterministically.
+            let mut work: Vec<Vec<Addr>> = groups.into_values().collect();
+            work.extend(solo);
+            work.sort_by_key(|g| g[0]);
+            let trained = crate::par::par_map_catch(config.parallelism, &work, |group| {
+                let rep = group[0];
+                let key = self.model_keys[&rep];
+                let mut spans = ctx.local();
+                let token = spans.enter(names::TRAINING_TYPE, rep.value());
+                self.inject(Stage::Training, rep.value());
+                let model = match corpus.load_model(key) {
+                    Some(m) => m,
+                    None => {
+                        let pool = analysis.tracelets().of_type(rep);
+                        let mut m = Slm::new(config.analysis.slm_depth);
+                        for t in pool {
+                            m.train(t);
+                        }
+                        m.finalize();
+                        let m = Arc::new(m);
+                        corpus.store_model(key, Arc::clone(&m));
+                        m
+                    }
+                };
+                spans.exit(token);
+                (model, spans)
+            });
+            let mut models: BTreeMap<Addr, Arc<Slm<Event>>> = BTreeMap::new();
+            let mut buffers = Vec::new();
+            for (group, outcome) in work.iter().zip(trained) {
+                match outcome {
+                    Ok((m, spans)) => {
+                        if !spans.is_empty() {
+                            buffers.push(spans);
+                        }
+                        for &addr in group {
+                            models.insert(addr, Arc::clone(&m));
+                        }
+                    }
+                    Err(msg) => {
+                        // Pools hash equal => training panics equal: the
+                        // whole group records what each member's solo
+                        // training would have.
+                        for &addr in group {
+                            self.sink.record(StageError {
+                                stage: Stage::Training,
+                                subject: Subject::Vtable(addr),
+                                kind: FaultKind::Panicked(msg.clone()),
+                                severity: Severity::Error,
+                            });
+                        }
+                    }
+                }
+            }
+            ctx.merge_many(buffers);
+            self.set_models(models);
+            self.timings.training = stage.elapsed();
+            return;
+        }
+
         let trained = crate::par::par_map_catch(config.parallelism, &addrs, |&addr| {
             let mut spans = ctx.local();
             let token = spans.enter(names::TRAINING_TYPE, addr.value());
@@ -402,7 +527,7 @@ impl<'a> StagedRun<'a> {
             spans.exit(token);
             (m, spans)
         });
-        let mut models: BTreeMap<Addr, Slm<Event>> = BTreeMap::new();
+        let mut models: BTreeMap<Addr, Arc<Slm<Event>>> = BTreeMap::new();
         let mut buffers = Vec::new();
         for (addr, outcome) in addrs.into_iter().zip(trained) {
             match outcome {
@@ -410,7 +535,7 @@ impl<'a> StagedRun<'a> {
                     if !spans.is_empty() {
                         buffers.push(spans);
                     }
-                    models.insert(addr, m);
+                    models.insert(addr, Arc::new(m));
                 }
                 Err(msg) => self.sink.record(StageError {
                     stage: Stage::Training,
@@ -428,7 +553,7 @@ impl<'a> StagedRun<'a> {
 
     /// Installs trained models and their derived counters (shared by the
     /// live stage and the restore path).
-    fn set_models(&mut self, models: BTreeMap<Addr, Slm<Event>>) {
+    fn set_models(&mut self, models: BTreeMap<Addr, Arc<Slm<Event>>>) {
         self.coverage.models_trained = models.len();
         self.metrics.set(names::SLM_MODELS_TRAINED, models.len() as u64);
         let mut nodes = 0u64;
@@ -464,6 +589,7 @@ impl<'a> StagedRun<'a> {
         let rock = self.rock;
         let structural = self.structural.as_ref().expect("distances follow structural");
         let models = self.models.as_ref().expect("distances follow training");
+        let model_keys = &self.model_keys;
         let config = rock.config();
         let ctx = rock.trace_ctx();
         let families = structural.families();
@@ -485,9 +611,12 @@ impl<'a> StagedRun<'a> {
                 |parent, child| {
                     let pair = spans.enter(names::DISTANCES_PAIR, parent.value());
                     let d = match (models.get(&parent), models.get(&child)) {
-                        (Some(pm), Some(cm)) => {
-                            Some(rock.cache().distance(config.metric, (&parent, pm), (&child, cm)))
-                        }
+                        (Some(pm), Some(cm)) => Some(rock.cache().distance_via(
+                            config.metric,
+                            (&model_keys[&parent], &**pm),
+                            (&model_keys[&child], &**cm),
+                            rock.global_distances(),
+                        )),
                         _ => None,
                     };
                     spans.exit(pair);
@@ -673,6 +802,7 @@ impl<'a> StagedRun<'a> {
         coverage: Coverage,
     ) -> Result<(), RestoreError> {
         self.accept_restore(StageId::Training)?;
+        self.compute_model_keys();
         let analysis = self.analysis.as_ref().expect("restore order guarantees analysis");
         let config = self.rock.config();
         let retrained = crate::par::par_map(config.parallelism, trained, |&addr| {
@@ -681,9 +811,10 @@ impl<'a> StagedRun<'a> {
                 m.train(t);
             }
             m.finalize();
-            m
+            Arc::new(m)
         });
-        let models: BTreeMap<Addr, Slm<Event>> = trained.iter().copied().zip(retrained).collect();
+        let models: BTreeMap<Addr, Arc<Slm<Event>>> =
+            trained.iter().copied().zip(retrained).collect();
         self.ensure_structural();
         self.set_models(models);
         self.restore_observability(diagnostics, coverage);
@@ -770,9 +901,11 @@ impl<'a> StagedRun<'a> {
                 &mut distances,
                 &structural,
                 &models,
+                &self.model_keys,
                 self.loaded,
                 config.metric,
                 rock.cache(),
+                rock.global_distances(),
                 config.parallelism,
                 ctx,
             );
@@ -826,7 +959,9 @@ impl<'a> StagedRun<'a> {
             self.metrics,
             config.metric,
             models,
+            std::mem::take(&mut self.model_keys),
             self.rock.cache().clone(),
+            self.rock.corpus_cache().cloned(),
         )
     }
 }

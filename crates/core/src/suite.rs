@@ -112,7 +112,17 @@ impl ClassSpec {
 /// structural characters of their own.
 pub fn generate_program(name: &str, specs: &[ClassSpec]) -> Program {
     let mut p = ProgramBuilder::new();
+    emit_classes(&mut p, name, specs);
+    p.finish()
+}
 
+/// Emits one spec family (classes + drivers) into an existing builder.
+/// Everything the emitted *code* depends on — method bodies, driver
+/// patterns — derives from `body_seed` and positions local to `specs`,
+/// so two emissions with equal `name` and `specs` produce content-equal
+/// functions no matter what else the program contains or where the
+/// family lands in it (the property [`corpus_member`] builds on).
+fn emit_classes(p: &mut ProgramBuilder, name: &str, specs: &[ClassSpec]) {
     // Slot-name bookkeeping: slots(i) = inherited slot names + own.
     let mut slots: Vec<Vec<String>> = Vec::with_capacity(specs.len());
     // The field each slot operates on: an overriding method accesses the
@@ -249,8 +259,6 @@ pub fn generate_program(name: &str, specs: &[ClassSpec]) -> Program {
             f.ret();
         });
     }
-
-    p.finish()
 }
 
 /// Builds a plain tree: `parents[i]` is the parent index of class `i`.
@@ -835,6 +843,98 @@ pub fn stress_program(families: usize, depth: usize, fanout: usize) -> Benchmark
     }
 }
 
+/// The parent table corpus families are carved from: a root, two mid
+/// nodes, and fan-out below (deep enough for containment chains, wide
+/// enough for parent ambiguity under ctor inlining). A family takes a
+/// prefix of this table, so every size shares the same upper shape.
+/// Family size sets the cacheable-to-fixed work ratio of a member:
+/// distance scoring grows with the square of the class count, so a
+/// dozen-plus classes per family keeps jobs dominated by work the
+/// corpus cache can absorb.
+const CORPUS_FAMILY_PARENTS: [Option<usize>; 18] = [
+    None,
+    Some(0),
+    Some(0),
+    Some(1),
+    Some(2),
+    Some(1),
+    Some(2),
+    Some(3),
+    Some(4),
+    Some(5),
+    Some(3),
+    Some(6),
+    Some(7),
+    Some(8),
+    Some(5),
+    Some(6),
+    Some(10),
+    Some(12),
+];
+
+/// Specs for one corpus family: the first `classes` rows of
+/// [`CORPUS_FAMILY_PARENTS`]. All code content derives from
+/// `seed_base` and the local index, so equal `seed_base` means
+/// content-equal families across binaries.
+fn corpus_family_specs(seed_base: u64, classes: usize) -> Vec<ClassSpec> {
+    CORPUS_FAMILY_PARENTS[..classes]
+        .iter()
+        .enumerate()
+        .map(|(i, &parent)| {
+            // Heavy on purpose: fleet members should be dominated by the
+            // cacheable stages (execution, training, scoring), as real
+            // binaries are, not by the fixed per-job structural floor.
+            let mut s = ClassSpec::node(parent, 2 + i % 2, i);
+            s.body_seed = seed_base + i as u64;
+            if i >= 3 {
+                s.overrides = 2;
+            }
+            s
+        })
+        .collect()
+}
+
+/// One member of the synthetic dedup corpus (`benches/corpus.rs` and the
+/// corpus-dedup tests): 18 `lib` classes shared verbatim by *every*
+/// member, 8 `app` classes shared by members with the same template
+/// (`index % templates`), and one salt class unique to the member. The
+/// lib-heavy split models a statically linked fleet, where the runtime
+/// and in-house libraries dwarf each binary's unique application code.
+///
+/// Odd members declare the salt class first, which shifts every shared
+/// function to different addresses — cross-binary reuse of tracelets,
+/// SLMs, and distances then only works with position-independent
+/// (content-derived) cache keys, never with address keys.
+///
+/// `templates` controls overlap: members `i` and `j` share their app
+/// family iff `i % templates == j % templates`, so a corpus of `n`
+/// members carries `templates` distinct app families. `templates = 0`
+/// is treated as 1 (all members share one app family).
+pub fn corpus_member(index: usize, templates: usize) -> Benchmark {
+    let templates = templates.max(1);
+    let mut p = ProgramBuilder::new();
+    let mut salt = ClassSpec::node(None, 2, 0);
+    salt.body_seed = 9000 + index as u64;
+    let salt_specs = vec![salt];
+    let salt_first = index % 2 == 1;
+    if salt_first {
+        emit_classes(&mut p, "salt", &salt_specs);
+    }
+    emit_classes(&mut p, "lib", &corpus_family_specs(1000, 18));
+    let template = (index % templates) as u64;
+    emit_classes(&mut p, "app", &corpus_family_specs(2000 + template * 100, 8));
+    if !salt_first {
+        emit_classes(&mut p, "salt", &salt_specs);
+    }
+    Benchmark {
+        name: "corpus",
+        structurally_resolvable: false,
+        paper: paper(0.0, 27, (0.0, 0.0), (0.0, 0.0)),
+        program: p.finish(),
+        options: optimized_options(),
+    }
+}
+
 /// Convenience: benchmark names and whether the paper lists them above
 /// the line.
 pub fn paper_rows() -> BTreeMap<&'static str, bool> {
@@ -898,5 +998,27 @@ mod tests {
         let b = stress_program(2, 3, 2);
         assert_eq!(b.paper.types, 2 * (1 + 2 + 4));
         assert!(b.compile().is_ok());
+    }
+
+    #[test]
+    fn corpus_members_share_content_at_shifted_addresses() {
+        // Members 0 and 8 share the app template (8 % 8 == 0): identical
+        // programs except for the salt class; member 1 shares nothing
+        // with member 0 beyond the lib family and declares its salt
+        // first, shifting every shared function.
+        let m0 = corpus_member(0, 8).compile().unwrap();
+        let m1 = corpus_member(1, 8).compile().unwrap();
+        let m8 = corpus_member(8, 8).compile().unwrap();
+        assert_eq!(m0.ground_truth().len(), 27);
+        // Shared lib root method body exists in both, at *different*
+        // addresses when the salt leads (member 1 vs member 0).
+        let addr_of = |c: &rock_minicpp::Compiled, sym: &str| {
+            c.image().symbols().by_name(sym).map(|s| s.addr).unwrap()
+        };
+        let sym = "lib_C0::lib_c0_m0";
+        assert_ne!(addr_of(&m0, sym), addr_of(&m1, sym), "salt-first must shift {sym}");
+        assert_eq!(addr_of(&m0, sym), addr_of(&m8, sym), "same layout, same address");
+        // Distinct templates produce distinct app families.
+        assert_eq!(corpus_member(0, 1).compile().unwrap().ground_truth().len(), 27);
     }
 }

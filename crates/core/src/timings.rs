@@ -64,6 +64,25 @@ pub struct StageTimings {
     pub rejected_vtables: usize,
     /// Approximate bytes retained by the run's diagnostics.
     pub diagnostics_bytes: usize,
+    /// Symbolic executions answered by the corpus tracelet tier (all
+    /// corpus fields stay zero without an attached [`crate::CorpusCache`];
+    /// they are per-run deltas injected by the batch driver, never part
+    /// of the pipeline's own deterministic registry).
+    pub corpus_tracelet_hits: u64,
+    /// Symbolic executions the corpus tracelet tier could not answer.
+    pub corpus_tracelet_misses: u64,
+    /// SLM trainings answered by the corpus model tier.
+    pub corpus_slm_hits: u64,
+    /// SLM trainings the corpus model tier could not answer.
+    pub corpus_slm_misses: u64,
+    /// Distances answered by the corpus distance tier.
+    pub corpus_distance_hits: u64,
+    /// Distances the corpus distance tier could not answer.
+    pub corpus_distance_misses: u64,
+    /// Bytes the run added to the corpus cache.
+    pub corpus_bytes_stored: u64,
+    /// Corpus entries dropped on checksum mismatch (then recomputed).
+    pub corpus_corrupt_dropped: u64,
 }
 
 impl StageTimings {
@@ -87,6 +106,54 @@ impl StageTimings {
         self.fuel_exhausted = metrics.counter(names::ANALYSIS_FUEL_EXHAUSTED) as usize;
         self.rejected_vtables = metrics.counter(names::LOAD_VTABLES_REJECTED) as usize;
         self.diagnostics_bytes = metrics.counter(names::DIAGNOSTICS_BYTES) as usize;
+        self.corpus_tracelet_hits = metrics.counter(names::CORPUS_TRACELET_HIT);
+        self.corpus_tracelet_misses = metrics.counter(names::CORPUS_TRACELET_MISS);
+        self.corpus_slm_hits = metrics.counter(names::CORPUS_SLM_HIT);
+        self.corpus_slm_misses = metrics.counter(names::CORPUS_SLM_MISS);
+        self.corpus_distance_hits = metrics.counter(names::CORPUS_DISTANCE_HIT);
+        self.corpus_distance_misses = metrics.counter(names::CORPUS_DISTANCE_MISS);
+        self.corpus_bytes_stored = metrics.counter(names::CORPUS_BYTES_STORED);
+        self.corpus_corrupt_dropped = metrics.counter(names::CORPUS_CORRUPT_DROPPED);
+    }
+
+    /// Copies one run's corpus-tier delta ([`crate::CorpusStats::since`])
+    /// onto the corpus fields and mirrors it into `metrics` under the
+    /// `corpus.*` counter names, so reports and JSON render it uniformly.
+    pub fn absorb_corpus_stats(
+        &mut self,
+        delta: &crate::CorpusStats,
+        metrics: &mut MetricsRegistry,
+    ) {
+        metrics.set(names::CORPUS_TRACELET_HIT, delta.tracelet_hits);
+        metrics.set(names::CORPUS_TRACELET_MISS, delta.tracelet_misses);
+        metrics.set(names::CORPUS_SLM_HIT, delta.slm_hits);
+        metrics.set(names::CORPUS_SLM_MISS, delta.slm_misses);
+        metrics.set(names::CORPUS_DISTANCE_HIT, delta.distance_hits);
+        metrics.set(names::CORPUS_DISTANCE_MISS, delta.distance_misses);
+        metrics.set(names::CORPUS_BYTES_STORED, delta.bytes_stored);
+        metrics.set(names::CORPUS_CORRUPT_DROPPED, delta.corrupt_dropped);
+        self.corpus_tracelet_hits = delta.tracelet_hits;
+        self.corpus_tracelet_misses = delta.tracelet_misses;
+        self.corpus_slm_hits = delta.slm_hits;
+        self.corpus_slm_misses = delta.slm_misses;
+        self.corpus_distance_hits = delta.distance_hits;
+        self.corpus_distance_misses = delta.distance_misses;
+        self.corpus_bytes_stored = delta.bytes_stored;
+        self.corpus_corrupt_dropped = delta.corrupt_dropped;
+    }
+
+    /// `true` when any corpus-tier counter is nonzero (i.e. the run had a
+    /// corpus cache attached and it saw traffic).
+    pub fn has_corpus_activity(&self) -> bool {
+        self.corpus_tracelet_hits
+            + self.corpus_tracelet_misses
+            + self.corpus_slm_hits
+            + self.corpus_slm_misses
+            + self.corpus_distance_hits
+            + self.corpus_distance_misses
+            + self.corpus_bytes_stored
+            + self.corpus_corrupt_dropped
+            > 0
     }
 
     /// Machine-readable rendering for `--timings=json`: one flat JSON
@@ -117,7 +184,7 @@ impl StageTimings {
              \"slm_unique_words\":{},\"slm_total_words\":{},\"edge_count\":{},\
              \"foreign_candidates\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"skipped_functions\":{},\"fuel_exhausted\":{},\"rejected_vtables\":{},\
-             \"diagnostics_bytes\":{}}}",
+             \"diagnostics_bytes\":{},",
             self.slm_count,
             self.slm_nodes,
             self.slm_edges,
@@ -132,6 +199,21 @@ impl StageTimings {
             self.fuel_exhausted,
             self.rejected_vtables,
             self.diagnostics_bytes,
+        );
+        let _ = write!(
+            s,
+            "\"corpus_tracelet_hits\":{},\"corpus_tracelet_misses\":{},\
+             \"corpus_slm_hits\":{},\"corpus_slm_misses\":{},\
+             \"corpus_distance_hits\":{},\"corpus_distance_misses\":{},\
+             \"corpus_bytes_stored\":{},\"corpus_corrupt_dropped\":{}}}",
+            self.corpus_tracelet_hits,
+            self.corpus_tracelet_misses,
+            self.corpus_slm_hits,
+            self.corpus_slm_misses,
+            self.corpus_distance_hits,
+            self.corpus_distance_misses,
+            self.corpus_bytes_stored,
+            self.corpus_corrupt_dropped,
         );
         s
     }
@@ -167,6 +249,23 @@ impl fmt::Display for StageTimings {
         writeln!(f, "  repartition  {:>10.3} ms", ms(self.repartition))?;
         if self.foreign_candidates > 0 {
             writeln!(f, "  skipped foreign candidates: {}", self.foreign_candidates)?;
+        }
+        if self.has_corpus_activity() {
+            writeln!(
+                f,
+                "  corpus       tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit",
+                self.corpus_tracelet_hits,
+                self.corpus_tracelet_hits + self.corpus_tracelet_misses,
+                self.corpus_slm_hits,
+                self.corpus_slm_hits + self.corpus_slm_misses,
+                self.corpus_distance_hits,
+                self.corpus_distance_hits + self.corpus_distance_misses,
+            )?;
+            writeln!(
+                f,
+                "               {} bytes stored, {} corrupt entries dropped",
+                self.corpus_bytes_stored, self.corpus_corrupt_dropped
+            )?;
         }
         writeln!(
             f,
@@ -226,5 +325,46 @@ mod tests {
         assert!(!text.contains("foreign"));
         let skipped = StageTimings { foreign_candidates: 2, ..t };
         assert!(skipped.to_string().contains("skipped foreign candidates: 2"));
+        // The corpus line only appears when a corpus cache saw traffic.
+        assert!(!text.contains("corpus"));
+        let corpus = StageTimings {
+            corpus_tracelet_hits: 9,
+            corpus_tracelet_misses: 1,
+            corpus_slm_hits: 4,
+            corpus_slm_misses: 2,
+            corpus_distance_hits: 3,
+            corpus_distance_misses: 3,
+            corpus_bytes_stored: 2048,
+            ..t
+        };
+        let text = corpus.to_string();
+        assert!(text.contains("tracelets 9/10 hit, slms 4/6 hit, distances 3/6 hit"), "{text}");
+        assert!(text.contains("2048 bytes stored, 0 corrupt entries dropped"), "{text}");
+        assert!(corpus.to_json().contains("\"corpus_tracelet_hits\":9"));
+    }
+
+    #[test]
+    fn corpus_stats_absorb_mirrors_into_the_registry() {
+        let delta = crate::CorpusStats {
+            tracelet_hits: 5,
+            tracelet_misses: 2,
+            slm_hits: 3,
+            slm_misses: 1,
+            distance_hits: 8,
+            distance_misses: 4,
+            bytes_stored: 512,
+            corrupt_dropped: 1,
+        };
+        let mut t = StageTimings::default();
+        let mut metrics = MetricsRegistry::new();
+        t.absorb_corpus_stats(&delta, &mut metrics);
+        assert!(t.has_corpus_activity());
+        assert_eq!(t.corpus_slm_hits, 3);
+        assert_eq!(metrics.counter(names::CORPUS_DISTANCE_MISS), 4);
+        // Re-absorbing the registry round-trips the same numbers.
+        let mut back = StageTimings::default();
+        back.absorb_counters(&metrics);
+        assert_eq!(back.corpus_bytes_stored, 512);
+        assert_eq!(back.corpus_corrupt_dropped, 1);
     }
 }

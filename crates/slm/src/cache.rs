@@ -15,9 +15,20 @@
 //! self-side of each divergence — are cached one layer further down, on
 //! the models themselves; see `Slm::eval_table`.)
 //!
-//! Keys identify models only by the caller-chosen `K` (vtable addresses
-//! in the pipeline), so a cache must not be shared across *different*
-//! binaries where the same key could denote different models.
+//! Keys identify models by the caller-chosen `K`. The pipeline keys by
+//! **content hash** ([`ModelKey`]: a 128-bit fingerprint of the model's
+//! training multiset), so equal keys imply bit-equal models and a cache
+//! — or the corpus-wide store behind it — can safely span binaries: two
+//! images containing the same type reuse one distance computation. (The
+//! pre-corpus design keyed by per-binary vtable address; that key path
+//! is gone, content hash is the only pipeline key now.)
+//!
+//! [`DistanceCache::distance_via`] layers an optional
+//! [`GlobalDistanceStore`] under the local memo: a local miss consults
+//! the global store before computing, and a computed value is published
+//! back. The local hit/miss counters deliberately count a global-store
+//! answer as a *miss* (it was not answered locally), which keeps a run's
+//! metrics byte-identical whether the global store is cold or warm.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
@@ -28,6 +39,22 @@ use std::sync::Mutex;
 use crate::{union_alphabet_len, Metric, Slm, Symbol};
 
 const SHARDS: usize = 16;
+
+/// The pipeline's cache key: a 128-bit content hash of a model's
+/// training input (depth + tracelet multiset). Equal keys imply
+/// bit-equal trained models, which is what makes sharing distances
+/// across runs — and across *binaries* — sound.
+pub type ModelKey = u128;
+
+/// A second-level distance store consulted on local misses — typically a
+/// corpus-wide cross-binary cache. Implementations must be `Sync`; both
+/// methods may be called concurrently from distance workers.
+pub trait GlobalDistanceStore<K>: Sync {
+    /// Looks up a previously published distance.
+    fn load_distance(&self, metric: Metric, from: &K, to: &K) -> Option<f64>;
+    /// Publishes a freshly computed distance.
+    fn store_distance(&self, metric: Metric, from: &K, to: &K, d: f64);
+}
 
 /// One lock-protected slice of the key space.
 type Shard<K> = Mutex<BTreeMap<(Metric, K, K), f64>>;
@@ -111,11 +138,34 @@ impl<K: Ord + Clone + Hash> DistanceCache<K> {
         from: (&K, &Slm<S>),
         to: (&K, &Slm<S>),
     ) -> f64 {
+        self.distance_via(metric, from, to, None)
+    }
+
+    /// Like [`DistanceCache::distance`], but consults `global` between
+    /// the local memo and the computation: a local miss first asks the
+    /// global store, and a freshly computed value is published back to
+    /// it. A global answer still counts as a local **miss**, so a run's
+    /// hit/miss counters do not depend on the global store's warmth —
+    /// only its wall clock does.
+    pub fn distance_via<S: Symbol>(
+        &self,
+        metric: Metric,
+        from: (&K, &Slm<S>),
+        to: (&K, &Slm<S>),
+        global: Option<&dyn GlobalDistanceStore<K>>,
+    ) -> f64 {
         let key = (metric, from.0.clone(), to.0.clone());
         let shard = &self.shards[Self::shard_of(&key)];
         if let Some(d) = shard.lock().expect("cache shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *d;
+        }
+        if let Some(g) = global {
+            if let Some(d) = g.load_distance(metric, from.0, to.0) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.lock().expect("cache shard poisoned").entry(key).or_insert(d);
+                return d;
+            }
         }
         // Compute outside the lock: divergences are expensive and pairs
         // are unique within one pass, so duplicated work is negligible.
@@ -123,6 +173,9 @@ impl<K: Ord + Clone + Hash> DistanceCache<K> {
         let d = metric.distance_with_alphabet(from.1, to.1, n);
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard.lock().expect("cache shard poisoned").entry(key).or_insert(d);
+        if let Some(g) = global {
+            g.store_distance(metric, from.0, to.0, d);
+        }
         d
     }
 
@@ -241,6 +294,47 @@ mod tests {
         // The memoized size matches a direct merge, so values agree with
         // the uncached entry points bit for bit.
         assert_eq!(cache.get(Metric::KlDivergence, &1, &2), Some(kl_divergence(&a, &b)),);
+    }
+
+    #[test]
+    fn global_store_is_consulted_on_local_miss_and_counts_as_miss() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct MapStore {
+            map: Mutex<std::collections::BTreeMap<(Metric, u32, u32), f64>>,
+            loads: std::sync::atomic::AtomicU64,
+        }
+        impl GlobalDistanceStore<u32> for MapStore {
+            fn load_distance(&self, metric: Metric, from: &u32, to: &u32) -> Option<f64> {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.map.lock().unwrap().get(&(metric, *from, *to)).copied()
+            }
+            fn store_distance(&self, metric: Metric, from: &u32, to: &u32, d: f64) {
+                self.map.lock().unwrap().insert((metric, *from, *to), d);
+            }
+        }
+        let a = model(&[&["x", "y", "x"]]);
+        let b = model(&[&["y", "z"]]);
+        let global = MapStore::default();
+        // Cold local + cold global: compute, publish to both layers.
+        let cold: DistanceCache<u32> = DistanceCache::new();
+        let d1 = cold.distance_via(Metric::KlDivergence, (&1, &a), (&2, &b), Some(&global));
+        assert_eq!(d1, kl_divergence(&a, &b));
+        assert_eq!((cold.hits(), cold.misses()), (0, 1));
+        assert_eq!(global.map.lock().unwrap().len(), 1);
+        // Fresh local + warm global: answered by the store, still a
+        // local miss — counters match the cold run bit for bit.
+        let warm: DistanceCache<u32> = DistanceCache::new();
+        let d2 = warm.distance_via(Metric::KlDivergence, (&1, &a), (&2, &b), Some(&global));
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!((warm.hits(), warm.misses()), (0, 1));
+        // No alphabet merge happened on the warm path.
+        assert_eq!(warm.alphabet_entries(), 0);
+        // A local hit never reaches the store.
+        let loads_before = global.loads.load(Ordering::Relaxed);
+        warm.distance_via(Metric::KlDivergence, (&1, &a), (&2, &b), Some(&global));
+        assert_eq!((warm.hits(), warm.misses()), (1, 1));
+        assert_eq!(global.loads.load(Ordering::Relaxed), loads_before);
     }
 
     #[test]

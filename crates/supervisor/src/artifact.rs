@@ -47,10 +47,12 @@ use rock_slm::Metric;
 use crate::wire::{fnv1a, Reader, WireError, Writer};
 
 /// The 8-byte file magic; the trailing byte is the format version.
-pub const MAGIC: &[u8; 8] = b"ROCKART\x01";
+pub const MAGIC: &[u8; 8] = b"ROCKART\x02";
 
 /// Bumps invalidate every existing artifact (the magic encodes it).
-pub const FORMAT_VERSION: u8 = 1;
+/// v2: the config fingerprint gained `canonical_calls` — canonical and
+/// address-keyed runs of the same image must never share artifacts.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// One stage's checkpointed output plus the observability snapshot
 /// (cumulative diagnostics + coverage) at that stage's boundary.
@@ -158,6 +160,7 @@ pub fn content_key(image_bytes: &[u8], config: &RockConfig) -> u64 {
     w.len(config.max_tie_variants);
     w.u8(config.repartition_families as u8);
     w.u8(config.strict as u8);
+    w.u8(config.canonical_calls as u8);
     let fingerprint = w.into_bytes();
     let mut all = Vec::with_capacity(image_bytes.len() + fingerprint.len());
     all.extend_from_slice(image_bytes);
@@ -526,7 +529,7 @@ fn encode_analysis(w: &mut Writer, analysis: &Analysis) {
         w.len(pool.len());
         for tracelet in pool {
             w.len(tracelet.len());
-            for ev in tracelet {
+            for ev in tracelet.iter() {
                 encode_event(w, *ev);
             }
         }
@@ -569,7 +572,7 @@ fn decode_analysis(r: &mut Reader<'_>) -> Result<Analysis, WireError> {
             for _ in 0..events {
                 tracelet.push(decode_event(r)?);
             }
-            tracelets.add(vt, tracelet);
+            tracelets.add(vt, tracelet.into());
         }
     }
     let ctor_count = r.len("ctor count")?;
@@ -677,9 +680,9 @@ mod tests {
 
     fn sample_analysis() -> Analysis {
         let mut t = TypeTracelets::default();
-        t.add(Addr::new(0x4000), vec![Event::W(0), Event::C(1), Event::Ret]);
-        t.add(Addr::new(0x4000), vec![Event::This, Event::Call(Addr::new(0x80))]);
-        t.add(Addr::new(0x5000), vec![Event::R(8), Event::Arg(2)]);
+        t.add(Addr::new(0x4000), vec![Event::W(0), Event::C(1), Event::Ret].into());
+        t.add(Addr::new(0x4000), vec![Event::This, Event::Call(Addr::new(0x80))].into());
+        t.add(Addr::new(0x5000), vec![Event::R(8), Event::Arg(2)].into());
         let ctors = CtorMap::from_entries([
             (Addr::new(0x100), vec![(0, Addr::new(0x4000))]),
             (Addr::new(0x200), vec![(0, Addr::new(0x5000)), (16, Addr::new(0x4000))]),
@@ -823,6 +826,12 @@ mod tests {
         let mut strict = base;
         strict.strict = true;
         assert_ne!(k0, content_key(image, &strict), "strictness changes the key");
+        let canonical = base.with_canonical_calls();
+        assert_ne!(
+            k0,
+            content_key(image, &canonical),
+            "canonical calls change the event alphabet and must change the key"
+        );
         let mut fast = base;
         fast.analysis = rock_analysis::AnalysisConfig::fast();
         assert_ne!(k0, content_key(image, &fast), "analysis knobs change the key");

@@ -30,7 +30,10 @@ use std::time::Instant;
 
 use rock_binary::{image_from_bytes, Addr};
 use rock_budget::{Deadline, RetryPolicy};
-use rock_core::{FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId, StagedRun};
+use rock_core::{
+    CorpusCache, CorpusStats, FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId,
+    StagedRun,
+};
 use rock_graph::Forest;
 use rock_loader::LoadedBinary;
 use rock_structural::Structural;
@@ -177,6 +180,9 @@ pub struct JobReport {
     /// [`SupervisorOptions::collect_metrics`] is set. Deterministic work
     /// counts only — no wall-clock values.
     pub metrics: Option<String>,
+    /// This job's corpus-cache traffic (hit/miss/bytes deltas across all
+    /// three tiers), when the supervisor has a [`CorpusCache`] attached.
+    pub corpus: Option<CorpusStats>,
 }
 
 impl JobReport {
@@ -236,6 +242,22 @@ impl JobReport {
         if let Some(doc) = &self.metrics {
             // Already a rendered JSON object; embed it verbatim.
             s.push_str(&format!("\"metrics\":{doc},"));
+        }
+        if let Some(c) = &self.corpus {
+            s.push_str(&format!(
+                "\"corpus\":{{\"tracelet_hits\":{},\"tracelet_misses\":{},\
+                 \"slm_hits\":{},\"slm_misses\":{},\
+                 \"distance_hits\":{},\"distance_misses\":{},\
+                 \"bytes_stored\":{},\"corrupt_dropped\":{}}},",
+                c.tracelet_hits,
+                c.tracelet_misses,
+                c.slm_hits,
+                c.slm_misses,
+                c.distance_hits,
+                c.distance_misses,
+                c.bytes_stored,
+                c.corrupt_dropped,
+            ));
         }
         s.push_str(&format!("\"elapsed_ms\":{}", self.elapsed_ms));
         s.push('}');
@@ -316,6 +338,7 @@ pub struct Supervisor {
     config: RockConfig,
     options: SupervisorOptions,
     store: ArtifactStore,
+    corpus: Option<Arc<CorpusCache>>,
     fault: Option<Arc<FaultPlan>>,
     tracer: Option<Arc<Tracer>>,
     trace_level: TraceLevel,
@@ -344,10 +367,26 @@ impl Supervisor {
             config,
             options,
             store,
+            corpus: None,
             fault: None,
             tracer: None,
             trace_level: TraceLevel::default(),
         }
+    }
+
+    /// Attaches a fleet-wide [`CorpusCache`]: every attempt of every job
+    /// reads and warms the shared three-tier store, and each report
+    /// carries the job's hit/miss deltas. Pair with
+    /// [`RockConfig::with_canonical_calls`] so content keys survive
+    /// layout differences between the batch's images.
+    pub fn with_corpus(mut self, corpus: Arc<CorpusCache>) -> Self {
+        self.corpus = Some(corpus);
+        self
+    }
+
+    /// The attached corpus cache, if any.
+    pub fn corpus(&self) -> Option<&Arc<CorpusCache>> {
+        self.corpus.as_ref()
     }
 
     /// Attaches a span [`Tracer`]: every job records `supervisor.*`
@@ -404,6 +443,7 @@ impl Supervisor {
         let ctx = self.trace_ctx();
         let _job_span = ctx.span(names::SUPERVISOR_JOB, key);
         let mut counters = SupervisorCounters::default();
+        let corpus_stats0 = self.corpus.as_ref().map(|c| c.stats());
         let mut report = JobReport {
             name: name.to_string(),
             key,
@@ -417,6 +457,7 @@ impl Supervisor {
             roots: 0,
             elapsed_ms: 0,
             metrics: None,
+            corpus: None,
         };
         let image = match image_from_bytes(image_bytes) {
             Ok(image) => image,
@@ -548,6 +589,20 @@ impl Supervisor {
             output = JobOutput::StructuralOnly { hierarchy, structural, issues };
         }
 
+        // The job's corpus-tier traffic: a delta against the shared
+        // cache's counters at job start. Folded into the emitted
+        // reconstruction's timings (and the report's metrics doc), but
+        // never into the pipeline's own registry — cold and warm runs
+        // stay byte-identical there.
+        if let (Some(corpus), Some(stats0)) = (&self.corpus, &corpus_stats0) {
+            let delta = corpus.stats().since(stats0);
+            if let JobOutput::Full(recon) = &mut output {
+                let mut scratch = MetricsRegistry::new();
+                recon.timings.absorb_corpus_stats(&delta, &mut scratch);
+            }
+            report.corpus = Some(delta);
+        }
+
         if self.options.collect_metrics {
             let mut metrics = match &output {
                 JobOutput::Full(recon) => recon.metrics.clone(),
@@ -557,6 +612,10 @@ impl Supervisor {
             metrics.set(names::SUPERVISOR_CHECKPOINTS_SAVED, counters.checkpoints_saved);
             metrics.set(names::SUPERVISOR_STAGES_RESTORED, report.restored.len() as u64);
             metrics.set(names::SUPERVISOR_BACKOFF_MS, counters.backoff_ms_total);
+            if let Some(delta) = &report.corpus {
+                let mut t = rock_core::StageTimings::default();
+                t.absorb_corpus_stats(delta, &mut metrics);
+            }
             report.metrics = Some(metrics.to_json());
         }
         report.elapsed_ms = start.elapsed().as_millis() as u64;
@@ -605,6 +664,9 @@ impl Supervisor {
         let config = rung.apply(&self.config);
         let key = content_key(image_bytes, &config);
         let mut rock = Rock::new(config).with_trace_level(self.trace_level);
+        if let Some(corpus) = &self.corpus {
+            rock = rock.with_corpus_cache(corpus.clone());
+        }
         if let Some(plan) = &self.fault {
             rock = rock.with_fault_plan(plan.clone());
         }
@@ -759,6 +821,7 @@ mod tests {
             roots: 0,
             elapsed_ms: 0,
             metrics: None,
+            corpus: None,
         };
         assert_eq!(report.exit_code(), exit::OK);
         report.resume_corrupt = true;
@@ -786,6 +849,7 @@ mod tests {
             roots: 1,
             elapsed_ms: 7,
             metrics: None,
+            corpus: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"name\":\"a\\\"b\\\\c\\nd\""));

@@ -125,6 +125,23 @@ pub const DIAGNOSTICS_WARNINGS: &str = "diagnostics.warnings";
 /// Approximate bytes retained by the run's diagnostics.
 pub const DIAGNOSTICS_BYTES: &str = "diagnostics.bytes";
 
+/// Symbolic executions answered by the corpus tracelet tier.
+pub const CORPUS_TRACELET_HIT: &str = "corpus.tracelet_hit";
+/// Symbolic executions the corpus tracelet tier could not answer.
+pub const CORPUS_TRACELET_MISS: &str = "corpus.tracelet_miss";
+/// SLM trainings answered by the corpus model tier.
+pub const CORPUS_SLM_HIT: &str = "corpus.slm_hit";
+/// SLM trainings the corpus model tier could not answer.
+pub const CORPUS_SLM_MISS: &str = "corpus.slm_miss";
+/// Distances answered by the corpus distance tier.
+pub const CORPUS_DISTANCE_HIT: &str = "corpus.distance_hit";
+/// Distances the corpus distance tier could not answer.
+pub const CORPUS_DISTANCE_MISS: &str = "corpus.distance_miss";
+/// Approximate bytes resident in the corpus cache after the run.
+pub const CORPUS_BYTES_STORED: &str = "corpus.bytes_stored";
+/// Corpus entries dropped on checksum mismatch (then recomputed).
+pub const CORPUS_CORRUPT_DROPPED: &str = "corpus.corrupt_dropped";
+
 /// Attempts the supervised job made (1 = clean first try).
 pub const SUPERVISOR_ATTEMPTS: &str = "supervisor.attempts";
 /// Stage checkpoints the job saved.
