@@ -73,7 +73,7 @@ fn write_trace(path: &str, tracer: &Tracer) -> CliResult {
     Ok(())
 }
 
-const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2|batch> ...
+const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2|batch|serve|client> ...
 run `rock help` for details";
 
 /// Dispatches one CLI invocation; `Ok` carries the process exit code
@@ -100,6 +100,8 @@ pub fn dispatch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         Some("eval") => ok(cmd_eval(&args[1..])),
         Some("table2") => ok(cmd_table2(&args[1..])),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     }
 }
@@ -654,7 +656,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         let s = corpus.stats();
         println!(
             "corpus: tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit ({:.1}% overall), \
-             {} bytes stored, {} corrupt entries dropped",
+             {} bytes stored, {} corrupt entries dropped, {} evicted",
             s.tracelet_hits,
             s.tracelet_hits + s.tracelet_misses,
             s.slm_hits,
@@ -664,6 +666,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
             s.hit_rate() * 100.0,
             s.bytes_stored,
             s.corrupt_dropped,
+            s.evicted,
         );
     }
     if let Some(format) = timings {
@@ -690,6 +693,395 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         }
     }
     Ok(batch.exit_code)
+}
+
+/// `rock serve`: run the multi-tenant reconstruction daemon until it is
+/// drained (Drain frame or SIGTERM), then exit 0.
+fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut cfg = rock_serve::ServeConfig::new(".rock-store");
+    let mut port_file: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str, unit: &str| -> Result<u64, Box<dyn Error>> {
+            let v = it.next().ok_or_else(|| format!("{flag} needs {unit}"))?;
+            Ok(v.parse::<u64>().map_err(|e| format!("bad {flag} value {v:?}: {e}"))?)
+        };
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--store" => cfg.store_dir = it.next().ok_or("--store needs a directory")?.into(),
+            "--port-file" => {
+                port_file = Some(it.next().ok_or("--port-file needs a path")?.clone());
+            }
+            "--queue" => cfg.queue_capacity = num("--queue", "a capacity")? as usize,
+            "--workers" => cfg.workers = num("--workers", "a thread count")? as usize,
+            "--quota-burst" => cfg.quota.burst = num("--quota-burst", "a token count")?,
+            "--quota-refill" => {
+                cfg.quota.refill_per_sec = num("--quota-refill", "tokens per second")?;
+            }
+            "--max-inflight" => {
+                cfg.quota.max_inflight = num("--max-inflight", "a job count")?;
+            }
+            "--deadline" => {
+                cfg.options.deadline_ms = Some(num("--deadline", "milliseconds")?);
+            }
+            "--corpus-cap" => {
+                cfg.corpus_capacity =
+                    num("--corpus-cap", "entries per tier (0=unbounded)")? as usize;
+            }
+            "--max-image-bytes" => {
+                cfg.max_image_bytes = num("--max-image-bytes", "a byte count")? as usize;
+            }
+            "--send-budget" => {
+                cfg.send_budget_bytes =
+                    num("--send-budget", "bytes per connection (0=unlimited)")? as usize;
+            }
+            "--idle-timeout" => cfg.idle_timeout_ms = num("--idle-timeout", "milliseconds")?,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
+            }
+            "--trace-level" => {
+                let v = it.next().ok_or("--trace-level needs a value (off|stage|sampled|full)")?;
+                cfg.trace_level = parse_trace_level(v)?;
+            }
+            other => {
+                return Err(format!(
+                    "serve: unknown argument {other}\nusage: rock serve [--addr host:port] \
+                     [--store <dir>] [--port-file <path>] [--queue n] [--workers n] \
+                     [--quota-burst n] [--quota-refill n/s] [--max-inflight n] [--deadline ms] \
+                     [--corpus-cap n] [--max-image-bytes n] [--send-budget n] \
+                     [--idle-timeout ms] [--trace <out.json>] \
+                     [--trace-level off|stage|sampled|full]"
+                )
+                .into())
+            }
+        }
+    }
+    let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
+    cfg.tracer = tracer.clone();
+    rock_serve::signals::install_termination_handler();
+    let server = rock_serve::Server::bind(cfg, &addr)?;
+    let bound = server.local_addr()?;
+    if let Some(path) = &port_file {
+        fs::write(path, bound.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!("rock serve: listening on {bound}");
+    let summary = server.run()?;
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        write_trace(path, tracer)?;
+    }
+    println!(
+        "rock serve: drained cleanly — accepted={} completed={} cancelled={} rejected={} \
+         protocol_errors={} panics_contained={}",
+        summary.accepted,
+        summary.completed,
+        summary.cancelled,
+        summary.rejected,
+        summary.protocol_errors,
+        summary.panics_contained,
+    );
+    Ok(0)
+}
+
+/// `rock client <addr> <verb>`: loopback client for a running daemon.
+fn cmd_client(args: &[String]) -> Result<u8, Box<dyn Error>> {
+    const CLIENT_USAGE: &str = "usage: rock client <addr> <verb> ...
+  submit <file.rkb> [--name n] [--deadline ms] [--client id] [--wait]
+  status <job>      [--client id]
+  cancel <job>      [--client id]
+  drain             [--client id]
+  hammer [--clients n] [--jobs n] [--over-quota n] [--bench name] [--slow] [--wait-ms ms]";
+    let addr = args.first().ok_or(CLIENT_USAGE)?.clone();
+    let verb = args.get(1).ok_or(CLIENT_USAGE)?.as_str();
+    let rest = &args[2..];
+    match verb {
+        "submit" => client_submit(&addr, rest),
+        "status" | "cancel" => client_job_query(&addr, verb, rest),
+        "drain" => {
+            let mut c = rock_serve::ServeClient::connect(&addr, "rock-cli")?;
+            let (queued, running) = c.drain()?;
+            println!("drain started: {queued} queued, {running} running");
+            Ok(0)
+        }
+        "hammer" => client_hammer(&addr, rest),
+        other => Err(format!("client: unknown verb {other:?}\n{CLIENT_USAGE}").into()),
+    }
+}
+
+fn client_submit(addr: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
+    let mut name: Option<String> = None;
+    let mut identity = String::from("rock-cli");
+    let mut deadline_ms = 0u64;
+    let mut wait = false;
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
+            "--client" => identity = it.next().ok_or("--client needs an identity")?.clone(),
+            "--deadline" => {
+                let v = it.next().ok_or("--deadline needs milliseconds")?;
+                deadline_ms = v.parse().map_err(|e| format!("bad deadline {v:?}: {e}"))?;
+            }
+            "--wait" => wait = true,
+            other if other.starts_with("--") => {
+                return Err(format!("client submit: unknown flag {other}").into())
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let path = path.ok_or("client submit: needs an image file")?;
+    let image = fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = name.unwrap_or_else(|| {
+        std::path::Path::new(&path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone())
+    });
+    let mut c = rock_serve::ServeClient::connect(addr, &identity)?;
+    match c.submit(&name, deadline_ms, &image)? {
+        rock_serve::wire::Response::Accepted { job } => {
+            println!("accepted: job {job}");
+            if wait {
+                let state = c.wait(job, 50, 600_000)?;
+                print_job_state(job, &state);
+                if let rock_serve::wire::JobState::Done { exit_code, .. } = state {
+                    return Ok(exit_code);
+                }
+            }
+            Ok(0)
+        }
+        rock_serve::wire::Response::Rejected { reason, detail } => {
+            eprintln!("rejected ({reason}): {detail}");
+            Ok(1)
+        }
+        other => Err(format!("unexpected response: {other:?}").into()),
+    }
+}
+
+fn client_job_query(addr: &str, verb: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
+    let mut identity = String::from("rock-cli");
+    let mut job: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--client" => identity = it.next().ok_or("--client needs an identity")?.clone(),
+            other => job = Some(other.parse().map_err(|e| format!("bad job id {other:?}: {e}"))?),
+        }
+    }
+    let job = job.ok_or_else(|| format!("client {verb}: needs a job id"))?;
+    let mut c = rock_serve::ServeClient::connect(addr, &identity)?;
+    let state = if verb == "cancel" { c.cancel(job)? } else { c.status(job)? };
+    print_job_state(job, &state);
+    Ok(0)
+}
+
+fn print_job_state(job: u64, state: &rock_serve::wire::JobState) {
+    match state {
+        rock_serve::wire::JobState::Done { exit_code, outcome, result_fp, report_json } => {
+            println!("job {job}: done outcome={outcome} exit={exit_code} fp={result_fp:016x}");
+            println!("{report_json}");
+        }
+        rock_serve::wire::JobState::Queued { position } => {
+            println!("job {job}: queued at position {position}");
+        }
+        other => println!("job {job}: {}", other.name()),
+    }
+}
+
+/// `rock client <addr> hammer`: the overload drill the CI smoke job
+/// runs — N well-behaved tenants, one over-quota tenant, one trickling
+/// slow client, all concurrent. Exits 0 iff every admitted job reached
+/// a terminal `Done` state and every shed request carried a typed
+/// rejection.
+fn client_hammer(addr: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
+    use rock_serve::wire::{JobState, RejectReason};
+    let mut clients = 4usize;
+    let mut jobs_per_client = 3usize;
+    let mut over_quota = 8usize;
+    let mut bench = String::from("streams");
+    let mut slow = false;
+    let mut wait_ms = 300_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, Box<dyn Error>> {
+            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            Ok(v.parse::<u64>().map_err(|e| format!("bad {flag} value {v:?}: {e}"))?)
+        };
+        match a.as_str() {
+            "--clients" => clients = num("--clients")? as usize,
+            "--jobs" => jobs_per_client = num("--jobs")? as usize,
+            "--over-quota" => over_quota = num("--over-quota")? as usize,
+            "--wait-ms" => wait_ms = num("--wait-ms")?,
+            "--slow" => slow = true,
+            "--bench" => bench = it.next().ok_or("--bench needs a name")?.clone(),
+            other => return Err(format!("client hammer: unknown flag {other}").into()),
+        }
+    }
+    let image = image_to_bytes(&find_benchmark(&bench)?.compile()?.stripped_image());
+    let mut threads = Vec::new();
+    // Well-behaved tenants: distinct identities, rapid-fire submissions.
+    for t in 0..clients {
+        let addr = addr.to_string();
+        let image = image.clone();
+        threads.push(std::thread::spawn(move || -> HammerTally {
+            let mut tally = HammerTally::default();
+            let Ok(mut c) = rock_serve::ServeClient::connect(&addr, &format!("tenant-{t}")) else {
+                tally.errors += 1;
+                return tally;
+            };
+            for j in 0..jobs_per_client {
+                tally.note(c.submit(&format!("tenant-{t}-job-{j}"), 0, &image));
+            }
+            tally
+        }));
+    }
+    // One tenant deliberately over its token budget: with refill 0 and
+    // burst < over_quota, the tail is guaranteed QuotaExceeded.
+    {
+        let addr = addr.to_string();
+        let image = image.clone();
+        threads.push(std::thread::spawn(move || -> HammerTally {
+            let mut tally = HammerTally::default();
+            let Ok(mut c) = rock_serve::ServeClient::connect(&addr, "greedy") else {
+                tally.errors += 1;
+                return tally;
+            };
+            for j in 0..over_quota {
+                tally.note(c.submit(&format!("greedy-job-{j}"), 0, &image));
+            }
+            tally
+        }));
+    }
+    // One slow client trickling its submit frame byte-by-byte across
+    // poll-tick boundaries: the daemon's buffered reader must stay in
+    // sync and still admit (or shed) the request normally.
+    if slow {
+        let addr = addr.to_string();
+        let image = image.clone();
+        threads.push(std::thread::spawn(move || -> HammerTally {
+            let mut tally = HammerTally::default();
+            match hammer_trickle(&addr, &image) {
+                Ok(response) => tally.note(Ok(response)),
+                Err(_) => tally.errors += 1,
+            }
+            tally
+        }));
+    }
+    let mut tally = HammerTally::default();
+    for t in threads {
+        tally.merge(t.join().map_err(|_| "hammer thread panicked")?);
+    }
+    // Every admitted job must reach a terminal state.
+    let mut done = 0usize;
+    let mut failed = 0usize;
+    let mut watcher = rock_serve::ServeClient::connect(addr, "hammer-watch")?;
+    for job in &tally.accepted {
+        match watcher.wait(*job, 50, wait_ms)? {
+            JobState::Done { outcome, .. } if outcome == "ok" => done += 1,
+            JobState::Done { .. } | JobState::Cancelled => failed += 1,
+            _ => failed += 1,
+        }
+    }
+    let quota = tally.rejections.get(RejectReason::QuotaExceeded.name()).copied().unwrap_or(0);
+    println!(
+        "hammer: submitted={} accepted={} done={done} failed={failed} rejected={} \
+         (queue_full={} quota_exceeded={quota} draining={} too_large={}) errors={}",
+        tally.submitted,
+        tally.accepted.len(),
+        tally.rejected(),
+        tally.rejections.get(RejectReason::QueueFull.name()).copied().unwrap_or(0),
+        tally.rejections.get(RejectReason::Draining.name()).copied().unwrap_or(0),
+        tally.rejections.get(RejectReason::TooLarge.name()).copied().unwrap_or(0),
+        tally.errors,
+    );
+    let quota_floor = over_quota.saturating_sub(32); // default burst; CI sets burst 4
+    let healthy = failed == 0
+        && tally.errors == 0
+        && done == tally.accepted.len()
+        && tally.submitted == tally.accepted.len() + tally.rejected() as usize
+        && quota as usize >= quota_floor;
+    Ok(if healthy { 0 } else { 1 })
+}
+
+#[derive(Default)]
+struct HammerTally {
+    submitted: usize,
+    accepted: Vec<u64>,
+    rejections: std::collections::BTreeMap<&'static str, u64>,
+    errors: usize,
+}
+
+impl HammerTally {
+    fn note(&mut self, response: std::io::Result<rock_serve::wire::Response>) {
+        use rock_serve::wire::Response;
+        self.submitted += 1;
+        match response {
+            Ok(Response::Accepted { job }) => self.accepted.push(job),
+            Ok(Response::Rejected { reason, .. }) => {
+                *self.rejections.entry(reason.name()).or_insert(0) += 1;
+            }
+            Ok(_) | Err(_) => self.errors += 1,
+        }
+    }
+
+    fn merge(&mut self, other: HammerTally) {
+        self.submitted += other.submitted;
+        self.accepted.extend(other.accepted);
+        for (k, v) in other.rejections {
+            *self.rejections.entry(k).or_insert(0) += v;
+        }
+        self.errors += other.errors;
+    }
+
+    fn rejected(&self) -> u64 {
+        self.rejections.values().sum()
+    }
+}
+
+/// Handshakes normally, then writes one `Submit` frame in small chunks
+/// with pauses longer than the daemon's poll tick, and finally reads
+/// the response. Exercises the server's partial-frame buffering.
+fn hammer_trickle(addr: &str, image: &[u8]) -> Result<rock_serve::wire::Response, Box<dyn Error>> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    let hello = rock_serve::wire::Request::Hello {
+        version: rock_serve::wire::SERVE_PROTOCOL_VERSION,
+        client: "trickle".to_string(),
+    }
+    .encode();
+    stream.write_all(&(hello.len() as u32).to_le_bytes())?;
+    stream.write_all(&hello)?;
+    let frame = |s: &mut std::net::TcpStream| -> Result<Vec<u8>, Box<dyn Error>> {
+        let mut prefix = [0u8; 4];
+        s.read_exact(&mut prefix)?;
+        let mut body = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        s.read_exact(&mut body)?;
+        Ok(body)
+    };
+    rock_serve::wire::Response::decode(&frame(&mut stream)?)?; // HelloOk
+    let submit = rock_serve::wire::Request::Submit {
+        name: "trickle-job".to_string(),
+        deadline_ms: 0,
+        image: image.to_vec(),
+    }
+    .encode();
+    let mut wire_bytes = (submit.len() as u32).to_le_bytes().to_vec();
+    wire_bytes.extend_from_slice(&submit);
+    // Length prefix byte-by-byte, then the body in three chunks, each
+    // gap long enough to guarantee the daemon polls in between.
+    for chunk in [&wire_bytes[..1], &wire_bytes[1..2], &wire_bytes[2..4]] {
+        stream.write_all(chunk)?;
+        std::thread::sleep(std::time::Duration::from_millis(40));
+    }
+    let body = &wire_bytes[4..];
+    let third = body.len().div_ceil(3).max(1);
+    for chunk in body.chunks(third) {
+        stream.write_all(chunk)?;
+        std::thread::sleep(std::time::Duration::from_millis(40));
+    }
+    Ok(rock_serve::wire::Response::decode(&frame(&mut stream)?)?)
 }
 
 #[cfg(test)]

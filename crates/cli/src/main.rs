@@ -31,6 +31,22 @@
 //!          [--report <path>]         write the batch report JSON to a file
 //!          [--sleep-backoff]         actually sleep retry backoff delays
 //!          [--timings]               batch throughput + resume summary
+//! rock serve                         multi-tenant reconstruction daemon
+//!          [--addr host:port]        bind address (default 127.0.0.1:0)
+//!          [--store <dir>]           artifact store root (default .rock-store)
+//!          [--port-file <path>]      write the bound address for scripts
+//!          [--queue <n>]             admission-queue capacity (default 64)
+//!          [--workers <n>]           worker threads (default 4)
+//!          [--quota-burst <n>]       per-client token burst (default 32)
+//!          [--quota-refill <n>]      tokens per second (0 = never refill)
+//!          [--max-inflight <n>]      per-client inflight cap (default 16)
+//!          [--deadline <ms>]         default per-job deadline
+//!          [--corpus-cap <n>]        corpus-cache entries per tier
+//!          [--send-budget <n>]       per-connection send budget, bytes
+//!          serves until drained (Drain frame or SIGTERM), then exits 0
+//! rock client <addr> <verb>          loopback client for a running daemon
+//!          submit <file.rkb> [--wait] | status <job> | cancel <job> | drain
+//!          hammer [--clients n] [--jobs n] [--over-quota n] [--slow]
 //! ```
 //!
 //! Exit codes: `0` success; `1` usage / interrupted job; `2` a job

@@ -31,8 +31,7 @@
 //! returns bit-for-bit what the job would have computed itself; warm
 //! runs differ from cold runs only in wall clock.
 
-use std::collections::btree_map::Entry as MapSlot;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -103,12 +102,86 @@ enum ExecSlot {
     Ctors(Entry),
 }
 
-impl ExecSlot {
-    fn entry_mut(&mut self) -> &mut Entry {
+/// Tier values whose verification image the shard bookkeeping (byte
+/// accounting, eviction, corruption hooks) can reach uniformly.
+trait Stored {
+    fn image(&self) -> &Entry;
+    fn image_mut(&mut self) -> &mut Entry;
+}
+
+impl Stored for Entry {
+    fn image(&self) -> &Entry {
+        self
+    }
+    fn image_mut(&mut self) -> &mut Entry {
+        self
+    }
+}
+
+impl Stored for ModelEntry {
+    fn image(&self) -> &Entry {
+        &self.entry
+    }
+    fn image_mut(&mut self) -> &mut Entry {
+        &mut self.entry
+    }
+}
+
+impl Stored for ExecSlot {
+    fn image(&self) -> &Entry {
         match self {
             ExecSlot::Exec { entry, .. } => entry,
             ExecSlot::Ctors(entry) => entry,
         }
+    }
+    fn image_mut(&mut self) -> &mut Entry {
+        match self {
+            ExecSlot::Exec { entry, .. } => entry,
+            ExecSlot::Ctors(entry) => entry,
+        }
+    }
+}
+
+/// One lock's worth of a tier: the entries plus their insertion order,
+/// so a bounded cache can evict deterministically (FIFO per shard,
+/// oldest insertion first) regardless of thread interleaving. Keys
+/// whose entries were dropped out-of-band (corruption) linger in the
+/// order queue and are skipped lazily when eviction reaches them.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: BTreeMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Ord, V> Default for Shard<K, V> {
+    fn default() -> Shard<K, V> {
+        Shard { map: BTreeMap::new(), order: VecDeque::new() }
+    }
+}
+
+impl<K: Ord + Copy, V: Stored> Shard<K, V> {
+    /// Inserts `value` if `key` is vacant, evicting oldest-first down
+    /// to `cap - 1` live entries beforehand when `cap` is non-zero.
+    /// Eviction is invisible to correctness — a future lookup simply
+    /// misses and recomputes — so bounding the cache can only change
+    /// hit rates, never output bits.
+    fn insert_bounded(&mut self, key: K, value: V, cap: usize, counters: &Counters) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if cap > 0 {
+            while self.map.len() >= cap {
+                let Some(oldest) = self.order.pop_front() else { break };
+                if let Some(gone) = self.map.remove(&oldest) {
+                    let freed = gone.image().bytes.len() as u64;
+                    counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
+                    counters.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        counters.bytes_stored.fetch_add(value.image().bytes.len() as u64, Ordering::Relaxed);
+        self.order.push_back(key);
+        self.map.insert(key, value);
     }
 }
 
@@ -134,6 +207,8 @@ pub struct CorpusStats {
     pub bytes_stored: u64,
     /// Entries dropped because their checksum failed verification.
     pub corrupt_dropped: u64,
+    /// Entries dropped by capacity eviction (bounded caches only).
+    pub evicted: u64,
 }
 
 impl CorpusStats {
@@ -148,6 +223,7 @@ impl CorpusStats {
             distance_misses: self.distance_misses - earlier.distance_misses,
             bytes_stored: self.bytes_stored.saturating_sub(earlier.bytes_stored),
             corrupt_dropped: self.corrupt_dropped - earlier.corrupt_dropped,
+            evicted: self.evicted - earlier.evicted,
         }
     }
 
@@ -173,6 +249,7 @@ struct Counters {
     distance_misses: AtomicU64,
     bytes_stored: AtomicU64,
     corrupt_dropped: AtomicU64,
+    evicted: AtomicU64,
 }
 
 /// A distance-tier key: the metric plus both pool content keys, in
@@ -185,16 +262,30 @@ type DistanceKey = (Metric, ModelKey, ModelKey);
 /// all methods take `&self` and are safe to call concurrently.
 #[derive(Debug, Default)]
 pub struct CorpusCache {
-    execs: [Mutex<BTreeMap<u128, ExecSlot>>; SHARDS],
-    models: [Mutex<BTreeMap<ModelKey, ModelEntry>>; SHARDS],
-    distances: [Mutex<BTreeMap<DistanceKey, Entry>>; SHARDS],
+    execs: [Mutex<Shard<u128, ExecSlot>>; SHARDS],
+    models: [Mutex<Shard<ModelKey, ModelEntry>>; SHARDS],
+    distances: [Mutex<Shard<DistanceKey, Entry>>; SHARDS],
+    /// Max live entries per shard per tier; 0 = unbounded.
+    shard_cap: usize,
     counters: Counters,
 }
 
 impl CorpusCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> CorpusCache {
         CorpusCache::default()
+    }
+
+    /// Creates an empty cache holding at most (about)
+    /// `max_entries_per_tier` entries in each of the three tiers, so a
+    /// long-running daemon cannot grow without limit. The bound is
+    /// enforced per shard (capacity rounds up to a multiple of the
+    /// shard count); when a full shard admits a new entry it evicts its
+    /// oldest insertions first, deterministically. Eviction never
+    /// changes outputs — an evicted entry is recomputed on the next
+    /// miss — it only trades hit rate for memory. `0` means unbounded.
+    pub fn bounded(max_entries_per_tier: usize) -> CorpusCache {
+        CorpusCache { shard_cap: max_entries_per_tier.div_ceil(SHARDS), ..CorpusCache::default() }
     }
 
     /// A point-in-time snapshot of the tier counters.
@@ -209,15 +300,16 @@ impl CorpusCache {
             distance_misses: c.distance_misses.load(Ordering::Relaxed),
             bytes_stored: c.bytes_stored.load(Ordering::Relaxed),
             corrupt_dropped: c.corrupt_dropped.load(Ordering::Relaxed),
+            evicted: c.evicted.load(Ordering::Relaxed),
         }
     }
 
     /// Entries stored per tier: `(executions, models, distances)`.
     pub fn lens(&self) -> (usize, usize, usize) {
         (
-            self.execs.iter().map(|m| m.lock().expect("corpus shard poisoned").len()).sum(),
-            self.models.iter().map(|m| m.lock().expect("corpus shard poisoned").len()).sum(),
-            self.distances.iter().map(|m| m.lock().expect("corpus shard poisoned").len()).sum(),
+            self.execs.iter().map(|m| m.lock().expect("corpus shard poisoned").map.len()).sum(),
+            self.models.iter().map(|m| m.lock().expect("corpus shard poisoned").map.len()).sum(),
+            self.distances.iter().map(|m| m.lock().expect("corpus shard poisoned").map.len()).sum(),
         )
     }
 
@@ -231,8 +323,8 @@ impl CorpusCache {
 
     fn exec_load(&self, key: u128) -> Option<Arc<CachedExec>> {
         let shard = &self.execs[shard_of(key)];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        match map.get(&key) {
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        match s.map.get(&key) {
             Some(ExecSlot::Exec { entry, exec }) => match entry.verified() {
                 Some(_) => {
                     self.counters.tracelet_hits.fetch_add(1, Ordering::Relaxed);
@@ -241,7 +333,7 @@ impl CorpusCache {
                 None => {
                     // Corrupt: drop and recompute.
                     let freed = entry.bytes.len() as u64;
-                    map.remove(&key);
+                    s.map.remove(&key);
                     self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
                     self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
                     self.counters.tracelet_misses.fetch_add(1, Ordering::Relaxed);
@@ -258,11 +350,8 @@ impl CorpusCache {
     fn exec_store(&self, key: u128, exec: Arc<CachedExec>) {
         let entry = Entry::new(exec_fp(&exec).to_le_bytes().to_vec());
         let shard = &self.execs[shard_of(key)];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        if let MapSlot::Vacant(slot) = map.entry(key) {
-            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
-            slot.insert(ExecSlot::Exec { entry, exec });
-        }
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        s.insert_bounded(key, ExecSlot::Exec { entry, exec }, self.shard_cap, &self.counters);
     }
 
     // Ctor-recognition results live in the execution tier (they are
@@ -272,8 +361,8 @@ impl CorpusCache {
     // corruption hooks.
     fn ctor_load(&self, key: u128) -> Option<CachedCtors> {
         let shard = &self.execs[shard_of(key)];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        match map.get(&key) {
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        match s.map.get(&key) {
             Some(ExecSlot::Ctors(entry)) => match entry.verified().and_then(decode_ctors) {
                 Some(ctors) => {
                     self.counters.tracelet_hits.fetch_add(1, Ordering::Relaxed);
@@ -281,7 +370,7 @@ impl CorpusCache {
                 }
                 None => {
                     let freed = entry.bytes.len() as u64;
-                    map.remove(&key);
+                    s.map.remove(&key);
                     self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
                     self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
                     self.counters.tracelet_misses.fetch_add(1, Ordering::Relaxed);
@@ -298,11 +387,8 @@ impl CorpusCache {
     fn ctor_store(&self, key: u128, ctors: &CachedCtors) {
         let entry = Entry::new(encode_ctors(ctors));
         let shard = &self.execs[shard_of(key)];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        if let MapSlot::Vacant(slot) = map.entry(key) {
-            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
-            slot.insert(ExecSlot::Ctors(entry));
-        }
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        s.insert_bounded(key, ExecSlot::Ctors(entry), self.shard_cap, &self.counters);
     }
 
     /// Looks up the trained model for a pool content key, verifying the
@@ -310,8 +396,8 @@ impl CorpusCache {
     /// so its lazily built index and evaluation table are reused too.
     pub fn load_model(&self, key: ModelKey) -> Option<Arc<Slm<Event>>> {
         let shard = &self.models[shard_of(key)];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        match map.get(&key) {
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        match s.map.get(&key) {
             None => {
                 self.counters.slm_misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -323,7 +409,7 @@ impl CorpusCache {
                 }
                 None => {
                     let freed = me.entry.bytes.len() as u64;
-                    map.remove(&key);
+                    s.map.remove(&key);
                     self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
                     self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
                     self.counters.slm_misses.fetch_add(1, Ordering::Relaxed);
@@ -342,11 +428,8 @@ impl CorpusCache {
         bytes.extend_from_slice(&key.to_le_bytes());
         let entry = Entry::new(bytes);
         let shard = &self.models[shard_of(key)];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        if let MapSlot::Vacant(slot) = map.entry(key) {
-            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
-            slot.insert(ModelEntry { entry, model });
-        }
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        s.insert_bounded(key, ModelEntry { entry, model }, self.shard_cap, &self.counters);
     }
 
     /// Deterministically corrupts every stored byte image (all tiers)
@@ -355,19 +438,19 @@ impl CorpusCache {
     pub fn corrupt_all(&self, plan: &FaultPlan, mutations_per_entry: usize) -> usize {
         let mut touched = 0;
         for shard in &self.execs {
-            for slot in shard.lock().expect("corpus shard poisoned").values_mut() {
-                plan.corrupt(&mut slot.entry_mut().bytes, mutations_per_entry);
+            for slot in shard.lock().expect("corpus shard poisoned").map.values_mut() {
+                plan.corrupt(&mut slot.image_mut().bytes, mutations_per_entry);
                 touched += 1;
             }
         }
         for shard in &self.models {
-            for me in shard.lock().expect("corpus shard poisoned").values_mut() {
+            for me in shard.lock().expect("corpus shard poisoned").map.values_mut() {
                 plan.corrupt(&mut me.entry.bytes, mutations_per_entry);
                 touched += 1;
             }
         }
         for shard in &self.distances {
-            for entry in shard.lock().expect("corpus shard poisoned").values_mut() {
+            for entry in shard.lock().expect("corpus shard poisoned").map.values_mut() {
                 plan.corrupt(&mut entry.bytes, mutations_per_entry);
                 touched += 1;
             }
@@ -380,8 +463,8 @@ impl GlobalDistanceStore<ModelKey> for CorpusCache {
     fn load_distance(&self, metric: Metric, from: &ModelKey, to: &ModelKey) -> Option<f64> {
         let key = (metric, *from, *to);
         let shard = &self.distances[shard_of(*from ^ to.rotate_left(64))];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        match map.get(&key) {
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        match s.map.get(&key) {
             None => {
                 self.counters.distance_misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -396,7 +479,7 @@ impl GlobalDistanceStore<ModelKey> for CorpusCache {
                 }
                 None => {
                     let freed = entry.bytes.len() as u64;
-                    map.remove(&key);
+                    s.map.remove(&key);
                     self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
                     self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
                     self.counters.distance_misses.fetch_add(1, Ordering::Relaxed);
@@ -409,12 +492,8 @@ impl GlobalDistanceStore<ModelKey> for CorpusCache {
     fn store_distance(&self, metric: Metric, from: &ModelKey, to: &ModelKey, d: f64) {
         let key = (metric, *from, *to);
         let shard = &self.distances[shard_of(*from ^ to.rotate_left(64))];
-        let mut map = shard.lock().expect("corpus shard poisoned");
-        if let MapSlot::Vacant(slot) = map.entry(key) {
-            let entry = Entry::new(d.to_le_bytes().to_vec());
-            self.counters.bytes_stored.fetch_add(entry.bytes.len() as u64, Ordering::Relaxed);
-            slot.insert(entry);
-        }
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        s.insert_bounded(key, Entry::new(d.to_le_bytes().to_vec()), self.shard_cap, &self.counters);
     }
 }
 
@@ -797,6 +876,66 @@ mod tests {
         assert!(Arc::ptr_eq(&hit, &arc), "hits share the finalized model");
         let s = cache.stats();
         assert_eq!((s.slm_hits, s.slm_misses), (1, 1));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first_and_counts() {
+        // Shard cap of 1 per tier: the second insert landing in an
+        // occupied shard must evict that shard's older entry.
+        let cache = CorpusCache::bounded(SHARDS);
+        let d = 1.5_f64;
+        for k in 0..64u128 {
+            cache.store_distance(Metric::KlDivergence, &k, &(k + 1), d + k as f64);
+        }
+        let (_, _, dist_len) = cache.lens();
+        assert!(dist_len <= SHARDS, "live entries bounded by cap ({dist_len} > {SHARDS})");
+        let s = cache.stats();
+        assert_eq!(s.evicted, 64 - dist_len as u64, "every displaced entry is counted");
+        // The newest entry in its shard survives and verifies clean.
+        let got = cache.load_distance(Metric::KlDivergence, &63, &64);
+        assert_eq!(got.map(f64::to_bits), Some((d + 63.0).to_bits()));
+        // Evicted keys simply miss — the caller recomputes and may
+        // re-store, which evicts again rather than growing the shard.
+        let victim = (0..64u128)
+            .find(|k| cache.load_distance(Metric::KlDivergence, k, &(k + 1)).is_none())
+            .expect("some key was evicted");
+        cache.store_distance(Metric::KlDivergence, &victim, &(victim + 1), 9.0);
+        let (_, _, after) = cache.lens();
+        assert!(after <= SHARDS, "re-store under pressure must not grow the shard");
+        // bytes_stored reflects live entries only: 8 bytes per distance.
+        assert_eq!(cache.stats().bytes_stored, 8 * after as u64);
+        // An unbounded cache never evicts.
+        let unbounded = CorpusCache::new();
+        for k in 0..64u128 {
+            unbounded.store_distance(Metric::KlDivergence, &k, &(k + 1), d);
+        }
+        assert_eq!(unbounded.stats().evicted, 0);
+        assert_eq!(unbounded.lens().2, 64);
+    }
+
+    #[test]
+    fn bounded_exec_tier_evicts_deterministically() {
+        let a = CorpusCache::bounded(SHARDS);
+        let b = CorpusCache::bounded(SHARDS);
+        let cfg = AnalysisConfig::default();
+        for cache in [&a, &b] {
+            let view = cache.exec_cache(&cfg);
+            for i in 0..40 {
+                view.store(Label { lo: i, hi: i * 3 + 1 }, Arc::new(sample_exec()));
+            }
+        }
+        // Same insertion sequence → identical survivor sets.
+        let cfg_view = (a.exec_cache(&cfg), b.exec_cache(&cfg));
+        for i in 0..40 {
+            let key = Label { lo: i, hi: i * 3 + 1 };
+            assert_eq!(
+                cfg_view.0.load(key).is_some(),
+                cfg_view.1.load(key).is_some(),
+                "eviction must be deterministic (key {i})"
+            );
+        }
+        assert_eq!(a.stats().evicted, b.stats().evicted);
+        assert!(a.stats().evicted > 0, "40 inserts over a 16-entry tier must evict");
     }
 
     #[test]

@@ -83,6 +83,8 @@ pub struct StageTimings {
     pub corpus_bytes_stored: u64,
     /// Corpus entries dropped on checksum mismatch (then recomputed).
     pub corpus_corrupt_dropped: u64,
+    /// Corpus entries displaced by capacity eviction (bounded caches).
+    pub corpus_evicted: u64,
 }
 
 impl StageTimings {
@@ -114,6 +116,7 @@ impl StageTimings {
         self.corpus_distance_misses = metrics.counter(names::CORPUS_DISTANCE_MISS);
         self.corpus_bytes_stored = metrics.counter(names::CORPUS_BYTES_STORED);
         self.corpus_corrupt_dropped = metrics.counter(names::CORPUS_CORRUPT_DROPPED);
+        self.corpus_evicted = metrics.counter(names::CORPUS_EVICTED);
     }
 
     /// Copies one run's corpus-tier delta ([`crate::CorpusStats::since`])
@@ -132,6 +135,7 @@ impl StageTimings {
         metrics.set(names::CORPUS_DISTANCE_MISS, delta.distance_misses);
         metrics.set(names::CORPUS_BYTES_STORED, delta.bytes_stored);
         metrics.set(names::CORPUS_CORRUPT_DROPPED, delta.corrupt_dropped);
+        metrics.set(names::CORPUS_EVICTED, delta.evicted);
         self.corpus_tracelet_hits = delta.tracelet_hits;
         self.corpus_tracelet_misses = delta.tracelet_misses;
         self.corpus_slm_hits = delta.slm_hits;
@@ -140,6 +144,7 @@ impl StageTimings {
         self.corpus_distance_misses = delta.distance_misses;
         self.corpus_bytes_stored = delta.bytes_stored;
         self.corpus_corrupt_dropped = delta.corrupt_dropped;
+        self.corpus_evicted = delta.evicted;
     }
 
     /// `true` when any corpus-tier counter is nonzero (i.e. the run had a
@@ -153,6 +158,7 @@ impl StageTimings {
             + self.corpus_distance_misses
             + self.corpus_bytes_stored
             + self.corpus_corrupt_dropped
+            + self.corpus_evicted
             > 0
     }
 
@@ -205,7 +211,7 @@ impl StageTimings {
             "\"corpus_tracelet_hits\":{},\"corpus_tracelet_misses\":{},\
              \"corpus_slm_hits\":{},\"corpus_slm_misses\":{},\
              \"corpus_distance_hits\":{},\"corpus_distance_misses\":{},\
-             \"corpus_bytes_stored\":{},\"corpus_corrupt_dropped\":{}}}",
+             \"corpus_bytes_stored\":{},\"corpus_corrupt_dropped\":{},\"corpus_evicted\":{}}}",
             self.corpus_tracelet_hits,
             self.corpus_tracelet_misses,
             self.corpus_slm_hits,
@@ -214,6 +220,7 @@ impl StageTimings {
             self.corpus_distance_misses,
             self.corpus_bytes_stored,
             self.corpus_corrupt_dropped,
+            self.corpus_evicted,
         );
         s
     }
@@ -263,8 +270,8 @@ impl fmt::Display for StageTimings {
             )?;
             writeln!(
                 f,
-                "               {} bytes stored, {} corrupt entries dropped",
-                self.corpus_bytes_stored, self.corpus_corrupt_dropped
+                "               {} bytes stored, {} corrupt entries dropped, {} evicted",
+                self.corpus_bytes_stored, self.corpus_corrupt_dropped, self.corpus_evicted
             )?;
         }
         writeln!(
@@ -354,6 +361,7 @@ mod tests {
             distance_misses: 4,
             bytes_stored: 512,
             corrupt_dropped: 1,
+            evicted: 6,
         };
         let mut t = StageTimings::default();
         let mut metrics = MetricsRegistry::new();
@@ -366,5 +374,6 @@ mod tests {
         back.absorb_counters(&metrics);
         assert_eq!(back.corpus_bytes_stored, 512);
         assert_eq!(back.corpus_corrupt_dropped, 1);
+        assert_eq!(back.corpus_evicted, 6);
     }
 }

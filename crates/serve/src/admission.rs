@@ -1,0 +1,179 @@
+//! Per-client admission quotas: token buckets and inflight limits.
+//!
+//! Quotas are keyed by the identity a client announces in its `Hello`
+//! frame, shared across every connection that identity opens. Two
+//! independent limits apply to each submission:
+//!
+//! * a **token bucket** — `burst` tokens of instant capacity refilled
+//!   at `refill_per_sec`, so a tenant's sustained rate is bounded while
+//!   short bursts pass. With `refill_per_sec = 0` the bucket never
+//!   refills, which makes quota behavior exactly deterministic (the
+//!   configuration the tests pin);
+//! * a **max-inflight cap** — admitted-but-unfinished jobs (queued or
+//!   running) per identity, releasing as jobs reach a terminal state.
+//!
+//! Bucket arithmetic is integer milli-tokens; no floats, no saturation
+//! surprises. Either limit failing is a [`RejectReason::QuotaExceeded`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rock_supervisor::wire::RejectReason;
+
+/// Per-identity limits, fixed at daemon startup.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Instant token capacity per identity (0 disables the bucket).
+    pub burst: u64,
+    /// Tokens returned per second (0: the bucket never refills).
+    pub refill_per_sec: u64,
+    /// Max admitted-but-unfinished jobs per identity (0 disables).
+    pub max_inflight: u64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> QuotaConfig {
+        QuotaConfig { burst: 32, refill_per_sec: 8, max_inflight: 16 }
+    }
+}
+
+#[derive(Debug)]
+struct ClientState {
+    tokens_milli: u64,
+    refilled_at: Instant,
+    inflight: u64,
+}
+
+/// The shared quota table. All methods take `&self`; one mutex guards
+/// the table (admission is far off any hot path).
+#[derive(Debug)]
+pub struct Quotas {
+    cfg: QuotaConfig,
+    clients: Mutex<BTreeMap<String, ClientState>>,
+}
+
+impl Quotas {
+    /// An empty table under `cfg`.
+    pub fn new(cfg: QuotaConfig) -> Quotas {
+        Quotas { cfg, clients: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Tries to admit one submission for `client` now. On success the
+    /// identity's inflight count is already incremented — pair every
+    /// `Ok` with exactly one later [`Quotas::release`].
+    pub fn admit(&self, client: &str) -> Result<(), (RejectReason, String)> {
+        self.admit_at(client, Instant::now())
+    }
+
+    /// [`Quotas::admit`] at an explicit clock reading (tests).
+    pub fn admit_at(&self, client: &str, now: Instant) -> Result<(), (RejectReason, String)> {
+        let cfg = self.cfg;
+        let mut clients = self.clients.lock().expect("quota table poisoned");
+        let state = clients.entry(client.to_string()).or_insert_with(|| ClientState {
+            tokens_milli: cfg.burst * 1000,
+            refilled_at: now,
+            inflight: 0,
+        });
+        if cfg.max_inflight > 0 && state.inflight >= cfg.max_inflight {
+            return Err((
+                RejectReason::QuotaExceeded,
+                format!("{} jobs already inflight (limit {})", state.inflight, cfg.max_inflight),
+            ));
+        }
+        if cfg.burst > 0 {
+            if cfg.refill_per_sec > 0 {
+                let elapsed_ms = now.saturating_duration_since(state.refilled_at).as_millis();
+                let gained = (elapsed_ms as u64).saturating_mul(cfg.refill_per_sec);
+                state.tokens_milli = (state.tokens_milli + gained).min(cfg.burst * 1000);
+            }
+            state.refilled_at = now;
+            if state.tokens_milli < 1000 {
+                return Err((
+                    RejectReason::QuotaExceeded,
+                    format!("token bucket empty (burst {}, {}/s)", cfg.burst, cfg.refill_per_sec),
+                ));
+            }
+            state.tokens_milli -= 1000;
+        }
+        state.inflight += 1;
+        Ok(())
+    }
+
+    /// Marks one of `client`'s admitted jobs terminal, freeing its
+    /// inflight slot.
+    pub fn release(&self, client: &str) {
+        let mut clients = self.clients.lock().expect("quota table poisoned");
+        if let Some(state) = clients.get_mut(client) {
+            state.inflight = state.inflight.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg(burst: u64, refill: u64, inflight: u64) -> QuotaConfig {
+        QuotaConfig { burst, refill_per_sec: refill, max_inflight: inflight }
+    }
+
+    #[test]
+    fn burst_exhausts_deterministically_without_refill() {
+        let q = Quotas::new(cfg(3, 0, 0));
+        let t = Instant::now();
+        for i in 0..3 {
+            assert!(q.admit_at("a", t).is_ok(), "burst token {i}");
+        }
+        let (reason, detail) = q.admit_at("a", t).unwrap_err();
+        assert_eq!(reason, RejectReason::QuotaExceeded);
+        assert!(detail.contains("token bucket"), "{detail}");
+        // Releases return inflight slots, never tokens.
+        q.release("a");
+        assert!(q.admit_at("a", t).is_err(), "no refill means no recovery");
+        // Other identities are untouched.
+        assert!(q.admit_at("b", t).is_ok());
+    }
+
+    #[test]
+    fn refill_returns_tokens_over_time() {
+        let q = Quotas::new(cfg(2, 4, 0));
+        let t0 = Instant::now();
+        assert!(q.admit_at("a", t0).is_ok());
+        assert!(q.admit_at("a", t0).is_ok());
+        assert!(q.admit_at("a", t0).is_err(), "burst spent");
+        // 4 tokens/s = 1 token per 250ms.
+        let t1 = t0 + Duration::from_millis(250);
+        assert!(q.admit_at("a", t1).is_ok(), "one token refilled");
+        assert!(q.admit_at("a", t1).is_err(), "only one");
+        // Refill caps at burst: a long sleep does not bank extras.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(q.admit_at("a", t2).is_ok());
+        assert!(q.admit_at("a", t2).is_ok());
+        assert!(q.admit_at("a", t2).is_err(), "capped at burst=2");
+    }
+
+    #[test]
+    fn inflight_limit_is_independent_of_tokens() {
+        let q = Quotas::new(cfg(0, 0, 2));
+        let t = Instant::now();
+        assert!(q.admit_at("a", t).is_ok());
+        assert!(q.admit_at("a", t).is_ok());
+        let (reason, detail) = q.admit_at("a", t).unwrap_err();
+        assert_eq!(reason, RejectReason::QuotaExceeded);
+        assert!(detail.contains("inflight"), "{detail}");
+        // A terminal job frees a slot.
+        q.release("a");
+        assert!(q.admit_at("a", t).is_ok());
+    }
+
+    #[test]
+    fn zeroed_limits_admit_everything() {
+        let q = Quotas::new(cfg(0, 0, 0));
+        let t = Instant::now();
+        for _ in 0..1000 {
+            assert!(q.admit_at("a", t).is_ok());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A blocking loopback client for the serve protocol.
+//!
+//! [`ServeClient`] performs the `Hello`/`HelloOk` version negotiation
+//! on connect and then exposes one method per request. Every method is
+//! strictly request→response over the single connection, so responses
+//! can never interleave. Wire and framing failures surface as
+//! `io::Error` (`InvalidData` for codec violations), keeping the
+//! client usable from CLI code without a second error type.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use rock_supervisor::wire::{JobState, Request, Response, SERVE_PROTOCOL_VERSION};
+
+use crate::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME_BYTES};
+
+/// One authenticated (in the `Hello` sense) connection to a daemon.
+pub struct ServeClient {
+    stream: TcpStream,
+    version: u16,
+}
+
+impl ServeClient {
+    /// Connects, sends `Hello { SERVE_PROTOCOL_VERSION, name }`, and
+    /// returns once the daemon answers `HelloOk`.
+    pub fn connect(addr: impl ToSocketAddrs, name: &str) -> io::Result<ServeClient> {
+        ServeClient::connect_with_version(addr, name, SERVE_PROTOCOL_VERSION)
+    }
+
+    /// [`ServeClient::connect`] announcing an explicit protocol version
+    /// (version-negotiation tests).
+    pub fn connect_with_version(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        version: u16,
+    ) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response framing on small messages: Nagle buys
+        // nothing and costs delayed-ACK stalls.
+        stream.set_nodelay(true)?;
+        let mut client = ServeClient { stream, version: 0 };
+        let hello = Request::Hello { version, client: name.to_string() };
+        match client.request(&hello)? {
+            Response::HelloOk { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            Response::ProtocolError { message } => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, message))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected handshake response: {other:?}"),
+            )),
+        }
+    }
+
+    /// The version both ends agreed on.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Sends one request frame and reads one response frame. Exposed so
+    /// tests and drills can speak arbitrary (well-formed) requests.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let body = read_frame(&mut self.stream, DEFAULT_MAX_FRAME_BYTES).map_err(io_of)?;
+        Response::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Submits a job; the daemon answers `Accepted` or `Rejected`.
+    /// `deadline_ms == 0` inherits the server default.
+    pub fn submit(&mut self, name: &str, deadline_ms: u64, image: &[u8]) -> io::Result<Response> {
+        self.request(&Request::Submit {
+            name: name.to_string(),
+            deadline_ms,
+            image: image.to_vec(),
+        })
+    }
+
+    /// Queries one job's state.
+    pub fn status(&mut self, job: u64) -> io::Result<JobState> {
+        match self.request(&Request::Status { job })? {
+            Response::JobStatus { state, .. } => Ok(state),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks to pull a still-queued job back; returns the state after
+    /// the attempt (running/done jobs are past cancelling).
+    pub fn cancel(&mut self, job: u64) -> io::Result<JobState> {
+        match self.request(&Request::Cancel { job })? {
+            Response::JobStatus { state, .. } => Ok(state),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Starts a graceful drain; returns (queued, running) at the moment
+    /// admission stopped.
+    pub fn drain(&mut self) -> io::Result<(u64, u64)> {
+        match self.request(&Request::Drain)? {
+            Response::DrainStarted { queued, running } => Ok((queued, running)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Polls `status` every `poll_ms` until the job reaches a terminal
+    /// state (`Done` or `Cancelled`) or `timeout_ms` elapses.
+    pub fn wait(&mut self, job: u64, poll_ms: u64, timeout_ms: u64) -> io::Result<JobState> {
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        loop {
+            match self.status(job)? {
+                state @ (JobState::Done { .. } | JobState::Cancelled) => return Ok(state),
+                JobState::Unknown => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("job {job} is unknown to the daemon"),
+                    ))
+                }
+                JobState::Queued { .. } | JobState::Running => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {job} not terminal after {timeout_ms}ms"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(poll_ms.max(1)));
+        }
+    }
+}
+
+fn io_of(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Closed => {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        }
+        FrameError::TooLarge { claimed, max } => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("daemon sent a {claimed}-byte frame (cap {max})"),
+        ),
+        FrameError::Io(e) => e,
+    }
+}
+
+fn unexpected(response: Response) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("unexpected response: {response:?}"))
+}

@@ -1,0 +1,151 @@
+//! Length-prefixed frame transport.
+//!
+//! On the wire a frame is `u32 LE body length | body`; the body is one
+//! encoded [`rock_supervisor::wire::Request`] or
+//! [`rock_supervisor::wire::Response`]. This module owns only the
+//! transport framing — all body decoding (the part that touches
+//! untrusted bytes structurally) lives in the pure, panic-free
+//! `wire` codec.
+//!
+//! The reader enforces a frame-size cap *before* allocating: a hostile
+//! length prefix costs four bytes of reading, not an allocation. Every
+//! failure is a typed [`FrameError`] the caller can answer with a
+//! protocol error or a close — never a panic.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default cap on one frame body (largest legal `Submit` plus slack).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 24 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream on a frame boundary (peer closed).
+    Closed,
+    /// The length prefix exceeds the configured cap.
+    TooLarge {
+        /// The length the prefix claimed.
+        claimed: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+    /// Transport error (includes truncation mid-frame and timeouts).
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::TooLarge { claimed, max } => {
+                write!(f, "frame of {claimed} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + body) and flushes. Prefix and
+/// body go out as a single `write_all` — two small writes would
+/// interact with Nagle's algorithm and delayed ACKs to cost tens of
+/// milliseconds per frame on a real socket.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds u32"))?;
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&len.to_le_bytes());
+    wire.extend_from_slice(body);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// Reads one frame body, enforcing `max` before allocating. Returns
+/// [`FrameError::Closed`] only on a clean EOF *between* frames; EOF
+/// mid-frame is an [`FrameError::Io`] truncation error.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match read_full(r, &mut prefix) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(4) => {}
+        Ok(_) => {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a frame length prefix",
+            )))
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let claimed = u32::from_le_bytes(prefix) as usize;
+    if claimed > max {
+        return Err(FrameError::TooLarge { claimed, max });
+    }
+    let mut body = vec![0u8; claimed];
+    match read_full(r, &mut body) {
+        Ok(n) if n == claimed => Ok(body),
+        Ok(_) => Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended inside a frame body",
+        ))),
+        Err(e) => Err(FrameError::Io(e)),
+    }
+}
+
+/// Reads until `buf` is full or EOF; returns bytes read. Retries
+/// `Interrupted`; every other error (including timeouts) propagates
+/// with partial progress discarded by the caller.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r, 64), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn lying_length_is_capped_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 1 << 20).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_is_io_not_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut]), 64).unwrap_err();
+            assert!(matches!(err, FrameError::Io(_)), "cut at {cut}: {err}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Minimal `SIGTERM`/`SIGINT` latching, dependency-free.
+//!
+//! The daemon's accept loop polls [`termination_requested`] and begins
+//! a graceful drain when it flips. The handler is as small as an
+//! async-signal-safe handler must be: it stores one relaxed atomic and
+//! returns. Registration goes through the C `signal(2)` entry point,
+//! which is already linked into every Rust binary via libc — declaring
+//! it here adds no dependency.
+//!
+//! On non-Unix targets installation is a no-op and the flag can only be
+//! set programmatically ([`request_termination`], also used by tests).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a termination signal (or [`request_termination`]) has
+/// been seen. Latches; never resets within a process.
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::Relaxed)
+}
+
+/// Sets the termination flag programmatically — what the signal
+/// handler does, callable from tests and embedders.
+pub fn request_termination() {
+    TERMINATION.store(true, Ordering::Relaxed);
+}
+
+/// Installs the latching handler for `SIGTERM` and `SIGINT`. Safe to
+/// call more than once. No-op off Unix.
+pub fn install_termination_handler() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::TERMINATION;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the platform libc (always linked by std).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one relaxed store, nothing else.
+        TERMINATION.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the libc prototype; the handler is an
+        // `extern "C" fn(i32)` performing only an atomic store, which
+        // is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_request_latches() {
+        install_termination_handler();
+        // The flag is process-global, so another test may already have
+        // latched it; only the latch-after-request direction is checked.
+        request_termination();
+        assert!(termination_requested());
+    }
+}

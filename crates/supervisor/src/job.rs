@@ -248,7 +248,7 @@ impl JobReport {
                 "\"corpus\":{{\"tracelet_hits\":{},\"tracelet_misses\":{},\
                  \"slm_hits\":{},\"slm_misses\":{},\
                  \"distance_hits\":{},\"distance_misses\":{},\
-                 \"bytes_stored\":{},\"corrupt_dropped\":{}}},",
+                 \"bytes_stored\":{},\"corrupt_dropped\":{},\"evicted\":{}}},",
                 c.tracelet_hits,
                 c.tracelet_misses,
                 c.slm_hits,
@@ -257,6 +257,7 @@ impl JobReport {
                 c.distance_misses,
                 c.bytes_stored,
                 c.corrupt_dropped,
+                c.evicted,
             ));
         }
         s.push_str(&format!("\"elapsed_ms\":{}", self.elapsed_ms));

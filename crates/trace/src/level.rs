@@ -84,10 +84,11 @@ impl fmt::Display for TraceLevel {
 }
 
 /// Whether `name` is a coarse span — one of the handful of serial-driver
-/// spans (`stage.*`) or supervisor spans (`supervisor.*`) kept at every
-/// enabled level.
+/// spans (`stage.*`), supervisor spans (`supervisor.*`), or daemon
+/// spans (`serve.*`, per-connection/per-request) kept at every enabled
+/// level.
 pub fn is_coarse_span(name: &str) -> bool {
-    name.starts_with("stage.") || name.starts_with("supervisor.")
+    name.starts_with("stage.") || name.starts_with("supervisor.") || name.starts_with("serve.")
 }
 
 /// The deterministic per-item sampling predicate: keep the span iff
@@ -141,7 +142,13 @@ mod tests {
 
     #[test]
     fn coarse_spans_survive_every_enabled_level() {
-        for name in [names::STAGE_ANALYSIS, names::STAGE_REPARTITION, names::SUPERVISOR_JOB] {
+        for name in [
+            names::STAGE_ANALYSIS,
+            names::STAGE_REPARTITION,
+            names::SUPERVISOR_JOB,
+            names::SERVE_CONNECTION,
+            names::SERVE_REQUEST,
+        ] {
             assert!(is_coarse_span(name));
             for subject in [0u64, 7, u64::MAX] {
                 assert!(!TraceLevel::Off.admits(name, subject));

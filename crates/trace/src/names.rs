@@ -44,6 +44,11 @@ pub const SUPERVISOR_ATTEMPT: &str = "supervisor.attempt";
 pub const SUPERVISOR_CHECKPOINT: &str = "supervisor.checkpoint";
 /// Restoring the checkpointed prefix; subject = stages restored.
 pub const SUPERVISOR_RESTORE: &str = "supervisor.restore";
+
+/// One daemon connection, accept to close; subject = connection id.
+pub const SERVE_CONNECTION: &str = "serve.connection";
+/// One admitted request, dequeue to terminal state; subject = job id.
+pub const SERVE_REQUEST: &str = "serve.request";
 /// A backoff wait between attempts; subject = wait in ms.
 pub const SUPERVISOR_BACKOFF: &str = "supervisor.backoff";
 
@@ -141,6 +146,8 @@ pub const CORPUS_DISTANCE_MISS: &str = "corpus.distance_miss";
 pub const CORPUS_BYTES_STORED: &str = "corpus.bytes_stored";
 /// Corpus entries dropped on checksum mismatch (then recomputed).
 pub const CORPUS_CORRUPT_DROPPED: &str = "corpus.corrupt_dropped";
+/// Corpus entries displaced by capacity eviction (bounded caches).
+pub const CORPUS_EVICTED: &str = "corpus.evicted";
 
 /// Attempts the supervised job made (1 = clean first try).
 pub const SUPERVISOR_ATTEMPTS: &str = "supervisor.attempts";
@@ -150,6 +157,32 @@ pub const SUPERVISOR_CHECKPOINTS_SAVED: &str = "supervisor.checkpoints_saved";
 pub const SUPERVISOR_STAGES_RESTORED: &str = "supervisor.stages_restored";
 /// Total scheduled backoff across attempts, milliseconds.
 pub const SUPERVISOR_BACKOFF_MS: &str = "supervisor.backoff_ms_total";
+
+/// Connections the serve daemon accepted.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Request frames the daemon decoded (well-formed or not).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Submissions admitted to the queue.
+pub const SERVE_ACCEPTED: &str = "serve.accepted";
+/// Admitted jobs that ran to a terminal state.
+pub const SERVE_COMPLETED: &str = "serve.completed";
+/// Submissions shed because the admission queue was full.
+pub const SERVE_REJECTED_QUEUE_FULL: &str = "serve.rejected_queue_full";
+/// Submissions shed by a per-client quota (tokens or inflight).
+pub const SERVE_REJECTED_QUOTA: &str = "serve.rejected_quota";
+/// Submissions shed because the daemon was draining.
+pub const SERVE_REJECTED_DRAINING: &str = "serve.rejected_draining";
+/// Submissions shed because the image exceeded the size cap.
+pub const SERVE_REJECTED_TOO_LARGE: &str = "serve.rejected_too_large";
+/// Malformed frames answered with a typed protocol error.
+pub const SERVE_PROTOCOL_ERRORS: &str = "serve.protocol_errors";
+/// Job panics contained by the worker (daemon kept serving).
+pub const SERVE_PANICS_CONTAINED: &str = "serve.panics_contained";
+/// Connections dropped for exhausting their send budget or write
+/// timeout (slow readers).
+pub const SERVE_SLOW_CLIENT_DROPS: &str = "serve.slow_client_drops";
+/// Jobs cancelled while still queued.
+pub const SERVE_CANCELLED: &str = "serve.cancelled";
 
 // --- Histograms -------------------------------------------------------
 

@@ -6,6 +6,7 @@ pub use rock_core as core;
 pub use rock_graph as graph;
 pub use rock_loader as loader;
 pub use rock_minicpp as minicpp;
+pub use rock_serve as serve;
 pub use rock_slm as slm;
 pub use rock_structural as structural;
 pub use rock_supervisor as supervisor;

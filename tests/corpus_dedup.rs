@@ -123,6 +123,35 @@ fn corrupted_entries_recompute_without_poisoning_later_jobs() {
 }
 
 #[test]
+fn bounded_cache_eviction_never_changes_outputs() {
+    // A daemon-sized fleet against a cache far too small for it: the
+    // cache thrashes (evictions happen), hit rates collapse, and not
+    // one output bit may move. This pins the claim that bounding the
+    // corpus cache is purely a memory/latency trade.
+    let images = corpus(5, 2);
+    for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+        let cold: Vec<Reconstruction> = images.iter().map(|l| reconstruct_cold(l, par)).collect();
+        // Capacity 16 = one entry per shard, per tier — brutally tight.
+        let tight = Arc::new(CorpusCache::bounded(16));
+        for (i, l) in images.iter().enumerate() {
+            let w = reconstruct_warm(l, par, &tight);
+            assert_identical(&cold[i], &w, &format!("{par:?} bounded job {i}"));
+        }
+        let s = tight.stats();
+        assert!(s.evicted > 0, "{par:?}: a 16-entry cache under this fleet must evict");
+        let (e, m, d) = tight.lens();
+        assert!(e <= 16 && m <= 16 && d <= 16, "{par:?}: live entries exceed the bound");
+        // And a re-run of the whole fleet against the thrashed cache is
+        // still bit-identical — stale-entry reuse after eviction churn
+        // would show up here.
+        for (i, l) in images.iter().enumerate() {
+            let w = reconstruct_warm(l, par, &tight);
+            assert_identical(&cold[i], &w, &format!("{par:?} bounded rerun job {i}"));
+        }
+    }
+}
+
+#[test]
 fn position_shifted_twins_share_every_tier() {
     // Members 0 and 1 share lib code at *different* addresses (member 1
     // declares its salt class first). Content keys must bridge the
