@@ -46,7 +46,7 @@
 //!          serves until drained (Drain frame or SIGTERM), then exits 0
 //! rock client <addr> <verb>          loopback client for a running daemon
 //!          submit <file.rkb> [--wait] | status <job> | cancel <job> | drain
-//!          hammer [--clients n] [--jobs n] [--over-quota n] [--slow]
+//!          hammer [--clients n] [--jobs n] [--over-quota n] [--burst n] [--slow]
 //! ```
 //!
 //! Exit codes: `0` success; `1` usage / interrupted job; `2` a job

@@ -180,8 +180,14 @@ impl Inner {
         self.queue_cv.notify_all();
     }
 
+    /// No admitted work pending. Checked under the queue lock so the
+    /// accept loop's drained-and-idle decision serializes against both
+    /// `submit`'s locked draining re-check and the workers' locked
+    /// queued→running hand-off: every admission is either visible here
+    /// or was shed with a typed `Draining` rejection.
     fn idle(&self) -> bool {
-        self.queued.load(Ordering::Relaxed) == 0 && self.running.load(Ordering::Relaxed) == 0
+        let queue = self.queue.lock().expect("serve queue poisoned");
+        queue.is_empty() && self.running.load(Ordering::Relaxed) == 0
     }
 
     /// The admission pipeline for one `Submit`, checks in documented
@@ -209,18 +215,26 @@ impl Inner {
             self.count(names::SERVE_REJECTED_QUOTA, 1);
             return Response::Rejected { reason, detail };
         }
-        let mut queue = self.queue.lock().expect("serve queue poisoned");
-        if queue.len() >= self.cfg.queue_capacity.max(1) {
-            drop(queue);
-            self.quotas.release(client);
-            self.count(names::SERVE_REJECTED_QUEUE_FULL, 1);
-            return Response::Rejected {
-                reason: RejectReason::QueueFull,
-                detail: format!("admission queue at capacity {}", self.cfg.queue_capacity),
-            };
-        }
+        // Lock discipline: `jobs` and `queue` are never held together
+        // (the same rule `status` and the workers follow). The slot
+        // enters the table before the job is queued — workers cannot
+        // see it until the push — and a rejection takes it back out.
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         self.jobs.lock().expect("serve job table poisoned").insert(id, Slot::Queued);
+        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        // Re-check under the queue lock: the accept loop decides
+        // "draining and idle" while holding this lock, so a submission
+        // racing that decision is either visible in the queue before
+        // the loop breaks or shed here — never admitted into a daemon
+        // whose workers are already gone.
+        if self.draining() {
+            drop(queue);
+            return self.unsubmit(id, client, RejectReason::Draining, names::SERVE_REJECTED_DRAINING);
+        }
+        if queue.len() >= self.cfg.queue_capacity.max(1) {
+            drop(queue);
+            return self.unsubmit(id, client, RejectReason::QueueFull, names::SERVE_REJECTED_QUEUE_FULL);
+        }
         queue.push_back(QueuedJob { id, client: client.to_string(), name, deadline_ms, image });
         self.queued.fetch_add(1, Ordering::Relaxed);
         drop(queue);
@@ -229,24 +243,61 @@ impl Inner {
         Response::Accepted { job: id }
     }
 
-    /// The wire-visible state of `job` right now.
+    /// Backs a provisional job slot out of the table and builds the
+    /// rejection for a `Submit` that failed a check under the queue
+    /// lock (which the caller has already released).
+    fn unsubmit(
+        &self,
+        id: u64,
+        client: &str,
+        reason: RejectReason,
+        metric: &'static str,
+    ) -> Response {
+        self.jobs.lock().expect("serve job table poisoned").remove(&id);
+        self.quotas.release(client);
+        self.count(metric, 1);
+        let detail = match reason {
+            RejectReason::Draining => "daemon is draining; no new work admitted".to_string(),
+            _ => format!("admission queue at capacity {}", self.cfg.queue_capacity),
+        };
+        Response::Rejected { reason, detail }
+    }
+
+    /// The wire-visible state of `job` right now. The queue position
+    /// of a Queued slot is looked up after the `jobs` lock is released
+    /// (locks are never nested), so a worker can pop the job between
+    /// the two reads — a Queued slot absent from the queue is on its
+    /// way to Running, never "first in line".
     fn status(&self, job: u64) -> JobState {
+        if let Some(state) = self.settled_state(job) {
+            return state;
+        }
+        let position = {
+            let queue = self.queue.lock().expect("serve queue poisoned");
+            queue.iter().position(|q| q.id == job)
+        };
+        match position {
+            Some(p) => JobState::Queued { position: p as u64 },
+            None => self.settled_state(job).unwrap_or(JobState::Running),
+        }
+    }
+
+    /// The slot's state when it can be answered from the job table
+    /// alone; `None` means the slot is Queued and needs a queue lookup.
+    fn settled_state(&self, job: u64) -> Option<JobState> {
         let jobs = self.jobs.lock().expect("serve job table poisoned");
         match jobs.get(&job) {
-            None => JobState::Unknown,
-            Some(Slot::Running) => JobState::Running,
-            Some(Slot::Cancelled) => JobState::Cancelled,
-            Some(Slot::Done { exit_code, outcome, result_fp, report_json }) => JobState::Done {
-                exit_code: *exit_code,
-                outcome: outcome.clone(),
-                result_fp: *result_fp,
-                report_json: report_json.clone(),
-            },
-            Some(Slot::Queued) => {
-                let queue = self.queue.lock().expect("serve queue poisoned");
-                let position =
-                    queue.iter().position(|q| q.id == job).map(|p| p as u64).unwrap_or(0);
-                JobState::Queued { position }
+            None => Some(JobState::Unknown),
+            Some(Slot::Queued) => None,
+            Some(Slot::Running) => Some(JobState::Running),
+            Some(Slot::Cancelled) => Some(JobState::Cancelled),
+            Some(Slot::Done { exit_code, outcome, result_fp, report_json }) => {
+                Some(JobState::Done {
+                    exit_code: *exit_code,
+                    outcome: outcome.clone(),
+                    result_fp: *result_fp,
+                    report_json: report_json.clone(),
+                })
             }
         }
     }
@@ -482,6 +533,18 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Defense in depth: `submit`'s locked draining re-check makes
+        // post-idle stragglers impossible, but if one ever appears it
+        // must still reach a terminal, queryable state rather than sit
+        // Queued in a daemon with no workers.
+        let stragglers: Vec<QueuedJob> =
+            inner.queue.lock().expect("serve queue poisoned").drain(..).collect();
+        for job in stragglers {
+            inner.queued.fetch_sub(1, Ordering::Relaxed);
+            inner.quotas.release(&job.client);
+            inner.jobs.lock().expect("serve job table poisoned").insert(job.id, Slot::Cancelled);
+            inner.count(names::SERVE_CANCELLED, 1);
+        }
         Ok(inner.summary())
     }
 }
@@ -496,6 +559,13 @@ fn worker_loop(inner: &Arc<Inner>) {
             loop {
                 if !inner.paused.load(Ordering::Relaxed) {
                     if let Some(job) = queue.pop_front() {
+                        // Still under the queue lock: the queued →
+                        // running hand-off must be invisible to the
+                        // accept loop's idle check, or a drain could
+                        // conclude "idle" while this job is between
+                        // pop and execute.
+                        inner.queued.fetch_sub(1, Ordering::Relaxed);
+                        inner.running.fetch_add(1, Ordering::Relaxed);
                         break job;
                     }
                 }
@@ -509,8 +579,6 @@ fn worker_loop(inner: &Arc<Inner>) {
                     .0;
             }
         };
-        inner.queued.fetch_sub(1, Ordering::Relaxed);
-        inner.running.fetch_add(1, Ordering::Relaxed);
         inner.jobs.lock().expect("serve job table poisoned").insert(job.id, Slot::Running);
         let ctx = match &inner.cfg.tracer {
             Some(t) => TraceCtx::with_level(t, inner.cfg.trace_level),

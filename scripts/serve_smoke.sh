@@ -40,7 +40,7 @@ start_daemon
 echo "daemon at $ADDR (pid $SERVE_PID)"
 # hammer exits non-zero unless every admitted job reached Done and
 # every response was typed; the greps re-assert the headline numbers.
-"$ROCK" client "$ADDR" hammer --clients 4 --jobs 3 --over-quota 12 --slow \
+"$ROCK" client "$ADDR" hammer --clients 4 --jobs 3 --over-quota 12 --burst 4 --slow \
   | tee "$WORK/hammer.log"
 grep -q 'failed=0' "$WORK/hammer.log"
 grep -q 'errors=0' "$WORK/hammer.log"

@@ -369,6 +369,111 @@ fn cancel_pulls_queued_jobs_and_frees_their_quota() {
 }
 
 #[test]
+fn concurrent_submit_and_status_never_deadlock() {
+    // Regression: `submit` once nested the queue lock inside the jobs
+    // lock while `status` nested them the other way round — an AB-BA
+    // inversion two connection threads could deadlock on, wedging the
+    // daemon. The locks are now never held together; this drill wedges
+    // (and times the suite out) if the nesting ever comes back.
+    let scratch = Scratch::new("lockorder");
+    let mut cfg = ServeConfig::new(&scratch.0);
+    cfg.queue_capacity = 2;
+    cfg.workers = 1;
+    cfg.quota.burst = 0;
+    cfg.quota.max_inflight = 0;
+    let (addr, handle, join) = start(cfg);
+    let image = small_image();
+    // A seed job pinned in the queue so Status always takes the
+    // Queued path (jobs table read + queue position lookup).
+    handle.pause_workers(true);
+    let mut c = ServeClient::connect(addr, "seed").expect("connect");
+    let queued = accepted(c.submit("seed", 0, &image).unwrap());
+
+    let submitter = {
+        let image = image.clone();
+        thread::spawn(move || {
+            let mut c = ServeClient::connect(addr, "submitter").expect("connect");
+            // One more Accepted (capacity 2), then QueueFull forever —
+            // both admission paths touch the queue and jobs locks.
+            for j in 0..300 {
+                let _ = c.submit(&format!("s-{j}"), 0, &image).unwrap();
+            }
+        })
+    };
+    let pollers: Vec<_> = (0..2)
+        .map(|p| {
+            thread::spawn(move || {
+                let mut c = ServeClient::connect(addr, &format!("poller-{p}")).expect("connect");
+                for _ in 0..300 {
+                    match c.status(queued).unwrap() {
+                        JobState::Queued { position } => assert_eq!(position, 0),
+                        other => panic!("pinned seed job reached {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    submitter.join().expect("submitter thread");
+    for p in pollers {
+        p.join().expect("poller thread");
+    }
+    handle.pause_workers(false);
+    let (_, outcome, _, _) = done(c.wait(queued, 10, 120_000).unwrap());
+    assert_eq!(outcome, "ok");
+    handle.drain();
+    join.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn submissions_racing_a_drain_are_admitted_or_shed_never_stranded() {
+    // Regression: a Submit that passed the draining check could push
+    // its job after the accept loop had already concluded "draining
+    // and idle" and shut the workers down — Accepted on the wire, but
+    // Queued forever. The draining re-check now happens under the same
+    // queue lock the idle decision holds, so every racer is either
+    // admitted (and completes) or shed with a typed Draining.
+    let scratch = Scratch::new("drainrace");
+    let mut cfg = ServeConfig::new(&scratch.0);
+    cfg.queue_capacity = 64;
+    cfg.workers = 2;
+    cfg.quota.burst = 0;
+    cfg.quota.max_inflight = 0;
+    let (addr, handle, join) = start(cfg);
+    let image = small_image();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let image = image.clone();
+            thread::spawn(move || {
+                let mut c = ServeClient::connect(addr, &format!("racer-{t}")).expect("connect");
+                let mut accepted = 0u64;
+                for j in 0..10 {
+                    match c.submit(&format!("r{t}-{j}"), 0, &image) {
+                        Ok(Response::Accepted { .. }) => accepted += 1,
+                        Ok(Response::Rejected { reason: RejectReason::Draining, .. }) => {}
+                        Ok(other) => panic!("untyped response racing a drain: {other:?}"),
+                        // The daemon finished its drain and closed the
+                        // connection: nothing further can be admitted.
+                        Err(_) => break,
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+    thread::sleep(std::time::Duration::from_millis(20));
+    handle.drain();
+    let accepted: u64 = threads.into_iter().map(|t| t.join().expect("racer thread")).sum();
+    let summary = join.join().expect("server thread").expect("clean drain");
+    assert_eq!(summary.accepted, accepted, "every Accepted on the wire is in the tally");
+    assert_eq!(
+        summary.completed + summary.cancelled,
+        summary.accepted,
+        "every admitted job reached a terminal state across the drain"
+    );
+    assert_eq!(summary.cancelled, 0, "no straggler needed the post-join sweep");
+}
+
+#[test]
 fn slow_reader_exhausts_send_budget_but_its_jobs_survive() {
     let scratch = Scratch::new("slow");
     let mut cfg = ServeConfig::new(&scratch.0);
