@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rock_binary::image_to_bytes;
 use rock_core::suite::{datasource_example, streams_example, stress_program, Benchmark};
 use rock_core::{Parallelism, RockConfig};
-use rock_supervisor::{ArtifactStore, JobOutcome, Supervisor, SupervisorOptions};
+use rock_supervisor::{ArtifactStore, JobOutcome, StdVfs, Supervisor, SupervisorOptions, Vfs};
 
 fn smoke() -> bool {
     std::env::var_os("ROCK_BENCH_SMOKE").is_some()
@@ -126,6 +126,51 @@ fn median(xs: &[f64]) -> f64 {
     sorted[sorted.len() / 2]
 }
 
+/// A/B of the `Vfs` seam on the warm-resume read path: the same
+/// artifact file read through `Arc<dyn Vfs>` (one virtual dispatch per
+/// call, the production shape since the store was ported onto the
+/// trait) and via `fs::read` directly. Samples are interleaved so
+/// clock drift and cache state hit both arms equally; the reported
+/// number is the best of three median-ratio trials (syscall noise is
+/// one-sided, so min-of-trials isolates the structural overhead).
+fn vfs_read_overhead_ratio(scratch: &Scratch) -> f64 {
+    fn largest_file(dir: &PathBuf, best: &mut Option<(u64, PathBuf)>) {
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                largest_file(&p, best);
+            } else if let Ok(m) = p.metadata() {
+                if best.as_ref().is_none_or(|(len, _)| m.len() > *len) {
+                    *best = Some((m.len(), p));
+                }
+            }
+        }
+    }
+    let mut best = None;
+    largest_file(&scratch.0, &mut best);
+    let (_, path) = best.expect("a populated store has artifacts");
+    let vfs: std::sync::Arc<dyn Vfs> = StdVfs::arc();
+    let rounds = if smoke() { 128 } else { 512 };
+    let mut ratio = f64::INFINITY;
+    for _ in 0..3 {
+        let mut dyn_ns = Vec::with_capacity(rounds);
+        let mut std_ns = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t = Instant::now();
+            let a = vfs.read(&path).expect("dyn read");
+            dyn_ns.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(a);
+            let t = Instant::now();
+            let b = fs::read(&path).expect("std read");
+            std_ns.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(b);
+        }
+        ratio = ratio.min(median(&dyn_ns) / median(&std_ns).max(1.0));
+    }
+    ratio
+}
+
 /// One instrumented pass, summarized to `BENCH_batch.json` at the
 /// workspace root: throughput, resume overhead, and store footprint.
 fn emit_bench_json(_c: &mut Criterion) {
@@ -154,6 +199,8 @@ fn emit_bench_json(_c: &mut Criterion) {
         assert!(batch.jobs.iter().all(|j| j.report.outcome == JobOutcome::Ok));
     }
 
+    let vfs_overhead = vfs_read_overhead_ratio(&scratch);
+
     let cold = median(&cold_ms);
     let warm = median(&resume_ms);
     let json = format!(
@@ -166,7 +213,8 @@ fn emit_bench_json(_c: &mut Criterion) {
          \"resume_batch_median_ms\": {warm:.3},\n  \
          \"resume_speedup\": {speedup:.2},\n  \
          \"restored_stages_per_resume\": {restored},\n  \
-         \"artifact_store_bytes\": {store_bytes}\n}}\n",
+         \"artifact_store_bytes\": {store_bytes},\n  \
+         \"vfs_read_overhead_ratio\": {vfs_overhead:.4}\n}}\n",
         mode = if smoke() { "smoke" } else { "full" },
         jobs = jobs.len(),
         cold_runs = cold_ms.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(", "),
@@ -178,6 +226,15 @@ fn emit_bench_json(_c: &mut Criterion) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
     fs::write(path, &json).expect("write BENCH_batch.json");
     println!("\nwrote {path}:\n{json}");
+    // The storage trait must stay free: one virtual dispatch against a
+    // multi-microsecond syscall. Enforced in CI (smoke mode, release).
+    if smoke() {
+        assert!(
+            vfs_overhead <= 1.02,
+            "Vfs indirection costs {:.2}% on the warm-resume read path (budget: 2%)",
+            (vfs_overhead - 1.0) * 100.0
+        );
+    }
 }
 
 criterion_group!(benches, bench_batch_cold, bench_batch_resume, emit_bench_json);

@@ -11,7 +11,7 @@ use rock_core::suite::{all_benchmarks, benchmark};
 use rock_core::{evaluate, render_table2, Parallelism, Rock, RockConfig, Table2Row};
 use rock_loader::LoadedBinary;
 use rock_slm::Metric;
-use rock_supervisor::{ArtifactStore, Supervisor, SupervisorOptions};
+use rock_supervisor::{ArtifactStore, StdVfs, Supervisor, SupervisorOptions};
 use rock_trace::{
     chrome_trace_json, validate_chrome_trace, validate_metrics_doc, TraceLevel, Tracer,
 };
@@ -73,7 +73,7 @@ fn write_trace(path: &str, tracer: &Tracer) -> CliResult {
     Ok(())
 }
 
-const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2|batch|serve|client> ...
+const USAGE: &str = "usage: rock <list|gen|info|disasm|vtables|families|reconstruct|pseudo|run|stats|eval|table2|batch|serve|client|store> ...
 run `rock help` for details";
 
 /// Dispatches one CLI invocation; `Ok` carries the process exit code
@@ -102,6 +102,7 @@ pub fn dispatch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     }
 }
@@ -502,6 +503,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut parallelism = Parallelism::Auto;
     let mut strict = false;
     let mut sleep_backoff = false;
+    let mut durable = false;
     let mut report_path: Option<String> = None;
     let mut timings: Option<TimingsFormat> = None;
     let mut trace_path: Option<String> = None;
@@ -516,6 +518,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
             "--resume" => resume = true,
             "--strict" => strict = true,
             "--sleep-backoff" => sleep_backoff = true,
+            "--durable" => durable = true,
             "--timings" | "--timings=json" => timings = Some(parse_timings_flag(a)?),
             "--metrics" => metrics = true,
             "--trace" => {
@@ -578,7 +581,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     }
     if paths.is_empty() {
         return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--corpus <manifest>] \
-                    [--store <dir>] [--resume] \
+                    [--store <dir>] [--resume] [--durable] \
                     [--max-retries n] [--deadline ms] [--max-errors n] [--metric kl|js|jsd] \
                     [--threads n] [--strict] [--report <path>] [--sleep-backoff] \
                     [--timings[=json]] [--trace <out.json>] \
@@ -614,7 +617,11 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         max_failures,
         collect_metrics: metrics,
     };
-    let store = ArtifactStore::open(&store_dir)?;
+    // `--durable` trades latency for crash safety: each checkpoint is
+    // fsynced (file + directory) before its commit rename counts.
+    // `--sleep-backoff` also makes *store* retries sleep their curve.
+    let store = ArtifactStore::open_with(&store_dir, StdVfs::arc(), durable)?
+        .with_sleep_backoff(sleep_backoff);
     let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
     let mut supervisor = Supervisor::new(config, store, options).with_trace_level(trace_level);
     if let Some(t) = &tracer {
@@ -738,6 +745,7 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
                     num("--send-budget", "bytes per connection (0=unlimited)")? as usize;
             }
             "--idle-timeout" => cfg.idle_timeout_ms = num("--idle-timeout", "milliseconds")?,
+            "--durable" => cfg.durable = true,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
             }
@@ -751,7 +759,7 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
                      [--store <dir>] [--port-file <path>] [--queue n] [--workers n] \
                      [--quota-burst n] [--quota-refill n/s] [--max-inflight n] [--deadline ms] \
                      [--corpus-cap n] [--max-image-bytes n] [--send-budget n] \
-                     [--idle-timeout ms] [--trace <out.json>] \
+                     [--idle-timeout ms] [--durable] [--trace <out.json>] \
                      [--trace-level off|stage|sampled|full]"
                 )
                 .into())
@@ -787,10 +795,10 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
 /// `rock client <addr> <verb>`: loopback client for a running daemon.
 fn cmd_client(args: &[String]) -> Result<u8, Box<dyn Error>> {
     const CLIENT_USAGE: &str = "usage: rock client <addr> <verb> ...
-  submit <file.rkb> [--name n] [--deadline ms] [--client id] [--wait]
-  status <job>      [--client id]
-  cancel <job>      [--client id]
-  drain             [--client id]
+  submit <file.rkb> [--name n] [--deadline ms] [--client id] [--connect-retries n] [--wait]
+  status <job>      [--client id] [--connect-retries n]
+  cancel <job>      [--client id] [--connect-retries n]
+  drain             [--client id] [--connect-retries n]
   hammer [--clients n] [--jobs n] [--over-quota n] [--bench name] [--slow] [--wait-ms ms]";
     let addr = args.first().ok_or(CLIENT_USAGE)?.clone();
     let verb = args.get(1).ok_or(CLIENT_USAGE)?.as_str();
@@ -799,7 +807,19 @@ fn cmd_client(args: &[String]) -> Result<u8, Box<dyn Error>> {
         "submit" => client_submit(&addr, rest),
         "status" | "cancel" => client_job_query(&addr, verb, rest),
         "drain" => {
-            let mut c = rock_serve::ServeClient::connect(&addr, "rock-cli")?;
+            let mut identity = String::from("rock-cli");
+            let mut retries = 0u32;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--client" => {
+                        identity = it.next().ok_or("--client needs an identity")?.clone();
+                    }
+                    "--connect-retries" => retries = parse_connect_retries(&mut it)?,
+                    other => return Err(format!("client drain: unknown flag {other}").into()),
+                }
+            }
+            let mut c = rock_serve::ServeClient::connect_with_retry(&addr, &identity, retries)?;
             let (queued, running) = c.drain()?;
             println!("drain started: {queued} queued, {running} running");
             Ok(0)
@@ -809,10 +829,19 @@ fn cmd_client(args: &[String]) -> Result<u8, Box<dyn Error>> {
     }
 }
 
+/// Parses the value of a `--connect-retries` flag occurrence.
+fn parse_connect_retries<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<u32, Box<dyn Error>> {
+    let v = it.next().ok_or("--connect-retries needs a count")?;
+    Ok(v.parse().map_err(|e| format!("bad retry count {v:?}: {e}"))?)
+}
+
 fn client_submit(addr: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut name: Option<String> = None;
     let mut identity = String::from("rock-cli");
     let mut deadline_ms = 0u64;
+    let mut retries = 0u32;
     let mut wait = false;
     let mut path: Option<String> = None;
     let mut it = args.iter();
@@ -824,6 +853,7 @@ fn client_submit(addr: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
                 let v = it.next().ok_or("--deadline needs milliseconds")?;
                 deadline_ms = v.parse().map_err(|e| format!("bad deadline {v:?}: {e}"))?;
             }
+            "--connect-retries" => retries = parse_connect_retries(&mut it)?,
             "--wait" => wait = true,
             other if other.starts_with("--") => {
                 return Err(format!("client submit: unknown flag {other}").into())
@@ -839,7 +869,7 @@ fn client_submit(addr: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.clone())
     });
-    let mut c = rock_serve::ServeClient::connect(addr, &identity)?;
+    let mut c = rock_serve::ServeClient::connect_with_retry(addr, &identity, retries)?;
     match c.submit(&name, deadline_ms, &image)? {
         rock_serve::wire::Response::Accepted { job } => {
             println!("accepted: job {job}");
@@ -862,16 +892,18 @@ fn client_submit(addr: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
 
 fn client_job_query(addr: &str, verb: &str, args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut identity = String::from("rock-cli");
+    let mut retries = 0u32;
     let mut job: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--client" => identity = it.next().ok_or("--client needs an identity")?.clone(),
+            "--connect-retries" => retries = parse_connect_retries(&mut it)?,
             other => job = Some(other.parse().map_err(|e| format!("bad job id {other:?}: {e}"))?),
         }
     }
     let job = job.ok_or_else(|| format!("client {verb}: needs a job id"))?;
-    let mut c = rock_serve::ServeClient::connect(addr, &identity)?;
+    let mut c = rock_serve::ServeClient::connect_with_retry(addr, &identity, retries)?;
     let state = if verb == "cancel" { c.cancel(job)? } else { c.status(job)? };
     print_job_state(job, &state);
     Ok(0)
@@ -1090,6 +1122,58 @@ fn hammer_trickle(addr: &str, image: &[u8]) -> Result<rock_serve::wire::Response
         std::thread::sleep(std::time::Duration::from_millis(40));
     }
     Ok(rock_serve::wire::Response::decode(&frame(&mut stream)?)?)
+}
+
+/// `rock store scrub`: offline self-healing pass over an artifact
+/// store. Verifies every artifact frame's checksum, sweeps orphaned
+/// `.art.tmp` files, and quarantines corrupt or unknown entries under
+/// `<store>/.quarantine/`. Exit code 0 unless the scrub itself hit
+/// i/o errors it could not work around.
+fn cmd_store(args: &[String]) -> Result<u8, Box<dyn Error>> {
+    const STORE_USAGE: &str = "usage: rock store scrub [--store <dir>] [--dry-run] [--json]";
+    let Some((verb, rest)) = args.split_first() else {
+        return Err(STORE_USAGE.into());
+    };
+    if verb != "scrub" {
+        return Err(format!("store: unknown verb {verb:?}\n{STORE_USAGE}").into());
+    }
+    let mut store_dir = String::from(".rock-store");
+    let mut dry_run = false;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => store_dir = it.next().ok_or("--store needs a directory")?.clone(),
+            "--dry-run" => dry_run = true,
+            "--json" => json = true,
+            other => return Err(format!("store scrub: unknown flag {other}\n{STORE_USAGE}").into()),
+        }
+    }
+    // Open without the usual open-time tmp sweep: scrub's own report
+    // must account for every stale tmp, and `--dry-run` must not have
+    // side effects (not even the mkdir of a mistyped store path).
+    let store = ArtifactStore::open_unswept(&store_dir)?;
+    let report = store.scrub(dry_run);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for line in &report.details {
+            println!("{}{line}", if dry_run { "would fix: " } else { "" });
+        }
+        println!(
+            "scrub{}: {} job dirs, {} artifacts ok, {} corrupt quarantined, {} tmp swept, \
+             {} unknown quarantined, {} io errors{}",
+            if dry_run { " (dry run)" } else { "" },
+            report.jobs_scanned,
+            report.artifacts_ok,
+            report.corrupt_quarantined,
+            report.tmp_swept,
+            report.unknown_quarantined,
+            report.io_errors,
+            if report.is_clean() { " — clean" } else { "" },
+        );
+    }
+    Ok(if report.io_errors == 0 { 0 } else { 1 })
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ mod pipeline;
 mod pseudo;
 mod report;
 mod staged;
+pub mod storestats;
 pub mod suite;
 mod timings;
 
@@ -67,4 +68,5 @@ pub use pseudo::pseudo_source;
 pub use report::{render_table2, render_table2_markdown, Table2Row};
 pub use rock_trace::TraceLevel;
 pub use staged::{RestoreError, StageId, StagedRun};
+pub use storestats::StoreStats;
 pub use timings::StageTimings;

@@ -85,6 +85,25 @@ pub struct StageTimings {
     pub corpus_corrupt_dropped: u64,
     /// Corpus entries displaced by capacity eviction (bounded caches).
     pub corpus_evicted: u64,
+    /// Orphaned `.art.tmp` files the artifact store swept (all store
+    /// fields stay zero without a batch artifact store; like the corpus
+    /// fields they are per-run deltas injected by the batch driver,
+    /// never part of the pipeline's own deterministic registry).
+    pub store_tmp_swept: u64,
+    /// Checkpoint saves re-attempted after a transient i/o fault.
+    pub store_write_retries: u64,
+    /// Checkpoint saves abandoned after retries (resume lost, job lives).
+    pub store_write_failures: u64,
+    /// Artifact loads re-attempted after a transient i/o fault.
+    pub store_read_retries: u64,
+    /// Artifact loads abandoned after retries (the job recomputed).
+    pub store_read_failures: u64,
+    /// Artifacts whose checksum or frame failed verification.
+    pub store_corrupt_detected: u64,
+    /// Saves skipped after degrading to recompute-without-checkpointing.
+    pub store_checkpoints_skipped: u64,
+    /// Backoff milliseconds scheduled for store retries.
+    pub store_retry_backoff_ms: u64,
 }
 
 impl StageTimings {
@@ -117,6 +136,14 @@ impl StageTimings {
         self.corpus_bytes_stored = metrics.counter(names::CORPUS_BYTES_STORED);
         self.corpus_corrupt_dropped = metrics.counter(names::CORPUS_CORRUPT_DROPPED);
         self.corpus_evicted = metrics.counter(names::CORPUS_EVICTED);
+        self.store_tmp_swept = metrics.counter(names::STORE_TMP_SWEPT);
+        self.store_write_retries = metrics.counter(names::STORE_WRITE_RETRIES);
+        self.store_write_failures = metrics.counter(names::STORE_WRITE_FAILURES);
+        self.store_read_retries = metrics.counter(names::STORE_READ_RETRIES);
+        self.store_read_failures = metrics.counter(names::STORE_READ_FAILURES);
+        self.store_corrupt_detected = metrics.counter(names::STORE_CORRUPT_DETECTED);
+        self.store_checkpoints_skipped = metrics.counter(names::STORE_CHECKPOINTS_SKIPPED);
+        self.store_retry_backoff_ms = metrics.counter(names::STORE_RETRY_BACKOFF_MS);
     }
 
     /// Copies one run's corpus-tier delta ([`crate::CorpusStats::since`])
@@ -145,6 +172,42 @@ impl StageTimings {
         self.corpus_bytes_stored = delta.bytes_stored;
         self.corpus_corrupt_dropped = delta.corrupt_dropped;
         self.corpus_evicted = delta.evicted;
+    }
+
+    /// Copies one run's artifact-store delta ([`crate::StoreStats::since`])
+    /// onto the store fields and mirrors it into `metrics` under the
+    /// `store.*` counter names, so reports and JSON render it uniformly.
+    pub fn absorb_store_stats(&mut self, delta: &crate::StoreStats, metrics: &mut MetricsRegistry) {
+        metrics.set(names::STORE_TMP_SWEPT, delta.tmp_swept);
+        metrics.set(names::STORE_WRITE_RETRIES, delta.write_retries);
+        metrics.set(names::STORE_WRITE_FAILURES, delta.write_failures);
+        metrics.set(names::STORE_READ_RETRIES, delta.read_retries);
+        metrics.set(names::STORE_READ_FAILURES, delta.read_failures);
+        metrics.set(names::STORE_CORRUPT_DETECTED, delta.corrupt_detected);
+        metrics.set(names::STORE_CHECKPOINTS_SKIPPED, delta.checkpoints_skipped);
+        metrics.set(names::STORE_RETRY_BACKOFF_MS, delta.retry_backoff_ms);
+        self.store_tmp_swept = delta.tmp_swept;
+        self.store_write_retries = delta.write_retries;
+        self.store_write_failures = delta.write_failures;
+        self.store_read_retries = delta.read_retries;
+        self.store_read_failures = delta.read_failures;
+        self.store_corrupt_detected = delta.corrupt_detected;
+        self.store_checkpoints_skipped = delta.checkpoints_skipped;
+        self.store_retry_backoff_ms = delta.retry_backoff_ms;
+    }
+
+    /// `true` when any store fault-path counter is nonzero (healthy runs
+    /// on a healthy disk keep all of them at zero).
+    pub fn has_store_activity(&self) -> bool {
+        self.store_tmp_swept
+            + self.store_write_retries
+            + self.store_write_failures
+            + self.store_read_retries
+            + self.store_read_failures
+            + self.store_corrupt_detected
+            + self.store_checkpoints_skipped
+            + self.store_retry_backoff_ms
+            > 0
     }
 
     /// `true` when any corpus-tier counter is nonzero (i.e. the run had a
@@ -211,7 +274,7 @@ impl StageTimings {
             "\"corpus_tracelet_hits\":{},\"corpus_tracelet_misses\":{},\
              \"corpus_slm_hits\":{},\"corpus_slm_misses\":{},\
              \"corpus_distance_hits\":{},\"corpus_distance_misses\":{},\
-             \"corpus_bytes_stored\":{},\"corpus_corrupt_dropped\":{},\"corpus_evicted\":{}}}",
+             \"corpus_bytes_stored\":{},\"corpus_corrupt_dropped\":{},\"corpus_evicted\":{},",
             self.corpus_tracelet_hits,
             self.corpus_tracelet_misses,
             self.corpus_slm_hits,
@@ -221,6 +284,21 @@ impl StageTimings {
             self.corpus_bytes_stored,
             self.corpus_corrupt_dropped,
             self.corpus_evicted,
+        );
+        let _ = write!(
+            s,
+            "\"store_tmp_swept\":{},\"store_write_retries\":{},\"store_write_failures\":{},\
+             \"store_read_retries\":{},\"store_read_failures\":{},\
+             \"store_corrupt_detected\":{},\"store_checkpoints_skipped\":{},\
+             \"store_retry_backoff_ms\":{}}}",
+            self.store_tmp_swept,
+            self.store_write_retries,
+            self.store_write_failures,
+            self.store_read_retries,
+            self.store_read_failures,
+            self.store_corrupt_detected,
+            self.store_checkpoints_skipped,
+            self.store_retry_backoff_ms,
         );
         s
     }
@@ -272,6 +350,21 @@ impl fmt::Display for StageTimings {
                 f,
                 "               {} bytes stored, {} corrupt entries dropped, {} evicted",
                 self.corpus_bytes_stored, self.corpus_corrupt_dropped, self.corpus_evicted
+            )?;
+        }
+        if self.has_store_activity() {
+            writeln!(
+                f,
+                "  store        {} tmp swept, {} write retries ({} lost), \
+                 {} read retries ({} lost), {} corrupt, {} saves skipped, {} ms backoff",
+                self.store_tmp_swept,
+                self.store_write_retries,
+                self.store_write_failures,
+                self.store_read_retries,
+                self.store_read_failures,
+                self.store_corrupt_detected,
+                self.store_checkpoints_skipped,
+                self.store_retry_backoff_ms,
             )?;
         }
         writeln!(
@@ -375,5 +468,37 @@ mod tests {
         assert_eq!(back.corpus_bytes_stored, 512);
         assert_eq!(back.corpus_corrupt_dropped, 1);
         assert_eq!(back.corpus_evicted, 6);
+    }
+
+    #[test]
+    fn store_stats_absorb_mirrors_into_the_registry() {
+        let delta = crate::StoreStats {
+            tmp_swept: 2,
+            write_retries: 3,
+            write_failures: 1,
+            read_retries: 4,
+            read_failures: 2,
+            corrupt_detected: 1,
+            checkpoints_skipped: 5,
+            retry_backoff_ms: 700,
+        };
+        let mut t = StageTimings::default();
+        // The store line only appears when the fault paths fired.
+        assert!(!t.has_store_activity());
+        assert!(!t.to_string().contains("store "));
+        let mut metrics = MetricsRegistry::new();
+        t.absorb_store_stats(&delta, &mut metrics);
+        assert!(t.has_store_activity());
+        assert_eq!(metrics.counter(names::STORE_WRITE_RETRIES), 3);
+        assert_eq!(metrics.counter(names::STORE_CHECKPOINTS_SKIPPED), 5);
+        let text = t.to_string();
+        assert!(text.contains("2 tmp swept, 3 write retries (1 lost)"), "{text}");
+        assert!(text.contains("1 corrupt, 5 saves skipped, 700 ms backoff"), "{text}");
+        assert!(t.to_json().contains("\"store_read_retries\":4"));
+        // Re-absorbing the registry round-trips the same numbers.
+        let mut back = StageTimings::default();
+        back.absorb_counters(&metrics);
+        assert_eq!(back.store_tmp_swept, 2);
+        assert_eq!(back.store_retry_backoff_ms, 700);
     }
 }

@@ -28,6 +28,31 @@ impl ServeClient {
         ServeClient::connect_with_version(addr, name, SERVE_PROTOCOL_VERSION)
     }
 
+    /// [`ServeClient::connect`] with a bounded connect retry: a refused
+    /// or reset connection (daemon restarting, listener backlog blip)
+    /// is retried up to `retries` times on an exponential backoff
+    /// (100ms base, 2s cap, real sleeps — this is a live socket, not a
+    /// test harness). Any other error, including a protocol-level
+    /// handshake rejection, returns immediately.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        name: &str,
+        retries: u32,
+    ) -> io::Result<ServeClient> {
+        let mut attempt = 0u32;
+        loop {
+            match ServeClient::connect(addr.clone(), name) {
+                Ok(client) => return Ok(client),
+                Err(e) if attempt < retries && retryable_connect(&e) => {
+                    let backoff = 100u64.saturating_mul(1 << attempt.min(16)).min(2_000);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// [`ServeClient::connect`] announcing an explicit protocol version
     /// (version-negotiation tests).
     pub fn connect_with_version(
@@ -147,4 +172,59 @@ fn io_of(e: FrameError) -> io::Error {
 
 fn unexpected(response: Response) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("unexpected response: {response:?}"))
+}
+
+/// Connect errors worth another attempt: kernel-level refusal or reset,
+/// the daemon-not-up-yet shapes. The `raw_os_error` guard keeps the
+/// handshake's synthesized `ConnectionRefused` (a deliberate protocol
+/// rejection, which retrying cannot fix) out of the retry loop.
+fn retryable_connect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    ) && e.raw_os_error().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_classifier_separates_os_refusal_from_protocol_rejection() {
+        let os_refused = io::Error::from_raw_os_error(111); // ECONNREFUSED
+        assert_eq!(os_refused.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(retryable_connect(&os_refused));
+        let handshake = io::Error::new(io::ErrorKind::ConnectionRefused, "version too old");
+        assert!(!retryable_connect(&handshake), "protocol rejections must not be retried");
+        assert!(!retryable_connect(&io::Error::new(io::ErrorKind::TimedOut, "slow")));
+    }
+
+    #[test]
+    fn connect_with_retry_reaches_a_late_listener() {
+        use std::net::TcpListener;
+        // Reserve a port, drop the listener, then re-listen shortly
+        // after — the retrying client must bridge the refusal window.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        assert!(
+            ServeClient::connect_with_retry(addr, "t", 0).is_err(),
+            "no listener and no retries should refuse"
+        );
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (mut conn, _) = listener.accept().unwrap();
+            let body = crate::frame::read_frame(&mut conn, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            let request = Request::decode(&body).unwrap();
+            assert!(matches!(request, Request::Hello { .. }));
+            write_frame(&mut conn, &Response::HelloOk { version: SERVE_PROTOCOL_VERSION }.encode())
+                .unwrap();
+        });
+        let client = ServeClient::connect_with_retry(addr, "t", 5).unwrap();
+        assert_eq!(client.version(), SERVE_PROTOCOL_VERSION);
+        server.join().unwrap();
+    }
 }

@@ -35,7 +35,7 @@ use rock_core::{CorpusCache, FaultPlan, RockConfig};
 use rock_supervisor::wire::{
     JobState, RejectReason, Request, Response, SERVE_MIN_PROTOCOL_VERSION, SERVE_PROTOCOL_VERSION,
 };
-use rock_supervisor::{exit, ArtifactStore, Supervisor, SupervisorOptions};
+use rock_supervisor::{exit, ArtifactStore, StdVfs, Supervisor, SupervisorOptions, Vfs};
 use rock_trace::{names, MetricsRegistry, TraceCtx, TraceLevel, Tracer};
 
 use crate::admission::{QuotaConfig, Quotas};
@@ -80,6 +80,12 @@ pub struct ServeConfig {
     pub tracer: Option<Arc<Tracer>>,
     /// Level for the attached tracer.
     pub trace_level: TraceLevel,
+    /// Storage backend for the shared artifact store (`None`: the real
+    /// filesystem). Chaos tests hand a `FaultyVfs` in here.
+    pub vfs: Option<Arc<dyn Vfs>>,
+    /// Fsync artifacts (and their directory) before a checkpoint
+    /// counts as committed. Off by default: durability costs latency.
+    pub durable: bool,
 }
 
 impl ServeConfig {
@@ -105,6 +111,8 @@ impl ServeConfig {
             poll_ms: 10,
             tracer: None,
             trace_level: TraceLevel::default(),
+            vfs: None,
+            durable: false,
         }
     }
 }
@@ -146,6 +154,7 @@ enum Slot {
 
 struct Inner {
     cfg: ServeConfig,
+    store: ArtifactStore,
     corpus: Arc<CorpusCache>,
     quotas: Quotas,
     queue: Mutex<VecDeque<QueuedJob>>,
@@ -229,11 +238,21 @@ impl Inner {
         // whose workers are already gone.
         if self.draining() {
             drop(queue);
-            return self.unsubmit(id, client, RejectReason::Draining, names::SERVE_REJECTED_DRAINING);
+            return self.unsubmit(
+                id,
+                client,
+                RejectReason::Draining,
+                names::SERVE_REJECTED_DRAINING,
+            );
         }
         if queue.len() >= self.cfg.queue_capacity.max(1) {
             drop(queue);
-            return self.unsubmit(id, client, RejectReason::QueueFull, names::SERVE_REJECTED_QUEUE_FULL);
+            return self.unsubmit(
+                id,
+                client,
+                RejectReason::QueueFull,
+                names::SERVE_REJECTED_QUEUE_FULL,
+            );
         }
         queue.push_back(QueuedJob { id, client: client.to_string(), name, deadline_ms, image });
         self.queued.fetch_add(1, Ordering::Relaxed);
@@ -326,22 +345,10 @@ impl Inner {
         if self.poisoned.lock().expect("serve poison set poisoned").contains(&job.name) {
             panic!("poisoned job {:?} (injected)", job.name);
         }
-        let store = match ArtifactStore::open(&self.cfg.store_dir) {
-            Ok(store) => store,
-            Err(e) => {
-                return Slot::Done {
-                    exit_code: exit::FAILED,
-                    outcome: "failed".to_string(),
-                    result_fp: result_fp(&rock_supervisor::JobOutput::None),
-                    report_json: format!(
-                        "{{\"name\":\"{}\",\"outcome\":\"failed\",\"reason\":\
-                         \"artifact store unavailable: {}\"}}",
-                        escape(&job.name),
-                        escape(&e.to_string())
-                    ),
-                }
-            }
-        };
+        // The store is opened once at bind and cloned per job: every
+        // clone shares the same Vfs handle and stats cell, so injected
+        // faults and `store.*` counters are daemon-wide, not per-job.
+        let store = self.store.clone();
         let mut options = self.cfg.options.clone();
         if job.deadline_ms > 0 {
             options.deadline_ms = Some(job.deadline_ms);
@@ -411,6 +418,12 @@ impl ServerHandle {
         self.inner.summary()
     }
 
+    /// Process-lifetime fault counters of the shared artifact store
+    /// (retries, losses, corruption, swept tmp files).
+    pub fn store_stats(&self) -> rock_core::StoreStats {
+        self.inner.store.stats()
+    }
+
     /// Attaches a [`FaultPlan`] to every future job submitted under
     /// `job_name` (fault-injection hook for tests and drills).
     pub fn set_fault_plan(&self, job_name: &str, plan: Arc<FaultPlan>) {
@@ -444,10 +457,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and prepares shared state.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and prepares shared state,
+    /// including the artifact store (opened once; a store root that
+    /// cannot even be created fails the bind instead of every job).
     /// No thread starts until [`Server::run`].
     pub fn bind(cfg: ServeConfig, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let vfs = cfg.vfs.clone().unwrap_or_else(StdVfs::arc);
+        let store =
+            ArtifactStore::open_with(&cfg.store_dir, vfs, cfg.durable)?.with_sleep_backoff(true);
         let corpus = Arc::new(if cfg.corpus_capacity > 0 {
             CorpusCache::bounded(cfg.corpus_capacity)
         } else {
@@ -456,6 +474,7 @@ impl Server {
         let quotas = Quotas::new(cfg.quota);
         let inner = Arc::new(Inner {
             cfg,
+            store,
             corpus,
             quotas,
             queue: Mutex::new(VecDeque::new()),

@@ -31,19 +31,38 @@
 //! directory and recomputing, never by trusting a damaged artifact.
 //! Writes go through a temp file + atomic rename, so a crash mid-write
 //! leaves either the old artifact or none, not a torn one.
+//!
+//! All filesystem traffic goes through a [`Vfs`] handle ([`StdVfs`] in
+//! production, `FaultyVfs` under chaos testing). The store classifies
+//! i/o faults with [`crate::vfs::is_transient`]: transient faults get a
+//! bounded clock-free retry (schedule from [`RetryPolicy`], recorded in
+//! [`StoreStats`], slept only when `sleep_backoff` is set); persistent
+//! faults surface to the caller, which degrades instead of spinning.
+//! In `durable` mode the tmp file is fsynced before the rename and the
+//! parent directory after it, so a committed checkpoint survives power
+//! loss; the default skips both fsyncs (honest benchmarks, and a lost
+//! checkpoint merely recomputes). Opening a store sweeps orphaned
+//! `.art.tmp` files left by crashes, and [`ArtifactStore::scrub`]
+//! deep-verifies every artifact, quarantining what cannot be trusted.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs;
+use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rock_analysis::{Analysis, CtorMap, Event, IncidentKind, TypeTracelets};
 use rock_binary::Addr;
-use rock_core::{Coverage, FaultKind, RockConfig, Severity, Stage, StageError, StageId, Subject};
+use rock_budget::RetryPolicy;
+use rock_core::{
+    Coverage, FaultKind, RockConfig, Severity, Stage, StageError, StageId, StoreStats, Subject,
+};
 use rock_graph::Forest;
 use rock_slm::Metric;
 
+use crate::vfs::{is_transient, StdVfs, Vfs};
 use crate::wire::{fnv1a, Reader, WireError, Writer};
 
 /// The 8-byte file magic; the trailing byte is the format version.
@@ -168,23 +187,135 @@ pub fn content_key(image_bytes: &[u8], config: &RockConfig) -> u64 {
     fnv1a(&all)
 }
 
+/// Atomic mirror of [`StoreStats`], shared by every clone of a store.
+#[derive(Debug, Default)]
+struct StatsCell {
+    tmp_swept: AtomicU64,
+    write_retries: AtomicU64,
+    write_failures: AtomicU64,
+    read_retries: AtomicU64,
+    read_failures: AtomicU64,
+    corrupt_detected: AtomicU64,
+    retry_backoff_ms: AtomicU64,
+}
+
+/// Which counter lane a retried operation charges.
+#[derive(Clone, Copy)]
+enum OpClass {
+    Read,
+    Write,
+}
+
+/// The subdirectory scrub moves untrusted files into.
+pub const QUARANTINE_DIR: &str = ".quarantine";
+
 /// A directory of per-job, per-stage checkpoint artifacts.
+///
+/// Cloning is cheap and shares the [`Vfs`] handle and fault counters;
+/// the serve daemon opens one store at bind time and clones it per job.
 #[derive(Clone, Debug)]
 pub struct ArtifactStore {
     root: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    durable: bool,
+    sleep_backoff: bool,
+    retry: RetryPolicy,
+    stats: Arc<StatsCell>,
 }
 
 impl ArtifactStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, on the real
+    /// filesystem, without durability fsyncs. Orphaned `.art.tmp` files
+    /// from earlier crashes are swept (best-effort) before use.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
-        let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(ArtifactStore { root })
+        Self::open_with(root, StdVfs::arc(), false)
+    }
+
+    /// Opens a store on an explicit [`Vfs`] with an explicit durability
+    /// mode. `durable` makes every save fsync the artifact before its
+    /// commit rename and the job directory after it — a committed
+    /// checkpoint then survives power loss, at real fsync cost per
+    /// stage; without it a torn commit merely recomputes one stage.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        durable: bool,
+    ) -> io::Result<Self> {
+        let store = ArtifactStore {
+            root: root.into(),
+            vfs,
+            durable,
+            sleep_backoff: false,
+            // Store retries are cheap whole-file reruns: short fuse,
+            // short (recorded, not slept) backoff curve.
+            retry: RetryPolicy::new(3).with_backoff(10, 160),
+            stats: Arc::new(StatsCell::default()),
+        };
+        store.with_retry_op(OpClass::Write, || store.vfs.create_dir_all(&store.root))?;
+        // Safe here: nothing can be mid-commit while the store is still
+        // being opened (batch and serve both open before running jobs).
+        store.sweep_tmp();
+        Ok(store)
+    }
+
+    /// Opens an existing store *without* the open-time tmp sweep, for
+    /// offline inspection (`rock store scrub`): the scrub report then
+    /// owns all tmp accounting, and a dry run genuinely touches
+    /// nothing. Unlike [`ArtifactStore::open`] the root must already
+    /// exist — scrubbing a mistyped path is an error, not a mkdir.
+    pub fn open_unswept(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let store = ArtifactStore {
+            root: root.into(),
+            vfs: StdVfs::arc(),
+            durable: false,
+            sleep_backoff: false,
+            retry: RetryPolicy::new(3).with_backoff(10, 160),
+            stats: Arc::new(StatsCell::default()),
+        };
+        if !store.vfs.is_dir(&store.root) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("store root {} is not a directory", store.root.display()),
+            ));
+        }
+        Ok(store)
+    }
+
+    /// Replaces the transient-fault retry policy (builder-style).
+    pub fn with_retry(self, retry: RetryPolicy) -> Self {
+        ArtifactStore { retry, ..self }
+    }
+
+    /// Makes retries actually sleep their backoff schedule instead of
+    /// only recording it (tests stay clock-free by default).
+    pub fn with_sleep_backoff(self, sleep_backoff: bool) -> Self {
+        ArtifactStore { sleep_backoff, ..self }
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Whether saves fsync through to stable storage.
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
+
+    /// A snapshot of the store's fault-path counters (process totals;
+    /// use [`StoreStats::since`] for per-job deltas).
+    pub fn stats(&self) -> StoreStats {
+        let s = &self.stats;
+        StoreStats {
+            tmp_swept: s.tmp_swept.load(Ordering::Relaxed),
+            write_retries: s.write_retries.load(Ordering::Relaxed),
+            write_failures: s.write_failures.load(Ordering::Relaxed),
+            read_retries: s.read_retries.load(Ordering::Relaxed),
+            read_failures: s.read_failures.load(Ordering::Relaxed),
+            corrupt_detected: s.corrupt_detected.load(Ordering::Relaxed),
+            checkpoints_skipped: 0, // supervisor-side; see JobReport
+            retry_backoff_ms: s.retry_backoff_ms.load(Ordering::Relaxed),
+        }
     }
 
     /// The directory holding one job's artifacts.
@@ -196,16 +327,63 @@ impl ArtifactStore {
         self.job_dir(key).join(format!("{}.art", stage.name()))
     }
 
+    /// Runs `op`, retrying transient faults on the store's bounded
+    /// backoff schedule. Persistent faults return immediately.
+    fn with_retry_op<T>(
+        &self,
+        class: OpClass,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && self.retry.allows(attempt) => {
+                    let lane = match class {
+                        OpClass::Read => &self.stats.read_retries,
+                        OpClass::Write => &self.stats.write_retries,
+                    };
+                    lane.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.retry.backoff_ms(attempt);
+                    self.stats.retry_backoff_ms.fetch_add(backoff, Ordering::Relaxed);
+                    if self.sleep_backoff {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff));
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Atomically writes one stage checkpoint for job `key`.
+    ///
+    /// Transient faults are retried (whole commit sequence — it is
+    /// idempotent); on any final failure the tmp file is removed
+    /// best-effort so only a true crash strands one.
     pub fn save(&self, key: u64, checkpoint: &Checkpoint) -> io::Result<()> {
         let stage = checkpoint.payload.stage();
         let dir = self.job_dir(key);
-        fs::create_dir_all(&dir)?;
         let bytes = encode_artifact(key, checkpoint);
         let tmp = dir.join(format!(".{}.art.tmp", stage.name()));
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, self.artifact_path(key, stage))?;
-        Ok(())
+        let dst = self.artifact_path(key, stage);
+        let result = self.with_retry_op(OpClass::Write, || {
+            self.vfs.create_dir_all(&dir)?;
+            self.vfs.write(&tmp, &bytes)?;
+            if self.durable {
+                self.vfs.sync_file(&tmp)?;
+            }
+            self.vfs.rename(&tmp, &dst)?;
+            if self.durable {
+                self.vfs.sync_dir(&dir)?;
+            }
+            Ok(())
+        });
+        if result.is_err() {
+            self.stats.write_failures.fetch_add(1, Ordering::Relaxed);
+            let _ = self.vfs.remove_file(&tmp);
+        }
+        result
     }
 
     /// Loads one stage checkpoint for job `key`.
@@ -216,14 +394,18 @@ impl ArtifactStore {
     /// job and recompute).
     pub fn load(&self, key: u64, stage: StageId) -> Result<Option<Checkpoint>, StoreError> {
         let path = self.artifact_path(key, stage);
-        let bytes = match fs::read(&path) {
+        let bytes = match self.with_retry_op(OpClass::Read, || self.vfs.read(&path)) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(StoreError::Io(e)),
+            Err(e) => {
+                self.stats.read_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Io(e));
+            }
         };
-        decode_artifact(key, stage, &bytes)
-            .map(Some)
-            .map_err(|why| StoreError::Corrupt { path, why })
+        decode_artifact(key, stage, &bytes).map(Some).map_err(|why| {
+            self.stats.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+            StoreError::Corrupt { path, why }
+        })
     }
 
     /// The contiguous prefix of stages already checkpointed for `key`,
@@ -244,11 +426,215 @@ impl ArtifactStore {
     /// Drops every artifact of job `key` (used after corruption, or to
     /// force a fresh run).
     pub fn invalidate(&self, key: u64) -> io::Result<()> {
-        match fs::remove_dir_all(self.job_dir(key)) {
+        match self.vfs.remove_dir_all(&self.job_dir(key)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
+    }
+
+    /// Removes orphaned `.art.tmp` files (crash debris) from every job
+    /// directory, best-effort. Returns how many were removed. Only call
+    /// while no writer can be mid-commit — store open time, or scrub.
+    pub fn sweep_tmp(&self) -> u64 {
+        let mut swept = 0u64;
+        let Ok(entries) = self.vfs.list(&self.root) else { return 0 };
+        for dir in entries {
+            if !self.vfs.is_dir(&dir) {
+                continue;
+            }
+            let Ok(files) = self.vfs.list(&dir) else { continue };
+            for file in files {
+                if is_tmp_artifact(&file) && self.vfs.remove_file(&file).is_ok() {
+                    swept += 1;
+                }
+            }
+        }
+        self.stats.tmp_swept.fetch_add(swept, Ordering::Relaxed);
+        swept
+    }
+
+    /// Deep-verifies the whole store: every artifact is read and
+    /// checksum-decoded against the key its directory names.
+    ///
+    /// - corrupt artifacts are quarantined (moved under
+    ///   [`QUARANTINE_DIR`]) so resume stops trusting them;
+    /// - orphaned `.art.tmp` files are swept;
+    /// - entries with unknown names (directories that are not 16-hex
+    ///   content keys, stray files) are quarantined;
+    /// - i/o errors are counted and scrubbing continues.
+    ///
+    /// With `dry_run` everything is counted but nothing is moved.
+    /// Valid artifacts stranded behind a quarantined predecessor stay
+    /// in place — `completed_prefix` already ignores post-gap stages,
+    /// and the recomputing job overwrites them.
+    pub fn scrub(&self, dry_run: bool) -> ScrubReport {
+        let mut report = ScrubReport { dry_run, ..ScrubReport::default() };
+        let entries = match self.vfs.list(&self.root) {
+            Ok(e) => e,
+            Err(e) => {
+                report.io_errors += 1;
+                report.details.push(format!("list {}: {e}", self.root.display()));
+                return report;
+            }
+        };
+        for entry in entries {
+            let name = entry_name(&entry);
+            if name == QUARANTINE_DIR {
+                continue;
+            }
+            let key = u64::from_str_radix(&name, 16).ok().filter(|_| name.len() == 16);
+            match key {
+                Some(key) if self.vfs.is_dir(&entry) => {
+                    report.jobs_scanned += 1;
+                    self.scrub_job_dir(&entry, key, &mut report);
+                }
+                _ => {
+                    report.unknown_quarantined += 1;
+                    report.details.push(format!("unknown entry: {name}"));
+                    if !dry_run {
+                        self.quarantine(&entry, &name, &mut report);
+                    }
+                }
+            }
+        }
+        if report.tmp_swept > 0 && !dry_run {
+            self.stats.tmp_swept.fetch_add(report.tmp_swept, Ordering::Relaxed);
+        }
+        report
+    }
+
+    fn scrub_job_dir(&self, dir: &Path, key: u64, report: &mut ScrubReport) {
+        let files = match self.vfs.list(dir) {
+            Ok(f) => f,
+            Err(e) => {
+                report.io_errors += 1;
+                report.details.push(format!("list {}: {e}", dir.display()));
+                return;
+            }
+        };
+        for file in files {
+            let name = entry_name(&file);
+            if is_tmp_artifact(&file) {
+                report.tmp_swept += 1;
+                report.details.push(format!("{key:016x}: swept tmp {name}"));
+                if !report.dry_run && self.vfs.remove_file(&file).is_err() {
+                    report.io_errors += 1;
+                }
+                continue;
+            }
+            let Some(stage) = stage_of_artifact_name(&name) else {
+                report.unknown_quarantined += 1;
+                report.details.push(format!("{key:016x}: unknown file {name}"));
+                if !report.dry_run {
+                    self.quarantine(&file, &format!("{key:016x}.{name}"), report);
+                }
+                continue;
+            };
+            match self.with_retry_op(OpClass::Read, || self.vfs.read(&file)) {
+                Ok(bytes) => match decode_artifact(key, stage, &bytes) {
+                    Ok(_) => report.artifacts_ok += 1,
+                    Err(why) => {
+                        self.stats.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+                        report.corrupt_quarantined += 1;
+                        report.details.push(format!("{key:016x}: corrupt {name}: {why}"));
+                        if !report.dry_run {
+                            self.quarantine(&file, &format!("{key:016x}.{name}"), report);
+                        }
+                    }
+                },
+                Err(e) => {
+                    report.io_errors += 1;
+                    report.details.push(format!("{key:016x}: read {name}: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Moves `path` under the quarantine directory as `name`, falling
+    /// back to plain removal if the rename cannot land.
+    fn quarantine(&self, path: &Path, name: &str, report: &mut ScrubReport) {
+        let qdir = self.root.join(QUARANTINE_DIR);
+        let ok = self.vfs.create_dir_all(&qdir).is_ok()
+            && self.vfs.rename(path, &qdir.join(name)).is_ok();
+        if !ok && self.vfs.remove_file(path).is_err() && self.vfs.remove_dir_all(path).is_err() {
+            report.io_errors += 1;
+            report.details.push(format!("quarantine failed: {}", path.display()));
+        }
+    }
+}
+
+/// `true` for `.{stage}.art.tmp` commit debris.
+fn is_tmp_artifact(path: &Path) -> bool {
+    entry_name(path).ends_with(".art.tmp")
+}
+
+fn entry_name(path: &Path) -> String {
+    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}
+
+/// Maps `analysis.art` → `StageId::Analysis`, etc.
+fn stage_of_artifact_name(name: &str) -> Option<StageId> {
+    StageId::ALL.into_iter().find(|s| name == format!("{}.art", s.name()))
+}
+
+/// What [`ArtifactStore::scrub`] found (and, unless `dry_run`, fixed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Job directories visited.
+    pub jobs_scanned: u64,
+    /// Artifacts that read and checksum-verified clean.
+    pub artifacts_ok: u64,
+    /// Corrupt artifacts moved to quarantine.
+    pub corrupt_quarantined: u64,
+    /// Orphaned `.art.tmp` files removed.
+    pub tmp_swept: u64,
+    /// Unknown-named entries (non-key directories, stray files) moved
+    /// to quarantine.
+    pub unknown_quarantined: u64,
+    /// Operations that failed with i/o errors (scrub continued).
+    pub io_errors: u64,
+    /// Whether this was a counting-only pass.
+    pub dry_run: bool,
+    /// One human-readable line per finding, in deterministic order.
+    pub details: Vec<String>,
+}
+
+impl ScrubReport {
+    /// `true` when nothing needed fixing and nothing failed.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_quarantined == 0
+            && self.tmp_swept == 0
+            && self.unknown_quarantined == 0
+            && self.io_errors == 0
+    }
+
+    /// Single-line JSON rendering (same hand-rolled style as job
+    /// reports — no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"jobs_scanned\":{},\"artifacts_ok\":{},\"corrupt_quarantined\":{},\
+             \"tmp_swept\":{},\"unknown_quarantined\":{},\"io_errors\":{},\
+             \"dry_run\":{},\"clean\":{},\"details\":[",
+            self.jobs_scanned,
+            self.artifacts_ok,
+            self.corrupt_quarantined,
+            self.tmp_swept,
+            self.unknown_quarantined,
+            self.io_errors,
+            self.dry_run,
+            self.is_clean(),
+        );
+        for (i, d) in self.details.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", d.replace('\\', "\\\\").replace('"', "\\\""));
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -646,6 +1032,7 @@ fn decode_event(r: &mut Reader<'_>) -> Result<Event, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("rock-artifact-{name}-{}", std::process::id()));
@@ -813,6 +1200,33 @@ mod tests {
         assert!(err.to_string().contains("corrupt artifact"));
         store.invalidate(key).unwrap();
         assert!(store.load(key, StageId::Analysis).unwrap().is_none());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn open_unswept_preserves_tmps_and_rejects_missing_roots() {
+        let root = tmpdir("unswept");
+        assert_eq!(
+            ArtifactStore::open_unswept(&root).unwrap_err().kind(),
+            std::io::ErrorKind::NotFound,
+            "scrubbing a mistyped path must not mkdir it"
+        );
+        let store = ArtifactStore::open(&root).unwrap();
+        let dir = store.job_dir(7);
+        fs::create_dir_all(&dir).unwrap();
+        let tmp = dir.join(".analysis.art.tmp");
+        fs::write(&tmp, b"half a commit").unwrap();
+        drop(store);
+        // The scrub entry point must leave the stale tmp in place so
+        // the scrub report (and a dry run in particular) owns it.
+        let store = ArtifactStore::open_unswept(&root).unwrap();
+        assert!(tmp.exists(), "open_unswept must not sweep");
+        let dry = store.scrub(true);
+        assert_eq!(dry.tmp_swept, 1);
+        assert!(tmp.exists(), "dry run must touch nothing");
+        let real = store.scrub(false);
+        assert_eq!(real.tmp_swept, 1);
+        assert!(!tmp.exists());
         let _ = fs::remove_dir_all(store.root());
     }
 

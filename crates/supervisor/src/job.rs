@@ -32,7 +32,7 @@ use rock_binary::{image_from_bytes, Addr};
 use rock_budget::{Deadline, RetryPolicy};
 use rock_core::{
     CorpusCache, CorpusStats, FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId,
-    StagedRun,
+    StagedRun, StoreStats,
 };
 use rock_graph::Forest;
 use rock_loader::LoadedBinary;
@@ -137,6 +137,58 @@ impl fmt::Display for JobOutcome {
     }
 }
 
+/// A typed storage incident recorded in a job report.
+///
+/// Incidents ride in the *report* only — never in pipeline diagnostics,
+/// which must stay bit-identical between warm and cold runs. The store
+/// has already retried transient faults internally by the time one of
+/// these is recorded, so every incident reflects a persistent fault and
+/// the graceful degradation that answered it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreIncident {
+    /// A checkpoint save failed persistently; the supervisor degraded
+    /// the job to recompute-without-checkpointing (later saves of this
+    /// job are skipped, the job itself runs to completion).
+    CheckpointLost {
+        /// The stage whose artifact could not be written.
+        stage: StageId,
+        /// The underlying store error.
+        detail: String,
+    },
+    /// The resume prefix could not be read (persistent i/o fault); the
+    /// job recomputed from scratch.
+    ResumeUnavailable {
+        /// The underlying store error.
+        detail: String,
+    },
+    /// Resume found corrupt artifacts; the job slot was wiped and the
+    /// job recomputed from scratch.
+    ResumeCorrupt {
+        /// What failed validation.
+        detail: String,
+    },
+}
+
+impl StoreIncident {
+    /// Stable lowercase kind name (reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreIncident::CheckpointLost { .. } => "checkpoint_lost",
+            StoreIncident::ResumeUnavailable { .. } => "resume_unavailable",
+            StoreIncident::ResumeCorrupt { .. } => "resume_corrupt",
+        }
+    }
+
+    /// The underlying error text.
+    pub fn detail(&self) -> &str {
+        match self {
+            StoreIncident::CheckpointLost { detail, .. }
+            | StoreIncident::ResumeUnavailable { detail }
+            | StoreIncident::ResumeCorrupt { detail } => detail,
+        }
+    }
+}
+
 /// One ladder attempt, as recorded in the report.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AttemptRecord {
@@ -183,6 +235,13 @@ pub struct JobReport {
     /// This job's corpus-cache traffic (hit/miss/bytes deltas across all
     /// three tiers), when the supervisor has a [`CorpusCache`] attached.
     pub corpus: Option<CorpusStats>,
+    /// This job's artifact-store fault-path traffic (sweep / retry /
+    /// failure / corruption deltas), present only when something fired —
+    /// healthy runs on a healthy disk omit it. Deltas against a store
+    /// shared by concurrent jobs (serve) are approximate, like `corpus`.
+    pub store: Option<StoreStats>,
+    /// Typed storage incidents (persistent faults) this job absorbed.
+    pub store_incidents: Vec<StoreIncident>,
 }
 
 impl JobReport {
@@ -259,6 +318,35 @@ impl JobReport {
                 c.corrupt_dropped,
                 c.evicted,
             ));
+        }
+        if let Some(st) = &self.store {
+            s.push_str(&format!(
+                "\"store\":{{\"tmp_swept\":{},\"write_retries\":{},\"write_failures\":{},\
+                 \"read_retries\":{},\"read_failures\":{},\"corrupt_detected\":{},\
+                 \"checkpoints_skipped\":{},\"retry_backoff_ms\":{}}},",
+                st.tmp_swept,
+                st.write_retries,
+                st.write_failures,
+                st.read_retries,
+                st.read_failures,
+                st.corrupt_detected,
+                st.checkpoints_skipped,
+                st.retry_backoff_ms,
+            ));
+        }
+        if !self.store_incidents.is_empty() {
+            s.push_str("\"store_incidents\":[");
+            for (i, inc) in self.store_incidents.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{{\"kind\":\"{}\",", inc.kind()));
+                if let StoreIncident::CheckpointLost { stage, .. } = inc {
+                    s.push_str(&format!("\"stage\":\"{stage}\","));
+                }
+                s.push_str(&format!("\"detail\":\"{}\"}}", json_escape(inc.detail())));
+            }
+            s.push_str("],");
         }
         s.push_str(&format!("\"elapsed_ms\":{}", self.elapsed_ms));
         s.push('}');
@@ -350,6 +438,10 @@ pub struct Supervisor {
 struct SupervisorCounters {
     checkpoints_saved: u64,
     backoff_ms_total: u64,
+    checkpoints_skipped: u64,
+    /// A persistent save fault degraded this job to
+    /// recompute-without-checkpointing: later saves are skipped.
+    checkpointing_disabled: bool,
 }
 
 enum AttemptOutcome {
@@ -445,6 +537,7 @@ impl Supervisor {
         let _job_span = ctx.span(names::SUPERVISOR_JOB, key);
         let mut counters = SupervisorCounters::default();
         let corpus_stats0 = self.corpus.as_ref().map(|c| c.stats());
+        let store_stats0 = self.store.stats();
         let mut report = JobReport {
             name: name.to_string(),
             key,
@@ -459,6 +552,8 @@ impl Supervisor {
             elapsed_ms: 0,
             metrics: None,
             corpus: None,
+            store: None,
+            store_incidents: Vec::new(),
         };
         let image = match image_from_bytes(image_bytes) {
             Ok(image) => image,
@@ -604,6 +699,19 @@ impl Supervisor {
             report.corpus = Some(delta);
         }
 
+        // Same discipline for the store's fault-path counters, attached
+        // only when something actually fired so healthy reports stay
+        // unchanged byte-for-byte.
+        let mut store_delta = self.store.stats().since(&store_stats0);
+        store_delta.checkpoints_skipped = counters.checkpoints_skipped;
+        if store_delta.has_activity() || !report.store_incidents.is_empty() {
+            if let JobOutput::Full(recon) = &mut output {
+                let mut scratch = MetricsRegistry::new();
+                recon.timings.absorb_store_stats(&store_delta, &mut scratch);
+            }
+            report.store = Some(store_delta);
+        }
+
         if self.options.collect_metrics {
             let mut metrics = match &output {
                 JobOutput::Full(recon) => recon.metrics.clone(),
@@ -616,6 +724,10 @@ impl Supervisor {
             if let Some(delta) = &report.corpus {
                 let mut t = rock_core::StageTimings::default();
                 t.absorb_corpus_stats(delta, &mut metrics);
+            }
+            if let Some(delta) = &report.store {
+                let mut t = rock_core::StageTimings::default();
+                t.absorb_store_stats(delta, &mut metrics);
             }
             report.metrics = Some(metrics.to_json());
         }
@@ -677,6 +789,9 @@ impl Supervisor {
         let mut restored: Vec<StageId> = Vec::new();
         let mut resume_corrupt = false;
         let mut checkpoints_saved = 0u64;
+        let mut checkpoints_skipped = 0u64;
+        let mut checkpointing_disabled = counters.checkpointing_disabled;
+        let mut incidents: Vec<StoreIncident> = Vec::new();
         let caught = catch_unwind(AssertUnwindSafe(|| {
             if self.fault.as_ref().is_some_and(|p| p.should_fail_attempt(attempt)) {
                 panic!("injected attempt fault");
@@ -684,7 +799,13 @@ impl Supervisor {
             let mut run = rock.begin(loaded);
             if self.options.resume {
                 let restore_span = ctx.span(names::SUPERVISOR_RESTORE, key);
-                self.restore_prefix(&mut run, key, &mut restored, &mut resume_corrupt);
+                self.restore_prefix(
+                    &mut run,
+                    key,
+                    &mut restored,
+                    &mut resume_corrupt,
+                    &mut incidents,
+                );
                 drop(restore_span);
             }
             loop {
@@ -699,8 +820,24 @@ impl Supervisor {
                             let cp_span = ctx.span(names::SUPERVISOR_CHECKPOINT, stage as u64);
                             // A failed save must not fail the job: the
                             // stage already ran; only resume is lost.
-                            let _ = self.store.save(key, &cp);
-                            checkpoints_saved += 1;
+                            // The store retried transient faults, so an
+                            // error here is persistent — degrade to
+                            // recompute-without-checkpointing instead
+                            // of hammering a broken disk every stage.
+                            if checkpointing_disabled {
+                                checkpoints_skipped += 1;
+                            } else {
+                                match self.store.save(key, &cp) {
+                                    Ok(()) => checkpoints_saved += 1,
+                                    Err(e) => {
+                                        checkpointing_disabled = true;
+                                        incidents.push(StoreIncident::CheckpointLost {
+                                            stage,
+                                            detail: e.to_string(),
+                                        });
+                                    }
+                                }
+                            }
                             drop(cp_span);
                         }
                         if self.fault.as_ref().is_some_and(|p| p.should_interrupt_after(stage)) {
@@ -713,7 +850,10 @@ impl Supervisor {
         }));
         report.restored.extend(restored);
         report.resume_corrupt |= resume_corrupt;
+        report.store_incidents.extend(incidents);
         counters.checkpoints_saved += checkpoints_saved;
+        counters.checkpoints_skipped += checkpoints_skipped;
+        counters.checkpointing_disabled = checkpointing_disabled;
         match caught {
             Ok(outcome) => outcome,
             Err(payload) => AttemptOutcome::Panicked(panic_message(&payload)),
@@ -729,15 +869,22 @@ impl Supervisor {
         key: u64,
         restored: &mut Vec<StageId>,
         resume_corrupt: &mut bool,
+        incidents: &mut Vec<StoreIncident>,
     ) {
         let prefix = match self.store.completed_prefix(key) {
             Ok(prefix) => prefix,
-            Err(StoreError::Corrupt { .. }) => {
+            Err(e @ StoreError::Corrupt { .. }) => {
                 *resume_corrupt = true;
+                incidents.push(StoreIncident::ResumeCorrupt { detail: e.to_string() });
                 let _ = self.store.invalidate(key);
                 return;
             }
-            Err(StoreError::Io(_)) => return,
+            Err(e @ StoreError::Io(_)) => {
+                // Persistent read fault (transients were retried in the
+                // store): recompute from scratch, keep the job alive.
+                incidents.push(StoreIncident::ResumeUnavailable { detail: e.to_string() });
+                return;
+            }
         };
         for cp in prefix {
             let stage = cp.payload.stage();
@@ -750,10 +897,13 @@ impl Supervisor {
             };
             match ok {
                 Ok(()) => restored.push(stage),
-                Err(_) => {
+                Err(e) => {
                     // completed_prefix is ordered, so this means the
                     // store and the run disagree — treat as corruption.
                     *resume_corrupt = true;
+                    incidents.push(StoreIncident::ResumeCorrupt {
+                        detail: format!("restore of {stage} rejected: {e:?}"),
+                    });
                     let _ = self.store.invalidate(key);
                     return;
                 }
@@ -823,6 +973,8 @@ mod tests {
             elapsed_ms: 0,
             metrics: None,
             corpus: None,
+            store: None,
+            store_incidents: Vec::new(),
         };
         assert_eq!(report.exit_code(), exit::OK);
         report.resume_corrupt = true;
@@ -851,6 +1003,8 @@ mod tests {
             elapsed_ms: 7,
             metrics: None,
             corpus: None,
+            store: None,
+            store_incidents: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.contains("\"name\":\"a\\\"b\\\\c\\nd\""));
@@ -861,6 +1015,42 @@ mod tests {
         assert!(json.contains("\"restored\":[\"analysis\",\"training\"]"));
         assert!(json.contains("\"backoff_ms\":0"));
         assert!(!json.contains('\n'), "single-line record");
+    }
+
+    #[test]
+    fn store_sections_render_only_when_present() {
+        let mut report = JobReport {
+            name: "j".into(),
+            key: 1,
+            outcome: JobOutcome::Ok,
+            attempts: Vec::new(),
+            restored: Vec::new(),
+            resume_corrupt: false,
+            errors: 0,
+            warnings: 0,
+            types: 0,
+            roots: 0,
+            elapsed_ms: 0,
+            metrics: None,
+            corpus: None,
+            store: None,
+            store_incidents: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(!json.contains("\"store\""), "healthy reports stay unchanged: {json}");
+        report.store = Some(StoreStats { write_retries: 2, ..Default::default() });
+        report.store_incidents.push(StoreIncident::CheckpointLost {
+            stage: StageId::Training,
+            detail: "disk \"full\"".into(),
+        });
+        report.store_incidents.push(StoreIncident::ResumeUnavailable { detail: "eio".into() });
+        let json = report.to_json();
+        assert!(json.contains("\"store\":{\"tmp_swept\":0,\"write_retries\":2"), "{json}");
+        assert!(
+            json.contains("{\"kind\":\"checkpoint_lost\",\"stage\":\"training\",\"detail\":\"disk \\\"full\\\"\"}"),
+            "{json}"
+        );
+        assert!(json.contains("{\"kind\":\"resume_unavailable\",\"detail\":\"eio\"}"), "{json}");
     }
 
     #[test]

@@ -20,21 +20,34 @@
 //!   and typed exit codes ([`job::exit`]).
 //! * [`wire`] — the hand-rolled, fully bounds-checked binary codec the
 //!   artifacts are framed in.
+//! * [`vfs`] — the narrow storage trait the store runs on ([`StdVfs`]
+//!   in production), with the durability (fsync) commit mode.
+//! * [`chaos`] — seeded, clock-free storage fault injection
+//!   ([`FaultyVfs`] driven by a [`ChaosPlan`]): torn writes, ENOSPC,
+//!   transient EIO, rename failures, partial reads, crash-shaped stale
+//!   tmp files.
 //!
 //! The CLI's `rock batch` subcommand is a thin shell around
-//! [`job::Supervisor::run_batch`].
+//! [`job::Supervisor::run_batch`]; `rock store scrub` is a thin shell
+//! around [`artifact::ArtifactStore::scrub`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod chaos;
 pub mod job;
 pub mod ladder;
+pub mod vfs;
 pub mod wire;
 
-pub use artifact::{content_key, ArtifactStore, Checkpoint, StagePayload, StoreError};
+pub use artifact::{
+    content_key, ArtifactStore, Checkpoint, ScrubReport, StagePayload, StoreError, QUARANTINE_DIR,
+};
+pub use chaos::{ChaosDirective, ChaosFlavor, ChaosOp, ChaosPlan, FaultyVfs};
 pub use job::{
-    exit, AttemptRecord, BatchResult, JobOutcome, JobOutput, JobReport, JobResult, Supervisor,
-    SupervisorOptions,
+    exit, AttemptRecord, BatchResult, JobOutcome, JobOutput, JobReport, JobResult, StoreIncident,
+    Supervisor, SupervisorOptions,
 };
 pub use ladder::{structural_only_hierarchy, Rung};
+pub use vfs::{is_transient, StdVfs, Vfs};

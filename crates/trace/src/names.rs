@@ -149,6 +149,23 @@ pub const CORPUS_CORRUPT_DROPPED: &str = "corpus.corrupt_dropped";
 /// Corpus entries displaced by capacity eviction (bounded caches).
 pub const CORPUS_EVICTED: &str = "corpus.evicted";
 
+/// Orphaned `.art.tmp` files the artifact store swept.
+pub const STORE_TMP_SWEPT: &str = "store.tmp_swept";
+/// Checkpoint saves re-attempted after a transient i/o fault.
+pub const STORE_WRITE_RETRIES: &str = "store.write_retries";
+/// Checkpoint saves abandoned after retries (resume lost, job lives).
+pub const STORE_WRITE_FAILURES: &str = "store.write_failures";
+/// Artifact loads re-attempted after a transient i/o fault.
+pub const STORE_READ_RETRIES: &str = "store.read_retries";
+/// Artifact loads abandoned after retries (the job recomputes).
+pub const STORE_READ_FAILURES: &str = "store.read_failures";
+/// Artifacts whose checksum or frame failed verification.
+pub const STORE_CORRUPT_DETECTED: &str = "store.corrupt_detected";
+/// Saves skipped after degrading to recompute-without-checkpointing.
+pub const STORE_CHECKPOINTS_SKIPPED: &str = "store.checkpoints_skipped";
+/// Backoff milliseconds scheduled for store retries.
+pub const STORE_RETRY_BACKOFF_MS: &str = "store.retry_backoff_ms";
+
 /// Attempts the supervised job made (1 = clean first try).
 pub const SUPERVISOR_ATTEMPTS: &str = "supervisor.attempts";
 /// Stage checkpoints the job saved.

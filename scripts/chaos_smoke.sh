@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI smoke for the self-healing artifact store, end to end through the
+# CLI. A durable batch populates checkpoints (fsync at every commit
+# point); we then damage the store three ways — truncate one artifact,
+# strand a crash-style .art.tmp, plant a foreign file in a job dir —
+# and `rock store scrub` must classify all three: the dry run reports
+# exact per-class counts while touching nothing, the real scrub
+# quarantines/sweeps and converges to clean, and a `--resume` rerun
+# restores every healthy stage while recomputing only the quarantined
+# one, exiting 0 throughout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROCK=${ROCK:-target/release/rock}
+[ -x "$ROCK" ] || { echo "build first: cargo build --release ($ROCK missing)"; exit 1; }
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+STORE="$WORK/store"
+
+"$ROCK" gen streams "$WORK/streams.rkb"
+
+echo "== durable cold batch: every stage computed and fsync-committed =="
+"$ROCK" batch "$WORK/streams.rkb" --store "$STORE" --resume --durable --timings \
+  | tee "$WORK/cold.log" >/dev/null
+grep -q '0 stages restored' "$WORK/cold.log"
+
+echo "== warm rerun restores all four stages =="
+"$ROCK" batch "$WORK/streams.rkb" --store "$STORE" --resume --timings \
+  | tee "$WORK/warm.log" >/dev/null
+grep -q '4 stages restored' "$WORK/warm.log"
+
+echo "== damage: truncate lifting.art, strand a tmp, plant an alien file =="
+LIFT=$(find "$STORE" -name lifting.art)
+[ -n "$LIFT" ] || { echo "no lifting.art in $STORE"; exit 1; }
+JOBDIR=$(dirname "$LIFT")
+truncate -s 21 "$LIFT"
+printf 'half a commit' > "$JOBDIR/.analysis.art.tmp"
+printf 'not ours' > "$JOBDIR/alien.bin"
+
+echo "== dry run reports exact counts and touches nothing =="
+"$ROCK" store scrub --store "$STORE" --dry-run | tee "$WORK/dry.log"
+grep -q '1 corrupt quarantined, 1 tmp swept, 1 unknown quarantined, 0 io errors' "$WORK/dry.log"
+[ -f "$LIFT" ] && [ -f "$JOBDIR/.analysis.art.tmp" ] && [ -f "$JOBDIR/alien.bin" ] \
+  || { echo "dry run modified the store"; exit 1; }
+
+echo "== real scrub quarantines and sweeps, then converges clean =="
+"$ROCK" store scrub --store "$STORE" | tee "$WORK/scrub.log"
+grep -q '1 corrupt quarantined, 1 tmp swept, 1 unknown quarantined, 0 io errors' "$WORK/scrub.log"
+[ ! -f "$LIFT" ] || { echo "corrupt artifact still in place"; exit 1; }
+[ ! -f "$JOBDIR/.analysis.art.tmp" ] || { echo "stale tmp survived scrub"; exit 1; }
+[ -d "$STORE/.quarantine" ] || { echo "no quarantine directory"; exit 1; }
+"$ROCK" store scrub --store "$STORE" | grep -q 'clean'
+
+echo "== resume recomputes only the quarantined stage =="
+"$ROCK" batch "$WORK/streams.rkb" --store "$STORE" --resume --timings \
+  | tee "$WORK/resume.log" >/dev/null
+grep -q '3 stages restored' "$WORK/resume.log"
+
+echo "== and the next rerun is fully warm again =="
+"$ROCK" batch "$WORK/streams.rkb" --store "$STORE" --resume --timings \
+  | tee "$WORK/rewarm.log" >/dev/null
+grep -q '4 stages restored' "$WORK/rewarm.log"
+
+echo "chaos smoke: all assertions held"

@@ -1,0 +1,460 @@
+//! Storage-chaos soak: the artifact store and its supervisors under a
+//! seeded, deterministic [`FaultyVfs`] — torn writes, ENOSPC, transient
+//! EIO, rename failures, partial reads, crash-shaped stale tmp files.
+//! The invariants:
+//!
+//! 1. **Survival** — no injected storage fault panics a job or the
+//!    serve daemon; every job ends in a typed exit code.
+//! 2. **Self-healing** — `ArtifactStore::scrub` quarantines whatever
+//!    the chaos left corrupt, and a fault-free rerun over the scrubbed
+//!    store is bit-identical (hierarchy, raw distance bits, metrics
+//!    doc bytes) to a run that never saw a fault — at `Serial` and
+//!    `Threads(8)` alike.
+//! 3. **Classification** — scrub counts each damage class (corrupt
+//!    frame, orphaned tmp, unknown entry) exactly, and a resumed batch
+//!    recomputes only what was quarantined.
+//!
+//! Seeds come from `ROCK_CHAOS_SEEDS` (`"a..b"` range or a comma list;
+//! CI sweeps `0..16`), defaulting to a small smoke set.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rock::binary::image_to_bytes;
+use rock::core::{suite, Parallelism, Reconstruction, RockConfig, StageId};
+use rock::serve::{result_fp, ServeClient, ServeConfig, Server};
+use rock::supervisor::{
+    exit, ArtifactStore, ChaosPlan, FaultyVfs, JobOutcome, JobOutput, StdVfs, Supervisor,
+    SupervisorOptions, Vfs, QUARANTINE_DIR,
+};
+
+/// A scratch artifact-store root, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("rock-store-chaos-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::open(&self.0).unwrap()
+    }
+
+    fn chaos_store(&self, seed: u64, rate_per_mille: u64) -> ArtifactStore {
+        let vfs: Arc<dyn Vfs> =
+            Arc::new(FaultyVfs::new(StdVfs::arc(), ChaosPlan::seeded(seed, rate_per_mille)));
+        ArtifactStore::open_with(&self.0, vfs, false)
+            .expect("chaos open survives (create_dir retries or store root pre-exists)")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Seeds to sweep: `ROCK_CHAOS_SEEDS="0..16"` or `"1,5,9"`, else `0..4`.
+fn seeds() -> Vec<u64> {
+    let Ok(spec) = std::env::var("ROCK_CHAOS_SEEDS") else {
+        return (0..4).collect();
+    };
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo: u64 = lo.trim().parse().expect("bad ROCK_CHAOS_SEEDS lower bound");
+        let hi: u64 = hi.trim().parse().expect("bad ROCK_CHAOS_SEEDS upper bound");
+        (lo..hi).collect()
+    } else {
+        spec.split(',').map(|s| s.trim().parse().expect("bad ROCK_CHAOS_SEEDS entry")).collect()
+    }
+}
+
+fn image_bytes() -> Vec<u8> {
+    let bench = suite::stress_program(2, 2, 2);
+    let compiled = bench.compile().expect("compiles");
+    image_to_bytes(&compiled.stripped_image())
+}
+
+fn config(par: Parallelism) -> RockConfig {
+    RockConfig::paper().with_parallelism(par)
+}
+
+fn options(resume: bool) -> SupervisorOptions {
+    SupervisorOptions { resume, ..SupervisorOptions::default() }
+}
+
+fn full(output: JobOutput) -> Reconstruction {
+    match output {
+        JobOutput::Full(recon) => *recon,
+        other => panic!("expected a full reconstruction, got {other:?}"),
+    }
+}
+
+/// Bit-level equality: hierarchy, raw distance bits, pins, coverage.
+fn assert_bit_identical(a: &Reconstruction, b: &Reconstruction, what: &str) {
+    assert_eq!(a.hierarchy, b.hierarchy, "{what}: hierarchy diverged");
+    assert_eq!(a.distances.len(), b.distances.len(), "{what}: distance count diverged");
+    for (key, d) in &a.distances {
+        let other = b.distances.get(key).unwrap_or_else(|| panic!("{what}: missing edge {key:?}"));
+        assert_eq!(d.to_bits(), other.to_bits(), "{what}: distance bits for {key:?}");
+    }
+    assert_eq!(a.structural.pinned(), b.structural.pinned(), "{what}: pins diverged");
+    assert_eq!(a.coverage, b.coverage, "{what}: coverage diverged");
+}
+
+/// Metrics-doc byte equality. Only meaningful between runs with the
+/// same restore profile: a restored stage re-derives its headline
+/// metrics from the artifact but not every incidental counter, so cold
+/// and warm docs differ by design — warm is compared against warm.
+fn assert_metrics_identical(a: &Reconstruction, b: &Reconstruction, what: &str) {
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "{what}: metrics doc diverged byte-for-byte"
+    );
+}
+
+const TYPED_CODES: [u8; 6] = [
+    exit::OK,
+    exit::INTERRUPTED,
+    exit::DEGRADED,
+    exit::FAILED,
+    exit::DEADLINE,
+    exit::RESUME_CORRUPT,
+];
+
+// ---------------------------------------------------------------------
+// The batch soak: chaos runs, scrub, fault-free rerun bit-identity
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_sweep_survives_scrubs_and_reruns_bit_identical() {
+    let bytes = image_bytes();
+    // The never-faulted reference, one per parallelism (metrics docs
+    // legitimately record thread counts): a cold run followed by a
+    // warm (full-restore) run; the warm reconstruction is what a
+    // repaired store's rerun must reproduce byte-for-byte.
+    let warm_reference = |par: Parallelism| -> Reconstruction {
+        let reference = Scratch::new(&format!("reference-{par:?}"));
+        let sup = Supervisor::new(config(par), reference.store(), options(true));
+        assert_eq!(sup.run_job("job", &bytes).report.outcome, JobOutcome::Ok);
+        let sup = Supervisor::new(config(par), reference.store(), options(true));
+        let result = sup.run_job("job", &bytes);
+        assert_eq!(result.report.restored, StageId::ALL.to_vec(), "reference warm-restores all");
+        full(result.output)
+    };
+
+    for par in [Parallelism::Serial, Parallelism::Threads(8)] {
+        let warm_reference = warm_reference(par);
+        for seed in seeds() {
+            let scratch = Scratch::new(&format!("sweep-{seed}-{par:?}"));
+            // Three supervised runs under the same chaos plan: the
+            // first cold, the rest resuming whatever survived. Faults
+            // land on different op sequence numbers each run, so
+            // damage accumulates in different places.
+            for round in 0..3 {
+                let store = scratch.chaos_store(seed, 120);
+                let sup = Supervisor::new(config(par), store, options(true));
+                let result = sup.run_job("job", &bytes);
+                let code = result.report.exit_code();
+                assert!(
+                    TYPED_CODES.contains(&code),
+                    "seed {seed} {par:?} round {round}: untyped exit code {code}"
+                );
+                // Storage faults degrade checkpointing, never the
+                // reconstruction itself: a completed run still answers.
+                assert_eq!(
+                    result.report.outcome,
+                    JobOutcome::Ok,
+                    "seed {seed} {par:?} round {round}"
+                );
+                assert_bit_identical(
+                    &full(result.output),
+                    &warm_reference,
+                    &format!("seed {seed} {par:?} round {round} live output"),
+                );
+            }
+
+            // Heal: scrub on the real filesystem, then prove the store
+            // is coherent — a fault-free warm rerun must restore every
+            // stage it finds and recompute the rest bit-identically.
+            let report = scratch.store().scrub(false);
+            assert_eq!(report.io_errors, 0, "seed {seed} {par:?}: scrub must finish clean");
+            let rescrub = scratch.store().scrub(false);
+            assert!(
+                rescrub.is_clean(),
+                "seed {seed} {par:?}: scrub must converge, got {:?}",
+                rescrub.details
+            );
+            let sup = Supervisor::new(config(par), scratch.store(), options(true));
+            let result = sup.run_job("job", &bytes);
+            assert_eq!(result.report.outcome, JobOutcome::Ok);
+            assert!(!result.report.resume_corrupt, "scrub left corrupt artifacts behind");
+            assert_bit_identical(
+                &full(result.output),
+                &warm_reference,
+                &format!("seed {seed} {par:?} post-scrub rerun"),
+            );
+            // That rerun re-checkpointed whatever scrub quarantined,
+            // so one more fault-free run is a full restore — now the
+            // metrics doc must match the never-faulted warm doc
+            // byte-for-byte (same restore profile on both sides).
+            let sup = Supervisor::new(config(par), scratch.store(), options(true));
+            let result = sup.run_job("job", &bytes);
+            assert_eq!(result.report.restored, StageId::ALL.to_vec());
+            let recon = full(result.output);
+            let what = format!("seed {seed} {par:?} healed warm rerun");
+            assert_bit_identical(&recon, &warm_reference, &what);
+            assert_metrics_identical(&recon, &warm_reference, &what);
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_report_store_activity_with_typed_incidents() {
+    // At a high fault rate some checkpoint saves must fail; the report
+    // carries the delta and typed incidents, never a panic. Across
+    // seeds, at least one run must record store activity (rate 350
+    // over dozens of ops makes a totally quiet sweep implausible).
+    let bytes = image_bytes();
+    let mut any_activity = false;
+    for seed in seeds() {
+        let scratch = Scratch::new(&format!("incidents-{seed}"));
+        let store = scratch.chaos_store(seed, 350);
+        let sup = Supervisor::new(config(Parallelism::Serial), store, options(true));
+        let result = sup.run_job("job", &bytes);
+        assert!(TYPED_CODES.contains(&result.report.exit_code()));
+        for incident in &result.report.store_incidents {
+            assert!(
+                ["checkpoint_lost", "resume_unavailable", "resume_corrupt"]
+                    .contains(&incident.kind()),
+                "unknown incident kind {:?}",
+                incident.kind()
+            );
+            assert!(!incident.detail().is_empty());
+        }
+        if let Some(stats) = &result.report.store {
+            any_activity |= stats.has_activity();
+            let json = result.report.to_json();
+            assert!(json.contains("\"store\":{"), "store delta must render: {json}");
+        }
+    }
+    assert!(any_activity, "rate-350 chaos sweep never touched the store counters");
+}
+
+// ---------------------------------------------------------------------
+// The serve soak: chaos + drain/restart cycles, then a scrubbed rerun
+// ---------------------------------------------------------------------
+
+#[test]
+fn serve_chaos_drain_restart_then_scrubbed_rerun_matches_fault_free_fp() {
+    let image = image_bytes();
+    // Fault-free daemon: the reference fingerprint.
+    let reference_fp = {
+        let scratch = Scratch::new("serve-ref");
+        let mut cfg = ServeConfig::new(&scratch.0);
+        cfg.poll_ms = 2;
+        cfg.workers = 2;
+        let server = Server::bind(cfg, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let mut c = ServeClient::connect(addr, "ref").unwrap();
+        let job = match c.submit("job", 0, &image).unwrap() {
+            rock::serve::wire::Response::Accepted { job } => job,
+            other => panic!("expected Accepted, got {other:?}"),
+        };
+        let state = c.wait(job, 10, 120_000).unwrap();
+        let fp = match state {
+            rock::serve::wire::JobState::Done { exit_code, result_fp, .. } => {
+                assert_eq!(exit_code, exit::OK);
+                result_fp
+            }
+            other => panic!("expected Done, got {other:?}"),
+        };
+        handle.drain();
+        join.join().unwrap().unwrap();
+        fp
+    };
+    assert_ne!(reference_fp, result_fp(&JobOutput::None), "reference produced a real result");
+
+    for seed in seeds() {
+        let scratch = Scratch::new(&format!("serve-chaos-{seed}"));
+        // Two drain/restart cycles over the same chaotic store: every
+        // admitted job must reach a typed terminal state each cycle.
+        for cycle in 0..2u32 {
+            let vfs: Arc<dyn Vfs> = Arc::new(FaultyVfs::new(
+                StdVfs::arc(),
+                ChaosPlan::seeded(seed ^ u64::from(cycle), 120),
+            ));
+            let mut cfg = ServeConfig::new(&scratch.0);
+            cfg.poll_ms = 2;
+            cfg.workers = 2;
+            cfg.vfs = Some(vfs);
+            let server = Server::bind(cfg, "127.0.0.1:0").expect("bind survives chaos");
+            let addr = server.local_addr().unwrap();
+            let handle = server.handle();
+            let join = std::thread::spawn(move || server.run());
+            let mut c = ServeClient::connect_with_retry(addr, "chaos", 3).unwrap();
+            let mut jobs = Vec::new();
+            for j in 0..3 {
+                if let rock::serve::wire::Response::Accepted { job } =
+                    c.submit(&format!("job-{j}"), 0, &image).unwrap()
+                {
+                    jobs.push(job);
+                }
+            }
+            for job in jobs {
+                match c.wait(job, 10, 120_000).unwrap() {
+                    rock::serve::wire::JobState::Done { exit_code, .. } => {
+                        assert!(
+                            TYPED_CODES.contains(&exit_code),
+                            "seed {seed} cycle {cycle}: untyped exit {exit_code}"
+                        );
+                    }
+                    other => panic!("seed {seed} cycle {cycle}: non-terminal {other:?}"),
+                }
+            }
+            handle.drain();
+            let summary = join.join().unwrap().expect("daemon survives storage chaos");
+            assert_eq!(summary.panics_contained, 0, "storage faults must not panic jobs");
+        }
+
+        // Heal the store, restart fault-free, and demand the reference
+        // result back — the chaos must leave no observable residue.
+        let report = scratch.store().scrub(false);
+        assert_eq!(report.io_errors, 0);
+        let mut cfg = ServeConfig::new(&scratch.0);
+        cfg.poll_ms = 2;
+        let server = Server::bind(cfg, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let mut c = ServeClient::connect(addr, "verify").unwrap();
+        let job = match c.submit("job-0", 0, &image).unwrap() {
+            rock::serve::wire::Response::Accepted { job } => job,
+            other => panic!("expected Accepted, got {other:?}"),
+        };
+        match c.wait(job, 10, 120_000).unwrap() {
+            rock::serve::wire::JobState::Done { exit_code, result_fp: fp, .. } => {
+                assert_eq!(exit_code, exit::OK, "seed {seed}: post-scrub job not clean");
+                assert_eq!(fp, reference_fp, "seed {seed}: post-scrub fp diverged");
+            }
+            other => panic!("seed {seed}: non-terminal {other:?}"),
+        }
+        handle.drain();
+        join.join().unwrap().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scrub classification: one of each damage class, counted exactly
+// ---------------------------------------------------------------------
+
+#[test]
+fn scrub_classifies_damage_and_resume_recomputes_only_the_quarantined_stage() {
+    let bytes = image_bytes();
+    let scratch = Scratch::new("classify");
+    let reference = {
+        let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true));
+        let result = sup.run_job("job", &bytes);
+        assert_eq!(result.report.outcome, JobOutcome::Ok);
+        full(result.output)
+    };
+    // One handle for the whole drill: re-opening would itself sweep
+    // tmp files (that behavior gets its own test below), stealing the
+    // scrub's count.
+    let store = scratch.store();
+    let key = rock::supervisor::content_key(&bytes, &config(Parallelism::Serial));
+    let job_dir = store.job_dir(key);
+
+    // Damage class 1: flip one payload byte of the *last* stage's
+    // artifact — checksum breaks, scrub must quarantine it.
+    let corrupt_path = job_dir.join("lifting.art");
+    let mut art = fs::read(&corrupt_path).unwrap();
+    let mid = art.len() / 2;
+    art[mid] ^= 0xFF;
+    fs::write(&corrupt_path, &art).unwrap();
+    // Damage class 2: an orphaned tmp file from a phantom crash.
+    fs::write(job_dir.join(".analysis.art.tmp"), b"half a frame").unwrap();
+    // Damage class 3: an unknown entry no artifact should be named as.
+    fs::write(job_dir.join("bogus.art"), b"who wrote this").unwrap();
+
+    // Dry run counts without touching anything.
+    let dry = store.scrub(true);
+    assert!(dry.dry_run);
+    assert_eq!(
+        (dry.corrupt_quarantined, dry.tmp_swept, dry.unknown_quarantined, dry.io_errors),
+        (1, 1, 1, 0),
+        "dry-run misclassified: {:?}",
+        dry.details
+    );
+    assert!(corrupt_path.exists(), "dry run must not move files");
+    assert!(job_dir.join(".analysis.art.tmp").exists(), "dry run must not sweep");
+
+    let report = store.scrub(false);
+    assert_eq!(report.jobs_scanned, 1);
+    assert_eq!(report.artifacts_ok, (StageId::ALL.len() - 1) as u64);
+    assert_eq!(
+        (
+            report.corrupt_quarantined,
+            report.tmp_swept,
+            report.unknown_quarantined,
+            report.io_errors
+        ),
+        (1, 1, 1, 0),
+        "scrub misclassified: {:?}",
+        report.details
+    );
+    assert!(!report.is_clean());
+    assert!(!corrupt_path.exists(), "corrupt artifact must be moved out of the job dir");
+    assert!(
+        scratch.0.join(QUARANTINE_DIR).is_dir(),
+        "quarantined files land under {QUARANTINE_DIR}"
+    );
+    assert!(store.scrub(false).is_clean(), "scrub converges");
+
+    // Resume over the healed store: exactly the three intact stages
+    // restore; only the quarantined lifting stage is recomputed — and
+    // the result is bit-identical to the never-damaged run.
+    let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true));
+    let result = sup.run_job("job", &bytes);
+    assert_eq!(result.report.outcome, JobOutcome::Ok);
+    assert_eq!(
+        result.report.restored,
+        vec![StageId::Analysis, StageId::Training, StageId::Distances],
+        "only the quarantined stage recomputes"
+    );
+    assert!(!result.report.resume_corrupt, "scrub already removed the damage");
+    assert_bit_identical(&full(result.output), &reference, "post-scrub resume");
+}
+
+// ---------------------------------------------------------------------
+// Stale-tmp leak: crashes strand tmps; open sweeps them
+// ---------------------------------------------------------------------
+
+#[test]
+fn open_sweeps_stale_tmp_files_and_counts_them() {
+    let bytes = image_bytes();
+    let scratch = Scratch::new("tmp-sweep");
+    {
+        let sup = Supervisor::new(config(Parallelism::Serial), scratch.store(), options(true));
+        assert_eq!(sup.run_job("job", &bytes).report.outcome, JobOutcome::Ok);
+    }
+    let key = rock::supervisor::content_key(&bytes, &config(Parallelism::Serial));
+    let dir = scratch.store().job_dir(key);
+    fs::write(dir.join(".training.art.tmp"), b"stranded").unwrap();
+    fs::write(dir.join(".distances.art.tmp"), b"stranded too").unwrap();
+
+    let store = scratch.store(); // open() sweeps
+    assert_eq!(store.stats().tmp_swept, 2, "open must sweep stale tmp files");
+    assert!(!dir.join(".training.art.tmp").exists());
+    // The real artifacts are untouched and still restore.
+    let sup = Supervisor::new(config(Parallelism::Serial), store, options(true));
+    let result = sup.run_job("job", &bytes);
+    assert_eq!(result.report.restored, StageId::ALL.to_vec());
+}
