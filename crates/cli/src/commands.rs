@@ -511,11 +511,13 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     let mut metrics = false;
     let mut fuel = None;
     let mut corpus_manifest: Option<String> = None;
+    let mut incremental = false;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--resume" => resume = true,
+            "--incremental" => incremental = true,
             "--strict" => strict = true,
             "--sleep-backoff" => sleep_backoff = true,
             "--durable" => durable = true,
@@ -581,7 +583,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     }
     if paths.is_empty() {
         return Err("usage: rock batch <file.rkb ...> [--jobs <list>] [--corpus <manifest>] \
-                    [--store <dir>] [--resume] [--durable] \
+                    [--store <dir>] [--resume] [--incremental] [--durable] \
                     [--max-retries n] [--deadline ms] [--max-errors n] [--metric kl|js|jsd] \
                     [--threads n] [--strict] [--report <path>] [--sleep-backoff] \
                     [--timings[=json]] [--trace <out.json>] \
@@ -604,9 +606,10 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     if let Some(budget) = fuel {
         config.analysis.fuel = budget;
     }
-    // Corpus mode canonicalizes call targets so SLM training inputs are
-    // position-independent and shareable across every binary in the fleet.
-    if corpus_manifest.is_some() {
+    // Corpus and incremental modes canonicalize call targets so SLM
+    // training inputs are position-independent and shareable across
+    // every binary in the fleet — and across edits of one binary.
+    if corpus_manifest.is_some() || incremental {
         config = config.with_canonical_calls();
     }
     let options = SupervisorOptions {
@@ -616,6 +619,7 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         sleep_backoff,
         max_failures,
         collect_metrics: metrics,
+        incremental,
     };
     // `--durable` trades latency for crash safety: each checkpoint is
     // fsynced (file + directory) before its commit rename counts.
@@ -627,7 +631,10 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     if let Some(t) = &tracer {
         supervisor = supervisor.with_tracer(t.clone());
     }
-    let corpus = corpus_manifest.as_ref().map(|_| Arc::new(rock_core::CorpusCache::new()));
+    // `--incremental` needs a corpus cache even without a manifest: it
+    // is the in-memory face of the persisted sub-artifact store.
+    let corpus =
+        (corpus_manifest.is_some() || incremental).then(|| Arc::new(rock_core::CorpusCache::new()));
     if let Some(c) = &corpus {
         supervisor = supervisor.with_corpus(c.clone());
     }
@@ -662,7 +669,8 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
     if let Some(corpus) = &corpus {
         let s = corpus.stats();
         println!(
-            "corpus: tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit ({:.1}% overall), \
+            "corpus: tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit, \
+             liftings {}/{} hit ({:.1}% overall), \
              {} bytes stored, {} corrupt entries dropped, {} evicted",
             s.tracelet_hits,
             s.tracelet_hits + s.tracelet_misses,
@@ -670,10 +678,18 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
             s.slm_hits + s.slm_misses,
             s.distance_hits,
             s.distance_hits + s.distance_misses,
+            s.lifting_hits,
+            s.lifting_hits + s.lifting_misses,
             s.hit_rate() * 100.0,
             s.bytes_stored,
             s.corrupt_dropped,
             s.evicted,
+        );
+    }
+    if let Some(incr) = &batch.incr {
+        println!(
+            "incr: {} preloaded, {} flushed, {} unchanged, {} corrupt skipped, {} io errors",
+            incr.preloaded, incr.flushed, incr.unchanged, incr.corrupt_skipped, incr.io_errors,
         );
     }
     if let Some(format) = timings {
@@ -685,16 +701,30 @@ fn cmd_batch(args: &[String]) -> Result<u8, Box<dyn Error>> {
         let restored: usize = batch.jobs.iter().map(|j| j.report.restored.len()).sum();
         let run = batch.jobs.len();
         let ms = elapsed.as_millis().max(1);
+        let incr_text = batch
+            .incr
+            .map(|i| format!(", incr {} preloaded / {} flushed", i.preloaded, i.flushed))
+            .unwrap_or_default();
+        let incr_json = batch
+            .incr
+            .map(|i| {
+                format!(
+                    ",\"incr_preloaded\":{},\"incr_flushed\":{},\"incr_unchanged\":{},\
+                     \"incr_corrupt_skipped\":{},\"incr_io_errors\":{}",
+                    i.preloaded, i.flushed, i.unchanged, i.corrupt_skipped, i.io_errors
+                )
+            })
+            .unwrap_or_default();
         match format {
             TimingsFormat::Text => println!(
                 "batch: {run} jobs in {ms} ms ({:.1} jobs/s), {restored} stages restored from \
-                 checkpoints, exit code {}",
+                 checkpoints{incr_text}, exit code {}",
                 run as f64 * 1000.0 / ms as f64,
                 batch.exit_code
             ),
             TimingsFormat::Json => println!(
                 "{{\"batch\":{{\"jobs\":{run},\"elapsed_ms\":{ms},\"stages_restored\":\
-                 {restored},\"exit_code\":{}}}}}",
+                 {restored}{incr_json},\"exit_code\":{}}}}}",
                 batch.exit_code
             ),
         }
@@ -746,6 +776,7 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
             }
             "--idle-timeout" => cfg.idle_timeout_ms = num("--idle-timeout", "milliseconds")?,
             "--durable" => cfg.durable = true,
+            "--incremental" => cfg.options.incremental = true,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs an output path")?.clone());
             }
@@ -759,7 +790,7 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
                      [--store <dir>] [--port-file <path>] [--queue n] [--workers n] \
                      [--quota-burst n] [--quota-refill n/s] [--max-inflight n] [--deadline ms] \
                      [--corpus-cap n] [--max-image-bytes n] [--send-budget n] \
-                     [--idle-timeout ms] [--durable] [--trace <out.json>] \
+                     [--idle-timeout ms] [--durable] [--incremental] [--trace <out.json>] \
                      [--trace-level off|stage|sampled|full]"
                 )
                 .into())
@@ -768,8 +799,10 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
     }
     let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
     cfg.tracer = tracer.clone();
+    let incremental = cfg.options.incremental;
     rock_serve::signals::install_termination_handler();
     let server = rock_serve::Server::bind(cfg, &addr)?;
+    let handle = server.handle();
     let bound = server.local_addr()?;
     if let Some(path) = &port_file {
         fs::write(path, bound.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -789,6 +822,13 @@ fn cmd_serve(args: &[String]) -> Result<u8, Box<dyn Error>> {
         summary.protocol_errors,
         summary.panics_contained,
     );
+    if incremental {
+        let incr = handle.incr_stats();
+        println!(
+            "incr: {} preloaded, {} flushed, {} unchanged, {} corrupt skipped, {} io errors",
+            incr.preloaded, incr.flushed, incr.unchanged, incr.corrupt_skipped, incr.io_errors,
+        );
+    }
     Ok(0)
 }
 

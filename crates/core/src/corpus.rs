@@ -20,6 +20,18 @@
 //! 3. **Distances** — `(metric, from-model key, to-model key)` → the
 //!    divergence bits, the corpus-wide layer behind each run's local
 //!    [`rock_slm::DistanceCache`].
+//! 4. **Liftings** — family lifting key ([`lift_key`]: lifting config +
+//!    the family's member model keys in family order + its weighted
+//!    edge list) → the selected parent forest and tie-variant count.
+//!
+//! The same four tiers double as the **incremental invalidation**
+//! layer: [`CorpusCache::export_entries`] serializes every entry in
+//! full (not just its verification image) and
+//! [`CorpusCache::import_entry`] restores one, so the supervisor can
+//! persist the cache across processes as per-function sub-artifacts
+//! (see `rock-supervisor`'s `incr` module). Because both paths share
+//! one keyspace, the in-memory corpus tier and the on-disk incremental
+//! tier never double-store: a preloaded entry *is* the corpus entry.
 //!
 //! Every tier stores a compact verification image (a content
 //! fingerprint of the entry) plus an FNV-1a checksum, verified on each
@@ -31,14 +43,13 @@
 //! returns bit-for-bit what the job would have computed itself; warm
 //! runs differ from cold runs only in wall clock.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rock_analysis::canon::{CachedCtors, CachedExec, ExecCache, Label};
-#[cfg(test)]
-use rock_analysis::CachedSub;
-use rock_analysis::{AnalysisConfig, Event};
+use rock_analysis::{AnalysisConfig, CachedSub, Event};
+use rock_binary::Addr;
 use rock_slm::{GlobalDistanceStore, Metric, ModelKey, Slm};
 
 use crate::faultplan::FaultPlan;
@@ -47,7 +58,8 @@ const SHARDS: usize = 16;
 
 /// Version byte mixed into every key: bump to invalidate all entries
 /// when any serialized layout or canonicalization rule changes.
-const CORPUS_FORMAT: u8 = 1;
+/// v2: dictionary-encoded execution entries (see [`encode_exec`]).
+const CORPUS_FORMAT: u8 = 2;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -203,6 +215,10 @@ pub struct CorpusStats {
     pub distance_hits: u64,
     /// Distance-tier lookups that computed live.
     pub distance_misses: u64,
+    /// Lifting-tier lookups answered from the cache.
+    pub lifting_hits: u64,
+    /// Lifting-tier lookups that lifted live.
+    pub lifting_misses: u64,
     /// Total serialized bytes currently stored across all tiers.
     pub bytes_stored: u64,
     /// Entries dropped because their checksum failed verification.
@@ -221,16 +237,22 @@ impl CorpusStats {
             slm_misses: self.slm_misses - earlier.slm_misses,
             distance_hits: self.distance_hits - earlier.distance_hits,
             distance_misses: self.distance_misses - earlier.distance_misses,
+            lifting_hits: self.lifting_hits - earlier.lifting_hits,
+            lifting_misses: self.lifting_misses - earlier.lifting_misses,
             bytes_stored: self.bytes_stored.saturating_sub(earlier.bytes_stored),
             corrupt_dropped: self.corrupt_dropped - earlier.corrupt_dropped,
             evicted: self.evicted - earlier.evicted,
         }
     }
 
-    /// Hit rate over all three tiers, in `[0, 1]` (1.0 when idle).
+    /// Hit rate over all four tiers, in `[0, 1]` (1.0 when idle).
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.tracelet_hits + self.slm_hits + self.distance_hits;
-        let total = hits + self.tracelet_misses + self.slm_misses + self.distance_misses;
+        let hits = self.tracelet_hits + self.slm_hits + self.distance_hits + self.lifting_hits;
+        let total = hits
+            + self.tracelet_misses
+            + self.slm_misses
+            + self.distance_misses
+            + self.lifting_misses;
         if total == 0 {
             1.0
         } else {
@@ -247,6 +269,8 @@ struct Counters {
     slm_misses: AtomicU64,
     distance_hits: AtomicU64,
     distance_misses: AtomicU64,
+    lifting_hits: AtomicU64,
+    lifting_misses: AtomicU64,
     bytes_stored: AtomicU64,
     corrupt_dropped: AtomicU64,
     evicted: AtomicU64,
@@ -265,6 +289,7 @@ pub struct CorpusCache {
     execs: [Mutex<Shard<u128, ExecSlot>>; SHARDS],
     models: [Mutex<Shard<ModelKey, ModelEntry>>; SHARDS],
     distances: [Mutex<Shard<DistanceKey, Entry>>; SHARDS],
+    liftings: [Mutex<Shard<u128, Entry>>; SHARDS],
     /// Max live entries per shard per tier; 0 = unbounded.
     shard_cap: usize,
     counters: Counters,
@@ -298,6 +323,8 @@ impl CorpusCache {
             slm_misses: c.slm_misses.load(Ordering::Relaxed),
             distance_hits: c.distance_hits.load(Ordering::Relaxed),
             distance_misses: c.distance_misses.load(Ordering::Relaxed),
+            lifting_hits: c.lifting_hits.load(Ordering::Relaxed),
+            lifting_misses: c.lifting_misses.load(Ordering::Relaxed),
             bytes_stored: c.bytes_stored.load(Ordering::Relaxed),
             corrupt_dropped: c.corrupt_dropped.load(Ordering::Relaxed),
             evicted: c.evicted.load(Ordering::Relaxed),
@@ -311,6 +338,51 @@ impl CorpusCache {
             self.models.iter().map(|m| m.lock().expect("corpus shard poisoned").map.len()).sum(),
             self.distances.iter().map(|m| m.lock().expect("corpus shard poisoned").map.len()).sum(),
         )
+    }
+
+    /// Entries stored in the lifting tier (kept out of [`lens`] so the
+    /// original three-tier shape stays stable for callers).
+    ///
+    /// [`lens`]: CorpusCache::lens
+    pub fn lifting_len(&self) -> usize {
+        self.liftings.iter().map(|m| m.lock().expect("corpus shard poisoned").map.len()).sum()
+    }
+
+    /// Looks up a cached family lifting: the selected parent forest
+    /// (indices into the family's member list) and the number of
+    /// co-optimal tie variants considered. Verified on hit like every
+    /// tier; a corrupt entry is dropped and the family re-lifts.
+    pub fn load_lifting(&self, key: u128) -> Option<(Vec<Option<usize>>, u64)> {
+        let shard = &self.liftings[shard_of(key)];
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        match s.map.get(&key) {
+            None => {
+                self.counters.lifting_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(entry) => match entry.verified().and_then(decode_lifting) {
+                Some(v) => {
+                    self.counters.lifting_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(v)
+                }
+                None => {
+                    let freed = entry.bytes.len() as u64;
+                    s.map.remove(&key);
+                    self.counters.bytes_stored.fetch_sub(freed, Ordering::Relaxed);
+                    self.counters.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.counters.lifting_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Stores a freshly computed family lifting under its [`lift_key`].
+    pub fn store_lifting(&self, key: u128, parent: &[Option<usize>], tie_variants: u64) {
+        let entry = Entry::new(encode_lifting(parent, tie_variants));
+        let shard = &self.liftings[shard_of(key)];
+        let mut s = shard.lock().expect("corpus shard poisoned");
+        s.insert_bounded(key, entry, self.shard_cap, &self.counters);
     }
 
     /// The execution-tier view for one analysis configuration: a
@@ -455,7 +527,179 @@ impl CorpusCache {
                 touched += 1;
             }
         }
+        for shard in &self.liftings {
+            for entry in shard.lock().expect("corpus shard poisoned").map.values_mut() {
+                plan.corrupt(&mut entry.bytes, mutations_per_entry);
+                touched += 1;
+            }
+        }
         touched
+    }
+
+    /// Serializes every verified entry in full (not just its
+    /// verification image) for persistence, in a deterministic order:
+    /// tier by tier, shard index ascending, key ascending within each
+    /// shard. Entries that fail their checksum are silently skipped —
+    /// they would be dropped on the next lookup anyway.
+    ///
+    /// Exec-tier payloads lead with a sub-tag byte (`0` = execution,
+    /// `1` = ctor recognition) because both kinds share the tier's
+    /// keyspace. Distance entries are re-keyed by
+    /// [`distance_disk_key`], which folds the full `(metric, from, to)`
+    /// triple into one `u128` — the triple itself travels in the
+    /// payload so an import can verify the key before trusting it.
+    pub fn export_entries(&self) -> Vec<(SubTier, u128, Vec<u8>)> {
+        let mut out = Vec::new();
+        for shard in &self.execs {
+            for (&key, slot) in &shard.lock().expect("corpus shard poisoned").map {
+                match slot {
+                    ExecSlot::Exec { entry, exec } => {
+                        if entry.verified().is_some() {
+                            let mut bytes = vec![EXEC_SUBTAG_EXEC];
+                            bytes.extend_from_slice(&encode_exec(exec));
+                            out.push((SubTier::Exec, key, bytes));
+                        }
+                    }
+                    ExecSlot::Ctors(entry) => {
+                        if let Some(body) = entry.verified() {
+                            let mut bytes = vec![EXEC_SUBTAG_CTORS];
+                            bytes.extend_from_slice(body);
+                            out.push((SubTier::Exec, key, bytes));
+                        }
+                    }
+                }
+            }
+        }
+        for shard in &self.models {
+            for (&key, me) in &shard.lock().expect("corpus shard poisoned").map {
+                if me.entry.verified().is_some() {
+                    out.push((SubTier::Model, key, encode_model(&me.model)));
+                }
+            }
+        }
+        for shard in &self.distances {
+            for (&(metric, from, to), entry) in &shard.lock().expect("corpus shard poisoned").map {
+                let Some(bits) = entry.verified().and_then(|b| {
+                    let raw: [u8; 8] = b.try_into().ok()?;
+                    Some(u64::from_le_bytes(raw))
+                }) else {
+                    continue;
+                };
+                let key = distance_disk_key(metric, from, to);
+                out.push((SubTier::Distance, key, encode_distance(metric, from, to, bits)));
+            }
+        }
+        for shard in &self.liftings {
+            for (&key, entry) in &shard.lock().expect("corpus shard poisoned").map {
+                if let Some(body) = entry.verified() {
+                    out.push((SubTier::Lifting, key, body.to_vec()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores one exported entry. Decoding is fully validating:
+    /// model payloads must reproduce their own pool content key,
+    /// distance payloads must reproduce the disk key they were filed
+    /// under — so a stale or misfiled artifact is rejected (`false`)
+    /// rather than poisoning the cache. Existing keys are left
+    /// untouched (first write wins, like every tier store). Imports
+    /// count neither hits nor misses; only pipeline lookups do.
+    pub fn import_entry(&self, tier: SubTier, key: u128, bytes: &[u8]) -> bool {
+        match tier {
+            SubTier::Exec => {
+                let Some((&subtag, body)) = bytes.split_first() else {
+                    return false;
+                };
+                match subtag {
+                    EXEC_SUBTAG_EXEC => match decode_exec(body) {
+                        Some(exec) => {
+                            self.exec_store(key, Arc::new(exec));
+                            true
+                        }
+                        None => false,
+                    },
+                    EXEC_SUBTAG_CTORS => match decode_ctors(body) {
+                        Some(ctors) => {
+                            self.ctor_store(key, &ctors);
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            SubTier::Model => match decode_model(key, bytes) {
+                Some(model) => {
+                    self.store_model(key, Arc::new(model));
+                    true
+                }
+                None => false,
+            },
+            SubTier::Distance => match decode_distance(bytes) {
+                Some((metric, from, to, d)) if distance_disk_key(metric, from, to) == key => {
+                    self.store_distance(metric, &from, &to, d);
+                    true
+                }
+                _ => false,
+            },
+            SubTier::Lifting => match decode_lifting(bytes) {
+                Some(_) => {
+                    let entry = Entry::new(bytes.to_vec());
+                    let shard = &self.liftings[shard_of(key)];
+                    let mut s = shard.lock().expect("corpus shard poisoned");
+                    s.insert_bounded(key, entry, self.shard_cap, &self.counters);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+}
+
+/// The four persistable cache tiers, as seen by the incremental
+/// sub-artifact store (one directory per tier on disk).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubTier {
+    /// Cached symbolic executions and ctor recognitions.
+    Exec,
+    /// Trained statistical language models.
+    Model,
+    /// Pairwise model divergences.
+    Distance,
+    /// Family lifting results (parent forests + tie counts).
+    Lifting,
+}
+
+impl SubTier {
+    /// All tiers, in persistence order.
+    pub const ALL: [SubTier; 4] =
+        [SubTier::Exec, SubTier::Model, SubTier::Distance, SubTier::Lifting];
+
+    /// Stable directory / display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubTier::Exec => "exec",
+            SubTier::Model => "model",
+            SubTier::Distance => "distance",
+            SubTier::Lifting => "lifting",
+        }
+    }
+
+    /// Stable one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            SubTier::Exec => 0,
+            SubTier::Model => 1,
+            SubTier::Distance => 2,
+            SubTier::Lifting => 3,
+        }
+    }
+
+    /// Inverse of [`SubTier::tag`].
+    pub fn from_tag(tag: u8) -> Option<SubTier> {
+        SubTier::ALL.into_iter().find(|t| t.tag() == tag)
     }
 }
 
@@ -563,12 +807,54 @@ pub fn pool_key(depth: usize, pool: &[Arc<[Event]>]) -> ModelKey {
         sum_a = sum_a.wrapping_add(fp as u64);
         sum_b = sum_b.wrapping_add((fp >> 64) as u64);
     }
+    pool_key_of_counts(depth as u64, pool.len() as u64, sum_a, sum_b)
+}
+
+/// [`pool_key`] from its commutative accumulators — shared with the
+/// model-payload verifier, which recomputes the key from `(sequence,
+/// count)` pairs (`count` copies of a fingerprint sum to
+/// `fp.wrapping_mul(count)` mod 2⁶⁴).
+fn pool_key_of_counts(depth: u64, total: u64, sum_a: u64, sum_b: u64) -> ModelKey {
     let mut w = Writer::default();
     w.u8(CORPUS_FORMAT);
-    w.u64(depth as u64);
-    w.u64(pool.len() as u64);
+    w.u64(depth);
+    w.u64(total);
     w.u64(sum_a);
     w.u64(sum_b);
+    key_of_bytes(&w.bytes)
+}
+
+/// The content key of one family lifting: every input the lifting
+/// stage's output is a pure function of — the tie-resolution config,
+/// the family's member model keys **in family order** (the parent
+/// vector indexes members by that order), and the family's weighted
+/// candidate edge list as `(parent index, child index, distance bits)`
+/// triples in the caller's deterministic order. Any changed member
+/// model flips its `ModelKey`; any changed divergence flips its bits;
+/// either flips this key, so a stale lifting can never be reused.
+pub fn lift_key(
+    resolve_ties: bool,
+    tie_epsilon: f64,
+    max_tie_variants: usize,
+    members: &[ModelKey],
+    edges: &[(u32, u32, u64)],
+) -> u128 {
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u8(u8::from(resolve_ties));
+    w.u64(tie_epsilon.to_bits());
+    w.u64(max_tie_variants as u64);
+    w.u64(members.len() as u64);
+    for &m in members {
+        w.u64(m as u64);
+        w.u64((m >> 64) as u64);
+    }
+    w.u64(edges.len() as u64);
+    for &(from, to, bits) in edges {
+        w.u32(from);
+        w.u32(to);
+        w.u64(bits);
+    }
     key_of_bytes(&w.bytes)
 }
 
@@ -732,10 +1018,312 @@ fn decode_ctors(bytes: &[u8]) -> Option<CachedCtors> {
     r.done().then_some(CachedCtors { stores })
 }
 
+// --- Full-entry serializers (incremental persistence) ------------------
+//
+// The in-memory tiers keep compact verification images; persisting an
+// entry across processes needs the *whole* value. These encoders share
+// the tiers' little-endian `Writer`/`Reader` and are fully validating
+// on decode: structural damage, count lies, or trailing garbage all
+// return `None`, which an importer treats as "recompute".
+
+/// Leading payload byte of a persisted execution-tier entry holding a
+/// full symbolic execution.
+const EXEC_SUBTAG_EXEC: u8 = 0;
+/// Leading payload byte of a persisted execution-tier entry holding a
+/// ctor-recognition result.
+const EXEC_SUBTAG_CTORS: u8 = 1;
+
+/// Event wire form: the same `(tag, payload)` pair the fingerprints
+/// mix, so the two views can never drift apart.
+fn encode_event(w: &mut Writer, e: Event) {
+    let (tag, payload) = event_words(e);
+    w.u8(tag as u8);
+    w.u64(payload);
+}
+
+fn decode_event(r: &mut Reader) -> Option<Event> {
+    let tag = r.u8()?;
+    let payload = r.u64()?;
+    Some(match tag {
+        0 => Event::C(usize::try_from(payload).ok()?),
+        1 => Event::R(i32::try_from(payload as i64).ok()?),
+        2 => Event::W(i32::try_from(payload as i64).ok()?),
+        3 if payload == 0 => Event::This,
+        4 => Event::Arg(usize::try_from(payload).ok()?),
+        5 if payload == 0 => Event::Ret,
+        6 => Event::Call(Addr::new(payload)),
+        _ => return None,
+    })
+}
+
+// Executions are dictionary-encoded: paths through branchy functions
+// repeat whole sub-objects (a fork whose arms make the same calls
+// yields identical per-path summaries), so the wire form stores each
+// distinct piece and each distinct sub once and spells the original
+// `subs` sequence as indices. Decoding rebuilds the exact path-major
+// order — multiplicity is training evidence and must survive — while
+// identical pieces share one `Arc` in memory, like a live hit.
+fn encode_exec(exec: &CachedExec) -> Vec<u8> {
+    let mut piece_dict: Vec<&Arc<[Event]>> = Vec::new();
+    let mut piece_ids: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut sub_dict: Vec<(&CachedSub, Vec<u32>)> = Vec::new();
+    let mut sub_ids: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut sub_seq: Vec<u32> = Vec::with_capacity(exec.subs.len());
+    for s in &exec.subs {
+        let mut indices = Vec::with_capacity(s.pieces.len());
+        for p in &s.pieces {
+            let mut pw = Writer::default();
+            for &e in p.iter() {
+                encode_event(&mut pw, e);
+            }
+            let next = piece_dict.len() as u32;
+            let id = *piece_ids.entry(pw.bytes).or_insert_with(|| {
+                piece_dict.push(p);
+                next
+            });
+            indices.push(id);
+        }
+        let mut sw = Writer::default();
+        match s.vtable {
+            None => sw.u8(0),
+            Some(l) => {
+                sw.u8(1);
+                sw.u64(l.lo);
+                sw.u64(l.hi);
+            }
+        }
+        for &i in &indices {
+            sw.u32(i);
+        }
+        let next = sub_dict.len() as u32;
+        let id = *sub_ids.entry(sw.bytes).or_insert_with(|| {
+            sub_dict.push((s, indices));
+            next
+        });
+        sub_seq.push(id);
+    }
+
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u64(exec.fuel_spent);
+    w.u32(piece_dict.len() as u32);
+    for p in &piece_dict {
+        w.u32(p.len() as u32);
+        for &e in p.iter() {
+            encode_event(&mut w, e);
+        }
+    }
+    w.u32(sub_dict.len() as u32);
+    for (s, indices) in &sub_dict {
+        match s.vtable {
+            None => w.u8(0),
+            Some(l) => {
+                w.u8(1);
+                w.u64(l.lo);
+                w.u64(l.hi);
+            }
+        }
+        w.u32(indices.len() as u32);
+        for &i in indices {
+            w.u32(i);
+        }
+    }
+    w.u32(sub_seq.len() as u32);
+    for &i in &sub_seq {
+        w.u32(i);
+    }
+    w.bytes
+}
+
+fn decode_exec(bytes: &[u8]) -> Option<CachedExec> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != CORPUS_FORMAT {
+        return None;
+    }
+    let fuel_spent = r.u64()?;
+    let piece_count = r.u32()? as usize;
+    let mut piece_dict: Vec<Arc<[Event]>> = Vec::with_capacity(piece_count.min(1 << 16));
+    for _ in 0..piece_count {
+        let len = r.u32()? as usize;
+        let mut events = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            events.push(decode_event(&mut r)?);
+        }
+        piece_dict.push(events.into());
+    }
+    let sub_count = r.u32()? as usize;
+    let mut sub_dict: Vec<CachedSub> = Vec::with_capacity(sub_count.min(1 << 16));
+    for _ in 0..sub_count {
+        let vtable = match r.u8()? {
+            0 => None,
+            1 => Some(Label { lo: r.u64()?, hi: r.u64()? }),
+            _ => return None,
+        };
+        let piece_refs = r.u32()? as usize;
+        let mut pieces = Vec::with_capacity(piece_refs.min(1 << 16));
+        for _ in 0..piece_refs {
+            let id = r.u32()? as usize;
+            pieces.push(Arc::clone(piece_dict.get(id)?));
+        }
+        sub_dict.push(CachedSub { vtable, pieces });
+    }
+    let seq_count = r.u32()? as usize;
+    let mut subs = Vec::with_capacity(seq_count.min(1 << 16));
+    for _ in 0..seq_count {
+        let id = r.u32()? as usize;
+        subs.push(sub_dict.get(id)?.clone());
+    }
+    r.done().then_some(CachedExec { subs, fuel_spent })
+}
+
+fn encode_model(model: &Slm<Event>) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u64(model.depth() as u64);
+    w.u32(model.unique_training_len() as u32);
+    for (seq, count) in model.training() {
+        w.u64(count);
+        w.u32(seq.len() as u32);
+        for &e in seq {
+            encode_event(&mut w, e);
+        }
+    }
+    w.bytes
+}
+
+/// Decodes a persisted model and **verifies it against its own key**:
+/// the decoded `(sequence, count)` multiset must reproduce `key` under
+/// [`pool_key`]'s commutative fold. Training is order-independent
+/// ([`Slm::train_counted`]), so the rebuilt model is bit-identical to
+/// the one originally trained from the live pool.
+fn decode_model(key: ModelKey, bytes: &[u8]) -> Option<Slm<Event>> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != CORPUS_FORMAT {
+        return None;
+    }
+    let depth = usize::try_from(r.u64()?).ok()?;
+    let unique = r.u32()? as usize;
+    let mut model = Slm::new(depth);
+    let mut sum_a: u64 = 0;
+    let mut sum_b: u64 = 0;
+    let mut total: u64 = 0;
+    let mut events = Vec::new();
+    for _ in 0..unique {
+        let count = r.u64()?;
+        if count == 0 {
+            return None;
+        }
+        let len = r.u32()? as usize;
+        events.clear();
+        for _ in 0..len {
+            events.push(decode_event(&mut r)?);
+        }
+        let fp = tracelet_fp(&events);
+        sum_a = sum_a.wrapping_add((fp as u64).wrapping_mul(count));
+        sum_b = sum_b.wrapping_add(((fp >> 64) as u64).wrapping_mul(count));
+        total = total.checked_add(count)?;
+        model.train_counted(&events, count);
+    }
+    if !r.done() || pool_key_of_counts(depth as u64, total, sum_a, sum_b) != key {
+        return None;
+    }
+    Some(model)
+}
+
+fn metric_tag(metric: Metric) -> u8 {
+    match metric {
+        Metric::KlDivergence => 0,
+        Metric::JsDivergence => 1,
+        Metric::JsDistance => 2,
+    }
+}
+
+fn metric_from_tag(tag: u8) -> Option<Metric> {
+    Metric::ALL.into_iter().find(|&m| metric_tag(m) == tag)
+}
+
+/// Encodes the `(metric, from, to)` triple of one distance entry — both
+/// the disk key's preimage and the leading portion of its payload.
+fn encode_distance_triple(metric: Metric, from: ModelKey, to: ModelKey) -> Writer {
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u8(metric_tag(metric));
+    w.u64(from as u64);
+    w.u64((from >> 64) as u64);
+    w.u64(to as u64);
+    w.u64((to >> 64) as u64);
+    w
+}
+
+/// The `u128` a distance entry is filed under on disk: a fold of its
+/// full `(metric, from, to)` triple. The triple also travels in the
+/// payload, so an import recomputes this and rejects a misfiled entry.
+pub fn distance_disk_key(metric: Metric, from: ModelKey, to: ModelKey) -> u128 {
+    key_of_bytes(&encode_distance_triple(metric, from, to).bytes)
+}
+
+fn encode_distance(metric: Metric, from: ModelKey, to: ModelKey, d_bits: u64) -> Vec<u8> {
+    let mut w = encode_distance_triple(metric, from, to);
+    w.u64(d_bits);
+    w.bytes
+}
+
+fn decode_distance(bytes: &[u8]) -> Option<(Metric, ModelKey, ModelKey, f64)> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != CORPUS_FORMAT {
+        return None;
+    }
+    let metric = metric_from_tag(r.u8()?)?;
+    let from = u128::from(r.u64()?) | (u128::from(r.u64()?) << 64);
+    let to = u128::from(r.u64()?) | (u128::from(r.u64()?) << 64);
+    let d = f64::from_bits(r.u64()?);
+    r.done().then_some((metric, from, to, d))
+}
+
+fn encode_lifting(parent: &[Option<usize>], tie_variants: u64) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u8(CORPUS_FORMAT);
+    w.u64(tie_variants);
+    w.u32(parent.len() as u32);
+    for p in parent {
+        match p {
+            None => w.u8(0),
+            Some(i) => {
+                w.u8(1);
+                w.u32(*i as u32);
+            }
+        }
+    }
+    w.bytes
+}
+
+fn decode_lifting(bytes: &[u8]) -> Option<(Vec<Option<usize>>, u64)> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != CORPUS_FORMAT {
+        return None;
+    }
+    let tie_variants = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut parent = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        match r.u8()? {
+            0 => parent.push(None),
+            1 => {
+                let i = r.u32()? as usize;
+                if i >= count {
+                    return None;
+                }
+                parent.push(Some(i));
+            }
+            _ => return None,
+        }
+    }
+    r.done().then_some((parent, tie_variants))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rock_binary::Addr;
 
     fn sample_exec() -> CachedExec {
         CachedExec {

@@ -48,6 +48,7 @@ pub mod corpus;
 pub mod diagnostics;
 mod eval;
 pub mod faultplan;
+pub mod incrstats;
 mod par;
 mod pipeline;
 mod pseudo;
@@ -58,10 +59,11 @@ pub mod suite;
 mod timings;
 
 pub use config::RockConfig;
-pub use corpus::{pool_key, CorpusCache, CorpusStats};
+pub use corpus::{distance_disk_key, lift_key, pool_key, CorpusCache, CorpusStats, SubTier};
 pub use diagnostics::{Coverage, DiagnosticSink, FaultKind, Severity, Stage, StageError, Subject};
 pub use eval::{evaluate, evaluate_k_parents, project_hierarchy, AppDistance, Evaluation};
 pub use faultplan::FaultPlan;
+pub use incrstats::IncrStats;
 pub use par::Parallelism;
 pub use pipeline::{Reconstruction, Rock};
 pub use pseudo::pseudo_source;

@@ -691,21 +691,56 @@ impl<'a> StagedRun<'a> {
         let families = structural.families();
         self.coverage.families_total = families.len();
         let graph_items: Vec<(usize, &DiGraph)> = graphs.iter().enumerate().collect();
+        let corpus = rock.corpus_cache();
+        let model_keys = &self.model_keys;
         let lifted = crate::par::par_map_catch(config.parallelism, &graph_items, |&(fi, graph)| {
             let mut spans = ctx.local();
             let token = spans.enter(names::LIFTING_FAMILY, fi as u64);
+            // Fault injection fires before any cache consultation, so a
+            // plan that panics this family does so warm or cold alike.
             self.inject(Stage::Lifting, fi as u64);
-            let (parent, tie_variants) = if config.resolve_ties {
-                // §4.2.2: several arborescences may share the minimal
-                // weight; resolve with the majority-vote heuristic.
-                let variants = rock_graph::co_optimal_forests(
-                    graph,
+            // With a corpus cache attached, key the family's lifting by
+            // everything the computation below sees: the tie config, the
+            // member model keys in family order, and the weighted edges
+            // in graph insertion order (assembled deterministically by
+            // the distances stage). A hit replays the stored forest and
+            // tie count bit-for-bit; anything changed misses.
+            let key = corpus.map(|_| {
+                let members: Vec<ModelKey> = families[fi].iter().map(|a| model_keys[a]).collect();
+                let edges: Vec<(u32, u32, u64)> = graph
+                    .edges()
+                    .iter()
+                    .map(|e| (e.from as u32, e.to as u32, e.weight.to_bits()))
+                    .collect();
+                crate::corpus::lift_key(
+                    config.resolve_ties,
                     config.tie_epsilon,
                     config.max_tie_variants,
-                );
-                (rock_graph::vote_select(&variants).parent.clone(), variants.len())
-            } else {
-                (min_spanning_forest(graph).parent, 1)
+                    &members,
+                    &edges,
+                )
+            });
+            let cached = corpus.zip(key).and_then(|(c, k)| c.load_lifting(k));
+            let (parent, tie_variants) = match cached {
+                Some((parent, tie_variants)) => (parent, tie_variants as usize),
+                None => {
+                    let (parent, tie_variants) = if config.resolve_ties {
+                        // §4.2.2: several arborescences may share the minimal
+                        // weight; resolve with the majority-vote heuristic.
+                        let variants = rock_graph::co_optimal_forests(
+                            graph,
+                            config.tie_epsilon,
+                            config.max_tie_variants,
+                        );
+                        (rock_graph::vote_select(&variants).parent.clone(), variants.len())
+                    } else {
+                        (min_spanning_forest(graph).parent, 1)
+                    };
+                    if let (Some(c), Some(k)) = (corpus, key) {
+                        c.store_lifting(k, &parent, tie_variants as u64);
+                    }
+                    (parent, tie_variants)
+                }
             };
             spans.exit(token);
             (parent, tie_variants, spans)

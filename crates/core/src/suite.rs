@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use rock_minicpp::{
-    compile, CompileError, CompileOptions, Compiled, Expr, Program, ProgramBuilder,
+    compile, BodyBuilder, CompileError, CompileOptions, Compiled, Expr, Program, ProgramBuilder,
 };
 
 /// The paper's reported application distances for one benchmark.
@@ -941,6 +941,343 @@ pub fn paper_rows() -> BTreeMap<&'static str, bool> {
     all_benchmarks().iter().map(|b| (b.name, b.structurally_resolvable)).collect()
 }
 
+// --- the incremental-delta workload -------------------------------------
+
+/// One class in a [`DeltaFamily`]: a declarative spec whose fields map
+/// one-to-one onto source constructs, so a tiny mutation of the spec is
+/// a tiny, *known* source edit with a predictable artifact dirty set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaClass {
+    /// Parent class index within the family (must be `<` own index).
+    pub parent: Option<usize>,
+    /// One virtual method per seed. A method's **name and body both
+    /// derive from its seed**, so reordering this list reorders the
+    /// vtable slot layout without changing any method's code — the
+    /// "reorder vtable slots" edit is a pure layout change.
+    pub methods: Vec<u64>,
+    /// Index (mod `methods.len()`) of the slot this class's driver
+    /// interleaves between calls. Bumping it retargets driver calls
+    /// without touching a single method body ("flip a call target").
+    pub anchor: usize,
+}
+
+/// One independent class family of the delta workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaFamily {
+    /// Seed every method seed in the family derives from. Families with
+    /// equal tags and shapes are content-equal across programs.
+    pub tag: u64,
+    /// The classes, parents before children.
+    pub classes: Vec<DeltaClass>,
+}
+
+/// The incremental-delta workload spec (`tests/incremental_delta.rs`,
+/// `benches/incremental.rs`): several independent class families plus a
+/// per-image salt class. Mutate the spec with [`apply_delta`], re-emit
+/// with [`delta_program`], and the two programs differ by exactly the
+/// edit — everything else is content-identical, so a content-addressed
+/// incremental store should reuse it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaSpec {
+    /// The families ("libraries") of the image.
+    pub families: Vec<DeltaFamily>,
+    /// Seed of the image-unique salt class.
+    pub salt_seed: u64,
+    /// Declare the salt class first instead of last. Flipping this
+    /// shifts every family function to a different address while
+    /// leaving all of their bytes alone — the position-shift probe for
+    /// address-keyed (rather than content-keyed) artifact stores.
+    pub salt_first: bool,
+}
+
+/// One source-level edit of a [`DeltaSpec`]. Indices are taken modulo
+/// the live range, so any variant applies to any spec — seeded fuzzers
+/// can draw edits blindly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaEdit {
+    /// Rewrite one method body (the canonical 1-function edit).
+    EditBody {
+        /// Family index (mod family count).
+        family: usize,
+        /// Class index within the family (mod class count).
+        class: usize,
+        /// Method index within the class (mod method count).
+        method: usize,
+    },
+    /// Append a brand-new virtual method to one class.
+    AddMethod {
+        /// Family index (mod family count).
+        family: usize,
+        /// Class index within the family (mod class count).
+        class: usize,
+    },
+    /// Drop the last method of one class (kept if it is the only one).
+    RemoveMethod {
+        /// Family index (mod family count).
+        family: usize,
+        /// Class index within the family (mod class count).
+        class: usize,
+    },
+    /// Swap the first two declared methods of one class: identical
+    /// method set and bodies, different vtable slot order.
+    ReorderSlots {
+        /// Family index (mod family count).
+        family: usize,
+        /// Class index within the family (mod class count).
+        class: usize,
+    },
+    /// Graft a fresh leaf class onto one family.
+    AddClass {
+        /// Family index (mod family count).
+        family: usize,
+    },
+    /// Retarget one driver's interleaved call to the next slot.
+    FlipCallTarget {
+        /// Family index (mod family count).
+        family: usize,
+        /// Class index within the family (mod class count).
+        class: usize,
+    },
+    /// Re-seed one whole family (the 1-family edit: every method body
+    /// in it changes, every other family is untouched).
+    ReseedFamily {
+        /// Family index (mod family count).
+        family: usize,
+    },
+    /// Re-seed the image's salt class (the salt-class edit: no family
+    /// function changes at all).
+    ReseedSalt,
+}
+
+/// Cheap, deterministic 64-bit seed mixer (splitmix64 finalizer).
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the base delta workload: `families` binary trees of
+/// `classes_per_family` classes, two methods per class, all content
+/// derived from `seed`. Trees are shallow so a leaf-class edit dirties
+/// only the leaf's own driver, keeping the reachable dirty set of a
+/// 1-function edit small relative to the image.
+pub fn delta_spec(families: usize, classes_per_family: usize, seed: u64) -> DeltaSpec {
+    let families = (0..families)
+        .map(|f| {
+            let tag = mix(seed, 0x00FA_0000 + f as u64);
+            let classes = (0..classes_per_family)
+                .map(|c| DeltaClass {
+                    parent: if c == 0 { None } else { Some((c - 1) / 2) },
+                    methods: (0..2).map(|m| mix(tag, (c * 16 + m) as u64)).collect(),
+                    anchor: 0,
+                })
+                .collect();
+            DeltaFamily { tag, classes }
+        })
+        .collect();
+    DeltaSpec { families, salt_seed: mix(seed, 0x5A17), salt_first: false }
+}
+
+/// Applies one [`DeltaEdit`] in place. Always changes the emitted
+/// program except for no-op corners (`RemoveMethod` on a single-method
+/// class, `FlipCallTarget` on a single-method class), which callers
+/// can detect by comparing specs.
+pub fn apply_delta(spec: &mut DeltaSpec, edit: DeltaEdit) {
+    let nfam = spec.families.len();
+    match edit {
+        DeltaEdit::EditBody { family, class, method } => {
+            let fam = &mut spec.families[family % nfam];
+            let nc = fam.classes.len();
+            let cl = &mut fam.classes[class % nc];
+            let nm = cl.methods.len();
+            let m = &mut cl.methods[method % nm];
+            *m = mix(*m, 0xED17_B0D1);
+        }
+        DeltaEdit::AddMethod { family, class } => {
+            let fam = &mut spec.families[family % nfam];
+            let nc = fam.classes.len();
+            let cl = &mut fam.classes[class % nc];
+            let fresh = mix(fam.tag, 0xADD0 + cl.methods.len() as u64 * 131);
+            cl.methods.push(fresh);
+        }
+        DeltaEdit::RemoveMethod { family, class } => {
+            let fam = &mut spec.families[family % nfam];
+            let nc = fam.classes.len();
+            let cl = &mut fam.classes[class % nc];
+            if cl.methods.len() > 1 {
+                cl.methods.pop();
+            }
+        }
+        DeltaEdit::ReorderSlots { family, class } => {
+            let fam = &mut spec.families[family % nfam];
+            let nc = fam.classes.len();
+            let cl = &mut fam.classes[class % nc];
+            if cl.methods.len() > 1 {
+                cl.methods.swap(0, 1);
+            } else {
+                // Single-method class: fall back to a body edit so the
+                // mutation is never silently void.
+                cl.methods[0] = mix(cl.methods[0], 0x5107_50A9);
+            }
+        }
+        DeltaEdit::AddClass { family } => {
+            let fam = &mut spec.families[family % nfam];
+            let idx = fam.classes.len();
+            fam.classes.push(DeltaClass {
+                parent: Some((idx - 1) / 2),
+                methods: vec![mix(fam.tag, 0xC1A5_5000 + idx as u64)],
+                anchor: 0,
+            });
+        }
+        DeltaEdit::FlipCallTarget { family, class } => {
+            let fam = &mut spec.families[family % nfam];
+            let nc = fam.classes.len();
+            let cl = &mut fam.classes[class % nc];
+            cl.anchor += 1;
+        }
+        DeltaEdit::ReseedFamily { family } => {
+            let fam = &mut spec.families[family % nfam];
+            fam.tag = mix(fam.tag, 0xFA_0511);
+            let tag = fam.tag;
+            for (c, cl) in fam.classes.iter_mut().enumerate() {
+                for (m, seed) in cl.methods.iter_mut().enumerate() {
+                    *seed = mix(tag, (c * 16 + m) as u64);
+                }
+            }
+        }
+        DeltaEdit::ReseedSalt => {
+            spec.salt_seed = mix(spec.salt_seed, 0x5A17_ED17);
+        }
+    }
+}
+
+/// Emits one delta family into the builder. Class names derive from the
+/// stable `name`, method names and bodies from the seeds alone, so
+/// unchanged seeds produce byte-identical functions no matter what edit
+/// happened elsewhere in the program.
+fn emit_delta_family(p: &mut ProgramBuilder, name: &str, fam: &DeltaFamily) {
+    // (method name, introducing field) per slot, inherited + own.
+    let mut slots: Vec<Vec<(String, String)>> = Vec::with_capacity(fam.classes.len());
+    for (ci, class) in fam.classes.iter().enumerate() {
+        let class_name = format!("{name}_C{ci}");
+        let field = format!("f{ci}");
+        let mut my_slots = match class.parent {
+            None => Vec::new(),
+            Some(pi) => slots[pi].clone(),
+        };
+        let mut cb = p.class(&class_name);
+        if let Some(pi) = class.parent {
+            cb.base(format!("{name}_C{pi}"));
+        }
+        cb.field(&field);
+        for &seed in &class.methods {
+            let mname = format!("{name}_c{ci}_s{seed:016x}");
+            let f = field.clone();
+            cb.method(mname.clone(), move |b| {
+                b.write("this", &f, Expr::Const(seed.wrapping_mul(31).wrapping_add(7)));
+                b.read("v", "this", &f);
+                b.ret();
+            });
+            my_slots.push((mname, field.clone()));
+        }
+        slots.push(my_slots);
+    }
+
+    // Drivers: every class is concrete; each driver replays its ancestor
+    // chain's methods root-first, interleaving the class's anchor slot.
+    for (ci, class) in fam.classes.iter().enumerate() {
+        let class_name = format!("{name}_C{ci}");
+        let mut chain = vec![ci];
+        let mut cur = class.parent;
+        while let Some(pi) = cur {
+            chain.push(pi);
+            cur = fam.classes[pi].parent;
+        }
+        chain.reverse();
+        let segments: Vec<Vec<String>> = chain
+            .iter()
+            .map(|&a| {
+                fam.classes[a].methods.iter().map(|&s| format!("{name}_c{a}_s{s:016x}")).collect()
+            })
+            .collect();
+        let own = &class.methods;
+        let anchor_seed = own[class.anchor % own.len()];
+        let anchor = format!("{name}_c{ci}_s{anchor_seed:016x}");
+        let delete_it = ci % 2 == 0;
+        // Heavy on purpose, and heavy in the *cacheable* direction: each
+        // replayed slot sits inside a branch diamond whose two arms make
+        // the same calls. The symbolic executor forks on every branch
+        // regardless of the condition, so cold analysis explores up to
+        // `max_paths` near-identical paths per driver — while the
+        // function body (hence its WL content label) stays small and the
+        // tracelet multiset stays compact (identical arms add
+        // multiplicity, not vocabulary). That mirrors real binaries,
+        // where per-function analysis dwarfs the fixed per-run floor
+        // (loading, labeling, preload i/o); a featherweight straight-line
+        // driver would make that floor look artificially large and
+        // understate the incremental win.
+        let reps = 2 + ci % 3;
+        let field = format!("f{ci}");
+        p.func(format!("drive_{class_name}"), move |f| {
+            f.new_obj("o", &class_name);
+            f.read("c", "o", &field);
+            for pass in 0..2 {
+                for seg in &segments {
+                    for s in seg {
+                        let arm = |b: &mut BodyBuilder| {
+                            for _ in 0..reps {
+                                b.vcall("o", s.clone(), vec![]);
+                                if pass == 0 {
+                                    b.vcall("o", anchor.clone(), vec![]);
+                                }
+                            }
+                        };
+                        f.if_else(Expr::Var("c".into()), arm, arm);
+                    }
+                    f.vcall("o", anchor.clone(), vec![]);
+                }
+            }
+            if delete_it {
+                f.delete("o");
+            }
+            f.ret();
+        });
+    }
+}
+
+/// Emits a [`DeltaSpec`] into a compilable [`Benchmark`]. Family names
+/// are positional (`d0`, `d1`, ...) so edits never rename a family; the
+/// salt class is `salt_C0`, declared first when `salt_first` is set.
+pub fn delta_program(spec: &DeltaSpec) -> Benchmark {
+    let mut p = ProgramBuilder::new();
+    let salt = DeltaFamily {
+        tag: spec.salt_seed,
+        classes: vec![DeltaClass {
+            parent: None,
+            methods: vec![mix(spec.salt_seed, 1), mix(spec.salt_seed, 2)],
+            anchor: 0,
+        }],
+    };
+    if spec.salt_first {
+        emit_delta_family(&mut p, "salt", &salt);
+    }
+    for (fi, fam) in spec.families.iter().enumerate() {
+        emit_delta_family(&mut p, &format!("d{fi}"), fam);
+    }
+    if !spec.salt_first {
+        emit_delta_family(&mut p, "salt", &salt);
+    }
+    let types = spec.families.iter().map(|f| f.classes.len()).sum::<usize>() + 1;
+    Benchmark {
+        name: "delta",
+        structurally_resolvable: false,
+        paper: paper(0.0, types, (0.0, 0.0), (0.0, 0.0)),
+        program: p.finish(),
+        options: optimized_options(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1020,5 +1357,59 @@ mod tests {
         assert_eq!(addr_of(&m0, sym), addr_of(&m8, sym), "same layout, same address");
         // Distinct templates produce distinct app families.
         assert_eq!(corpus_member(0, 1).compile().unwrap().ground_truth().len(), 27);
+    }
+
+    #[test]
+    fn delta_spec_compiles_and_every_edit_still_compiles() {
+        let base = delta_spec(3, 5, 42);
+        let b = delta_program(&base);
+        assert_eq!(b.paper.types, 3 * 5 + 1);
+        assert_eq!(b.compile().unwrap().ground_truth().len(), 16);
+        let edits = [
+            DeltaEdit::EditBody { family: 0, class: 4, method: 1 },
+            DeltaEdit::AddMethod { family: 1, class: 2 },
+            DeltaEdit::RemoveMethod { family: 1, class: 3 },
+            DeltaEdit::ReorderSlots { family: 2, class: 0 },
+            DeltaEdit::AddClass { family: 0 },
+            DeltaEdit::FlipCallTarget { family: 2, class: 1 },
+            DeltaEdit::ReseedFamily { family: 1 },
+            DeltaEdit::ReseedSalt,
+        ];
+        for edit in edits {
+            let mut mutated = base.clone();
+            apply_delta(&mut mutated, edit);
+            assert_ne!(mutated, base, "{edit:?} must change the spec");
+            delta_program(&mutated).compile().unwrap_or_else(|e| panic!("{edit:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn delta_reorder_swaps_slots_without_touching_bodies() {
+        let mut spec = delta_spec(2, 4, 7);
+        let before = spec.families[1].classes[0].methods.clone();
+        apply_delta(&mut spec, DeltaEdit::ReorderSlots { family: 1, class: 0 });
+        let after = &spec.families[1].classes[0].methods;
+        assert_eq!(after[0], before[1]);
+        assert_eq!(after[1], before[0]);
+        // Same method set (names and bodies travel with the seeds).
+        let mut a = before.clone();
+        let mut b = after.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_salt_first_shifts_family_functions_without_changing_them() {
+        let mut spec = delta_spec(2, 4, 11);
+        let last = delta_program(&spec).compile().unwrap();
+        spec.salt_first = true;
+        let first = delta_program(&spec).compile().unwrap();
+        let seed = spec.families[0].classes[0].methods[0];
+        let sym = format!("d0_C0::d0_c0_s{seed:016x}");
+        let addr_of = |c: &rock_minicpp::Compiled, sym: &str| {
+            c.image().symbols().by_name(sym).map(|s| s.addr).unwrap()
+        };
+        assert_ne!(addr_of(&last, &sym), addr_of(&first, &sym), "salt-first must shift {sym}");
     }
 }

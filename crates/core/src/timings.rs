@@ -79,6 +79,10 @@ pub struct StageTimings {
     pub corpus_distance_hits: u64,
     /// Distances the corpus distance tier could not answer.
     pub corpus_distance_misses: u64,
+    /// Family liftings answered by the corpus lifting tier.
+    pub corpus_lifting_hits: u64,
+    /// Family liftings the corpus lifting tier could not answer.
+    pub corpus_lifting_misses: u64,
     /// Bytes the run added to the corpus cache.
     pub corpus_bytes_stored: u64,
     /// Corpus entries dropped on checksum mismatch (then recomputed).
@@ -104,6 +108,19 @@ pub struct StageTimings {
     pub store_checkpoints_skipped: u64,
     /// Backoff milliseconds scheduled for store retries.
     pub store_retry_backoff_ms: u64,
+    /// Sub-artifacts restored into the corpus cache at preload (all
+    /// incr fields stay zero without `--incremental`; like the corpus
+    /// and store fields they are batch-level deltas injected by the
+    /// driver, never part of the pipeline's deterministic registry).
+    pub incr_preloaded: u64,
+    /// Sub-artifacts newly written to disk at flush.
+    pub incr_flushed: u64,
+    /// Sub-artifacts already on disk and skipped at flush.
+    pub incr_unchanged: u64,
+    /// Sub-artifacts rejected at preload (recomputed instead).
+    pub incr_corrupt_skipped: u64,
+    /// Sub-artifact reads/writes abandoned on an i/o error.
+    pub incr_io_errors: u64,
 }
 
 impl StageTimings {
@@ -133,6 +150,8 @@ impl StageTimings {
         self.corpus_slm_misses = metrics.counter(names::CORPUS_SLM_MISS);
         self.corpus_distance_hits = metrics.counter(names::CORPUS_DISTANCE_HIT);
         self.corpus_distance_misses = metrics.counter(names::CORPUS_DISTANCE_MISS);
+        self.corpus_lifting_hits = metrics.counter(names::CORPUS_LIFTING_HIT);
+        self.corpus_lifting_misses = metrics.counter(names::CORPUS_LIFTING_MISS);
         self.corpus_bytes_stored = metrics.counter(names::CORPUS_BYTES_STORED);
         self.corpus_corrupt_dropped = metrics.counter(names::CORPUS_CORRUPT_DROPPED);
         self.corpus_evicted = metrics.counter(names::CORPUS_EVICTED);
@@ -144,6 +163,11 @@ impl StageTimings {
         self.store_corrupt_detected = metrics.counter(names::STORE_CORRUPT_DETECTED);
         self.store_checkpoints_skipped = metrics.counter(names::STORE_CHECKPOINTS_SKIPPED);
         self.store_retry_backoff_ms = metrics.counter(names::STORE_RETRY_BACKOFF_MS);
+        self.incr_preloaded = metrics.counter(names::INCR_PRELOADED);
+        self.incr_flushed = metrics.counter(names::INCR_FLUSHED);
+        self.incr_unchanged = metrics.counter(names::INCR_UNCHANGED);
+        self.incr_corrupt_skipped = metrics.counter(names::INCR_CORRUPT_SKIPPED);
+        self.incr_io_errors = metrics.counter(names::INCR_IO_ERRORS);
     }
 
     /// Copies one run's corpus-tier delta ([`crate::CorpusStats::since`])
@@ -160,6 +184,8 @@ impl StageTimings {
         metrics.set(names::CORPUS_SLM_MISS, delta.slm_misses);
         metrics.set(names::CORPUS_DISTANCE_HIT, delta.distance_hits);
         metrics.set(names::CORPUS_DISTANCE_MISS, delta.distance_misses);
+        metrics.set(names::CORPUS_LIFTING_HIT, delta.lifting_hits);
+        metrics.set(names::CORPUS_LIFTING_MISS, delta.lifting_misses);
         metrics.set(names::CORPUS_BYTES_STORED, delta.bytes_stored);
         metrics.set(names::CORPUS_CORRUPT_DROPPED, delta.corrupt_dropped);
         metrics.set(names::CORPUS_EVICTED, delta.evicted);
@@ -169,9 +195,28 @@ impl StageTimings {
         self.corpus_slm_misses = delta.slm_misses;
         self.corpus_distance_hits = delta.distance_hits;
         self.corpus_distance_misses = delta.distance_misses;
+        self.corpus_lifting_hits = delta.lifting_hits;
+        self.corpus_lifting_misses = delta.lifting_misses;
         self.corpus_bytes_stored = delta.bytes_stored;
         self.corpus_corrupt_dropped = delta.corrupt_dropped;
         self.corpus_evicted = delta.evicted;
+    }
+
+    /// Copies one batch's incremental preload/flush counters
+    /// ([`crate::IncrStats`]) onto the incr fields and mirrors them into
+    /// `metrics` under the `incr.*` counter names, so reports and JSON
+    /// render them uniformly.
+    pub fn absorb_incr_stats(&mut self, delta: &crate::IncrStats, metrics: &mut MetricsRegistry) {
+        metrics.set(names::INCR_PRELOADED, delta.preloaded);
+        metrics.set(names::INCR_FLUSHED, delta.flushed);
+        metrics.set(names::INCR_UNCHANGED, delta.unchanged);
+        metrics.set(names::INCR_CORRUPT_SKIPPED, delta.corrupt_skipped);
+        metrics.set(names::INCR_IO_ERRORS, delta.io_errors);
+        self.incr_preloaded = delta.preloaded;
+        self.incr_flushed = delta.flushed;
+        self.incr_unchanged = delta.unchanged;
+        self.incr_corrupt_skipped = delta.corrupt_skipped;
+        self.incr_io_errors = delta.io_errors;
     }
 
     /// Copies one run's artifact-store delta ([`crate::StoreStats::since`])
@@ -219,9 +264,22 @@ impl StageTimings {
             + self.corpus_slm_misses
             + self.corpus_distance_hits
             + self.corpus_distance_misses
+            + self.corpus_lifting_hits
+            + self.corpus_lifting_misses
             + self.corpus_bytes_stored
             + self.corpus_corrupt_dropped
             + self.corpus_evicted
+            > 0
+    }
+
+    /// `true` when the incremental sub-artifact layer saw any traffic
+    /// (i.e. the batch ran with `--incremental`).
+    pub fn has_incr_activity(&self) -> bool {
+        self.incr_preloaded
+            + self.incr_flushed
+            + self.incr_unchanged
+            + self.incr_corrupt_skipped
+            + self.incr_io_errors
             > 0
     }
 
@@ -274,6 +332,7 @@ impl StageTimings {
             "\"corpus_tracelet_hits\":{},\"corpus_tracelet_misses\":{},\
              \"corpus_slm_hits\":{},\"corpus_slm_misses\":{},\
              \"corpus_distance_hits\":{},\"corpus_distance_misses\":{},\
+             \"corpus_lifting_hits\":{},\"corpus_lifting_misses\":{},\
              \"corpus_bytes_stored\":{},\"corpus_corrupt_dropped\":{},\"corpus_evicted\":{},",
             self.corpus_tracelet_hits,
             self.corpus_tracelet_misses,
@@ -281,6 +340,8 @@ impl StageTimings {
             self.corpus_slm_misses,
             self.corpus_distance_hits,
             self.corpus_distance_misses,
+            self.corpus_lifting_hits,
+            self.corpus_lifting_misses,
             self.corpus_bytes_stored,
             self.corpus_corrupt_dropped,
             self.corpus_evicted,
@@ -290,7 +351,7 @@ impl StageTimings {
             "\"store_tmp_swept\":{},\"store_write_retries\":{},\"store_write_failures\":{},\
              \"store_read_retries\":{},\"store_read_failures\":{},\
              \"store_corrupt_detected\":{},\"store_checkpoints_skipped\":{},\
-             \"store_retry_backoff_ms\":{}}}",
+             \"store_retry_backoff_ms\":{},",
             self.store_tmp_swept,
             self.store_write_retries,
             self.store_write_failures,
@@ -299,6 +360,16 @@ impl StageTimings {
             self.store_corrupt_detected,
             self.store_checkpoints_skipped,
             self.store_retry_backoff_ms,
+        );
+        let _ = write!(
+            s,
+            "\"incr_preloaded\":{},\"incr_flushed\":{},\"incr_unchanged\":{},\
+             \"incr_corrupt_skipped\":{},\"incr_io_errors\":{}}}",
+            self.incr_preloaded,
+            self.incr_flushed,
+            self.incr_unchanged,
+            self.incr_corrupt_skipped,
+            self.incr_io_errors,
         );
         s
     }
@@ -338,18 +409,33 @@ impl fmt::Display for StageTimings {
         if self.has_corpus_activity() {
             writeln!(
                 f,
-                "  corpus       tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit",
+                "  corpus       tracelets {}/{} hit, slms {}/{} hit, distances {}/{} hit, \
+                 liftings {}/{} hit",
                 self.corpus_tracelet_hits,
                 self.corpus_tracelet_hits + self.corpus_tracelet_misses,
                 self.corpus_slm_hits,
                 self.corpus_slm_hits + self.corpus_slm_misses,
                 self.corpus_distance_hits,
                 self.corpus_distance_hits + self.corpus_distance_misses,
+                self.corpus_lifting_hits,
+                self.corpus_lifting_hits + self.corpus_lifting_misses,
             )?;
             writeln!(
                 f,
                 "               {} bytes stored, {} corrupt entries dropped, {} evicted",
                 self.corpus_bytes_stored, self.corpus_corrupt_dropped, self.corpus_evicted
+            )?;
+        }
+        if self.has_incr_activity() {
+            writeln!(
+                f,
+                "  incr         {} preloaded, {} flushed, {} unchanged, \
+                 {} corrupt skipped, {} io errors",
+                self.incr_preloaded,
+                self.incr_flushed,
+                self.incr_unchanged,
+                self.incr_corrupt_skipped,
+                self.incr_io_errors,
             )?;
         }
         if self.has_store_activity() {
@@ -452,6 +538,8 @@ mod tests {
             slm_misses: 1,
             distance_hits: 8,
             distance_misses: 4,
+            lifting_hits: 2,
+            lifting_misses: 1,
             bytes_stored: 512,
             corrupt_dropped: 1,
             evicted: 6,
@@ -461,7 +549,9 @@ mod tests {
         t.absorb_corpus_stats(&delta, &mut metrics);
         assert!(t.has_corpus_activity());
         assert_eq!(t.corpus_slm_hits, 3);
+        assert_eq!(t.corpus_lifting_hits, 2);
         assert_eq!(metrics.counter(names::CORPUS_DISTANCE_MISS), 4);
+        assert_eq!(metrics.counter(names::CORPUS_LIFTING_MISS), 1);
         // Re-absorbing the registry round-trips the same numbers.
         let mut back = StageTimings::default();
         back.absorb_counters(&metrics);
@@ -500,5 +590,32 @@ mod tests {
         back.absorb_counters(&metrics);
         assert_eq!(back.store_tmp_swept, 2);
         assert_eq!(back.store_retry_backoff_ms, 700);
+    }
+
+    #[test]
+    fn incr_stats_absorb_mirrors_into_the_registry() {
+        let delta = crate::IncrStats {
+            preloaded: 12,
+            flushed: 3,
+            unchanged: 9,
+            corrupt_skipped: 1,
+            io_errors: 0,
+        };
+        let mut t = StageTimings::default();
+        // The incr line only appears when the layer saw traffic.
+        assert!(!t.has_incr_activity());
+        assert!(!t.to_string().contains("incr "));
+        let mut metrics = MetricsRegistry::new();
+        t.absorb_incr_stats(&delta, &mut metrics);
+        assert!(t.has_incr_activity());
+        assert_eq!(metrics.counter(names::INCR_PRELOADED), 12);
+        assert_eq!(metrics.counter(names::INCR_UNCHANGED), 9);
+        let text = t.to_string();
+        assert!(text.contains("12 preloaded, 3 flushed, 9 unchanged"), "{text}");
+        assert!(t.to_json().contains("\"incr_preloaded\":12"));
+        let mut back = StageTimings::default();
+        back.absorb_counters(&metrics);
+        assert_eq!(back.incr_preloaded, 12);
+        assert_eq!(back.incr_corrupt_skipped, 1);
     }
 }

@@ -31,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rock_core::{CorpusCache, FaultPlan, RockConfig};
+use rock_core::{CorpusCache, FaultPlan, IncrStats, RockConfig};
 use rock_supervisor::wire::{
     JobState, RejectReason, Request, Response, SERVE_MIN_PROTOCOL_VERSION, SERVE_PROTOCOL_VERSION,
 };
@@ -169,6 +169,7 @@ struct Inner {
     metrics: Mutex<MetricsRegistry>,
     faults: Mutex<BTreeMap<String, Arc<FaultPlan>>>,
     poisoned: Mutex<BTreeSet<String>>,
+    incr: Mutex<IncrStats>,
 }
 
 impl Inner {
@@ -362,6 +363,14 @@ impl Inner {
             sup = sup.with_tracer(Arc::clone(tracer)).with_trace_level(self.cfg.trace_level);
         }
         let result = sup.run_job(&job.name, &job.image);
+        // Persist the job's new sub-artifacts immediately (write-only-
+        // new, so repeat flushes are cheap): a crashed daemon then loses
+        // at most the in-flight job's work, and a restarted one preloads
+        // everything every earlier tenant computed.
+        if self.cfg.options.incremental {
+            let delta = sup.flush_incremental();
+            self.incr.lock().expect("serve incr stats poisoned").add(&delta);
+        }
         Slot::Done {
             exit_code: result.report.exit_code(),
             outcome: result.report.outcome.name().to_string(),
@@ -424,6 +433,12 @@ impl ServerHandle {
         self.inner.store.stats()
     }
 
+    /// Cumulative sub-artifact preload/flush accounting (only moves
+    /// when [`SupervisorOptions::incremental`] is on).
+    pub fn incr_stats(&self) -> IncrStats {
+        *self.inner.incr.lock().expect("serve incr stats poisoned")
+    }
+
     /// Attaches a [`FaultPlan`] to every future job submitted under
     /// `job_name` (fault-injection hook for tests and drills).
     pub fn set_fault_plan(&self, job_name: &str, plan: Arc<FaultPlan>) {
@@ -472,6 +487,15 @@ impl Server {
             CorpusCache::new()
         });
         let quotas = Quotas::new(cfg.quota);
+        // Warm the shared corpus from the persisted sub-artifact store
+        // before any tenant connects: a resubmitted (or patched) image
+        // then reuses every function/type/pair/family artifact an
+        // earlier daemon over this store already computed.
+        let incr = if cfg.options.incremental {
+            rock_supervisor::preload_subartifacts(&store, &corpus)
+        } else {
+            IncrStats::default()
+        };
         let inner = Arc::new(Inner {
             cfg,
             store,
@@ -489,6 +513,7 @@ impl Server {
             metrics: Mutex::new(MetricsRegistry::new()),
             faults: Mutex::new(BTreeMap::new()),
             poisoned: Mutex::new(BTreeSet::new()),
+            incr: Mutex::new(incr),
         });
         Ok(Server { inner, listener })
     }
@@ -563,6 +588,13 @@ impl Server {
             inner.quotas.release(&job.client);
             inner.jobs.lock().expect("serve job table poisoned").insert(job.id, Slot::Cancelled);
             inner.count(names::SERVE_CANCELLED, 1);
+        }
+        // Final flush after the workers are gone: per-job flushes make
+        // this mostly `unchanged`, but it catches anything a worker
+        // computed after its own flush (shared-cache cross-talk).
+        if inner.cfg.options.incremental {
+            let delta = rock_supervisor::flush_subartifacts(&inner.store, &inner.corpus);
+            inner.incr.lock().expect("serve incr stats poisoned").add(&delta);
         }
         Ok(inner.summary())
     }

@@ -119,9 +119,21 @@ impl<S: Symbol> Slm<S> {
     /// with a multiplicity count; counts in the context trie accumulate
     /// exactly as if every clone were stored.
     pub fn train(&mut self, seq: &[S]) {
+        self.train_counted(seq, 1);
+    }
+
+    /// Trains the model on one sequence with an explicit multiplicity:
+    /// equivalent to `count` calls to [`Slm::train`]. Training is
+    /// order-independent (sorted map, additive counts), so a model
+    /// rebuilt from `(sequence, count)` pairs — e.g. when restoring a
+    /// persisted model — is bit-identical to the original.
+    pub fn train_counted(&mut self, seq: &[S], count: u64) {
+        if count == 0 {
+            return;
+        }
         self.alphabet.extend(seq.iter().cloned());
-        *self.training.entry(seq.to_vec()).or_insert(0) += 1;
-        self.trained_total += 1;
+        *self.training.entry(seq.to_vec()).or_insert(0) += count;
+        self.trained_total += count;
         self.index = OnceLock::new();
     }
 

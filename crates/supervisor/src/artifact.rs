@@ -147,13 +147,34 @@ impl From<io::Error> for StoreError {
     }
 }
 
-/// The content-hashed cache key for one (image, config) job.
+/// The *image-level* content-hashed cache key for one (image, config)
+/// job.
 ///
 /// FNV-1a over the raw image bytes followed by a fingerprint of every
 /// config knob that can change reconstruction output. `parallelism` is
 /// excluded on purpose (see the module docs); `strict` is *included*
 /// because it changes which runs complete at all.
+///
+/// This key is deliberately coarse: any byte of the image changing —
+/// even a shift that leaves every function body identical — lands the
+/// job in a fresh directory. *Function-level* reuse is handled one
+/// layer down by the incremental sub-artifact store (see
+/// [`crate::incr`]), whose keys are derived from position-independent
+/// Weisfeiler-Lehman content labels of each function body rather than
+/// from image bytes, so byte-identical functions at shifted addresses
+/// still hit.
 pub fn content_key(image_bytes: &[u8], config: &RockConfig) -> u64 {
+    let fingerprint = config_fingerprint(config);
+    let mut all = Vec::with_capacity(image_bytes.len() + fingerprint.len());
+    all.extend_from_slice(image_bytes);
+    all.extend_from_slice(&fingerprint);
+    fnv1a(&all)
+}
+
+/// The serialized fingerprint of every reconstruction-relevant config
+/// knob, shared by the image-level [`content_key`] and by anything else
+/// that must partition cached state by configuration.
+pub fn config_fingerprint(config: &RockConfig) -> Vec<u8> {
     let mut w = Writer::new();
     w.u8(FORMAT_VERSION);
     w.len(config.analysis.tracelet_len);
@@ -180,11 +201,7 @@ pub fn content_key(image_bytes: &[u8], config: &RockConfig) -> u64 {
     w.u8(config.repartition_families as u8);
     w.u8(config.strict as u8);
     w.u8(config.canonical_calls as u8);
-    let fingerprint = w.into_bytes();
-    let mut all = Vec::with_capacity(image_bytes.len() + fingerprint.len());
-    all.extend_from_slice(image_bytes);
-    all.extend_from_slice(&fingerprint);
-    fnv1a(&all)
+    w.into_bytes()
 }
 
 /// Atomic mirror of [`StoreStats`], shared by every clone of a store.
@@ -201,13 +218,17 @@ struct StatsCell {
 
 /// Which counter lane a retried operation charges.
 #[derive(Clone, Copy)]
-enum OpClass {
+pub(crate) enum OpClass {
     Read,
     Write,
 }
 
 /// The subdirectory scrub moves untrusted files into.
 pub const QUARANTINE_DIR: &str = ".quarantine";
+
+/// The subdirectory holding incremental sub-artifacts (one tier
+/// directory per [`rock_core::SubTier`]; see [`crate::incr`]).
+pub const SUB_DIR: &str = "sub";
 
 /// A directory of per-job, per-stage checkpoint artifacts.
 ///
@@ -323,13 +344,30 @@ impl ArtifactStore {
         self.root.join(format!("{key:016x}"))
     }
 
+    /// The directory holding one tier's incremental sub-artifacts.
+    pub fn sub_tier_dir(&self, tier: rock_core::SubTier) -> PathBuf {
+        self.root.join(SUB_DIR).join(tier.name())
+    }
+
+    /// The root of the incremental sub-artifact area (tier directories
+    /// plus the read-optimized [`crate::incr::SNAPSHOT_NAME`] pack).
+    pub fn sub_dir(&self) -> PathBuf {
+        self.root.join(SUB_DIR)
+    }
+
+    /// The store's filesystem seam, shared with the [`crate::incr`]
+    /// layer so sub-artifact traffic sees the same faults as artifacts.
+    pub(crate) fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
     fn artifact_path(&self, key: u64, stage: StageId) -> PathBuf {
         self.job_dir(key).join(format!("{}.art", stage.name()))
     }
 
     /// Runs `op`, retrying transient faults on the store's bounded
     /// backoff schedule. Persistent faults return immediately.
-    fn with_retry_op<T>(
+    pub(crate) fn with_retry_op<T>(
         &self,
         class: OpClass,
         mut op: impl FnMut() -> io::Result<T>,
@@ -434,13 +472,31 @@ impl ArtifactStore {
     }
 
     /// Removes orphaned `.art.tmp` files (crash debris) from every job
-    /// directory, best-effort. Returns how many were removed. Only call
-    /// while no writer can be mid-commit — store open time, or scrub.
+    /// directory — and orphaned `.sub.tmp` files from every sub-artifact
+    /// tier directory — best-effort. Returns how many were removed.
+    /// Only call while no writer can be mid-commit — store open time,
+    /// or scrub.
     pub fn sweep_tmp(&self) -> u64 {
         let mut swept = 0u64;
         let Ok(entries) = self.vfs.list(&self.root) else { return 0 };
         for dir in entries {
             if !self.vfs.is_dir(&dir) {
+                continue;
+            }
+            if entry_name(&dir) == SUB_DIR {
+                let Ok(tiers) = self.vfs.list(&dir) else { continue };
+                for tier_dir in tiers {
+                    if is_tmp_snapshot(&tier_dir) && self.vfs.remove_file(&tier_dir).is_ok() {
+                        swept += 1;
+                        continue;
+                    }
+                    let Ok(files) = self.vfs.list(&tier_dir) else { continue };
+                    for file in files {
+                        if is_tmp_sub(&file) && self.vfs.remove_file(&file).is_ok() {
+                            swept += 1;
+                        }
+                    }
+                }
                 continue;
             }
             let Ok(files) = self.vfs.list(&dir) else { continue };
@@ -459,7 +515,13 @@ impl ArtifactStore {
     ///
     /// - corrupt artifacts are quarantined (moved under
     ///   [`QUARANTINE_DIR`]) so resume stops trusting them;
-    /// - orphaned `.art.tmp` files are swept;
+    /// - incremental sub-artifacts under [`SUB_DIR`] are individually
+    ///   frame- and payload-verified; a corrupt one is quarantined
+    ///   alone, leaving its tier siblings trusted;
+    /// - the read-optimized snapshot pack is verified whole (every
+    ///   embedded frame and payload) and quarantined whole if damaged
+    ///   — it is an accelerator, so the next flush rebuilds it;
+    /// - orphaned `.art.tmp` and `.sub.tmp` files are swept;
     /// - entries with unknown names (directories that are not 16-hex
     ///   content keys, stray files) are quarantined;
     /// - i/o errors are counted and scrubbing continues.
@@ -481,6 +543,10 @@ impl ArtifactStore {
         for entry in entries {
             let name = entry_name(&entry);
             if name == QUARANTINE_DIR {
+                continue;
+            }
+            if name == SUB_DIR && self.vfs.is_dir(&entry) {
+                self.scrub_sub_dirs(&entry, &mut report);
                 continue;
             }
             let key = u64::from_str_radix(&name, 16).ok().filter(|_| name.len() == 16);
@@ -551,6 +617,139 @@ impl ArtifactStore {
         }
     }
 
+    /// Verifies every incremental sub-artifact under `<root>/sub/`.
+    ///
+    /// Each file is read, frame-decoded ([`crate::incr`]: checksum, the
+    /// tier tag and the key its filename claims must all agree), and
+    /// its payload replayed through the corpus importer's full
+    /// validation. A damaged file is quarantined as
+    /// `sub.<tier>.<name>` *individually* — its tier siblings keep
+    /// their artifacts, so one corrupt function-level entry costs
+    /// exactly one recompute, never the whole cache.
+    fn scrub_sub_dirs(&self, dir: &Path, report: &mut ScrubReport) {
+        let tiers = match self.vfs.list(dir) {
+            Ok(t) => t,
+            Err(e) => {
+                report.io_errors += 1;
+                report.details.push(format!("list {}: {e}", dir.display()));
+                return;
+            }
+        };
+        // Validation sink only; hit/miss counters are never consulted.
+        let scratch = rock_core::CorpusCache::new();
+        for tier_dir in tiers {
+            let tname = entry_name(&tier_dir);
+            if !self.vfs.is_dir(&tier_dir) {
+                if tname == crate::incr::SNAPSHOT_NAME {
+                    self.scrub_snapshot(&tier_dir, &scratch, report);
+                    continue;
+                }
+                if is_tmp_snapshot(&tier_dir) {
+                    report.tmp_swept += 1;
+                    report.details.push(format!("sub: swept tmp {tname}"));
+                    if !report.dry_run && self.vfs.remove_file(&tier_dir).is_err() {
+                        report.io_errors += 1;
+                    }
+                    continue;
+                }
+            }
+            let tier = rock_core::SubTier::ALL
+                .into_iter()
+                .find(|t| t.name() == tname)
+                .filter(|_| self.vfs.is_dir(&tier_dir));
+            let Some(tier) = tier else {
+                report.unknown_quarantined += 1;
+                report.details.push(format!("sub: unknown entry {tname}"));
+                if !report.dry_run {
+                    self.quarantine(&tier_dir, &format!("sub.{tname}"), report);
+                }
+                continue;
+            };
+            let files = match self.vfs.list(&tier_dir) {
+                Ok(f) => f,
+                Err(e) => {
+                    report.io_errors += 1;
+                    report.details.push(format!("list {}: {e}", tier_dir.display()));
+                    continue;
+                }
+            };
+            for file in files {
+                let name = entry_name(&file);
+                if is_tmp_sub(&file) {
+                    report.tmp_swept += 1;
+                    report.details.push(format!("sub/{tname}: swept tmp {name}"));
+                    if !report.dry_run && self.vfs.remove_file(&file).is_err() {
+                        report.io_errors += 1;
+                    }
+                    continue;
+                }
+                let Some(key) = crate::incr::key_of_sub_name(&name) else {
+                    report.unknown_quarantined += 1;
+                    report.details.push(format!("sub/{tname}: unknown file {name}"));
+                    if !report.dry_run {
+                        self.quarantine(&file, &format!("sub.{tname}.{name}"), report);
+                    }
+                    continue;
+                };
+                match self.with_retry_op(OpClass::Read, || self.vfs.read(&file)) {
+                    Ok(bytes) => match crate::incr::verify_sub_bytes(tier, key, &bytes, &scratch) {
+                        Ok(()) => report.artifacts_ok += 1,
+                        Err(why) => {
+                            self.stats.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+                            report.corrupt_quarantined += 1;
+                            report.details.push(format!("sub/{tname}: corrupt {name}: {why}"));
+                            if !report.dry_run {
+                                self.quarantine(&file, &format!("sub.{tname}.{name}"), report);
+                            }
+                        }
+                    },
+                    Err(e) => {
+                        report.io_errors += 1;
+                        report.details.push(format!("sub/{tname}: read {name}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies the read-optimized snapshot pack: whole-file checksum,
+    /// every embedded frame, and every payload through the corpus
+    /// importer. The pack is an accelerator, not an artifact — a valid
+    /// pack is left in place but *not* counted in `artifacts_ok`
+    /// (its entries are already counted via their loose files), and a
+    /// damaged one is quarantined whole (`sub.snapshot.pack`); the
+    /// next flush rebuilds it.
+    fn scrub_snapshot(
+        &self,
+        file: &Path,
+        scratch: &rock_core::CorpusCache,
+        report: &mut ScrubReport,
+    ) {
+        let verdict = match self.with_retry_op(OpClass::Read, || self.vfs.read(file)) {
+            Ok(bytes) => match crate::incr::decode_snapshot(&bytes) {
+                Ok(entries) => {
+                    entries.iter().find(|(t, k, p)| !scratch.import_entry(*t, *k, p)).map(
+                        |(t, k, _)| format!("entry {}/{k:032x} failed corpus validation", t.name()),
+                    )
+                }
+                Err(why) => Some(why),
+            },
+            Err(e) => {
+                report.io_errors += 1;
+                report.details.push(format!("sub: read {}: {e}", crate::incr::SNAPSHOT_NAME));
+                return;
+            }
+        };
+        if let Some(why) = verdict {
+            self.stats.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+            report.corrupt_quarantined += 1;
+            report.details.push(format!("sub: corrupt {}: {why}", crate::incr::SNAPSHOT_NAME));
+            if !report.dry_run {
+                self.quarantine(file, &format!("sub.{}", crate::incr::SNAPSHOT_NAME), report);
+            }
+        }
+    }
+
     /// Moves `path` under the quarantine directory as `name`, falling
     /// back to plain removal if the rename cannot land.
     fn quarantine(&self, path: &Path, name: &str, report: &mut ScrubReport) {
@@ -567,6 +766,16 @@ impl ArtifactStore {
 /// `true` for `.{stage}.art.tmp` commit debris.
 fn is_tmp_artifact(path: &Path) -> bool {
     entry_name(path).ends_with(".art.tmp")
+}
+
+/// `true` for `.{key}.sub.tmp` sub-artifact commit debris.
+fn is_tmp_sub(path: &Path) -> bool {
+    entry_name(path).ends_with(".sub.tmp")
+}
+
+/// `true` for `.snapshot.pack.tmp` pack commit debris.
+fn is_tmp_snapshot(path: &Path) -> bool {
+    entry_name(path) == format!(".{}.tmp", crate::incr::SNAPSHOT_NAME)
 }
 
 fn entry_name(path: &Path) -> String {

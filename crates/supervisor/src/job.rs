@@ -31,8 +31,8 @@ use std::time::Instant;
 use rock_binary::{image_from_bytes, Addr};
 use rock_budget::{Deadline, RetryPolicy};
 use rock_core::{
-    CorpusCache, CorpusStats, FaultPlan, Reconstruction, Rock, RockConfig, Severity, StageId,
-    StagedRun, StoreStats,
+    CorpusCache, CorpusStats, FaultPlan, IncrStats, Reconstruction, Rock, RockConfig, Severity,
+    StageId, StagedRun, StoreStats,
 };
 use rock_graph::Forest;
 use rock_loader::LoadedBinary;
@@ -82,6 +82,12 @@ pub struct SupervisorOptions {
     /// (`rock batch --metrics`). The registry is computed by the
     /// pipeline either way; this only controls report size.
     pub collect_metrics: bool,
+    /// Persist the corpus cache's sub-artifacts across processes:
+    /// preload them from the store before the batch and flush new ones
+    /// after it (see [`crate::incr`]). Requires an attached
+    /// [`CorpusCache`]; a patched image then recomputes only what its
+    /// edit actually touched.
+    pub incremental: bool,
 }
 
 /// How one job ended.
@@ -307,6 +313,7 @@ impl JobReport {
                 "\"corpus\":{{\"tracelet_hits\":{},\"tracelet_misses\":{},\
                  \"slm_hits\":{},\"slm_misses\":{},\
                  \"distance_hits\":{},\"distance_misses\":{},\
+                 \"lifting_hits\":{},\"lifting_misses\":{},\
                  \"bytes_stored\":{},\"corrupt_dropped\":{},\"evicted\":{}}},",
                 c.tracelet_hits,
                 c.tracelet_misses,
@@ -314,6 +321,8 @@ impl JobReport {
                 c.slm_misses,
                 c.distance_hits,
                 c.distance_misses,
+                c.lifting_hits,
+                c.lifting_misses,
                 c.bytes_stored,
                 c.corrupt_dropped,
                 c.evicted,
@@ -420,6 +429,9 @@ pub struct BatchResult {
     /// `Some(n)`: the batch stopped after `n` jobs because
     /// [`SupervisorOptions::max_failures`] tripped.
     pub aborted_after: Option<usize>,
+    /// Combined sub-artifact preload + flush accounting, present when
+    /// [`SupervisorOptions::incremental`] was on.
+    pub incr: Option<IncrStats>,
 }
 
 /// Drives supervised reconstructions against one artifact store.
@@ -735,8 +747,31 @@ impl Supervisor {
         JobResult { report, output }
     }
 
-    /// Runs a batch of `(name, image bytes)` jobs sequentially.
+    /// Restores persisted sub-artifacts into the attached corpus cache
+    /// (no-op without one). Idempotent; call before running jobs.
+    pub fn preload_incremental(&self) -> IncrStats {
+        match &self.corpus {
+            Some(corpus) => crate::incr::preload_subartifacts(&self.store, corpus),
+            None => IncrStats::default(),
+        }
+    }
+
+    /// Writes the attached corpus cache's new sub-artifacts to the
+    /// store (no-op without one). Idempotent; already-persisted entries
+    /// count as `unchanged`.
+    pub fn flush_incremental(&self) -> IncrStats {
+        match &self.corpus {
+            Some(corpus) => crate::incr::flush_subartifacts(&self.store, corpus),
+            None => IncrStats::default(),
+        }
+    }
+
+    /// Runs a batch of `(name, image bytes)` jobs sequentially. With
+    /// [`SupervisorOptions::incremental`] set, sub-artifacts are
+    /// preloaded before the first job and flushed after the last (even
+    /// when the batch aborts early — completed work stays persisted).
     pub fn run_batch(&self, jobs: &[(String, Vec<u8>)]) -> BatchResult {
+        let incr0 = self.options.incremental.then(|| self.preload_incremental());
         let mut results = Vec::new();
         let mut failures = 0usize;
         let mut aborted_after = None;
@@ -753,8 +788,12 @@ impl Supervisor {
                 }
             }
         }
+        let incr = incr0.map(|mut stats| {
+            stats.add(&self.flush_incremental());
+            stats
+        });
         let exit_code = results.iter().map(|r| r.report.exit_code()).max().unwrap_or(exit::OK);
-        BatchResult { jobs: results, exit_code, aborted_after }
+        BatchResult { jobs: results, exit_code, aborted_after, incr }
     }
 
     /// One pipeline attempt on `rung`: resume the checkpointed prefix,

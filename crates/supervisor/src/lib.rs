@@ -13,6 +13,11 @@
 //!   reduced analysis budgets → structural-only hierarchy. The bottom
 //!   rung cannot fail for a loadable image, so a supervised job never
 //!   returns empty-handed.
+//! * [`incr`] — fine-grained incremental persistence: the corpus
+//!   cache's function-, type-, pair- and family-level sub-artifacts
+//!   (tracelets, SLMs, distances, liftings) are checkpointed under
+//!   `<root>/sub/<tier>/` keyed by position-independent content labels,
+//!   so a patched image reuses everything its edit did not touch.
 //! * [`job`] — the [`job::Supervisor`] itself: watchdog deadlines
 //!   checked at stage boundaries, retries on the
 //!   [`rock_budget::RetryPolicy`] backoff schedule (recorded, and only
@@ -36,15 +41,20 @@
 
 pub mod artifact;
 pub mod chaos;
+pub mod incr;
 pub mod job;
 pub mod ladder;
 pub mod vfs;
 pub mod wire;
 
 pub use artifact::{
-    content_key, ArtifactStore, Checkpoint, ScrubReport, StagePayload, StoreError, QUARANTINE_DIR,
+    config_fingerprint, content_key, ArtifactStore, Checkpoint, ScrubReport, StagePayload,
+    StoreError, QUARANTINE_DIR, SUB_DIR,
 };
 pub use chaos::{ChaosDirective, ChaosFlavor, ChaosOp, ChaosPlan, FaultyVfs};
+pub use incr::{
+    decode_snapshot, encode_snapshot, flush_subartifacts, preload_subartifacts, SNAPSHOT_NAME,
+};
 pub use job::{
     exit, AttemptRecord, BatchResult, JobOutcome, JobOutput, JobReport, JobResult, StoreIncident,
     Supervisor, SupervisorOptions,

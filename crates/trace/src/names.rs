@@ -148,6 +148,21 @@ pub const CORPUS_BYTES_STORED: &str = "corpus.bytes_stored";
 pub const CORPUS_CORRUPT_DROPPED: &str = "corpus.corrupt_dropped";
 /// Corpus entries displaced by capacity eviction (bounded caches).
 pub const CORPUS_EVICTED: &str = "corpus.evicted";
+/// Family liftings answered by the corpus lifting tier.
+pub const CORPUS_LIFTING_HIT: &str = "corpus.lifting_hit";
+/// Family liftings the corpus lifting tier could not answer.
+pub const CORPUS_LIFTING_MISS: &str = "corpus.lifting_miss";
+
+/// Sub-artifacts restored into the corpus cache at preload.
+pub const INCR_PRELOADED: &str = "incr.preloaded";
+/// Sub-artifacts newly written to disk at flush.
+pub const INCR_FLUSHED: &str = "incr.flushed";
+/// Sub-artifacts already on disk and skipped at flush.
+pub const INCR_UNCHANGED: &str = "incr.unchanged";
+/// Sub-artifacts rejected at preload (recomputed instead).
+pub const INCR_CORRUPT_SKIPPED: &str = "incr.corrupt_skipped";
+/// Sub-artifact reads/writes abandoned on an i/o error.
+pub const INCR_IO_ERRORS: &str = "incr.io_errors";
 
 /// Orphaned `.art.tmp` files the artifact store swept.
 pub const STORE_TMP_SWEPT: &str = "store.tmp_swept";

@@ -3,17 +3,32 @@
 //! — any counter drift (a lost cache hit, an extra trained model, a
 //! changed histogram bucket) fails loudly with a diffable document.
 //!
-//! To bless an intentional change:
+//! Two snapshots live under `tests/golden/`:
+//!
+//! * `metrics_stress_2x2x2.json` — a cold run of the 2×2×2 stress
+//!   program;
+//! * `metrics_incremental_1edit.json` — a *warm incremental* run of a
+//!   1-function-edited delta image against the base image's
+//!   sub-artifacts. The warm ≡ cold invariant means this doc must also
+//!   equal a cold run of the same image, which the test asserts before
+//!   comparing against the snapshot — so the file pins both the delta
+//!   workload's counters and the invariant itself.
+//!
+//! To bless an intentional change (rewrites **both** snapshots):
 //!
 //! ```text
 //! ROCK_BLESS=1 cargo test --test golden_metrics
 //! ```
 
-use rock::core::{suite, Parallelism, Rock, RockConfig};
+use std::sync::Arc;
+
+use rock::core::{suite, CorpusCache, Parallelism, Rock, RockConfig};
 use rock::loader::LoadedBinary;
 use rock::trace::validate_metrics_doc;
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_stress_2x2x2.json");
+const GOLDEN_INCR: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_incremental_1edit.json");
 
 fn current_doc() -> String {
     let bench = suite::stress_program(2, 2, 2);
@@ -40,6 +55,52 @@ fn metrics_match_golden_snapshot() {
         doc,
         golden.trim_end(),
         "metrics drifted from the golden snapshot; if intentional, re-bless with \
+         ROCK_BLESS=1 cargo test --test golden_metrics"
+    );
+}
+
+#[test]
+fn incremental_metrics_match_golden_snapshot() {
+    // The 1-function edit of the delta workload: one method body in a
+    // leaf class of family 1 rewritten, everything else byte-identical.
+    let base_spec = suite::delta_spec(3, 5, 5);
+    let mut edited_spec = base_spec.clone();
+    suite::apply_delta(
+        &mut edited_spec,
+        suite::DeltaEdit::EditBody { family: 1, class: 4, method: 0 },
+    );
+    let load = |spec: &suite::DeltaSpec| {
+        let compiled = suite::delta_program(spec).compile().expect("compiles");
+        LoadedBinary::load(compiled.stripped_image()).expect("loads")
+    };
+    let config = RockConfig::paper().with_parallelism(Parallelism::Serial).with_canonical_calls();
+
+    // Warm incremental run: the base image populates the shared cache,
+    // the patched image runs against it. (The disk round trip of those
+    // sub-artifacts is pinned separately by tests/incremental_delta.rs;
+    // the registry cannot tell the difference by design.)
+    let cache = Arc::new(CorpusCache::new());
+    Rock::new(config).with_corpus_cache(Arc::clone(&cache)).reconstruct(&load(&base_spec));
+    let edited = load(&edited_spec);
+    let warm = Rock::new(config).with_corpus_cache(cache).reconstruct(&edited);
+    let doc = warm.metrics.to_json();
+    validate_metrics_doc(&doc).expect("exported metrics must satisfy the schema");
+
+    // The invariant the snapshot rides on: incremental reuse must be
+    // invisible in the metrics document.
+    let cold = Rock::new(config).reconstruct(&edited);
+    assert_eq!(doc, cold.metrics.to_json(), "warm metrics diverged from cold");
+
+    if std::env::var_os("ROCK_BLESS").is_some() {
+        std::fs::write(GOLDEN_INCR, format!("{doc}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_INCR)
+        .expect("missing golden snapshot — run ROCK_BLESS=1 cargo test --test golden_metrics");
+    assert_eq!(
+        doc,
+        golden.trim_end(),
+        "incremental metrics drifted from the golden snapshot; if intentional, re-bless with \
          ROCK_BLESS=1 cargo test --test golden_metrics"
     );
 }

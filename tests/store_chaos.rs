@@ -22,11 +22,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use rock::binary::image_to_bytes;
-use rock::core::{suite, Parallelism, Reconstruction, RockConfig, StageId};
+use rock::core::{suite, CorpusCache, Parallelism, Reconstruction, Rock, RockConfig, StageId};
 use rock::serve::{result_fp, ServeClient, ServeConfig, Server};
 use rock::supervisor::{
-    exit, ArtifactStore, ChaosPlan, FaultyVfs, JobOutcome, JobOutput, StdVfs, Supervisor,
-    SupervisorOptions, Vfs, QUARANTINE_DIR,
+    exit, flush_subartifacts, preload_subartifacts, ArtifactStore, ChaosPlan, FaultyVfs,
+    JobOutcome, JobOutput, StdVfs, Supervisor, SupervisorOptions, Vfs, QUARANTINE_DIR,
 };
 
 /// A scratch artifact-store root, removed on drop.
@@ -436,6 +436,217 @@ fn scrub_classifies_damage_and_resume_recomputes_only_the_quarantined_stage() {
 // ---------------------------------------------------------------------
 // Stale-tmp leak: crashes strand tmps; open sweeps them
 // ---------------------------------------------------------------------
+
+// ---------------------------------------------------------------------
+// The incremental lane: chaos-faulted sub-artifacts degrade to
+// recompute (never stale reuse), and scrub quarantines a corrupt
+// function-level artifact without invalidating its tier siblings
+// ---------------------------------------------------------------------
+
+fn delta_config(par: Parallelism) -> RockConfig {
+    // Position-independent function keys require canonical calls.
+    RockConfig::paper().with_parallelism(par).with_canonical_calls()
+}
+
+fn delta_images() -> (rock::loader::LoadedBinary, rock::loader::LoadedBinary) {
+    let base_spec = suite::delta_spec(3, 5, 5);
+    let mut edited_spec = base_spec.clone();
+    suite::apply_delta(
+        &mut edited_spec,
+        suite::DeltaEdit::EditBody { family: 1, class: 4, method: 0 },
+    );
+    let load = |spec: &suite::DeltaSpec| {
+        let compiled = suite::delta_program(spec).compile().expect("compiles");
+        rock::loader::LoadedBinary::load(compiled.stripped_image()).expect("loads")
+    };
+    (load(&base_spec), load(&edited_spec))
+}
+
+fn reconstruct(
+    loaded: &rock::loader::LoadedBinary,
+    cache: Option<&Arc<CorpusCache>>,
+) -> Reconstruction {
+    let rock = Rock::new(delta_config(Parallelism::Serial));
+    match cache {
+        Some(c) => rock.with_corpus_cache(Arc::clone(c)).reconstruct(loaded),
+        None => rock.reconstruct(loaded),
+    }
+}
+
+/// Everything a run reports, byte for byte (both sides are full cold
+/// pipelines, so even the metrics doc must match).
+fn assert_run_identical(cold: &Reconstruction, warm: &Reconstruction, what: &str) {
+    assert_bit_identical(cold, warm, what);
+    assert_eq!(cold.diagnostics, warm.diagnostics, "{what}: diagnostics diverged");
+    assert_metrics_identical(cold, warm, what);
+}
+
+#[test]
+fn chaos_faulted_subartifacts_degrade_to_recompute_never_stale_reuse() {
+    let (base, edited) = delta_images();
+    let cold = reconstruct(&edited, None);
+    for seed in seeds() {
+        let scratch = Scratch::new(&format!("incr-chaos-{seed}"));
+        // Flush the base image's sub-artifacts through a faulty vfs:
+        // torn writes, ENOSPC, rename failures. Failures are counted,
+        // never thrown.
+        let populate = Arc::new(CorpusCache::new());
+        reconstruct(&base, Some(&populate));
+        let flushed = flush_subartifacts(&scratch.chaos_store(seed, 200), &populate);
+        assert!(
+            flushed.flushed + flushed.io_errors > 0,
+            "seed {seed}: the flush must have attempted work"
+        );
+
+        // Bit-rot whatever landed: flip a byte in every third file.
+        let mut rotted = 0u64;
+        for tier in ["exec", "model", "distance", "lifting"] {
+            let dir = scratch.0.join("sub").join(tier);
+            let Ok(entries) = fs::read_dir(&dir) else { continue };
+            let mut files: Vec<_> = entries.map(|e| e.unwrap().path()).collect();
+            files.sort();
+            for file in files.iter().step_by(3) {
+                let mut bytes = fs::read(file).unwrap();
+                if !bytes.is_empty() {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xFF;
+                    fs::write(file, &bytes).unwrap();
+                    rotted += 1;
+                }
+            }
+        }
+
+        // The snapshot pack mirrors the loose files — rot it too, or
+        // the preload would simply self-heal every rotted loose file
+        // from its healthy pack copy (that healing path gets its own
+        // test below; this one pins the degrade-to-recompute path).
+        let pack = scratch.0.join("sub").join("snapshot.pack");
+        if rotted > 0 && pack.exists() {
+            let mut bytes = fs::read(&pack).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            fs::write(&pack, &bytes).unwrap();
+        }
+
+        // Preload through a *different* chaos plan (partial reads,
+        // transient EIO): damaged or unreadable artifacts are skipped
+        // and counted; whatever survives is trusted because it proved
+        // its own key.
+        let warm_cache = Arc::new(CorpusCache::new());
+        let preloaded = preload_subartifacts(&scratch.chaos_store(seed ^ 0xF00D, 200), &warm_cache);
+        if rotted > 0 {
+            assert!(
+                preloaded.corrupt_skipped > 0,
+                "seed {seed}: {rotted} rotted files must be detected, not imported"
+            );
+        }
+
+        // The patched run over the mangled store: degraded reuse at
+        // worst, bit-identical always.
+        let warm = reconstruct(&edited, Some(&warm_cache));
+        assert_run_identical(&cold, &warm, &format!("seed {seed} chaos incremental"));
+
+        // And the store heals: scrub quarantines the rot and converges.
+        let report = scratch.store().scrub(false);
+        assert_eq!(report.io_errors, 0, "seed {seed}: scrub must finish clean");
+        assert!(scratch.store().scrub(false).is_clean(), "seed {seed}: scrub must converge");
+    }
+}
+
+#[test]
+fn scrub_quarantines_corrupt_subartifact_without_invalidating_siblings() {
+    let (base, edited) = delta_images();
+    let scratch = Scratch::new("incr-quarantine");
+    let populate = Arc::new(CorpusCache::new());
+    reconstruct(&base, Some(&populate));
+    let flushed = flush_subartifacts(&scratch.store(), &populate);
+    assert!(flushed.flushed > 2, "need siblings to prove isolation");
+    assert_eq!(flushed.io_errors, 0);
+
+    // Corrupt exactly one function-level (exec tier) artifact.
+    let exec_dir = scratch.0.join("sub").join("exec");
+    let mut exec_files: Vec<_> =
+        fs::read_dir(&exec_dir).unwrap().map(|e| e.unwrap().path()).collect();
+    exec_files.sort();
+    assert!(exec_files.len() > 1, "the exec tier needs siblings");
+    let victim = exec_files[exec_files.len() / 2].clone();
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&victim, &bytes).unwrap();
+
+    // Dry run classifies without touching; the real scrub quarantines
+    // the one victim and leaves every sibling in place.
+    let dry = scratch.store().scrub(true);
+    assert_eq!(dry.corrupt_quarantined, 1, "dry-run misclassified: {:?}", dry.details);
+    assert!(victim.exists(), "dry run must not move files");
+    let report = scratch.store().scrub(false);
+    assert_eq!(report.corrupt_quarantined, 1, "scrub misclassified: {:?}", report.details);
+    assert_eq!(report.artifacts_ok, flushed.flushed - 1, "every sibling must verify");
+    assert!(!victim.exists(), "the corrupt sub-artifact must be quarantined");
+    let quarantined: Vec<_> = fs::read_dir(scratch.0.join(QUARANTINE_DIR))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        quarantined.iter().any(|n| n.starts_with("sub.exec.")),
+        "quarantine must name the tier: {quarantined:?}"
+    );
+    for sibling in exec_files.iter().filter(|p| **p != victim) {
+        assert!(sibling.exists(), "sibling {} must survive the scrub", sibling.display());
+    }
+    assert!(scratch.store().scrub(false).is_clean(), "scrub converges");
+
+    // The healed store preloads everything but the victim, and the
+    // patched run is still bit-identical to cold.
+    let warm_cache = Arc::new(CorpusCache::new());
+    let preloaded = preload_subartifacts(&scratch.store(), &warm_cache);
+    assert_eq!(preloaded.preloaded, flushed.flushed - 1);
+    assert_eq!(preloaded.corrupt_skipped, 0, "scrub already removed the damage");
+    let cold = reconstruct(&edited, None);
+    let warm = reconstruct(&edited, Some(&warm_cache));
+    assert_run_identical(&cold, &warm, "post-quarantine incremental run");
+    let s = warm_cache.stats();
+    assert!(s.tracelet_hits > 0, "surviving siblings must still be reused");
+}
+
+#[test]
+fn snapshot_pack_self_heals_rotted_loose_artifacts() {
+    // The pack and the loose files carry the same frames. When a loose
+    // file rots but the pack survives, preload serves the healthy pack
+    // copy (content-validated like any other import) — the rot costs
+    // nothing. The listing gate still holds: only *listed* artifacts
+    // may load from the pack, so this is healing, not resurrection
+    // (the quarantine test above pins the resurrection side).
+    let (base, edited) = delta_images();
+    let scratch = Scratch::new("incr-pack-heal");
+    let populate = Arc::new(CorpusCache::new());
+    reconstruct(&base, Some(&populate));
+    let flushed = flush_subartifacts(&scratch.store(), &populate);
+    assert!(flushed.flushed > 2);
+    assert_eq!(flushed.io_errors, 0);
+
+    let exec_dir = scratch.0.join("sub").join("exec");
+    let mut exec_files: Vec<_> =
+        fs::read_dir(&exec_dir).unwrap().map(|e| e.unwrap().path()).collect();
+    exec_files.sort();
+    let victim = exec_files[exec_files.len() / 2].clone();
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&victim, &bytes).unwrap();
+
+    let warm_cache = Arc::new(CorpusCache::new());
+    let preloaded = preload_subartifacts(&scratch.store(), &warm_cache);
+    assert_eq!(
+        preloaded.preloaded, flushed.flushed,
+        "the pack must serve the rotted loose file's healthy copy"
+    );
+    assert_eq!(preloaded.corrupt_skipped, 0, "nothing read the rotted bytes");
+    let cold = reconstruct(&edited, None);
+    let warm = reconstruct(&edited, Some(&warm_cache));
+    assert_run_identical(&cold, &warm, "pack-healed incremental run");
+}
 
 #[test]
 fn open_sweeps_stale_tmp_files_and_counts_them() {
